@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's figures and the quantitative
+// comparisons as text tables.
+//
+// Usage:
+//
+//	experiments [-run fig1|fig2|fig3|quant|spin|contract|fence|all] [-n N] [-seed S]
+//
+// -n sets the number of random programs for the contract sweep; -seed its
+// generator seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"weakorder/internal/experiments"
+	"weakorder/internal/stats"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: fig1, fig2, fig3, quant, spin, contract, fence, delayset, conditions, sweep, protocol, all")
+	n := flag.Int("n", 40, "random programs for the contract sweep")
+	seed := flag.Int64("seed", 7, "random seed for the contract sweep")
+	flag.Parse()
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	print := func(tables ...*stats.Table) {
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+
+	if want("fig1") {
+		ran = true
+		s, err := experiments.Fig1()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Tables...)
+		fmt.Printf("figure 1 violation reachable on: %s\n\n", strings.Join(s.ViolationOn, ", "))
+	}
+	if want("fig2") {
+		ran = true
+		s, err := experiments.Fig2()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+	}
+	if want("fig3") {
+		ran = true
+		s, err := experiments.Fig3()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+		fmt.Printf("def1 producer always slower than def2 producer: %v\n\n", s.Def1P0AlwaysSlower)
+	}
+	if want("quant") {
+		ran = true
+		s, err := experiments.Quant()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+	}
+	if want("spin") {
+		ran = true
+		s, err := experiments.Spin()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+		fmt.Printf("refinement faster: barrier=%v lock=%v; exclusive acquisitions reduced: %v\n\n",
+			s.RefinementFasterOnBarrier, s.RefinementFasterOnLock, s.GetXReduced)
+	}
+	if want("contract") {
+		ran = true
+		s, err := experiments.Contract(*n, *seed)
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+	}
+	if want("fence") {
+		ran = true
+		s, err := experiments.Fence()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+	}
+	if want("delayset") {
+		ran = true
+		s, err := experiments.DelaySet(*n, *seed)
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+	}
+	if want("conditions") {
+		ran = true
+		s, err := experiments.Conditions()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+	}
+	if want("sweep") {
+		ran = true
+		s, err := experiments.Sweep()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+	}
+	if want("protocol") {
+		ran = true
+		s, err := experiments.Protocol()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,95 @@
+// Command litmus runs litmus tests — the built-in corpus or a test parsed
+// from a file in the repository's litmus format — across the operational
+// hardware models, reporting whether the "exists" outcome is reachable on
+// each.
+//
+// Usage:
+//
+//	litmus [-test NAME] [-machine NAME] [-file PATH] [-max-states N] [-v]
+//
+// With no flags the whole corpus runs on every machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weakorder/internal/litmus"
+	"weakorder/internal/model"
+	"weakorder/internal/program"
+)
+
+func main() {
+	testName := flag.String("test", "", "run only the named corpus test")
+	machineName := flag.String("machine", "", "run only on the named machine")
+	file := flag.String("file", "", "run a litmus file instead of the corpus")
+	maxStates := flag.Int("max-states", 0, "exploration state budget (0 = default)")
+	verbose := flag.Bool("v", false, "print per-test descriptions")
+	flag.Parse()
+
+	var tests []*litmus.Test
+	switch {
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := program.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if res.Exists == nil {
+			fatal(fmt.Errorf("%s: no exists clause", *file))
+		}
+		tests = []*litmus.Test{{
+			Name: res.Program.Name,
+			Prog: res.Program,
+			Cond: res.Exists,
+		}}
+	case *testName != "":
+		t, ok := litmus.ByName(*testName)
+		if !ok {
+			fatal(fmt.Errorf("unknown corpus test %q", *testName))
+		}
+		tests = []*litmus.Test{t}
+	default:
+		tests = litmus.Corpus()
+	}
+
+	factories := litmus.Factories()
+	if *machineName != "" {
+		f, ok := litmus.FactoryByName(*machineName)
+		if !ok {
+			fatal(fmt.Errorf("unknown machine %q", *machineName))
+		}
+		factories = []litmus.Factory{f}
+	}
+
+	x := &model.Explorer{MaxStates: *maxStates}
+	bad := 0
+	for _, t := range tests {
+		if *verbose && t.Description != "" {
+			fmt.Printf("# %s: %s\n", t.Name, t.Description)
+		}
+		for _, f := range factories {
+			o, err := litmus.Run(t, f, x)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(o)
+			if !o.OK() {
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "litmus: %d unexpected observation(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+// Command wosim runs a workload on the timed cache-coherent machine under a
+// chosen ordering policy and prints cycle counts, stall breakdowns and
+// coherence statistics.
+//
+// Usage:
+//
+//	wosim -workload prodcons|lock|barrier|fig3 [-policy sc|def1|def2|def2drf1]
+//	      [-procs N] [-iters N] [-work N] [-spin sync|data|tas]
+//	      [-netlat N] [-jitter N] [-bus] [-seed S] [-check]
+//
+// -check additionally records the execution trace and verifies it is
+// sequentially consistent (expected for the DRF0 workloads on every policy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"weakorder/internal/conditions"
+	"weakorder/internal/core"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/proc"
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+	"weakorder/internal/trace"
+	"weakorder/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "prodcons", "prodcons, lock, barrier, fig3")
+	policy := flag.String("policy", "def2", "sc, def1, def2, def2drf1, def2noreserve")
+	procs := flag.Int("procs", 4, "processors (lock/barrier)")
+	iters := flag.Int("iters", 8, "items/acquires/phases")
+	work := flag.Int("work", 20, "local work cycles")
+	spin := flag.String("spin", "sync", "sync, data, tas")
+	netlat := flag.Int("netlat", 10, "network latency")
+	jitter := flag.Int("jitter", 0, "network jitter")
+	bus := flag.Bool("bus", false, "use the serialized bus fabric")
+	update := flag.Bool("update", false, "use the write-update protocol for data writes")
+	seed := flag.Int64("seed", 1, "jitter seed")
+	check := flag.Bool("check", false, "verify the trace is sequentially consistent")
+	conds := flag.Bool("conditions", false, "verify the run against the Section-5.1 conditions")
+	dump := flag.String("dump-trace", "", "write the recorded trace (and timings) as JSON to this file")
+	flag.Parse()
+
+	var pol proc.Policy
+	switch *policy {
+	case "sc":
+		pol = proc.PolicySC
+	case "def1":
+		pol = proc.PolicyWODef1
+	case "def2":
+		pol = proc.PolicyWODef2
+	case "def2drf1":
+		pol = proc.PolicyWODef2DRF1
+	case "def2noreserve":
+		pol = proc.PolicyWODef2NoReserve
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	var sk workload.SpinKind
+	switch *spin {
+	case "sync":
+		sk = workload.SpinSync
+	case "data":
+		sk = workload.SpinData
+	case "tas":
+		sk = workload.SpinTAS
+	default:
+		fatal(fmt.Errorf("unknown spin kind %q", *spin))
+	}
+
+	var prog *program.Program
+	switch *wl {
+	case "prodcons":
+		prog = workload.ProducerConsumer(*iters, *work)
+	case "lock":
+		prog = workload.Lock(*procs, *iters, *work, *work, sk)
+	case "barrier":
+		prog = workload.Barrier(*procs, *iters, *work, sk)
+	case "fig3":
+		prog = workload.Fig3(*procs-1, *work)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	cfg := machine.NewConfig(pol)
+	cfg.NetLatency = sim.Time(*netlat)
+	cfg.NetJitter = *jitter
+	cfg.Seed = *seed
+	if *bus {
+		cfg.Fabric = machine.FabricBus
+	}
+	if *update {
+		cfg.Protocol = machine.ProtocolUpdate
+	}
+	cfg.RecordTrace = *check || *dump != ""
+	cfg.RecordTimings = *conds || *dump != ""
+
+	res, err := machine.Run(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload %s on %s: %d cycles, %d messages\n", prog.Name, pol, res.Cycles, res.Messages)
+	tbl := stats.NewTable("per-processor", "proc", "finish", "reads", "writes", "syncs",
+		"read stall", "sync stall", "local")
+	for i, ps := range res.ProcStats {
+		tbl.Row(fmt.Sprintf("P%d", i), int64(res.ProcFinish[i]),
+			ps.Get("reads"), ps.Get("writes"), ps.Get("syncs"),
+			ps.Get("read_stall_cycles"),
+			ps.Get("sync_counter_stall_cycles")+ps.Get("sync_line_stall_cycles")+ps.Get("sync_performed_stall_cycles"),
+			ps.Get("local_cycles"))
+	}
+	fmt.Println(tbl)
+	agg := stats.NewCounters()
+	for _, cs := range res.CacheStats {
+		agg.Merge(cs)
+	}
+	fmt.Printf("caches: %s\n", agg)
+	fmt.Printf("directory: %s\n", res.DirStats)
+	fmt.Printf("final memory:")
+	for _, a := range prog.Addrs() {
+		fmt.Printf(" x%d=%d", a, res.FinalMem[a])
+	}
+	fmt.Println()
+
+	init := make(map[mem.Addr]mem.Value)
+	for _, a := range prog.Addrs() {
+		init[a] = 0
+	}
+	for a, v := range prog.Init {
+		init[a] = v
+	}
+	if *check {
+		w, err := core.SCCheck(res.Trace, init)
+		if err != nil {
+			fatal(err)
+		}
+		if w.SC {
+			fmt.Println("trace check: sequentially consistent")
+		} else {
+			fmt.Println("trace check: NOT sequentially consistent")
+			os.Exit(1)
+		}
+	}
+	if *conds {
+		rep := conditions.Check(res.Timings)
+		if pol == proc.PolicyWODef2DRF1 {
+			rep = conditions.CheckRefined(res.Timings)
+		}
+		fmt.Println(rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, res.Trace, init, res.Timings); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *dump)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wosim: %v\n", err)
+	os.Exit(1)
+}

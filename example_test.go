@@ -1,0 +1,115 @@
+package weakorder_test
+
+import (
+	"fmt"
+
+	"weakorder"
+)
+
+// ExampleCheckDRF0 decides Definition 3 for a message-passing program.
+func ExampleCheckDRF0() {
+	p := weakorder.MustParseProgram(`
+name: mp
+init: d=0 f=0
+thread:
+    st d, 1
+    sync.st f, 1
+thread:
+wait:
+    sync.ld r0, f
+    beq r0, 0, wait
+    ld r1, d
+`).Program
+	rep, err := weakorder.CheckDRF0(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Obeys())
+	// Output: true
+}
+
+// ExampleVerifyContract checks Definition 2 on the Section-5 machine: for a
+// DRF0 program, every hardware outcome must be sequentially consistent.
+func ExampleVerifyContract() {
+	p := weakorder.MustParseProgram(`
+name: handoff
+init: x=0 s=1
+thread:
+    st x, 42
+    sync.st s, 0
+thread:
+acq:
+    tas r0, s, 1
+    bne r0, 0, acq
+    ld r1, x
+`).Program
+	rep, err := weakorder.VerifyContract(weakorder.ModelWODef2, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.ObeysModel, rep.Honored())
+	// Output: true true
+}
+
+// ExampleExecutionRaces checks a single recorded execution for data races
+// under DRF0 and under the Section-6 refinement.
+func ExampleExecutionRaces() {
+	e := &weakorder.Execution{}
+	e.Append(weakorder.Access{Proc: 0, Op: weakorder.OpWrite, Addr: 0, Value: 1})
+	e.Append(weakorder.Access{Proc: 1, Op: weakorder.OpRead, Addr: 0, Value: 1})
+	rep, err := weakorder.ExecutionRaces(e, weakorder.DRF0())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(rep.Races))
+	// Output: 1
+}
+
+// ExampleSimulate times a DRF0 program on the Section-5 machine and verifies
+// its trace is sequentially consistent.
+func ExampleSimulate() {
+	p := weakorder.MustParseProgram(`
+name: handoff
+init: x=0 s=1
+thread:
+    st x, 7
+    sync.st s, 0
+thread:
+acq:
+    tas r0, s, 1
+    bne r0, 0, acq
+    ld r1, x
+`).Program
+	cfg := weakorder.NewSimConfig(weakorder.PolicyWODef2)
+	cfg.RecordTrace = true
+	res, err := weakorder.Simulate(p, cfg)
+	if err != nil {
+		panic(err)
+	}
+	w, err := weakorder.IsSequentiallyConsistent(res.Trace, p.Init)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.FinalRegs[1][1], w.SC)
+	// Output: 7 true
+}
+
+// ExampleOutcomes enumerates the result set of the write-buffer machine on
+// the store-buffering test: the racy program shows one more result than the
+// idealized architecture (the famous both-reads-zero).
+func ExampleOutcomes() {
+	p := weakorder.MustParseProgram(`
+name: sb
+init: x=0 y=0
+thread:
+    st x, 1
+    ld r0, y
+thread:
+    st y, 1
+    ld r1, x
+`).Program
+	sc, _ := weakorder.SCOutcomes(p)
+	wb, _ := weakorder.Outcomes(weakorder.ModelWriteBuffer, p)
+	fmt.Println(len(sc), len(wb))
+	// Output: 3 4
+}

@@ -1,0 +1,60 @@
+// Delayset demonstrates the Shasha–Snir analysis discussed in the paper's
+// related work (Section 2.1): statically compute, for a branch-free program,
+// which intra-thread access pairs must be delayed to preserve sequential
+// consistency on relaxed hardware, then verify the guarantee by exhaustive
+// exploration of the write-buffer machine with and without enforcement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakorder"
+	"weakorder/internal/delayset"
+	"weakorder/internal/model"
+)
+
+const dekker = `
+name: dekker
+init: x=0 y=0
+thread:
+    st x, 1
+    ld r0, y
+thread:
+    st y, 1
+    ld r1, x
+`
+
+func main() {
+	p := weakorder.MustParseProgram(dekker).Program
+
+	an, err := delayset.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static accesses: %d, conflict edges: %d\n", len(an.Accesses), an.ConflictEdges)
+	fmt.Println("delay set (Before -> After, same thread):")
+	for _, d := range an.Delays {
+		fmt.Printf("  %s\n", d)
+	}
+
+	x := &model.Explorer{}
+	count := func(m model.Machine) int {
+		out, _, err := x.Outcomes(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return len(out)
+	}
+	sc := count(model.NewSC(p))
+	wb := count(model.NewWriteBuffer(p, ""))
+	enforced := count(model.NewWriteBufferDelays(p, an.DelayedBefore(p.NumThreads())))
+
+	fmt.Printf("\ndistinct results: SC=%d  write-buffer=%d  write-buffer+delays=%d\n", sc, wb, enforced)
+	fmt.Println("the write buffer's extra result is the both-reads-zero violation;")
+	fmt.Println("enforcing the two store->load delays removes it exactly.")
+	fmt.Println()
+	fmt.Println("the paper's argument for weak ordering: these delays must be")
+	fmt.Println("derived by global static analysis (often pessimistically), whereas")
+	fmt.Println("DRF0 just asks the programmer to label synchronization.")
+}

@@ -1,0 +1,44 @@
+// Lockcontention sweeps a TestAndSet critical-section workload across
+// ordering policies and contention levels, reporting the completion time and
+// verifying that no increment is ever lost — the DRF0 program must behave
+// sequentially consistently on every weakly ordered configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"weakorder"
+	"weakorder/internal/workload"
+)
+
+func main() {
+	policies := []weakorder.Policy{
+		weakorder.PolicySC,
+		weakorder.PolicyWODef1,
+		weakorder.PolicyWODef2,
+		weakorder.PolicyWODef2DRF1,
+	}
+	fmt.Printf("%-6s %-16s %10s %10s %8s\n", "procs", "policy", "cycles", "messages", "counter")
+	for _, procs := range []int{2, 4, 6} {
+		const acquires = 4
+		prog := workload.Lock(procs, acquires, 15, 15, workload.SpinSync)
+		want := workload.LockTotal(procs, acquires)
+		for _, pol := range policies {
+			cfg := weakorder.NewSimConfig(pol)
+			res, err := weakorder.Simulate(prog, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got := res.FinalMem[workload.CtrAddr()]
+			mark := ""
+			if got != want {
+				mark = "  << LOST UPDATES"
+			}
+			fmt.Printf("%-6d %-16s %10d %10d %8d%s\n", procs, pol, res.Cycles, res.Messages, got, mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println("every row's counter must equal procs*acquires: the critical sections")
+	fmt.Println("are data-race-free, so Definition 2 guarantees SC behavior.")
+}

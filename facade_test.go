@@ -1,0 +1,156 @@
+package weakorder_test
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder"
+)
+
+// TestNewMachineAllModels instantiates every operational model through the
+// facade and explores one step of each.
+func TestNewMachineAllModels(t *testing.T) {
+	p := weakorder.MustParseProgram(mpSync).Program
+	models := []weakorder.HardwareModel{
+		weakorder.ModelSC, weakorder.ModelWriteBuffer, weakorder.ModelNetwork,
+		weakorder.ModelNonAtomic, weakorder.ModelWODef1, weakorder.ModelWODef2,
+		weakorder.ModelWODef2DRF1,
+	}
+	for _, m := range models {
+		mach := weakorder.NewMachine(m, p)
+		if mach == nil {
+			t.Fatalf("%s: nil machine", m)
+		}
+		ts := mach.Transitions()
+		if len(ts) == 0 {
+			t.Fatalf("%s: no initial transitions", m)
+		}
+		if err := mach.Apply(ts[0]); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestNewMachineUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown model")
+		}
+	}()
+	weakorder.NewMachine("no-such-model", weakorder.MustParseProgram(mpSync).Program)
+}
+
+func TestCheckModelCustomBound(t *testing.T) {
+	p := weakorder.MustParseProgram(mpSync).Program
+	rep, err := weakorder.CheckModel(p, weakorder.DRF1(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Obeys() {
+		t.Errorf("mp-sync should obey DRF1 too: %s", rep)
+	}
+}
+
+func TestFacadeConditionsCheck(t *testing.T) {
+	p := weakorder.MustParseProgram(mpSync).Program
+	cfg := weakorder.NewSimConfig(weakorder.PolicyWODef2)
+	cfg.RecordTimings = true
+	res, err := weakorder.Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := weakorder.CheckConditions(res); !rep.OK() {
+		t.Errorf("conditions: %s", rep)
+	}
+	cfg = weakorder.NewSimConfig(weakorder.PolicyWODef2DRF1)
+	cfg.RecordTimings = true
+	res, err = weakorder.Simulate(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := weakorder.CheckConditionsRefined(res); !rep.OK() {
+		t.Errorf("refined conditions: %s", rep)
+	}
+}
+
+func TestFacadeLockDiscipline(t *testing.T) {
+	locked := weakorder.MustParseProgram(`
+name: locked
+init: l=0 c=0
+thread:
+a0:
+    tas r0, l, 1
+    bne r0, 0, a0
+    ld r1, c
+    add r1, r1, 1
+    st c, r1
+    sync.st l, 0
+thread:
+a1:
+    tas r0, l, 1
+    bne r0, 0, a1
+    st c, 9
+    sync.st l, 0
+`).Program
+	cfg := weakorder.NewSimConfig(weakorder.PolicyWODef2)
+	cfg.RecordTrace = true
+	res, err := weakorder.Simulate(locked, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := weakorder.CheckLockDiscipline(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("lock discipline: %s", rep)
+	}
+}
+
+func TestFacadePhaseDiscipline(t *testing.T) {
+	// A deliberate intra-phase conflict through the facade types.
+	e := &weakorder.Execution{}
+	e.Append(weakorder.Access{Proc: 0, Op: weakorder.OpWrite, Addr: 10, Value: 1})
+	e.Append(weakorder.Access{Proc: 1, Op: weakorder.OpRead, Addr: 10, Value: 1})
+	rep, err := weakorder.CheckPhaseDiscipline(e, weakorder.PhaseBarrier{Counter: 100, Sense: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("intra-phase conflict accepted")
+	}
+}
+
+func TestFacadeReadKeyOf(t *testing.T) {
+	p := weakorder.MustParseProgram(mpSync).Program
+	out, err := weakorder.SCOutcomes(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1's final read of d (some op index >= 1) must be 1 in every
+	// result; locate it via ReadKeyOf over plausible indices.
+	for _, k := range out.Keys() {
+		r := out[k]
+		found := false
+		for idx := 1; idx < 64; idx++ {
+			if v, ok := r.Reads[weakorder.ReadKeyOf(1, idx)]; ok && v == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no read of 1 found in result %q", k)
+		}
+	}
+}
+
+func TestFacadeModelNamesMatchFactories(t *testing.T) {
+	p := weakorder.MustParseProgram(mpSync).Program
+	for _, m := range []weakorder.HardwareModel{
+		weakorder.ModelSC, weakorder.ModelWODef2, weakorder.ModelNonAtomic,
+	} {
+		mach := weakorder.NewMachine(m, p)
+		if !strings.EqualFold(mach.Name(), string(m)) {
+			t.Errorf("model %q has machine name %q", m, mach.Name())
+		}
+	}
+}

@@ -1,0 +1,464 @@
+package cache
+
+import (
+	"fmt"
+
+	"weakorder/internal/interconnect"
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+)
+
+// LineState is a cache line's coherence state.
+type LineState uint8
+
+const (
+	// Invalid: no copy.
+	Invalid LineState = iota
+	// Shared: clean read-only copy; other caches may also hold it.
+	Shared
+	// Exclusive: the only copy, writable (dirty).
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	default:
+		return "?"
+	}
+}
+
+// line is one cached line, including the Section-5.3 reserve bit.
+type line struct {
+	state    LineState
+	value    mem.Value
+	reserved bool
+}
+
+// mshr tracks one outstanding transaction for an address.
+type mshr struct {
+	exclusive    bool // GetX (else GetS)
+	update       bool // UpdateReq (write-update protocol)
+	dataArrived  bool
+	performed    bool // WriteAck (or Performed Data) received
+	invWhilePend bool // an Inv overtook our pending read: don't install
+	// updateOverride holds a newer value delivered by a MsgUpdate that
+	// overtook our pending fill (non-FIFO fabrics): the fill installs it
+	// instead of the stale Data payload.
+	updateOverride *mem.Value
+	value          mem.Value
+	excl           bool
+	// onData fires at commit (Data arrival; for reads, value binding).
+	onData func(old mem.Value)
+	// onPerformed fires at global performance (writes/syncs only).
+	onPerformed func()
+	// free callbacks waiting for the MSHR to clear.
+	onFree []func()
+}
+
+// Cache is one processor's cache and weak-ordering bookkeeping.
+type Cache struct {
+	ID     interconnect.NodeID
+	engine *sim.Engine
+	fabric interconnect.Fabric
+	dir    interconnect.NodeID
+	hitLat sim.Time
+
+	lines map[mem.Addr]*line
+	mshrs map[mem.Addr]*mshr
+
+	// counter is the paper's outstanding-access counter: incremented on
+	// every miss sent, decremented when the transaction's data has arrived
+	// (reads) or the access is globally performed (writes/syncs).
+	counter       int
+	onCounterZero []func()
+
+	// stalledFwds queues remote synchronization requests (forwarded by the
+	// directory) that hit a reserved line; they are serviced when the
+	// counter reads zero (Section 5.3's stalled-request queue).
+	stalledFwds []stalledFwd
+	// pendingFwds queues forwards that arrived before our own Data for the
+	// same line (message-race guard).
+	pendingFwds map[mem.Addr][]stalledFwd
+
+	// Stats counts hits, misses, reserve stalls, etc.
+	Stats *stats.Counters
+}
+
+type stalledFwd struct {
+	src interconnect.NodeID
+	msg Msg
+}
+
+// New builds a cache attached to the fabric.
+func New(id interconnect.NodeID, engine *sim.Engine, fabric interconnect.Fabric, dir interconnect.NodeID, hitLat sim.Time) *Cache {
+	if hitLat < 1 {
+		hitLat = 1
+	}
+	c := &Cache{
+		ID:          id,
+		engine:      engine,
+		fabric:      fabric,
+		dir:         dir,
+		hitLat:      hitLat,
+		lines:       make(map[mem.Addr]*line),
+		mshrs:       make(map[mem.Addr]*mshr),
+		pendingFwds: make(map[mem.Addr][]stalledFwd),
+		Stats:       stats.NewCounters(),
+	}
+	fabric.Attach(id, c)
+	return c
+}
+
+// Counter returns the outstanding-access counter.
+func (c *Cache) Counter() int { return c.counter }
+
+// OnCounterZero registers fn to run when the counter reads zero (immediately
+// if it already does).
+func (c *Cache) OnCounterZero(fn func()) {
+	if c.counter == 0 {
+		fn()
+		return
+	}
+	c.onCounterZero = append(c.onCounterZero, fn)
+}
+
+// Busy reports whether an outstanding transaction exists for the address.
+func (c *Cache) Busy(a mem.Addr) bool { return c.mshrs[a] != nil }
+
+// OnFree registers fn to run when the address's MSHR clears (immediately if
+// free).
+func (c *Cache) OnFree(a mem.Addr, fn func()) {
+	m := c.mshrs[a]
+	if m == nil {
+		fn()
+		return
+	}
+	m.onFree = append(m.onFree, fn)
+}
+
+// State returns the line's current state (Invalid if absent).
+func (c *Cache) State(a mem.Addr) LineState {
+	if l := c.lines[a]; l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+// incCounter / decCounter maintain the paper's counter and fire zero-events.
+func (c *Cache) incCounter() { c.counter++ }
+
+func (c *Cache) decCounter() {
+	c.counter--
+	if c.counter < 0 {
+		panic(fmt.Sprintf("cache %d: counter went negative", c.ID))
+	}
+	if c.counter == 0 {
+		// "All reserve bits are reset when the counter reads zero."
+		for _, l := range c.lines {
+			l.reserved = false
+		}
+		cbs := c.onCounterZero
+		c.onCounterZero = nil
+		for _, fn := range cbs {
+			fn()
+		}
+		// Service remote synchronization requests stalled on reserve bits.
+		stalled := c.stalledFwds
+		c.stalledFwds = nil
+		for _, s := range stalled {
+			c.serviceFwd(s.src, s.msg)
+		}
+	}
+}
+
+// AcquireShared ensures the line is at least Shared and calls done with its
+// value. Callbacks run *synchronously* with the decision (hit) or with Data
+// arrival (miss), so the line state they observe cannot be stolen by a
+// concurrent forward in between; the processor charges hit latency itself
+// before its next step.
+func (c *Cache) AcquireShared(a mem.Addr, sync bool, done func(v mem.Value)) {
+	if l := c.lines[a]; l != nil && l.state != Invalid {
+		c.Stats.Add("hits", 1)
+		done(l.value)
+		return
+	}
+	if c.mshrs[a] != nil {
+		panic(fmt.Sprintf("cache %d: AcquireShared with busy MSHR for x%d", c.ID, a))
+	}
+	c.Stats.Add("read_misses", 1)
+	c.incCounter()
+	c.mshrs[a] = &mshr{onData: func(v mem.Value) { done(v) }}
+	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgGetS, Addr: a, Sync: sync})
+}
+
+// AcquireExclusive ensures the line is Exclusive. committed runs at the
+// commit point with the line's pre-access value (the caller then applies its
+// write via WriteLocal); performed runs when the access is globally performed
+// (nil allowed). sync marks a synchronization access. Like AcquireShared,
+// callbacks are synchronous with the moment the line is exclusively held, so
+// WriteLocal/Reserve inside committed can never observe a stolen line.
+func (c *Cache) AcquireExclusive(a mem.Addr, sync bool, committed func(old mem.Value), performed func()) {
+	if l := c.lines[a]; l != nil && l.state == Exclusive {
+		// Sole copy: commit and global performance coincide.
+		c.Stats.Add("hits", 1)
+		committed(l.value)
+		if performed != nil {
+			performed()
+		}
+		return
+	}
+	if c.mshrs[a] != nil {
+		panic(fmt.Sprintf("cache %d: AcquireExclusive with busy MSHR for x%d", c.ID, a))
+	}
+	c.Stats.Add("write_misses", 1)
+	c.incCounter()
+	c.mshrs[a] = &mshr{exclusive: true, onData: committed, onPerformed: performed}
+	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgGetX, Addr: a, Sync: sync})
+}
+
+// WriteUpdate performs a data write under the write-update protocol: the
+// local copy (if any) commits immediately; the value travels to the directory,
+// which updates memory and multicasts it to the other sharers. performed runs
+// when every sharer has acknowledged (nil allowed). Exclusive hits complete
+// locally like in the invalidation protocol. The caller must have checked
+// Busy first.
+func (c *Cache) WriteUpdate(a mem.Addr, v mem.Value, performed func()) {
+	if l := c.lines[a]; l != nil && l.state == Exclusive {
+		c.Stats.Add("hits", 1)
+		l.value = v
+		if performed != nil {
+			performed()
+		}
+		return
+	}
+	if c.mshrs[a] != nil {
+		panic(fmt.Sprintf("cache %d: WriteUpdate with busy MSHR for x%d", c.ID, a))
+	}
+	if l := c.lines[a]; l != nil {
+		l.value = v // provisional local commit; directory order prevails
+	}
+	c.Stats.Add("update_writes", 1)
+	c.incCounter()
+	c.mshrs[a] = &mshr{exclusive: true, update: true, dataArrived: true, onPerformed: performed}
+	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgUpdateReq, Addr: a, Value: v})
+}
+
+// onUpdate applies a directory-serialized update to the local copy.
+func (c *Cache) onUpdate(msg Msg) {
+	if l := c.lines[msg.Addr]; l != nil {
+		l.value = msg.Value
+	} else if m := c.mshrs[msg.Addr]; m != nil && !m.dataArrived {
+		// The update overtook our pending fill: remember it so the fill
+		// installs the newer value.
+		v := msg.Value
+		m.updateOverride = &v
+	}
+	c.Stats.Add("updates_received", 1)
+	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgUpdateAck, Addr: msg.Addr})
+}
+
+// WriteLocal commits a value into an Exclusive line. It is called by the
+// processor inside a committed callback (or on an exclusive hit).
+func (c *Cache) WriteLocal(a mem.Addr, v mem.Value) {
+	l := c.lines[a]
+	if l == nil || l.state != Exclusive {
+		panic(fmt.Sprintf("cache %d: WriteLocal to non-exclusive line x%d", c.ID, a))
+	}
+	l.value = v
+}
+
+// Reserve sets the reserve bit on an Exclusive line; the bit clears
+// automatically when the counter reads zero.
+func (c *Cache) Reserve(a mem.Addr) {
+	l := c.lines[a]
+	if l == nil || l.state != Exclusive {
+		panic(fmt.Sprintf("cache %d: Reserve on non-exclusive line x%d", c.ID, a))
+	}
+	if c.counter == 0 {
+		return // nothing outstanding: reservation would clear immediately
+	}
+	l.reserved = true
+	c.Stats.Add("reserves_set", 1)
+}
+
+// Reserved reports whether the line currently has its reserve bit set.
+func (c *Cache) Reserved(a mem.Addr) bool {
+	l := c.lines[a]
+	return l != nil && l.reserved
+}
+
+// Deliver implements interconnect.Endpoint.
+func (c *Cache) Deliver(src interconnect.NodeID, m interconnect.Message) {
+	msg, ok := m.(Msg)
+	if !ok {
+		panic(fmt.Sprintf("cache %d: non-protocol message %T", c.ID, m))
+	}
+	switch msg.Kind {
+	case MsgData:
+		c.onDataArrival(msg)
+	case MsgWriteAck:
+		c.onWriteAck(msg)
+	case MsgInv:
+		c.onInv(src, msg)
+	case MsgUpdate:
+		c.onUpdate(msg)
+	case MsgFwdS, MsgFwdX:
+		c.onFwd(src, msg)
+	default:
+		panic(fmt.Sprintf("cache %d: unexpected %s", c.ID, msg.Kind))
+	}
+}
+
+func (c *Cache) onDataArrival(msg Msg) {
+	m := c.mshrs[msg.Addr]
+	if m == nil {
+		panic(fmt.Sprintf("cache %d: Data for x%d with no MSHR", c.ID, msg.Addr))
+	}
+	v := msg.Value
+	if m.updateOverride != nil {
+		// A directory-serialized update overtook this fill: install (and
+		// return) the newer value — the access legally serializes after it.
+		v = *m.updateOverride
+	}
+	m.dataArrived = true
+	m.value = v
+	m.excl = msg.Excl
+	if msg.Performed {
+		m.performed = true
+	}
+	// Install the line at commit.
+	st := Shared
+	if msg.Excl {
+		st = Exclusive
+	}
+	if m.invWhilePend && !msg.Excl {
+		// An invalidation overtook this read: bind the value to the waiting
+		// read but do not cache the line.
+		st = Invalid
+	}
+	if st == Invalid {
+		delete(c.lines, msg.Addr)
+	} else {
+		c.lines[msg.Addr] = &line{state: st, value: v}
+	}
+	// Synchronous with installation: the committed callback (which applies
+	// the processor's write) runs before any other message can touch the
+	// line.
+	if m.onData != nil {
+		m.onData(v)
+	}
+	c.maybeCompleteMSHR(msg.Addr, m)
+}
+
+func (c *Cache) onWriteAck(msg Msg) {
+	m := c.mshrs[msg.Addr]
+	if m == nil {
+		panic(fmt.Sprintf("cache %d: WriteAck for x%d with no MSHR", c.ID, msg.Addr))
+	}
+	m.performed = true
+	c.maybeCompleteMSHR(msg.Addr, m)
+}
+
+// maybeCompleteMSHR retires the transaction once all its parts are in:
+// reads need Data; writes need Data plus global performance.
+func (c *Cache) maybeCompleteMSHR(a mem.Addr, m *mshr) {
+	if c.mshrs[a] != m || !m.dataArrived {
+		return
+	}
+	if m.exclusive && !m.performed {
+		return
+	}
+	delete(c.mshrs, a)
+	if m.exclusive && m.onPerformed != nil {
+		m.onPerformed()
+	}
+	c.decCounter()
+	frees := m.onFree
+	m.onFree = nil
+	for _, fn := range frees {
+		fn()
+	}
+	// Forwards that raced ahead of our Data can be serviced now.
+	if pend := c.pendingFwds[a]; len(pend) > 0 {
+		delete(c.pendingFwds, a)
+		for _, f := range pend {
+			c.onFwd(f.src, f.msg)
+		}
+	}
+}
+
+func (c *Cache) onInv(src interconnect.NodeID, msg Msg) {
+	if m := c.mshrs[msg.Addr]; m != nil && !m.dataArrived {
+		// The invalidation overtook our pending fill.
+		m.invWhilePend = true
+	}
+	if l := c.lines[msg.Addr]; l != nil {
+		delete(c.lines, msg.Addr)
+	}
+	c.Stats.Add("invalidations", 1)
+	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgInvAck, Addr: msg.Addr})
+}
+
+// onFwd handles FwdS/FwdX from the directory: supply the line to the
+// requester. Synchronization requests for a reserved line stall until the
+// counter reads zero.
+func (c *Cache) onFwd(src interconnect.NodeID, msg Msg) {
+	// A transaction of our own is still in flight for this line (our Data
+	// has not arrived, or our write is not yet performed): park the forward
+	// until the MSHR completes so the local access stays atomic.
+	if c.mshrs[msg.Addr] != nil {
+		c.pendingFwds[msg.Addr] = append(c.pendingFwds[msg.Addr], stalledFwd{src, msg})
+		return
+	}
+	l := c.lines[msg.Addr]
+	if l == nil || l.state != Exclusive {
+		panic(fmt.Sprintf("cache %d: %s for x%d we do not own", c.ID, msg.Kind, msg.Addr))
+	}
+	if msg.Sync && l.reserved {
+		// Section 5.3: a synchronization request routed to a processor is
+		// serviced only if the reserve bit is reset; otherwise it is
+		// stalled until the counter reads zero.
+		c.Stats.Add("reserve_stalls", 1)
+		c.stalledFwds = append(c.stalledFwds, stalledFwd{src, msg})
+		return
+	}
+	c.serviceFwd(src, msg)
+}
+
+func (c *Cache) serviceFwd(src interconnect.NodeID, msg Msg) {
+	l := c.lines[msg.Addr]
+	if l == nil || l.state != Exclusive {
+		panic(fmt.Sprintf("cache %d: servicing %s for x%d we no longer own", c.ID, msg.Kind, msg.Addr))
+	}
+	switch msg.Kind {
+	case MsgFwdS:
+		l.state = Shared
+		l.reserved = false
+		c.fabric.Send(c.ID, msg.Requester, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true})
+		c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgDowngrade, Addr: msg.Addr, Value: l.value})
+	case MsgFwdX:
+		v := l.value
+		delete(c.lines, msg.Addr)
+		c.fabric.Send(c.ID, msg.Requester, Msg{Kind: MsgData, Addr: msg.Addr, Value: v, Excl: true, Performed: true})
+		c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgTransfer, Addr: msg.Addr, Value: v})
+	default:
+		panic(fmt.Sprintf("cache %d: serviceFwd of %s", c.ID, msg.Kind))
+	}
+}
+
+// Snoop returns the cached value for final-state collection after a run (the
+// machine asks the owner first, then memory).
+func (c *Cache) Snoop(a mem.Addr) (mem.Value, LineState) {
+	if l := c.lines[a]; l != nil {
+		return l.value, l.state
+	}
+	return 0, Invalid
+}

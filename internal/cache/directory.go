@@ -1,0 +1,257 @@
+package cache
+
+import (
+	"fmt"
+
+	"weakorder/internal/interconnect"
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+)
+
+// dirLine is the directory's view of one line: exclusive owner or sharer set,
+// the memory value, and a per-line transaction queue (the directory processes
+// one transaction per line at a time, queueing the rest in arrival order).
+type dirLine struct {
+	owner   interconnect.NodeID // -1 when none
+	sharers map[interconnect.NodeID]bool
+	value   mem.Value
+	busy    bool
+	queue   []queuedReq
+	// invalidation collection for the in-flight GetX
+	pendingAcks int
+	requester   interconnect.NodeID
+}
+
+type queuedReq struct {
+	src interconnect.NodeID
+	msg Msg
+}
+
+// Directory is the home node: full-map directory plus backing memory.
+type Directory struct {
+	ID     interconnect.NodeID
+	engine *sim.Engine
+	fabric interconnect.Fabric
+	memLat sim.Time
+	lines  map[mem.Addr]*dirLine
+	Stats  *stats.Counters
+}
+
+// NewDirectory builds the directory/memory controller. init supplies initial
+// memory contents; memLat is the lookup latency applied to each request it
+// processes.
+func NewDirectory(id interconnect.NodeID, engine *sim.Engine, fabric interconnect.Fabric, memLat sim.Time, init map[mem.Addr]mem.Value) *Directory {
+	if memLat < 1 {
+		memLat = 1
+	}
+	d := &Directory{
+		ID:     id,
+		engine: engine,
+		fabric: fabric,
+		memLat: memLat,
+		lines:  make(map[mem.Addr]*dirLine),
+		Stats:  stats.NewCounters(),
+	}
+	for a, v := range init {
+		d.lines[a] = d.newLine(v)
+	}
+	fabric.Attach(id, d)
+	return d
+}
+
+func (d *Directory) newLine(v mem.Value) *dirLine {
+	return &dirLine{owner: -1, sharers: make(map[interconnect.NodeID]bool), value: v}
+}
+
+func (d *Directory) line(a mem.Addr) *dirLine {
+	l := d.lines[a]
+	if l == nil {
+		l = d.newLine(0)
+		d.lines[a] = l
+	}
+	return l
+}
+
+// Deliver implements interconnect.Endpoint.
+func (d *Directory) Deliver(src interconnect.NodeID, m interconnect.Message) {
+	msg, ok := m.(Msg)
+	if !ok {
+		panic(fmt.Sprintf("directory: non-protocol message %T", m))
+	}
+	switch msg.Kind {
+	case MsgGetS, MsgGetX, MsgUpdateReq:
+		l := d.line(msg.Addr)
+		if l.busy {
+			l.queue = append(l.queue, queuedReq{src, msg})
+			d.Stats.Add("queued_requests", 1)
+			return
+		}
+		d.engine.After(d.memLat, func() { d.process(l, src, msg) })
+		l.busy = true
+	case MsgInvAck, MsgUpdateAck:
+		d.onInvAck(msg)
+	case MsgDowngrade:
+		d.onDowngrade(src, msg)
+	case MsgTransfer:
+		d.onTransfer(msg)
+	default:
+		panic(fmt.Sprintf("directory: unexpected %s", msg.Kind))
+	}
+}
+
+// process starts a transaction for a line previously marked busy.
+func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
+	switch msg.Kind {
+	case MsgGetS:
+		d.Stats.Add("gets", 1)
+		if l.owner >= 0 {
+			// Route to the exclusive owner (the paper's "the next request
+			// for it will be routed to Pi"). The line stays busy until the
+			// owner's Downgrade arrives.
+			l.requester = src
+			d.fabric.Send(d.ID, l.owner, Msg{Kind: MsgFwdS, Addr: msg.Addr, Requester: src, Sync: msg.Sync})
+			return
+		}
+		l.sharers[src] = true
+		l.busy = false
+		d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true})
+		d.drain(l)
+	case MsgGetX:
+		d.Stats.Add("getx", 1)
+		if l.owner >= 0 && l.owner != src {
+			d.fabric.Send(d.ID, l.owner, Msg{Kind: MsgFwdX, Addr: msg.Addr, Requester: src, Sync: msg.Sync})
+			l.requester = src
+			return
+		}
+		if l.owner == src {
+			// The owner re-requesting exclusivity cannot happen without
+			// evictions; treat as immediate re-grant for robustness.
+			l.busy = false
+			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true})
+			d.drain(l)
+			return
+		}
+		// Invalidate sharers (if any); forward the line to the requester in
+		// parallel, per the paper's protocol.
+		targets := make([]interconnect.NodeID, 0, len(l.sharers))
+		for s := range l.sharers {
+			if s != src {
+				targets = append(targets, s)
+			}
+		}
+		l.sharers = make(map[interconnect.NodeID]bool)
+		l.owner = src
+		if len(targets) == 0 {
+			l.busy = false
+			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true})
+			d.drain(l)
+			return
+		}
+		l.pendingAcks = len(targets)
+		l.requester = src
+		d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: false})
+		for _, t := range targets {
+			d.fabric.Send(d.ID, t, Msg{Kind: MsgInv, Addr: msg.Addr})
+		}
+	case MsgUpdateReq:
+		// Write-update data path: memory takes the value; every other
+		// holder of a copy receives it; the writer is acked once all have
+		// acknowledged (its write is then globally performed).
+		d.Stats.Add("updates", 1)
+		l.value = msg.Value
+		targets := make([]interconnect.NodeID, 0, len(l.sharers)+1)
+		for s := range l.sharers {
+			if s != src {
+				targets = append(targets, s)
+			}
+		}
+		if l.owner >= 0 && l.owner != src {
+			targets = append(targets, l.owner)
+		}
+		if len(targets) == 0 {
+			l.busy = false
+			d.fabric.Send(d.ID, src, Msg{Kind: MsgWriteAck, Addr: msg.Addr})
+			d.drain(l)
+			return
+		}
+		l.pendingAcks = len(targets)
+		l.requester = src
+		for _, t := range targets {
+			d.fabric.Send(d.ID, t, Msg{Kind: MsgUpdate, Addr: msg.Addr, Value: msg.Value})
+		}
+	default:
+		panic(fmt.Sprintf("directory: process %s", msg.Kind))
+	}
+}
+
+func (d *Directory) onInvAck(msg Msg) {
+	l := d.line(msg.Addr)
+	if !l.busy || l.pendingAcks <= 0 {
+		panic(fmt.Sprintf("directory: stray InvAck for x%d", msg.Addr))
+	}
+	l.pendingAcks--
+	if l.pendingAcks == 0 {
+		// "When the directory receives all the acks pertaining to a
+		// particular write, it sends its ack to the processor cache that
+		// issued the write."
+		d.fabric.Send(d.ID, l.requester, Msg{Kind: MsgWriteAck, Addr: msg.Addr})
+		l.busy = false
+		d.drain(l)
+	}
+}
+
+func (d *Directory) onDowngrade(src interconnect.NodeID, msg Msg) {
+	l := d.line(msg.Addr)
+	if !l.busy {
+		panic(fmt.Sprintf("directory: stray Downgrade for x%d", msg.Addr))
+	}
+	l.value = msg.Value
+	// Both the downgraded old owner and the requester (supplied directly by
+	// the old owner) now hold shared copies.
+	l.sharers[l.owner] = true
+	l.sharers[l.requester] = true
+	l.owner = -1
+	l.busy = false
+	d.drain(l)
+}
+
+func (d *Directory) onTransfer(msg Msg) {
+	l := d.line(msg.Addr)
+	if !l.busy {
+		panic(fmt.Sprintf("directory: stray Transfer for x%d", msg.Addr))
+	}
+	l.value = msg.Value
+	l.owner = l.requester
+	l.busy = false
+	d.drain(l)
+}
+
+// drain processes the next queued request for the line, if any.
+func (d *Directory) drain(l *dirLine) {
+	if l.busy || len(l.queue) == 0 {
+		return
+	}
+	q := l.queue[0]
+	l.queue = l.queue[1:]
+	l.busy = true
+	d.engine.After(d.memLat, func() { d.process(l, q.src, q.msg) })
+}
+
+// MemValue returns the directory's memory value for final-state collection.
+func (d *Directory) MemValue(a mem.Addr) (mem.Value, bool) {
+	l := d.lines[a]
+	if l == nil {
+		return 0, false
+	}
+	return l.value, true
+}
+
+// Owner returns the current exclusive owner of a line (-1 none).
+func (d *Directory) Owner(a mem.Addr) interconnect.NodeID {
+	l := d.lines[a]
+	if l == nil {
+		return -1
+	}
+	return l.owner
+}

@@ -1,0 +1,94 @@
+// Package cache implements the timed directory-based write-back invalidation
+// protocol of Section 5.2, including the Section-5.3 weak-ordering machinery:
+// the commit vs globally-performed distinction, per-processor outstanding
+// counters, per-line reserve bits, and the stalling of remote synchronization
+// requests at a reserving owner.
+//
+// Protocol summary (line size = one word, infinite capacity, full-map
+// directory):
+//
+//	cache --GetS--> dir                      read miss
+//	cache --GetX--> dir                      write/sync miss or upgrade
+//	dir --Data--> cache                      line (possibly still awaiting acks)
+//	dir --Inv--> sharers; sharer --InvAck--> dir
+//	dir --WriteAck--> cache                  all invalidations acknowledged
+//	dir --FwdS/FwdX--> owner                 route request to exclusive owner
+//	owner --Data--> requester (direct)       cache-to-cache transfer
+//	owner --Downgrade/Transfer--> dir        close the forwarded transaction
+//
+// As the paper's protocol allows, on a write miss to a shared line the
+// directory forwards the line to the requester in parallel with sending
+// invalidations; the requester's write then *commits* on Data arrival and is
+// *globally performed* on WriteAck.
+package cache
+
+import (
+	"weakorder/internal/interconnect"
+	"weakorder/internal/mem"
+)
+
+// MsgKind enumerates protocol messages.
+type MsgKind uint8
+
+const (
+	// MsgGetS requests a shared copy (read miss).
+	MsgGetS MsgKind = iota
+	// MsgGetX requests an exclusive copy (write or synchronization miss).
+	MsgGetX
+	// MsgData delivers the line to a requester.
+	MsgData
+	// MsgWriteAck tells the requester all invalidations were acknowledged
+	// (the write is globally performed).
+	MsgWriteAck
+	// MsgInv tells a sharer to invalidate its copy.
+	MsgInv
+	// MsgInvAck acknowledges an invalidation to the directory.
+	MsgInvAck
+	// MsgFwdS asks the exclusive owner to supply a shared copy to Requester
+	// and downgrade.
+	MsgFwdS
+	// MsgFwdX asks the exclusive owner to transfer the line to Requester
+	// and invalidate.
+	MsgFwdX
+	// MsgDowngrade returns ownership (with the current value) to the
+	// directory after a FwdS.
+	MsgDowngrade
+	// MsgTransfer confirms an ownership hand-off to the directory after a
+	// FwdX.
+	MsgTransfer
+	// MsgUpdateReq (cache→dir) carries a data write's value in the
+	// write-update protocol variant: the directory updates memory and
+	// multicasts MsgUpdate to the other sharers instead of invalidating.
+	MsgUpdateReq
+	// MsgUpdate (dir→sharer) delivers the new value of a line.
+	MsgUpdate
+	// MsgUpdateAck (sharer→dir) acknowledges an update.
+	MsgUpdateAck
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	names := [...]string{"GetS", "GetX", "Data", "WriteAck", "Inv", "InvAck",
+		"FwdS", "FwdX", "Downgrade", "Transfer", "UpdateReq", "Update", "UpdateAck"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "Msg?"
+}
+
+// Msg is a protocol message. Which fields are meaningful depends on Kind.
+type Msg struct {
+	Kind  MsgKind
+	Addr  mem.Addr
+	Value mem.Value
+	// Requester is carried by FwdS/FwdX: the cache the owner must supply.
+	Requester interconnect.NodeID
+	// Sync marks a request originating from a synchronization operation;
+	// reserve-bit stalling applies only to these (Section 5.3).
+	Sync bool
+	// Excl marks Data granting exclusive (dirty) rights.
+	Excl bool
+	// Performed marks Data whose transaction is already globally performed
+	// (no invalidation acknowledgements outstanding).
+	Performed bool
+}

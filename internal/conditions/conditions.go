@@ -1,0 +1,220 @@
+// Package conditions checks a timed run against the sufficient conditions of
+// Section 5.1 — the paper's own specification of when hardware is weakly
+// ordered with respect to DRF0. The timed machine logs, for every access, the
+// cycle at which it issued, committed, and was globally performed; Check
+// validates:
+//
+//	C2: writes to the same location are totally ordered by commit time.
+//	C3: synchronization operations on the same location commit in the same
+//	    order they are globally performed, and a later one does not commit
+//	    before an earlier one is globally performed.
+//	C4: a processor generates no new access until all its previous
+//	    synchronization operations have committed.
+//	C5: once a synchronization operation S by Pi has committed, no other
+//	    processor's synchronization operation on the same location commits
+//	    until all of Pi's reads before S have committed and all of Pi's
+//	    writes before S are globally performed.
+//
+// Condition 1 (intra-processor dependencies) is structural: the interpreter
+// resolves operations one at a time, so it cannot be violated and is not
+// logged. The "observed by all processors in commit order" half of C2 is a
+// statement about per-processor observation that the log does not carry; the
+// recorded traces are separately checked for sequential consistency, which
+// subsumes it for DRF0 programs.
+//
+// The checker is how the repository demonstrates the reserve-bit ablation is
+// broken: PolicyWODef2NoReserve produces C3/C5 violations on exactly the runs
+// whose results stop being sequentially consistent.
+package conditions
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+)
+
+// AccessTiming is one access's lifecycle in a timed run. For reads, Commit
+// and Perform are both the cycle the value was bound; for writes, Commit is
+// the local cache update and Perform the arrival of the last invalidation
+// acknowledgement.
+type AccessTiming struct {
+	Proc    int
+	OpIndex int
+	Op      mem.Op
+	Addr    mem.Addr
+	Issue   sim.Time
+	Commit  sim.Time
+	Perform sim.Time
+}
+
+// String implements fmt.Stringer.
+func (a AccessTiming) String() string {
+	return fmt.Sprintf("P%d#%d %s(x%d) issue=%d commit=%d perform=%d",
+		a.Proc, a.OpIndex, a.Op, a.Addr, a.Issue, a.Commit, a.Perform)
+}
+
+// Violation is one failed condition instance.
+type Violation struct {
+	Condition string // "C2".."C5"
+	Detail    string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Condition + ": " + v.Detail }
+
+// Report is the verdict for one run.
+type Report struct {
+	Accesses   int
+	Violations []Violation
+}
+
+// OK reports whether all checked conditions held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String implements fmt.Stringer.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("Section 5.1 conditions hold over %d accesses", r.Accesses)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 5.1 conditions violated (%d accesses):\n", r.Accesses)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Check validates the log against the DRF0 conditions. Entries may be in any
+// order; they are grouped and sorted internally.
+func Check(log []AccessTiming) *Report { return check(log, false) }
+
+// CheckRefined validates the log against the Section-6 refined conditions,
+// under which read-only synchronization operations are not serialized and do
+// not release: C3's pairwise ordering and C5's hand-off guarantee are only
+// required when the earlier synchronization operation has a write component
+// (and, for C3's cross-processor commit gate, the later one reads). This is
+// the discipline PolicyWODef2DRF1 implements.
+func CheckRefined(log []AccessTiming) *Report { return check(log, true) }
+
+func check(log []AccessTiming, refined bool) *Report {
+	rep := &Report{Accesses: len(log)}
+	add := func(cond, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{Condition: cond, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Structural sanity.
+	for _, a := range log {
+		if a.Commit < a.Issue || a.Perform < a.Commit {
+			add("log", "non-monotonic lifecycle: %s", a)
+		}
+	}
+
+	// C2: same-location writes totally ordered by commit.
+	byAddrWrites := map[mem.Addr][]AccessTiming{}
+	for _, a := range log {
+		if a.Op.Writes() {
+			byAddrWrites[a.Addr] = append(byAddrWrites[a.Addr], a)
+		}
+	}
+	for addr, ws := range byAddrWrites {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Commit < ws[j].Commit })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].Commit == ws[i-1].Commit && ws[i].Proc != ws[i-1].Proc {
+				add("C2", "writes to x%d by P%d and P%d commit at the same cycle %d",
+					addr, ws[i-1].Proc, ws[i].Proc, ws[i].Commit)
+			}
+		}
+	}
+
+	// C3: same-location syncs commit in perform order; later commit waits
+	// for earlier perform.
+	byAddrSyncs := map[mem.Addr][]AccessTiming{}
+	for _, a := range log {
+		if a.Op.IsSync() {
+			byAddrSyncs[a.Addr] = append(byAddrSyncs[a.Addr], a)
+		}
+	}
+	for addr, ss := range byAddrSyncs {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Commit < ss[j].Commit })
+		for i := 1; i < len(ss); i++ {
+			prev, cur := ss[i-1], ss[i]
+			if refined && (!prev.Op.Writes() || !cur.Op.Writes()) {
+				// Read-only synchronization is unserialized under the
+				// refinement; only write-bearing sync pairs stay ordered.
+				continue
+			}
+			if cur.Perform < prev.Perform {
+				add("C3", "syncs on x%d perform out of commit order: %s then %s", addr, prev, cur)
+			}
+			if cur.Proc != prev.Proc && cur.Commit < prev.Perform {
+				add("C3", "sync on x%d by P%d commits at %d before P%d's sync performs at %d",
+					addr, cur.Proc, cur.Commit, prev.Proc, prev.Perform)
+			}
+		}
+	}
+
+	// Per-processor program-order views for C4/C5.
+	byProc := map[int][]AccessTiming{}
+	for _, a := range log {
+		byProc[a.Proc] = append(byProc[a.Proc], a)
+	}
+	for p, as := range byProc {
+		sort.Slice(as, func(i, j int) bool { return as[i].OpIndex < as[j].OpIndex })
+		byProc[p] = as
+	}
+
+	// C4: issue waits for previous syncs' commits.
+	for p, as := range byProc {
+		var lastSyncCommit sim.Time
+		for _, a := range as {
+			if a.Issue < lastSyncCommit {
+				add("C4", "P%d issued %s at %d before its previous sync committed at %d",
+					p, a, a.Issue, lastSyncCommit)
+			}
+			if a.Op.IsSync() && a.Commit > lastSyncCommit {
+				lastSyncCommit = a.Commit
+			}
+		}
+	}
+
+	// C5: for same-location syncs S1 (Pi) then S2 (Pj != Pi) in commit
+	// order, S2's commit waits for Pi's pre-S1 reads to commit and writes
+	// to perform.
+	for addr, ss := range byAddrSyncs {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Commit < ss[j].Commit })
+		for i := 0; i < len(ss); i++ {
+			s1 := ss[i]
+			if refined && !s1.Op.Writes() {
+				continue // a read-only sync does not release under the refinement
+			}
+			// Find the next sync on this location by a different processor.
+			for j := i + 1; j < len(ss); j++ {
+				s2 := ss[j]
+				if s2.Proc == s1.Proc {
+					continue
+				}
+				if refined && !s2.Op.Reads() {
+					continue // a write-only sync does not acquire under the refinement
+				}
+				for _, a := range byProc[s1.Proc] {
+					if a.OpIndex >= s1.OpIndex {
+						break
+					}
+					if a.Op.Writes() && s2.Commit < a.Perform {
+						add("C5", "sync on x%d by P%d commits at %d before P%d's earlier write performs (%s)",
+							addr, s2.Proc, s2.Commit, s1.Proc, a)
+					}
+					if !a.Op.Writes() && a.Op.Reads() && s2.Commit < a.Commit {
+						add("C5", "sync on x%d by P%d commits at %d before P%d's earlier read commits (%s)",
+							addr, s2.Proc, s2.Commit, s1.Proc, a)
+					}
+				}
+				break // only the immediately following foreign sync needs S1's guarantees directly; later ones inherit transitively via C3
+			}
+		}
+	}
+	return rep
+}

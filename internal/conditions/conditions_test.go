@@ -1,0 +1,187 @@
+package conditions_test
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/conditions"
+
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/proc"
+	"weakorder/internal/sim"
+	"weakorder/internal/workload"
+)
+
+// at builds an conditions.AccessTiming tersely.
+func at(p, idx int, op mem.Op, a mem.Addr, issue, commit, perform int64) conditions.AccessTiming {
+	return conditions.AccessTiming{Proc: p, OpIndex: idx, Op: op, Addr: a,
+		Issue: sim.Time(issue), Commit: sim.Time(commit), Perform: sim.Time(perform)}
+}
+
+func TestCheckCleanLog(t *testing.T) {
+	log := []conditions.AccessTiming{
+		at(0, 0, mem.OpWrite, 0, 1, 2, 10),
+		at(0, 1, mem.OpSyncWrite, 1, 3, 12, 12),
+		at(1, 0, mem.OpSyncRMW, 1, 5, 15, 15),
+		at(1, 1, mem.OpRead, 0, 16, 17, 17),
+	}
+	rep := conditions.Check(log)
+	if !rep.OK() {
+		t.Fatalf("clean log flagged: %s", rep)
+	}
+}
+
+func TestCheckC3Violation(t *testing.T) {
+	log := []conditions.AccessTiming{
+		at(0, 0, mem.OpSyncWrite, 1, 1, 2, 20), // performs late
+		at(1, 0, mem.OpSyncRMW, 1, 3, 5, 6),    // commits before predecessor performs
+	}
+	rep := conditions.Check(log)
+	if rep.OK() || !strings.Contains(rep.String(), "C3") {
+		t.Fatalf("C3 not caught: %s", rep)
+	}
+}
+
+func TestCheckC4Violation(t *testing.T) {
+	log := []conditions.AccessTiming{
+		at(0, 0, mem.OpSyncWrite, 1, 1, 10, 10),
+		at(0, 1, mem.OpRead, 0, 5, 6, 6), // issued before the sync committed
+	}
+	rep := conditions.Check(log)
+	if rep.OK() || !strings.Contains(rep.String(), "C4") {
+		t.Fatalf("C4 not caught: %s", rep)
+	}
+}
+
+func TestCheckC5Violation(t *testing.T) {
+	log := []conditions.AccessTiming{
+		at(0, 0, mem.OpWrite, 0, 1, 2, 50),    // payload write performs very late
+		at(0, 1, mem.OpSyncWrite, 1, 3, 4, 4), // release commits early
+		at(1, 0, mem.OpSyncRMW, 1, 5, 6, 6),   // acquire commits before payload performs
+		at(1, 1, mem.OpRead, 0, 7, 8, 8),
+	}
+	rep := conditions.Check(log)
+	if rep.OK() || !strings.Contains(rep.String(), "C5") {
+		t.Fatalf("C5 not caught: %s", rep)
+	}
+	// Under the refinement nothing changes here (the release writes and the
+	// acquire reads), so it is still a violation.
+	if conditions.CheckRefined(log).OK() {
+		t.Fatal("refined check should also flag a write-bearing release")
+	}
+}
+
+func TestRefinedExemptsReadOnlyRelease(t *testing.T) {
+	log := []conditions.AccessTiming{
+		at(0, 0, mem.OpWrite, 0, 1, 2, 50),
+		at(0, 1, mem.OpSyncRead, 1, 3, 4, 4), // Test: no release under DRF1
+		at(1, 0, mem.OpSyncRMW, 1, 5, 6, 6),
+	}
+	if conditions.Check(log).OK() {
+		t.Fatal("DRF0 conditions should flag the unprotected hand-off")
+	}
+	if rep := conditions.CheckRefined(log); !rep.OK() {
+		t.Fatalf("refined conditions should exempt a read-only release: %s", rep)
+	}
+}
+
+func TestCheckNonMonotonicLog(t *testing.T) {
+	rep := conditions.Check([]conditions.AccessTiming{at(0, 0, mem.OpRead, 0, 5, 3, 3)})
+	if rep.OK() {
+		t.Fatal("commit before issue accepted")
+	}
+}
+
+// --- End-to-end: the timed machine's logs against the paper's conditions ---
+
+func runWithTimings(t *testing.T, pol proc.Policy) *machine.Result {
+	t.Helper()
+	p := workload.ProducerConsumer(6, 5)
+	cfg := machine.NewConfig(pol)
+	cfg.RecordTimings = true
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timings) == 0 {
+		t.Fatal("no timings recorded")
+	}
+	return res
+}
+
+func TestTimedMachinesSatisfyConditions(t *testing.T) {
+	for _, pol := range []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2} {
+		res := runWithTimings(t, pol)
+		if rep := conditions.Check(res.Timings); !rep.OK() {
+			t.Errorf("%s violates Section 5.1: %s", pol, rep)
+		}
+	}
+}
+
+// TestConditionsHoldUnderJitter stresses the same guarantee across jittered
+// non-FIFO schedules, where message races are most likely to expose protocol
+// bugs.
+func TestConditionsHoldUnderJitter(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		p := workload.Fig3N(3, 4, 0)
+		cfg := machine.NewConfig(proc.PolicyWODef2)
+		cfg.NetJitter = 80
+		cfg.FIFO = false
+		cfg.Seed = seed
+		cfg.RecordTimings = true
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := conditions.Check(res.Timings); !rep.OK() {
+			t.Errorf("seed %d: %s", seed, rep)
+		}
+	}
+}
+
+func TestDRF1MachineSatisfiesRefinedConditions(t *testing.T) {
+	res := runWithTimings(t, proc.PolicyWODef2DRF1)
+	if rep := conditions.CheckRefined(res.Timings); !rep.OK() {
+		t.Errorf("WO-def2-drf1 violates the refined conditions: %s", rep)
+	}
+}
+
+func TestNoReserveAblationViolatesConditions(t *testing.T) {
+	// The violation needs the payload write's invalidations to still be in
+	// flight when the remote sync commits. On the serialized bus with many
+	// sharers the invalidation round is long (one bus slot per message)
+	// while the lock hand-off is a few messages, so the window is wide and
+	// deterministic. The same configurations must stay clean under the real
+	// Definition-2 policy.
+	// Without reserve bits the violating schedule needs the release's
+	// hand-off to outrun some invalidation acknowledgement; on symmetric
+	// fabrics the two paths have similar length, so the test searches
+	// jittered-network schedules by seed. Whatever seed exposes the
+	// ablation must leave the real Definition-2 policy clean.
+	run := func(pol proc.Policy, seed int64) *conditions.Report {
+		p := workload.Fig3N(3, 4, 0)
+		cfg := machine.NewConfig(pol)
+		cfg.NetJitter = 80
+		cfg.Seed = seed
+		cfg.RecordTimings = true
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conditions.Check(res.Timings)
+	}
+	caught := false
+	for seed := int64(0); seed < 40; seed++ {
+		if rep := run(proc.PolicyWODef2NoReserve, seed); !rep.OK() {
+			caught = true
+			if clean := run(proc.PolicyWODef2, seed); !clean.OK() {
+				t.Errorf("real def2 violated conditions at seed %d: %s", seed, clean)
+			}
+			break
+		}
+	}
+	if !caught {
+		t.Error("the reserve-bit ablation never violated the Section-5.1 conditions")
+	}
+}

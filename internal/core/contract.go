@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/mem"
+)
+
+// OutcomeSet is the set of distinct results a machine can produce for a
+// program, keyed by mem.Result.Key().
+type OutcomeSet map[string]mem.Result
+
+// Add inserts a result.
+func (s OutcomeSet) Add(r mem.Result) { s[r.Key()] = r }
+
+// Contains reports whether the set holds the result.
+func (s OutcomeSet) Contains(r mem.Result) bool {
+	_, ok := s[r.Key()]
+	return ok
+}
+
+// Keys returns the sorted result keys, for deterministic reporting.
+func (s OutcomeSet) Keys() []string {
+	ks := make([]string, 0, len(s))
+	for k := range s {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ContractReport records the Definition-2 check for one program on one
+// hardware model: hardware is weakly ordered w.r.t. a synchronization model
+// iff it appears sequentially consistent to all software obeying the model.
+// For a program that obeys the model, that means every outcome the hardware
+// can produce must be an outcome some sequentially consistent execution can
+// produce.
+type ContractReport struct {
+	Program  string
+	Hardware string
+	// ObeysModel is whether the program obeys the synchronization model
+	// (Definition 3). When false, Definition 2 promises nothing and Extra
+	// outcomes are informational only.
+	ObeysModel bool
+	// SCOutcomes / HWOutcomes are the result-set sizes.
+	SCOutcomes, HWOutcomes int
+	// Extra lists hardware outcomes outside the SC set.
+	Extra []mem.Result
+}
+
+// Honored reports whether the hardware honored its side of the contract on
+// this program: vacuously true for programs that violate the model.
+func (c *ContractReport) Honored() bool {
+	return !c.ObeysModel || len(c.Extra) == 0
+}
+
+// String implements fmt.Stringer.
+func (c *ContractReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: ", c.Program, c.Hardware)
+	switch {
+	case !c.ObeysModel && len(c.Extra) == 0:
+		fmt.Fprintf(&b, "program violates model (contract vacuous); %d hw outcomes all within %d SC outcomes anyway", c.HWOutcomes, c.SCOutcomes)
+	case !c.ObeysModel:
+		fmt.Fprintf(&b, "program violates model (contract vacuous); %d non-SC outcome(s) observed", len(c.Extra))
+	case len(c.Extra) == 0:
+		fmt.Fprintf(&b, "contract honored: %d hw outcomes ⊆ %d SC outcomes", c.HWOutcomes, c.SCOutcomes)
+	default:
+		fmt.Fprintf(&b, "CONTRACT VIOLATED: %d outcome(s) outside the SC set", len(c.Extra))
+	}
+	return b.String()
+}
+
+// CheckContract performs the Definition-2 containment check given the SC
+// outcome set, the hardware outcome set, and whether the program obeys the
+// synchronization model.
+func CheckContract(progName, hwName string, obeysModel bool, sc, hw OutcomeSet) *ContractReport {
+	rep := &ContractReport{
+		Program:    progName,
+		Hardware:   hwName,
+		ObeysModel: obeysModel,
+		SCOutcomes: len(sc),
+		HWOutcomes: len(hw),
+	}
+	for _, k := range hw.Keys() {
+		if _, ok := sc[k]; !ok {
+			rep.Extra = append(rep.Extra, hw[k])
+		}
+	}
+	return rep
+}

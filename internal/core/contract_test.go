@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+func res(reads map[mem.ReadKey]mem.Value, final map[mem.Addr]mem.Value) mem.Result {
+	if reads == nil {
+		reads = map[mem.ReadKey]mem.Value{}
+	}
+	if final == nil {
+		final = map[mem.Addr]mem.Value{}
+	}
+	return mem.Result{Reads: reads, Final: final}
+}
+
+func TestOutcomeSetBasics(t *testing.T) {
+	s := make(OutcomeSet)
+	r1 := res(map[mem.ReadKey]mem.Value{{Proc: 0, Index: 0}: 1}, nil)
+	r2 := res(map[mem.ReadKey]mem.Value{{Proc: 0, Index: 0}: 2}, nil)
+	s.Add(r1)
+	if !s.Contains(r1) || s.Contains(r2) {
+		t.Fatal("containment wrong")
+	}
+	s.Add(r1)
+	if len(s) != 1 {
+		t.Fatal("duplicate result created a new entry")
+	}
+	s.Add(r2)
+	if len(s.Keys()) != 2 {
+		t.Fatal("keys wrong")
+	}
+}
+
+func TestCheckContractHonored(t *testing.T) {
+	sc := make(OutcomeSet)
+	hw := make(OutcomeSet)
+	a := res(nil, map[mem.Addr]mem.Value{0: 1})
+	b := res(nil, map[mem.Addr]mem.Value{0: 2})
+	sc.Add(a)
+	sc.Add(b)
+	hw.Add(a)
+	rep := CheckContract("p", "m", true, sc, hw)
+	if !rep.Honored() || len(rep.Extra) != 0 {
+		t.Fatalf("subset should honor the contract: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "contract honored") {
+		t.Errorf("report text: %s", rep)
+	}
+}
+
+func TestCheckContractViolated(t *testing.T) {
+	sc := make(OutcomeSet)
+	hw := make(OutcomeSet)
+	sc.Add(res(nil, map[mem.Addr]mem.Value{0: 1}))
+	hw.Add(res(nil, map[mem.Addr]mem.Value{0: 1}))
+	hw.Add(res(nil, map[mem.Addr]mem.Value{0: 99}))
+	rep := CheckContract("p", "m", true, sc, hw)
+	if rep.Honored() {
+		t.Fatal("extra outcome must violate the contract")
+	}
+	if len(rep.Extra) != 1 {
+		t.Fatalf("extra = %d, want 1", len(rep.Extra))
+	}
+	if !strings.Contains(rep.String(), "CONTRACT VIOLATED") {
+		t.Errorf("report text: %s", rep)
+	}
+}
+
+func TestCheckContractVacuousForRacyPrograms(t *testing.T) {
+	sc := make(OutcomeSet)
+	hw := make(OutcomeSet)
+	sc.Add(res(nil, map[mem.Addr]mem.Value{0: 1}))
+	hw.Add(res(nil, map[mem.Addr]mem.Value{0: 99}))
+	rep := CheckContract("p", "m", false, sc, hw)
+	if !rep.Honored() {
+		t.Fatal("Definition 2 promises nothing for programs violating the model")
+	}
+	if !strings.Contains(rep.String(), "vacuous") {
+		t.Errorf("report text: %s", rep)
+	}
+}
+
+func TestResultKeyDistinguishes(t *testing.T) {
+	// Same final memory, different read values: distinct results.
+	r1 := res(map[mem.ReadKey]mem.Value{{Proc: 1, Index: 3}: 5}, map[mem.Addr]mem.Value{2: 7})
+	r2 := res(map[mem.ReadKey]mem.Value{{Proc: 1, Index: 3}: 6}, map[mem.Addr]mem.Value{2: 7})
+	if r1.Key() == r2.Key() {
+		t.Fatal("distinct results share a key")
+	}
+	if !r1.Equal(r1) || r1.Equal(r2) {
+		t.Fatal("Equal wrong")
+	}
+	// Key is insensitive to map iteration order: rebuild and compare.
+	r3 := res(map[mem.ReadKey]mem.Value{{Proc: 1, Index: 3}: 5}, map[mem.Addr]mem.Value{2: 7})
+	if r1.Key() != r3.Key() {
+		t.Fatal("equal results have different keys")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"weakorder/internal/mem"
+)
+
+// SyncModel decides which pairs of synchronization operations create
+// synchronization-order edges. DRF0 (Definition 3) lets every ordered pair of
+// sync operations on the same location synchronize; the Section-6 refinement
+// (here called DRF1) removes read-only synchronization operations from the
+// releasing side, so that spinning Tests do not have to be serialized by the
+// hardware.
+type SyncModel interface {
+	// Name identifies the model in reports.
+	Name() string
+	// SyncEdge reports whether s1 (completing earlier) → s2 (completing
+	// later), both synchronization operations on the same location,
+	// contributes a synchronization-order edge. Both arguments are
+	// guaranteed to satisfy Op.IsSync() and share an address.
+	SyncEdge(s1, s2 mem.Event) bool
+}
+
+// DRF0 is the paper's Data-Race-Free-0 synchronization model: all
+// synchronization operations to the same location are mutually ordering.
+type DRF0 struct{}
+
+// Name implements SyncModel.
+func (DRF0) Name() string { return "DRF0" }
+
+// SyncEdge implements SyncModel.
+func (DRF0) SyncEdge(s1, s2 mem.Event) bool { return true }
+
+// DRF1 is the Section-6 refinement: "a processor cannot use a read-only
+// synchronization operation to order its previous accesses with respect to
+// subsequent synchronization operations of other processors". Concretely, an
+// edge s1 → s2 requires s1 to have a write component (Unset or TestAndSet can
+// release; a bare Test cannot), and s2 to have a read component (an Unset
+// cannot acquire what a previous processor released — it observes nothing).
+type DRF1 struct{}
+
+// Name implements SyncModel.
+func (DRF1) Name() string { return "DRF1" }
+
+// SyncEdge implements SyncModel.
+func (DRF1) SyncEdge(s1, s2 mem.Event) bool {
+	return s1.Op.Writes() && s2.Op.Reads()
+}
+
+// Unconstrained is the degenerate synchronization model that never creates
+// synchronization edges; under it, only single-threaded programs are
+// race-free. It exists as the base case for tests and for Lamport-style
+// hardware that must treat every access as potential synchronization.
+type Unconstrained struct{}
+
+// Name implements SyncModel.
+func (Unconstrained) Name() string { return "unconstrained" }
+
+// SyncEdge implements SyncModel.
+func (Unconstrained) SyncEdge(s1, s2 mem.Event) bool { return false }
+
+// Orders bundles the relations of one analyzed execution. All relations are
+// indexed by mem.EventID (dense ints).
+type Orders struct {
+	Exec *mem.Execution
+	// PO is program order: e1 → e2 iff same processor and e1 earlier.
+	PO *Relation
+	// SO is synchronization order under the chosen model: edges between
+	// synchronization operations on the same location, directed by
+	// completion order.
+	SO *Relation
+	// HB is the happens-before relation, the irreflexive transitive closure
+	// of PO ∪ SO.
+	HB *Relation
+}
+
+// BuildOrders computes po, so (under model m) and hb = (po ∪ so)+ for an
+// idealized execution. The execution must carry a completion order
+// (Completed non-nil): synchronization order is defined by completion times.
+//
+// The paper augments every execution with hypothetical initializing writes
+// ordered (through a hypothetical synchronization chain) before all real
+// accesses, and final reads after them; rather than materializing those
+// events, the initial state is treated as happening-before everything and the
+// final state after everything, which is equivalent for every check in this
+// package.
+func BuildOrders(e *mem.Execution, m SyncModel) (*Orders, error) {
+	if e.Completed == nil {
+		return nil, fmt.Errorf("core: execution has no completion order; BuildOrders requires an idealized execution")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid execution: %w", err)
+	}
+	n := e.Len()
+	po := NewRelation(n)
+	for _, ids := range e.ByProc() {
+		// Adjacent pairs suffice: closure fills in the rest.
+		for i := 1; i < len(ids); i++ {
+			po.Add(int(ids[i-1]), int(ids[i]))
+		}
+	}
+	so := NewRelation(n)
+	// Group synchronization operations by address, ordered by completion.
+	completedPos := make([]int, n)
+	for pos, id := range e.Completed {
+		completedPos[id] = pos
+	}
+	byAddr := make(map[mem.Addr][]mem.EventID)
+	for _, ev := range e.Events {
+		if ev.Op.IsSync() {
+			byAddr[ev.Addr] = append(byAddr[ev.Addr], ev.ID)
+		}
+	}
+	for _, ids := range byAddr {
+		sort.Slice(ids, func(i, j int) bool {
+			return completedPos[ids[i]] < completedPos[ids[j]]
+		})
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				s1, s2 := e.Event(ids[i]), e.Event(ids[j])
+				if m.SyncEdge(s1, s2) {
+					so.Add(int(ids[i]), int(ids[j]))
+				}
+			}
+		}
+	}
+	hb := po.Clone()
+	hb.Union(so)
+	hb.TransitiveClose()
+	if !hb.Irreflexive() {
+		// Cannot happen for a valid completion order (po and so both follow
+		// completion positions), so a cycle means corrupted input.
+		return nil, fmt.Errorf("core: happens-before has a cycle; completion order is inconsistent")
+	}
+	return &Orders{Exec: e, PO: po, SO: so, HB: hb}, nil
+}
+
+// HappensBefore reports whether a → b in hb.
+func (o *Orders) HappensBefore(a, b mem.EventID) bool { return o.HB.Has(int(a), int(b)) }
+
+// Ordered reports whether a and b are ordered either way by hb.
+func (o *Orders) Ordered(a, b mem.EventID) bool {
+	return o.HB.Has(int(a), int(b)) || o.HB.Has(int(b), int(a))
+}

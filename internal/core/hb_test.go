@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+// handoff builds the canonical release/acquire execution:
+//
+//	P0: W(x)=1, Sw(s)=1        P1: Srmw(s)=1/w2, R(x)=1
+//
+// completing in that order.
+func handoff() *mem.Execution {
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 1, Value: 1, WValue: 2})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	return e
+}
+
+func TestBuildOrdersHandoff(t *testing.T) {
+	ord, err := BuildOrders(handoff(), DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Program order within each processor.
+	if !ord.PO.Has(0, 1) || !ord.PO.Has(2, 3) {
+		t.Error("program order edges missing")
+	}
+	if ord.PO.Has(1, 2) {
+		t.Error("program order crossed processors")
+	}
+	// Synchronization order between the two sync ops on s.
+	if !ord.SO.Has(1, 2) {
+		t.Error("synchronization order edge missing")
+	}
+	// Happens-before bridges W(x) to R(x).
+	if !ord.HappensBefore(0, 3) {
+		t.Error("W(x) should happen-before R(x) via the sync chain")
+	}
+	if ord.HappensBefore(3, 0) {
+		t.Error("happens-before should not be reversed")
+	}
+	if !ord.Ordered(0, 3) || !ord.Ordered(3, 0) {
+		t.Error("Ordered should hold either way around")
+	}
+}
+
+func TestBuildOrdersRequiresCompletionOrder(t *testing.T) {
+	e := handoff()
+	e.Completed = nil
+	if _, err := BuildOrders(e, DRF0{}); err == nil {
+		t.Fatal("expected error without completion order")
+	}
+}
+
+func TestDRF1EdgeRule(t *testing.T) {
+	// A read-only sync (Test) must not act as a release under DRF1.
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})    // W(x)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncRead, Addr: 1, Value: 0}) // Test(s): read-only release attempt
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 1, WValue: 1}) // TAS(s)
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})     // R(x)
+	ord0, err := BuildOrders(e, DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ord0.HappensBefore(0, 3) {
+		t.Error("DRF0: any sync pair on s should order W(x) before R(x)")
+	}
+	ord1, err := BuildOrders(e, DRF1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord1.HappensBefore(0, 3) {
+		t.Error("DRF1: a read-only sync must not release")
+	}
+
+	// The reverse: a sync write can release but a sync write cannot acquire.
+	e2 := mem.NewExecution(2)
+	e2.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e2.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1}) // Unset: release ok
+	e2.Append(mem.Access{Proc: 1, Op: mem.OpSyncWrite, Addr: 1, Value: 2}) // Unset: cannot acquire
+	e2.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	ord2, err := BuildOrders(e2, DRF1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord2.HappensBefore(0, 3) {
+		t.Error("DRF1: a write-only sync must not acquire")
+	}
+}
+
+func TestUnconstrainedModel(t *testing.T) {
+	ord, err := BuildOrders(handoff(), Unconstrained{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord.SO.Count() != 0 {
+		t.Error("unconstrained model must create no sync edges")
+	}
+	if ord.HappensBefore(0, 3) {
+		t.Error("without sync edges W(x) must not happen-before R(x)")
+	}
+}
+
+func TestSyncOrderFollowsCompletionNotProgramText(t *testing.T) {
+	// P1's sync completes first even though P0 appears first in the event
+	// list construction below; so must point P1 -> P0.
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncWrite, Addr: 5, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 5, Value: 2})
+	ord, err := BuildOrders(e, DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ord.SO.Has(0, 1) {
+		t.Error("so should follow completion order (event 0 completed first)")
+	}
+	if ord.SO.Has(1, 0) {
+		t.Error("so should be antisymmetric here")
+	}
+}
+
+func TestSyncOrderDifferentLocationsNoEdge(t *testing.T) {
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncWrite, Addr: 2, Value: 1})
+	ord, err := BuildOrders(e, DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord.SO.Count() != 0 {
+		t.Error("sync ops on different locations must not synchronize")
+	}
+}
+
+func TestHBIsTransitiveAndIrreflexive(t *testing.T) {
+	// Chain across three processors via two sync locations, as in the
+	// paper's op(P1,x) -> S(P1,s) -> S(P2,s) -> S(P2,t) -> S(P3,t) -> op(P3,x).
+	e := mem.NewExecution(3)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})      // 0: op(P1,x)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 10, Value: 1}) // 1: S(P1,s)
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 10, Value: 1})   // 2: S(P2,s)
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncWrite, Addr: 11, Value: 1}) // 3: S(P2,t)
+	e.Append(mem.Access{Proc: 2, Op: mem.OpSyncRMW, Addr: 11, Value: 1})   // 4: S(P3,t)
+	e.Append(mem.Access{Proc: 2, Op: mem.OpRead, Addr: 0, Value: 1})       // 5: op(P3,x)
+	ord, err := BuildOrders(e, DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ord.HappensBefore(0, 5) {
+		t.Error("hb should span the two-hop sync chain (the paper's example)")
+	}
+	if !ord.HB.Irreflexive() {
+		t.Error("hb must be irreflexive")
+	}
+	// Transitivity: every composed pair is present.
+	for _, p := range ord.HB.Pairs() {
+		ord.HB.Successors(p[1], func(c int) {
+			if !ord.HB.Has(p[0], c) {
+				t.Errorf("hb not transitive: (%d,%d) and (%d,%d) but no (%d,%d)", p[0], p[1], p[1], c, p[0], c)
+			}
+		})
+	}
+}

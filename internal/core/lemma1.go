@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+)
+
+// Lemma1Report is the verdict of checking Appendix A's Lemma 1 condition on
+// one idealized execution: a system is weakly ordered w.r.t. DRF0 iff for any
+// execution of a DRF0 program there is a happens-before relation such that
+// every read appears in it and returns the value written by the last write on
+// the same variable ordered before it by happens-before.
+type Lemma1Report struct {
+	// Failures lists the reads whose value does not match the hb-last write.
+	Failures []Lemma1Failure
+	// Ambiguous lists reads with more than one hb-maximal preceding write —
+	// possible only when the execution has a race, since DRF0 orders all
+	// conflicting accesses (the paper notes the last write "is unique for
+	// DRF0").
+	Ambiguous []mem.Event
+}
+
+// Lemma1Failure records one read that violated the read-value condition.
+type Lemma1Failure struct {
+	Read mem.Event
+	// LastWrite is the hb-last write to the read's location (NoEvent when
+	// the read should have returned the initial value).
+	LastWrite mem.EventID
+	// Expected is the value the read should have returned.
+	Expected mem.Value
+}
+
+// OK reports whether the execution satisfies Lemma 1's condition.
+func (r *Lemma1Report) OK() bool { return len(r.Failures) == 0 && len(r.Ambiguous) == 0 }
+
+// String implements fmt.Stringer.
+func (r *Lemma1Report) String() string {
+	if r.OK() {
+		return "execution satisfies Lemma 1 (every read returns its hb-last write)"
+	}
+	return fmt.Sprintf("Lemma 1 violated: %d read-value failure(s), %d ambiguous read(s)",
+		len(r.Failures), len(r.Ambiguous))
+}
+
+// CheckLemma1 verifies the read-value condition of Lemma 1 against the
+// happens-before relation already built for the execution. init supplies
+// initial memory values (the paper's hypothetical initializing writes, which
+// happen-before everything).
+//
+// For each event with a read component, the hb-maximal writes to the same
+// location ordered before it are computed; with exactly one (or none — the
+// initial value) the read's value is compared against it. The read component
+// of an OpSyncRMW is treated like any other read; the write it is paired with
+// is its own event and is never its own hb-predecessor.
+func CheckLemma1(ord *Orders, init map[mem.Addr]mem.Value) *Lemma1Report {
+	e := ord.Exec
+	rep := &Lemma1Report{}
+	for _, ev := range e.Events {
+		if !ev.Op.Reads() {
+			continue
+		}
+		// Gather writes to the same address hb-before the read.
+		var preds []mem.Event
+		for _, w := range e.Events {
+			if w.ID == ev.ID || !w.Op.Writes() || w.Addr != ev.Addr {
+				continue
+			}
+			if ord.HappensBefore(w.ID, ev.ID) {
+				preds = append(preds, w)
+			}
+		}
+		// Keep hb-maximal ones.
+		var maximal []mem.Event
+		for _, w := range preds {
+			isMax := true
+			for _, w2 := range preds {
+				if w2.ID != w.ID && ord.HappensBefore(w.ID, w2.ID) {
+					isMax = false
+					break
+				}
+			}
+			if isMax {
+				maximal = append(maximal, w)
+			}
+		}
+		switch len(maximal) {
+		case 0:
+			want := init[ev.Addr]
+			if ev.Value != want {
+				rep.Failures = append(rep.Failures, Lemma1Failure{Read: ev, LastWrite: mem.NoEvent, Expected: want})
+			}
+		case 1:
+			w := maximal[0]
+			want := w.Value
+			if w.Op == mem.OpSyncRMW {
+				want = w.WValue
+			}
+			if ev.Value != want {
+				rep.Failures = append(rep.Failures, Lemma1Failure{Read: ev, LastWrite: w.ID, Expected: want})
+			}
+		default:
+			rep.Ambiguous = append(rep.Ambiguous, ev)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+func TestLemma1HandoffOK(t *testing.T) {
+	ord, err := BuildOrders(handoff(), DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckLemma1(ord, nil)
+	if !rep.OK() {
+		t.Fatalf("handoff should satisfy Lemma 1: %s", rep)
+	}
+}
+
+func TestLemma1WrongReadValue(t *testing.T) {
+	// Same shape as handoff but the final read returns a stale 0 — exactly
+	// what a hardware violating weak ordering would produce.
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 1, Value: 1, WValue: 2})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 0}) // stale!
+	ord, err := BuildOrders(e, DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckLemma1(ord, nil)
+	if rep.OK() {
+		t.Fatal("stale read accepted")
+	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("failures = %d, want 1", len(rep.Failures))
+	}
+	f := rep.Failures[0]
+	if f.Expected != 1 || f.Read.Value != 0 {
+		t.Errorf("failure detail wrong: %+v", f)
+	}
+}
+
+func TestLemma1InitialValue(t *testing.T) {
+	e := mem.NewExecution(1)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpRead, Addr: 3, Value: 42})
+	ord, err := BuildOrders(e, DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := CheckLemma1(ord, nil); rep.OK() {
+		t.Fatal("read of 42 with no writes and zero init accepted")
+	}
+	if rep := CheckLemma1(ord, map[mem.Addr]mem.Value{3: 42}); !rep.OK() {
+		t.Fatalf("read of initial value rejected: %s", rep)
+	}
+}
+
+func TestLemma1AmbiguousOnRace(t *testing.T) {
+	// Two unordered writes before an acquiring read: no unique hb-last
+	// write. (The program is racy, so DRF0 would have rejected it; Lemma 1
+	// reports the ambiguity.)
+	e := mem.NewExecution(3)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpWrite, Addr: 0, Value: 2})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncWrite, Addr: 1, Value: 2})
+	e.Append(mem.Access{Proc: 2, Op: mem.OpSyncRMW, Addr: 1, Value: 2, WValue: 3})
+	e.Append(mem.Access{Proc: 2, Op: mem.OpRead, Addr: 0, Value: 2})
+	ord, err := BuildOrders(e, DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckLemma1(ord, nil)
+	if len(rep.Ambiguous) != 1 {
+		t.Fatalf("ambiguous = %d, want 1 (%s)", len(rep.Ambiguous), rep)
+	}
+}
+
+func TestLemma1RMWChainValues(t *testing.T) {
+	// r1 reads the RMW's written value, not its read value.
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncRMW, Addr: 0, Value: 0, WValue: 7})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 0, Value: 7, WValue: 9})
+	ord, err := BuildOrders(e, DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := CheckLemma1(ord, nil); !rep.OK() {
+		t.Fatalf("RMW chain should satisfy Lemma 1: %s", rep)
+	}
+}

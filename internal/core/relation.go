@@ -1,0 +1,181 @@
+// Package core implements the formal machinery of Adve & Hill's
+// "Weak Ordering — A New Definition": program order and synchronization
+// order over recorded executions, the happens-before relation
+// hb = (po ∪ so)+, the DRF0 synchronization model (Definition 3) and its
+// Section-6 refinement, sequential-consistency checking of execution results,
+// the Lemma-1 read-value condition, and the Definition-2 contract between
+// software and hardware.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Relation is a binary relation over the dense integer range [0, n),
+// represented as a bit matrix. It is the workhorse behind happens-before:
+// dense executions of a few thousand events close in milliseconds.
+type Relation struct {
+	n     int
+	words int
+	rows  []uint64 // n rows of `words` uint64s each
+}
+
+// NewRelation returns the empty relation over [0, n).
+func NewRelation(n int) *Relation {
+	if n < 0 {
+		panic("core: negative relation size")
+	}
+	w := (n + 63) / 64
+	return &Relation{n: n, words: w, rows: make([]uint64, n*w)}
+}
+
+// Size returns n.
+func (r *Relation) Size() int { return r.n }
+
+func (r *Relation) check(a, b int) {
+	if a < 0 || a >= r.n || b < 0 || b >= r.n {
+		panic(fmt.Sprintf("core: relation index (%d,%d) out of range [0,%d)", a, b, r.n))
+	}
+}
+
+// Add inserts the pair (a, b).
+func (r *Relation) Add(a, b int) {
+	r.check(a, b)
+	r.rows[a*r.words+b/64] |= 1 << (uint(b) % 64)
+}
+
+// Has reports whether (a, b) is in the relation.
+func (r *Relation) Has(a, b int) bool {
+	r.check(a, b)
+	return r.rows[a*r.words+b/64]&(1<<(uint(b)%64)) != 0
+}
+
+// Union adds every pair of o into r. The two relations must be the same size.
+func (r *Relation) Union(o *Relation) {
+	if o.n != r.n {
+		panic("core: union of relations of different sizes")
+	}
+	for i := range r.rows {
+		r.rows[i] |= o.rows[i]
+	}
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{n: r.n, words: r.words, rows: make([]uint64, len(r.rows))}
+	copy(c.rows, r.rows)
+	return c
+}
+
+// TransitiveClose replaces r with its transitive closure using word-parallel
+// Warshall: for every intermediate k, each row that reaches k absorbs k's row.
+func (r *Relation) TransitiveClose() {
+	for k := 0; k < r.n; k++ {
+		krow := r.rows[k*r.words : (k+1)*r.words]
+		kw, kb := k/64, uint64(1)<<(uint(k)%64)
+		for i := 0; i < r.n; i++ {
+			irow := r.rows[i*r.words : (i+1)*r.words]
+			if irow[kw]&kb == 0 {
+				continue
+			}
+			for w := 0; w < r.words; w++ {
+				irow[w] |= krow[w]
+			}
+		}
+	}
+}
+
+// Irreflexive reports whether no element relates to itself. On a transitively
+// closed relation this is exactly acyclicity of the original edges.
+func (r *Relation) Irreflexive() bool {
+	for i := 0; i < r.n; i++ {
+		if r.rows[i*r.words+i/64]&(1<<(uint(i)%64)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairs returns every (a, b) in the relation, in row-major order. Intended
+// for tests and diagnostics, not hot paths.
+func (r *Relation) Pairs() [][2]int {
+	var out [][2]int
+	for a := 0; a < r.n; a++ {
+		row := r.rows[a*r.words : (a+1)*r.words]
+		for w, word := range row {
+			for word != 0 {
+				b := w*64 + trailingZeros(word)
+				out = append(out, [2]int{a, b})
+				word &= word - 1
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of pairs in the relation.
+func (r *Relation) Count() int {
+	n := 0
+	for _, w := range r.rows {
+		n += popcount(w)
+	}
+	return n
+}
+
+// Successors calls fn for each b with (a, b) in the relation.
+func (r *Relation) Successors(a int, fn func(b int)) {
+	r.check(a, 0)
+	row := r.rows[a*r.words : (a+1)*r.words]
+	for w, word := range row {
+		for word != 0 {
+			fn(w*64 + trailingZeros(word))
+			word &= word - 1
+		}
+	}
+}
+
+// TopoOrder returns a topological order of [0, n) consistent with the
+// relation's edges, or ok=false if the relation (viewed as an edge set) has a
+// cycle. It works on the *edge* relation (closure not required).
+func (r *Relation) TopoOrder() (order []int, ok bool) {
+	indeg := make([]int, r.n)
+	for a := 0; a < r.n; a++ {
+		r.Successors(a, func(b int) {
+			if a != b {
+				indeg[b]++
+			} else {
+				indeg[b] += 2 // self-loop: never becomes ready
+			}
+		})
+	}
+	queue := make([]int, 0, r.n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order = make([]int, 0, r.n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		r.Successors(v, func(b int) {
+			if b == v {
+				return
+			}
+			indeg[b]--
+			if indeg[b] == 0 {
+				queue = append(queue, b)
+			}
+		})
+	}
+	if len(order) != r.n {
+		return nil, false
+	}
+	return order, true
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

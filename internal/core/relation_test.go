@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation(5)
+	if r.Size() != 5 {
+		t.Fatalf("size = %d, want 5", r.Size())
+	}
+	if r.Has(0, 1) {
+		t.Fatal("empty relation has (0,1)")
+	}
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if !r.Has(0, 1) || !r.Has(1, 2) {
+		t.Fatal("added pairs missing")
+	}
+	if r.Has(1, 0) {
+		t.Fatal("relation is not symmetric; (1,0) should be absent")
+	}
+	if got := r.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+}
+
+func TestRelationAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range Add")
+		}
+	}()
+	NewRelation(3).Add(0, 3)
+}
+
+func TestTransitiveClose(t *testing.T) {
+	r := NewRelation(4)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	r.TransitiveClose()
+	for _, want := range [][2]int{{0, 2}, {0, 3}, {1, 3}} {
+		if !r.Has(want[0], want[1]) {
+			t.Errorf("closure missing (%d,%d)", want[0], want[1])
+		}
+	}
+	if r.Has(3, 0) {
+		t.Error("closure invented a reverse edge")
+	}
+	if !r.Irreflexive() {
+		t.Error("acyclic chain closure should be irreflexive")
+	}
+}
+
+func TestTransitiveCloseCycle(t *testing.T) {
+	r := NewRelation(3)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 0)
+	r.TransitiveClose()
+	if r.Irreflexive() {
+		t.Error("cycle closure must be reflexive somewhere")
+	}
+}
+
+func TestUnionAndClone(t *testing.T) {
+	a := NewRelation(3)
+	a.Add(0, 1)
+	b := NewRelation(3)
+	b.Add(1, 2)
+	c := a.Clone()
+	c.Union(b)
+	if !c.Has(0, 1) || !c.Has(1, 2) {
+		t.Fatal("union missing pairs")
+	}
+	if a.Has(1, 2) {
+		t.Fatal("union mutated the clone source")
+	}
+}
+
+func TestUnionSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size mismatch")
+		}
+	}()
+	NewRelation(3).Union(NewRelation(4))
+}
+
+func TestTopoOrder(t *testing.T) {
+	r := NewRelation(5)
+	r.Add(0, 2)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	r.Add(2, 4)
+	order, ok := r.TopoOrder()
+	if !ok {
+		t.Fatal("DAG reported cyclic")
+	}
+	pos := make([]int, 5)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range r.Pairs() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("topological order violates edge %v", e)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	r := NewRelation(2)
+	r.Add(0, 1)
+	r.Add(1, 0)
+	if _, ok := r.TopoOrder(); ok {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestTopoOrderSelfLoop(t *testing.T) {
+	r := NewRelation(2)
+	r.Add(0, 0)
+	if _, ok := r.TopoOrder(); ok {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	r := NewRelation(70) // spans multiple words
+	edges := [][2]int{{0, 69}, {63, 64}, {64, 63}, {5, 5}}
+	for _, e := range edges {
+		r.Add(e[0], e[1])
+	}
+	got := r.Pairs()
+	if len(got) != len(edges) {
+		t.Fatalf("pairs = %v", got)
+	}
+	for _, e := range edges {
+		if !r.Has(e[0], e[1]) {
+			t.Errorf("missing %v", e)
+		}
+	}
+}
+
+// naive transitive closure for cross-checking.
+func naiveClose(n int, edges [][2]int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		m[e[0]][e[1]] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if m[i][k] && m[k][j] {
+					m[i][j] = true
+				}
+			}
+		}
+	}
+	return m
+}
+
+// TestClosureAgainstNaive is a property test: the word-parallel Warshall
+// closure agrees with the O(n³) boolean reference on random graphs.
+func TestClosureAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 120; iter++ {
+		n := 1 + rng.Intn(80)
+		nEdges := rng.Intn(3 * n)
+		var edges [][2]int
+		r := NewRelation(n)
+		for k := 0; k < nEdges; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			edges = append(edges, [2]int{a, b})
+			r.Add(a, b)
+		}
+		r.TransitiveClose()
+		want := naiveClose(n, edges)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Has(i, j) != want[i][j] {
+					t.Fatalf("n=%d iter=%d: (%d,%d) = %v, want %v", n, iter, i, j, r.Has(i, j), want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestIrreflexiveProperty: for random DAG-shaped inputs (edges always from
+// lower to higher index) the closure is irreflexive; adding any back edge
+// that completes a path produces a cycle detectable via Irreflexive.
+func TestIrreflexiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		r := NewRelation(n)
+		for k := 0; k < 2*n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a < b {
+				r.Add(a, b)
+			}
+		}
+		fwd := r.Clone()
+		fwd.TransitiveClose()
+		if !fwd.Irreflexive() {
+			return false
+		}
+		// Pick a closed pair (a,b) and add (b,a): now a cycle must exist.
+		pairs := fwd.Pairs()
+		if len(pairs) == 0 {
+			return true
+		}
+		p := pairs[rng.Intn(len(pairs))]
+		r.Add(p[1], p[0])
+		r.TransitiveClose()
+		return !r.Irreflexive()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	r := NewRelation(130)
+	r.Add(1, 0)
+	r.Add(1, 64)
+	r.Add(1, 129)
+	var got []int
+	r.Successors(1, func(b int) { got = append(got, b) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Fatalf("successors = %v", got)
+	}
+}

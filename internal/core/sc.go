@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/mem"
+)
+
+// SCCheck decides whether a recorded execution is sequentially consistent in
+// Lamport's sense: does there exist a single total order of all its accesses,
+// consistent with each processor's program order, in which every operation
+// with a read component returns the value written by the most recent
+// operation with a write component on the same location (or the initial value
+// if none)?
+//
+// This is the "verifying sequential consistency" problem, NP-hard in general;
+// the implementation is an exhaustive replay search with memoization of
+// visited frontier states, which is fast for the execution sizes produced by
+// litmus tests and the randomized contract experiments (tens of events per
+// processor).
+//
+// SCCheck looks only at the events (per-processor sequences of accesses with
+// bound values); any Completed order on the execution is ignored, since the
+// question is precisely whether some legal total order exists.
+func SCCheck(e *mem.Execution, init map[mem.Addr]mem.Value) (*SCWitness, error) {
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid execution: %w", err)
+	}
+	byProc := e.ByProc()
+	c := &scChecker{
+		exec:    e,
+		byProc:  byProc,
+		next:    make([]int, len(byProc)),
+		memory:  make(map[mem.Addr]mem.Value, len(init)),
+		visited: make(map[string]bool),
+	}
+	for a, v := range init {
+		c.memory[a] = v
+	}
+	// Collect the address universe for canonical state encoding.
+	addrSet := make(map[mem.Addr]bool)
+	for _, ev := range e.Events {
+		addrSet[ev.Addr] = true
+	}
+	for a := range init {
+		addrSet[a] = true
+	}
+	for a := range addrSet {
+		c.addrs = append(c.addrs, a)
+	}
+	sort.Slice(c.addrs, func(i, j int) bool { return c.addrs[i] < c.addrs[j] })
+
+	if c.search() {
+		w := &SCWitness{SC: true, Order: append([]mem.EventID(nil), c.order...)}
+		return w, nil
+	}
+	return &SCWitness{SC: false, States: len(c.visited)}, nil
+}
+
+// SCWitness is the result of SCCheck: either a witnessing total order or a
+// proof of exhaustion (all interleavings explored without success).
+type SCWitness struct {
+	SC bool
+	// Order is a witnessing total order of event IDs when SC is true.
+	Order []mem.EventID
+	// States is the number of distinct search states explored when SC is
+	// false (diagnostic).
+	States int
+}
+
+// String implements fmt.Stringer.
+func (w *SCWitness) String() string {
+	if !w.SC {
+		return fmt.Sprintf("not sequentially consistent (exhausted %d states)", w.States)
+	}
+	parts := make([]string, len(w.Order))
+	for i, id := range w.Order {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return "SC witness order: " + strings.Join(parts, " < ")
+}
+
+type scChecker struct {
+	exec    *mem.Execution
+	byProc  [][]mem.EventID
+	next    []int // per-processor frontier into byProc
+	memory  map[mem.Addr]mem.Value
+	addrs   []mem.Addr
+	order   []mem.EventID
+	visited map[string]bool
+}
+
+// enabled reports whether processor p's next event can execute now: a write
+// is always enabled; a read is enabled iff memory holds the recorded value;
+// an RMW needs its read component to match, and then applies its write.
+func (c *scChecker) enabled(p int) (mem.Event, bool) {
+	i := c.next[p]
+	if i >= len(c.byProc[p]) {
+		return mem.Event{}, false
+	}
+	ev := c.exec.Event(c.byProc[p][i])
+	if ev.Op.Reads() {
+		if c.memory[ev.Addr] != ev.Value {
+			return mem.Event{}, false
+		}
+	}
+	return ev, true
+}
+
+// apply executes the event, returning an undo closure.
+func (c *scChecker) apply(p int, ev mem.Event) func() {
+	old, had := c.memory[ev.Addr]
+	c.next[p]++
+	c.order = append(c.order, ev.ID)
+	if ev.Op.Writes() {
+		v := ev.Value
+		if ev.Op == mem.OpSyncRMW {
+			v = ev.WValue
+		}
+		c.memory[ev.Addr] = v
+	}
+	return func() {
+		c.next[p]--
+		c.order = c.order[:len(c.order)-1]
+		if ev.Op.Writes() {
+			if had {
+				c.memory[ev.Addr] = old
+			} else {
+				delete(c.memory, ev.Addr)
+			}
+		}
+	}
+}
+
+func (c *scChecker) done() bool {
+	for p := range c.byProc {
+		if c.next[p] < len(c.byProc[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// stateKey canonically encodes (frontier, memory). Memory is determined by
+// the multiset of applied writes only through the frontier in general — two
+// different interleavings with the same frontier can differ in memory — so
+// both parts are needed.
+func (c *scChecker) stateKey() string {
+	var b strings.Builder
+	for _, n := range c.next {
+		fmt.Fprintf(&b, "%d,", n)
+	}
+	b.WriteByte('|')
+	for _, a := range c.addrs {
+		fmt.Fprintf(&b, "%d,", c.memory[a])
+	}
+	return b.String()
+}
+
+func (c *scChecker) search() bool {
+	if c.done() {
+		return true
+	}
+	key := c.stateKey()
+	if c.visited[key] {
+		return false
+	}
+	c.visited[key] = true
+	for p := range c.byProc {
+		ev, ok := c.enabled(p)
+		if !ok {
+			continue
+		}
+		undo := c.apply(p, ev)
+		if c.search() {
+			return true
+		}
+		undo()
+	}
+	return false
+}
+
+// VerifyWitness checks that a claimed witness order actually serializes the
+// execution legally: it must be a permutation of all events, consistent with
+// program order, with every read returning the most recent write (or the
+// initial value). Used by tests and by downstream consumers that want to
+// double-check SCCheck's positive answers.
+func VerifyWitness(e *mem.Execution, init map[mem.Addr]mem.Value, order []mem.EventID) error {
+	if len(order) != e.Len() {
+		return fmt.Errorf("witness has %d events, execution has %d", len(order), e.Len())
+	}
+	seen := make([]bool, e.Len())
+	lastIdx := make(map[mem.ProcID]int)
+	memory := make(map[mem.Addr]mem.Value, len(init))
+	for a, v := range init {
+		memory[a] = v
+	}
+	first := make(map[mem.ProcID]bool)
+	for _, id := range order {
+		if id < 0 || int(id) >= e.Len() || seen[id] {
+			return fmt.Errorf("witness is not a permutation (event %d)", id)
+		}
+		seen[id] = true
+		ev := e.Event(id)
+		if prev, ok := lastIdx[ev.Proc]; ok || first[ev.Proc] {
+			if ev.Index != prev+1 {
+				return fmt.Errorf("witness violates program order on P%d: index %d after %d", ev.Proc, ev.Index, prev)
+			}
+		} else if ev.Index != 0 {
+			return fmt.Errorf("witness violates program order on P%d: first index %d", ev.Proc, ev.Index)
+		}
+		lastIdx[ev.Proc] = ev.Index
+		first[ev.Proc] = true
+		if ev.Op.Reads() && memory[ev.Addr] != ev.Value {
+			return fmt.Errorf("witness read mismatch at %s: memory holds %d", ev.Access, memory[ev.Addr])
+		}
+		if ev.Op.Writes() {
+			v := ev.Value
+			if ev.Op == mem.OpSyncRMW {
+				v = ev.WValue
+			}
+			memory[ev.Addr] = v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+// exec builds an execution from accesses appended in order.
+func exec(accs ...mem.Access) *mem.Execution {
+	n := 1
+	for _, a := range accs {
+		if int(a.Proc)+1 > n {
+			n = int(a.Proc) + 1
+		}
+	}
+	e := mem.NewExecution(n)
+	for _, a := range accs {
+		e.Append(a)
+	}
+	return e
+}
+
+func TestSCCheckSimpleSerializable(t *testing.T) {
+	e := exec(
+		mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1},
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1},
+	)
+	w, err := SCCheck(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SC {
+		t.Fatal("trivially serializable execution rejected")
+	}
+	if err := VerifyWitness(e, nil, w.Order); err != nil {
+		t.Fatalf("witness does not verify: %v", err)
+	}
+}
+
+func TestSCCheckDekkerViolation(t *testing.T) {
+	// Both processors read 0 after the other's write: the Figure 1 outcome.
+	e := exec(
+		mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1}, // W(x)=1
+		mem.Access{Proc: 0, Op: mem.OpRead, Addr: 1, Value: 0},  // R(y)=0
+		mem.Access{Proc: 1, Op: mem.OpWrite, Addr: 1, Value: 1}, // W(y)=1
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 0},  // R(x)=0
+	)
+	w, err := SCCheck(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SC {
+		t.Fatalf("Dekker violation accepted as SC: %s", w)
+	}
+	if w.States == 0 {
+		t.Error("exhaustive rejection should report explored states")
+	}
+}
+
+func TestSCCheckDekkerAllowedOutcome(t *testing.T) {
+	// One processor reading 1 is fine.
+	e := exec(
+		mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1},
+		mem.Access{Proc: 0, Op: mem.OpRead, Addr: 1, Value: 0},
+		mem.Access{Proc: 1, Op: mem.OpWrite, Addr: 1, Value: 1},
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1},
+	)
+	w, err := SCCheck(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SC {
+		t.Fatal("allowed Dekker outcome rejected")
+	}
+}
+
+func TestSCCheckUsesInit(t *testing.T) {
+	e := exec(mem.Access{Proc: 0, Op: mem.OpRead, Addr: 7, Value: 5})
+	if w, _ := SCCheck(e, nil); w.SC {
+		t.Fatal("read of 5 with zero init accepted")
+	}
+	w, err := SCCheck(e, map[mem.Addr]mem.Value{7: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SC {
+		t.Fatal("read of initial value rejected")
+	}
+}
+
+func TestSCCheckRMW(t *testing.T) {
+	// Two TAS on one location: both succeeding (reading 0) is not SC.
+	bad := exec(
+		mem.Access{Proc: 0, Op: mem.OpSyncRMW, Addr: 0, Value: 0, WValue: 1},
+		mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 0, Value: 0, WValue: 1},
+	)
+	if w, _ := SCCheck(bad, nil); w.SC {
+		t.Fatal("double-successful TAS accepted")
+	}
+	good := exec(
+		mem.Access{Proc: 0, Op: mem.OpSyncRMW, Addr: 0, Value: 0, WValue: 1},
+		mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 0, Value: 1, WValue: 1},
+	)
+	w, err := SCCheck(good, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SC {
+		t.Fatal("serialized TAS pair rejected")
+	}
+}
+
+func TestSCCheckCoherenceViolation(t *testing.T) {
+	// P1 sees x go 1 then 0 while only 0->1 writes exist.
+	e := exec(
+		mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1},
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1},
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 0},
+	)
+	if w, _ := SCCheck(e, nil); w.SC {
+		t.Fatal("backward read accepted")
+	}
+}
+
+func TestVerifyWitnessRejections(t *testing.T) {
+	e := exec(
+		mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1},
+		mem.Access{Proc: 0, Op: mem.OpRead, Addr: 0, Value: 1},
+	)
+	// Wrong length.
+	if err := VerifyWitness(e, nil, []mem.EventID{0}); err == nil {
+		t.Error("short witness accepted")
+	}
+	// Not a permutation.
+	if err := VerifyWitness(e, nil, []mem.EventID{0, 0}); err == nil {
+		t.Error("duplicate witness accepted")
+	}
+	// Violates program order.
+	if err := VerifyWitness(e, nil, []mem.EventID{1, 0}); err == nil {
+		t.Error("order-violating witness accepted")
+	}
+	// Correct.
+	if err := VerifyWitness(e, nil, []mem.EventID{0, 1}); err != nil {
+		t.Errorf("valid witness rejected: %v", err)
+	}
+}
+
+// TestSCCheckRandomSCExecutionsAccepted generates executions by actually
+// simulating a random interleaving atop an SC memory — such executions are SC
+// by construction and must always be accepted, and the returned witness must
+// verify.
+func TestSCCheckRandomSCExecutionsAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		nproc := 2 + rng.Intn(3)
+		naddr := 1 + rng.Intn(3)
+		nops := 3 + rng.Intn(8)
+		memory := map[mem.Addr]mem.Value{}
+		e := mem.NewExecution(nproc)
+		for k := 0; k < nops; k++ {
+			p := mem.ProcID(rng.Intn(nproc))
+			a := mem.Addr(rng.Intn(naddr))
+			switch rng.Intn(3) {
+			case 0:
+				e.Append(mem.Access{Proc: p, Op: mem.OpRead, Addr: a, Value: memory[a]})
+			case 1:
+				v := mem.Value(rng.Intn(5))
+				memory[a] = v
+				e.Append(mem.Access{Proc: p, Op: mem.OpWrite, Addr: a, Value: v})
+			default:
+				old := memory[a]
+				memory[a] = old + 1
+				e.Append(mem.Access{Proc: p, Op: mem.OpSyncRMW, Addr: a, Value: old, WValue: old + 1})
+			}
+		}
+		w, err := SCCheck(e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !w.SC {
+			t.Fatalf("iter %d: SC-by-construction execution rejected:\n%s", iter, e)
+		}
+		if err := VerifyWitness(e, nil, w.Order); err != nil {
+			t.Fatalf("iter %d: witness fails: %v", iter, err)
+		}
+	}
+}
+
+// TestSCCheckPerturbedReadsRejected flips one read's value to something no
+// write produced; the execution can no longer be SC.
+func TestSCCheckPerturbedReadsRejected(t *testing.T) {
+	e := exec(
+		mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1},
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 99},
+	)
+	if w, _ := SCCheck(e, nil); w.SC {
+		t.Fatal("read of never-written value accepted")
+	}
+}

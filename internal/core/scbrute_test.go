@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+// bruteSC decides SC-executability by enumerating every interleaving of the
+// per-processor sequences (no memoization, no pruning beyond read-value
+// legality) — the trivially correct reference for SCCheck.
+func bruteSC(e *mem.Execution, init map[mem.Addr]mem.Value) bool {
+	byProc := e.ByProc()
+	next := make([]int, len(byProc))
+	memory := map[mem.Addr]mem.Value{}
+	for a, v := range init {
+		memory[a] = v
+	}
+	var rec func() bool
+	rec = func() bool {
+		done := true
+		for p := range byProc {
+			if next[p] < len(byProc[p]) {
+				done = false
+				ev := e.Event(byProc[p][next[p]])
+				if ev.Op.Reads() && memory[ev.Addr] != ev.Value {
+					continue
+				}
+				old, had := memory[ev.Addr]
+				next[p]++
+				if ev.Op.Writes() {
+					v := ev.Value
+					if ev.Op == mem.OpSyncRMW {
+						v = ev.WValue
+					}
+					memory[ev.Addr] = v
+				}
+				if rec() {
+					return true
+				}
+				next[p]--
+				if ev.Op.Writes() {
+					if had {
+						memory[ev.Addr] = old
+					} else {
+						delete(memory, ev.Addr)
+					}
+				}
+			}
+		}
+		return done
+	}
+	return rec()
+}
+
+// TestSCCheckAgainstBruteForce cross-validates the memoized replay search
+// against full interleaving enumeration on random small executions, including
+// deliberately inconsistent ones (perturbed read values).
+func TestSCCheckAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	agreeSC, agreeNot := 0, 0
+	for iter := 0; iter < 400; iter++ {
+		nproc := 2 + rng.Intn(2)
+		naddr := 1 + rng.Intn(2)
+		nops := 2 + rng.Intn(6)
+		e := mem.NewExecution(nproc)
+		for k := 0; k < nops; k++ {
+			p := mem.ProcID(rng.Intn(nproc))
+			a := mem.Addr(rng.Intn(naddr))
+			switch rng.Intn(3) {
+			case 0:
+				// Random (possibly illegal) read value: roughly half the
+				// generated executions are not SC.
+				e.Append(mem.Access{Proc: p, Op: mem.OpRead, Addr: a, Value: mem.Value(rng.Intn(3))})
+			case 1:
+				e.Append(mem.Access{Proc: p, Op: mem.OpWrite, Addr: a, Value: mem.Value(1 + rng.Intn(2))})
+			default:
+				e.Append(mem.Access{Proc: p, Op: mem.OpSyncRMW, Addr: a,
+					Value: mem.Value(rng.Intn(3)), WValue: mem.Value(1 + rng.Intn(2))})
+			}
+		}
+		want := bruteSC(e, nil)
+		w, err := SCCheck(e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.SC != want {
+			t.Fatalf("iter %d: SCCheck=%v brute=%v\n%s", iter, w.SC, want, e)
+		}
+		if want {
+			agreeSC++
+			if err := VerifyWitness(e, nil, w.Order); err != nil {
+				t.Fatalf("iter %d: witness invalid: %v", iter, err)
+			}
+		} else {
+			agreeNot++
+		}
+	}
+	if agreeSC == 0 || agreeNot == 0 {
+		t.Fatalf("one-sided sample: sc=%d notsc=%d", agreeSC, agreeNot)
+	}
+}

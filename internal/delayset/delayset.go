@@ -1,0 +1,169 @@
+// Package delayset implements a simplified form of Shasha & Snir's delay-set
+// analysis, which Section 2.1 of the paper discusses as the software
+// alternative to weak ordering: statically identify a set of intra-thread
+// access pairs such that delaying the second access of each pair until the
+// first is globally performed guarantees sequential consistency on otherwise
+// relaxed hardware.
+//
+// The analysis here computes a sound *superset* of Shasha & Snir's minimal
+// delay set: an ordered program pair (u, v) is delayed whenever some mixed
+// cycle through conflict edges returns from v to u — equivalently, whenever v
+// can reach u in the graph whose edges are program order (directed) plus
+// conflict edges (both directions). Enforcing a superset still guarantees
+// sequential consistency; it merely forgoes some optimization the exact
+// minimal-cycle characterization would allow (the paper itself notes the
+// static analysis "may be quite pessimistic").
+//
+// The analysis requires branch-free programs with statically known addresses:
+// the delay set is defined over static accesses, and loops would need the
+// full (and much heavier) cycle analysis over summarized iterations.
+package delayset
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// AccessRef names a static memory access: the Index-th memory operation of
+// thread Thread (which, for branch-free programs, is also its dynamic
+// program-order index).
+type AccessRef struct {
+	Thread int
+	Index  int
+}
+
+// String implements fmt.Stringer.
+func (r AccessRef) String() string { return fmt.Sprintf("T%d#%d", r.Thread, r.Index) }
+
+// StaticAccess is one static access with its operation and address.
+type StaticAccess struct {
+	Ref  AccessRef
+	Op   mem.Op
+	Addr mem.Addr
+}
+
+// String implements fmt.Stringer.
+func (a StaticAccess) String() string {
+	return fmt.Sprintf("%s:%s(x%d)", a.Ref, a.Op, a.Addr)
+}
+
+// Pair is one ordered delay: After may not issue until Before is globally
+// performed.
+type Pair struct {
+	Before, After AccessRef
+}
+
+// String implements fmt.Stringer.
+func (p Pair) String() string { return fmt.Sprintf("%s -> %s", p.Before, p.After) }
+
+// Analysis is the result of analyzing one program.
+type Analysis struct {
+	Accesses []StaticAccess
+	Delays   []Pair
+	// ConflictEdges counts cross-thread conflict edges, for diagnostics.
+	ConflictEdges int
+}
+
+// DelayedBefore returns, per thread, a map from each access index to the
+// indices of earlier same-thread accesses that must be globally performed
+// first — the form the enforcing machine consumes.
+func (a *Analysis) DelayedBefore(numThreads int) []map[int][]int {
+	out := make([]map[int][]int, numThreads)
+	for i := range out {
+		out[i] = make(map[int][]int)
+	}
+	for _, d := range a.Delays {
+		t := d.After.Thread
+		out[t][d.After.Index] = append(out[t][d.After.Index], d.Before.Index)
+	}
+	return out
+}
+
+// Analyze extracts the static accesses of a branch-free program and computes
+// its delay set. Programs with branches, jumps, or register-indexed addresses
+// are rejected.
+func Analyze(p *program.Program) (*Analysis, error) {
+	an := &Analysis{}
+	perThread := make([][]int, p.NumThreads()) // node ids per thread, in order
+	for t, code := range p.Threads {
+		idx := 0
+		for pc, in := range code {
+			switch in.Op {
+			case program.IBeq, program.IBne, program.IBlt, program.IJmp:
+				return nil, fmt.Errorf("delayset: thread %d has a branch at %d; the analysis requires branch-free programs", t, pc)
+			}
+			op, ok := in.MemOp()
+			if !ok {
+				continue
+			}
+			if in.UseAddrReg {
+				return nil, fmt.Errorf("delayset: thread %d has a register-indexed address at %d; addresses must be static", t, pc)
+			}
+			an.Accesses = append(an.Accesses, StaticAccess{
+				Ref:  AccessRef{Thread: t, Index: idx},
+				Op:   op,
+				Addr: in.Addr,
+			})
+			perThread[t] = append(perThread[t], len(an.Accesses)-1)
+			idx++
+		}
+	}
+	n := len(an.Accesses)
+	// Adjacency: program-order successors (directed) plus conflict
+	// neighbors (both directions).
+	adj := make([][]int, n)
+	for _, nodes := range perThread {
+		for i := 1; i < len(nodes); i++ {
+			adj[nodes[i-1]] = append(adj[nodes[i-1]], nodes[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ai, aj := an.Accesses[i], an.Accesses[j]
+			if ai.Ref.Thread == aj.Ref.Thread {
+				continue
+			}
+			if ai.Addr != aj.Addr || !mem.Conflicts(ai.Op, aj.Op) {
+				continue
+			}
+			adj[i] = append(adj[i], j)
+			adj[j] = append(adj[j], i)
+			an.ConflictEdges++
+		}
+	}
+	// reach[v] = set of nodes reachable from v.
+	reach := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		seen := make([]bool, n)
+		stack := []int{v}
+		seen[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		reach[v] = seen
+	}
+	// Delay every ordered program pair closed into a cycle by the graph.
+	for _, nodes := range perThread {
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				u, v := nodes[i], nodes[j]
+				if reach[v][u] {
+					an.Delays = append(an.Delays, Pair{
+						Before: an.Accesses[u].Ref,
+						After:  an.Accesses[v].Ref,
+					})
+				}
+			}
+		}
+	}
+	return an, nil
+}

@@ -1,0 +1,121 @@
+// Package doall implements the phase-discipline checker for the second
+// specialized synchronization model the paper's conclusion proposes:
+// "parallelism only from do-all loops". In that paradigm execution alternates
+// between parallel phases separated by barriers; a program is race-free iff
+// no two threads conflict on a location *within* one phase (cross-phase
+// conflicts are ordered by the barrier).
+//
+// The checker segments each thread's accesses into phases by counting its
+// barrier arrivals — synchronization read-modify-writes on the designated
+// barrier counter — and flags any intra-phase cross-thread conflict on a data
+// location. Barrier-infrastructure accesses (the counter and sense flag) are
+// exempt, as is phase 0 sharing of read-only data initialized before the
+// parallel region.
+package doall
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/mem"
+)
+
+// Barrier designates the locations implementing the barrier.
+type Barrier struct {
+	// Counter is the arrival counter (FetchAdd target): a sync RMW on it
+	// advances the issuing thread to its next phase.
+	Counter mem.Addr
+	// Sense is the release flag waiters spin on; accesses to it are exempt
+	// from conflict checking.
+	Sense mem.Addr
+}
+
+// Violation is one intra-phase cross-thread conflict.
+type Violation struct {
+	Phase int
+	A, B  mem.Event
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("phase %d: %s conflicts with %s", v.Phase, v.A.Access, v.B.Access)
+}
+
+// Report is the verdict for one execution.
+type Report struct {
+	Phases     int // highest phase index observed + 1
+	Accesses   int // data accesses checked
+	Violations []Violation
+}
+
+// OK reports whether the execution obeys the do-all discipline.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// String implements fmt.Stringer.
+func (r *Report) String() string {
+	if r.OK() {
+		return fmt.Sprintf("do-all discipline holds: %d data accesses across %d phase(s)", r.Accesses, r.Phases)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "do-all discipline violated (%d phases):\n", r.Phases)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// access is one data access tagged with its thread's phase.
+type access struct {
+	ev    mem.Event
+	phase int
+}
+
+// Check validates an execution against the do-all discipline. The execution
+// may come from any machine; only program order per thread matters, so no
+// completion order is required.
+func Check(e *mem.Execution, bar Barrier) (*Report, error) {
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("doall: %w", err)
+	}
+	rep := &Report{}
+	phase := make(map[mem.ProcID]int)
+	// Walk in program order per thread.
+	byLoc := make(map[mem.Addr][]access)
+	for _, ids := range e.ByProc() {
+		for _, id := range ids {
+			ev := e.Event(id)
+			if ev.Op.IsSync() {
+				if ev.Op == mem.OpSyncRMW && ev.Addr == bar.Counter {
+					phase[ev.Proc]++
+					if phase[ev.Proc]+1 > rep.Phases {
+						rep.Phases = phase[ev.Proc] + 1
+					}
+				}
+				continue
+			}
+			if ev.Addr == bar.Counter || ev.Addr == bar.Sense {
+				continue // barrier infrastructure
+			}
+			rep.Accesses++
+			byLoc[ev.Addr] = append(byLoc[ev.Addr], access{ev: ev, phase: phase[ev.Proc]})
+		}
+	}
+	if rep.Phases == 0 {
+		rep.Phases = 1
+	}
+	for _, accs := range byLoc {
+		for i := 0; i < len(accs); i++ {
+			for j := i + 1; j < len(accs); j++ {
+				a, b := accs[i], accs[j]
+				if a.phase != b.phase || a.ev.Proc == b.ev.Proc {
+					continue
+				}
+				if !mem.Conflicts(a.ev.Op, b.ev.Op) {
+					continue
+				}
+				rep.Violations = append(rep.Violations, Violation{Phase: a.phase, A: a.ev, B: b.ev})
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,183 @@
+package doall
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/core"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/model"
+	"weakorder/internal/proc"
+	"weakorder/internal/workload"
+)
+
+func bar() Barrier {
+	c, s := workload.DoAllBarrier()
+	return Barrier{Counter: c, Sense: s}
+}
+
+// buildExec constructs a synthetic execution with explicit phases.
+func buildExec(events ...mem.Access) *mem.Execution {
+	e := mem.NewExecution(2)
+	for _, a := range events {
+		e.Append(a)
+	}
+	return e
+}
+
+func TestCleanPhasedExecution(t *testing.T) {
+	c, s := workload.DoAllBarrier()
+	e := buildExec(
+		// Phase 0: disjoint writes.
+		mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 10, Value: 1},
+		mem.Access{Proc: 1, Op: mem.OpWrite, Addr: 11, Value: 2},
+		// Barrier arrivals.
+		mem.Access{Proc: 0, Op: mem.OpSyncRMW, Addr: c, Value: 0, WValue: 1},
+		mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: c, Value: 1, WValue: 2},
+		mem.Access{Proc: 1, Op: mem.OpSyncWrite, Addr: s, Value: 1},
+		// Phase 1: cross reads of phase-0 writes.
+		mem.Access{Proc: 0, Op: mem.OpRead, Addr: 11, Value: 2},
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 10, Value: 1},
+	)
+	rep, err := Check(e, bar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean phased execution flagged: %s", rep)
+	}
+	if rep.Phases != 2 {
+		t.Errorf("phases = %d, want 2", rep.Phases)
+	}
+	if rep.Accesses != 4 {
+		t.Errorf("accesses = %d, want 4", rep.Accesses)
+	}
+}
+
+func TestIntraPhaseConflictFlagged(t *testing.T) {
+	e := buildExec(
+		mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 10, Value: 1},
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 10, Value: 1}, // same phase!
+	)
+	rep, err := Check(e, bar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("intra-phase conflict accepted")
+	}
+	if !strings.Contains(rep.String(), "phase 0") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestReadSharingWithinPhaseAllowed(t *testing.T) {
+	e := buildExec(
+		mem.Access{Proc: 0, Op: mem.OpRead, Addr: 10, Value: 0},
+		mem.Access{Proc: 1, Op: mem.OpRead, Addr: 10, Value: 0},
+	)
+	rep, err := Check(e, bar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("read sharing flagged: %s", rep)
+	}
+}
+
+// TestDoAllWorkloadDisciplined runs the double-buffered stencil on the timed
+// machine and checks its trace against the phase discipline (and SC).
+func TestDoAllWorkloadDisciplined(t *testing.T) {
+	p := workload.DoAll(3, 3, false)
+	cfg := machine.NewConfig(proc.PolicyWODef2)
+	cfg.RecordTrace = true
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(res.Trace, bar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("disciplined stencil flagged: %s", rep)
+	}
+	if rep.Phases != 4 {
+		// 3 barrier episodes -> phases 0..3 (the final stores land in
+		// phase 3).
+		t.Errorf("phases = %d, want 4", rep.Phases)
+	}
+	w, err := core.SCCheck(res.Trace, p.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SC {
+		t.Error("stencil trace not SC")
+	}
+}
+
+// TestDoAllSkewedViolates: the same-phase neighbor read breaks the
+// discipline, and the timed trace shows it.
+func TestDoAllSkewedViolates(t *testing.T) {
+	p := workload.DoAll(3, 2, true)
+	cfg := machine.NewConfig(proc.PolicyWODef2)
+	cfg.RecordTrace = true
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(res.Trace, bar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("skewed stencil passed the phase discipline")
+	}
+}
+
+// TestDoAllIsDRF0 confirms the disciplined version also obeys DRF0 at the
+// whole-program level (bounded enumeration), tying the paradigm back to
+// Definition 3.
+func TestDoAllIsDRF0(t *testing.T) {
+	p := workload.DoAll(2, 1, false)
+	enum := &model.Enumerator{Prog: p, Explorer: &model.Explorer{MaxTraceOps: 18}}
+	rep, err := core.CheckProgram(enum, core.DRF0{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Obeys() {
+		t.Errorf("disciplined do-all should obey DRF0: %s", rep)
+	}
+}
+
+// TestDoAllDeterministicResult: the stencil's carried values are data-flow
+// deterministic under the discipline; every policy must agree.
+func TestDoAllDeterministicResult(t *testing.T) {
+	p := workload.DoAll(3, 3, false)
+	var want []mem.Value
+	for _, pol := range []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2, proc.PolicyWODef2DRF1} {
+		res, err := machine.Run(p, machine.NewConfig(pol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []mem.Value
+		for tid := 0; tid < 3; tid++ {
+			got = append(got, res.FinalMem[workload.DoAllResult(3, tid)])
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: result[%d] = %d, want %d", pol, i, got[i], want[i])
+			}
+		}
+	}
+	for i, v := range want {
+		if v == 0 {
+			t.Errorf("result[%d] is zero; the stencil did not run", i)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import "testing"
+
+func TestFig1(t *testing.T) {
+	s, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.SCForbids {
+		t.Error("SC must forbid the Figure-1 outcome")
+	}
+	if s.Mismatches != 0 {
+		t.Errorf("corpus mismatches: %d", s.Mismatches)
+	}
+	// The paper lists four relaxed configurations; all must show the
+	// violation, as must the weakly ordered machines (the program is racy).
+	if len(s.ViolationOn) < 4 {
+		t.Errorf("violation reachable on %v, want at least the four Figure-1 configurations", s.ViolationOn)
+	}
+	for _, want := range []string{"bus+writebuffer", "bus+cache+writebuffer", "network-nocache", "network+cache-nonatomic"} {
+		found := false
+		for _, got := range s.ViolationOn {
+			if got == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("violation not reachable on %s", want)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	s, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.AObeys || s.BObeys {
+		t.Errorf("verdicts: a obeys=%v b obeys=%v, want true/false", s.AObeys, s.BObeys)
+	}
+	if s.BRaces != 4 {
+		t.Errorf("b races = %d, want 4 (two clusters of two)", s.BRaces)
+	}
+	if !s.Lemma1AOK {
+		t.Error("execution (a) must satisfy Lemma 1")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	s, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Def1P0AlwaysSlower {
+		t.Error("Definition-1 producer should finish later than Definition-2 producer at every swept point")
+	}
+	// The def2 machinery must engage: some point sets reserve bits.
+	engaged := false
+	for _, pt := range s.Points {
+		if pt.Reserves > 0 {
+			engaged = true
+			break
+		}
+	}
+	if !engaged {
+		t.Error("no swept point set a reserve bit")
+	}
+}
+
+func TestQuant(t *testing.T) {
+	s, err := Quant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.WeakNeverSlower {
+		t.Error("weak ordering should never lose to SC on these workloads")
+	}
+	if !s.Def2NeverSlowerThanDef1 {
+		t.Error("def2 should not lose to def1 on these workloads")
+	}
+	if len(s.Rows) != 4*3 {
+		t.Errorf("rows = %d, want 12", len(s.Rows))
+	}
+}
+
+func TestSpin(t *testing.T) {
+	s, err := Spin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.GetXReduced {
+		t.Error("the DRF1 refinement should reduce exclusive acquisitions on spin workloads")
+	}
+	if !s.RefinementFasterOnBarrier {
+		t.Error("the refinement should speed up the spinning barrier")
+	}
+	if !s.RefinementFasterOnLock {
+		t.Error("the refinement should speed up test-and-TAS locking")
+	}
+}
+
+func TestContract(t *testing.T) {
+	s, err := Contract(24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DRF0Programs == 0 {
+		t.Fatal("no DRF0 programs generated; the sweep is vacuous")
+	}
+	if s.DRF0Programs == s.Programs {
+		t.Fatal("no racy programs generated; the sweep is one-sided")
+	}
+	for _, f := range contractMachines() {
+		v := s.ViolationsByMachine[f.Name]
+		switch f.Name {
+		case "network+cache-nonatomic", "WO-def2-noreserve":
+			// The broken machines should get caught at least once across
+			// the sweep (checked jointly below).
+		default:
+			if v != 0 {
+				t.Errorf("%s violated the contract on %d DRF0 programs", f.Name, v)
+			}
+		}
+	}
+	if s.ViolationsByMachine["network+cache-nonatomic"] == 0 {
+		t.Error("the NonAtomic machine was never caught; the checker may be toothless")
+	}
+	if s.ViolationsByMachine["WO-def2-noreserve"] == 0 {
+		t.Error("the no-reserve ablation was never caught; guarded programs not doing their job")
+	}
+	if s.RacyNonSC == 0 {
+		t.Error("no racy program showed a non-SC outcome; relaxations may not be exercised")
+	}
+}
+
+func TestDelaySet(t *testing.T) {
+	s, err := DelaySet(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Violations != 0 {
+		t.Errorf("delay enforcement failed on %d programs", s.Violations)
+	}
+	if s.RelaxedObserved == 0 {
+		t.Error("no program relaxed on the plain write buffer; sweep is vacuous")
+	}
+	if s.TotalDelays == 0 || s.TotalDelays >= s.TotalPairs {
+		t.Errorf("delay selectivity looks wrong: %d of %d pairs", s.TotalDelays, s.TotalPairs)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s, err := Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.GapGrowsWithLatency {
+		t.Error("def2's advantage over def1 should scale with network latency")
+	}
+	if len(s.Points) == 0 {
+		t.Fatal("no points")
+	}
+}
+
+func TestProtocol(t *testing.T) {
+	s, err := Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.UpdateWinsProdCons {
+		t.Error("update protocol should win on producer/consumer")
+	}
+	if !s.InvalidateWinsStreaming {
+		t.Error("invalidation should win on streaming rewrites")
+	}
+}
+
+func TestConditions(t *testing.T) {
+	s, err := Conditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CleanViolations != 0 {
+		t.Errorf("conforming policies produced %d condition violations", s.CleanViolations)
+	}
+	if !s.AblationCaught {
+		t.Error("the reserve-bit ablation was never caught by the conditions checker")
+	}
+}
+
+func TestFence(t *testing.T) {
+	s, err := Fence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal {
+		t.Error("RP3 fence machine should match Definition 1 on every corpus program")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"weakorder/internal/machine"
+	"weakorder/internal/proc"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+	"weakorder/internal/workload"
+)
+
+// Fig3Point is one cell of the Figure-3 sweep.
+type Fig3Point struct {
+	Warmers    int
+	NetLatency sim.Time
+	WorkAfter  int
+	Policy     proc.Policy
+	P0Finish   sim.Time // producer completion (the processor Def1 stalls)
+	P1Finish   sim.Time // consumer completion (stalled under both defs)
+	SyncStall  int64    // issuer-side sync stall cycles (def1: counter wait)
+	Reserves   int64    // reserve bits set (def2 machinery engaged)
+}
+
+// Fig3Summary reports E3.
+type Fig3Summary struct {
+	Table  *stats.Table
+	Points []Fig3Point
+	// Def1P0AlwaysSlower is the paper's headline claim: with post-release
+	// work to overlap, the Definition-1 producer finishes strictly later
+	// than the Definition-2 producer at every swept configuration.
+	Def1P0AlwaysSlower bool
+}
+
+// Fig3 reproduces Figure 3 as a timed sweep. The producer writes a payload
+// whose line `warmers` other caches hold shared (so its global performance
+// needs a full invalidation round), releases a lock with Unset, and keeps
+// computing; the consumer TestAndSets the lock and reads the payload.
+// Definition-1 hardware stalls the producer at the Unset until the payload
+// write is globally performed; the Section-5 implementation commits the Unset
+// immediately and reserves the line, shifting the stall onto the consumer's
+// TestAndSet.
+func Fig3() (*Fig3Summary, error) {
+	s := &Fig3Summary{Def1P0AlwaysSlower: true}
+	tbl := stats.NewTable("E3/Figure 3 — producer stall under Definition 1 vs Definition 2",
+		"warmers", "netlat", "work", "policy", "P0 finish", "P1 finish", "sync stall", "reserves")
+	for _, warmers := range []int{1, 2, 4} {
+		for _, lat := range []sim.Time{10, 30, 60} {
+			const work = 200
+			var def1P0, def2P0 sim.Time
+			for _, pol := range []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2} {
+				p := workload.Fig3(warmers, work)
+				cfg := machine.NewConfig(pol)
+				cfg.NetLatency = lat
+				res, err := machine.Run(p, cfg)
+				if err != nil {
+					return nil, err
+				}
+				var reserves int64
+				for _, cs := range res.CacheStats {
+					reserves += cs.Get("reserves_set")
+				}
+				pt := Fig3Point{
+					Warmers:    warmers,
+					NetLatency: lat,
+					WorkAfter:  work,
+					Policy:     pol,
+					P0Finish:   res.ProcFinish[0],
+					P1Finish:   res.ProcFinish[1],
+					SyncStall:  res.ProcStats[0].Get("sync_counter_stall_cycles") + res.ProcStats[0].Get("sync_performed_stall_cycles"),
+					Reserves:   reserves,
+				}
+				s.Points = append(s.Points, pt)
+				tbl.Row(warmers, int64(lat), work, pol.String(), int64(pt.P0Finish), int64(pt.P1Finish), pt.SyncStall, pt.Reserves)
+				switch pol {
+				case proc.PolicyWODef1:
+					def1P0 = pt.P0Finish
+				case proc.PolicyWODef2:
+					def2P0 = pt.P0Finish
+				}
+			}
+			if def2P0 >= def1P0 {
+				s.Def1P0AlwaysSlower = false
+			}
+		}
+	}
+	tbl.Note("Def1 stalls P0 at the Unset until W(x) performs; Def2 commits the Unset and reserves the line")
+	tbl.Note("P1's TestAndSet is blocked under both definitions until the write performs (the paper's Figure 3)")
+	s.Table = tbl
+	return s, nil
+}

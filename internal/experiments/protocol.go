@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/proc"
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+	"weakorder/internal/workload"
+)
+
+// ProtocolSummary reports E11: write-invalidate vs write-update on the data
+// path (synchronization always keeps the exclusive/reserve path).
+type ProtocolSummary struct {
+	Table *stats.Table
+	// UpdateWinsProdCons / InvalidateWinsStreaming capture the classic
+	// trade-off both ways.
+	UpdateWinsProdCons      bool
+	InvalidateWinsStreaming bool
+}
+
+// streaming builds the update-protocol worst case: one processor rewrites a
+// single location n times that another processor holds a (warmed) copy of,
+// reading it once at the end through a sync flag. DRF0-conforming.
+func streaming(n int) *program.Program {
+	b := program.NewBuilder(fmt.Sprintf("streaming-n%d", n))
+	const (
+		x  mem.Addr = 0
+		gо mem.Addr = 1
+		f  mem.Addr = 2
+	)
+	// P0: wait for the warmer, stream writes, release.
+	b.Thread().
+		Label("wait")
+	b.SyncLoad(0, gо)
+	b.Bne(0, program.Imm(1), "wait")
+	b.Mov(1, program.Imm(0))
+	b.Label("loop")
+	b.Blt(1, program.Imm(mem.Value(n)), "body")
+	b.Jmp("end")
+	b.Label("body")
+	b.Store(x, program.R(1))
+	b.Add(1, 1, program.Imm(1))
+	b.Jmp("loop")
+	b.Label("end")
+	b.SyncStore(f, program.Imm(1))
+	b.Halt()
+	// P1: warm a copy of x, announce, wait for the flag, read the result.
+	b.Thread().
+		Load(2, x).
+		SyncStore(gо, program.Imm(1)).
+		Label("spin")
+	b.SyncLoad(3, f)
+	b.Beq(3, program.Imm(0), "spin")
+	b.Load(4, x)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Protocol runs E11: the same DRF0 workloads under both data-path protocols
+// on the Section-5 machine. Producer/consumer favors update (the consumer's
+// copy stays warm); streaming writes favor invalidation (one invalidation,
+// then exclusive hits, versus a full update round trip per write).
+func Protocol() (*ProtocolSummary, error) {
+	s := &ProtocolSummary{}
+	tbl := stats.NewTable("E11 — write-invalidate vs write-update data path (WO-def2)",
+		"workload", "protocol", "cycles", "messages", "read misses", "dir updates")
+	type measurement struct{ cycles sim.Time }
+	run := func(p *program.Program, proto machine.ProtocolKind) (measurement, error) {
+		cfg := machine.NewConfig(proc.PolicyWODef2)
+		cfg.Protocol = proto
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			return measurement{}, err
+		}
+		var rm int64
+		for _, cs := range res.CacheStats {
+			rm += cs.Get("read_misses")
+		}
+		tbl.Row(p.Name, proto.String(), int64(res.Cycles), res.Messages, rm, res.DirStats.Get("updates"))
+		return measurement{cycles: res.Cycles}, nil
+	}
+	pc := workload.ProducerConsumer(12, 10)
+	pcInv, err := run(pc, machine.ProtocolInvalidate)
+	if err != nil {
+		return nil, err
+	}
+	pcUpd, err := run(pc, machine.ProtocolUpdate)
+	if err != nil {
+		return nil, err
+	}
+	st := streaming(24)
+	stInv, err := run(st, machine.ProtocolInvalidate)
+	if err != nil {
+		return nil, err
+	}
+	stUpd, err := run(st, machine.ProtocolUpdate)
+	if err != nil {
+		return nil, err
+	}
+	s.UpdateWinsProdCons = pcUpd.cycles < pcInv.cycles
+	s.InvalidateWinsStreaming = stInv.cycles < stUpd.cycles
+	tbl.Note("update keeps consumer copies warm (producer/consumer); invalidation turns streaming rewrites into exclusive hits")
+	s.Table = tbl
+	return s, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"weakorder/internal/machine"
+	"weakorder/internal/proc"
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+	"weakorder/internal/workload"
+)
+
+// QuantRow is one (workload, policy) measurement.
+type QuantRow struct {
+	Workload string
+	Policy   proc.Policy
+	Cycles   sim.Time
+	Stall    int64 // total stall cycles across processors (all classes)
+	Messages uint64
+	Speedup  float64 // vs SC on the same workload
+}
+
+// QuantSummary reports E4.
+type QuantSummary struct {
+	Table *stats.Table
+	Rows  []QuantRow
+	// WeakNeverSlower: on every workload, both weakly ordered policies ran
+	// at least as fast as SC.
+	WeakNeverSlower bool
+	// Def2NeverSlowerThanDef1 holds on workloads without read-only-sync
+	// spinning pathologies.
+	Def2NeverSlowerThanDef1 bool
+}
+
+// stallClasses are the processor stall counters summed into QuantRow.Stall.
+var stallClasses = []string{
+	"read_stall_cycles", "write_stall_cycles", "mshr_stall_cycles",
+	"sync_counter_stall_cycles", "sync_line_stall_cycles", "sync_performed_stall_cycles",
+}
+
+func totalStall(res *machine.Result) int64 {
+	var n int64
+	for _, c := range stallClasses {
+		n += res.TotalStall(c)
+	}
+	return n
+}
+
+// quantWorkloads are the E4 benchmark programs: the communication patterns
+// the paper's introduction motivates (synchronized data sharing) at moderate
+// scale.
+func quantWorkloads() []struct {
+	name string
+	prog *program.Program
+} {
+	return []struct {
+		name string
+		prog *program.Program
+	}{
+		{"prodcons-16x20", workload.ProducerConsumer(16, 20)},
+		{"lock-4p-6acq", workload.Lock(4, 6, 10, 10, workload.SpinTAS)},
+		{"barrier-4p-5ph", workload.Barrier(4, 5, 30, workload.SpinSync)},
+		{"fig3-3w", workload.Fig3(3, 150)},
+	}
+}
+
+// Quant runs E4: the quantitative Definition-1 vs Definition-2 comparison the
+// paper's conclusion calls for, with sequential consistency as the baseline.
+func Quant() (*QuantSummary, error) {
+	s := &QuantSummary{WeakNeverSlower: true, Def2NeverSlowerThanDef1: true}
+	tbl := stats.NewTable("E4 — cycles, stalls and traffic by policy (network fabric, latency 10)",
+		"workload", "policy", "cycles", "stall cycles", "messages", "speedup vs SC")
+	for _, w := range quantWorkloads() {
+		var scCycles, def1Cycles sim.Time
+		for _, pol := range []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2} {
+			cfg := machine.NewConfig(pol)
+			res, err := machine.Run(w.prog, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", w.name, pol, err)
+			}
+			row := QuantRow{
+				Workload: w.name,
+				Policy:   pol,
+				Cycles:   res.Cycles,
+				Stall:    totalStall(res),
+				Messages: res.Messages,
+			}
+			switch pol {
+			case proc.PolicySC:
+				scCycles = res.Cycles
+				row.Speedup = 1
+			default:
+				row.Speedup = float64(scCycles) / float64(res.Cycles)
+				if res.Cycles > scCycles {
+					s.WeakNeverSlower = false
+				}
+			}
+			if pol == proc.PolicyWODef1 {
+				def1Cycles = res.Cycles
+			}
+			if pol == proc.PolicyWODef2 && res.Cycles > def1Cycles {
+				s.Def2NeverSlowerThanDef1 = false
+			}
+			s.Rows = append(s.Rows, row)
+			tbl.Row(w.name, pol.String(), int64(row.Cycles), row.Stall, row.Messages, row.Speedup)
+		}
+	}
+	tbl.Note("speedups are synthetic-simulator shapes, not absolute-hardware claims")
+	s.Table = tbl
+	return s, nil
+}

@@ -1,0 +1,144 @@
+// Package interconnect provides the timed message fabrics of the
+// discrete-event machine: a split-transaction shared bus (fully serialized,
+// delivery in request order) and a general point-to-point network
+// (per-message latency with deterministic jitter, no cross-link ordering) —
+// the two interconnect styles Figure 1 distinguishes.
+package interconnect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakorder/internal/sim"
+)
+
+// NodeID addresses an endpoint on the fabric. By convention the machine
+// assigns 0..N-1 to processor caches and N to the directory/memory
+// controller.
+type NodeID int
+
+// Message is an opaque payload delivered to an endpoint. The cache package
+// defines the concrete protocol messages.
+type Message interface{}
+
+// Endpoint receives messages from the fabric.
+type Endpoint interface {
+	Deliver(src NodeID, msg Message)
+}
+
+// Fabric is the common interface of the bus and the network.
+type Fabric interface {
+	// Attach registers an endpoint. All endpoints must be attached before
+	// the first Send.
+	Attach(id NodeID, e Endpoint)
+	// Send schedules delivery of msg from src to dst.
+	Send(src, dst NodeID, msg Message)
+	// Messages returns the number of messages sent so far.
+	Messages() uint64
+}
+
+// Network is a general interconnection network: each message takes
+// Latency ± jitter cycles, independently, so two messages on different
+// source/destination pairs (and even on the same pair, if jitter differs) may
+// be delivered out of their send order — exactly the relaxation of Figure 1's
+// configurations 2 and 4.
+type Network struct {
+	engine  *sim.Engine
+	eps     map[NodeID]Endpoint
+	latency sim.Time
+	jitter  int
+	rng     *rand.Rand
+	sent    uint64
+	// keepFIFO, when set, preserves per-(src,dst) send order even with
+	// jitter (virtual-channel FIFOs); an ablation knob.
+	keepFIFO bool
+	lastArr  map[[2]NodeID]sim.Time
+}
+
+// NewNetwork builds a network fabric. latency is the base hop cost; jitter,
+// when positive, adds a uniformly random 0..jitter-1 extra cycles per message
+// drawn from rng (pass a seeded rng for reproducibility). fifo preserves
+// per-link ordering.
+func NewNetwork(engine *sim.Engine, latency sim.Time, jitter int, rng *rand.Rand, fifo bool) *Network {
+	if latency < 1 {
+		latency = 1
+	}
+	return &Network{
+		engine:   engine,
+		eps:      make(map[NodeID]Endpoint),
+		latency:  latency,
+		jitter:   jitter,
+		rng:      rng,
+		keepFIFO: fifo,
+		lastArr:  make(map[[2]NodeID]sim.Time),
+	}
+}
+
+// Attach implements Fabric.
+func (n *Network) Attach(id NodeID, e Endpoint) { n.eps[id] = e }
+
+// Send implements Fabric.
+func (n *Network) Send(src, dst NodeID, msg Message) {
+	ep, ok := n.eps[dst]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: send to unattached node %d", dst))
+	}
+	n.sent++
+	d := n.latency
+	if n.jitter > 0 && n.rng != nil {
+		d += sim.Time(n.rng.Intn(n.jitter))
+	}
+	at := n.engine.Now() + d
+	if n.keepFIFO {
+		key := [2]NodeID{src, dst}
+		if last := n.lastArr[key]; at <= last {
+			at = last + 1
+		}
+		n.lastArr[key] = at
+	}
+	n.engine.At(at, func() { ep.Deliver(src, msg) })
+}
+
+// Messages implements Fabric.
+func (n *Network) Messages() uint64 { return n.sent }
+
+// Bus is a shared split-transaction bus: one message occupies the bus for
+// Cycle cycles and messages are delivered strictly in request order — the
+// fully serialized fabric of Figure 1's configurations 1 and 3.
+type Bus struct {
+	engine *sim.Engine
+	eps    map[NodeID]Endpoint
+	cycle  sim.Time
+	free   sim.Time // earliest time the bus is available
+	sent   uint64
+}
+
+// NewBus builds a bus fabric; cycle is the per-message occupancy.
+func NewBus(engine *sim.Engine, cycle sim.Time) *Bus {
+	if cycle < 1 {
+		cycle = 1
+	}
+	return &Bus{engine: engine, eps: make(map[NodeID]Endpoint), cycle: cycle}
+}
+
+// Attach implements Fabric.
+func (b *Bus) Attach(id NodeID, e Endpoint) { b.eps[id] = e }
+
+// Send implements Fabric.
+func (b *Bus) Send(src, dst NodeID, msg Message) {
+	ep, ok := b.eps[dst]
+	if !ok {
+		panic(fmt.Sprintf("interconnect: send to unattached node %d", dst))
+	}
+	b.sent++
+	start := b.engine.Now()
+	if b.free > start {
+		start = b.free
+	}
+	arrival := start + b.cycle
+	b.free = arrival
+	b.engine.At(arrival, func() { ep.Deliver(src, msg) })
+}
+
+// Messages implements Fabric.
+func (b *Bus) Messages() uint64 { return b.sent }

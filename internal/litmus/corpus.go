@@ -1,0 +1,470 @@
+package litmus
+
+import "weakorder/internal/program"
+
+// mk builds a Test from parser source; the exists clause becomes the
+// condition of interest.
+func mk(name, desc string, drf0 bool, src string, expect map[string]bool) *Test {
+	r := program.MustParse(src)
+	if r.Exists == nil {
+		panic("litmus: corpus test without exists clause: " + name)
+	}
+	r.Program.Name = name
+	return &Test{
+		Name:        name,
+		Description: desc,
+		Prog:        r.Program,
+		Cond:        r.Exists,
+		Expect:      expect,
+		DRF0:        drf0,
+	}
+}
+
+// allowedOnRelaxedOnly marks an outcome reachable on every Figure-1 relaxed
+// machine but not on SC. The weakly ordered machines relax data accesses too,
+// so a racy outcome generally remains reachable there — Definition 2 promises
+// nothing for racy programs.
+func allowedOnRelaxedOnly() map[string]bool {
+	return map[string]bool{
+		"SC":                      false,
+		"bus+writebuffer":         true,
+		"bus+cache+writebuffer":   true,
+		"network-nocache":         true,
+		"network+cache-nonatomic": true,
+		"WO-def1":                 true,
+		"WO-def2":                 true,
+		"WO-def2-drf1":            true,
+		"RP3-fence":               true,
+	}
+}
+
+// forbiddenEverywhere marks an outcome no machine may produce.
+func forbiddenEverywhere() map[string]bool {
+	m := allowedOnRelaxedOnly()
+	for k := range m {
+		m[k] = false
+	}
+	return m
+}
+
+// Corpus returns the standard litmus tests.
+func Corpus() []*Test {
+	var tests []*Test
+
+	// Figure 1: the store-buffering (Dekker) violation. "Result - P1 and P2
+	// are both killed" corresponds to both loads returning 0.
+	tests = append(tests, mk("fig1-dekker-data",
+		"Figure 1: X=1;if(Y==0) || Y=1;if(X==0) with data accesses; both zeros violates SC",
+		false, `
+name: fig1-dekker-data
+init: x=0 y=0
+thread:
+    st x, 1
+    ld r0, y
+thread:
+    st y, 1
+    ld r1, x
+exists: 0:r0=0 && 1:r1=0
+`, allowedOnRelaxedOnly()))
+
+	// The same communication pattern expressed with synchronization
+	// operations: every machine that recognizes synchronization must forbid
+	// the violation. The NonAtomic machine ignores synchronization
+	// entirely — that is exactly what makes it broken — so it still allows
+	// the outcome.
+	dekkerSyncExpect := forbiddenEverywhere()
+	dekkerSyncExpect["network+cache-nonatomic"] = true
+	tests = append(tests, mk("fig1-dekker-sync",
+		"Dekker with hardware-recognizable synchronization accesses only",
+		true, `
+name: fig1-dekker-sync
+init: x=0 y=0
+thread:
+    sync.st x, 1
+    sync.ld r0, y
+thread:
+    sync.st y, 1
+    sync.ld r1, x
+exists: 0:r0=0 && 1:r1=0
+`, dekkerSyncExpect))
+
+	// Message passing with plain data accesses: racy, and the stale-data
+	// outcome is visible on machines whose writes complete out of order
+	// with later writes (reads passing writes does not reorder two writes,
+	// so the write-buffer machines forbid it; the network machines allow
+	// it).
+	tests = append(tests, mk("mp-data",
+		"message passing, data flag: r0=1 (saw flag) && r1=0 (stale payload)",
+		false, `
+name: mp-data
+init: d=0 f=0
+thread:
+    st d, 1
+    st f, 1
+thread:
+    ld r0, f
+    ld r1, d
+exists: 1:r0=1 && 1:r1=0
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false, // FIFO buffer keeps d before f
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         true, // f may reach its module first
+			"network+cache-nonatomic": true, // f may propagate to P1 first
+			"WO-def1":                 true,
+			"WO-def2":                 true,
+			"WO-def2-drf1":            true,
+			"RP3-fence":               true,
+		}))
+
+	// Message passing with a synchronization flag: DRF0, so every weakly
+	// ordered machine must forbid the stale read (Definition 2's promise).
+	// Note the spin: without it the consumer's data read races with the
+	// producer's data write in executions where the sync read completes
+	// first, and the program would not obey DRF0 (the synchronization-order
+	// edge would point the wrong way).
+	tests = append(tests, mk("mp-sync",
+		"message passing, sync flag with consumer spin: DRF0; stale payload impossible on WO hardware",
+		true, `
+name: mp-sync
+init: d=0 f=0
+thread:
+    st d, 1
+    sync.st f, 1
+thread:
+wait:
+    sync.ld r0, f
+    beq r0, 0, wait
+    ld r1, d
+exists: 1:r0=1 && 1:r1=0
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false,
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         false,
+			"network+cache-nonatomic": true, // the broken machine: d's propagation may lag the atomic-looking f
+			"WO-def1":                 false,
+			"WO-def2":                 false,
+			"WO-def2-drf1":            false,
+			"RP3-fence":               false,
+		}))
+
+	// Load buffering: requires a read to be overtaken by a program-later
+	// write of its own processor. None of the modeled machines speculate
+	// loads, so the outcome is forbidden everywhere.
+	tests = append(tests, mk("lb-data",
+		"load buffering: r0=1 && r1=1 needs load-store reordering; no modeled machine does it",
+		false, `
+name: lb-data
+init: x=0 y=0
+thread:
+    ld r0, x
+    st y, 1
+thread:
+    ld r1, y
+    st x, 1
+exists: 0:r0=1 && 1:r1=1
+`, forbiddenEverywhere()))
+
+	// Coherence (CoRR): two reads of one location by one processor must not
+	// observe a single remote write going backward. Write serialization
+	// (condition 2 of Section 5.1) holds on every machine.
+	tests = append(tests, mk("corr",
+		"coherence: new-then-old reads of one location are forbidden everywhere",
+		false, `
+name: corr
+init: x=0
+thread:
+    st x, 1
+thread:
+    ld r0, x
+    ld r1, x
+exists: 1:r0=1 && 1:r1=0
+`, forbiddenEverywhere()))
+
+	// IRIW with data accesses: two writers, two readers that disagree about
+	// the order of independent writes. Only the non-atomic-store machine
+	// can produce it.
+	tests = append(tests, mk("iriw-data",
+		"independent reads of independent writes: readers disagree on write order",
+		false, `
+name: iriw-data
+init: x=0 y=0
+thread:
+    st x, 1
+thread:
+    st y, 1
+thread:
+    ld r0, x
+    ld r1, y
+thread:
+    ld r2, y
+    ld r3, x
+exists: 2:r0=1 && 2:r1=0 && 3:r2=1 && 3:r3=0
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false,
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         false, // memory modules serialize each write globally
+			"network+cache-nonatomic": true,  // store atomicity is broken
+			"WO-def1":                 true,
+			"WO-def2":                 true,
+			"WO-def2-drf1":            true,
+			"RP3-fence":               true,
+		}))
+
+	// IRIW with synchronization reads and writes: DRF0, forbidden on every
+	// weakly ordered machine.
+	tests = append(tests, mk("iriw-sync",
+		"IRIW, all accesses synchronization: forbidden wherever sync is strongly ordered",
+		true, `
+name: iriw-sync
+init: x=0 y=0
+thread:
+    sync.st x, 1
+thread:
+    sync.st y, 1
+thread:
+    sync.ld r0, x
+    sync.ld r1, y
+thread:
+    sync.ld r2, y
+    sync.ld r3, x
+exists: 2:r0=1 && 2:r1=0 && 3:r2=1 && 3:r3=0
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false,
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         false,
+			"network+cache-nonatomic": true, // NonAtomic ignores synchronization; store atomicity stays broken
+			"WO-def1":                 false,
+			"WO-def2":                 false,
+			"WO-def2-drf1":            false,
+			"RP3-fence":               false,
+		}))
+
+	// Write-to-read causality with data accesses: P2 observes P1's write
+	// (made after P1 read P0's write) yet misses P0's write — possible only
+	// where store atomicity is broken (non-atomic cached stores; all the
+	// weakly ordered machines relax data accesses the same way).
+	tests = append(tests, mk("wrc-data",
+		"write-to-read causality: racy; only non-atomic stores break it",
+		false, `
+name: wrc-data
+init: x=0 y=0
+thread:
+    st x, 1
+thread:
+    ld r0, x
+    st y, 1
+thread:
+    ld r1, y
+    ld r2, x
+exists: 1:r0=1 && 2:r1=1 && 2:r2=0
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false,
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         false, // modules serialize; reads block
+			"network+cache-nonatomic": true,
+			"WO-def1":                 true,
+			"WO-def2":                 true,
+			"WO-def2-drf1":            true,
+			"RP3-fence":               true,
+		}))
+
+	// Transitive causality through two synchronization locations — the
+	// paper's op(P1,x) -> S(s) -> S(s) -> S(t) -> S(t) -> op(P3,x) chain as
+	// a program. DRF0: every weakly ordered machine must deliver x.
+	tests = append(tests, mk("wrc-transitive-sync",
+		"causality chain across two sync locations; tests hb transitivity in hardware",
+		true, `
+name: wrc-transitive-sync
+init: x=0 a=0 b=0
+thread:
+    st x, 1
+    sync.st a, 1
+thread:
+w1:
+    sync.ld r0, a
+    beq r0, 0, w1
+    sync.st b, 1
+thread:
+w2:
+    sync.ld r1, b
+    beq r1, 0, w2
+    ld r2, x
+exists: 2:r2=0
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false,
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         false,
+			"network+cache-nonatomic": true,
+			"WO-def1":                 false,
+			"WO-def2":                 false,
+			"WO-def2-drf1":            false,
+			"RP3-fence":               false,
+		}))
+
+	// S: can P0's first write to x be ordered after P1's write to x even
+	// though P1 observed P0's *second* access? Requires two same-processor
+	// writes to different locations to reorder — the network-without-caches
+	// relaxation precisely; FIFO write buffers and commit-ordered cached
+	// stores both forbid it.
+	tests = append(tests, mk("s-test",
+		"S: write-write reordering observable through the final state",
+		false, `
+name: s-test
+init: x=0 y=0
+thread:
+    st x, 2
+    st y, 1
+thread:
+    ld r0, y
+    st x, 1
+exists: 1:r0=1 && [x]=2
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false, // FIFO drain keeps x=2 before y=1
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         true,  // x=2 and y=1 race to different modules
+			"network+cache-nonatomic": false, // commit order serializes same-location writes
+			"WO-def1":                 false,
+			"WO-def2":                 false,
+			"WO-def2-drf1":            false,
+			"RP3-fence":               false,
+		}))
+
+	// 2+2W: both locations end with their *first* writer's value, requiring
+	// a write-write reordering cycle. Forbidden under FIFO buffers and
+	// commit-ordered stores; the unordered network allows it.
+	tests = append(tests, mk("2+2w",
+		"2+2W: cyclic write-write reordering across two locations",
+		false, `
+name: 2+2w
+init: x=0 y=0
+thread:
+    st x, 1
+    st y, 2
+thread:
+    st y, 1
+    st x, 2
+exists: [x]=1 && [y]=1
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false,
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         true,
+			"network+cache-nonatomic": false,
+			"WO-def1":                 false,
+			"WO-def2":                 false,
+			"WO-def2-drf1":            false,
+			"RP3-fence":               false,
+		}))
+
+	// The Figure 3 scenario as a reachability question: P0 writes x and
+	// Unsets s; P1 TestAndSets s until it wins, then reads x. DRF0: the
+	// only conflicting data accesses (W(x), R(x)) are ordered through s.
+	// Every weakly ordered machine must make r1=0-after-winning impossible.
+	tests = append(tests, mk("fig3-handoff",
+		"Figure 3: lock hand-off; the winner must see the payload",
+		true, `
+name: fig3-handoff
+init: x=0 s=1
+thread:
+    st x, 42
+    sync.st s, 0
+thread:
+spin:
+    tas r0, s, 1
+    bne r0, 0, spin
+    ld r1, x
+exists: 1:r1=0
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false,
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         false,
+			"network+cache-nonatomic": true,
+			"WO-def1":                 false,
+			"WO-def2":                 false,
+			"WO-def2-drf1":            false,
+			"RP3-fence":               false,
+		}))
+
+	// Mutual exclusion with a TestAndSet lock: both processors increment a
+	// shared counter inside the critical section; losing an increment
+	// would require a data race inside the section. DRF0 holds, so every
+	// weakly ordered machine must deliver both increments.
+	tests = append(tests, mk("tas-mutex",
+		"TestAndSet critical sections: final counter must be 2 on WO hardware",
+		true, `
+name: tas-mutex
+init: l=0 c=0
+thread:
+acq0:
+    tas r0, l, 1
+    bne r0, 0, acq0
+    ld r1, c
+    add r1, r1, 1
+    st c, r1
+    sync.st l, 0
+thread:
+acq1:
+    tas r0, l, 1
+    bne r0, 0, acq1
+    ld r1, c
+    add r1, r1, 1
+    st c, r1
+    sync.st l, 0
+exists: !([c]=2)
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false,
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         false,
+			"network+cache-nonatomic": true,
+			"WO-def1":                 false,
+			"WO-def2":                 false,
+			"WO-def2-drf1":            false,
+			"RP3-fence":               false,
+		}))
+
+	// Spinning on a barrier count with a DATA read — the "limitation of
+	// DRF0" discussed at the end of Section 6: the program is racy (the
+	// data read races with the sync write), yet Definition-1 hardware
+	// happens to give the intuitive result. Under Definition 2 nothing is
+	// promised; the corpus records present behavior of each machine.
+	tests = append(tests, mk("barrier-data-spin",
+		"spin on a data read of a flag released by sync write; racy but benign on Def1 hardware",
+		false, `
+name: barrier-data-spin
+init: d=0 f=0
+thread:
+    st d, 7
+    sync.st f, 1
+thread:
+wait:
+    ld r0, f
+    beq r0, 0, wait
+    ld r1, d
+exists: 1:r1=0
+`, map[string]bool{
+			"SC":      false,
+			"WO-def1": false, // Unset waits for W(d) to perform globally first
+			"WO-def2": true,  // data spin creates no reservation hand-off
+		}))
+
+	return tests
+}
+
+// ByName returns the corpus test with the given name.
+func ByName(name string) (*Test, bool) {
+	for _, t := range Corpus() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,89 @@
+package litmus
+
+import "weakorder/internal/mem"
+
+// Figure 2 of the paper shows two executions on the idealized architecture:
+// (a) obeys DRF0 — every pair of conflicting accesses is ordered by the
+// happens-before relation through chains of synchronization on the same
+// location — while (b) violates it. The printed figure's exact layout does
+// not survive transcription, so the executions below reconstruct its
+// documented structure: in (a) all cross-processor conflicts are bridged by
+// S(·) chains; in (b) "the accesses of P0 conflict with the write of P1 but
+// are not ordered with respect to it", and "the writes by P2 and P4 conflict,
+// but are unordered".
+
+// acc abbreviates access construction for execution building.
+func acc(p mem.ProcID, op mem.Op, a mem.Addr, v mem.Value) mem.Access {
+	return mem.Access{Proc: p, Op: op, Addr: a, Value: v}
+}
+
+// Locations used by the Figure 2 executions. Data variables x, y, z and
+// synchronization variables a, b, c.
+const (
+	figX mem.Addr = iota
+	figY
+	figZ
+	figA
+	figB
+	figC
+)
+
+// Figure2a returns the DRF0-obeying execution: six processors whose
+// conflicting accesses are all ordered via synchronization chains. The
+// completion order is the order of Append calls (time flows downward in the
+// figure).
+func Figure2a() *mem.Execution {
+	e := mem.NewExecution(6)
+	// P0 produces x, releases through a.
+	e.Append(acc(0, mem.OpWrite, figX, 1))
+	e.Append(acc(0, mem.OpSyncWrite, figA, 1))
+	// P1 acquires a, reads x, produces y, releases through b.
+	e.Append(acc(1, mem.OpSyncRMW, figA, 1)) // reads 1, writes WValue below
+	e.Events[len(e.Events)-1].WValue = 2
+	e.Append(acc(1, mem.OpRead, figX, 1))
+	e.Append(acc(1, mem.OpWrite, figY, 10))
+	e.Append(acc(1, mem.OpSyncWrite, figB, 1))
+	// P2 acquires b, reads y, overwrites x (ordered after P0's and P1's
+	// accesses through the a-then-b chain), releases through c.
+	e.Append(acc(2, mem.OpSyncRMW, figB, 1))
+	e.Events[len(e.Events)-1].WValue = 2
+	e.Append(acc(2, mem.OpRead, figY, 10))
+	e.Append(acc(2, mem.OpWrite, figX, 2))
+	e.Append(acc(2, mem.OpSyncWrite, figC, 1))
+	// P3 acquires c and reads both x and y.
+	e.Append(acc(3, mem.OpSyncRMW, figC, 1))
+	e.Events[len(e.Events)-1].WValue = 2
+	e.Append(acc(3, mem.OpRead, figX, 2))
+	e.Append(acc(3, mem.OpRead, figY, 10))
+	// P4 produces z and releases through a second round on a; P5 acquires
+	// a after it and reads z.
+	e.Append(acc(4, mem.OpWrite, figZ, 5))
+	e.Append(acc(4, mem.OpSyncWrite, figA, 3))
+	e.Append(acc(5, mem.OpSyncRMW, figA, 3))
+	e.Events[len(e.Events)-1].WValue = 4
+	e.Append(acc(5, mem.OpRead, figZ, 5))
+	return e
+}
+
+// Figure2b returns the DRF0-violating execution: P0's read and write of x
+// conflict with P1's write of x with no intervening synchronization, and P2's
+// and P4's writes of y conflict while the only synchronization chain (a)
+// bridges P2 to P3, not to P4.
+func Figure2b() *mem.Execution {
+	e := mem.NewExecution(5)
+	// P0 reads then writes x...
+	e.Append(acc(0, mem.OpRead, figX, 0))
+	e.Append(acc(0, mem.OpWrite, figX, 1))
+	// ...while P1 writes x with no synchronization anywhere: races.
+	e.Append(acc(1, mem.OpWrite, figX, 2))
+	// P2 produces y and releases through a; P3 acquires a and reads y:
+	// this pair is properly ordered.
+	e.Append(acc(2, mem.OpWrite, figY, 10))
+	e.Append(acc(2, mem.OpSyncWrite, figA, 1))
+	e.Append(acc(3, mem.OpSyncRMW, figA, 1))
+	e.Events[len(e.Events)-1].WValue = 2
+	e.Append(acc(3, mem.OpRead, figY, 10))
+	// P4 also writes y, unordered with P2's write and P3's read.
+	e.Append(acc(4, mem.OpWrite, figY, 20))
+	return e
+}

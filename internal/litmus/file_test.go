@@ -1,0 +1,72 @@
+package litmus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"weakorder/internal/program"
+)
+
+// loadFile parses one testdata litmus file into a Test.
+func loadFile(t *testing.T, name string) *Test {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := program.Parse(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if res.Exists == nil {
+		t.Fatalf("%s: no exists clause", name)
+	}
+	return &Test{Name: res.Program.Name, Prog: res.Program, Cond: res.Exists}
+}
+
+// TestLitmusFiles runs the testdata corpus across machines, asserting the
+// file-based path (parse → explore → evaluate) agrees with the known
+// verdicts.
+func TestLitmusFiles(t *testing.T) {
+	expectations := map[string]map[string]bool{
+		"sb.litmus": {
+			"SC":              false,
+			"bus+writebuffer": true,
+		},
+		"mp-sync.litmus": {
+			"SC":      false,
+			"WO-def1": false,
+			"WO-def2": false,
+		},
+		"faa-counter.litmus": {
+			"SC":                      false,
+			"WO-def2":                 false,
+			"network+cache-nonatomic": true, // non-atomic RMW loses increments
+		},
+	}
+	files, err := filepath.Glob(filepath.Join("testdata", "*.litmus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(expectations) {
+		t.Fatalf("testdata has %d files, expectations cover %d", len(files), len(expectations))
+	}
+	for _, f := range files {
+		name := filepath.Base(f)
+		tst := loadFile(t, name)
+		for machineName, want := range expectations[name] {
+			fac, ok := FactoryByName(machineName)
+			if !ok {
+				t.Fatalf("unknown machine %s", machineName)
+			}
+			o, err := Run(tst, fac, nil)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, machineName, err)
+			}
+			if o.Observed != want {
+				t.Errorf("%s on %s: observed=%v, want %v", name, machineName, o.Observed, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package litmus
+
+import (
+	"testing"
+
+	"weakorder/internal/core"
+	"weakorder/internal/model"
+)
+
+// TestCorpusExpectations runs every corpus test on every machine and checks
+// each asserted reachability verdict. This is the repository's empirical
+// Figure-1 reproduction: the Dekker violation must be reachable on exactly
+// the relaxed configurations the paper lists, and impossible under SC.
+func TestCorpusExpectations(t *testing.T) {
+	for _, tst := range Corpus() {
+		for _, f := range Factories() {
+			tst, f := tst, f
+			t.Run(tst.Name+"/"+f.Name, func(t *testing.T) {
+				o, err := Run(tst, f, nil)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if !o.OK() {
+					t.Errorf("%s on %s: observed reachable=%v, want %v (%s)",
+						tst.Name, f.Name, o.Observed, o.Expected, o.Stats)
+				}
+			})
+		}
+	}
+}
+
+// TestCorpusDRF0Flags verifies each corpus test's recorded DRF0 flag against
+// the actual Definition-3 check over all idealized executions.
+func TestCorpusDRF0Flags(t *testing.T) {
+	for _, tst := range Corpus() {
+		tst := tst
+		t.Run(tst.Name, func(t *testing.T) {
+			// Spin loops make the execution set infinite; enumerate all
+			// idealized executions up to a length bound (every corpus race
+			// already manifests in short executions; the longest minimal
+			// complete run in the corpus is 8 operations).
+			enum := &model.Enumerator{Prog: tst.Prog, Explorer: &model.Explorer{MaxTraceOps: 14}}
+			rep, err := core.CheckProgram(enum, core.DRF0{}, 1)
+			if err != nil {
+				t.Fatalf("CheckProgram: %v", err)
+			}
+			if rep.Obeys() != tst.DRF0 {
+				t.Errorf("%s: DRF0 check says obeys=%v, corpus says %v (%s)",
+					tst.Name, rep.Obeys(), tst.DRF0, rep)
+			}
+		})
+	}
+}
+
+// TestFigure2 checks the two Figure-2 executions: (a) obeys DRF0, (b) has
+// exactly the two race clusters the caption describes.
+func TestFigure2(t *testing.T) {
+	repA, err := core.CheckExecution(Figure2a(), core.DRF0{})
+	if err != nil {
+		t.Fatalf("figure 2a: %v", err)
+	}
+	if !repA.Free() {
+		t.Errorf("figure 2a should obey DRF0; got %s", repA)
+	}
+	repB, err := core.CheckExecution(Figure2b(), core.DRF0{})
+	if err != nil {
+		t.Fatalf("figure 2b: %v", err)
+	}
+	if repB.Free() {
+		t.Fatalf("figure 2b should violate DRF0")
+	}
+	// Expect races on x between P0 and P1 (two pairs: R/W and W/W) and on y
+	// between P4 and both P2's write and P3's read.
+	onX, onY := 0, 0
+	for _, r := range repB.Races {
+		switch r.A.Addr {
+		case figX:
+			onX++
+		case figY:
+			onY++
+		}
+	}
+	if onX != 2 || onY != 2 {
+		t.Errorf("figure 2b races: got %d on x, %d on y, want 2 and 2: %s", onX, onY, repB)
+	}
+	// Figure 2a should also satisfy Lemma 1's read-value condition.
+	ord, err := core.BuildOrders(Figure2a(), core.DRF0{})
+	if err != nil {
+		t.Fatalf("orders: %v", err)
+	}
+	if l1 := core.CheckLemma1(ord, nil); !l1.OK() {
+		t.Errorf("figure 2a should satisfy Lemma 1: %s", l1)
+	}
+}
+
+// TestFigure2aUnderDRF1 checks that the reconstruction also obeys the
+// Section-6 refined model (its releases are all sync writes or RMWs).
+func TestFigure2aUnderDRF1(t *testing.T) {
+	rep, err := core.CheckExecution(Figure2a(), core.DRF1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Free() {
+		t.Errorf("figure 2a should obey DRF1: %s", rep)
+	}
+}

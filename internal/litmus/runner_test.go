@@ -1,0 +1,71 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/model"
+)
+
+func TestRunAllOverSubset(t *testing.T) {
+	tests := []*Test{}
+	for _, name := range []string{"fig1-dekker-data", "corr"} {
+		tst, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing corpus test %s", name)
+		}
+		tests = append(tests, tst)
+	}
+	fs := []Factory{}
+	for _, name := range []string{"SC", "bus+writebuffer"} {
+		f, ok := FactoryByName(name)
+		if !ok {
+			t.Fatalf("missing factory %s", name)
+		}
+		fs = append(fs, f)
+	}
+	outs, err := RunAll(tests, fs, &model.Explorer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 4 {
+		t.Fatalf("outcomes = %d, want 4", len(outs))
+	}
+	for _, o := range outs {
+		if !o.OK() {
+			t.Errorf("unexpected observation: %s", o)
+		}
+	}
+	// Outcome rendering.
+	s := outs[0].String()
+	if !strings.Contains(s, outs[0].Test) || !strings.Contains(s, outs[0].Machine) {
+		t.Errorf("outcome string: %q", s)
+	}
+	bad := Outcome{Test: "t", Machine: "m", Observed: true, Expected: false, Asserted: true}
+	if !strings.Contains(bad.String(), "UNEXPECTED") {
+		t.Errorf("mismatch marker missing: %q", bad.String())
+	}
+}
+
+func TestFactoryByNameUnknown(t *testing.T) {
+	if _, ok := FactoryByName("no-such-machine"); ok {
+		t.Fatal("unknown machine resolved")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("no-such-test"); ok {
+		t.Fatal("unknown test resolved")
+	}
+}
+
+func TestWeaklyOrderedFactoriesExcludeBrokenMachines(t *testing.T) {
+	for _, f := range WeaklyOrderedFactories() {
+		if f.Name == "network+cache-nonatomic" {
+			t.Fatal("the broken machine must not claim weak ordering")
+		}
+	}
+	if len(WeaklyOrderedFactories()) < 5 {
+		t.Fatal("expected several weakly ordered machines")
+	}
+}

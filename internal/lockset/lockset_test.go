@@ -1,0 +1,204 @@
+package lockset
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/proc"
+	"weakorder/internal/workload"
+)
+
+const (
+	lockA mem.Addr = 100
+	varX  mem.Addr = 0
+	varY  mem.Addr = 1
+)
+
+// acq/rel/w/r are event helpers appended in completion order.
+func acq(e *mem.Execution, p mem.ProcID, l mem.Addr) {
+	e.Append(mem.Access{Proc: p, Op: mem.OpSyncRMW, Addr: l, Value: 0, WValue: 1})
+}
+func rel(e *mem.Execution, p mem.ProcID, l mem.Addr) {
+	e.Append(mem.Access{Proc: p, Op: mem.OpSyncWrite, Addr: l, Value: 0})
+}
+func w(e *mem.Execution, p mem.ProcID, a mem.Addr, v mem.Value) {
+	e.Append(mem.Access{Proc: p, Op: mem.OpWrite, Addr: a, Value: v})
+}
+func r(e *mem.Execution, p mem.ProcID, a mem.Addr, v mem.Value) {
+	e.Append(mem.Access{Proc: p, Op: mem.OpRead, Addr: a, Value: v})
+}
+
+func TestDisciplinedExecution(t *testing.T) {
+	e := mem.NewExecution(2)
+	acq(e, 0, lockA)
+	w(e, 0, varX, 1)
+	rel(e, 0, lockA)
+	acq(e, 1, lockA)
+	r(e, 1, varX, 1)
+	w(e, 1, varX, 2)
+	rel(e, 1, lockA)
+	rep, err := Check(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("disciplined execution flagged: %s", rep)
+	}
+	if locks := rep.Protection[varX]; len(locks) != 1 || locks[0] != lockA {
+		t.Errorf("protection of x = %v, want [lockA]", locks)
+	}
+	if rep.Accesses != 3 {
+		t.Errorf("accesses = %d, want 3", rep.Accesses)
+	}
+}
+
+func TestUnprotectedSharedAccess(t *testing.T) {
+	e := mem.NewExecution(2)
+	acq(e, 0, lockA)
+	w(e, 0, varX, 1)
+	rel(e, 0, lockA)
+	w(e, 1, varX, 2) // no lock held
+	rep, err := Check(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("unlocked shared write accepted")
+	}
+	if !strings.Contains(rep.String(), "x0") {
+		t.Errorf("report: %s", rep)
+	}
+}
+
+func TestThreadLocalExempt(t *testing.T) {
+	e := mem.NewExecution(2)
+	w(e, 0, varX, 1) // only P0 ever touches x: no lock needed
+	r(e, 0, varX, 1)
+	acq(e, 1, lockA)
+	w(e, 1, varY, 1)
+	rel(e, 1, lockA)
+	w(e, 1, varY, 2) // y is P1-local too
+	rep, err := Check(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("thread-local accesses flagged: %s", rep)
+	}
+	if len(rep.Protection) != 0 {
+		t.Errorf("no shared locations expected: %v", rep.Protection)
+	}
+}
+
+func TestLateSharingCatchesEmptyLockset(t *testing.T) {
+	// P0 writes x unlocked (fine while local); P1 then touches it locked —
+	// the candidate set is already empty, so sharing must flag it.
+	e := mem.NewExecution(2)
+	w(e, 0, varX, 1)
+	acq(e, 1, lockA)
+	r(e, 1, varX, 1)
+	rel(e, 1, lockA)
+	rep, err := Check(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("late-shared unprotected location accepted")
+	}
+}
+
+func TestFailedTASDoesNotAcquire(t *testing.T) {
+	e := mem.NewExecution(2)
+	// P0 holds the lock; P1's TAS fails (reads 1) and must not count.
+	acq(e, 0, lockA)
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: lockA, Value: 1, WValue: 1})
+	w(e, 1, varX, 5) // P1 writes "under" its failed TAS
+	rel(e, 0, lockA)
+	w(e, 0, varX, 6)
+	rep, err := Check(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("write under a failed TAS accepted")
+	}
+}
+
+func TestTwoLocksIntersect(t *testing.T) {
+	e := mem.NewExecution(2)
+	const lockB mem.Addr = 101
+	acq(e, 0, lockA)
+	acq(e, 0, lockB)
+	w(e, 0, varX, 1)
+	rel(e, 0, lockB)
+	rel(e, 0, lockA)
+	acq(e, 1, lockB)
+	w(e, 1, varX, 2)
+	rel(e, 1, lockB)
+	rep, err := Check(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("consistent lockB protection flagged: %s", rep)
+	}
+	if locks := rep.Protection[varX]; len(locks) != 1 || locks[0] != lockB {
+		t.Errorf("protection = %v, want [lockB]", locks)
+	}
+}
+
+func TestRequiresCompletionOrder(t *testing.T) {
+	e := mem.NewExecution(1)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpRead, Addr: 0})
+	e.Completed = nil
+	if _, err := Check(e); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestLockWorkloadTraceDisciplined runs the timed Lock workload and feeds its
+// trace through the checker: the critical-section counter must come out
+// protected by the lock on every policy.
+func TestLockWorkloadTraceDisciplined(t *testing.T) {
+	for _, pol := range []proc.Policy{proc.PolicySC, proc.PolicyWODef2} {
+		p := workload.Lock(3, 3, 5, 5, workload.SpinTAS)
+		cfg := machine.NewConfig(pol)
+		cfg.RecordTrace = true
+		res, err := machine.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(res.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s: lock workload flagged: %s", pol, rep)
+		}
+		if locks := rep.Protection[workload.CtrAddr()]; len(locks) != 1 {
+			t.Errorf("%s: counter protection = %v", pol, locks)
+		}
+	}
+}
+
+// TestBarrierWorkloadNotMonitorStyle: the barrier shares its payload through
+// phase ordering, not locks, so the monitor-discipline checker must flag it —
+// exactly why the paper frames these as *different* synchronization models.
+func TestBarrierWorkloadNotMonitorStyle(t *testing.T) {
+	p := workload.ProducerConsumer(3, 2)
+	cfg := machine.NewConfig(proc.PolicyWODef2)
+	cfg.RecordTrace = true
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("flag-based sharing should not satisfy the monitor discipline")
+	}
+}

@@ -1,0 +1,300 @@
+// Package machine composes the timed system: processors (internal/proc) with
+// private caches (internal/cache), a directory/memory controller, and an
+// interconnect fabric, all driven by the discrete-event engine. It is the
+// harness behind Figure 3 and the quantitative Definition-1-vs-Definition-2
+// experiments.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakorder/internal/cache"
+	"weakorder/internal/conditions"
+	"weakorder/internal/interconnect"
+	"weakorder/internal/mem"
+	"weakorder/internal/proc"
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+)
+
+// ProtocolKind selects the coherence action for data writes.
+type ProtocolKind uint8
+
+const (
+	// ProtocolInvalidate is the Section-5.2 write-back invalidation
+	// protocol (the default).
+	ProtocolInvalidate ProtocolKind = iota
+	// ProtocolUpdate multicasts data-write values to sharers instead of
+	// invalidating them (a Rudolph/Segall-style update protocol; the paper
+	// cites such designs among SC-preserving bus protocols).
+	// Synchronization operations keep the exclusive/reserve path.
+	ProtocolUpdate
+)
+
+// String implements fmt.Stringer.
+func (p ProtocolKind) String() string {
+	if p == ProtocolUpdate {
+		return "update"
+	}
+	return "invalidate"
+}
+
+// FabricKind selects the interconnect style.
+type FabricKind uint8
+
+const (
+	// FabricNetwork is a general interconnection network (per-message
+	// latency, optional jitter).
+	FabricNetwork FabricKind = iota
+	// FabricBus is a fully serialized shared bus.
+	FabricBus
+)
+
+// Config parameterizes one timed machine.
+type Config struct {
+	Policy   proc.Policy
+	Fabric   FabricKind
+	Protocol ProtocolKind
+	// HitLatency is the cache-hit cost (default 1).
+	HitLatency sim.Time
+	// MemLatency is the directory processing cost per request (default 4).
+	MemLatency sim.Time
+	// NetLatency is the per-message base cost on the network fabric
+	// (default 10); BusCycle the per-message bus occupancy (default 4).
+	NetLatency sim.Time
+	BusCycle   sim.Time
+	// NetJitter adds uniform 0..NetJitter-1 extra cycles per message.
+	NetJitter int
+	// FIFO preserves per-link delivery order on the network (default
+	// true via NewConfig; protocol correctness under non-FIFO delivery is
+	// handled but reorderings make runs harder to interpret).
+	FIFO bool
+	// Seed drives the jitter RNG; runs are deterministic per seed.
+	Seed int64
+	// RecordTrace collects every completed access for post-run
+	// SC/race-detector validation. Costs memory on long runs.
+	RecordTrace bool
+	// RecordTimings collects every access's (issue, commit, perform)
+	// lifecycle for checking the Section-5.1 conditions
+	// (internal/conditions).
+	RecordTimings bool
+	// MaxTime / MaxEvents bound the simulation (0 = generous defaults).
+	MaxTime   sim.Time
+	MaxEvents uint64
+}
+
+// NewConfig returns a Config with the documented defaults and the given
+// policy.
+func NewConfig(p proc.Policy) Config {
+	return Config{
+		Policy:     p,
+		Fabric:     FabricNetwork,
+		HitLatency: 1,
+		MemLatency: 4,
+		NetLatency: 10,
+		BusCycle:   4,
+		FIFO:       true,
+		Seed:       1,
+	}
+}
+
+func (c *Config) defaults() {
+	if c.HitLatency < 1 {
+		c.HitLatency = 1
+	}
+	if c.MemLatency < 1 {
+		c.MemLatency = 1
+	}
+	if c.NetLatency < 1 {
+		c.NetLatency = 10
+	}
+	if c.BusCycle < 1 {
+		c.BusCycle = 4
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 50_000_000
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 200_000_000
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	// Cycles is the completion time of the last processor.
+	Cycles sim.Time
+	// ProcFinish is each processor's completion time.
+	ProcFinish []sim.Time
+	// ProcStats holds each processor's counters (stall cycles by class).
+	ProcStats []*stats.Counters
+	// CacheStats holds each cache's counters (hits, misses, reserves...).
+	CacheStats []*stats.Counters
+	// DirStats is the directory's counters.
+	DirStats *stats.Counters
+	// Messages is the total fabric traffic.
+	Messages uint64
+	// Trace is the recorded execution when Config.RecordTrace was set.
+	Trace *mem.Execution
+	// Timings is the access lifecycle log when Config.RecordTimings was
+	// set, ready for conditions.Check / conditions.CheckRefined.
+	Timings []conditions.AccessTiming
+	// FinalMem is the coherent final memory state (owner copies folded in).
+	FinalMem map[mem.Addr]mem.Value
+	// FinalRegs is each thread's final register file.
+	FinalRegs []([program.NumRegs]mem.Value)
+}
+
+// TotalStall sums a stall counter across processors.
+func (r *Result) TotalStall(name string) int64 {
+	var n int64
+	for _, s := range r.ProcStats {
+		n += s.Get(name)
+	}
+	return n
+}
+
+// tracer implements proc.Tracer over a shared execution.
+type tracer struct {
+	exec *mem.Execution
+}
+
+func (t *tracer) Record(a mem.Access, opIndex int) {
+	t.exec.AppendAt(a, opIndex)
+}
+
+// timingSink implements proc.TimingSink over a shared log.
+type timingSink struct {
+	log []conditions.AccessTiming
+}
+
+func (s *timingSink) RecordTiming(t conditions.AccessTiming) { s.log = append(s.log, t) }
+
+// Machine is one composed system ready to run.
+type Machine struct {
+	cfg    Config
+	engine *sim.Engine
+	procs  []*proc.Processor
+	caches []*cache.Cache
+	dir    *cache.Directory
+	fabric interconnect.Fabric
+	trace  *mem.Execution
+	times  *timingSink
+	prog   *program.Program
+}
+
+// New composes a machine for the program.
+func New(p *program.Program, cfg Config) *Machine {
+	cfg.defaults()
+	engine := sim.NewEngine(cfg.MaxTime, cfg.MaxEvents)
+	n := p.NumThreads()
+	var fabric interconnect.Fabric
+	switch cfg.Fabric {
+	case FabricBus:
+		fabric = interconnect.NewBus(engine, cfg.BusCycle)
+	default:
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		fabric = interconnect.NewNetwork(engine, cfg.NetLatency, cfg.NetJitter, rng, cfg.FIFO)
+	}
+	dirID := interconnect.NodeID(n)
+	init := make(map[mem.Addr]mem.Value)
+	for _, a := range p.Addrs() {
+		init[a] = 0
+	}
+	for a, v := range p.Init {
+		init[a] = v
+	}
+	dir := cache.NewDirectory(dirID, engine, fabric, cfg.MemLatency, init)
+	m := &Machine{cfg: cfg, engine: engine, dir: dir, fabric: fabric, prog: p}
+	var tr *tracer
+	if cfg.RecordTrace {
+		m.trace = mem.NewExecution(n)
+		tr = &tracer{exec: m.trace}
+	}
+	if cfg.RecordTimings {
+		m.times = &timingSink{}
+	}
+	for i := 0; i < n; i++ {
+		c := cache.New(interconnect.NodeID(i), engine, fabric, dirID, cfg.HitLatency)
+		m.caches = append(m.caches, c)
+		var t proc.Tracer
+		if tr != nil {
+			t = tr
+		}
+		pr := proc.New(i, engine, c, p.Threads[i], cfg.Policy, t)
+		if m.times != nil {
+			pr.SetTimingSink(m.times)
+		}
+		pr.SetUpdateProtocol(cfg.Protocol == ProtocolUpdate)
+		m.procs = append(m.procs, pr)
+	}
+	return m
+}
+
+// Run executes the program to completion (all threads halted, all
+// transactions drained) and returns the result.
+func (m *Machine) Run() (*Result, error) {
+	remaining := len(m.procs)
+	for _, pr := range m.procs {
+		pr.Start(func() { remaining-- })
+	}
+	// Run the event queue dry: processors halt along the way, and trailing
+	// coherence traffic (outstanding write performance) still completes.
+	if err := m.engine.Run(nil); err != nil {
+		return nil, fmt.Errorf("machine: %w (policy %s)", err, m.cfg.Policy)
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("machine: %d processor(s) never finished (deadlock or livelock), policy %s", remaining, m.cfg.Policy)
+	}
+	res := &Result{
+		DirStats: m.dir.Stats,
+		Messages: m.fabric.Messages(),
+		Trace:    m.trace,
+		FinalMem: make(map[mem.Addr]mem.Value),
+	}
+	if m.times != nil {
+		res.Timings = m.times.log
+	}
+	var last sim.Time
+	for i, pr := range m.procs {
+		ft := pr.FinishTime()
+		if ft > last {
+			last = ft
+		}
+		res.ProcFinish = append(res.ProcFinish, ft)
+		res.ProcStats = append(res.ProcStats, pr.Stats)
+		res.CacheStats = append(res.CacheStats, m.caches[i].Stats)
+	}
+	res.Cycles = last
+	// Collect the coherent final memory: owner caches override the
+	// directory copy.
+	for _, a := range m.prog.Addrs() {
+		v, _ := m.dir.MemValue(a)
+		if o := m.dir.Owner(a); o >= 0 && int(o) < len(m.caches) {
+			if cv, st := m.caches[o].Snoop(a); st == cache.Exclusive {
+				v = cv
+			}
+		}
+		res.FinalMem[a] = v
+	}
+	res.FinalRegs = m.finalRegs()
+	return res, nil
+}
+
+// finalRegs extracts each processor thread's registers. The proc package does
+// not expose the thread directly; registers are reconstructed from the trace
+// when recorded, otherwise omitted. To keep the common path simple the
+// processor exposes them via Registers.
+func (m *Machine) finalRegs() []([program.NumRegs]mem.Value) {
+	out := make([]([program.NumRegs]mem.Value), len(m.procs))
+	for i, pr := range m.procs {
+		out[i] = pr.Registers()
+	}
+	return out
+}
+
+// Run is the one-call convenience: compose and run.
+func Run(p *program.Program, cfg Config) (*Result, error) {
+	return New(p, cfg).Run()
+}

@@ -1,0 +1,315 @@
+package machine
+
+import (
+	"testing"
+
+	"weakorder/internal/core"
+	"weakorder/internal/mem"
+	"weakorder/internal/proc"
+	"weakorder/internal/program"
+	"weakorder/internal/workload"
+)
+
+var allPolicies = []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2, proc.PolicyWODef2DRF1}
+
+// runAll runs the program under every policy with tracing on and returns the
+// results keyed by policy.
+func runAll(t *testing.T, p *program.Program, tweak func(*Config)) map[proc.Policy]*Result {
+	t.Helper()
+	out := make(map[proc.Policy]*Result)
+	for _, pol := range allPolicies {
+		cfg := NewConfig(pol)
+		cfg.RecordTrace = true
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		r, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", p.Name, pol, err)
+		}
+		out[pol] = r
+	}
+	return out
+}
+
+// checkSCTrace asserts the recorded execution is sequentially consistent.
+func checkSCTrace(t *testing.T, name string, p *program.Program, r *Result) {
+	t.Helper()
+	if r.Trace == nil {
+		t.Fatalf("%s: no trace recorded", name)
+	}
+	init := make(map[mem.Addr]mem.Value)
+	for _, a := range p.Addrs() {
+		init[a] = 0
+	}
+	for a, v := range p.Init {
+		init[a] = v
+	}
+	w, err := core.SCCheck(r.Trace, init)
+	if err != nil {
+		t.Fatalf("%s: SCCheck: %v", name, err)
+	}
+	if !w.SC {
+		t.Errorf("%s: timed trace is not sequentially consistent:\n%s", name, r.Trace)
+	}
+}
+
+func TestFig3AllPoliciesCorrect(t *testing.T) {
+	p := workload.Fig3(2, 50)
+	for pol, r := range runAll(t, p, nil) {
+		// P1 (thread 1) must read the payload 42 into r1 on every weakly
+		// ordered machine: the program is DRF0.
+		if got := r.FinalRegs[1][1]; got != 42 {
+			t.Errorf("%s: consumer read x=%d, want 42", pol, got)
+		}
+		checkSCTrace(t, pol.String(), p, r)
+	}
+}
+
+// TestFig3Def2ReleasesEarlier reproduces the Figure 3 claim: under
+// Definition 1 the producer stalls at the Unset until its write is globally
+// performed, while the Section-5 implementation lets it continue; with work
+// after the release, P0 finishes earlier under Def2 than under Def1.
+func TestFig3Def2ReleasesEarlier(t *testing.T) {
+	p := workload.Fig3(3, 0)
+	res := runAll(t, p, func(c *Config) { c.NetLatency = 30 })
+	def1P0 := res[proc.PolicyWODef1].ProcFinish[0]
+	def2P0 := res[proc.PolicyWODef2].ProcFinish[0]
+	if def2P0 >= def1P0 {
+		t.Errorf("P0 finish: def2=%d should be < def1=%d", def2P0, def1P0)
+	}
+	// The paper: "P1's TestAndSet, however, will still be blocked until
+	// P0's write is globally performed" — the consumer should not beat the
+	// write's performance under either definition; its finish times are of
+	// the same order (within a small factor).
+	def1P1 := res[proc.PolicyWODef1].ProcFinish[1]
+	def2P1 := res[proc.PolicyWODef2].ProcFinish[1]
+	if def2P1*4 < def1P1 || def1P1*4 < def2P1 {
+		t.Errorf("P1 finish should be comparable: def1=%d def2=%d", def1P1, def2P1)
+	}
+	// And the reserve-bit machinery must actually have engaged somewhere in
+	// the def2 run.
+	var reserves int64
+	for _, cs := range res[proc.PolicyWODef2].CacheStats {
+		reserves += cs.Get("reserves_set")
+	}
+	if reserves == 0 {
+		t.Error("def2 run never set a reserve bit; the scenario is not exercising Section 5.3")
+	}
+}
+
+func TestProducerConsumerAllPolicies(t *testing.T) {
+	const items = 6
+	p := workload.ProducerConsumer(items, 5)
+	want := workload.ProducerConsumerChecksum(items)
+	for pol, r := range runAll(t, p, nil) {
+		if got := r.FinalMem[workload.XAddr()]; got != want {
+			t.Errorf("%s: checksum = %d, want %d", pol, got, want)
+		}
+		checkSCTrace(t, pol.String(), p, r)
+	}
+}
+
+func TestLockAllPolicies(t *testing.T) {
+	for _, spin := range []workload.SpinKind{workload.SpinTAS, workload.SpinSync} {
+		p := workload.Lock(3, 3, 4, 4, spin)
+		want := workload.LockTotal(3, 3)
+		for pol, r := range runAll(t, p, nil) {
+			if got := r.FinalMem[workload.CtrAddr()]; got != want {
+				t.Errorf("%s/%s: counter = %d, want %d", pol, spin, got, want)
+			}
+		}
+	}
+}
+
+func TestBarrierAllPolicies(t *testing.T) {
+	const nproc, phases = 4, 3
+	p := workload.Barrier(nproc, phases, 10, workload.SpinSync)
+	for pol, r := range runAll(t, p, nil) {
+		if got := r.FinalMem[workload.SenseAddr()]; got != mem.Value(phases) {
+			t.Errorf("%s: final sense = %d, want %d", pol, got, phases)
+		}
+	}
+}
+
+// TestBarrierDataSpinOnDef1 runs the racy data-read spin from the end of
+// Section 6: Definition-1 hardware gives the intuitive answer even though the
+// program has a race (the sync release waits for the payload writes).
+func TestBarrierDataSpinOnDef1(t *testing.T) {
+	p := workload.Barrier(3, 2, 10, workload.SpinData)
+	cfg := NewConfig(proc.PolicyWODef1)
+	r, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FinalMem[workload.SenseAddr()]; got != 2 {
+		t.Errorf("final sense = %d, want 2", got)
+	}
+}
+
+// TestArraySumAllPolicies reduces a 24-element vector on 4 processors with
+// register-indexed loads and a lock-protected fold; the result must be exact
+// on every policy (and the trace SC).
+func TestArraySumAllPolicies(t *testing.T) {
+	const nproc, n = 4, 24
+	p := workload.ArraySum(nproc, n)
+	want := workload.ArraySumTotal(n)
+	for pol, r := range runAll(t, p, nil) {
+		if got := r.FinalMem[workload.CtrAddr()]; got != want {
+			t.Errorf("%s: sum = %d, want %d", pol, got, want)
+		}
+	}
+	// One SC-trace validation (the trace is large; one policy suffices).
+	cfg := NewConfig(proc.PolicyWODef2)
+	cfg.RecordTrace = true
+	r, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSCTrace(t, "arraysum/def2", p, r)
+}
+
+// TestDeterminism: identical configs produce identical cycle counts and
+// traffic.
+func TestDeterminism(t *testing.T) {
+	p := workload.Lock(3, 4, 6, 6, workload.SpinSync)
+	cfg := NewConfig(proc.PolicyWODef2)
+	cfg.NetJitter = 7
+	cfg.Seed = 99
+	a, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Messages != b.Messages {
+		t.Errorf("nondeterministic: (%d,%d) vs (%d,%d)", a.Cycles, a.Messages, b.Cycles, b.Messages)
+	}
+	cfg.Seed = 100
+	c, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c // different seed may differ; just must complete
+}
+
+// TestConfigDefaults: zero values fill in sane defaults.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Policy: proc.PolicySC}
+	cfg.defaults()
+	if cfg.HitLatency < 1 || cfg.MemLatency < 1 || cfg.NetLatency < 1 || cfg.BusCycle < 1 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.MaxTime == 0 || cfg.MaxEvents == 0 {
+		t.Error("budgets not defaulted")
+	}
+}
+
+// TestFinalMemIncludesOwnerCopy: a dirty exclusive line's value must come
+// from the owning cache, not the stale directory copy.
+func TestFinalMemIncludesOwnerCopy(t *testing.T) {
+	p := program.MustParse(`
+name: dirty
+init: x=0
+thread:
+    st x, 99
+`).Program
+	r, err := Run(p, NewConfig(proc.PolicyWODef2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addr = p.Addrs()[0]
+	if r.FinalMem[addr] != 99 {
+		t.Errorf("final x = %d, want the owner's dirty value 99", r.FinalMem[addr])
+	}
+}
+
+// TestTotalStall sums a counter across processors.
+func TestTotalStall(t *testing.T) {
+	p := workload.ProducerConsumer(3, 2)
+	r, err := Run(p, NewConfig(proc.PolicySC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manual int64
+	for _, ps := range r.ProcStats {
+		manual += ps.Get("read_stall_cycles")
+	}
+	if got := r.TotalStall("read_stall_cycles"); got != manual || got == 0 {
+		t.Errorf("TotalStall = %d, manual = %d", got, manual)
+	}
+}
+
+// TestBudgetExhaustionSurfacesAsError: an impossible completion (consumer
+// waiting for a flag nobody sets) must end with ErrBudget, not hang.
+func TestBudgetExhaustionSurfacesAsError(t *testing.T) {
+	p := program.MustParse(`
+name: stuck
+init: f=0
+thread:
+wait:
+    sync.ld r0, f
+    beq r0, 0, wait
+`).Program
+	cfg := NewConfig(proc.PolicyWODef2)
+	cfg.MaxTime = 5000
+	if _, err := Run(p, cfg); err == nil {
+		t.Fatal("expected a budget error for the stuck spinner")
+	}
+}
+
+// TestBusFabric runs a workload over the serialized bus.
+func TestBusFabric(t *testing.T) {
+	p := workload.ProducerConsumer(4, 3)
+	cfg := NewConfig(proc.PolicySC)
+	cfg.Fabric = FabricBus
+	cfg.RecordTrace = true
+	r, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.FinalMem[workload.XAddr()]; got != workload.ProducerConsumerChecksum(4) {
+		t.Errorf("bus checksum = %d", got)
+	}
+	checkSCTrace(t, "bus/SC", p, r)
+}
+
+// TestJitteredNetworkStillSC: with non-FIFO jittered delivery, DRF0 programs
+// must still produce SC traces on the weakly ordered machines (the protocol's
+// race guards absorb reordering).
+func TestJitteredNetworkStillSC(t *testing.T) {
+	p := workload.ProducerConsumer(5, 2)
+	for _, fifo := range []bool{true, false} {
+		for _, pol := range allPolicies {
+			cfg := NewConfig(pol)
+			cfg.NetJitter = 9
+			cfg.Seed = 3
+			cfg.FIFO = fifo
+			cfg.RecordTrace = true
+			r, err := Run(p, cfg)
+			if err != nil {
+				t.Fatalf("fifo=%v %s: %v", fifo, pol, err)
+			}
+			checkSCTrace(t, pol.String(), p, r)
+		}
+	}
+}
+
+// TestSCPolicySlowestDef2Fastest checks the performance ordering the paper
+// predicts on a communication-heavy DRF0 workload: SC pays the most stalls;
+// Def2 never pays the issuer-side sync stall Def1 pays.
+func TestRelativePerformance(t *testing.T) {
+	p := workload.ProducerConsumer(8, 20)
+	res := runAll(t, p, nil)
+	sc := res[proc.PolicySC].Cycles
+	d1 := res[proc.PolicyWODef1].Cycles
+	d2 := res[proc.PolicyWODef2].Cycles
+	if !(sc >= d1) {
+		t.Errorf("SC (%d) should be no faster than Def1 (%d)", sc, d1)
+	}
+	if !(d1 >= d2) {
+		t.Errorf("Def1 (%d) should be no faster than Def2 (%d)", d1, d2)
+	}
+}

@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"testing"
+
+	"weakorder/internal/conditions"
+	"weakorder/internal/proc"
+	"weakorder/internal/workload"
+)
+
+// updCfg builds an update-protocol config.
+func updCfg(pol proc.Policy) Config {
+	cfg := NewConfig(pol)
+	cfg.Protocol = ProtocolUpdate
+	cfg.RecordTrace = true
+	return cfg
+}
+
+// TestUpdateProtocolCorrectness runs the DRF0 workloads on the write-update
+// data path across policies: results and SC-ness must match the invalidation
+// protocol's.
+func TestUpdateProtocolCorrectness(t *testing.T) {
+	const items = 6
+	p := workload.ProducerConsumer(items, 5)
+	want := workload.ProducerConsumerChecksum(items)
+	for _, pol := range allPolicies {
+		cfg := updCfg(pol)
+		r, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if got := r.FinalMem[workload.XAddr()]; got != want {
+			t.Errorf("%s: checksum = %d, want %d", pol, got, want)
+		}
+		checkSCTrace(t, "update/"+pol.String(), p, r)
+	}
+	lock := workload.Lock(3, 3, 4, 4, workload.SpinSync)
+	for _, pol := range allPolicies {
+		r, err := Run(lock, updCfg(pol))
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if got := r.FinalMem[workload.CtrAddr()]; got != workload.LockTotal(3, 3) {
+			t.Errorf("%s: counter = %d", pol, got)
+		}
+	}
+}
+
+// TestUpdateProtocolConditions: the Section-5.1 conditions hold on the
+// update data path too (commit = local apply, perform = all updates acked).
+func TestUpdateProtocolConditions(t *testing.T) {
+	p := workload.Fig3N(3, 4, 0)
+	for _, pol := range []proc.Policy{proc.PolicyWODef1, proc.PolicyWODef2} {
+		cfg := updCfg(pol)
+		cfg.RecordTimings = true
+		r, err := Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := conditions.Check(r.Timings); !rep.OK() {
+			t.Errorf("%s/update: %s", pol, rep)
+		}
+	}
+}
+
+// TestUpdateVsInvalidateTradeoff: on a producer/consumer pipeline the update
+// protocol keeps the consumer's copy warm (reader misses vanish), at the cost
+// of per-write update traffic — the classic trade-off, measurable here.
+func TestUpdateVsInvalidateTradeoff(t *testing.T) {
+	p := workload.ProducerConsumer(10, 5)
+	inv, err := Run(p, func() Config {
+		c := NewConfig(proc.PolicyWODef2)
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, err := Run(p, func() Config {
+		c := NewConfig(proc.PolicyWODef2)
+		c.Protocol = ProtocolUpdate
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var invReadMisses, updReadMisses int64
+	for i := range inv.CacheStats {
+		invReadMisses += inv.CacheStats[i].Get("read_misses")
+		updReadMisses += upd.CacheStats[i].Get("read_misses")
+	}
+	if updReadMisses >= invReadMisses {
+		t.Errorf("update protocol should cut read misses: inv=%d upd=%d", invReadMisses, updReadMisses)
+	}
+	if upd.DirStats.Get("updates") == 0 {
+		t.Error("update protocol never sent updates")
+	}
+}
+
+// TestUpdateJitteredStillSC: the update path must survive reordered delivery
+// (the updateOverride guard).
+func TestUpdateJitteredStillSC(t *testing.T) {
+	p := workload.ProducerConsumer(5, 2)
+	for seed := int64(0); seed < 8; seed++ {
+		cfg := updCfg(proc.PolicyWODef2)
+		cfg.NetJitter = 9
+		cfg.FIFO = false
+		cfg.Seed = seed
+		r, err := Run(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkSCTrace(t, "update/jitter", p, r)
+	}
+}

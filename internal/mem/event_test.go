@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExecutionAppendIndices(t *testing.T) {
+	e := NewExecution(2)
+	e.Append(Access{Proc: 0, Op: OpWrite, Addr: 0, Value: 1})
+	e.Append(Access{Proc: 1, Op: OpWrite, Addr: 1, Value: 2})
+	e.Append(Access{Proc: 0, Op: OpRead, Addr: 1, Value: 2})
+	if e.Len() != 3 {
+		t.Fatalf("len = %d", e.Len())
+	}
+	if e.Event(0).Index != 0 || e.Event(2).Index != 1 || e.Event(1).Index != 0 {
+		t.Error("program-order indices wrong")
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	byProc := e.ByProc()
+	if len(byProc[0]) != 2 || len(byProc[1]) != 1 {
+		t.Error("ByProc grouping wrong")
+	}
+}
+
+func TestAppendAtOutOfOrderCompletion(t *testing.T) {
+	// A write completes after a program-later read (write-buffer behavior).
+	e := NewExecution(1)
+	e.AppendAt(Access{Proc: 0, Op: OpRead, Addr: 1, Value: 0}, 1)  // completes first
+	e.AppendAt(Access{Proc: 0, Op: OpWrite, Addr: 0, Value: 1}, 0) // completes second
+	if err := e.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	ids := e.ByProc()[0]
+	if e.Event(ids[0]).Op != OpWrite {
+		t.Error("ByProc should order by program index, not completion")
+	}
+	if e.Completed[0] != 0 || e.Event(e.Completed[0]).Op != OpRead {
+		t.Error("completion order should be append order")
+	}
+}
+
+func TestValidateCatchesSparseIndices(t *testing.T) {
+	e := NewExecution(1)
+	e.AppendAt(Access{Proc: 0, Op: OpRead, Addr: 0}, 2) // index 2 with no 0,1
+	if err := e.Validate(); err == nil {
+		t.Fatal("sparse indices accepted")
+	}
+}
+
+func TestValidateCatchesBadCompleted(t *testing.T) {
+	e := NewExecution(1)
+	e.Append(Access{Proc: 0, Op: OpRead, Addr: 0})
+	e.Completed = []EventID{0, 0}
+	if err := e.Validate(); err == nil {
+		t.Fatal("duplicated completion entries accepted")
+	}
+	e.Completed = []EventID{5}
+	if err := e.Validate(); err == nil {
+		t.Fatal("out-of-range completion entry accepted")
+	}
+}
+
+func TestValidateCatchesBadOp(t *testing.T) {
+	e := NewExecution(1)
+	e.Append(Access{Proc: 0, Op: Op(99), Addr: 0})
+	if err := e.Validate(); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestFinalState(t *testing.T) {
+	e := NewExecution(2)
+	e.Append(Access{Proc: 0, Op: OpWrite, Addr: 0, Value: 1})
+	e.Append(Access{Proc: 1, Op: OpWrite, Addr: 0, Value: 2})
+	e.Append(Access{Proc: 0, Op: OpSyncRMW, Addr: 1, Value: 0, WValue: 9})
+	fs := e.FinalState()
+	if fs[0] != 2 {
+		t.Errorf("final x0 = %d, want 2 (last completed write)", fs[0])
+	}
+	if fs[1] != 9 {
+		t.Errorf("final x1 = %d, want 9 (RMW writes WValue)", fs[1])
+	}
+}
+
+func TestResultOfAndEqual(t *testing.T) {
+	e := NewExecution(2)
+	e.Append(Access{Proc: 0, Op: OpWrite, Addr: 0, Value: 1})
+	e.Append(Access{Proc: 1, Op: OpRead, Addr: 0, Value: 1})
+	r := ResultOf(e)
+	if len(r.Reads) != 1 {
+		t.Fatalf("reads = %d", len(r.Reads))
+	}
+	if r.Reads[ReadKey{Proc: 1, Index: 0}] != 1 {
+		t.Error("read value missing from result")
+	}
+	if r.Final[0] != 1 {
+		t.Error("final state missing from result")
+	}
+	if !r.Equal(ResultOf(e)) {
+		t.Error("result should equal itself")
+	}
+	// A different read value breaks equality and the key.
+	e2 := NewExecution(2)
+	e2.Append(Access{Proc: 0, Op: OpWrite, Addr: 0, Value: 1})
+	e2.Append(Access{Proc: 1, Op: OpRead, Addr: 0, Value: 0})
+	r2 := ResultOf(e2)
+	if r.Equal(r2) || r.Key() == r2.Key() {
+		t.Error("different reads should differ")
+	}
+}
+
+func TestResultEqualDifferentShapes(t *testing.T) {
+	a := Result{Reads: map[ReadKey]Value{{0, 0}: 1}, Final: map[Addr]Value{}}
+	b := Result{Reads: map[ReadKey]Value{}, Final: map[Addr]Value{}}
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("different read-set sizes should not be equal")
+	}
+	c := Result{Reads: map[ReadKey]Value{{0, 0}: 1}, Final: map[Addr]Value{1: 1}}
+	if a.Equal(c) {
+		t.Error("different finals should not be equal")
+	}
+}
+
+func TestExecutionString(t *testing.T) {
+	e := NewExecution(1)
+	e.Append(Access{Proc: 0, Op: OpWrite, Addr: 0, Value: 1})
+	if s := e.String(); !strings.Contains(s, "P0:W(x0)=1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAppendGrowsNumProcs(t *testing.T) {
+	e := NewExecution(1)
+	e.Append(Access{Proc: 4, Op: OpRead, Addr: 0})
+	if e.NumProcs != 5 {
+		t.Errorf("NumProcs = %d, want 5", e.NumProcs)
+	}
+}

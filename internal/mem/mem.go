@@ -1,0 +1,127 @@
+// Package mem defines the primitive vocabulary shared by every layer of the
+// weak-ordering reproduction: addresses, values, processors, the taxonomy of
+// memory operations used by Adve & Hill's DRF0 model (data reads and writes,
+// and hardware-recognizable synchronization operations that may read, write,
+// or atomically read-modify-write a single location), and the conflict
+// predicate from Definition 3 ("two accesses conflict if they access the same
+// location and they are not both reads").
+package mem
+
+import "fmt"
+
+// Addr identifies a single memory location. The paper's DRF0 requires every
+// synchronization operation to access exactly one location, so an Addr is the
+// unit of synchronization as well as of data.
+type Addr uint32
+
+// Value is the contents of one memory location. All simulated memories are
+// word-addressed; there is no sub-word access in the model.
+type Value int64
+
+// ProcID names a processor. Processors are numbered 0..N-1.
+type ProcID int
+
+// Op classifies a memory operation. The taxonomy follows Sections 4-6 of the
+// paper: ordinary (data) reads and writes, plus three flavors of
+// synchronization operation. Section 6 motivates distinguishing sync
+// operations that only read (Test), only write (Unset), and both read and
+// write (TestAndSet): the DRF1-style refinement exploits exactly this split.
+type Op uint8
+
+const (
+	// OpRead is an ordinary data read.
+	OpRead Op = iota
+	// OpWrite is an ordinary data write.
+	OpWrite
+	// OpSyncRead is a read-only synchronization operation (e.g. the Test of
+	// a Test-and-TestAndSet spin loop).
+	OpSyncRead
+	// OpSyncWrite is a write-only synchronization operation (e.g. Unset).
+	OpSyncWrite
+	// OpSyncRMW is an atomic read-modify-write synchronization operation
+	// (e.g. TestAndSet). Its read and write components commit and perform
+	// together with respect to other synchronization on the same location.
+	OpSyncRMW
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	case OpSyncRead:
+		return "Sr"
+	case OpSyncWrite:
+		return "Sw"
+	case OpSyncRMW:
+		return "Srw"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// IsSync reports whether the operation is a synchronization operation, i.e.
+// one that is recognizable by the hardware as ordering-relevant (DRF0
+// restriction 1).
+func (o Op) IsSync() bool {
+	return o == OpSyncRead || o == OpSyncWrite || o == OpSyncRMW
+}
+
+// Reads reports whether the operation has a read component.
+func (o Op) Reads() bool {
+	return o == OpRead || o == OpSyncRead || o == OpSyncRMW
+}
+
+// Writes reports whether the operation has a write component.
+func (o Op) Writes() bool {
+	return o == OpWrite || o == OpSyncWrite || o == OpSyncRMW
+}
+
+// Valid reports whether o is one of the defined operation kinds.
+func (o Op) Valid() bool { return o <= OpSyncRMW }
+
+// Conflicts implements the paper's conflict predicate: two operations
+// conflict if they access the same location and they are not both reads.
+// (Definition 3 applies it to accesses; the address check is done by the
+// caller since Op carries no address.)
+func Conflicts(a, b Op) bool {
+	return a.Writes() || b.Writes()
+}
+
+// Access is one dynamic memory access: an operation by a processor on an
+// address. Value carries the written value for writes and the returned value
+// for reads once an execution has bound it; for OpSyncRMW, WValue is the
+// value written while Value is the value read.
+type Access struct {
+	Proc  ProcID
+	Op    Op
+	Addr  Addr
+	Value Value // value read (reads, RMW read component) or written (writes)
+
+	// WValue is the value written by the write component of an OpSyncRMW.
+	// It is ignored for every other operation kind.
+	WValue Value
+}
+
+// IsSync reports whether the access is a synchronization access.
+func (a Access) IsSync() bool { return a.Op.IsSync() }
+
+// ConflictsWith reports whether a and b are conflicting accesses per
+// Definition 3: same location, not both reads.
+func (a Access) ConflictsWith(b Access) bool {
+	return a.Addr == b.Addr && Conflicts(a.Op, b.Op)
+}
+
+// String implements fmt.Stringer, printing e.g. "P1:W(x3)=5".
+func (a Access) String() string {
+	switch {
+	case a.Op == OpSyncRMW:
+		return fmt.Sprintf("P%d:%s(x%d)=%d/w%d", a.Proc, a.Op, a.Addr, a.Value, a.WValue)
+	case a.Op.Writes():
+		return fmt.Sprintf("P%d:%s(x%d)=%d", a.Proc, a.Op, a.Addr, a.Value)
+	default:
+		return fmt.Sprintf("P%d:%s(x%d)->%d", a.Proc, a.Op, a.Addr, a.Value)
+	}
+}

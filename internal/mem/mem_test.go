@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op         Op
+		sync, r, w bool
+		str        string
+	}{
+		{OpRead, false, true, false, "R"},
+		{OpWrite, false, false, true, "W"},
+		{OpSyncRead, true, true, false, "Sr"},
+		{OpSyncWrite, true, false, true, "Sw"},
+		{OpSyncRMW, true, true, true, "Srw"},
+	}
+	for _, c := range cases {
+		if c.op.IsSync() != c.sync || c.op.Reads() != c.r || c.op.Writes() != c.w {
+			t.Errorf("%s: classification wrong", c.op)
+		}
+		if c.op.String() != c.str {
+			t.Errorf("%s: String() = %q, want %q", c.op, c.op.String(), c.str)
+		}
+		if !c.op.Valid() {
+			t.Errorf("%s: should be valid", c.op)
+		}
+	}
+	if Op(99).Valid() {
+		t.Error("Op(99) should be invalid")
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Error("invalid op should print its number")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	// Definition 3: conflicting = same location, not both reads.
+	// The address part is the caller's concern; at the Op level only the
+	// not-both-reads part is decided.
+	if Conflicts(OpRead, OpRead) {
+		t.Error("two reads never conflict")
+	}
+	if Conflicts(OpRead, OpSyncRead) || Conflicts(OpSyncRead, OpSyncRead) {
+		t.Error("read-only operations never conflict")
+	}
+	for _, w := range []Op{OpWrite, OpSyncWrite, OpSyncRMW} {
+		if !Conflicts(OpRead, w) || !Conflicts(w, OpRead) || !Conflicts(w, w) {
+			t.Errorf("%s should conflict with reads and itself", w)
+		}
+	}
+}
+
+func TestAccessConflictsWith(t *testing.T) {
+	w0 := Access{Proc: 0, Op: OpWrite, Addr: 1, Value: 5}
+	r1 := Access{Proc: 1, Op: OpRead, Addr: 1}
+	rOther := Access{Proc: 1, Op: OpRead, Addr: 2}
+	if !w0.ConflictsWith(r1) {
+		t.Error("write/read same location must conflict")
+	}
+	if w0.ConflictsWith(rOther) {
+		t.Error("different locations must not conflict")
+	}
+}
+
+func TestConflictsSymmetric(t *testing.T) {
+	f := func(a, b uint8) bool {
+		oa, ob := Op(a%5), Op(b%5)
+		return Conflicts(oa, ob) == Conflicts(ob, oa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	cases := []struct {
+		a    Access
+		want string
+	}{
+		{Access{Proc: 1, Op: OpWrite, Addr: 3, Value: 5}, "P1:W(x3)=5"},
+		{Access{Proc: 0, Op: OpRead, Addr: 2, Value: 7}, "P0:R(x2)->7"},
+		{Access{Proc: 2, Op: OpSyncRMW, Addr: 0, Value: 0, WValue: 1}, "P2:Srw(x0)=0/w1"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

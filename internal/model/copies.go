@@ -1,0 +1,176 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/mem"
+)
+
+// prop is one pending propagation of a committed write to one destination
+// processor's copy of memory.
+type prop struct {
+	seq   int64 // global commit order of the originating write
+	src   int
+	dst   int
+	addr  mem.Addr
+	value mem.Value
+}
+
+// copies is the shared substrate of the cache-based machines (NonAtomic,
+// WODef1, WODef2): every processor owns a full copy of memory; a write
+// commits by updating the writer's copy and becomes globally performed once
+// its propagations have reached every other copy. Writes to the same location
+// are serialized by commit order (condition 2 of Section 5.1): a stale
+// propagation arriving after a newer write never overwrites it, mirroring a
+// real invalidation-based protocol in which the stale write's line would have
+// been invalidated.
+type copies struct {
+	nproc   int
+	data    []map[mem.Addr]mem.Value
+	stamp   []map[mem.Addr]int64 // per copy: commit seq of last applied write per addr
+	pending []prop
+	nextSeq int64
+	// outstanding counts, per source processor, propagations not yet
+	// delivered — the Section-5.3 counter ("a positive value indicates the
+	// number of outstanding accesses").
+	outstanding []int
+	// window bounds outstanding per processor, modeling finite miss/buffer
+	// resources (cf. the paper's bounded number of cache misses while a
+	// line is reserved). Besides realism, the bound keeps spin loops from
+	// generating unboundedly long pending lists, which would make the
+	// explored state space infinite.
+	window int
+}
+
+// DefaultWindow is the per-processor bound on outstanding (committed but not
+// globally performed) writes in the copies-based machines.
+const DefaultWindow = 8
+
+func newCopies(nproc int, init map[mem.Addr]mem.Value) *copies {
+	c := &copies{nproc: nproc, outstanding: make([]int, nproc), window: DefaultWindow}
+	for p := 0; p < nproc; p++ {
+		c.data = append(c.data, copyMem(init))
+		c.stamp = append(c.stamp, make(map[mem.Addr]int64))
+	}
+	return c
+}
+
+// canCommit reports whether processor p has window room for another
+// committed-but-unperformed write (which enqueues nproc-1 propagations).
+func (c *copies) canCommit(p int) bool {
+	return c.outstanding[p]+(c.nproc-1) <= c.window*(c.nproc-1)
+}
+
+func (c *copies) clone() *copies {
+	n := &copies{
+		nproc:       c.nproc,
+		pending:     append([]prop(nil), c.pending...),
+		nextSeq:     c.nextSeq,
+		outstanding: append([]int(nil), c.outstanding...),
+		window:      c.window,
+	}
+	for p := 0; p < c.nproc; p++ {
+		n.data = append(n.data, copyMem(c.data[p]))
+		st := make(map[mem.Addr]int64, len(c.stamp[p]))
+		for a, s := range c.stamp[p] {
+			st[a] = s
+		}
+		n.stamp = append(n.stamp, st)
+	}
+	return n
+}
+
+// read returns processor p's view of addr.
+func (c *copies) read(p int, a mem.Addr) mem.Value { return c.data[p][a] }
+
+// commitWrite commits a write by processor p: p's own copy updates
+// immediately; propagations to every other copy are enqueued. Returns the
+// commit sequence number.
+func (c *copies) commitWrite(p int, a mem.Addr, v mem.Value) int64 {
+	c.nextSeq++
+	seq := c.nextSeq
+	c.data[p][a] = v
+	c.stamp[p][a] = seq
+	for q := 0; q < c.nproc; q++ {
+		if q == p {
+			continue
+		}
+		c.pending = append(c.pending, prop{seq: seq, src: p, dst: q, addr: a, value: v})
+		c.outstanding[p]++
+	}
+	return seq
+}
+
+// atomicWrite applies a write to every copy at once (used for strongly
+// ordered synchronization operations, whose line the issuer holds exclusively
+// so that commit and global performance coincide).
+func (c *copies) atomicWrite(p int, a mem.Addr, v mem.Value) {
+	c.nextSeq++
+	for q := 0; q < c.nproc; q++ {
+		c.data[q][a] = v
+		c.stamp[q][a] = c.nextSeq
+	}
+}
+
+// deliverable reports whether pending[i] may be delivered now: it must be the
+// oldest pending propagation for its (dst, addr) pair so that each copy
+// observes same-location writes in commit order.
+func (c *copies) deliverable(i int) bool {
+	m := c.pending[i]
+	for j := range c.pending {
+		o := c.pending[j]
+		if o.dst == m.dst && o.addr == m.addr && o.seq < m.seq {
+			return false
+		}
+	}
+	return true
+}
+
+// deliver applies pending propagation with the given seq/dst, dropping it if
+// a newer same-location write already reached the destination.
+func (c *copies) deliver(seq int64, dst int) error {
+	for i := range c.pending {
+		m := c.pending[i]
+		if m.seq != seq || m.dst != dst {
+			continue
+		}
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+		if c.stamp[dst][m.addr] < m.seq {
+			c.data[dst][m.addr] = m.value
+			c.stamp[dst][m.addr] = m.seq
+		}
+		c.outstanding[m.src]--
+		return nil
+	}
+	return fmt.Errorf("copies: no pending propagation seq=%d dst=%d", seq, dst)
+}
+
+// drained reports whether processor p has no outstanding propagations, i.e.
+// all its committed writes are globally performed (the counter reads zero).
+func (c *copies) drained(p int) bool { return c.outstanding[p] == 0 }
+
+// allDrained reports whether nothing is pending anywhere.
+func (c *copies) allDrained() bool { return len(c.pending) == 0 }
+
+// key canonically encodes the substrate state. Raw sequence numbers are
+// excluded (they differ between equivalent states reached along different
+// paths); what delivery semantics actually depend on is, per pending
+// propagation, (a) its position among pending propagations for the same
+// destination and address — preserved by list order — and (b) whether it is
+// still "live" (its seq exceeds the destination's current stamp, so it will
+// apply rather than be dropped). Both are encoded.
+func (c *copies) key(addrs []mem.Addr, sb *strings.Builder) {
+	for p := 0; p < c.nproc; p++ {
+		fmt.Fprintf(sb, "c%d:", p)
+		encodeMem(addrs, c.data[p], sb)
+	}
+	sb.WriteByte('P')
+	for _, m := range c.pending {
+		live := byte('0')
+		if m.seq > c.stamp[m.dst][m.addr] {
+			live = '1'
+		}
+		fmt.Fprintf(sb, "%d>%d@%d=%d%c,", m.src, m.dst, m.addr, m.value, live)
+	}
+}

@@ -1,0 +1,176 @@
+package model
+
+import (
+	"fmt"
+
+	"weakorder/internal/core"
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// Explorer exhaustively enumerates the behaviors of a Machine by depth-first
+// search over its nondeterministic transitions, deduplicating states by
+// canonical key. The key mode determines what the deduplicated enumeration
+// preserves; see KeyMode.
+type Explorer struct {
+	// MaxStates bounds the number of distinct states visited (0 = the
+	// DefaultMaxStates safety net). Exceeding it aborts with ErrStateBudget.
+	MaxStates int
+	// Mode selects the state-key granularity. The zero value (KeyState) is
+	// correct for final-state/litmus enumeration.
+	Mode KeyMode
+	// MaxTraceOps, when positive, prunes any path whose recorded trace
+	// exceeds this many memory operations. Programs with unbounded spin
+	// loops have infinitely many executions of unbounded length; under
+	// KeyResult/KeyExecution (whose keys embed history) a bound is the only
+	// way to terminate. Pruned paths are counted in Stats.Truncated, so a
+	// nonzero count flags the enumeration as length-bounded rather than
+	// exhaustive.
+	MaxTraceOps int
+}
+
+// DefaultMaxStates is the safety net applied when Explorer.MaxStates is 0.
+const DefaultMaxStates = 2_000_000
+
+// ErrStateBudget reports that exploration exceeded MaxStates.
+var ErrStateBudget = fmt.Errorf("model: state budget exhausted")
+
+// Visit runs the exploration, calling fn on every distinct completed machine
+// (Done() true, deduplicated under Mode). fn returning false stops early.
+// Visit reports statistics via the returned Stats even on early stop.
+func (x *Explorer) Visit(m Machine, fn func(Machine) bool) (Stats, error) {
+	budget := x.MaxStates
+	if budget <= 0 {
+		budget = DefaultMaxStates
+	}
+	st := Stats{}
+	visited := make(map[string]bool)
+	finals := make(map[string]bool)
+	stop := false
+
+	var dfs func(m Machine) error
+	dfs = func(m Machine) error {
+		if stop {
+			return nil
+		}
+		if x.MaxTraceOps > 0 && m.Trace().Len() > x.MaxTraceOps {
+			st.Truncated++
+			return nil
+		}
+		// Compute transitions before keying: Transitions() advances threads
+		// through their (deterministic) local instructions to their next
+		// memory operation, normalizing the state so that equivalent states
+		// reached along different paths key identically.
+		ts := m.Transitions()
+		key := m.Key(x.Mode)
+		if visited[key] {
+			return nil
+		}
+		if len(visited) >= budget {
+			return ErrStateBudget
+		}
+		visited[key] = true
+		st.States++
+		if len(ts) == 0 {
+			if !m.Done() {
+				return fmt.Errorf("model: %s deadlocked (no enabled transitions, not done)", m.Name())
+			}
+			if !finals[key] {
+				finals[key] = true
+				st.Finals++
+				if !fn(m) {
+					stop = true
+				}
+			}
+			return nil
+		}
+		for _, t := range ts {
+			c := m.Clone()
+			if err := c.Apply(t); err != nil {
+				return fmt.Errorf("model: applying %s on %s: %w", t, m.Name(), err)
+			}
+			st.Transitions++
+			if err := dfs(c); err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+		return nil
+	}
+	err := dfs(m.Clone())
+	return st, err
+}
+
+// Stats summarizes one exploration.
+type Stats struct {
+	States      int // distinct states visited
+	Transitions int // transitions applied
+	Finals      int // distinct completed states reached
+	Truncated   int // paths pruned by MaxTraceOps (0 means exhaustive)
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	if s.Truncated > 0 {
+		return fmt.Sprintf("%d states, %d transitions, %d final states, %d paths truncated",
+			s.States, s.Transitions, s.Finals, s.Truncated)
+	}
+	return fmt.Sprintf("%d states, %d transitions, %d final states", s.States, s.Transitions, s.Finals)
+}
+
+// Outcomes collects the set of distinct Results (the paper's notion: all read
+// values plus final memory) the machine can produce. It forces at least
+// KeyResult granularity so deduplication cannot merge distinct Results.
+func (x *Explorer) Outcomes(m Machine) (core.OutcomeSet, Stats, error) {
+	sub := *x
+	if sub.Mode < KeyResult {
+		sub.Mode = KeyResult
+	}
+	out := make(core.OutcomeSet)
+	st, err := sub.Visit(m, func(f Machine) bool {
+		out.Add(f.Result())
+		return true
+	})
+	return out, st, err
+}
+
+// FinalStates collects the distinct final states (registers + memory),
+// sufficient for litmus conditions; KeyState granularity suffices.
+func (x *Explorer) FinalStates(m Machine, fn func(*program.FinalState) bool) (Stats, error) {
+	return x.Visit(m, func(f Machine) bool { return fn(f.Final()) })
+}
+
+// Enumerator adapts (program, machine factory, explorer) to the
+// core.ExecutionEnumerator interface so core.CheckProgram can quantify over
+// all idealized executions. The factory is normally NewSC — Definition 3 is
+// stated over the idealized architecture — and exploration runs at
+// KeyExecution granularity so every distinct happens-before relation is
+// produced.
+type Enumerator struct {
+	Prog     *program.Program
+	Explorer *Explorer
+	// New builds the machine; nil means NewSC.
+	New func(*program.Program) Machine
+}
+
+var _ core.ExecutionEnumerator = (*Enumerator)(nil)
+
+// IdealizedExecutions implements core.ExecutionEnumerator.
+func (e *Enumerator) IdealizedExecutions(fn func(*mem.Execution) bool) error {
+	x := e.Explorer
+	if x == nil {
+		x = &Explorer{}
+	}
+	sub := *x
+	if sub.Mode < KeyExecution {
+		sub.Mode = KeyExecution
+	}
+	mk := e.New
+	if mk == nil {
+		mk = func(p *program.Program) Machine { return NewSC(p) }
+	}
+	_, err := sub.Visit(mk(e.Prog), func(f Machine) bool { return fn(f.Trace()) })
+	return err
+}

@@ -1,0 +1,323 @@
+// Package model implements operational (small-step, nondeterministic) models
+// of the memory systems discussed in the paper, together with an exhaustive
+// state-space explorer. The machines are:
+//
+//   - SC: the idealized architecture — every access executes atomically in
+//     program order (the reference for Definition 2 and the enumerator of
+//     idealized executions for Definition 3).
+//   - WriteBuffer: a bus-based system where reads may pass buffered writes
+//     (Figure 1, configurations 1 and 3).
+//   - Network: a general-interconnection-network system without caches where
+//     accesses issue in program order but reach memory modules out of order
+//     (Figure 1, configuration 2).
+//   - NonAtomic: a cache-based system with a general network where a write
+//     updates the writer's copy immediately and propagates to other
+//     processors' copies asynchronously (Figure 1, configuration 4).
+//   - WODef1: weak ordering per Dubois/Scheurich/Briggs' Definition 1 — a
+//     processor stalls its own synchronization operation until all its
+//     previous accesses are globally performed.
+//   - WODef2: the paper's Section-5 implementation — synchronization commits
+//     immediately and *reserves* its location; a subsequent synchronizer on
+//     the same location (from another processor) stalls until the reserver's
+//     outstanding accesses are globally performed.
+//   - WODef2DRF1: WODef2 with the Section-6 refinement — read-only
+//     synchronization operations are not serialized and set no reservation.
+//
+// Every machine is a value that can be Cloned, so the explorer can branch on
+// each enabled transition and deduplicate states by canonical key.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// TransKind classifies a nondeterministic transition.
+type TransKind uint8
+
+const (
+	// TExec executes the next memory operation of a thread (possibly only
+	// partially, e.g. enqueueing a write into a buffer).
+	TExec TransKind = iota
+	// TDrain retires the oldest entry of a processor's write buffer.
+	TDrain
+	// TDeliver delivers one in-flight message (network request or a write
+	// propagation to one destination processor's copy).
+	TDeliver
+)
+
+// String implements fmt.Stringer.
+func (k TransKind) String() string {
+	switch k {
+	case TExec:
+		return "exec"
+	case TDrain:
+		return "drain"
+	case TDeliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("trans(%d)", uint8(k))
+	}
+}
+
+// Transition identifies one enabled nondeterministic step of a machine.
+// Proc is the acting processor; Aux disambiguates deliveries (its meaning is
+// machine-specific, e.g. an index into a pending-message list).
+type Transition struct {
+	Kind TransKind
+	Proc int
+	Aux  int
+}
+
+// String implements fmt.Stringer.
+func (t Transition) String() string { return fmt.Sprintf("%s(P%d,%d)", t.Kind, t.Proc, t.Aux) }
+
+// KeyMode selects how much history a machine folds into its canonical state
+// key, trading exploration speed for what the deduplicated outcomes preserve.
+type KeyMode uint8
+
+const (
+	// KeyState keys on machine state only (threads, memory, buffers). Sound
+	// for enumerating final states (litmus conditions), since the future of
+	// a machine depends only on its state.
+	KeyState KeyMode = iota
+	// KeyResult additionally keys on the values returned by all past reads,
+	// so deduplication preserves the paper's Result (all read values plus
+	// final memory).
+	KeyResult
+	// KeyExecution additionally keys on the completion order of
+	// synchronization operations, so deduplication preserves the
+	// happens-before relation and hence the set of data races. Only
+	// meaningful on the SC machine, whose traces are idealized executions.
+	KeyExecution
+)
+
+// Machine is an operational memory-system model under exploration.
+type Machine interface {
+	// Name identifies the model in reports and tables.
+	Name() string
+	// Clone returns an independent deep copy.
+	Clone() Machine
+	// Transitions lists the currently enabled transitions, deterministically
+	// ordered.
+	Transitions() []Transition
+	// Apply performs one enabled transition.
+	Apply(t Transition) error
+	// Done reports whether all threads halted and all internal buffers and
+	// in-flight messages drained.
+	Done() bool
+	// Key returns a canonical encoding of the state for deduplication.
+	Key(mode KeyMode) string
+	// Final returns the final state (registers and memory); meaningful once
+	// Done.
+	Final() *program.FinalState
+	// Result returns the paper's Result: all read values plus final memory.
+	Result() mem.Result
+	// Trace returns the recorded execution so far: accesses in completion
+	// (commit) order. For the SC machine this is an idealized execution.
+	Trace() *mem.Execution
+}
+
+// base carries the thread interpreters and recording shared by all machines.
+type base struct {
+	name    string
+	prog    *program.Program
+	threads []program.Thread
+	addrs   []mem.Addr
+	trace   *mem.Execution
+	// readLog holds, per processor, the sequence of values returned by its
+	// reads (dense in program-order op index of the reading ops).
+	readLog [][]readRec
+	// syncLog is the global commit order of synchronization operations.
+	syncLog []syncRec
+}
+
+type readRec struct {
+	opIndex int
+	value   mem.Value
+}
+
+type syncRec struct {
+	proc    int
+	opIndex int
+	addr    mem.Addr
+}
+
+func newBase(name string, p *program.Program) base {
+	b := base{
+		name:    name,
+		prog:    p,
+		addrs:   p.Addrs(),
+		trace:   mem.NewExecution(p.NumThreads()),
+		readLog: make([][]readRec, p.NumThreads()),
+	}
+	for _, code := range p.Threads {
+		b.threads = append(b.threads, program.NewThread(code))
+	}
+	return b
+}
+
+func (b *base) cloneBase() base {
+	c := *b
+	c.threads = append([]program.Thread(nil), b.threads...)
+	c.readLog = make([][]readRec, len(b.readLog))
+	for i, l := range b.readLog {
+		c.readLog[i] = append([]readRec(nil), l...)
+	}
+	c.syncLog = append([]syncRec(nil), b.syncLog...)
+	tr := *b.trace
+	tr.Events = append([]mem.Event(nil), b.trace.Events...)
+	tr.Completed = append([]mem.EventID(nil), b.trace.Completed...)
+	c.trace = &tr
+	return c
+}
+
+// pending returns the published request of thread p, running local code.
+func (b *base) pending(p int) (program.Request, bool, error) {
+	return b.threads[p].Pending()
+}
+
+// record appends a completed access to the trace and logs. opIdx is the
+// access's program-order index on its processor; machines that complete
+// operations out of program order (e.g. a write draining from a buffer after
+// later reads resolved) must capture it at issue time.
+func (b *base) record(p, opIdx int, req program.Request, readVal, writeVal mem.Value) {
+	a := mem.Access{Proc: mem.ProcID(p), Op: req.Op, Addr: req.Addr}
+	switch {
+	case req.Op == mem.OpSyncRMW:
+		a.Value = readVal
+		a.WValue = writeVal
+	case req.Op.Writes():
+		a.Value = writeVal
+	default:
+		a.Value = readVal
+	}
+	b.trace.AppendAt(a, opIdx)
+	if req.Op.Reads() {
+		b.readLog[p] = append(b.readLog[p], readRec{opIndex: opIdx, value: readVal})
+	}
+	if req.Op.IsSync() {
+		b.syncLog = append(b.syncLog, syncRec{proc: p, opIndex: opIdx, addr: req.Addr})
+	}
+}
+
+// resolve completes thread p's pending op, recording it at its current
+// program-order index.
+func (b *base) resolve(p int, req program.Request, readVal, writeVal mem.Value) {
+	b.record(p, b.threads[p].OpIndex, req, readVal, writeVal)
+	b.threads[p].Resolve(readVal)
+}
+
+func (b *base) threadsDone() bool {
+	for i := range b.threads {
+		// Pending also advances through local code; a thread stuck before
+		// halt with no memory op counts as not done.
+		if _, ok, err := b.threads[i].Pending(); err == nil && !ok && b.threads[i].Done() {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// keyBase encodes the thread states plus, per mode, read and sync history.
+func (b *base) keyBase(mode KeyMode, sb *strings.Builder) {
+	for i := range b.threads {
+		sb.WriteString(b.threads[i].Snapshot())
+		sb.WriteByte(';')
+	}
+	if mode >= KeyResult {
+		sb.WriteByte('R')
+		for p, log := range b.readLog {
+			fmt.Fprintf(sb, "p%d:", p)
+			for _, r := range log {
+				fmt.Fprintf(sb, "%d=%d,", r.opIndex, r.value)
+			}
+		}
+	}
+	if mode >= KeyExecution {
+		sb.WriteByte('S')
+		for _, s := range b.syncLog {
+			fmt.Fprintf(sb, "%d.%d@%d,", s.proc, s.opIndex, s.addr)
+		}
+	}
+}
+
+// encodeMem canonically encodes a memory map over the known address universe.
+func encodeMem(addrs []mem.Addr, m map[mem.Addr]mem.Value, sb *strings.Builder) {
+	for _, a := range addrs {
+		fmt.Fprintf(sb, "%d,", m[a])
+	}
+	// Addresses outside the static universe (register-indexed accesses) are
+	// appended sorted.
+	var extra []mem.Addr
+	for a := range m {
+		if !containsAddr(addrs, a) {
+			extra = append(extra, a)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	for _, a := range extra {
+		fmt.Fprintf(sb, "x%d=%d,", a, m[a])
+	}
+}
+
+func containsAddr(addrs []mem.Addr, a mem.Addr) bool {
+	i := sort.Search(len(addrs), func(i int) bool { return addrs[i] >= a })
+	return i < len(addrs) && addrs[i] == a
+}
+
+// finalState assembles registers plus the supplied memory view.
+func (b *base) finalState(memory map[mem.Addr]mem.Value) *program.FinalState {
+	fs := &program.FinalState{Mem: make(map[mem.Addr]mem.Value, len(memory))}
+	for i := range b.threads {
+		fs.Regs = append(fs.Regs, b.threads[i].Regs)
+	}
+	for a, v := range memory {
+		fs.Mem[a] = v
+	}
+	return fs
+}
+
+// result assembles the paper's Result from the read log and a memory view.
+func (b *base) result(memory map[mem.Addr]mem.Value) mem.Result {
+	r := mem.Result{Reads: make(map[mem.ReadKey]mem.Value), Final: make(map[mem.Addr]mem.Value, len(memory))}
+	for p, log := range b.readLog {
+		for _, rr := range log {
+			r.Reads[mem.ReadKey{Proc: mem.ProcID(p), Index: rr.opIndex}] = rr.value
+		}
+	}
+	for a, v := range memory {
+		r.Final[a] = v
+	}
+	return r
+}
+
+func (b *base) Name() string          { return b.name }
+func (b *base) Trace() *mem.Execution { return b.trace }
+
+// copyMem deep-copies a memory map.
+func copyMem(m map[mem.Addr]mem.Value) map[mem.Addr]mem.Value {
+	c := make(map[mem.Addr]mem.Value, len(m))
+	for a, v := range m {
+		c[a] = v
+	}
+	return c
+}
+
+// initMem builds the initial memory of a program over its address universe,
+// so every statically known location is present (defaulting to zero).
+func initMem(p *program.Program) map[mem.Addr]mem.Value {
+	m := make(map[mem.Addr]mem.Value)
+	for _, a := range p.Addrs() {
+		m[a] = 0
+	}
+	for a, v := range p.Init {
+		m[a] = v
+	}
+	return m
+}

@@ -1,0 +1,226 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// netMsg is one access in flight between a processor and a memory module.
+type netMsg struct {
+	seq     int // issue order, for per-(proc,addr) FIFO and determinism
+	proc    int
+	isRead  bool
+	addr    mem.Addr
+	value   mem.Value // data for writes
+	opIndex int
+}
+
+// Network models a system with a general interconnection network and no
+// caches (Figure 1, configuration 2): every processor issues its accesses in
+// program order, but requests to *different* memory modules may arrive in any
+// order. Writes are fire-and-forget; a read blocks its issuer until the
+// memory module answers (the processor needs the value), so the interesting
+// relaxation is a read overtaking an older write to a different location.
+// Same-processor accesses to the same location stay ordered (one module, one
+// queue), which preserves uniprocessor dependences.
+//
+// Synchronization operations are strongly ordered: a processor may issue one
+// only when it has nothing in flight, and it executes atomically at memory.
+type Network struct {
+	base
+	memory   map[mem.Addr]mem.Value
+	inflight []netMsg
+	nextSeq  int
+	// waiting marks processors blocked on an in-flight read.
+	waiting []bool
+}
+
+// NewNetwork builds the machine.
+func NewNetwork(p *program.Program) *Network {
+	return &Network{
+		base:    newBase("network-nocache", p),
+		memory:  initMem(p),
+		waiting: make([]bool, p.NumThreads()),
+	}
+}
+
+// Clone implements Machine.
+func (m *Network) Clone() Machine {
+	return &Network{
+		base:     m.cloneBase(),
+		memory:   copyMem(m.memory),
+		inflight: append([]netMsg(nil), m.inflight...),
+		nextSeq:  m.nextSeq,
+		waiting:  append([]bool(nil), m.waiting...),
+	}
+}
+
+// deliverable reports whether inflight[i] is the oldest in-flight message of
+// its (proc, addr) pair — the per-module FIFO constraint.
+func (m *Network) deliverable(i int) bool {
+	msg := m.inflight[i]
+	for j := range m.inflight {
+		o := m.inflight[j]
+		if o.proc == msg.proc && o.addr == msg.addr && o.seq < msg.seq {
+			return false
+		}
+	}
+	return true
+}
+
+// hasInflight reports whether processor p has any message in flight.
+func (m *Network) hasInflight(p int) bool {
+	for _, msg := range m.inflight {
+		if msg.proc == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Transitions implements Machine.
+func (m *Network) Transitions() []Transition {
+	var ts []Transition
+	for i := range m.inflight {
+		if m.deliverable(i) {
+			ts = append(ts, Transition{Kind: TDeliver, Proc: m.inflight[i].proc, Aux: m.inflight[i].seq})
+		}
+	}
+	for p := range m.threads {
+		if m.waiting[p] {
+			continue
+		}
+		req, ok, err := m.pending(p)
+		if err != nil || !ok {
+			continue
+		}
+		if req.Op.IsSync() && m.hasInflight(p) {
+			continue
+		}
+		if req.Op == mem.OpWrite && m.inflightCount(p) >= maxInflight {
+			continue // finite request buffering per processor
+		}
+		ts = append(ts, Transition{Kind: TExec, Proc: p})
+	}
+	return ts
+}
+
+// maxInflight bounds a processor's simultaneously in-flight requests.
+const maxInflight = 8
+
+// inflightCount counts processor p's in-flight messages.
+func (m *Network) inflightCount(p int) int {
+	n := 0
+	for _, msg := range m.inflight {
+		if msg.proc == p {
+			n++
+		}
+	}
+	return n
+}
+
+// findMsg locates an in-flight message by its seq.
+func (m *Network) findMsg(seq int) (int, bool) {
+	for i := range m.inflight {
+		if m.inflight[i].seq == seq {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Apply implements Machine.
+func (m *Network) Apply(t Transition) error {
+	switch t.Kind {
+	case TDeliver:
+		i, ok := m.findMsg(t.Aux)
+		if !ok {
+			return fmt.Errorf("network: no in-flight message with seq %d", t.Aux)
+		}
+		msg := m.inflight[i]
+		m.inflight = append(m.inflight[:i], m.inflight[i+1:]...)
+		if msg.isRead {
+			v := m.memory[msg.addr]
+			req := program.Request{Op: mem.OpRead, Addr: msg.addr}
+			m.record(msg.proc, msg.opIndex, req, v, 0)
+			m.waiting[msg.proc] = false
+			m.threads[msg.proc].Resolve(v)
+			return nil
+		}
+		m.memory[msg.addr] = msg.value
+		m.record(msg.proc, msg.opIndex, program.Request{Op: mem.OpWrite, Addr: msg.addr, Data: msg.value}, 0, msg.value)
+		return nil
+	case TExec:
+		if m.waiting[t.Proc] {
+			return fmt.Errorf("network: P%d is blocked on a read", t.Proc)
+		}
+		req, ok, err := m.pending(t.Proc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("network: P%d has no pending operation", t.Proc)
+		}
+		switch {
+		case req.Op == mem.OpWrite:
+			m.nextSeq++
+			m.inflight = append(m.inflight, netMsg{
+				seq: m.nextSeq, proc: t.Proc, addr: req.Addr, value: req.Data,
+				opIndex: m.threads[t.Proc].OpIndex,
+			})
+			m.threads[t.Proc].Resolve(0)
+			return nil
+		case req.Op == mem.OpRead:
+			m.nextSeq++
+			m.inflight = append(m.inflight, netMsg{
+				seq: m.nextSeq, proc: t.Proc, isRead: true, addr: req.Addr,
+				opIndex: m.threads[t.Proc].OpIndex,
+			})
+			m.waiting[t.Proc] = true
+			return nil
+		default:
+			if m.hasInflight(t.Proc) {
+				return fmt.Errorf("network: sync op on P%d with messages in flight", t.Proc)
+			}
+			old := m.memory[req.Addr]
+			var wv mem.Value
+			if req.Op.Writes() {
+				wv = req.NewValue(old)
+				m.memory[req.Addr] = wv
+			}
+			m.resolve(t.Proc, req, old, wv)
+			return nil
+		}
+	default:
+		return fmt.Errorf("network: unexpected transition %s", t)
+	}
+}
+
+// Done implements Machine.
+func (m *Network) Done() bool { return len(m.inflight) == 0 && m.threadsDone() }
+
+// Key implements Machine.
+func (m *Network) Key(mode KeyMode) string {
+	var sb strings.Builder
+	m.keyBase(mode, &sb)
+	sb.WriteByte('M')
+	encodeMem(m.addrs, m.memory, &sb)
+	sb.WriteByte('F')
+	for _, msg := range m.inflight {
+		r := 'w'
+		if msg.isRead {
+			r = 'r'
+		}
+		fmt.Fprintf(&sb, "%c%d@%d=%d.%d,", r, msg.proc, msg.addr, msg.value, msg.opIndex)
+	}
+	return sb.String()
+}
+
+// Final implements Machine.
+func (m *Network) Final() *program.FinalState { return m.finalState(m.memory) }
+
+// Result implements Machine.
+func (m *Network) Result() mem.Result { return m.result(m.memory) }

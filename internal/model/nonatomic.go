@@ -1,0 +1,100 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// NonAtomic models Figure 1's configuration 4: a cache-based system with a
+// general interconnection network in which every processor issues accesses in
+// program order and hits its own cache immediately, but a write reaches other
+// processors' caches asynchronously — accesses do not *complete* in program
+// order. Crucially, this machine applies the same relaxation to
+// synchronization operations, so it implements no weak ordering at all: it is
+// the deliberately broken hardware against which the Definition-2 contract
+// checker must report violations even for DRF0 programs.
+type NonAtomic struct {
+	base
+	c *copies
+}
+
+// NewNonAtomic builds the machine.
+func NewNonAtomic(p *program.Program) *NonAtomic {
+	return &NonAtomic{
+		base: newBase("network+cache-nonatomic", p),
+		c:    newCopies(p.NumThreads(), initMem(p)),
+	}
+}
+
+// Clone implements Machine.
+func (m *NonAtomic) Clone() Machine {
+	return &NonAtomic{base: m.cloneBase(), c: m.c.clone()}
+}
+
+// Transitions implements Machine.
+func (m *NonAtomic) Transitions() []Transition {
+	var ts []Transition
+	for i := range m.c.pending {
+		if m.c.deliverable(i) {
+			ts = append(ts, Transition{Kind: TDeliver, Proc: m.c.pending[i].dst, Aux: int(m.c.pending[i].seq)})
+		}
+	}
+	for p := range m.threads {
+		req, ok, err := m.pending(p)
+		if err != nil || !ok {
+			continue
+		}
+		if req.Op.Writes() && !m.c.canCommit(p) {
+			continue // finite write buffering: stall until a delivery frees room
+		}
+		ts = append(ts, Transition{Kind: TExec, Proc: p})
+	}
+	return ts
+}
+
+// Apply implements Machine.
+func (m *NonAtomic) Apply(t Transition) error {
+	switch t.Kind {
+	case TDeliver:
+		return m.c.deliver(int64(t.Aux), t.Proc)
+	case TExec:
+		req, ok, err := m.pending(t.Proc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("nonatomic: P%d has no pending operation", t.Proc)
+		}
+		old := m.c.read(t.Proc, req.Addr)
+		var wv mem.Value
+		if req.Op.Writes() {
+			wv = req.NewValue(old)
+			m.c.commitWrite(t.Proc, req.Addr, wv)
+		}
+		m.resolve(t.Proc, req, old, wv)
+		return nil
+	default:
+		return fmt.Errorf("nonatomic: unexpected transition %s", t)
+	}
+}
+
+// Done implements Machine.
+func (m *NonAtomic) Done() bool { return m.c.allDrained() && m.threadsDone() }
+
+// Key implements Machine.
+func (m *NonAtomic) Key(mode KeyMode) string {
+	var sb strings.Builder
+	m.keyBase(mode, &sb)
+	m.c.key(m.addrs, &sb)
+	return sb.String()
+}
+
+// Final implements Machine: once drained all copies agree; processor 0's copy
+// is the canonical final memory.
+func (m *NonAtomic) Final() *program.FinalState { return m.finalState(m.c.data[0]) }
+
+// Result implements Machine.
+func (m *NonAtomic) Result() mem.Result { return m.result(m.c.data[0]) }

@@ -1,0 +1,80 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// SC is the idealized architecture: all memory accesses execute atomically
+// and in program order. Its traces are idealized executions in the paper's
+// sense, so SC doubles as the ExecutionEnumerator behind Definition 3 and as
+// the reference outcome set behind Definition 2.
+type SC struct {
+	base
+	memory map[mem.Addr]mem.Value
+}
+
+// NewSC builds an SC machine for the program.
+func NewSC(p *program.Program) *SC {
+	return &SC{base: newBase("SC", p), memory: initMem(p)}
+}
+
+// Clone implements Machine.
+func (m *SC) Clone() Machine {
+	return &SC{base: m.cloneBase(), memory: copyMem(m.memory)}
+}
+
+// Transitions implements Machine: any thread with a pending memory operation
+// may execute it atomically.
+func (m *SC) Transitions() []Transition {
+	var ts []Transition
+	for p := range m.threads {
+		if _, ok, err := m.pending(p); err == nil && ok {
+			ts = append(ts, Transition{Kind: TExec, Proc: p})
+		}
+	}
+	return ts
+}
+
+// Apply implements Machine.
+func (m *SC) Apply(t Transition) error {
+	if t.Kind != TExec {
+		return fmt.Errorf("SC: unexpected transition %s", t)
+	}
+	req, ok, err := m.pending(t.Proc)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("SC: P%d has no pending operation", t.Proc)
+	}
+	old := m.memory[req.Addr]
+	var wv mem.Value
+	if req.Op.Writes() {
+		wv = req.NewValue(old)
+		m.memory[req.Addr] = wv
+	}
+	m.resolve(t.Proc, req, old, wv)
+	return nil
+}
+
+// Done implements Machine.
+func (m *SC) Done() bool { return m.threadsDone() }
+
+// Key implements Machine.
+func (m *SC) Key(mode KeyMode) string {
+	var sb strings.Builder
+	m.keyBase(mode, &sb)
+	sb.WriteByte('M')
+	encodeMem(m.addrs, m.memory, &sb)
+	return sb.String()
+}
+
+// Final implements Machine.
+func (m *SC) Final() *program.FinalState { return m.finalState(m.memory) }
+
+// Result implements Machine.
+func (m *SC) Result() mem.Result { return m.result(m.memory) }

@@ -1,0 +1,246 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// woMode selects which weak-ordering discipline a WeakOrdered machine
+// enforces at synchronization operations.
+type woMode uint8
+
+const (
+	// modeDef1 is Dubois/Scheurich/Briggs' Definition 1: a processor may not
+	// issue a synchronization operation until all its previous accesses are
+	// globally performed (and, symmetrically, issues nothing past a sync
+	// until the sync is globally performed — automatic here because the
+	// sync executes atomically).
+	modeDef1 woMode = iota
+	// modeDef2 is the paper's Section-5 implementation: a synchronization
+	// operation commits without waiting for the issuer's outstanding
+	// accesses; instead it *reserves* its location, and a subsequent
+	// synchronization on the same location by another processor stalls
+	// until the reserver's outstanding accesses are globally performed
+	// (conditions 1-5 of Section 5.1).
+	modeDef2
+	// modeDef2DRF1 refines modeDef2 per Section 6: read-only
+	// synchronization operations are not serialized and set no reservation;
+	// they still respect existing reservations (an acquire must not see a
+	// release whose prior accesses are incomplete).
+	modeDef2DRF1
+	// modeDef2NoReserve is the ablation: Definition 2's machine with the
+	// reserve-bit mechanism disabled. Synchronization still commits without
+	// waiting for outstanding accesses, but nothing transfers the stall to
+	// the next synchronizer — the machine is NOT weakly ordered w.r.t. DRF0
+	// and the contract experiments must catch it.
+	modeDef2NoReserve
+)
+
+// WeakOrdered is the family of weakly ordered cache-based machines, sharing
+// the copies substrate (per-processor copies, asynchronous propagation,
+// commit vs globally-performed distinction).
+type WeakOrdered struct {
+	base
+	c    *copies
+	mode woMode
+	// resv maps a synchronization location to the processor holding its
+	// reservation (-1 when none). A reservation is released when the
+	// holder's outstanding counter reads zero; release is evaluated lazily.
+	resv map[mem.Addr]int
+}
+
+// NewWODef1 builds a Definition-1 weakly ordered machine.
+func NewWODef1(p *program.Program) *WeakOrdered { return newWO(p, modeDef1, "WO-def1") }
+
+// NewWODef2 builds the paper's Section-5 machine.
+func NewWODef2(p *program.Program) *WeakOrdered { return newWO(p, modeDef2, "WO-def2") }
+
+// NewWODef2DRF1 builds the Section-6 refined machine.
+func NewWODef2DRF1(p *program.Program) *WeakOrdered {
+	return newWO(p, modeDef2DRF1, "WO-def2-drf1")
+}
+
+// NewWODef2NoReserve builds the ablated Section-5 machine with reserve bits
+// disabled; it exists to demonstrate that the reservation mechanism is what
+// makes the implementation weakly ordered w.r.t. DRF0.
+func NewWODef2NoReserve(p *program.Program) *WeakOrdered {
+	return newWO(p, modeDef2NoReserve, "WO-def2-noreserve")
+}
+
+// NewFence builds an RP3-style fence machine (Section 2.1): a processor waits
+// for acknowledgements of its outstanding requests only at synchronization
+// points. Operationally this coincides with Definition 1's per-processor
+// stall, so the machine shares modeDef1; only the name differs, and test E7
+// verifies the behavioral equivalence explicitly.
+func NewFence(p *program.Program) *WeakOrdered { return newWO(p, modeDef1, "RP3-fence") }
+
+func newWO(p *program.Program, mode woMode, name string) *WeakOrdered {
+	return &WeakOrdered{
+		base: newBase(name, p),
+		c:    newCopies(p.NumThreads(), initMem(p)),
+		mode: mode,
+		resv: make(map[mem.Addr]int),
+	}
+}
+
+// Clone implements Machine.
+func (m *WeakOrdered) Clone() Machine {
+	r := make(map[mem.Addr]int, len(m.resv))
+	for a, p := range m.resv {
+		r[a] = p
+	}
+	return &WeakOrdered{base: m.cloneBase(), c: m.c.clone(), mode: m.mode, resv: r}
+}
+
+// reserver returns the processor effectively holding a reservation on a, or
+// -1: a recorded reservation whose holder has drained is already released.
+func (m *WeakOrdered) reserver(a mem.Addr) int {
+	p, ok := m.resv[a]
+	if !ok || p < 0 {
+		return -1
+	}
+	if m.c.drained(p) {
+		return -1
+	}
+	return p
+}
+
+// syncEnabled reports whether processor p may commit its pending
+// synchronization operation on addr right now.
+func (m *WeakOrdered) syncEnabled(p int, req program.Request) bool {
+	switch m.mode {
+	case modeDef1:
+		// Definition 1, condition 2: previous accesses globally performed.
+		return m.c.drained(p)
+	case modeDef2, modeDef2DRF1:
+		r := m.reserver(req.Addr)
+		return r < 0 || r == p
+	case modeDef2NoReserve:
+		return true
+	default:
+		panic("model: unknown weak-ordering mode")
+	}
+}
+
+// Transitions implements Machine.
+func (m *WeakOrdered) Transitions() []Transition {
+	var ts []Transition
+	for i := range m.c.pending {
+		if m.c.deliverable(i) {
+			ts = append(ts, Transition{Kind: TDeliver, Proc: m.c.pending[i].dst, Aux: int(m.c.pending[i].seq)})
+		}
+	}
+	for p := range m.threads {
+		req, ok, err := m.pending(p)
+		if err != nil || !ok {
+			continue
+		}
+		if req.Op.IsSync() && !m.syncEnabled(p, req) {
+			continue
+		}
+		if req.Op == mem.OpWrite && !m.c.canCommit(p) {
+			continue // finite write buffering: stall until a delivery frees room
+		}
+		ts = append(ts, Transition{Kind: TExec, Proc: p})
+	}
+	return ts
+}
+
+// Apply implements Machine.
+func (m *WeakOrdered) Apply(t Transition) error {
+	switch t.Kind {
+	case TDeliver:
+		return m.c.deliver(int64(t.Aux), t.Proc)
+	case TExec:
+		req, ok, err := m.pending(t.Proc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%s: P%d has no pending operation", m.name, t.Proc)
+		}
+		if !req.Op.IsSync() {
+			// Data accesses are fully relaxed on every machine in the
+			// family: reads hit the local copy; writes commit locally and
+			// propagate asynchronously.
+			old := m.c.read(t.Proc, req.Addr)
+			var wv mem.Value
+			if req.Op == mem.OpWrite {
+				wv = req.Data
+				m.c.commitWrite(t.Proc, req.Addr, wv)
+			}
+			m.resolve(t.Proc, req, old, wv)
+			return nil
+		}
+		if !m.syncEnabled(t.Proc, req) {
+			return fmt.Errorf("%s: P%d sync on x%d applied while stalled", m.name, t.Proc, req.Addr)
+		}
+		// The Section-6 refinement lets a read-only synchronization
+		// operation proceed without serialization: it reads the local copy
+		// (current for sync locations, whose writes are atomic) and leaves
+		// no reservation.
+		if m.mode == modeDef2DRF1 && req.Op == mem.OpSyncRead {
+			old := m.c.read(t.Proc, req.Addr)
+			m.resolve(t.Proc, req, old, 0)
+			return nil
+		}
+		// A synchronization operation is performed on an exclusively held
+		// line (Section 5.3), so its commit and global performance
+		// coincide: the write component applies to every copy atomically.
+		// Sync operations on the same location are thereby totally ordered
+		// by commit time and globally performed in that order (condition 3).
+		old := m.c.read(t.Proc, req.Addr)
+		var wv mem.Value
+		if req.Op.Writes() {
+			wv = req.NewValue(old)
+			m.c.atomicWrite(t.Proc, req.Addr, wv)
+		}
+		if m.mode == modeDef2 || m.mode == modeDef2DRF1 {
+			// Condition 5: if the issuer has outstanding accesses, reserve
+			// the line so later synchronizers stall until it drains.
+			if !m.c.drained(t.Proc) {
+				m.resv[req.Addr] = t.Proc
+			} else {
+				delete(m.resv, req.Addr)
+			}
+		}
+		// modeDef2NoReserve deliberately records nothing: the ablation.
+		m.resolve(t.Proc, req, old, wv)
+		return nil
+	default:
+		return fmt.Errorf("%s: unexpected transition %s", m.name, t)
+	}
+}
+
+// Done implements Machine.
+func (m *WeakOrdered) Done() bool { return m.c.allDrained() && m.threadsDone() }
+
+// Key implements Machine.
+func (m *WeakOrdered) Key(mode KeyMode) string {
+	var sb strings.Builder
+	m.keyBase(mode, &sb)
+	m.c.key(m.addrs, &sb)
+	sb.WriteByte('V')
+	// Encode effective reservations, sorted by address for canonicity.
+	addrs := make([]mem.Addr, 0, len(m.resv))
+	for a := range m.resv {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		if r := m.reserver(a); r >= 0 {
+			fmt.Fprintf(&sb, "%d=%d,", a, r)
+		}
+	}
+	return sb.String()
+}
+
+// Final implements Machine.
+func (m *WeakOrdered) Final() *program.FinalState { return m.finalState(m.c.data[0]) }
+
+// Result implements Machine.
+func (m *WeakOrdered) Result() mem.Result { return m.result(m.c.data[0]) }

@@ -1,0 +1,227 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// bufferDepth is the write-buffer capacity: a processor stalls issuing
+// further writes once this many are pending. Finite depth matches real
+// hardware and keeps spin-loop state spaces bounded.
+const bufferDepth = 8
+
+// wbEntry is one buffered write awaiting retirement to memory.
+type wbEntry struct {
+	addr    mem.Addr
+	value   mem.Value
+	opIndex int
+}
+
+// WriteBuffer models a shared-bus system (with or without per-processor
+// caches kept coherent by the bus) in which each processor retires writes
+// through a FIFO write buffer while reads are allowed to pass buffered
+// writes — the relaxation Figure 1 names for configurations 1 and 3. A read
+// forwards from the newest buffered write to the same address (preserving
+// uniprocessor dependencies, condition 1 of Section 5.1); otherwise it reads
+// memory directly, possibly ahead of older buffered writes.
+//
+// Synchronization operations drain the buffer first and then execute
+// atomically, so the machine is strongly ordered at synchronization — it is
+// the classic processor-consistent/TSO-like hardware that violates plain SC
+// on Dekker-style races but appears SC to DRF0 programs.
+type WriteBuffer struct {
+	base
+	memory  map[mem.Addr]mem.Value
+	buffers [][]wbEntry
+	// delays, when non-nil, holds per thread a map from op index to the
+	// earlier op indices that must have retired first — the enforcement
+	// half of Shasha & Snir's delay-set analysis (internal/delayset). Only
+	// buffered writes can be unretired on this machine, so the gate checks
+	// the buffer.
+	delays []map[int][]int
+}
+
+// NewWriteBuffer builds the machine. name lets Figure-1 configurations 1 and
+// 3 (without/with caches) present themselves distinctly; pass "" for the
+// default.
+func NewWriteBuffer(p *program.Program, name string) *WriteBuffer {
+	if name == "" {
+		name = "bus+writebuffer"
+	}
+	return &WriteBuffer{
+		base:    newBase(name, p),
+		memory:  initMem(p),
+		buffers: make([][]wbEntry, p.NumThreads()),
+	}
+}
+
+// NewWriteBufferDelays builds a write-buffer machine that additionally
+// enforces a delay set: delays[t][k] lists the op indices of thread t that
+// must have retired from the buffer before op k may issue. With the delay set
+// computed by internal/delayset, the machine appears sequentially consistent
+// to the analyzed program (Shasha & Snir's guarantee).
+func NewWriteBufferDelays(p *program.Program, delays []map[int][]int) *WriteBuffer {
+	m := NewWriteBuffer(p, "bus+writebuffer+delays")
+	m.delays = delays
+	return m
+}
+
+// delayBlocked reports whether thread p's pending op (at its current op
+// index) must wait for a delayed predecessor still sitting in the buffer.
+func (m *WriteBuffer) delayBlocked(p int) bool {
+	if m.delays == nil || p >= len(m.delays) {
+		return false
+	}
+	befores := m.delays[p][m.threads[p].OpIndex]
+	for _, u := range befores {
+		for _, e := range m.buffers[p] {
+			if e.opIndex == u {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone implements Machine.
+func (m *WriteBuffer) Clone() Machine {
+	c := &WriteBuffer{
+		base:    m.cloneBase(),
+		memory:  copyMem(m.memory),
+		buffers: make([][]wbEntry, len(m.buffers)),
+		delays:  m.delays, // immutable after construction: share, don't copy
+	}
+	for i, b := range m.buffers {
+		c.buffers[i] = append([]wbEntry(nil), b...)
+	}
+	return c
+}
+
+// Transitions implements Machine.
+func (m *WriteBuffer) Transitions() []Transition {
+	var ts []Transition
+	for p := range m.threads {
+		if len(m.buffers[p]) > 0 {
+			ts = append(ts, Transition{Kind: TDrain, Proc: p})
+		}
+		req, ok, err := m.pending(p)
+		if err != nil || !ok {
+			continue
+		}
+		if req.Op.IsSync() && len(m.buffers[p]) > 0 {
+			// A synchronization operation waits for the buffer to drain; it
+			// is not an enabled execution step yet.
+			continue
+		}
+		if req.Op == mem.OpWrite && len(m.buffers[p]) >= bufferDepth {
+			continue // buffer full: the processor stalls until a drain
+		}
+		if m.delayBlocked(p) {
+			continue // delay-set enforcement: a predecessor must retire first
+		}
+		ts = append(ts, Transition{Kind: TExec, Proc: p})
+	}
+	return ts
+}
+
+// Apply implements Machine.
+func (m *WriteBuffer) Apply(t Transition) error {
+	switch t.Kind {
+	case TDrain:
+		if len(m.buffers[t.Proc]) == 0 {
+			return fmt.Errorf("writebuffer: P%d drain with empty buffer", t.Proc)
+		}
+		e := m.buffers[t.Proc][0]
+		m.buffers[t.Proc] = m.buffers[t.Proc][1:]
+		m.memory[e.addr] = e.value
+		m.record(t.Proc, e.opIndex, program.Request{Op: mem.OpWrite, Addr: e.addr, Data: e.value}, 0, e.value)
+		return nil
+	case TExec:
+		req, ok, err := m.pending(t.Proc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("writebuffer: P%d has no pending operation", t.Proc)
+		}
+		switch {
+		case req.Op == mem.OpWrite:
+			// Enqueue; the thread proceeds immediately. The write is
+			// recorded when it retires (its completion point).
+			m.buffers[t.Proc] = append(m.buffers[t.Proc], wbEntry{
+				addr: req.Addr, value: req.Data, opIndex: m.threads[t.Proc].OpIndex,
+			})
+			m.threads[t.Proc].Resolve(0)
+			return nil
+		case req.Op == mem.OpRead:
+			// Forward from the newest buffered write to the same address,
+			// else bypass the buffer and read memory.
+			v, found := mem.Value(0), false
+			for i := len(m.buffers[t.Proc]) - 1; i >= 0; i-- {
+				if m.buffers[t.Proc][i].addr == req.Addr {
+					v, found = m.buffers[t.Proc][i].value, true
+					break
+				}
+			}
+			if !found {
+				v = m.memory[req.Addr]
+			}
+			m.resolve(t.Proc, req, v, 0)
+			return nil
+		default:
+			// Synchronization: buffer already drained (Transitions gates
+			// this); execute atomically against memory.
+			if len(m.buffers[t.Proc]) > 0 {
+				return fmt.Errorf("writebuffer: sync op with non-empty buffer on P%d", t.Proc)
+			}
+			old := m.memory[req.Addr]
+			var wv mem.Value
+			if req.Op.Writes() {
+				wv = req.NewValue(old)
+				m.memory[req.Addr] = wv
+			}
+			m.resolve(t.Proc, req, old, wv)
+			return nil
+		}
+	default:
+		return fmt.Errorf("writebuffer: unexpected transition %s", t)
+	}
+}
+
+// Done implements Machine.
+func (m *WriteBuffer) Done() bool {
+	if !m.threadsDone() {
+		return false
+	}
+	for _, b := range m.buffers {
+		if len(b) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Key implements Machine.
+func (m *WriteBuffer) Key(mode KeyMode) string {
+	var sb strings.Builder
+	m.keyBase(mode, &sb)
+	sb.WriteByte('M')
+	encodeMem(m.addrs, m.memory, &sb)
+	sb.WriteByte('B')
+	for p, b := range m.buffers {
+		fmt.Fprintf(&sb, "p%d:", p)
+		for _, e := range b {
+			fmt.Fprintf(&sb, "%d=%d@%d,", e.addr, e.value, e.opIndex)
+		}
+	}
+	return sb.String()
+}
+
+// Final implements Machine.
+func (m *WriteBuffer) Final() *program.FinalState { return m.finalState(m.memory) }
+
+// Result implements Machine.
+func (m *WriteBuffer) Result() mem.Result { return m.result(m.memory) }

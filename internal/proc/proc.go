@@ -1,0 +1,391 @@
+// Package proc implements the timed processor front-ends that sit on top of
+// the coherence protocol in internal/cache. One Processor interprets one
+// thread; the Policy decides where the processor stalls, which is exactly
+// where the paper's definitions differ:
+//
+//   - PolicySC: an access issues only after the previous access is globally
+//     performed (the Scheurich-Dubois sufficient condition for sequential
+//     consistency).
+//   - PolicyWODef1: data accesses overlap freely, but a synchronization
+//     operation is not issued until all previous accesses are globally
+//     performed, and nothing issues past it until it is globally performed
+//     (Definition 1, conditions 2 and 3).
+//   - PolicyWODef2: the Section-5.3 implementation — a synchronization
+//     operation stalls its issuer only until it *commits* (the line is held
+//     exclusively and modified); if the outstanding-access counter is
+//     positive, the line is reserved, shifting the stall to the *next*
+//     processor that synchronizes on the same location.
+//   - PolicyWODef2DRF1: Definition 2 with the Section-6 refinement —
+//     read-only synchronization operations issue as ordinary shared-copy
+//     reads (not serialized, no reservation), still honoring existing
+//     reservations at a remote owner.
+package proc
+
+import (
+	"fmt"
+
+	"weakorder/internal/cache"
+	"weakorder/internal/conditions"
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+)
+
+// Policy selects the ordering discipline of a processor.
+type Policy uint8
+
+const (
+	// PolicySC is sequentially consistent hardware.
+	PolicySC Policy = iota
+	// PolicyWODef1 is weak ordering per Dubois/Scheurich/Briggs.
+	PolicyWODef1
+	// PolicyWODef2 is the paper's reserve-bit implementation.
+	PolicyWODef2
+	// PolicyWODef2DRF1 adds the Section-6 read-only-sync refinement.
+	PolicyWODef2DRF1
+	// PolicyWODef2NoReserve is the ablation of PolicyWODef2 with the
+	// reserve-bit mechanism disabled: synchronization releases without
+	// transferring the stall. The resulting hardware is NOT weakly ordered
+	// w.r.t. DRF0; it exists so experiments can show the reserve bits are
+	// what keep DRF0 programs sequentially consistent.
+	PolicyWODef2NoReserve
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicySC:
+		return "SC"
+	case PolicyWODef1:
+		return "WO-def1"
+	case PolicyWODef2:
+		return "WO-def2"
+	case PolicyWODef2DRF1:
+		return "WO-def2-drf1"
+	case PolicyWODef2NoReserve:
+		return "WO-def2-noreserve"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Tracer receives every architecturally completed access, in resolve order,
+// for post-run consistency checking. The machine provides one shared tracer.
+type Tracer interface {
+	Record(a mem.Access, opIndex int)
+}
+
+// TimingSink receives each access's (issue, commit, perform) lifecycle for
+// checking the Section-5.1 conditions (internal/conditions). Entries arrive
+// at global-performance time, which may be after the issuing thread halted.
+type TimingSink interface {
+	RecordTiming(t conditions.AccessTiming)
+}
+
+// Processor drives one thread against a cache under a policy.
+type Processor struct {
+	ID     int
+	Policy Policy
+
+	engine *sim.Engine
+	cache  *cache.Cache
+	thread program.Thread
+	tracer Tracer
+	timing TimingSink
+	// updateProto routes data writes through the write-update protocol
+	// (cache.WriteUpdate) instead of invalidation-based exclusive
+	// acquisition. Synchronization operations always use the exclusive
+	// path — the Section-5.3 reserve machinery depends on ownership.
+	updateProto bool
+
+	// Stats: per-class stall cycles and op counts.
+	Stats *stats.Counters
+
+	done     bool
+	finish   sim.Time
+	onFinish func()
+}
+
+// New builds a processor for one thread. tracer may be nil.
+func New(id int, engine *sim.Engine, c *cache.Cache, code program.Code, policy Policy, tracer Tracer) *Processor {
+	return &Processor{
+		ID:     id,
+		Policy: policy,
+		engine: engine,
+		cache:  c,
+		thread: program.NewThread(code),
+		tracer: tracer,
+		Stats:  stats.NewCounters(),
+	}
+}
+
+// SetTimingSink enables Section-5.1 lifecycle logging. Must be called before
+// Start.
+func (p *Processor) SetTimingSink(s TimingSink) { p.timing = s }
+
+// SetUpdateProtocol switches data writes to the write-update protocol. Must
+// be called before Start.
+func (p *Processor) SetUpdateProtocol(on bool) { p.updateProto = on }
+
+// emitTiming reports one completed access lifecycle.
+func (p *Processor) emitTiming(op mem.Op, addr mem.Addr, opIndex int, issue, commit, perform sim.Time) {
+	if p.timing == nil {
+		return
+	}
+	p.timing.RecordTiming(conditions.AccessTiming{
+		Proc: p.ID, OpIndex: opIndex, Op: op, Addr: addr,
+		Issue: issue, Commit: commit, Perform: perform,
+	})
+}
+
+// Start schedules the processor's first step at the current time. onFinish
+// runs once when the thread halts.
+func (p *Processor) Start(onFinish func()) {
+	p.onFinish = onFinish
+	p.engine.After(0, p.step)
+}
+
+// Done reports whether the thread has halted.
+func (p *Processor) Done() bool { return p.done }
+
+// Registers returns the thread's current register file (its final values once
+// Done).
+func (p *Processor) Registers() [program.NumRegs]mem.Value { return p.thread.Regs }
+
+// FinishTime returns the cycle at which the thread halted.
+func (p *Processor) FinishTime() sim.Time { return p.finish }
+
+// record traces a completed access.
+func (p *Processor) record(op mem.Op, addr mem.Addr, readV, writeV mem.Value) {
+	if p.tracer == nil {
+		return
+	}
+	a := mem.Access{Proc: mem.ProcID(p.ID), Op: op, Addr: addr}
+	switch {
+	case op == mem.OpSyncRMW:
+		a.Value, a.WValue = readV, writeV
+	case op.Writes():
+		a.Value = writeV
+	default:
+		a.Value = readV
+	}
+	p.tracer.Record(a, p.thread.OpIndex)
+}
+
+// step advances the thread to its next stall point.
+func (p *Processor) step() {
+	if p.done {
+		return
+	}
+	req, ok, err := p.thread.Pending()
+	if err != nil {
+		panic(fmt.Sprintf("P%d: %v", p.ID, err))
+	}
+	// Charge explicit local work (nop delays) accumulated on the way to
+	// this stall point before issuing the operation or halting.
+	if d := p.thread.TakeLocalWork(); d > 0 {
+		p.Stats.Add("local_cycles", int64(d))
+		p.engine.After(sim.Time(d), p.step)
+		return
+	}
+	if !ok {
+		p.done = true
+		p.finish = p.engine.Now()
+		if p.onFinish != nil {
+			p.onFinish()
+		}
+		return
+	}
+	// Same-address transaction in flight: preserve intra-processor
+	// dependences (condition 1) by waiting for the MSHR.
+	if p.cache.Busy(req.Addr) {
+		t0 := p.engine.Now()
+		p.cache.OnFree(req.Addr, func() {
+			p.Stats.Add("mshr_stall_cycles", int64(p.engine.Now()-t0))
+			p.step()
+		})
+		return
+	}
+	if req.Op.IsSync() {
+		p.syncOp(req)
+		return
+	}
+	if req.Op == mem.OpRead {
+		p.dataRead(req)
+		return
+	}
+	p.dataWrite(req)
+}
+
+// resume charges one hit latency (the pipeline cost of completing an access)
+// and continues the thread. Cache callbacks are synchronous, so scheduling
+// here is also what advances simulated time on cache-hit spin loops.
+func (p *Processor) resume() {
+	p.engine.After(1, p.step)
+}
+
+func (p *Processor) dataRead(req program.Request) {
+	t0 := p.engine.Now()
+	opIdx := p.thread.OpIndex
+	p.Stats.Add("reads", 1)
+	p.cache.AcquireShared(req.Addr, false, func(v mem.Value) {
+		now := p.engine.Now()
+		p.Stats.Add("read_stall_cycles", int64(now-t0))
+		p.emitTiming(mem.OpRead, req.Addr, opIdx, t0, now, now)
+		p.record(mem.OpRead, req.Addr, v, 0)
+		p.thread.Resolve(v)
+		p.resume()
+	})
+}
+
+func (p *Processor) dataWrite(req program.Request) {
+	t0 := p.engine.Now()
+	opIdx := p.thread.OpIndex
+	p.Stats.Add("writes", 1)
+	var commitT sim.Time
+	if p.updateProto {
+		p.updateWrite(req, t0, opIdx)
+		return
+	}
+	if p.Policy == PolicySC {
+		// Stall until globally performed: the sequentially consistent
+		// processor never has more than one access outstanding.
+		p.cache.AcquireExclusive(req.Addr, false,
+			func(old mem.Value) {
+				commitT = p.engine.Now()
+				p.cache.WriteLocal(req.Addr, req.Data)
+			},
+			func() {
+				now := p.engine.Now()
+				p.Stats.Add("write_stall_cycles", int64(now-t0))
+				p.emitTiming(mem.OpWrite, req.Addr, opIdx, t0, commitT, now)
+				p.record(mem.OpWrite, req.Addr, 0, req.Data)
+				p.thread.Resolve(0)
+				p.resume()
+			})
+		return
+	}
+	// Weakly ordered processors fire and forget: the thread resolves
+	// immediately; commit and global performance proceed in the background,
+	// tracked by the cache's counter.
+	v := req.Data
+	a := req.Addr
+	p.cache.AcquireExclusive(a, false,
+		func(old mem.Value) {
+			commitT = p.engine.Now()
+			p.cache.WriteLocal(a, v)
+		},
+		func() {
+			p.emitTiming(mem.OpWrite, a, opIdx, t0, commitT, p.engine.Now())
+		})
+	p.record(mem.OpWrite, a, 0, v)
+	p.thread.Resolve(0)
+	p.resume()
+}
+
+// updateWrite issues a data write on the write-update protocol: the local
+// copy commits immediately; global performance is the directory's
+// acknowledgement after all sharers applied the update.
+func (p *Processor) updateWrite(req program.Request, t0 sim.Time, opIdx int) {
+	commitT := p.engine.Now()
+	if p.Policy == PolicySC {
+		p.cache.WriteUpdate(req.Addr, req.Data, func() {
+			now := p.engine.Now()
+			p.Stats.Add("write_stall_cycles", int64(now-t0))
+			p.emitTiming(mem.OpWrite, req.Addr, opIdx, t0, commitT, now)
+			p.record(mem.OpWrite, req.Addr, 0, req.Data)
+			p.thread.Resolve(0)
+			p.resume()
+		})
+		return
+	}
+	p.cache.WriteUpdate(req.Addr, req.Data, func() {
+		p.emitTiming(mem.OpWrite, req.Addr, opIdx, t0, commitT, p.engine.Now())
+	})
+	p.record(mem.OpWrite, req.Addr, 0, req.Data)
+	p.thread.Resolve(0)
+	p.resume()
+}
+
+func (p *Processor) syncOp(req program.Request) {
+	p.Stats.Add("syncs", 1)
+	switch p.Policy {
+	case PolicySC:
+		p.syncExclusive(req, true)
+	case PolicyWODef1:
+		// Condition 2 of Definition 1: wait for all previous accesses to be
+		// globally performed before issuing the synchronization operation.
+		t0 := p.engine.Now()
+		p.cache.OnCounterZero(func() {
+			p.Stats.Add("sync_counter_stall_cycles", int64(p.engine.Now()-t0))
+			// Condition 3: nothing issues past the sync until it is
+			// globally performed, so stall through performance.
+			p.syncExclusive(req, true)
+		})
+	case PolicyWODef2, PolicyWODef2NoReserve:
+		p.syncExclusive(req, false)
+	case PolicyWODef2DRF1:
+		if req.Op == mem.OpSyncRead {
+			// Section 6: read-only synchronization is not serialized — it
+			// issues as a shared-copy read (still flagged sync, so a
+			// reserving owner stalls it).
+			t0 := p.engine.Now()
+			opIdx := p.thread.OpIndex
+			p.cache.AcquireShared(req.Addr, true, func(v mem.Value) {
+				now := p.engine.Now()
+				p.Stats.Add("sync_line_stall_cycles", int64(now-t0))
+				p.emitTiming(req.Op, req.Addr, opIdx, t0, now, now)
+				p.record(req.Op, req.Addr, v, 0)
+				p.thread.Resolve(v)
+				p.resume()
+			})
+			return
+		}
+		p.syncExclusive(req, false)
+	default:
+		panic("proc: unknown policy")
+	}
+}
+
+// syncExclusive performs a synchronization operation on an exclusively held
+// line. When waitPerformed is set the thread stalls until the operation is
+// globally performed (SC, Definition 1); otherwise it continues right after
+// commit, reserving the line if the counter is positive (Definition 2 /
+// Section 5.3).
+func (p *Processor) syncExclusive(req program.Request, waitPerformed bool) {
+	t0 := p.engine.Now()
+	opIdx := p.thread.OpIndex
+	var old mem.Value
+	var newV mem.Value
+	var commitT sim.Time
+	committed := func(cur mem.Value) {
+		old = cur
+		newV = cur
+		commitT = p.engine.Now()
+		if req.Op.Writes() {
+			newV = req.NewValue(cur)
+			p.cache.WriteLocal(req.Addr, newV)
+		}
+		if !waitPerformed {
+			// Definition 2: commit is the release point for the issuer.
+			if p.Policy != PolicyWODef2NoReserve && p.cache.Counter() > 0 {
+				p.cache.Reserve(req.Addr)
+			}
+			p.Stats.Add("sync_line_stall_cycles", int64(p.engine.Now()-t0))
+			p.record(req.Op, req.Addr, old, newV)
+			p.thread.Resolve(old)
+			p.resume()
+		}
+	}
+	performed := func() {
+		p.emitTiming(req.Op, req.Addr, opIdx, t0, commitT, p.engine.Now())
+		if waitPerformed {
+			p.Stats.Add("sync_performed_stall_cycles", int64(p.engine.Now()-t0))
+			p.record(req.Op, req.Addr, old, newV)
+			p.thread.Resolve(old)
+			p.resume()
+		}
+	}
+	p.cache.AcquireExclusive(req.Addr, true, committed, performed)
+}

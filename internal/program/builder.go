@@ -1,0 +1,210 @@
+package program
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+)
+
+// Builder assembles a Program thread by thread with symbolic labels, so
+// workload generators and tests can express loops without hand-counting
+// instruction indices.
+type Builder struct {
+	prog    *Program
+	cur     Code
+	labels  map[string]int
+	fixups  []fixup
+	err     error
+	curName int
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		prog:   &Program{Name: name, Init: make(map[mem.Addr]mem.Value)},
+		labels: make(map[string]int),
+	}
+}
+
+// Init sets the initial value of a location.
+func (b *Builder) Init(a mem.Addr, v mem.Value) *Builder {
+	b.prog.Init[a] = v
+	return b
+}
+
+// Thread finishes the current thread (if any) and starts a new one.
+func (b *Builder) Thread() *Builder {
+	b.flush()
+	return b
+}
+
+// flush resolves labels of the current thread and appends it to the program.
+func (b *Builder) flush() {
+	if b.cur == nil && len(b.fixups) == 0 && len(b.labels) == 0 {
+		b.cur = Code{}
+		return
+	}
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			b.fail("undefined label %q in thread %d", f.label, b.curName)
+			continue
+		}
+		b.cur[f.instr].Target = target
+	}
+	b.prog.Threads = append(b.prog.Threads, b.cur)
+	b.cur = Code{}
+	b.labels = make(map[string]int)
+	b.fixups = nil
+	b.curName++
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("program builder: "+format, args...)
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.cur = append(b.cur, in)
+	return b
+}
+
+// Label defines a label at the current position of the current thread.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q in thread %d", name, b.curName)
+	}
+	b.labels[name] = len(b.cur)
+	return b
+}
+
+// branchTo records a fixup for the just-emitted branch instruction.
+func (b *Builder) branchTo(label string) {
+	b.fixups = append(b.fixups, fixup{instr: len(b.cur) - 1, label: label})
+}
+
+// Nop emits local work of the given duration (cycles in the timed simulator).
+func (b *Builder) Nop(delay int) *Builder { return b.emit(Instr{Op: INop, Delay: delay}) }
+
+// Mov emits rd := src.
+func (b *Builder) Mov(rd Reg, src Operand) *Builder {
+	return b.emit(Instr{Op: IMov, Rd: rd, Src: src})
+}
+
+// Add emits rd := ra + src.
+func (b *Builder) Add(rd, ra Reg, src Operand) *Builder {
+	return b.emit(Instr{Op: IAdd, Rd: rd, Ra: ra, Src: src})
+}
+
+// Sub emits rd := ra - src.
+func (b *Builder) Sub(rd, ra Reg, src Operand) *Builder {
+	return b.emit(Instr{Op: ISub, Rd: rd, Ra: ra, Src: src})
+}
+
+// Mul emits rd := ra * src.
+func (b *Builder) Mul(rd, ra Reg, src Operand) *Builder {
+	return b.emit(Instr{Op: IMul, Rd: rd, Ra: ra, Src: src})
+}
+
+// Load emits a data read rd := mem[addr].
+func (b *Builder) Load(rd Reg, addr mem.Addr) *Builder {
+	return b.emit(Instr{Op: ILoad, Rd: rd, Addr: addr})
+}
+
+// LoadIdx emits a data read rd := mem[base + rIdx].
+func (b *Builder) LoadIdx(rd Reg, base mem.Addr, rIdx Reg) *Builder {
+	return b.emit(Instr{Op: ILoad, Rd: rd, Addr: base, AddrReg: rIdx, UseAddrReg: true})
+}
+
+// Store emits a data write mem[addr] := src.
+func (b *Builder) Store(addr mem.Addr, src Operand) *Builder {
+	return b.emit(Instr{Op: IStore, Addr: addr, Src: src})
+}
+
+// StoreIdx emits a data write mem[base + rIdx] := src.
+func (b *Builder) StoreIdx(base mem.Addr, rIdx Reg, src Operand) *Builder {
+	return b.emit(Instr{Op: IStore, Addr: base, AddrReg: rIdx, UseAddrReg: true, Src: src})
+}
+
+// SyncLoad emits a read-only synchronization operation (Test).
+func (b *Builder) SyncLoad(rd Reg, addr mem.Addr) *Builder {
+	return b.emit(Instr{Op: ISyncLoad, Rd: rd, Addr: addr})
+}
+
+// SyncStore emits a write-only synchronization operation (Unset/Set).
+func (b *Builder) SyncStore(addr mem.Addr, src Operand) *Builder {
+	return b.emit(Instr{Op: ISyncStore, Addr: addr, Src: src})
+}
+
+// TestAndSet emits rd := atomic swap of src into addr (RMWSet).
+func (b *Builder) TestAndSet(rd Reg, addr mem.Addr, src Operand) *Builder {
+	return b.emit(Instr{Op: ISyncRMW, Rd: rd, Addr: addr, Src: src, RMW: RMWSet})
+}
+
+// FetchAdd emits rd := atomic fetch-and-add of src into addr (RMWAdd).
+func (b *Builder) FetchAdd(rd Reg, addr mem.Addr, src Operand) *Builder {
+	return b.emit(Instr{Op: ISyncRMW, Rd: rd, Addr: addr, Src: src, RMW: RMWAdd})
+}
+
+// Beq emits: if ra == src goto label.
+func (b *Builder) Beq(ra Reg, src Operand, label string) *Builder {
+	b.emit(Instr{Op: IBeq, Ra: ra, Src: src})
+	b.branchTo(label)
+	return b
+}
+
+// Bne emits: if ra != src goto label.
+func (b *Builder) Bne(ra Reg, src Operand, label string) *Builder {
+	b.emit(Instr{Op: IBne, Ra: ra, Src: src})
+	b.branchTo(label)
+	return b
+}
+
+// Blt emits: if ra < src goto label.
+func (b *Builder) Blt(ra Reg, src Operand, label string) *Builder {
+	b.emit(Instr{Op: IBlt, Ra: ra, Src: src})
+	b.branchTo(label)
+	return b
+}
+
+// Jmp emits an unconditional branch to label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.emit(Instr{Op: IJmp})
+	b.branchTo(label)
+	return b
+}
+
+// Halt emits thread termination.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: IHalt}) }
+
+// Build finalizes the program, validating labels and instruction encoding.
+func (b *Builder) Build() (*Program, error) {
+	b.flush()
+	// flush on an untouched builder appends an empty first thread; drop
+	// trailing empties created by a final Thread()/Build pair.
+	for len(b.prog.Threads) > 0 && len(b.prog.Threads[len(b.prog.Threads)-1]) == 0 {
+		b.prog.Threads = b.prog.Threads[:len(b.prog.Threads)-1]
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error, for tests and static corpora.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,138 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+func TestBuilderMultiThread(t *testing.T) {
+	p, err := NewBuilder("two").
+		Init(0, 5).
+		Thread().
+		Store(0, Imm(1)).
+		Halt().
+		Thread().
+		Load(0, 0).
+		Halt().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("threads = %d", p.NumThreads())
+	}
+	if p.Init[0] != 5 {
+		t.Errorf("init = %v", p.Init)
+	}
+	if p.Name != "two" {
+		t.Errorf("name = %q", p.Name)
+	}
+}
+
+func TestBuilderLabelsResolvePerThread(t *testing.T) {
+	p, err := NewBuilder("labels").
+		Thread().
+		Label("top").
+		Nop(1).
+		Jmp("top").
+		Thread().
+		Nop(1).
+		Label("top"). // same label name, different thread
+		Jmp("top").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threads[0][1].Target != 0 {
+		t.Errorf("thread 0 jmp target = %d, want 0", p.Threads[0][1].Target)
+	}
+	if p.Threads[1][1].Target != 1 {
+		t.Errorf("thread 1 jmp target = %d, want 1", p.Threads[1][1].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewBuilder("bad").Thread().Jmp("nowhere").Build()
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	_, err := NewBuilder("bad").Thread().Label("x").Label("x").Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	p, err := NewBuilder("fwd").
+		Thread().
+		Beq(0, Imm(0), "end").
+		Nop(1).
+		Label("end").
+		Halt().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threads[0][0].Target != 2 {
+		t.Errorf("forward target = %d, want 2", p.Threads[0][0].Target)
+	}
+}
+
+func TestBuilderImplicitFirstThread(t *testing.T) {
+	// Emitting without an explicit Thread() call starts thread 0.
+	p, err := NewBuilder("implicit").Halt().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumThreads() != 1 {
+		t.Fatalf("threads = %d", p.NumThreads())
+	}
+}
+
+func TestBuilderValidationFailure(t *testing.T) {
+	_, err := NewBuilder("bad").Thread().Nop(0).Build()
+	if err == nil {
+		t.Fatal("zero-delay nop accepted")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder("bad").Thread().Jmp("missing").MustBuild()
+}
+
+func TestBuilderEmitsAllSyncForms(t *testing.T) {
+	p := NewBuilder("sync").
+		Thread().
+		SyncLoad(0, 1).
+		SyncStore(1, Imm(0)).
+		TestAndSet(2, 1, Imm(1)).
+		FetchAdd(3, 1, Imm(2)).
+		Halt().
+		MustBuild()
+	ops := []Opcode{ISyncLoad, ISyncStore, ISyncRMW, ISyncRMW}
+	for i, want := range ops {
+		if p.Threads[0][i].Op != want {
+			t.Errorf("instr %d op = %v, want %v", i, p.Threads[0][i].Op, want)
+		}
+	}
+	if p.Threads[0][2].RMW != RMWSet || p.Threads[0][3].RMW != RMWAdd {
+		t.Error("rmw kinds wrong")
+	}
+	for i := 0; i < 4; i++ {
+		op, ok := p.Threads[0][i].MemOp()
+		if !ok || !op.IsSync() {
+			t.Errorf("instr %d should be a sync memory op", i)
+		}
+	}
+	_ = mem.OpSyncRMW
+}

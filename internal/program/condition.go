@@ -1,0 +1,278 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"weakorder/internal/mem"
+)
+
+// FinalState is what a condition is evaluated against: the final register
+// files of all threads and the final memory contents.
+type FinalState struct {
+	Regs []([NumRegs]mem.Value) // indexed by thread
+	Mem  map[mem.Addr]mem.Value
+}
+
+// Cond is a predicate over a FinalState, used by litmus tests to describe the
+// outcome of interest ("exists" clauses).
+type Cond interface {
+	Eval(s *FinalState) bool
+	String() string
+}
+
+// RegEq is the atom "thread:rN = v".
+type RegEq struct {
+	Thread int
+	Reg    Reg
+	Value  mem.Value
+}
+
+// Eval implements Cond.
+func (c RegEq) Eval(s *FinalState) bool {
+	if c.Thread < 0 || c.Thread >= len(s.Regs) {
+		return false
+	}
+	return s.Regs[c.Thread][c.Reg] == c.Value
+}
+
+// String implements Cond.
+func (c RegEq) String() string { return fmt.Sprintf("%d:r%d=%d", c.Thread, c.Reg, c.Value) }
+
+// MemEq is the atom "[x] = v" over final memory.
+type MemEq struct {
+	Addr  mem.Addr
+	Name  string // symbolic name for printing, may be empty
+	Value mem.Value
+}
+
+// Eval implements Cond.
+func (c MemEq) Eval(s *FinalState) bool { return s.Mem[c.Addr] == c.Value }
+
+// String implements Cond.
+func (c MemEq) String() string {
+	n := c.Name
+	if n == "" {
+		n = fmt.Sprintf("x%d", c.Addr)
+	}
+	return fmt.Sprintf("[%s]=%d", n, c.Value)
+}
+
+// And is conjunction.
+type And struct{ L, R Cond }
+
+// Eval implements Cond.
+func (c And) Eval(s *FinalState) bool { return c.L.Eval(s) && c.R.Eval(s) }
+
+// String implements Cond.
+func (c And) String() string { return fmt.Sprintf("(%s && %s)", c.L, c.R) }
+
+// Or is disjunction.
+type Or struct{ L, R Cond }
+
+// Eval implements Cond.
+func (c Or) Eval(s *FinalState) bool { return c.L.Eval(s) || c.R.Eval(s) }
+
+// String implements Cond.
+func (c Or) String() string { return fmt.Sprintf("(%s || %s)", c.L, c.R) }
+
+// Not is negation.
+type Not struct{ X Cond }
+
+// Eval implements Cond.
+func (c Not) Eval(s *FinalState) bool { return !c.X.Eval(s) }
+
+// String implements Cond.
+func (c Not) String() string { return fmt.Sprintf("!%s", c.X) }
+
+// True is the always-true condition.
+type True struct{}
+
+// Eval implements Cond.
+func (True) Eval(*FinalState) bool { return true }
+
+// String implements Cond.
+func (True) String() string { return "true" }
+
+// ParseCond parses a condition expression. Grammar:
+//
+//	expr  := term (('||' | '\/') term)*
+//	term  := fact (('&&' | '/\') fact)*
+//	fact  := '!' fact | '(' expr ')' | atom
+//	atom  := THREAD ':' 'r' N '=' V  |  '[' name ']' '=' V  | 'true'
+//
+// names resolves symbolic location names to addresses; it may be nil when
+// only register atoms and numeric x<N> locations are used.
+func ParseCond(src string, names map[string]mem.Addr) (Cond, error) {
+	p := &condParser{s: src, names: names}
+	c, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return nil, fmt.Errorf("condition: trailing input at %q", p.s[p.i:])
+	}
+	return c, nil
+}
+
+type condParser struct {
+	s     string
+	i     int
+	names map[string]mem.Addr
+}
+
+func (p *condParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *condParser) eat(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.s[p.i:], tok) {
+		p.i += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *condParser) expr() (Cond, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("||") || p.eat(`\/`) {
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *condParser) term() (Cond, error) {
+	l, err := p.fact()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("&&") || p.eat(`/\`) {
+		r, err := p.fact()
+		if err != nil {
+			return nil, err
+		}
+		l = And{l, r}
+	}
+	return l, nil
+}
+
+func (p *condParser) fact() (Cond, error) {
+	if p.eat("!") {
+		x, err := p.fact()
+		if err != nil {
+			return nil, err
+		}
+		return Not{x}, nil
+	}
+	if p.eat("(") {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, fmt.Errorf("condition: missing ')' at %q", p.s[p.i:])
+		}
+		return x, nil
+	}
+	return p.atom()
+}
+
+func (p *condParser) atom() (Cond, error) {
+	p.skipSpace()
+	if p.eat("true") {
+		return True{}, nil
+	}
+	if p.eat("[") {
+		start := p.i
+		for p.i < len(p.s) && p.s[p.i] != ']' {
+			p.i++
+		}
+		if p.i == len(p.s) {
+			return nil, fmt.Errorf("condition: unterminated '['")
+		}
+		name := strings.TrimSpace(p.s[start:p.i])
+		p.i++ // ']'
+		addr, err := p.resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat("=") {
+			return nil, fmt.Errorf("condition: expected '=' after [%s]", name)
+		}
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return MemEq{Addr: addr, Name: name, Value: v}, nil
+	}
+	// THREAD ':' 'r' N '=' V
+	th, err := p.number()
+	if err != nil {
+		return nil, fmt.Errorf("condition: expected atom at %q", p.s[p.i:])
+	}
+	if !p.eat(":") {
+		return nil, fmt.Errorf("condition: expected ':' after thread number")
+	}
+	if !p.eat("r") {
+		return nil, fmt.Errorf("condition: expected register after ':'")
+	}
+	rn, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if rn < 0 || rn >= NumRegs {
+		return nil, fmt.Errorf("condition: register r%d out of range", rn)
+	}
+	if !p.eat("=") {
+		return nil, fmt.Errorf("condition: expected '=' after register")
+	}
+	v, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	return RegEq{Thread: int(th), Reg: Reg(rn), Value: v}, nil
+}
+
+func (p *condParser) resolve(name string) (mem.Addr, error) {
+	if p.names != nil {
+		if a, ok := p.names[name]; ok {
+			return a, nil
+		}
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "x%d", &n); err == nil {
+		return mem.Addr(n), nil
+	}
+	return 0, fmt.Errorf("condition: unknown location %q", name)
+}
+
+func (p *condParser) number() (mem.Value, error) {
+	p.skipSpace()
+	start := p.i
+	if p.i < len(p.s) && (p.s[p.i] == '-' || p.s[p.i] == '+') {
+		p.i++
+	}
+	for p.i < len(p.s) && p.s[p.i] >= '0' && p.s[p.i] <= '9' {
+		p.i++
+	}
+	if p.i == start || (p.i == start+1 && (p.s[start] == '-' || p.s[start] == '+')) {
+		p.i = start
+		return 0, fmt.Errorf("condition: expected number at %q", p.s[p.i:])
+	}
+	var v int64
+	if _, err := fmt.Sscanf(p.s[start:p.i], "%d", &v); err != nil {
+		return 0, err
+	}
+	return mem.Value(v), nil
+}

@@ -1,0 +1,134 @@
+package program
+
+import (
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+func fs(regs map[int][NumRegs]mem.Value, memory map[mem.Addr]mem.Value) *FinalState {
+	n := 0
+	for t := range regs {
+		if t+1 > n {
+			n = t + 1
+		}
+	}
+	s := &FinalState{Mem: memory}
+	s.Regs = make([][NumRegs]mem.Value, n)
+	for t, r := range regs {
+		s.Regs[t] = r
+	}
+	if s.Mem == nil {
+		s.Mem = map[mem.Addr]mem.Value{}
+	}
+	return s
+}
+
+func TestCondAtoms(t *testing.T) {
+	state := fs(map[int][NumRegs]mem.Value{0: {5}}, map[mem.Addr]mem.Value{3: 9})
+	c, err := ParseCond("0:r0=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Eval(state) {
+		t.Error("register atom should hold")
+	}
+	c, err = ParseCond("[x3]=9", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Eval(state) {
+		t.Error("memory atom should hold")
+	}
+	c, err = ParseCond("[flag]=9", map[string]mem.Addr{"flag": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Eval(state) {
+		t.Error("named memory atom should hold")
+	}
+}
+
+func TestCondOperators(t *testing.T) {
+	state := fs(map[int][NumRegs]mem.Value{0: {1}, 1: {0, 2}}, nil)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"0:r0=1 && 1:r1=2", true},
+		{`0:r0=1 /\ 1:r1=3`, false},
+		{"0:r0=9 || 1:r1=2", true},
+		{`0:r0=9 \/ 1:r1=9`, false},
+		{"!0:r0=9", true},
+		{"!(0:r0=1 && 1:r1=2)", false},
+		{"true", true},
+		{"(0:r0=1 || 0:r0=2) && !1:r1=9", true},
+	}
+	for _, c := range cases {
+		cond, err := ParseCond(c.src, nil)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if got := cond.Eval(state); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCondPrecedence(t *testing.T) {
+	// && binds tighter than ||.
+	state := fs(map[int][NumRegs]mem.Value{0: {1}}, nil)
+	cond, err := ParseCond("0:r0=1 || 0:r0=2 && 0:r0=3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cond.Eval(state) {
+		t.Error("should parse as r0=1 || (r0=2 && r0=3)")
+	}
+}
+
+func TestCondNegativeNumbers(t *testing.T) {
+	state := fs(map[int][NumRegs]mem.Value{0: {-4}}, nil)
+	cond, err := ParseCond("0:r0=-4", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cond.Eval(state) {
+		t.Error("negative comparison failed")
+	}
+}
+
+func TestCondErrors(t *testing.T) {
+	bad := []string{
+		"", "0:r0", "0:r0=", "[x]=", "[x=1", "0:r99=0", "r0=1",
+		"0:r0=1 &&", "(0:r0=1", "0:r0=1 extra", "[unknown]=1",
+	}
+	for _, src := range bad {
+		if _, err := ParseCond(src, nil); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestCondOutOfRangeThread(t *testing.T) {
+	state := fs(map[int][NumRegs]mem.Value{0: {1}}, nil)
+	cond, err := ParseCond("5:r0=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond.Eval(state) {
+		t.Error("atom for a nonexistent thread should be false")
+	}
+}
+
+func TestCondStrings(t *testing.T) {
+	cond, err := ParseCond("!(0:r1=2 && [x7]=3) || true", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(!(0:r1=2 && [x7]=3) || true)"
+	if cond.String() != want {
+		t.Errorf("String() = %q, want %q", cond.String(), want)
+	}
+}

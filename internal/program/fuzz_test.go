@@ -1,0 +1,89 @@
+package program
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics feeds the parser mutated fragments of valid sources:
+// whatever the input, Parse must return (result, nil) or (nil, error), never
+// panic. A crash here would let a malformed .litmus file take down the CLIs.
+func TestParseNeverPanics(t *testing.T) {
+	seeds := []string{
+		"name: x\ninit: a=1 b=2\nthread:\n    st a, 1\n    ld r0, b\nexists: 0:r0=0",
+		"thread:\nl:\n    tas r1, s, 1\n    bne r1, 0, l\n    halt",
+		"thread:\n    faa r2, c, 5\n    mov r3, -7\n    add r3, r3, r2",
+		"init: x=0\nthread:\n    ld r0, x[r1]\n    st x[r1], 3",
+		"exists: (0:r0=1 && [x]=2) || !1:r3=0",
+	}
+	rng := rand.New(rand.NewSource(5))
+	mutate := func(s string) string {
+		b := []byte(s)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			if len(b) == 0 {
+				break
+			}
+			switch rng.Intn(4) {
+			case 0: // flip a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			case 1: // delete a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i+1)
+				b = append(b[:i], b[j:]...)
+			case 2: // duplicate a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i+1)
+				b = append(b[:j], append(append([]byte(nil), b[i:j]...), b[j:]...)...)
+			default: // insert noise
+				i := rng.Intn(len(b) + 1)
+				noise := []byte{',', ' ', '\n', ':', 'r', '9', '[', ']'}[rng.Intn(8)]
+				b = append(b[:i], append([]byte{noise}, b[i:]...)...)
+			}
+		}
+		return string(b)
+	}
+	run := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		res, err := Parse(src)
+		if err == nil && res.Program != nil {
+			// Whatever parsed must validate and survive the interpreter's
+			// first step on every thread.
+			if verr := res.Program.Validate(); verr != nil {
+				t.Fatalf("parsed program fails validation: %v\nsource: %q", verr, src)
+			}
+		}
+	}
+	for _, s := range seeds {
+		run(s)
+		for i := 0; i < 400; i++ {
+			run(mutate(s))
+		}
+	}
+}
+
+// TestParseCondNeverPanics does the same for the condition grammar.
+func TestParseCondNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	alphabet := `0123456789:r=[]()&|!xtrue /\-`
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(24)
+		var b strings.Builder
+		for k := 0; k < n; k++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseCond panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = ParseCond(src, nil)
+		}()
+	}
+}

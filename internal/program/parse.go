@@ -1,0 +1,377 @@
+package program
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"weakorder/internal/mem"
+)
+
+// ParseResult is the outcome of parsing a litmus-style source file: a
+// program, the mapping from symbolic location names to addresses, and an
+// optional "exists" condition.
+type ParseResult struct {
+	Program *Program
+	Names   map[string]mem.Addr
+	Exists  Cond // nil when the source has no exists clause
+}
+
+// Parse reads a program in the repository's litmus-like assembly format:
+//
+//	name: SB
+//	init: x=0 y=0
+//	thread:
+//	    st x, 1
+//	    ld r0, y
+//	thread:
+//	    st y, 1
+//	    ld r1, x
+//	exists: 0:r0=0 && 1:r1=0
+//
+// Locations are symbolic names assigned dense addresses in order of first
+// appearance (init clause first, then instruction operands). Instructions:
+//
+//	nop N                  local work
+//	mov rD, src            src is rN or an integer
+//	add|sub|mul rD, rA, src
+//	ld rD, loc  |  ld rD, loc[rI]
+//	st loc, src |  st loc[rI], src
+//	sync.ld rD, loc        read-only synchronization (Test)
+//	sync.st loc, src       write-only synchronization (Unset)
+//	tas rD, loc, src       TestAndSet: rD := old, loc := src, atomically
+//	faa rD, loc, src       FetchAndAdd: rD := old, loc := old+src, atomically
+//	beq|bne|blt rA, src, label
+//	jmp label
+//	halt
+//	label:                 a line ending in ':' defines a label
+//
+// '#' and '//' begin comments.
+func Parse(src string) (*ParseResult, error) {
+	p := &parser{
+		names: make(map[string]mem.Addr),
+		res:   &ParseResult{},
+	}
+	b := NewBuilder("")
+	p.b = b
+	inThread := false
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "name:"):
+			p.name = strings.TrimSpace(strings.TrimPrefix(line, "name:"))
+		case strings.HasPrefix(line, "init:"):
+			if err := p.parseInit(strings.TrimPrefix(line, "init:")); err != nil {
+				return nil, fail("%v", err)
+			}
+		case line == "thread:" || strings.HasPrefix(line, "thread "):
+			b.Thread()
+			inThread = true
+		case strings.HasPrefix(line, "exists:"):
+			p.existsSrc = strings.TrimSpace(strings.TrimPrefix(line, "exists:"))
+		default:
+			if !inThread {
+				return nil, fail("instruction %q outside any thread", line)
+			}
+			if err := p.parseInstr(line); err != nil {
+				return nil, fail("%v", err)
+			}
+		}
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	prog.Name = p.name
+	p.res.Program = prog
+	p.res.Names = p.names
+	if p.existsSrc != "" {
+		c, err := ParseCond(p.existsSrc, p.names)
+		if err != nil {
+			return nil, err
+		}
+		p.res.Exists = c
+	}
+	return p.res, nil
+}
+
+// MustParse is Parse that panics on error, for static corpora in tests.
+func MustParse(src string) *ParseResult {
+	r, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type parser struct {
+	b         *Builder
+	names     map[string]mem.Addr
+	name      string
+	existsSrc string
+	res       *ParseResult
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func (p *parser) addr(name string) mem.Addr {
+	if a, ok := p.names[name]; ok {
+		return a
+	}
+	a := mem.Addr(len(p.names))
+	p.names[name] = a
+	return a
+}
+
+func (p *parser) parseInit(s string) error {
+	for _, f := range strings.Fields(s) {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return fmt.Errorf("bad init clause %q (want name=value)", f)
+		}
+		v, err := strconv.ParseInt(f[eq+1:], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad init value in %q: %v", f, err)
+		}
+		p.b.Init(p.addr(f[:eq]), mem.Value(v))
+	}
+	return nil
+}
+
+// parseReg parses "rN".
+func parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+// parseOperand parses "rN" or an integer literal.
+func parseOperand(s string) (Operand, error) {
+	if strings.HasPrefix(s, "r") {
+		if r, err := parseReg(s); err == nil {
+			return R(r), nil
+		}
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return Imm(mem.Value(v)), nil
+}
+
+// parseLoc parses "name" or "name[rI]"; it returns the base address and the
+// optional index register.
+func (p *parser) parseLoc(s string) (mem.Addr, Reg, bool, error) {
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		if !strings.HasSuffix(s, "]") {
+			return 0, 0, false, fmt.Errorf("bad location %q", s)
+		}
+		r, err := parseReg(s[i+1 : len(s)-1])
+		if err != nil {
+			return 0, 0, false, err
+		}
+		return p.addr(s[:i]), r, true, nil
+	}
+	return p.addr(s), 0, false, nil
+}
+
+// splitArgs splits "a, b, c" into fields.
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, x := range parts {
+		x = strings.TrimSpace(x)
+		if x != "" {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (p *parser) parseInstr(line string) error {
+	if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t,") {
+		p.b.Label(strings.TrimSuffix(line, ":"))
+		return nil
+	}
+	op := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		op, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	args := splitArgs(rest)
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case "nop":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return fmt.Errorf("nop: bad delay %q", args[0])
+		}
+		p.b.Nop(n)
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseOperand(args[1])
+		if err != nil {
+			return err
+		}
+		p.b.Mov(rd, src)
+	case "add", "sub", "mul":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		src, err := parseOperand(args[2])
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "add":
+			p.b.Add(rd, ra, src)
+		case "sub":
+			p.b.Sub(rd, ra, src)
+		default:
+			p.b.Mul(rd, ra, src)
+		}
+	case "ld", "sync.ld":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		base, idx, useIdx, err := p.parseLoc(args[1])
+		if err != nil {
+			return err
+		}
+		if op == "sync.ld" {
+			if useIdx {
+				return fmt.Errorf("sync.ld: indexed addressing not allowed for synchronization")
+			}
+			p.b.SyncLoad(rd, base)
+		} else if useIdx {
+			p.b.LoadIdx(rd, base, idx)
+		} else {
+			p.b.Load(rd, base)
+		}
+	case "st", "sync.st":
+		if err := need(2); err != nil {
+			return err
+		}
+		base, idx, useIdx, err := p.parseLoc(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseOperand(args[1])
+		if err != nil {
+			return err
+		}
+		if op == "sync.st" {
+			if useIdx {
+				return fmt.Errorf("sync.st: indexed addressing not allowed for synchronization")
+			}
+			p.b.SyncStore(base, src)
+		} else if useIdx {
+			p.b.StoreIdx(base, idx, src)
+		} else {
+			p.b.Store(base, src)
+		}
+	case "tas", "faa":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		base, _, useIdx, err := p.parseLoc(args[1])
+		if err != nil {
+			return err
+		}
+		if useIdx {
+			return fmt.Errorf("%s: indexed addressing not allowed for synchronization", op)
+		}
+		src, err := parseOperand(args[2])
+		if err != nil {
+			return err
+		}
+		if op == "tas" {
+			p.b.TestAndSet(rd, base, src)
+		} else {
+			p.b.FetchAdd(rd, base, src)
+		}
+	case "beq", "bne", "blt":
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := parseOperand(args[1])
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "beq":
+			p.b.Beq(ra, src, args[2])
+		case "bne":
+			p.b.Bne(ra, src, args[2])
+		default:
+			p.b.Blt(ra, src, args[2])
+		}
+	case "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		p.b.Jmp(args[0])
+	case "halt":
+		if err := need(0); err != nil {
+			return err
+		}
+		p.b.Halt()
+	default:
+		return fmt.Errorf("unknown instruction %q", op)
+	}
+	return nil
+}

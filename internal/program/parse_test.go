@@ -1,0 +1,233 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+func TestParseFullProgram(t *testing.T) {
+	r, err := Parse(`
+name: demo
+init: x=0 y=5 z=-2
+# producer
+thread:
+    mov r0, 7
+    st x, r0
+    sync.st y, 1
+thread:
+wait:
+    sync.ld r1, y
+    beq r1, 5, wait
+    ld r2, x
+    tas r3, z, 1
+    faa r4, z, 2
+    halt
+exists: 1:r2=7 && [z]=3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Program
+	if p.Name != "demo" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("threads = %d", p.NumThreads())
+	}
+	// Addresses assigned in first-appearance order: x=0, y=1, z=2.
+	if r.Names["x"] != 0 || r.Names["y"] != 1 || r.Names["z"] != 2 {
+		t.Errorf("names = %v", r.Names)
+	}
+	if p.Init[0] != 0 || p.Init[1] != 5 || p.Init[2] != -2 {
+		t.Errorf("init = %v", p.Init)
+	}
+	if r.Exists == nil {
+		t.Fatal("exists missing")
+	}
+	// Branch target resolution: beq in thread 1 targets the label line.
+	code := p.Threads[1]
+	if code[1].Op != IBeq || code[1].Target != 0 {
+		t.Errorf("branch = %+v", code[1])
+	}
+	if code[3].Op != ISyncRMW || code[3].RMW != RMWSet {
+		t.Errorf("tas = %+v", code[3])
+	}
+	if code[4].Op != ISyncRMW || code[4].RMW != RMWAdd {
+		t.Errorf("faa = %+v", code[4])
+	}
+}
+
+func TestParseIndexedAddressing(t *testing.T) {
+	r, err := Parse(`
+name: idx
+thread:
+    mov r1, 3
+    ld r0, arr[r1]
+    st arr[r1], 9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := r.Program.Threads[0]
+	if !code[1].UseAddrReg || code[1].AddrReg != 1 {
+		t.Errorf("indexed load = %+v", code[1])
+	}
+	if !code[2].UseAddrReg {
+		t.Errorf("indexed store = %+v", code[2])
+	}
+}
+
+func TestParseRejectsIndexedSync(t *testing.T) {
+	for _, src := range []string{
+		"thread:\n    sync.ld r0, a[r1]",
+		"thread:\n    sync.st a[r1], 0",
+		"thread:\n    tas r0, a[r1], 1",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("indexed sync accepted: %s", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"outside thread", "ld r0, x", "outside any thread"},
+		{"unknown instr", "thread:\n    frobnicate r0", "unknown instruction"},
+		{"bad register", "thread:\n    mov r99, 0", "bad register"},
+		{"bad operand count", "thread:\n    mov r0", "want 2 operands"},
+		{"undefined label", "thread:\n    jmp nowhere", "undefined label"},
+		{"bad init", "init: x\nthread:\n    halt", "bad init"},
+		{"bad nop", "thread:\n    nop 0", "bad delay"},
+		{"bad exists", "thread:\n    halt\nexists: 0:r0", "expected"},
+		{"duplicate label", "thread:\nl:\nl:\n    halt", "duplicate label"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	r, err := Parse(`
+name: c
+thread:
+    mov r0, 1   # trailing comment
+    // whole-line comment
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Program.Threads[0]) != 2 {
+		t.Errorf("instructions = %d, want 2", len(r.Program.Threads[0]))
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("thread:\n    bogus")
+}
+
+func TestParsedProgramRoundTripsThroughInterpreter(t *testing.T) {
+	r := MustParse(`
+name: loop
+init: out=0
+thread:
+    mov r0, 0
+    mov r1, 0
+top:
+    add r1, r1, r0
+    add r0, r0, 1
+    blt r0, 5, top
+    st out, r1
+`)
+	memory := map[mem.Addr]mem.Value{}
+	th := NewThread(r.Program.Threads[0])
+	for {
+		req, ok, err := th.Pending()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		old := memory[req.Addr]
+		if req.Op.Writes() {
+			memory[req.Addr] = req.NewValue(old)
+		}
+		th.Resolve(old)
+	}
+	if memory[r.Names["out"]] != 10 {
+		t.Errorf("sum = %d, want 10", memory[r.Names["out"]])
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: INop, Delay: 3}, "nop 3"},
+		{Instr{Op: IMov, Rd: 1, Src: Imm(5)}, "mov r1, 5"},
+		{Instr{Op: IAdd, Rd: 1, Ra: 2, Src: R(3)}, "add r1, r2, r3"},
+		{Instr{Op: ILoad, Rd: 0, Addr: 7}, "ld r0, x7"},
+		{Instr{Op: IStore, Addr: 7, Src: Imm(1)}, "st x7, 1"},
+		{Instr{Op: ISyncRMW, Rd: 0, Addr: 2, Src: Imm(1), RMW: RMWSet}, "sync.rmw.set r0, x2, 1"},
+		{Instr{Op: IBeq, Ra: 0, Src: Imm(0), Target: 4}, "beq r0, 0, @4"},
+		{Instr{Op: IHalt}, "halt"},
+		{Instr{Op: ILoad, Rd: 0, Addr: 1, AddrReg: 2, UseAddrReg: true}, "ld r0, x1+r2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramAddrs(t *testing.T) {
+	r := MustParse(`
+name: a
+init: z=1
+thread:
+    ld r0, x
+    st y, 1
+`)
+	addrs := r.Program.Addrs()
+	if len(addrs) != 3 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i-1] >= addrs[i] {
+			t.Fatalf("addrs not sorted: %v", addrs)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{Threads: []Code{{{Op: IBeq, Target: 5}}}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+	p = &Program{Threads: []Code{{{Op: INop, Delay: 0}}}}
+	if err := p.Validate(); err == nil {
+		t.Error("zero-delay nop accepted")
+	}
+	p = &Program{Threads: []Code{{{Op: IMov, Rd: 20}}}}
+	if err := p.Validate(); err == nil {
+		t.Error("bad register accepted")
+	}
+}

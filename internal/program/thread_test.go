@@ -1,0 +1,205 @@
+package program
+
+import (
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+// runSC executes a single thread against a plain map memory, resolving every
+// request immediately — a one-processor SC machine for interpreter testing.
+func runSC(t *testing.T, code Code, memory map[mem.Addr]mem.Value) *Thread {
+	t.Helper()
+	th := NewThread(code)
+	for {
+		req, ok, err := th.Pending()
+		if err != nil {
+			t.Fatalf("pending: %v", err)
+		}
+		if !ok {
+			return &th
+		}
+		old := memory[req.Addr]
+		if req.Op.Writes() {
+			memory[req.Addr] = req.NewValue(old)
+		}
+		th.Resolve(old)
+	}
+}
+
+func TestThreadStraightLine(t *testing.T) {
+	p := NewBuilder("t").
+		Mov(0, Imm(5)).
+		Add(1, 0, Imm(3)).
+		Sub(2, 1, R(0)).
+		Mul(3, 1, Imm(2)).
+		Store(0, R(1)).
+		Load(4, 0).
+		Halt().
+		MustBuild()
+	memory := map[mem.Addr]mem.Value{}
+	th := runSC(t, p.Threads[0], memory)
+	if th.Regs[1] != 8 || th.Regs[2] != 3 || th.Regs[3] != 16 {
+		t.Errorf("alu results wrong: %v", th.Regs[:5])
+	}
+	if memory[0] != 8 || th.Regs[4] != 8 {
+		t.Errorf("store/load wrong: mem=%v r4=%d", memory[0], th.Regs[4])
+	}
+	if !th.Done() {
+		t.Error("thread should be done")
+	}
+	if th.OpIndex != 2 {
+		t.Errorf("OpIndex = %d, want 2 memory ops", th.OpIndex)
+	}
+}
+
+func TestThreadBranchesAndLoop(t *testing.T) {
+	// Sum 1..5 into r1 with a blt loop.
+	p := NewBuilder("loop").
+		Mov(0, Imm(1)).
+		Mov(1, Imm(0)).
+		Label("top").
+		Add(1, 1, R(0)).
+		Add(0, 0, Imm(1)).
+		Blt(0, Imm(6), "top").
+		Store(0, R(1)).
+		Halt().
+		MustBuild()
+	memory := map[mem.Addr]mem.Value{}
+	runSC(t, p.Threads[0], memory)
+	if memory[0] != 15 {
+		t.Errorf("loop sum = %d, want 15", memory[0])
+	}
+}
+
+func TestThreadRMW(t *testing.T) {
+	p := NewBuilder("rmw").
+		TestAndSet(0, 1, Imm(1)).
+		FetchAdd(1, 2, Imm(5)).
+		FetchAdd(2, 2, Imm(5)).
+		Halt().
+		MustBuild()
+	memory := map[mem.Addr]mem.Value{2: 10}
+	th := runSC(t, p.Threads[0], memory)
+	if th.Regs[0] != 0 || memory[1] != 1 {
+		t.Errorf("TAS wrong: r0=%d mem=%d", th.Regs[0], memory[1])
+	}
+	if th.Regs[1] != 10 || th.Regs[2] != 15 || memory[2] != 20 {
+		t.Errorf("FAA wrong: r1=%d r2=%d mem=%d", th.Regs[1], th.Regs[2], memory[2])
+	}
+}
+
+func TestThreadIndexedAddressing(t *testing.T) {
+	p := NewBuilder("idx").
+		Mov(0, Imm(3)).
+		StoreIdx(10, 0, Imm(7)). // mem[13] = 7
+		LoadIdx(1, 10, 0).       // r1 = mem[13]
+		Halt().
+		MustBuild()
+	memory := map[mem.Addr]mem.Value{}
+	th := runSC(t, p.Threads[0], memory)
+	if memory[13] != 7 || th.Regs[1] != 7 {
+		t.Errorf("indexed addressing wrong: mem13=%d r1=%d", memory[13], th.Regs[1])
+	}
+}
+
+func TestThreadPendingIdempotent(t *testing.T) {
+	th := NewThread(Code{{Op: ILoad, Rd: 0, Addr: 5}})
+	r1, ok1, _ := th.Pending()
+	r2, ok2, _ := th.Pending()
+	if !ok1 || !ok2 || r1 != r2 {
+		t.Fatal("Pending should be idempotent while blocked")
+	}
+	if !th.Blocked() {
+		t.Error("thread should report blocked")
+	}
+	th.Resolve(9)
+	if th.Regs[0] != 9 {
+		t.Error("resolve did not write register")
+	}
+}
+
+func TestThreadResolveWithoutPendingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	th := NewThread(Code{})
+	th.Resolve(0)
+}
+
+func TestThreadRunawayLocalLoop(t *testing.T) {
+	th := NewThread(Code{{Op: IJmp, Target: 0}})
+	if _, _, err := th.Pending(); err == nil {
+		t.Fatal("infinite local loop should error")
+	}
+}
+
+func TestThreadHaltsPastEnd(t *testing.T) {
+	th := NewThread(Code{{Op: IMov, Rd: 0, Src: Imm(1)}})
+	_, ok, err := th.Pending()
+	if err != nil || ok {
+		t.Fatalf("fallthrough should halt: ok=%v err=%v", ok, err)
+	}
+	if !th.Done() {
+		t.Error("thread should be done after running past the end")
+	}
+}
+
+func TestSnapshotExcludesHistory(t *testing.T) {
+	// Two threads in the same machine state but with different completed-op
+	// counts must snapshot identically (spin-loop dedup depends on it).
+	code := Code{
+		{Op: ISyncLoad, Rd: 0, Addr: 0},
+		{Op: IBeq, Ra: 0, Src: Imm(0), Target: 0},
+		{Op: IHalt},
+	}
+	a := NewThread(code)
+	b := NewThread(code)
+	// Spin b once: read 0, branch back.
+	if _, ok, _ := b.Pending(); !ok {
+		t.Fatal("b should block on sync load")
+	}
+	b.Resolve(0)
+	if _, ok, _ := b.Pending(); !ok { // back at the sync load
+		t.Fatal("b should block again")
+	}
+	if _, ok, _ := a.Pending(); !ok {
+		t.Fatal("a should block")
+	}
+	if a.Snapshot() != b.Snapshot() {
+		t.Error("one spin iteration changed the snapshot; dedup would diverge")
+	}
+	if a.OpIndex == b.OpIndex {
+		t.Error("op indices should differ (history really did differ)")
+	}
+}
+
+func TestRequestNewValue(t *testing.T) {
+	set := Request{Op: mem.OpSyncRMW, RMW: RMWSet, Data: 7}
+	if set.NewValue(3) != 7 {
+		t.Error("RMWSet should write Data")
+	}
+	add := Request{Op: mem.OpSyncRMW, RMW: RMWAdd, Data: 7}
+	if add.NewValue(3) != 10 {
+		t.Error("RMWAdd should write old+Data")
+	}
+	w := Request{Op: mem.OpWrite, Data: 4}
+	if w.NewValue(99) != 4 {
+		t.Error("plain write should write Data")
+	}
+}
+
+func TestTakeLocalWork(t *testing.T) {
+	th := NewThread(Code{{Op: INop, Delay: 5}, {Op: INop, Delay: 2}, {Op: ILoad, Rd: 0, Addr: 0}})
+	if _, ok, _ := th.Pending(); !ok {
+		t.Fatal("should reach the load")
+	}
+	if d := th.TakeLocalWork(); d != 7 {
+		t.Fatalf("TakeLocalWork = %d, want 7 (accumulated nops)", d)
+	}
+	if d := th.TakeLocalWork(); d != 0 {
+		t.Fatalf("second TakeLocalWork = %d, want 0 (cleared)", d)
+	}
+}

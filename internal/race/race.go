@@ -1,0 +1,222 @@
+// Package race implements a dynamic happens-before data-race detector over
+// idealized executions, in the spirit of Netzer & Miller's race detection
+// work cited by the paper. It processes an execution's events in completion
+// order, maintaining vector clocks, and reports every pair of conflicting
+// accesses unordered by happens-before.
+//
+// The detector is an O(n·p)-per-event alternative to internal/core's
+// O(n²)-pair bit-matrix reference; the two are checked against each other by
+// property-based tests. Like core, it supports both the DRF0 edge rule (any
+// two synchronization operations on the same location synchronize) and the
+// DRF1 refinement (read-only synchronization does not release).
+package race
+
+import (
+	"fmt"
+
+	"weakorder/internal/core"
+	"weakorder/internal/mem"
+)
+
+// VC is a vector clock over processors.
+type VC []uint64
+
+// NewVC returns the zero clock for n processors.
+func NewVC(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy.
+func (v VC) Copy() VC { return append(VC(nil), v...) }
+
+// Join sets v to the pointwise maximum of v and o.
+func (v VC) Join(o VC) {
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// LE reports whether v ≤ o pointwise (v happens-before-or-equal o).
+func (v VC) LE(o VC) bool {
+	for i, x := range v {
+		if x > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (v VC) String() string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d", x)
+	}
+	return s + "]"
+}
+
+// accessRecord remembers one prior access for conflict checking: the event
+// and the issuing processor's clock at the time of the access.
+type accessRecord struct {
+	ev mem.Event
+	at VC
+}
+
+// locState tracks the access history of one location. Full histories (not
+// just epochs) are kept so every racing *pair* is reported, matching the
+// reference checker exactly; executions here are small by construction.
+type locState struct {
+	reads  []accessRecord
+	writes []accessRecord
+	// release is the clock a synchronizing acquirer of this location
+	// inherits (the join of releasing processors' clocks).
+	release VC
+}
+
+// Detector is the streaming race detector. Feed events in completion order
+// via Step; collect races from Races.
+type Detector struct {
+	model  core.SyncModel
+	clocks []VC
+	locs   map[mem.Addr]*locState
+	races  []core.Race
+	nproc  int
+	seen   int
+}
+
+// NewDetector builds a detector for n processors under the given model
+// (core.DRF0{} or core.DRF1{}).
+func NewDetector(n int, model core.SyncModel) *Detector {
+	d := &Detector{model: model, locs: make(map[mem.Addr]*locState), nproc: n}
+	for i := 0; i < n; i++ {
+		d.clocks = append(d.clocks, NewVC(n))
+	}
+	return d
+}
+
+// Races returns the races found so far.
+func (d *Detector) Races() []core.Race { return d.races }
+
+// Events returns the number of events processed.
+func (d *Detector) Events() int { return d.seen }
+
+// Step processes the next event in completion order.
+func (d *Detector) Step(ev mem.Event) error {
+	p := int(ev.Proc)
+	if p < 0 || p >= d.nproc {
+		return fmt.Errorf("race: event %v has processor out of range", ev)
+	}
+	d.seen++
+	ls := d.locs[ev.Addr]
+	if ls == nil {
+		ls = &locState{}
+		d.locs[ev.Addr] = ls
+	}
+	me := d.clocks[p]
+
+	if ev.Op.IsSync() {
+		// Acquire: inherit the location's release clock if the model lets
+		// prior syncs here order us. The model's edge rule is evaluated
+		// pairwise at release time (see below), so the release clock
+		// already contains exactly the orderable history.
+		if ls.release != nil && d.model.SyncEdge(syntheticRelease(ev.Addr), ev) {
+			me.Join(ls.release)
+		}
+		// Tick after acquiring so subsequent accesses are ordered after.
+		me[p]++
+		// Release: contribute this processor's clock to the location if the
+		// model lets this sync order later syncs.
+		if d.model.SyncEdge(ev, syntheticAcquire(ev.Addr)) {
+			if ls.release == nil {
+				ls.release = NewVC(d.nproc)
+			}
+			ls.release.Join(me)
+		}
+		// Synchronization operations never race with each other (hardware
+		// arbitration, cf. core.CheckExecution); conflicts against *data*
+		// accesses on the same location still count.
+		d.checkConflicts(ls, ev, me, true)
+		d.recordAccess(ls, ev, me)
+		return nil
+	}
+
+	// Data access.
+	d.checkConflicts(ls, ev, me, false)
+	me[p]++
+	d.recordAccess(ls, ev, me)
+	return nil
+}
+
+// syntheticRelease/syntheticAcquire build representative events for the
+// model's edge rule. DRF0 ignores the operands entirely; DRF1 only inspects
+// Op.Writes() of the releaser and Op.Reads() of the acquirer, so a synthetic
+// counterpart with full read-write capability asks "could *any* prior
+// (resp. later) sync be ordered with this one?". The pairwise precision is
+// recovered because releases only ever *contribute* their clock when the
+// releaser side passes, and acquires only inherit when the acquirer side
+// passes — exactly the conjunction DRF1's rule requires.
+func syntheticRelease(a mem.Addr) mem.Event {
+	return mem.Event{Access: mem.Access{Op: mem.OpSyncRMW, Addr: a}}
+}
+
+func syntheticAcquire(a mem.Addr) mem.Event {
+	return mem.Event{Access: mem.Access{Op: mem.OpSyncRMW, Addr: a}}
+}
+
+// checkConflicts reports races between ev and recorded accesses. skipSync
+// suppresses conflicts against other synchronization operations.
+func (d *Detector) checkConflicts(ls *locState, ev mem.Event, me VC, skipSync bool) {
+	check := func(rec accessRecord) {
+		if skipSync && rec.ev.Op.IsSync() {
+			return
+		}
+		if ev.Op.IsSync() && rec.ev.Op.IsSync() {
+			return
+		}
+		if rec.ev.Proc == ev.Proc {
+			return // program order always orders same-processor accesses
+		}
+		if !rec.at.LE(me) {
+			d.races = append(d.races, core.Race{A: rec.ev, B: ev})
+		}
+	}
+	if ev.Op.Writes() {
+		for _, r := range ls.reads {
+			check(r)
+		}
+	}
+	for _, w := range ls.writes {
+		check(w)
+	}
+}
+
+// recordAccess stores the access with the processor's post-access clock.
+func (d *Detector) recordAccess(ls *locState, ev mem.Event, me VC) {
+	rec := accessRecord{ev: ev, at: me.Copy()}
+	if ev.Op.Reads() {
+		ls.reads = append(ls.reads, rec)
+	}
+	if ev.Op.Writes() {
+		ls.writes = append(ls.writes, rec)
+	}
+}
+
+// CheckExecution runs the detector over a complete idealized execution.
+func CheckExecution(e *mem.Execution, model core.SyncModel) ([]core.Race, error) {
+	if e.Completed == nil {
+		return nil, fmt.Errorf("race: execution has no completion order")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("race: invalid execution: %w", err)
+	}
+	d := NewDetector(e.NumProcs, model)
+	for _, id := range e.Completed {
+		if err := d.Step(e.Event(id)); err != nil {
+			return nil, err
+		}
+	}
+	return d.Races(), nil
+}

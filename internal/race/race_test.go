@@ -1,0 +1,193 @@
+package race
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"weakorder/internal/core"
+	"weakorder/internal/mem"
+)
+
+func TestVCBasics(t *testing.T) {
+	a := NewVC(3)
+	b := NewVC(3)
+	if !a.LE(b) || !b.LE(a) {
+		t.Fatal("zero clocks should be mutually LE")
+	}
+	a[1] = 5
+	if a.LE(b) {
+		t.Fatal("advanced clock LE zero clock")
+	}
+	if !b.LE(a) {
+		t.Fatal("zero clock should be LE advanced clock")
+	}
+	b[2] = 7
+	c := a.Copy()
+	c.Join(b)
+	if c[1] != 5 || c[2] != 7 {
+		t.Fatalf("join wrong: %s", c)
+	}
+	if c.String() != "[0 5 7]" {
+		t.Fatalf("string: %s", c)
+	}
+}
+
+func buildHandoff() *mem.Execution {
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 1, Value: 1, WValue: 2})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	return e
+}
+
+func TestDetectorHandoffClean(t *testing.T) {
+	races, err := CheckExecution(buildHandoff(), core.DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 0 {
+		t.Fatalf("handoff should be race-free: %v", races)
+	}
+}
+
+func TestDetectorFindsRace(t *testing.T) {
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpWrite, Addr: 0, Value: 2})
+	races, err := CheckExecution(e, core.DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 1 {
+		t.Fatalf("races = %v, want exactly one", races)
+	}
+}
+
+func TestDetectorDRF1TestDoesNotRelease(t *testing.T) {
+	// W(x); Test(s) ... TAS(s); R(x): clean under DRF0, racy under DRF1.
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncRead, Addr: 1, Value: 0})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 1, Value: 0, WValue: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	r0, err := CheckExecution(e, core.DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r0) != 0 {
+		t.Fatalf("DRF0 should order via any sync pair: %v", r0)
+	}
+	r1, err := CheckExecution(e, core.DRF1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != 1 {
+		t.Fatalf("DRF1 should report the W/R race: %v", r1)
+	}
+}
+
+func TestDetectorRequiresCompletionOrder(t *testing.T) {
+	e := buildHandoff()
+	e.Completed = nil
+	if _, err := CheckExecution(e, core.DRF0{}); err == nil {
+		t.Fatal("expected error for missing completion order")
+	}
+}
+
+// raceKey canonicalizes a race pair for set comparison.
+func raceKey(r core.Race) [2]mem.EventID {
+	a, b := r.A.ID, r.B.ID
+	if a > b {
+		a, b = b, a
+	}
+	return [2]mem.EventID{a, b}
+}
+
+// randomExec builds a random idealized execution: random atomic ops against a
+// memory, so read values are consistent.
+func randomExec(rng *rand.Rand) *mem.Execution {
+	nproc := 2 + rng.Intn(3)
+	naddr := 2 + rng.Intn(3)
+	nsync := 1 + rng.Intn(2)
+	nops := 4 + rng.Intn(14)
+	memory := map[mem.Addr]mem.Value{}
+	e := mem.NewExecution(nproc)
+	for k := 0; k < nops; k++ {
+		p := mem.ProcID(rng.Intn(nproc))
+		if rng.Intn(100) < 35 {
+			a := mem.Addr(100 + rng.Intn(nsync))
+			switch rng.Intn(3) {
+			case 0:
+				e.Append(mem.Access{Proc: p, Op: mem.OpSyncRead, Addr: a, Value: memory[a]})
+			case 1:
+				v := mem.Value(rng.Intn(4))
+				memory[a] = v
+				e.Append(mem.Access{Proc: p, Op: mem.OpSyncWrite, Addr: a, Value: v})
+			default:
+				old := memory[a]
+				memory[a] = old + 1
+				e.Append(mem.Access{Proc: p, Op: mem.OpSyncRMW, Addr: a, Value: old, WValue: old + 1})
+			}
+			continue
+		}
+		a := mem.Addr(rng.Intn(naddr))
+		if rng.Intn(2) == 0 {
+			e.Append(mem.Access{Proc: p, Op: mem.OpRead, Addr: a, Value: memory[a]})
+		} else {
+			v := mem.Value(rng.Intn(4))
+			memory[a] = v
+			e.Append(mem.Access{Proc: p, Op: mem.OpWrite, Addr: a, Value: v})
+		}
+	}
+	return e
+}
+
+// TestDetectorAgreesWithReference cross-checks the vector-clock detector
+// against core.CheckExecution's O(n²) bit-matrix reference on random
+// executions, under both synchronization models.
+func TestDetectorAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	models := []core.SyncModel{core.DRF0{}, core.DRF1{}}
+	for iter := 0; iter < 300; iter++ {
+		e := randomExec(rng)
+		for _, m := range models {
+			want, err := core.CheckExecution(e, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CheckExecution(e, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wk := make(map[[2]mem.EventID]bool)
+			for _, r := range want.Races {
+				wk[raceKey(r)] = true
+			}
+			gk := make(map[[2]mem.EventID]bool)
+			for _, r := range got {
+				gk[raceKey(r)] = true
+			}
+			if len(wk) != len(gk) {
+				t.Fatalf("iter %d model %s: reference %d races, detector %d\nexec:\n%s",
+					iter, m.Name(), len(wk), len(gk), e)
+			}
+			keys := make([][2]mem.EventID, 0, len(wk))
+			for k := range wk {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i][0] != keys[j][0] {
+					return keys[i][0] < keys[j][0]
+				}
+				return keys[i][1] < keys[j][1]
+			})
+			for _, k := range keys {
+				if !gk[k] {
+					t.Fatalf("iter %d model %s: detector missed race %v\nexec:\n%s", iter, m.Name(), k, e)
+				}
+			}
+		}
+	}
+}

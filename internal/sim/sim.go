@@ -1,0 +1,121 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel. Components schedule callbacks at future times; ties are broken by
+// schedule order, so a run is fully reproducible given the same inputs.
+//
+// The timed machine in internal/machine (processors, caches, directory,
+// interconnect) is built on this kernel; the operational exploration layer in
+// internal/model does not use it (exploration is untimed).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in cycles.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	steps  uint64
+	maxT   Time
+	budget uint64
+}
+
+// NewEngine returns an engine at time zero. maxTime bounds simulated time and
+// maxEvents bounds the number of dispatched events; either being exceeded
+// makes Run return ErrBudget. Pass 0 for no bound.
+func NewEngine(maxTime Time, maxEvents uint64) *Engine {
+	return &Engine{maxT: maxTime, budget: maxEvents}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events dispatched so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// At schedules fn to run at the absolute time t. Scheduling in the past
+// panics: it always indicates a component bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now. d must be >= 0.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// ErrBudget is returned by Run when the time or event budget is exhausted
+// before the event queue drains — usually a deadlock-free livelock (e.g. a
+// spin loop that never observes its flag) or an unbounded retry storm.
+var ErrBudget = fmt.Errorf("sim: time or event budget exhausted")
+
+// Run dispatches events until the queue is empty, until the predicate done
+// (if non-nil) returns true, or until a budget is exceeded. It returns nil on
+// a drained queue or satisfied predicate.
+func (e *Engine) Run(done func() bool) error {
+	for e.queue.Len() > 0 {
+		if done != nil && done() {
+			return nil
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		if e.maxT > 0 && e.now > e.maxT {
+			return ErrBudget
+		}
+		e.steps++
+		if e.budget > 0 && e.steps > e.budget {
+			return ErrBudget
+		}
+		ev.fn()
+	}
+	if done != nil && !done() {
+		// The queue drained but the machine did not reach its goal: the
+		// system deadlocked (nothing left to do).
+		return ErrDeadlock
+	}
+	return nil
+}
+
+// ErrDeadlock is returned by Run when the event queue drains before the
+// completion predicate holds. The paper argues (Section 5.3) that its
+// implementation never deadlocks; the timed simulator surfaces violations of
+// that argument as this error.
+var ErrDeadlock = fmt.Errorf("sim: deadlock (event queue drained before completion)")
+
+// Pending returns the number of undelivered events.
+func (e *Engine) Pending() int { return e.queue.Len() }

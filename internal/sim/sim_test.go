@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(0, 0)
+	var got []int
+	e.At(5, func() { got = append(got, 2) })
+	e.At(3, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 3) }) // same time: schedule order
+	if err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 5 {
+		t.Errorf("final time = %d, want 5", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", e.Steps())
+	}
+}
+
+func TestEngineAfterChains(t *testing.T) {
+	e := NewEngine(0, 0)
+	var times []Time
+	var tick func()
+	n := 0
+	tick = func() {
+		times = append(times, e.Now())
+		n++
+		if n < 4 {
+			e.After(10, tick)
+		}
+	}
+	e.After(0, tick)
+	if err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 10, 20, 30}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times = %v", times)
+		}
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine(0, 0)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineTimeBudget(t *testing.T) {
+	e := NewEngine(100, 0)
+	var tick func()
+	tick = func() { e.After(60, tick) }
+	e.After(0, tick)
+	if err := e.Run(nil); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestEngineEventBudget(t *testing.T) {
+	e := NewEngine(0, 5)
+	var tick func()
+	tick = func() { e.After(1, tick) }
+	e.After(0, tick)
+	if err := e.Run(nil); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestEngineDonePredicate(t *testing.T) {
+	e := NewEngine(0, 0)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() { count++ })
+	}
+	err := e.Run(func() bool { return count >= 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (early stop)", count)
+	}
+	if e.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineDeadlockDetection(t *testing.T) {
+	e := NewEngine(0, 0)
+	e.At(1, func() {})
+	err := e.Run(func() bool { return false })
+	if err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestEngineDrainEmptyNilDone(t *testing.T) {
+	e := NewEngine(0, 0)
+	if err := e.Run(nil); err != nil {
+		t.Fatalf("empty queue with nil done should succeed: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package stats provides the counters and fixed-width table rendering used by
+// the experiment harness to print paper-style result tables.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is an ordered bag of named integer counters.
+type Counters struct {
+	names  []string
+	values map[string]int64
+}
+
+// NewCounters returns an empty counter bag.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]int64)}
+}
+
+// Add increments a counter, registering it on first use.
+func (c *Counters) Add(name string, delta int64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Get returns a counter's value (zero when never touched).
+func (c *Counters) Get(name string) int64 { return c.values[name] }
+
+// Names returns the counters in registration order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// Merge adds every counter of o into c.
+func (c *Counters) Merge(o *Counters) {
+	for _, n := range o.names {
+		c.Add(n, o.values[n])
+	}
+}
+
+// Snapshot returns a sorted copy of the values, for deterministic printing.
+func (c *Counters) Snapshot() map[string]int64 {
+	m := make(map[string]int64, len(c.values))
+	for k, v := range c.values {
+		m[k] = v
+	}
+	return m
+}
+
+// String implements fmt.Stringer.
+func (c *Counters) String() string {
+	names := c.Names()
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%d", n, c.values[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Table accumulates rows of cells and renders them with aligned columns, in
+// the style of a paper's result tables.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Note appends a footnote line rendered under the table.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Ratio formats a/b as a speedup string ("1.73x"), guarding division by zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+// Summary holds simple distribution statistics over a sample.
+type Summary struct {
+	N    int
+	Min  float64
+	Max  float64
+	Sum  float64
+	sumq float64
+}
+
+// Observe adds a sample.
+func (s *Summary) Observe(x float64) {
+	if s.N == 0 || x < s.Min {
+		s.Min = x
+	}
+	if s.N == 0 || x > s.Max {
+		s.Max = x
+	}
+	s.N++
+	s.Sum += x
+	s.sumq += x * x
+}
+
+// Mean returns the sample mean (0 for empty).
+func (s *Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Var returns the population variance (0 for fewer than two samples).
+func (s *Summary) Var() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	m := s.Mean()
+	return s.sumq/float64(s.N) - m*m
+}
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f min=%.2f max=%.2f", s.N, s.Mean(), s.Min, s.Max)
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("hits", 3)
+	c.Add("misses", 1)
+	c.Add("hits", 2)
+	if c.Get("hits") != 5 || c.Get("misses") != 1 {
+		t.Fatalf("values: %s", c)
+	}
+	if c.Get("absent") != 0 {
+		t.Error("absent counter should read 0")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "hits" || names[1] != "misses" {
+		t.Errorf("registration order lost: %v", names)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := NewCounters()
+	a.Add("x", 1)
+	b := NewCounters()
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Errorf("merge wrong: %s", a)
+	}
+}
+
+func TestCountersSnapshotAndString(t *testing.T) {
+	c := NewCounters()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap["a"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if c.String() != "a=1 b=2" {
+		t.Errorf("string = %q (should sort)", c.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.Row("alpha", 1)
+	tbl.Row("b", 22.5)
+	tbl.Note("a note with %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"demo", "name", "alpha", "22.50", "note: a note with 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line starts with the padded first column.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[3], "alpha") || !strings.HasPrefix(lines[4], "b    ") {
+		t.Errorf("alignment wrong:\n%s", out)
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.Row("x", "overflow")
+	if !strings.Contains(tbl.String(), "overflow") {
+		t.Error("rows wider than the header should still render")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != "1.50x" {
+		t.Errorf("ratio = %s", Ratio(3, 2))
+	}
+	if Ratio(1, 0) != "inf" {
+		t.Errorf("ratio by zero = %s", Ratio(1, 0))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 6} {
+		s.Observe(x)
+	}
+	if s.N != 3 || s.Min != 2 || s.Max != 6 {
+		t.Errorf("summary = %s", &s)
+	}
+	if s.Mean() != 4 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+	if v := s.Var(); v < 2.6 || v > 2.7 {
+		t.Errorf("var = %f, want ~2.67", v)
+	}
+	var empty Summary
+	if empty.Mean() != 0 || empty.Var() != 0 {
+		t.Error("empty summary should read zeros")
+	}
+}

@@ -1,0 +1,192 @@
+// Package trace serializes executions and access-lifecycle logs to JSON, so
+// traces recorded by the timed simulator (or any other producer) can be
+// stored, diffed, and re-checked offline by cmd/racecheck and friends.
+//
+// The format is a single JSON document:
+//
+//	{
+//	  "version": 1,
+//	  "procs": 2,
+//	  "init": {"0": 0, "1": 1},
+//	  "events": [
+//	    {"proc": 0, "index": 0, "op": "W", "addr": 0, "value": 1},
+//	    {"proc": 1, "index": 0, "op": "Srw", "addr": 1, "value": 0, "wvalue": 1}
+//	  ],
+//	  "timings": [ {"proc":0,"index":0,"op":"W","addr":0,"issue":1,"commit":2,"perform":9} ]
+//	}
+//
+// The events array is in completion order; "timings" is optional.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"weakorder/internal/conditions"
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+)
+
+// Version is the current format version.
+const Version = 1
+
+// Document is the serialized form.
+type Document struct {
+	Version int              `json:"version"`
+	Procs   int              `json:"procs"`
+	Init    map[string]int64 `json:"init,omitempty"`
+	Events  []EventJSON      `json:"events"`
+	Timings []TimingJSON     `json:"timings,omitempty"`
+}
+
+// EventJSON is one event in completion order.
+type EventJSON struct {
+	Proc   int    `json:"proc"`
+	Index  int    `json:"index"`
+	Op     string `json:"op"`
+	Addr   uint32 `json:"addr"`
+	Value  int64  `json:"value"`
+	WValue int64  `json:"wvalue,omitempty"`
+}
+
+// TimingJSON is one access lifecycle.
+type TimingJSON struct {
+	Proc    int    `json:"proc"`
+	Index   int    `json:"index"`
+	Op      string `json:"op"`
+	Addr    uint32 `json:"addr"`
+	Issue   int64  `json:"issue"`
+	Commit  int64  `json:"commit"`
+	Perform int64  `json:"perform"`
+}
+
+// opNames maps ops to their wire names (mem.Op.String values).
+var opNames = map[mem.Op]string{
+	mem.OpRead:      "R",
+	mem.OpWrite:     "W",
+	mem.OpSyncRead:  "Sr",
+	mem.OpSyncWrite: "Sw",
+	mem.OpSyncRMW:   "Srw",
+}
+
+func opFromName(s string) (mem.Op, error) {
+	for op, n := range opNames {
+		if n == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown op %q", s)
+}
+
+// Encode builds a Document from an execution (in completion order), initial
+// memory, and an optional timing log.
+func Encode(e *mem.Execution, init map[mem.Addr]mem.Value, timings []conditions.AccessTiming) (*Document, error) {
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	d := &Document{Version: Version, Procs: e.NumProcs}
+	if len(init) > 0 {
+		d.Init = make(map[string]int64, len(init))
+		for a, v := range init {
+			d.Init[strconv.FormatUint(uint64(a), 10)] = int64(v)
+		}
+	}
+	order := e.Completed
+	if order == nil {
+		order = make([]mem.EventID, e.Len())
+		for i := range order {
+			order[i] = mem.EventID(i)
+		}
+	}
+	for _, id := range order {
+		ev := e.Event(id)
+		ej := EventJSON{
+			Proc:  int(ev.Proc),
+			Index: ev.Index,
+			Op:    opNames[ev.Op],
+			Addr:  uint32(ev.Addr),
+			Value: int64(ev.Value),
+		}
+		if ev.Op == mem.OpSyncRMW {
+			ej.WValue = int64(ev.WValue)
+		}
+		d.Events = append(d.Events, ej)
+	}
+	for _, t := range timings {
+		d.Timings = append(d.Timings, TimingJSON{
+			Proc: t.Proc, Index: t.OpIndex, Op: opNames[t.Op], Addr: uint32(t.Addr),
+			Issue: int64(t.Issue), Commit: int64(t.Commit), Perform: int64(t.Perform),
+		})
+	}
+	return d, nil
+}
+
+// Decode reconstructs the execution, initial memory and timing log.
+func Decode(d *Document) (*mem.Execution, map[mem.Addr]mem.Value, []conditions.AccessTiming, error) {
+	if d.Version != Version {
+		return nil, nil, nil, fmt.Errorf("trace: unsupported version %d", d.Version)
+	}
+	e := mem.NewExecution(d.Procs)
+	for i, ej := range d.Events {
+		op, err := opFromName(ej.Op)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		a := mem.Access{
+			Proc:   mem.ProcID(ej.Proc),
+			Op:     op,
+			Addr:   mem.Addr(ej.Addr),
+			Value:  mem.Value(ej.Value),
+			WValue: mem.Value(ej.WValue),
+		}
+		e.AppendAt(a, ej.Index)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: decoded execution invalid: %w", err)
+	}
+	var init map[mem.Addr]mem.Value
+	if len(d.Init) > 0 {
+		init = make(map[mem.Addr]mem.Value, len(d.Init))
+		for k, v := range d.Init {
+			n, err := strconv.ParseUint(k, 10, 32)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("trace: bad init address %q", k)
+			}
+			init[mem.Addr(n)] = mem.Value(v)
+		}
+	}
+	var timings []conditions.AccessTiming
+	for i, tj := range d.Timings {
+		op, err := opFromName(tj.Op)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("trace: timing %d: %w", i, err)
+		}
+		timings = append(timings, conditions.AccessTiming{
+			Proc: tj.Proc, OpIndex: tj.Index, Op: op, Addr: mem.Addr(tj.Addr),
+			Issue: sim.Time(tj.Issue), Commit: sim.Time(tj.Commit), Perform: sim.Time(tj.Perform),
+		})
+	}
+	return e, init, timings, nil
+}
+
+// Write serializes to w as indented JSON.
+func Write(w io.Writer, e *mem.Execution, init map[mem.Addr]mem.Value, timings []conditions.AccessTiming) error {
+	d, err := Encode(e, init, timings)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Read deserializes from r.
+func Read(r io.Reader) (*mem.Execution, map[mem.Addr]mem.Value, []conditions.AccessTiming, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: %w", err)
+	}
+	return Decode(&d)
+}

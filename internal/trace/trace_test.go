@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"weakorder/internal/conditions"
+	"weakorder/internal/core"
+	"weakorder/internal/machine"
+	"weakorder/internal/mem"
+	"weakorder/internal/proc"
+	"weakorder/internal/workload"
+)
+
+func sampleExec() *mem.Execution {
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 1, Value: 1, WValue: 2})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	return e
+}
+
+func TestRoundTrip(t *testing.T) {
+	e := sampleExec()
+	init := map[mem.Addr]mem.Value{0: 0, 1: 0, 7: 9}
+	timings := []conditions.AccessTiming{
+		{Proc: 0, OpIndex: 0, Op: mem.OpWrite, Addr: 0, Issue: 1, Commit: 2, Perform: 9},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, e, init, timings); err != nil {
+		t.Fatal(err)
+	}
+	e2, init2, t2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Len() != e.Len() || e2.NumProcs != e.NumProcs {
+		t.Fatalf("shape mismatch: %d/%d", e2.Len(), e2.NumProcs)
+	}
+	for i := 0; i < e.Len(); i++ {
+		a, b := e.Event(mem.EventID(i)), e2.Event(mem.EventID(i))
+		if a.Access != b.Access || a.Index != b.Index {
+			t.Errorf("event %d: %v vs %v", i, a, b)
+		}
+	}
+	if init2[7] != 9 || len(init2) != 3 {
+		t.Errorf("init mismatch: %v", init2)
+	}
+	if len(t2) != 1 || t2[0] != timings[0] {
+		t.Errorf("timings mismatch: %v", t2)
+	}
+	// Semantic round trip: race verdicts agree.
+	r1, err := core.CheckExecution(e, core.DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.CheckExecution(e2, core.DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Free() != r2.Free() {
+		t.Error("race verdict changed across serialization")
+	}
+}
+
+func TestRoundTripOutOfOrderCompletion(t *testing.T) {
+	e := mem.NewExecution(1)
+	e.AppendAt(mem.Access{Proc: 0, Op: mem.OpRead, Addr: 1}, 1)
+	e.AppendAt(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1}, 0)
+	var buf bytes.Buffer
+	if err := Write(&buf, e, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	e2, _, _, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Event(e2.Completed[0]).Op != mem.OpRead {
+		t.Error("completion order lost")
+	}
+	if e2.Event(e2.Completed[0]).Index != 1 {
+		t.Error("program-order index lost")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"bad version", `{"version": 99, "procs": 1, "events": []}`},
+		{"bad op", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":0,"op":"XX","addr":0}]}`},
+		{"sparse indices", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":3,"op":"R","addr":0}]}`},
+		{"bad init key", `{"version": 1, "procs": 1, "init": {"abc": 1}, "events": []}`},
+		{"not json", `{{{`},
+	}
+	for _, c := range cases {
+		if _, _, _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestTimedMachineTraceRoundTrip pipes a real simulator trace through the
+// serializer and re-validates its sequential consistency.
+func TestTimedMachineTraceRoundTrip(t *testing.T) {
+	p := workload.ProducerConsumer(4, 3)
+	cfg := machine.NewConfig(proc.PolicyWODef2)
+	cfg.RecordTrace = true
+	cfg.RecordTimings = true
+	res, err := machine.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make(map[mem.Addr]mem.Value)
+	for a, v := range p.Init {
+		init[a] = v
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, res.Trace, init, res.Timings); err != nil {
+		t.Fatal(err)
+	}
+	e2, init2, t2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.SCCheck(e2, init2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.SC {
+		t.Error("round-tripped trace lost sequential consistency")
+	}
+	if rep := conditions.Check(t2); !rep.OK() {
+		t.Errorf("round-tripped timings violate conditions: %s", rep)
+	}
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// RandomConfig parameterizes random program generation for the contract
+// experiments (E6). Programs are straight-line (no loops), so operational
+// exploration is exhaustive without trace bounds.
+type RandomConfig struct {
+	Procs    int // threads (default 2)
+	DataVars int // data locations (default 2)
+	SyncVars int // sync locations (default 1)
+	Ops      int // memory operations per thread (default 4)
+	// SyncDensity is the per-op probability (in percent) of emitting a
+	// synchronization operation instead of a data access. Zero sync density
+	// on >1 shared vars almost always yields racy programs; high density
+	// yields mostly DRF0 ones.
+	SyncDensity int
+}
+
+func (c *RandomConfig) defaults() {
+	if c.Procs <= 0 {
+		c.Procs = 2
+	}
+	if c.DataVars <= 0 {
+		c.DataVars = 2
+	}
+	if c.SyncVars <= 0 {
+		c.SyncVars = 1
+	}
+	if c.Ops <= 0 {
+		c.Ops = 4
+	}
+}
+
+// dataBase/syncBase separate the random address spaces.
+const (
+	randDataBase mem.Addr = 100
+	randSyncBase mem.Addr = 200
+)
+
+// Random generates a straight-line random program from the seed. Whether it
+// obeys DRF0 is for the checker to decide (core.CheckProgram); the generator
+// only guarantees that data and sync locations are disjoint.
+func Random(seed int64, cfg RandomConfig) *program.Program {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	b := program.NewBuilder(fmt.Sprintf("random-%d", seed))
+	val := mem.Value(1)
+	for t := 0; t < cfg.Procs; t++ {
+		b.Thread()
+		for k := 0; k < cfg.Ops; k++ {
+			if rng.Intn(100) < cfg.SyncDensity {
+				s := randSyncBase + mem.Addr(rng.Intn(cfg.SyncVars))
+				switch rng.Intn(3) {
+				case 0:
+					b.SyncLoad(program.Reg(rng.Intn(4)), s)
+				case 1:
+					b.SyncStore(s, program.Imm(val))
+					val++
+				default:
+					b.TestAndSet(program.Reg(rng.Intn(4)), s, program.Imm(val))
+					val++
+				}
+				continue
+			}
+			d := randDataBase + mem.Addr(rng.Intn(cfg.DataVars))
+			if rng.Intn(2) == 0 {
+				b.Load(program.Reg(rng.Intn(4)), d)
+			} else {
+				b.Store(d, program.Imm(val))
+				val++
+			}
+		}
+		b.Halt()
+	}
+	return b.MustBuild()
+}
+
+// RandomGuarded generates a message-passing-shaped program that obeys DRF0
+// *by construction* without loops: a producer writes 1..nvars data locations
+// and releases through a sync flag; a consumer reads the flag once with a
+// sync read and reads the data only under a branch guarding on the flag. In
+// executions where the consumer's sync read completes first it simply skips
+// the data, so every conflicting pair is ordered in every execution.
+//
+// These programs are the minimal witnesses that catch hardware whose
+// synchronization commits without protecting outstanding writes (the
+// no-reserve ablation of the Section-5 machine): the flag can arrive before
+// the data does.
+func RandomGuarded(seed int64, nvars, extraOps int) *program.Program {
+	if nvars <= 0 {
+		nvars = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := program.NewBuilder(fmt.Sprintf("guarded-%d", seed))
+	flag := randSyncBase
+	val := mem.Value(1 + rng.Intn(50))
+	// Producer.
+	b.Thread()
+	for v := 0; v < nvars; v++ {
+		b.Store(randDataBase+mem.Addr(v), program.Imm(val+mem.Value(v)))
+	}
+	for k := 0; k < extraOps; k++ {
+		b.Load(program.Reg(rng.Intn(4)), randDataBase+mem.Addr(rng.Intn(nvars)))
+	}
+	b.SyncStore(flag, program.Imm(1))
+	b.Halt()
+	// Consumer: guarded reads.
+	b.Thread()
+	b.SyncLoad(0, flag)
+	b.Beq(0, program.Imm(0), "skip")
+	for v := 0; v < nvars; v++ {
+		b.Load(program.Reg(1+v%3), randDataBase+mem.Addr(v))
+	}
+	b.Label("skip")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// RandomDRF generates a random program that obeys DRF0 *by construction*:
+// shared data locations are partitioned among critical sections guarded by a
+// per-location TestAndSet lock, and every access to a shared location happens
+// inside its lock's critical section. Thread-private locations are accessed
+// freely.
+func RandomDRF(seed int64, procs, sections, opsPerSection int) *program.Program {
+	if procs <= 0 {
+		procs = 2
+	}
+	if sections <= 0 {
+		sections = 2
+	}
+	if opsPerSection <= 0 {
+		opsPerSection = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := program.NewBuilder(fmt.Sprintf("randomdrf-%d", seed))
+	val := mem.Value(1)
+	lockOf := func(v int) mem.Addr { return randSyncBase + mem.Addr(v) }
+	varOf := func(v int) mem.Addr { return randDataBase + mem.Addr(v) }
+	nvars := 2
+	for t := 0; t < procs; t++ {
+		b.Thread()
+		for s := 0; s < sections; s++ {
+			v := rng.Intn(nvars)
+			lbl := fmt.Sprintf("acq%d", s)
+			b.Label(lbl)
+			b.TestAndSet(0, lockOf(v), program.Imm(1))
+			b.Bne(0, program.Imm(0), lbl)
+			for k := 0; k < opsPerSection; k++ {
+				if rng.Intn(2) == 0 {
+					b.Load(program.Reg(1+rng.Intn(3)), varOf(v))
+				} else {
+					b.Store(varOf(v), program.Imm(val))
+					val++
+				}
+			}
+			b.SyncStore(lockOf(v), program.Imm(0))
+		}
+		b.Halt()
+	}
+	return b.MustBuild()
+}

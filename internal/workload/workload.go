@@ -1,0 +1,419 @@
+// Package workload generates the parameterized programs driven through both
+// the operational models (contract experiments) and the timed machine
+// (performance experiments): the Figure-3 hand-off scenario, producer/
+// consumer pipelines, centralized barriers, TestAndSet lock contention, and
+// random programs for the Definition-2 contract sweep.
+//
+// Address-space convention: synchronization variables and data variables
+// never share a location, and every generator documents which accesses are
+// synchronization. All deterministic generators produce DRF0 programs unless
+// the name says otherwise.
+package workload
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// Locations shared by the fixed-shape generators.
+const (
+	locX     mem.Addr = 0 // Figure 3 payload
+	locS     mem.Addr = 1 // Figure 3 lock (sync)
+	locGo    mem.Addr = 2 // warmers' start flag (sync)
+	locData  mem.Addr = 3 // producer/consumer payload
+	locFlag  mem.Addr = 4 // producer/consumer flag (sync)
+	locAck   mem.Addr = 5 // producer/consumer ack (sync)
+	locCount mem.Addr = 6 // barrier arrival counter (sync)
+	locSense mem.Addr = 7 // barrier sense (sync)
+	locLock  mem.Addr = 8 // contended lock (sync)
+	locCtr   mem.Addr = 9 // counter protected by locLock
+)
+
+// SpinKind selects how waiters poll a flag.
+type SpinKind uint8
+
+const (
+	// SpinSync polls with a read-only synchronization operation (Test) —
+	// DRF0/DRF1-conforming.
+	SpinSync SpinKind = iota
+	// SpinData polls with an ordinary data read — the racy-but-common idiom
+	// the end of Section 6 discusses ("spinning on a barrier count with a
+	// data read").
+	SpinData
+	// SpinTAS polls by retrying the TestAndSet itself (no test-and-TAS).
+	SpinTAS
+)
+
+// String implements fmt.Stringer.
+func (s SpinKind) String() string {
+	switch s {
+	case SpinSync:
+		return "sync-spin"
+	case SpinData:
+		return "data-spin"
+	case SpinTAS:
+		return "tas-spin"
+	default:
+		return "spin?"
+	}
+}
+
+// Fig3 builds the Figure-3 scenario: P0 writes the payload x (whose line
+// `warmers` other processors hold shared, making its global performance
+// slow), Unsets the lock s, and then does `workAfter` cycles of local work;
+// P1 TestAndSets s until it wins and reads x. Warmer processors pre-load x
+// and signal readiness through the sync flag `go`, keeping the program
+// DRF0-conforming.
+//
+// Thread layout: 0 = P0 (producer), 1 = P1 (consumer), 2.. = warmers.
+func Fig3(warmers, workAfter int) *program.Program {
+	return Fig3N(warmers, 1, workAfter)
+}
+
+// Fig3N generalizes Fig3 to `writes` payload locations (x, x+…), all shared
+// by every warmer, all written by the producer before the release. More
+// outstanding writes mean more invalidation-acknowledgement traffic trailing
+// the release — the configuration that exposes hardware releasing without
+// protecting its outstanding accesses.
+//
+// Payload addresses are locX+0 … locX+writes-1 spaced to avoid the other
+// fixed locations (writes beyond 1 use addresses from 100 up).
+func Fig3N(warmers, writes, workAfter int) *program.Program {
+	if writes < 1 {
+		writes = 1
+	}
+	b := program.NewBuilder(fmt.Sprintf("fig3-w%d-n%d-a%d", warmers, writes, workAfter))
+	b.Init(locS, 1) // lock starts held by P0
+	payload := func(i int) mem.Addr {
+		if i == 0 {
+			return locX
+		}
+		return mem.Addr(100 + i)
+	}
+	// P0: wait for all warmers, write the payloads, release s, keep working.
+	b.Thread().
+		Label("wait")
+	b.SyncLoad(0, locGo)
+	b.Bne(0, program.Imm(mem.Value(warmers)), "wait")
+	for i := 0; i < writes; i++ {
+		b.Store(payload(i), program.Imm(mem.Value(42+i)))
+	}
+	b.SyncStore(locS, program.Imm(0))
+	if workAfter > 0 {
+		b.Nop(workAfter)
+	}
+	b.Halt()
+	// P1: acquire s, read the first payload.
+	b.Thread().
+		Label("acq")
+	b.TestAndSet(0, locS, program.Imm(1))
+	b.Bne(0, program.Imm(0), "acq")
+	b.Load(1, locX)
+	b.Halt()
+	// Warmers: read every payload (cold), then announce via fetch-add on go.
+	for w := 0; w < warmers; w++ {
+		b.Thread()
+		for i := 0; i < writes; i++ {
+			b.Load(2, payload(i))
+		}
+		b.FetchAdd(3, locGo, program.Imm(1))
+		b.Halt()
+	}
+	return b.MustBuild()
+}
+
+// ProducerConsumer builds a two-thread pipeline: the producer writes `items`
+// payload values, each published through the sync flag and acknowledged
+// through the sync ack; `work` cycles of local computation separate items on
+// both sides. DRF0-conforming.
+func ProducerConsumer(items, work int) *program.Program {
+	b := program.NewBuilder(fmt.Sprintf("prodcons-n%d-w%d", items, work))
+	// Producer (thread 0): r0 = item counter.
+	b.Thread().
+		Mov(0, program.Imm(0)).
+		Label("loop")
+	b.Blt(0, program.Imm(mem.Value(items)), "body")
+	b.Jmp("end")
+	b.Label("body")
+	if work > 0 {
+		b.Nop(work)
+	}
+	b.Add(1, 0, program.Imm(100)) // payload value = 100+i
+	b.Store(locData, program.R(1))
+	b.Add(0, 0, program.Imm(1))
+	b.SyncStore(locFlag, program.R(0))
+	b.Label("wait")
+	b.SyncLoad(2, locAck)
+	b.Bne(2, program.R(0), "wait")
+	b.Jmp("loop")
+	b.Label("end")
+	b.Halt()
+	// Consumer (thread 1): r0 = expected flag, r3 = running sum.
+	b.Thread().
+		Mov(0, program.Imm(1)).
+		Mov(3, program.Imm(0)).
+		Label("loop")
+	b.Blt(0, program.Imm(mem.Value(items)+1), "body")
+	b.Jmp("end")
+	b.Label("body")
+	b.Label("wait")
+	b.SyncLoad(2, locFlag)
+	b.Bne(2, program.R(0), "wait")
+	b.Load(1, locData)
+	b.Add(3, 3, program.R(1))
+	if work > 0 {
+		b.Nop(work)
+	}
+	b.SyncStore(locAck, program.R(0))
+	b.Add(0, 0, program.Imm(1))
+	b.Jmp("loop")
+	b.Label("end")
+	b.Store(locX, program.R(3)) // expose the checksum
+	b.Halt()
+	return b.MustBuild()
+}
+
+// ProducerConsumerChecksum returns the final value thread 1 stores into x
+// after consuming all items: sum of (100+i) for i in [0,items).
+func ProducerConsumerChecksum(items int) mem.Value {
+	var s mem.Value
+	for i := 0; i < items; i++ {
+		s += mem.Value(100 + i)
+	}
+	return s
+}
+
+// Barrier builds a centralized sense-reversing barrier: each of nproc threads
+// alternates `work` cycles of local computation with a barrier episode,
+// `phases` times. Arrivals use FetchAdd on the counter; the last arriver
+// resets the counter and advances the sense flag; the rest spin on the sense
+// flag using the given SpinKind. With SpinSync the program is DRF0- and
+// DRF1-conforming; with SpinData the sense spin is the racy idiom from the
+// end of Section 6.
+func Barrier(nproc, phases, work int, spin SpinKind) *program.Program {
+	if spin == SpinTAS {
+		panic("workload: SpinTAS is for locks, not barriers")
+	}
+	b := program.NewBuilder(fmt.Sprintf("barrier-p%d-n%d-w%d-%s", nproc, phases, work, spin))
+	for t := 0; t < nproc; t++ {
+		b.Thread().
+			Mov(0, program.Imm(0)) // r0 = phase
+		b.Label("phase")
+		b.Blt(0, program.Imm(mem.Value(phases)), "body")
+		b.Jmp("end")
+		b.Label("body")
+		if work > 0 {
+			b.Nop(work)
+		}
+		b.FetchAdd(1, locCount, program.Imm(1)) // r1 = arrivals before me
+		b.Add(2, 0, program.Imm(1))             // r2 = target sense
+		b.Bne(1, program.Imm(mem.Value(nproc-1)), "spin")
+		// Last arriver: reset the counter, release the new sense.
+		b.SyncStore(locCount, program.Imm(0))
+		b.SyncStore(locSense, program.R(2))
+		b.Jmp("next")
+		b.Label("spin")
+		if spin == SpinData {
+			b.Load(3, locSense)
+		} else {
+			b.SyncLoad(3, locSense)
+		}
+		b.Bne(3, program.R(2), "spin")
+		b.Label("next")
+		b.Add(0, 0, program.Imm(1))
+		b.Jmp("phase")
+		b.Label("end")
+		b.Halt()
+	}
+	return b.MustBuild()
+}
+
+// Lock builds a TestAndSet lock-contention workload: nproc threads each
+// perform `acquires` critical sections incrementing a shared counter (data
+// accesses protected by the lock), with `csWork` cycles of work inside the
+// section and `outWork` outside. spin selects pure TAS retry (SpinTAS),
+// test-and-TestAndSet with sync reads (SpinSync), or test with data reads
+// (SpinData, racy). Release is a sync write of 0.
+func Lock(nproc, acquires, csWork, outWork int, spin SpinKind) *program.Program {
+	b := program.NewBuilder(fmt.Sprintf("lock-p%d-n%d-%s", nproc, acquires, spin))
+	for t := 0; t < nproc; t++ {
+		b.Thread().
+			Mov(0, program.Imm(0)) // r0 = completed acquires
+		b.Label("loop")
+		b.Blt(0, program.Imm(mem.Value(acquires)), "acquire")
+		b.Jmp("end")
+		b.Label("acquire")
+		if outWork > 0 {
+			b.Nop(outWork)
+		}
+		switch spin {
+		case SpinTAS:
+			b.Label("spin")
+			b.TestAndSet(1, locLock, program.Imm(1))
+			b.Bne(1, program.Imm(0), "spin")
+		case SpinSync:
+			b.Label("spin")
+			b.SyncLoad(1, locLock)
+			b.Bne(1, program.Imm(0), "spin")
+			b.TestAndSet(1, locLock, program.Imm(1))
+			b.Bne(1, program.Imm(0), "spin")
+		case SpinData:
+			b.Label("spin")
+			b.Load(1, locLock)
+			b.Bne(1, program.Imm(0), "spin")
+			b.TestAndSet(1, locLock, program.Imm(1))
+			b.Bne(1, program.Imm(0), "spin")
+		}
+		// Critical section: counter increment through data accesses.
+		b.Load(2, locCtr)
+		b.Add(2, 2, program.Imm(1))
+		b.Store(locCtr, program.R(2))
+		if csWork > 0 {
+			b.Nop(csWork)
+		}
+		b.SyncStore(locLock, program.Imm(0))
+		b.Add(0, 0, program.Imm(1))
+		b.Jmp("loop")
+		b.Label("end")
+		b.Halt()
+	}
+	return b.MustBuild()
+}
+
+// arrayBase is where ArraySum's input vector lives.
+const arrayBase mem.Addr = 1000
+
+// ArraySum builds a data-parallel reduction: the input vector a[0..n) is
+// pre-initialized to a[i] = i+1; each of nproc threads sums a contiguous
+// chunk with register-indexed loads (thread-private reads of shared read-only
+// data — race-free), then folds its partial sum into the shared counter under
+// the TestAndSet lock. The "parallelism only through do-all loops" paradigm
+// from the paper's conclusion, expressed with the primitives DRF0 offers.
+func ArraySum(nproc, n int) *program.Program {
+	if nproc <= 0 {
+		nproc = 2
+	}
+	if n < nproc {
+		n = nproc
+	}
+	b := program.NewBuilder(fmt.Sprintf("arraysum-p%d-n%d", nproc, n))
+	for i := 0; i < n; i++ {
+		b.Init(arrayBase+mem.Addr(i), mem.Value(i+1))
+	}
+	chunk := (n + nproc - 1) / nproc
+	for t := 0; t < nproc; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		b.Thread().
+			Mov(0, program.Imm(mem.Value(lo))). // r0 = index
+			Mov(1, program.Imm(0))              // r1 = partial sum
+		b.Label("loop")
+		b.Blt(0, program.Imm(mem.Value(hi)), "body")
+		b.Jmp("fold")
+		b.Label("body")
+		b.LoadIdx(2, arrayBase, 0)
+		b.Add(1, 1, program.R(2))
+		b.Add(0, 0, program.Imm(1))
+		b.Jmp("loop")
+		b.Label("fold")
+		b.Label("acq")
+		b.TestAndSet(3, locLock, program.Imm(1))
+		b.Bne(3, program.Imm(0), "acq")
+		b.Load(4, locCtr)
+		b.Add(4, 4, program.R(1))
+		b.Store(locCtr, program.R(4))
+		b.SyncStore(locLock, program.Imm(0))
+		b.Halt()
+	}
+	return b.MustBuild()
+}
+
+// ArraySumTotal returns the expected reduction result for ArraySum(_, n).
+func ArraySumTotal(n int) mem.Value { return mem.Value(n * (n + 1) / 2) }
+
+// doallBase is where the DoAll stencil array lives.
+const doallBase mem.Addr = 2000
+
+// DoAll builds a phased stencil in the "parallelism only from do-all loops"
+// paradigm, double-buffered: in each phase, thread t reads its left
+// neighbor's slot from the *previous* phase's buffer and writes its own slot
+// of the current buffer; buffers swap at each barrier. Every cross-thread
+// conflict is separated by the barrier, so the program obeys both DRF0 and
+// the do-all phase discipline. With skewRead set, threads instead read the
+// neighbor's slot from the buffer being written in the SAME phase —
+// deliberately violating the discipline (and DRF0) for negative tests.
+//
+// Registers: r0 phase, r1 carried value, r2 scratch, r3/r4/r5 barrier,
+// r6 current out-buffer offset (0 or nproc), r7 in-buffer offset.
+func DoAll(nproc, phases int, skewRead bool) *program.Program {
+	if nproc < 2 {
+		nproc = 2
+	}
+	name := "doall"
+	if skewRead {
+		name = "doall-skewed"
+	}
+	b := program.NewBuilder(fmt.Sprintf("%s-p%d-n%d", name, nproc, phases))
+	resultSlot := func(t int) mem.Addr { return doallBase + mem.Addr(2*nproc+t) }
+	for t := 0; t < nproc; t++ {
+		left := (t + nproc - 1) % nproc
+		b.Thread().
+			Mov(0, program.Imm(0)).
+			Mov(1, program.Imm(1)).
+			Mov(6, program.Imm(0)) // out buffer starts at offset 0
+		b.Label("phase")
+		b.Blt(0, program.Imm(mem.Value(phases)), "body")
+		b.Jmp("end")
+		b.Label("body")
+		b.Mov(7, program.Imm(mem.Value(nproc)))
+		b.Sub(7, 7, program.R(6)) // in buffer = the other one
+		if skewRead {
+			b.LoadIdx(2, doallBase+mem.Addr(left), 6) // same-phase buffer: violation
+		} else {
+			b.LoadIdx(2, doallBase+mem.Addr(left), 7) // previous-phase buffer
+		}
+		b.Add(1, 1, program.R(2))
+		b.StoreIdx(doallBase+mem.Addr(t), 6, program.R(1))
+		// Barrier episode (FetchAdd arrival + sense spin).
+		b.FetchAdd(3, locCount, program.Imm(1))
+		b.Add(4, 0, program.Imm(1))
+		b.Bne(3, program.Imm(mem.Value(nproc-1)), "spin")
+		b.SyncStore(locCount, program.Imm(0))
+		b.SyncStore(locSense, program.R(4))
+		b.Jmp("after")
+		b.Label("spin")
+		b.SyncLoad(5, locSense)
+		b.Bne(5, program.R(4), "spin")
+		b.Label("after")
+		b.Mov(6, program.R(7)) // swap buffers
+		b.Add(0, 0, program.Imm(1))
+		b.Jmp("phase")
+		b.Label("end")
+		b.Store(resultSlot(t), program.R(1))
+		b.Halt()
+	}
+	return b.MustBuild()
+}
+
+// DoAllResult returns the location thread t's final carried value lands in.
+func DoAllResult(nproc, t int) mem.Addr { return doallBase + mem.Addr(2*nproc+t) }
+
+// DoAllBarrier exposes the barrier locations for the doall checker.
+func DoAllBarrier() (counter, sense mem.Addr) { return locCount, locSense }
+
+// LockTotal returns the expected final counter value of Lock.
+func LockTotal(nproc, acquires int) mem.Value { return mem.Value(nproc * acquires) }
+
+// CtrAddr exposes the lock-counter location for assertions.
+func CtrAddr() mem.Addr { return locCtr }
+
+// XAddr exposes the Figure-3 payload / checksum location for assertions.
+func XAddr() mem.Addr { return locX }
+
+// SenseAddr exposes the barrier sense location.
+func SenseAddr() mem.Addr { return locSense }

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"testing"
+
+	"weakorder/internal/core"
+	"weakorder/internal/mem"
+	"weakorder/internal/model"
+	"weakorder/internal/program"
+)
+
+// runSCOnce executes the program on the idealized machine along one schedule
+// (first enabled transition each step) and returns the final machine.
+func runSCOnce(t *testing.T, p *program.Program) model.Machine {
+	t.Helper()
+	m := model.NewSC(p)
+	for steps := 0; ; steps++ {
+		if steps > 1_000_000 {
+			t.Fatal("program did not terminate")
+		}
+		ts := m.Transitions()
+		if len(ts) == 0 {
+			if !m.Done() {
+				t.Fatal("deadlock")
+			}
+			return m
+		}
+		// Rotate the choice to avoid starving a spinning thread's partner.
+		if err := m.Apply(ts[steps%len(ts)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	p := Fig3(2, 10)
+	if p.NumThreads() != 4 {
+		t.Fatalf("threads = %d, want producer+consumer+2 warmers", p.NumThreads())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := runSCOnce(t, p)
+	fs := m.Final()
+	if fs.Regs[1][1] != 42 {
+		t.Errorf("consumer read %d, want 42", fs.Regs[1][1])
+	}
+}
+
+func TestFig3IsDRF0(t *testing.T) {
+	// Three spinning threads make the execution set large; bound executions
+	// to a dozen operations (the shortest complete run needs 8, so the
+	// bound still covers spin retries of each loop).
+	p := Fig3(1, 0)
+	enum := &model.Enumerator{Prog: p, Explorer: &model.Explorer{MaxTraceOps: 12}}
+	rep, err := core.CheckProgram(enum, core.DRF0{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Obeys() {
+		t.Errorf("Fig3 must obey DRF0: %s", rep)
+	}
+}
+
+func TestProducerConsumerChecksumOnSC(t *testing.T) {
+	const items = 5
+	p := ProducerConsumer(items, 1)
+	m := runSCOnce(t, p)
+	if got := m.Final().Mem[XAddr()]; got != ProducerConsumerChecksum(items) {
+		t.Errorf("checksum = %d, want %d", got, ProducerConsumerChecksum(items))
+	}
+}
+
+func TestBarrierSCSenseAdvances(t *testing.T) {
+	p := Barrier(3, 4, 1, SpinSync)
+	m := runSCOnce(t, p)
+	if got := m.Final().Mem[SenseAddr()]; got != 4 {
+		t.Errorf("final sense = %d, want 4", got)
+	}
+}
+
+func TestBarrierRejectsTASSpin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Barrier(2, 1, 1, SpinTAS)
+}
+
+func TestLockTotalOnSC(t *testing.T) {
+	for _, spin := range []SpinKind{SpinTAS, SpinSync, SpinData} {
+		p := Lock(3, 2, 1, 1, spin)
+		m := runSCOnce(t, p)
+		if got := m.Final().Mem[CtrAddr()]; got != LockTotal(3, 2) {
+			t.Errorf("%s: counter = %d, want %d", spin, got, LockTotal(3, 2))
+		}
+	}
+}
+
+func TestLockSyncSpinIsDRF0DataSpinIsNot(t *testing.T) {
+	x := &model.Explorer{MaxTraceOps: 28}
+	syncP := Lock(2, 1, 0, 0, SpinSync)
+	rep, err := core.CheckProgram(&model.Enumerator{Prog: syncP, Explorer: x}, core.DRF0{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Obeys() {
+		t.Errorf("sync-spin lock must obey DRF0: %s", rep)
+	}
+	dataP := Lock(2, 1, 0, 0, SpinData)
+	rep, err = core.CheckProgram(&model.Enumerator{Prog: dataP, Explorer: x}, core.DRF0{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Obeys() {
+		t.Error("data-spin lock should violate DRF0 (the Section-6 idiom)")
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	cfg := RandomConfig{Procs: 2, Ops: 5, SyncDensity: 50}
+	a := Random(3, cfg)
+	b := Random(3, cfg)
+	if len(a.Threads) != len(b.Threads) {
+		t.Fatal("thread counts differ")
+	}
+	for i := range a.Threads {
+		if len(a.Threads[i]) != len(b.Threads[i]) {
+			t.Fatalf("thread %d lengths differ", i)
+		}
+		for j := range a.Threads[i] {
+			if a.Threads[i][j] != b.Threads[i][j] {
+				t.Fatalf("instruction %d/%d differs", i, j)
+			}
+		}
+	}
+	c := Random(4, cfg)
+	same := len(a.Threads[0]) == len(c.Threads[0])
+	if same {
+		for j := range a.Threads[0] {
+			if a.Threads[0][j] != c.Threads[0][j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first threads (suspicious)")
+	}
+}
+
+func TestRandomAddressSpacesDisjoint(t *testing.T) {
+	p := Random(1, RandomConfig{Procs: 3, Ops: 12, SyncDensity: 50})
+	for ti, code := range p.Threads {
+		for ii, in := range code {
+			op, ok := in.MemOp()
+			if !ok {
+				continue
+			}
+			if op.IsSync() && in.Addr < randSyncBase {
+				t.Errorf("T%d@%d: sync op on data address x%d", ti, ii, in.Addr)
+			}
+			if !op.IsSync() && in.Addr >= randSyncBase {
+				t.Errorf("T%d@%d: data op on sync address x%d", ti, ii, in.Addr)
+			}
+		}
+	}
+}
+
+func TestRandomDRFIsDRF0(t *testing.T) {
+	// By-construction race freedom, verified by the checker for a few
+	// seeds. Kept small: lock spins explode history-keyed enumeration.
+	for seed := int64(0); seed < 4; seed++ {
+		p := RandomDRF(seed, 2, 1, 1)
+		enum := &model.Enumerator{Prog: p, Explorer: &model.Explorer{MaxTraceOps: 16}}
+		rep, err := core.CheckProgram(enum, core.DRF0{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Obeys() {
+			t.Errorf("seed %d: RandomDRF program violates DRF0: %s", seed, rep)
+		}
+	}
+}
+
+func TestRandomGuardedIsDRF0(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		p := RandomGuarded(seed, 1+int(seed%3), int(seed%2))
+		enum := &model.Enumerator{Prog: p, Explorer: &model.Explorer{}}
+		rep, err := core.CheckProgram(enum, core.DRF0{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Obeys() {
+			t.Errorf("seed %d: guarded program violates DRF0: %s", seed, rep)
+		}
+	}
+}
+
+func TestSpinKindStrings(t *testing.T) {
+	if SpinSync.String() != "sync-spin" || SpinData.String() != "data-spin" || SpinTAS.String() != "tas-spin" {
+		t.Error("spin kind strings wrong")
+	}
+}
+
+func TestWorkloadLocationsDistinct(t *testing.T) {
+	locs := []mem.Addr{locX, locS, locGo, locData, locFlag, locAck, locCount, locSense, locLock, locCtr}
+	seen := map[mem.Addr]bool{}
+	for _, a := range locs {
+		if seen[a] {
+			t.Fatalf("duplicate workload location %d", a)
+		}
+		seen[a] = true
+	}
+}
