@@ -10,6 +10,7 @@ import (
 
 	"weakorder"
 	"weakorder/internal/core"
+	"weakorder/internal/digest"
 	"weakorder/internal/experiments"
 	"weakorder/internal/litmus"
 	"weakorder/internal/machine"
@@ -195,6 +196,32 @@ func BenchmarkExploreWODef2(b *testing.B) {
 		if _, err := x.Visit(model.NewWODef2(t.Prog), func(model.Machine) bool { return true }); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExplorerKey measures the binary state-key encoding that memoizes
+// exploration: one AppendKey into a reused buffer plus the 128-bit digest, the
+// per-state cost on the Explorer hot path. The target is zero allocations per
+// state once the buffer has grown to steady state.
+func BenchmarkExplorerKey(b *testing.B) {
+	t, _ := litmus.ByName("iriw-data")
+	m := model.NewWODef2(t.Prog)
+	// Walk a few transitions so the key covers non-initial machine state.
+	for i := 0; i < 4; i++ {
+		ts := m.Transitions()
+		if len(ts) == 0 {
+			break
+		}
+		if err := m.Apply(ts[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var key []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key = m.AppendKey(model.KeyState, key[:0])
+		digest.Sum128(key)
 	}
 }
 

@@ -6,13 +6,16 @@
 //	experiments [-run fig1|fig2|fig3|quant|spin|contract|fence|all] [-n N] [-seed S]
 //
 // -n sets the number of random programs for the contract sweep; -seed its
-// generator seed.
+// generator seed. -cpuprofile and -memprofile write pprof profiles for the
+// run, for inspection with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"weakorder/internal/experiments"
@@ -23,7 +26,36 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: fig1, fig2, fig3, quant, spin, contract, fence, delayset, conditions, sweep, protocol, all")
 	n := flag.Int("n", 40, "random programs for the contract sweep")
 	seed := flag.Int64("seed", 7, "random seed for the contract sweep")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
+		}()
+	}
 
 	want := func(name string) bool { return *run == "all" || *run == name }
 	ran := false

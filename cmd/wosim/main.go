@@ -10,12 +10,17 @@
 //
 // -check additionally records the execution trace and verifies it is
 // sequentially consistent (expected for the DRF0 workloads on every policy).
+//
+// -cpuprofile and -memprofile write pprof profiles for the run, for
+// inspection with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"weakorder/internal/conditions"
 	"weakorder/internal/core"
@@ -44,7 +49,34 @@ func main() {
 	check := flag.Bool("check", false, "verify the trace is sequentially consistent")
 	conds := flag.Bool("conditions", false, "verify the run against the Section-5.1 conditions")
 	dump := flag.String("dump-trace", "", "write the recorded trace (and timings) as JSON to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wosim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "wosim: %v\n", err)
+			}
+		}()
+	}
 
 	var pol proc.Policy
 	switch *policy {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
 
+	"weakorder/internal/digest"
 	"weakorder/internal/mem"
 )
 
@@ -33,13 +35,12 @@ func SCCheck(e *mem.Execution, init map[mem.Addr]mem.Value) (*SCWitness, error) 
 		exec:    e,
 		byProc:  byProc,
 		next:    make([]int, len(byProc)),
-		memory:  make(map[mem.Addr]mem.Value, len(init)),
-		visited: make(map[string]bool),
+		visited: make(map[digest.Sum]struct{}),
 	}
-	for a, v := range init {
-		c.memory[a] = v
-	}
-	// Collect the address universe for canonical state encoding.
+	// Pre-resolve the address universe to dense indices once, so the hot
+	// replay loop works on a flat value slice instead of a map: collect every
+	// address the execution or the initial memory mentions, sort for
+	// canonicity, then index each event's address ahead of time.
 	addrSet := make(map[mem.Addr]bool)
 	for _, ev := range e.Events {
 		addrSet[ev.Addr] = true
@@ -47,10 +48,23 @@ func SCCheck(e *mem.Execution, init map[mem.Addr]mem.Value) (*SCWitness, error) 
 	for a := range init {
 		addrSet[a] = true
 	}
+	addrs := make([]mem.Addr, 0, len(addrSet))
 	for a := range addrSet {
-		c.addrs = append(c.addrs, a)
+		addrs = append(addrs, a)
 	}
-	sort.Slice(c.addrs, func(i, j int) bool { return c.addrs[i] < c.addrs[j] })
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	idx := make(map[mem.Addr]int, len(addrs))
+	for i, a := range addrs {
+		idx[a] = i
+	}
+	c.memory = make([]mem.Value, len(addrs))
+	for a, v := range init {
+		c.memory[idx[a]] = v
+	}
+	c.addrOf = make([]int, e.Len())
+	for _, ev := range e.Events {
+		c.addrOf[ev.ID] = idx[ev.Addr]
+	}
 
 	if c.search() {
 		w := &SCWitness{SC: true, Order: append([]mem.EventID(nil), c.order...)}
@@ -85,11 +99,12 @@ func (w *SCWitness) String() string {
 type scChecker struct {
 	exec    *mem.Execution
 	byProc  [][]mem.EventID
-	next    []int // per-processor frontier into byProc
-	memory  map[mem.Addr]mem.Value
-	addrs   []mem.Addr
+	next    []int       // per-processor frontier into byProc
+	memory  []mem.Value // dense, indexed by the pre-resolved address index
+	addrOf  []int       // per event ID: dense index of the event's address
 	order   []mem.EventID
-	visited map[string]bool
+	visited map[digest.Sum]struct{}
+	key     []byte // reused state-key encoding buffer
 }
 
 // enabled reports whether processor p's next event can execute now: a write
@@ -102,16 +117,18 @@ func (c *scChecker) enabled(p int) (mem.Event, bool) {
 	}
 	ev := c.exec.Event(c.byProc[p][i])
 	if ev.Op.Reads() {
-		if c.memory[ev.Addr] != ev.Value {
+		if c.memory[c.addrOf[ev.ID]] != ev.Value {
 			return mem.Event{}, false
 		}
 	}
 	return ev, true
 }
 
-// apply executes the event, returning an undo closure.
-func (c *scChecker) apply(p int, ev mem.Event) func() {
-	old, had := c.memory[ev.Addr]
+// apply executes the event, returning the previous value of its location for
+// undo.
+func (c *scChecker) apply(p int, ev mem.Event) mem.Value {
+	ai := c.addrOf[ev.ID]
+	old := c.memory[ai]
 	c.next[p]++
 	c.order = append(c.order, ev.ID)
 	if ev.Op.Writes() {
@@ -119,18 +136,17 @@ func (c *scChecker) apply(p int, ev mem.Event) func() {
 		if ev.Op == mem.OpSyncRMW {
 			v = ev.WValue
 		}
-		c.memory[ev.Addr] = v
+		c.memory[ai] = v
 	}
-	return func() {
-		c.next[p]--
-		c.order = c.order[:len(c.order)-1]
-		if ev.Op.Writes() {
-			if had {
-				c.memory[ev.Addr] = old
-			} else {
-				delete(c.memory, ev.Addr)
-			}
-		}
+	return old
+}
+
+// undo reverts apply.
+func (c *scChecker) undo(p int, ev mem.Event, old mem.Value) {
+	c.next[p]--
+	c.order = c.order[:len(c.order)-1]
+	if ev.Op.Writes() {
+		c.memory[c.addrOf[ev.ID]] = old
 	}
 }
 
@@ -143,20 +159,22 @@ func (c *scChecker) done() bool {
 	return true
 }
 
-// stateKey canonically encodes (frontier, memory). Memory is determined by
-// the multiset of applied writes only through the frontier in general — two
-// different interleavings with the same frontier can differ in memory — so
-// both parts are needed.
-func (c *scChecker) stateKey() string {
-	var b strings.Builder
+// stateKey canonically encodes (frontier, memory) into the reused buffer and
+// returns its fixed-seed digest. Memory is determined by the multiset of
+// applied writes only through the frontier in general — two different
+// interleavings with the same frontier can differ in memory — so both parts
+// are needed. The encoding is a fixed-shape varint sequence, hence
+// prefix-free for a given execution.
+func (c *scChecker) stateKey() digest.Sum {
+	b := c.key[:0]
 	for _, n := range c.next {
-		fmt.Fprintf(&b, "%d,", n)
+		b = binary.AppendUvarint(b, uint64(n))
 	}
-	b.WriteByte('|')
-	for _, a := range c.addrs {
-		fmt.Fprintf(&b, "%d,", c.memory[a])
+	for _, v := range c.memory {
+		b = binary.AppendVarint(b, int64(v))
 	}
-	return b.String()
+	c.key = b
+	return digest.Sum128(b)
 }
 
 func (c *scChecker) search() bool {
@@ -164,20 +182,20 @@ func (c *scChecker) search() bool {
 		return true
 	}
 	key := c.stateKey()
-	if c.visited[key] {
+	if _, ok := c.visited[key]; ok {
 		return false
 	}
-	c.visited[key] = true
+	c.visited[key] = struct{}{}
 	for p := range c.byProc {
 		ev, ok := c.enabled(p)
 		if !ok {
 			continue
 		}
-		undo := c.apply(p, ev)
+		old := c.apply(p, ev)
 		if c.search() {
 			return true
 		}
-		undo()
+		c.undo(p, ev, old)
 	}
 	return false
 }

@@ -1,0 +1,71 @@
+package digest
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// TestVectors pins the function to the published MurmurHash3 x64 128 results
+// (seed 0), so the digest stays stable across refactors and platforms.
+func TestVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "00000000000000000000000000000000"},
+		{"hello", "cbd8a7b341bd9b025b1e906a48ae1d19"},
+		{"hello, world", "342fac623a5ebc8e4cdcbc079642414d"},
+		{"The quick brown fox jumps over the lazy dog", "e34bbc7bbc071b6c7a433ca9c49a9347"},
+	}
+	for _, c := range cases {
+		got := Sum128([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("Sum128(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestAllLengths exercises every tail length through both the block loop and
+// the switch, checking each is distinct and deterministic.
+func TestAllLengths(t *testing.T) {
+	seen := make(map[Sum]int)
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i * 37)
+	}
+	for n := 0; n <= len(buf); n++ {
+		s := Sum128(buf[:n])
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[s] = n
+		if s != Sum128(buf[:n]) {
+			t.Fatalf("length %d not deterministic", n)
+		}
+	}
+}
+
+// TestSmallPerturbations checks that single-byte and single-bit changes over
+// structured (state-key-like) inputs never collide.
+func TestSmallPerturbations(t *testing.T) {
+	base := make([]byte, 48)
+	seen := make(map[Sum]string)
+	record := func(b []byte, label string) {
+		s := Sum128(b)
+		if prev, dup := seen[s]; dup && prev != label {
+			t.Fatalf("collision between %s and %s", prev, label)
+		}
+		seen[s] = label
+	}
+	record(base, "base")
+	for i := range base {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), base...)
+			mut[i] ^= 1 << bit
+			record(mut, "")
+		}
+	}
+	if len(seen) != 1+len(base)*8 {
+		t.Fatalf("expected %d distinct digests, got %d", 1+len(base)*8, len(seen))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"weakorder/internal/core"
 	"weakorder/internal/litmus"
 	"weakorder/internal/model"
+	"weakorder/internal/par"
 	"weakorder/internal/program"
 	"weakorder/internal/stats"
 	"weakorder/internal/workload"
@@ -85,35 +86,54 @@ func Contract(n int, seed int64) (*ContractSummary, error) {
 		progs = append(progs, workload.RandomGuarded(seed+int64(i), 1+i%3, i%2))
 	}
 	s.Programs = len(progs)
-	for _, p := range progs {
+	// Every program's containment check — the expensive part, quantifying
+	// over all idealized executions — is independent of every other's, so the
+	// sweep fans out through the worker pool. Each cell reports its verdicts
+	// and the serial reduction below aggregates them in input order, keeping
+	// the summary identical at any pool width.
+	type verdict struct {
+		obeys     bool
+		violated  []string // machines violating the contract on this program
+		racyNonSC bool
+	}
+	verdicts, err := par.Map(progs, 0, func(_ int, p *program.Program) (verdict, error) {
+		var v verdict
 		enum := &model.Enumerator{Prog: p, Explorer: x}
 		rep, err := core.CheckProgram(enum, core.DRF0{}, 1)
 		if err != nil {
-			return nil, fmt.Errorf("contract: DRF0 check of %s: %w", p.Name, err)
+			return v, fmt.Errorf("contract: DRF0 check of %s: %w", p.Name, err)
 		}
-		obeys := rep.Obeys()
-		if obeys {
-			s.DRF0Programs++
-		}
+		v.obeys = rep.Obeys()
 		scOut, _, err := x.Outcomes(model.NewSC(p))
 		if err != nil {
-			return nil, fmt.Errorf("contract: SC outcomes of %s: %w", p.Name, err)
+			return v, fmt.Errorf("contract: SC outcomes of %s: %w", p.Name, err)
 		}
-		racyNonSCSeen := false
 		for _, f := range contractMachines() {
 			hwOut, _, err := x.Outcomes(f.New(p))
 			if err != nil {
-				return nil, fmt.Errorf("contract: %s outcomes of %s: %w", f.Name, p.Name, err)
+				return v, fmt.Errorf("contract: %s outcomes of %s: %w", f.Name, p.Name, err)
 			}
-			crep := core.CheckContract(p.Name, f.Name, obeys, scOut, hwOut)
-			if obeys && !crep.Honored() {
-				s.ViolationsByMachine[f.Name]++
+			crep := core.CheckContract(p.Name, f.Name, v.obeys, scOut, hwOut)
+			if v.obeys && !crep.Honored() {
+				v.violated = append(v.violated, f.Name)
 			}
-			if !obeys && len(crep.Extra) > 0 {
-				racyNonSCSeen = true
+			if !v.obeys && len(crep.Extra) > 0 {
+				v.racyNonSC = true
 			}
 		}
-		if racyNonSCSeen {
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range verdicts {
+		if v.obeys {
+			s.DRF0Programs++
+		}
+		for _, name := range v.violated {
+			s.ViolationsByMachine[name]++
+		}
+		if v.racyNonSC {
 			s.RacyNonSC++
 		}
 	}
@@ -150,14 +170,19 @@ func Fence() (*FenceSummary, error) {
 	x := &model.Explorer{MaxTraceOps: 20}
 	tbl := stats.NewTable("E7 — RP3 fence option vs Definition 1 (outcome-set equality)",
 		"program", "outcomes def1", "outcomes fence", "equal")
-	for _, t := range litmus.Corpus() {
+	type row struct {
+		name   string
+		d1, fe int
+		eq     bool
+	}
+	rows, err := par.Map(litmus.Corpus(), 0, func(_ int, t *litmus.Test) (row, error) {
 		d1, _, err := x.Outcomes(model.NewWODef1(t.Prog))
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		fe, _, err := x.Outcomes(model.NewFence(t.Prog))
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		eq := len(d1) == len(fe)
 		if eq {
@@ -168,10 +193,16 @@ func Fence() (*FenceSummary, error) {
 				}
 			}
 		}
-		if !eq {
+		return row{name: t.Name, d1: len(d1), fe: len(fe), eq: eq}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if !r.eq {
 			s.Equal = false
 		}
-		tbl.Row(t.Name, len(d1), len(fe), okStr(eq))
+		tbl.Row(r.name, r.d1, r.fe, okStr(r.eq))
 	}
 	s.Table = tbl
 	return s, nil

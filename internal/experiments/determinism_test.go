@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"weakorder/internal/par"
+)
+
+// TestDeterministicAcrossPoolWidths is the regression guard for the worker
+// pool: every experiment summary — tables, counters, derived booleans — must
+// be byte-identical whether the cells ran serially or fanned out across
+// GOMAXPROCS workers. par.Map collects results in input order and all
+// summary assembly is serial, so any divergence here means a cell picked up
+// shared mutable state.
+func TestDeterministicAcrossPoolWidths(t *testing.T) {
+	widths := []int{1, runtime.GOMAXPROCS(0)}
+
+	t.Run("Contract", func(t *testing.T) {
+		var got []*ContractSummary
+		for _, w := range widths {
+			restore := par.SetWorkers(w)
+			s, err := Contract(12, 7)
+			restore()
+			if err != nil {
+				t.Fatalf("Contract at width %d: %v", w, err)
+			}
+			got = append(got, s)
+		}
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Errorf("Contract summaries differ between widths %v:\n%+v\nvs\n%+v",
+				widths, got[0], got[1])
+		}
+	})
+
+	t.Run("Sweep", func(t *testing.T) {
+		var got []*SweepSummary
+		for _, w := range widths {
+			restore := par.SetWorkers(w)
+			s, err := Sweep()
+			restore()
+			if err != nil {
+				t.Fatalf("Sweep at width %d: %v", w, err)
+			}
+			got = append(got, s)
+		}
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Errorf("Sweep summaries differ between widths %v:\n%+v\nvs\n%+v",
+				widths, got[0], got[1])
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
+	"weakorder/internal/par"
 	"weakorder/internal/proc"
 	"weakorder/internal/program"
 	"weakorder/internal/sim"
@@ -63,46 +64,45 @@ func streaming(n int) *program.Program {
 // Protocol runs E11: the same DRF0 workloads under both data-path protocols
 // on the Section-5 machine. Producer/consumer favors update (the consumer's
 // copy stays warm); streaming writes favor invalidation (one invalidation,
-// then exclusive hits, versus a full update round trip per write).
+// then exclusive hits, versus a full update round trip per write). The four
+// (workload, protocol) runs are independent and fan out through the worker
+// pool; the table is assembled serially in the fixed cell order.
 func Protocol() (*ProtocolSummary, error) {
 	s := &ProtocolSummary{}
 	tbl := stats.NewTable("E11 — write-invalidate vs write-update data path (WO-def2)",
 		"workload", "protocol", "cycles", "messages", "read misses", "dir updates")
-	type measurement struct{ cycles sim.Time }
-	run := func(p *program.Program, proto machine.ProtocolKind) (measurement, error) {
+	pc := workload.ProducerConsumer(12, 10)
+	st := streaming(24)
+	type cell struct {
+		prog  *program.Program
+		proto machine.ProtocolKind
+	}
+	cells := []cell{
+		{pc, machine.ProtocolInvalidate},
+		{pc, machine.ProtocolUpdate},
+		{st, machine.ProtocolInvalidate},
+		{st, machine.ProtocolUpdate},
+	}
+	results, err := par.Map(cells, 0, func(_ int, c cell) (*machine.Result, error) {
 		cfg := machine.NewConfig(proc.PolicyWODef2)
-		cfg.Protocol = proto
-		res, err := machine.Run(p, cfg)
-		if err != nil {
-			return measurement{}, err
-		}
+		cfg.Protocol = c.proto
+		return machine.Run(c.prog, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cycles := make([]sim.Time, len(cells))
+	for i, c := range cells {
+		res := results[i]
 		var rm int64
 		for _, cs := range res.CacheStats {
 			rm += cs.Get("read_misses")
 		}
-		tbl.Row(p.Name, proto.String(), int64(res.Cycles), res.Messages, rm, res.DirStats.Get("updates"))
-		return measurement{cycles: res.Cycles}, nil
+		tbl.Row(c.prog.Name, c.proto.String(), int64(res.Cycles), res.Messages, rm, res.DirStats.Get("updates"))
+		cycles[i] = res.Cycles
 	}
-	pc := workload.ProducerConsumer(12, 10)
-	pcInv, err := run(pc, machine.ProtocolInvalidate)
-	if err != nil {
-		return nil, err
-	}
-	pcUpd, err := run(pc, machine.ProtocolUpdate)
-	if err != nil {
-		return nil, err
-	}
-	st := streaming(24)
-	stInv, err := run(st, machine.ProtocolInvalidate)
-	if err != nil {
-		return nil, err
-	}
-	stUpd, err := run(st, machine.ProtocolUpdate)
-	if err != nil {
-		return nil, err
-	}
-	s.UpdateWinsProdCons = pcUpd.cycles < pcInv.cycles
-	s.InvalidateWinsStreaming = stInv.cycles < stUpd.cycles
+	s.UpdateWinsProdCons = cycles[1] < cycles[0]
+	s.InvalidateWinsStreaming = cycles[2] < cycles[3]
 	tbl.Note("update keeps consumer copies warm (producer/consumer); invalidation turns streaming rewrites into exclusive hits")
 	s.Table = tbl
 	return s, nil

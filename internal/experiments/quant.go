@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"weakorder/internal/machine"
+	"weakorder/internal/par"
 	"weakorder/internal/proc"
 	"weakorder/internal/program"
 	"weakorder/internal/sim"
@@ -65,46 +66,67 @@ func quantWorkloads() []struct {
 	}
 }
 
+// quantPolicies are the policies E4 compares, SC first as the baseline.
+var quantPolicies = []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2}
+
 // Quant runs E4: the quantitative Definition-1 vs Definition-2 comparison the
 // paper's conclusion calls for, with sequential consistency as the baseline.
+// The (workload, policy) cells are independent timed-simulator runs and fan
+// out through the worker pool; speedups and the summary table are derived
+// serially from the ordered results, so output is identical at any width.
 func Quant() (*QuantSummary, error) {
 	s := &QuantSummary{WeakNeverSlower: true, Def2NeverSlowerThanDef1: true}
 	tbl := stats.NewTable("E4 — cycles, stalls and traffic by policy (network fabric, latency 10)",
 		"workload", "policy", "cycles", "stall cycles", "messages", "speedup vs SC")
+	type cell struct {
+		name string
+		prog *program.Program
+		pol  proc.Policy
+	}
+	var cells []cell
 	for _, w := range quantWorkloads() {
-		var scCycles, def1Cycles sim.Time
-		for _, pol := range []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2} {
-			cfg := machine.NewConfig(pol)
-			res, err := machine.Run(w.prog, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", w.name, pol, err)
-			}
-			row := QuantRow{
-				Workload: w.name,
-				Policy:   pol,
-				Cycles:   res.Cycles,
-				Stall:    totalStall(res),
-				Messages: res.Messages,
-			}
-			switch pol {
-			case proc.PolicySC:
-				scCycles = res.Cycles
-				row.Speedup = 1
-			default:
-				row.Speedup = float64(scCycles) / float64(res.Cycles)
-				if res.Cycles > scCycles {
-					s.WeakNeverSlower = false
-				}
-			}
-			if pol == proc.PolicyWODef1 {
-				def1Cycles = res.Cycles
-			}
-			if pol == proc.PolicyWODef2 && res.Cycles > def1Cycles {
-				s.Def2NeverSlowerThanDef1 = false
-			}
-			s.Rows = append(s.Rows, row)
-			tbl.Row(w.name, pol.String(), int64(row.Cycles), row.Stall, row.Messages, row.Speedup)
+		for _, pol := range quantPolicies {
+			cells = append(cells, cell{name: w.name, prog: w.prog, pol: pol})
 		}
+	}
+	results, err := par.Map(cells, 0, func(_ int, c cell) (*machine.Result, error) {
+		res, err := machine.Run(c.prog, machine.NewConfig(c.pol))
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", c.name, c.pol, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var scCycles, def1Cycles sim.Time
+	for i, c := range cells {
+		res := results[i]
+		row := QuantRow{
+			Workload: c.name,
+			Policy:   c.pol,
+			Cycles:   res.Cycles,
+			Stall:    totalStall(res),
+			Messages: res.Messages,
+		}
+		switch c.pol {
+		case proc.PolicySC:
+			scCycles = res.Cycles
+			row.Speedup = 1
+		default:
+			row.Speedup = float64(scCycles) / float64(res.Cycles)
+			if res.Cycles > scCycles {
+				s.WeakNeverSlower = false
+			}
+		}
+		if c.pol == proc.PolicyWODef1 {
+			def1Cycles = res.Cycles
+		}
+		if c.pol == proc.PolicyWODef2 && res.Cycles > def1Cycles {
+			s.Def2NeverSlowerThanDef1 = false
+		}
+		s.Rows = append(s.Rows, row)
+		tbl.Row(c.name, c.pol.String(), int64(row.Cycles), row.Stall, row.Messages, row.Speedup)
 	}
 	tbl.Note("speedups are synthetic-simulator shapes, not absolute-hardware claims")
 	s.Table = tbl

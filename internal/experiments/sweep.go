@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"weakorder/internal/machine"
+	"weakorder/internal/par"
 	"weakorder/internal/proc"
 	"weakorder/internal/sim"
 	"weakorder/internal/stats"
@@ -33,58 +34,76 @@ type SweepSummary struct {
 // advantage comes from overlapping the issuer's post-release work with the
 // global performance of its writes; the slower that performance, the bigger
 // the advantage, which is exactly the trend the sweep verifies.
+// Every (fabric, latency, policy) cell is an independent timed-simulator run,
+// so the grid fans out through the worker pool; gains, the gap trend and the
+// table derive serially from the ordered cycle counts, so the summary is
+// identical at any pool width.
 func Sweep() (*SweepSummary, error) {
 	s := &SweepSummary{GapGrowsWithLatency: true}
 	tbl := stats.NewTable("E10 — latency/fabric sensitivity (producer/consumer, 12 items)",
 		"fabric", "latency", "policy", "cycles", "def2 gain vs def1")
 	prog := workload.ProducerConsumer(12, 20)
-	var prevGap sim.Time = -1 << 60
-	for _, lat := range []sim.Time{5, 10, 20, 40, 80} {
-		var def1, def2 sim.Time
-		for _, pol := range []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2} {
-			cfg := machine.NewConfig(pol)
-			cfg.NetLatency = lat
-			res, err := machine.Run(prog, cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{Fabric: "network", Latency: lat, Policy: pol, Cycles: res.Cycles})
-			gain := ""
-			switch pol {
-			case proc.PolicyWODef1:
-				def1 = res.Cycles
-			case proc.PolicyWODef2:
-				def2 = res.Cycles
-				gain = stats.Ratio(float64(def1), float64(def2))
-			}
-			tbl.Row("network", int64(lat), pol.String(), int64(res.Cycles), gain)
-		}
-		gap := def1 - def2
-		if gap < prevGap {
-			s.GapGrowsWithLatency = false
-		}
-		prevGap = gap
+	netLats := []sim.Time{5, 10, 20, 40, 80}
+	netPols := []proc.Policy{proc.PolicySC, proc.PolicyWODef1, proc.PolicyWODef2}
+	busCycs := []sim.Time{2, 8}
+	busPols := []proc.Policy{proc.PolicyWODef1, proc.PolicyWODef2}
+	type cell struct {
+		fabric string
+		lat    sim.Time // network latency or bus cycle
+		pol    proc.Policy
 	}
-	// Bus rows for reference: the serialized fabric compresses differences
+	var cells []cell
+	for _, lat := range netLats {
+		for _, pol := range netPols {
+			cells = append(cells, cell{fabric: "network", lat: lat, pol: pol})
+		}
+	}
+	// Bus cells for reference: the serialized fabric compresses differences
 	// because every message contends for the same resource.
-	for _, cyc := range []sim.Time{2, 8} {
-		var def1 sim.Time
-		for _, pol := range []proc.Policy{proc.PolicyWODef1, proc.PolicyWODef2} {
-			cfg := machine.NewConfig(pol)
+	for _, cyc := range busCycs {
+		for _, pol := range busPols {
+			cells = append(cells, cell{fabric: "bus", lat: cyc, pol: pol})
+		}
+	}
+	cycles, err := par.Map(cells, 0, func(_ int, c cell) (sim.Time, error) {
+		cfg := machine.NewConfig(c.pol)
+		if c.fabric == "bus" {
 			cfg.Fabric = machine.FabricBus
-			cfg.BusCycle = cyc
-			res, err := machine.Run(prog, cfg)
-			if err != nil {
-				return nil, err
+			cfg.BusCycle = c.lat
+		} else {
+			cfg.NetLatency = c.lat
+		}
+		res, err := machine.Run(prog, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var prevGap sim.Time = -1 << 60
+	var def1, def2 sim.Time
+	lastLat := sim.Time(-1)
+	for i, c := range cells {
+		cyc := cycles[i]
+		s.Points = append(s.Points, SweepPoint{Fabric: c.fabric, Latency: c.lat, Policy: c.pol, Cycles: cyc})
+		gain := ""
+		switch {
+		case c.pol == proc.PolicyWODef1:
+			def1 = cyc
+		case c.pol == proc.PolicyWODef2:
+			def2 = cyc
+			gain = stats.Ratio(float64(def1), float64(def2))
+		}
+		tbl.Row(c.fabric, int64(c.lat), c.pol.String(), int64(cyc), gain)
+		if c.fabric == "network" && c.pol == proc.PolicyWODef2 && c.lat != lastLat {
+			gap := def1 - def2
+			if gap < prevGap {
+				s.GapGrowsWithLatency = false
 			}
-			s.Points = append(s.Points, SweepPoint{Fabric: "bus", Latency: cyc, Policy: pol, Cycles: res.Cycles})
-			gain := ""
-			if pol == proc.PolicyWODef1 {
-				def1 = res.Cycles
-			} else {
-				gain = stats.Ratio(float64(def1), float64(res.Cycles))
-			}
-			tbl.Row("bus", int64(cyc), pol.String(), int64(res.Cycles), gain)
+			prevGap = gap
+			lastLat = c.lat
 		}
 	}
 	tbl.Note("the def1-def2 cycle gap must not shrink as network latency grows (release overlap scales with performance latency)")

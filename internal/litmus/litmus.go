@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"weakorder/internal/model"
+	"weakorder/internal/par"
 	"weakorder/internal/program"
 )
 
@@ -135,17 +136,25 @@ func Run(t *Test, f Factory, x *model.Explorer) (Outcome, error) {
 }
 
 // RunAll runs every test on every factory, returning outcomes sorted by test
-// then machine order.
+// then machine order. The (test, machine) cells are independent explorations,
+// so they fan out through the par worker pool; results are assembled in input
+// order, making the output identical at any pool width.
 func RunAll(tests []*Test, fs []Factory, x *model.Explorer) ([]Outcome, error) {
-	var out []Outcome
+	type cell struct {
+		t *Test
+		f Factory
+	}
+	cells := make([]cell, 0, len(tests)*len(fs))
 	for _, t := range tests {
 		for _, f := range fs {
-			o, err := Run(t, f, x)
-			if err != nil {
-				return out, err
-			}
-			out = append(out, o)
+			cells = append(cells, cell{t, f})
 		}
+	}
+	out, err := par.Map(cells, 0, func(_ int, c cell) (Outcome, error) {
+		return Run(c.t, c.f, x)
+	})
+	if err != nil {
+		return out, err
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Test < out[j].Test })
 	return out, nil

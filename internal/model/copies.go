@@ -1,8 +1,8 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
-	"strings"
 
 	"weakorder/internal/mem"
 )
@@ -153,24 +153,29 @@ func (c *copies) drained(p int) bool { return c.outstanding[p] == 0 }
 // allDrained reports whether nothing is pending anywhere.
 func (c *copies) allDrained() bool { return len(c.pending) == 0 }
 
-// key canonically encodes the substrate state. Raw sequence numbers are
-// excluded (they differ between equivalent states reached along different
-// paths); what delivery semantics actually depend on is, per pending
-// propagation, (a) its position among pending propagations for the same
-// destination and address — preserved by list order — and (b) whether it is
-// still "live" (its seq exceeds the destination's current stamp, so it will
-// apply rather than be dropped). Both are encoded.
-func (c *copies) key(addrs []mem.Addr, sb *strings.Builder) {
+// appendKey canonically encodes the substrate state. Raw sequence numbers
+// are excluded (they differ between equivalent states reached along
+// different paths); what delivery semantics actually depend on is, per
+// pending propagation, (a) its position among pending propagations for the
+// same destination and address — preserved by list order — and (b) whether
+// it is still "live" (its seq exceeds the destination's current stamp, so it
+// will apply rather than be dropped). Both are encoded.
+func (c *copies) appendKey(key []byte, addrs []mem.Addr) []byte {
 	for p := 0; p < c.nproc; p++ {
-		fmt.Fprintf(sb, "c%d:", p)
-		encodeMem(addrs, c.data[p], sb)
+		key = appendMem(key, addrs, c.data[p])
 	}
-	sb.WriteByte('P')
+	key = append(key, 'P')
+	key = binary.AppendUvarint(key, uint64(len(c.pending)))
 	for _, m := range c.pending {
-		live := byte('0')
+		live := byte(0)
 		if m.seq > c.stamp[m.dst][m.addr] {
-			live = '1'
+			live = 1
 		}
-		fmt.Fprintf(sb, "%d>%d@%d=%d%c,", m.src, m.dst, m.addr, m.value, live)
+		key = binary.AppendUvarint(key, uint64(m.src))
+		key = binary.AppendUvarint(key, uint64(m.dst))
+		key = binary.AppendUvarint(key, uint64(m.addr))
+		key = binary.AppendVarint(key, int64(m.value))
+		key = append(key, live)
 	}
+	return key
 }

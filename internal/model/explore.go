@@ -1,9 +1,11 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 
 	"weakorder/internal/core"
+	"weakorder/internal/digest"
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
 )
@@ -14,7 +16,8 @@ import (
 // preserves; see KeyMode.
 type Explorer struct {
 	// MaxStates bounds the number of distinct states visited (0 = the
-	// DefaultMaxStates safety net). Exceeding it aborts with ErrStateBudget.
+	// DefaultMaxStates safety net). Exceeding it aborts with an error
+	// satisfying errors.Is(err, ErrStateBudget).
 	MaxStates int
 	// Mode selects the state-key granularity. The zero value (KeyState) is
 	// correct for final-state/litmus enumeration.
@@ -27,80 +30,174 @@ type Explorer struct {
 	// nonzero count flags the enumeration as length-bounded rather than
 	// exhaustive.
 	MaxTraceOps int
+	// FullKeys, when true, deduplicates on the full canonical key encoding
+	// instead of its 128-bit digest. The digest path is what production
+	// sweeps use (16 bytes per visited state, no per-state allocation); the
+	// full-key path is collision-free by construction and exists as a debug
+	// cross-check — tests explore both ways and assert identical Stats.
+	FullKeys bool
 }
 
 // DefaultMaxStates is the safety net applied when Explorer.MaxStates is 0.
 const DefaultMaxStates = 2_000_000
 
-// ErrStateBudget reports that exploration exceeded MaxStates.
-var ErrStateBudget = fmt.Errorf("model: state budget exhausted")
+// ErrStateBudget reports that exploration exceeded MaxStates. Visit returns
+// it wrapped with the machine name; check with errors.Is.
+var ErrStateBudget = errors.New("model: state budget exhausted")
+
+// visitedSet deduplicates canonical state keys either by fixed-seed 128-bit
+// digest (the default: constant memory per state, no allocation) or by the
+// full key bytes (FullKeys debug mode).
+type visitedSet struct {
+	hashed map[digest.Sum]struct{}
+	full   map[string]struct{}
+}
+
+func newVisitedSet(fullKeys bool, capacity int) *visitedSet {
+	v := &visitedSet{}
+	if fullKeys {
+		v.full = make(map[string]struct{}, capacity)
+	} else {
+		v.hashed = make(map[digest.Sum]struct{}, capacity)
+	}
+	return v
+}
+
+// add inserts the key encoding, reporting whether it was absent.
+func (v *visitedSet) add(key []byte) bool {
+	if v.full != nil {
+		if _, ok := v.full[string(key)]; ok {
+			return false
+		}
+		v.full[string(key)] = struct{}{}
+		return true
+	}
+	d := digest.Sum128(key)
+	if _, ok := v.hashed[d]; ok {
+		return false
+	}
+	v.hashed[d] = struct{}{}
+	return true
+}
+
+func (v *visitedSet) len() int {
+	if v.full != nil {
+		return len(v.full)
+	}
+	return len(v.hashed)
+}
+
+// frame is one node of the explicit DFS stack: a machine state plus the
+// iterator over its enabled transitions.
+type frame struct {
+	m    Machine
+	ts   []Transition
+	next int
+}
 
 // Visit runs the exploration, calling fn on every distinct completed machine
 // (Done() true, deduplicated under Mode). fn returning false stops early.
 // Visit reports statistics via the returned Stats even on early stop.
+//
+// The search is an explicit-stack depth-first traversal (preserving the
+// pre-order of the transition lists), so state spaces bounded only by
+// MaxStates cannot overflow the goroutine stack no matter how deep a path
+// runs. Visit allocates its working state locally, so one Explorer may be
+// shared by concurrent explorations.
 func (x *Explorer) Visit(m Machine, fn func(Machine) bool) (Stats, error) {
 	budget := x.MaxStates
 	if budget <= 0 {
 		budget = DefaultMaxStates
 	}
 	st := Stats{}
-	visited := make(map[string]bool)
-	finals := make(map[string]bool)
+	visited := newVisitedSet(x.FullKeys, 1024)
+	finals := newVisitedSet(x.FullKeys, 16)
 	stop := false
+	var key []byte // reused across all states of this exploration
 
-	var dfs func(m Machine) error
-	dfs = func(m Machine) error {
-		if stop {
-			return nil
-		}
+	// enter processes one state exactly as the former recursion's prologue
+	// did: trace bound, transition computation, dedup, budget, final
+	// handling. It reports descend=true when the state is new and has
+	// children to push.
+	enter := func(m Machine) (f frame, descend bool, err error) {
 		if x.MaxTraceOps > 0 && m.Trace().Len() > x.MaxTraceOps {
 			st.Truncated++
-			return nil
+			return frame{}, false, nil
 		}
 		// Compute transitions before keying: Transitions() advances threads
 		// through their (deterministic) local instructions to their next
 		// memory operation, normalizing the state so that equivalent states
 		// reached along different paths key identically.
 		ts := m.Transitions()
-		key := m.Key(x.Mode)
-		if visited[key] {
-			return nil
+		key = m.AppendKey(x.Mode, key[:0])
+		if visited.len() >= budget {
+			// Checked before the insert so the budget error is raised only
+			// when a new state would exceed it, as before.
+			if !visited.add(key) {
+				return frame{}, false, nil
+			}
+			return frame{}, false, fmt.Errorf("model: exploring %s: %w", m.Name(), ErrStateBudget)
 		}
-		if len(visited) >= budget {
-			return ErrStateBudget
+		if !visited.add(key) {
+			return frame{}, false, nil
 		}
-		visited[key] = true
 		st.States++
 		if len(ts) == 0 {
 			if !m.Done() {
-				return fmt.Errorf("model: %s deadlocked (no enabled transitions, not done)", m.Name())
+				return frame{}, false, fmt.Errorf("model: %s deadlocked (no enabled transitions, not done)", m.Name())
 			}
-			if !finals[key] {
-				finals[key] = true
+			if finals.add(key) {
 				st.Finals++
 				if !fn(m) {
 					stop = true
 				}
 			}
-			return nil
+			return frame{}, false, nil
 		}
-		for _, t := range ts {
-			c := m.Clone()
-			if err := c.Apply(t); err != nil {
-				return fmt.Errorf("model: applying %s on %s: %w", t, m.Name(), err)
-			}
-			st.Transitions++
-			if err := dfs(c); err != nil {
-				return err
-			}
-			if stop {
-				return nil
-			}
-		}
-		return nil
+		return frame{m: m, ts: ts}, true, nil
 	}
-	err := dfs(m.Clone())
-	return st, err
+
+	root, descend, err := enter(m.Clone())
+	if err != nil {
+		return st, err
+	}
+	stack := make([]frame, 0, 64)
+	if descend {
+		stack = append(stack, root)
+	}
+	for len(stack) > 0 && !stop {
+		top := &stack[len(stack)-1]
+		if top.next >= len(top.ts) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		t := top.ts[top.next]
+		top.next++
+		var c Machine
+		if top.next >= len(top.ts) {
+			// Last child: this frame is exhausted and will never be touched
+			// again, so the child consumes the parent machine in place — one
+			// whole clone saved per expanded state (states with a single
+			// successor, the common case on long deterministic runs, clone
+			// nothing at all).
+			c = top.m
+			stack = stack[:len(stack)-1]
+		} else {
+			c = top.m.Clone()
+		}
+		if err := c.Apply(t); err != nil {
+			return st, fmt.Errorf("model: applying %s on %s: %w", t, c.Name(), err)
+		}
+		st.Transitions++
+		child, descend, err := enter(c)
+		if err != nil {
+			return st, err
+		}
+		if descend {
+			stack = append(stack, child)
+		}
+	}
+	return st, nil
 }
 
 // Stats summarizes one exploration.

@@ -28,9 +28,9 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strings"
 
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
@@ -110,8 +110,11 @@ type Machine interface {
 	// Done reports whether all threads halted and all internal buffers and
 	// in-flight messages drained.
 	Done() bool
-	// Key returns a canonical encoding of the state for deduplication.
-	Key(mode KeyMode) string
+	// AppendKey appends a canonical binary encoding of the state for
+	// deduplication to key and returns the extended slice. The encoding is
+	// prefix-free for a fixed program, so two distinct states never encode
+	// to the same bytes; the explorer hashes it rather than storing it.
+	AppendKey(mode KeyMode, key []byte) []byte
 	// Final returns the final state (registers and memory); meaningful once
 	// Done.
 	Final() *program.FinalState
@@ -165,8 +168,21 @@ func (b *base) cloneBase() base {
 	c := *b
 	c.threads = append([]program.Thread(nil), b.threads...)
 	c.readLog = make([][]readRec, len(b.readLog))
-	for i, l := range b.readLog {
-		c.readLog[i] = append([]readRec(nil), l...)
+	// One flat backing array for all per-proc read logs. Sub-slices get
+	// len == cap, so a log growing in the clone reallocates its own copy
+	// instead of stomping a sibling.
+	total := 0
+	for _, l := range b.readLog {
+		total += len(l)
+	}
+	if total > 0 {
+		flat := make([]readRec, total)
+		off := 0
+		for i, l := range b.readLog {
+			n := copy(flat[off:], l)
+			c.readLog[i] = flat[off : off+n : off+n]
+			off += n
+		}
 	}
 	c.syncLog = append([]syncRec(nil), b.syncLog...)
 	tr := *b.trace
@@ -224,36 +240,47 @@ func (b *base) threadsDone() bool {
 	return true
 }
 
-// keyBase encodes the thread states plus, per mode, read and sync history.
-func (b *base) keyBase(mode KeyMode, sb *strings.Builder) {
+// Key returns the canonical state key of m as a string. Convenience for
+// tests and debugging; hot paths call AppendKey with a reused buffer.
+func Key(m Machine, mode KeyMode) string { return string(m.AppendKey(mode, nil)) }
+
+// appendKeyBase encodes the thread states plus, per mode, read and sync
+// history. Thread snapshots are self-delimiting varint sequences and the
+// variable-length logs are count-prefixed, so the whole encoding is
+// prefix-free for a fixed program.
+func (b *base) appendKeyBase(mode KeyMode, key []byte) []byte {
 	for i := range b.threads {
-		sb.WriteString(b.threads[i].Snapshot())
-		sb.WriteByte(';')
+		key = b.threads[i].AppendSnapshot(key)
 	}
 	if mode >= KeyResult {
-		sb.WriteByte('R')
-		for p, log := range b.readLog {
-			fmt.Fprintf(sb, "p%d:", p)
+		key = append(key, 'R')
+		for _, log := range b.readLog {
+			key = binary.AppendUvarint(key, uint64(len(log)))
 			for _, r := range log {
-				fmt.Fprintf(sb, "%d=%d,", r.opIndex, r.value)
+				key = binary.AppendUvarint(key, uint64(r.opIndex))
+				key = binary.AppendVarint(key, int64(r.value))
 			}
 		}
 	}
 	if mode >= KeyExecution {
-		sb.WriteByte('S')
+		key = append(key, 'S')
+		key = binary.AppendUvarint(key, uint64(len(b.syncLog)))
 		for _, s := range b.syncLog {
-			fmt.Fprintf(sb, "%d.%d@%d,", s.proc, s.opIndex, s.addr)
+			key = binary.AppendUvarint(key, uint64(s.proc))
+			key = binary.AppendUvarint(key, uint64(s.opIndex))
+			key = binary.AppendUvarint(key, uint64(s.addr))
 		}
 	}
+	return key
 }
 
-// encodeMem canonically encodes a memory map over the known address universe.
-func encodeMem(addrs []mem.Addr, m map[mem.Addr]mem.Value, sb *strings.Builder) {
+// appendMem canonically encodes a memory map over the known address universe.
+func appendMem(key []byte, addrs []mem.Addr, m map[mem.Addr]mem.Value) []byte {
 	for _, a := range addrs {
-		fmt.Fprintf(sb, "%d,", m[a])
+		key = binary.AppendVarint(key, int64(m[a]))
 	}
 	// Addresses outside the static universe (register-indexed accesses) are
-	// appended sorted.
+	// appended sorted, count-prefixed.
 	var extra []mem.Addr
 	for a := range m {
 		if !containsAddr(addrs, a) {
@@ -261,9 +288,12 @@ func encodeMem(addrs []mem.Addr, m map[mem.Addr]mem.Value, sb *strings.Builder) 
 		}
 	}
 	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	key = binary.AppendUvarint(key, uint64(len(extra)))
 	for _, a := range extra {
-		fmt.Fprintf(sb, "x%d=%d,", a, m[a])
+		key = binary.AppendUvarint(key, uint64(a))
+		key = binary.AppendVarint(key, int64(m[a]))
 	}
+	return key
 }
 
 func containsAddr(addrs []mem.Addr, a mem.Addr) bool {

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"testing"
 
 	"weakorder/internal/core"
@@ -196,7 +197,7 @@ thread:
 func TestExplorerStateBudget(t *testing.T) {
 	x := &Explorer{MaxStates: 3}
 	_, err := x.FinalStates(NewNetwork(sb()), func(*program.FinalState) bool { return true })
-	if err != ErrStateBudget {
+	if !errors.Is(err, ErrStateBudget) {
 		t.Fatalf("err = %v, want ErrStateBudget", err)
 	}
 }
@@ -323,11 +324,11 @@ func TestCloneIndependence(t *testing.T) {
 	if err := c.Apply(ts[0]); err != nil {
 		t.Fatal(err)
 	}
-	if m.Key(KeyState) == c.Key(KeyState) {
+	if Key(m, KeyState) == Key(c, KeyState) {
 		t.Error("applying a transition to the clone should change its key")
 	}
 	m2 := m.Clone()
-	if m.Key(KeyState) != m2.Key(KeyState) {
+	if Key(m, KeyState) != Key(m2, KeyState) {
 		t.Error("fresh clone should key identically")
 	}
 }
@@ -355,5 +356,52 @@ thread:
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHashedKeysMatchFullKeys cross-checks the production digest-deduplicated
+// exploration against the collision-free full-key debug mode: on a spread of
+// machines and key modes both must visit exactly the same number of states,
+// transitions and finals.
+func TestHashedKeysMatchFullKeys(t *testing.T) {
+	mp := program.MustParse(`
+name: mp
+init: d=0 f=0
+thread:
+    st d, 1
+    sync.st f, 1
+thread:
+wait:
+    sync.ld r0, f
+    beq r0, 0, wait
+    ld r1, d
+`).Program
+	progs := []*program.Program{sb(), mp}
+	machines := []func(*program.Program) Machine{
+		func(p *program.Program) Machine { return NewSC(p) },
+		func(p *program.Program) Machine { return NewWriteBuffer(p, "") },
+		func(p *program.Program) Machine { return NewNetwork(p) },
+		func(p *program.Program) Machine { return NewNonAtomic(p) },
+		func(p *program.Program) Machine { return NewWODef2(p) },
+	}
+	for _, p := range progs {
+		for _, mk := range machines {
+			for _, mode := range []KeyMode{KeyState, KeyResult, KeyExecution} {
+				hashed := &Explorer{Mode: mode, MaxTraceOps: 24}
+				full := &Explorer{Mode: mode, MaxTraceOps: 24, FullKeys: true}
+				hs, err := hashed.Visit(mk(p), func(Machine) bool { return true })
+				if err != nil {
+					t.Fatalf("%s mode %d hashed: %v", mk(p).Name(), mode, err)
+				}
+				fs, err := full.Visit(mk(p), func(Machine) bool { return true })
+				if err != nil {
+					t.Fatalf("%s mode %d full: %v", mk(p).Name(), mode, err)
+				}
+				if hs != fs {
+					t.Errorf("%s on %s mode %d: hashed stats %+v != full-key stats %+v",
+						mk(p).Name(), p.Name, mode, hs, fs)
+				}
+			}
+		}
 	}
 }

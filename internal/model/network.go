@@ -1,8 +1,8 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
-	"strings"
 
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
@@ -202,21 +202,25 @@ func (m *Network) Apply(t Transition) error {
 // Done implements Machine.
 func (m *Network) Done() bool { return len(m.inflight) == 0 && m.threadsDone() }
 
-// Key implements Machine.
-func (m *Network) Key(mode KeyMode) string {
-	var sb strings.Builder
-	m.keyBase(mode, &sb)
-	sb.WriteByte('M')
-	encodeMem(m.addrs, m.memory, &sb)
-	sb.WriteByte('F')
+// AppendKey implements Machine.
+func (m *Network) AppendKey(mode KeyMode, key []byte) []byte {
+	key = m.appendKeyBase(mode, key)
+	key = append(key, 'M')
+	key = appendMem(key, m.addrs, m.memory)
+	key = append(key, 'F')
+	key = binary.AppendUvarint(key, uint64(len(m.inflight)))
 	for _, msg := range m.inflight {
-		r := 'w'
+		r := byte('w')
 		if msg.isRead {
 			r = 'r'
 		}
-		fmt.Fprintf(&sb, "%c%d@%d=%d.%d,", r, msg.proc, msg.addr, msg.value, msg.opIndex)
+		key = append(key, r)
+		key = binary.AppendUvarint(key, uint64(msg.proc))
+		key = binary.AppendUvarint(key, uint64(msg.addr))
+		key = binary.AppendVarint(key, int64(msg.value))
+		key = binary.AppendUvarint(key, uint64(msg.opIndex))
 	}
-	return sb.String()
+	return key
 }
 
 // Final implements Machine.

@@ -2,7 +2,6 @@ package model
 
 import (
 	"fmt"
-	"strings"
 
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
@@ -84,12 +83,10 @@ func (m *NonAtomic) Apply(t Transition) error {
 // Done implements Machine.
 func (m *NonAtomic) Done() bool { return m.c.allDrained() && m.threadsDone() }
 
-// Key implements Machine.
-func (m *NonAtomic) Key(mode KeyMode) string {
-	var sb strings.Builder
-	m.keyBase(mode, &sb)
-	m.c.key(m.addrs, &sb)
-	return sb.String()
+// AppendKey implements Machine.
+func (m *NonAtomic) AppendKey(mode KeyMode, key []byte) []byte {
+	key = m.appendKeyBase(mode, key)
+	return m.c.appendKey(key, m.addrs)
 }
 
 // Final implements Machine: once drained all copies agree; processor 0's copy

@@ -2,7 +2,6 @@ package model
 
 import (
 	"fmt"
-	"strings"
 
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
@@ -30,7 +29,7 @@ func (m *SC) Clone() Machine {
 // Transitions implements Machine: any thread with a pending memory operation
 // may execute it atomically.
 func (m *SC) Transitions() []Transition {
-	var ts []Transition
+	ts := make([]Transition, 0, len(m.threads))
 	for p := range m.threads {
 		if _, ok, err := m.pending(p); err == nil && ok {
 			ts = append(ts, Transition{Kind: TExec, Proc: p})
@@ -64,13 +63,11 @@ func (m *SC) Apply(t Transition) error {
 // Done implements Machine.
 func (m *SC) Done() bool { return m.threadsDone() }
 
-// Key implements Machine.
-func (m *SC) Key(mode KeyMode) string {
-	var sb strings.Builder
-	m.keyBase(mode, &sb)
-	sb.WriteByte('M')
-	encodeMem(m.addrs, m.memory, &sb)
-	return sb.String()
+// AppendKey implements Machine.
+func (m *SC) AppendKey(mode KeyMode, key []byte) []byte {
+	key = m.appendKeyBase(mode, key)
+	key = append(key, 'M')
+	return appendMem(key, m.addrs, m.memory)
 }
 
 // Final implements Machine.

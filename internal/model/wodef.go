@@ -1,9 +1,9 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strings"
 
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
@@ -219,24 +219,25 @@ func (m *WeakOrdered) Apply(t Transition) error {
 // Done implements Machine.
 func (m *WeakOrdered) Done() bool { return m.c.allDrained() && m.threadsDone() }
 
-// Key implements Machine.
-func (m *WeakOrdered) Key(mode KeyMode) string {
-	var sb strings.Builder
-	m.keyBase(mode, &sb)
-	m.c.key(m.addrs, &sb)
-	sb.WriteByte('V')
+// AppendKey implements Machine.
+func (m *WeakOrdered) AppendKey(mode KeyMode, key []byte) []byte {
+	key = m.appendKeyBase(mode, key)
+	key = m.c.appendKey(key, m.addrs)
+	key = append(key, 'V')
 	// Encode effective reservations, sorted by address for canonicity.
 	addrs := make([]mem.Addr, 0, len(m.resv))
 	for a := range m.resv {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		if r := m.reserver(a); r >= 0 {
-			fmt.Fprintf(&sb, "%d=%d,", a, r)
+		if m.reserver(a) >= 0 {
+			addrs = append(addrs, a)
 		}
 	}
-	return sb.String()
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	key = binary.AppendUvarint(key, uint64(len(addrs)))
+	for _, a := range addrs {
+		key = binary.AppendUvarint(key, uint64(a))
+		key = binary.AppendUvarint(key, uint64(m.reserver(a)))
+	}
+	return key
 }
 
 // Final implements Machine.

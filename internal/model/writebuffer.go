@@ -1,8 +1,8 @@
 package model
 
 import (
+	"encoding/binary"
 	"fmt"
-	"strings"
 
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
@@ -204,20 +204,21 @@ func (m *WriteBuffer) Done() bool {
 	return true
 }
 
-// Key implements Machine.
-func (m *WriteBuffer) Key(mode KeyMode) string {
-	var sb strings.Builder
-	m.keyBase(mode, &sb)
-	sb.WriteByte('M')
-	encodeMem(m.addrs, m.memory, &sb)
-	sb.WriteByte('B')
-	for p, b := range m.buffers {
-		fmt.Fprintf(&sb, "p%d:", p)
+// AppendKey implements Machine.
+func (m *WriteBuffer) AppendKey(mode KeyMode, key []byte) []byte {
+	key = m.appendKeyBase(mode, key)
+	key = append(key, 'M')
+	key = appendMem(key, m.addrs, m.memory)
+	key = append(key, 'B')
+	for _, b := range m.buffers {
+		key = binary.AppendUvarint(key, uint64(len(b)))
 		for _, e := range b {
-			fmt.Fprintf(&sb, "%d=%d@%d,", e.addr, e.value, e.opIndex)
+			key = binary.AppendUvarint(key, uint64(e.addr))
+			key = binary.AppendVarint(key, int64(e.value))
+			key = binary.AppendUvarint(key, uint64(e.opIndex))
 		}
 	}
-	return sb.String()
+	return key
 }
 
 // Final implements Machine.

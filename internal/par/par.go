@@ -1,0 +1,119 @@
+// Package par provides the bounded worker pool behind the repository's
+// parallel sweeps. Experiments fan independent (program, machine, config)
+// cells through Map or ForEach; results are always delivered in input order
+// and the reported error is always the one of the lowest-indexed failing
+// item, so a sweep's output is byte-identical regardless of how goroutines
+// were scheduled or how wide the pool is.
+//
+// The default width is GOMAXPROCS. It can be overridden for a whole process
+// with the WEAKORDER_WORKERS environment variable, or programmatically (and
+// with higher precedence, so tests can pin a width regardless of the
+// environment) via SetWorkers.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// override holds the SetWorkers value; 0 means unset.
+var override atomic.Int64
+
+// Workers returns the pool width used by Map and ForEach when the caller
+// passes width <= 0: the SetWorkers override if set, else the
+// WEAKORDER_WORKERS environment variable if it parses to a positive integer,
+// else GOMAXPROCS.
+func Workers() int {
+	if n := override.Load(); n > 0 {
+		return int(n)
+	}
+	if s := os.Getenv("WEAKORDER_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the default pool width (n <= 0 clears the override)
+// and returns a function restoring the previous value. Intended for tests
+// that must compare runs at fixed widths.
+func SetWorkers(n int) (restore func()) {
+	prev := override.Load()
+	if n < 0 {
+		n = 0
+	}
+	override.Store(int64(n))
+	return func() { override.Store(prev) }
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of the given width
+// (width <= 0 means Workers()). All items run even if some fail — a fixed
+// work set is what makes the reported error deterministic — and the returned
+// error is the lowest-index failure, or nil.
+func ForEach(n, width int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if width <= 0 {
+		width = Workers()
+	}
+	if width > n {
+		width = n
+	}
+	if width == 1 {
+		// Run inline: exploration workloads are allocation-heavy, and the
+		// width-1 fast path keeps single-core runs free of goroutine and
+		// channel overhead (it is also what the determinism tests pin).
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map applies fn to every item on a pool of the given width (width <= 0
+// means Workers()), returning results in input order. On failure it returns
+// the lowest-index error; the result slice is still returned with every
+// successful item filled in.
+func Map[T, R any](items []T, width int, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(len(items), width, func(i int) error {
+		r, err := fn(i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,123 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, width := range []int{1, 2, 7, 64} {
+		got, err := Map(items, width, func(i, v int) (int, error) { return v * v, nil })
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("width %d: got[%d] = %d, want %d", width, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestLowestIndexError(t *testing.T) {
+	// Items 10, 30 and 70 fail; every width must report item 10's error.
+	fail := map[int]bool{10: true, 30: true, 70: true}
+	for _, width := range []int{1, 3, 16} {
+		err := ForEach(100, width, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 10" {
+			t.Fatalf("width %d: err = %v, want item 10", width, err)
+		}
+	}
+}
+
+func TestAllItemsRunDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(50, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d items, want 50", ran.Load())
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	// With width 4 and items that block until enough peers are in flight,
+	// the pool must actually run items concurrently.
+	if runtime.GOMAXPROCS(0) < 2 {
+		// The pool still works on one core (goroutines interleave), but the
+		// gate below needs true width-4 dispatch, which it has regardless.
+	}
+	gate := make(chan struct{})
+	var inFlight atomic.Int64
+	err := ForEach(4, 4, func(i int) error {
+		if inFlight.Add(1) == 4 {
+			close(gate)
+		}
+		<-gate
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	restore := SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	inner := SetWorkers(1)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", Workers())
+	}
+	inner()
+	if Workers() != 3 {
+		t.Fatalf("after restore Workers() = %d, want 3", Workers())
+	}
+	restore()
+	if Workers() != runtime.GOMAXPROCS(0) && Workers() <= 0 {
+		t.Fatalf("after outer restore Workers() = %d", Workers())
+	}
+}
+
+func TestEnvOverride(t *testing.T) {
+	t.Setenv("WEAKORDER_WORKERS", "5")
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d, want 5 from env", Workers())
+	}
+	// SetWorkers takes precedence over the environment.
+	restore := SetWorkers(2)
+	defer restore()
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2 (override beats env)", Workers())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if err := ForEach(0, 8, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Map([]string(nil), 0, func(int, string) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(nil) = %v, %v", out, err)
+	}
+}

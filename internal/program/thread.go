@@ -183,7 +183,15 @@ func (t *Thread) operand(o Operand) mem.Value {
 // unbounded ones. Explorations that must distinguish histories key on the
 // machine's read/sync logs instead (model.KeyResult / model.KeyExecution).
 func (t *Thread) Snapshot() string {
-	b := make([]byte, 0, 8+NumRegs*4)
+	return string(t.AppendSnapshot(make([]byte, 0, 8+NumRegs*4)))
+}
+
+// AppendSnapshot appends the Snapshot encoding to b and returns the extended
+// slice, so state-key construction can reuse one buffer across an entire
+// exploration instead of allocating a string per state. The encoding is a
+// self-delimiting varint sequence (prefix-free given the fixed NumRegs), so
+// concatenating snapshots of successive threads remains unambiguous.
+func (t *Thread) AppendSnapshot(b []byte) []byte {
 	b = appendInt(b, int64(t.PC))
 	if t.Halted {
 		b = append(b, 1)
@@ -198,7 +206,7 @@ func (t *Thread) Snapshot() string {
 	for _, r := range t.Regs {
 		b = appendInt(b, int64(r))
 	}
-	return string(b)
+	return b
 }
 
 // appendInt appends a varint-ish encoding of v.
