@@ -1,0 +1,252 @@
+// Command wofuzz runs a differential fuzzing campaign against the
+// Definition-2 contract: random litmus programs are generated, classified as
+// DRF0 or racy, and run on every machine under test against the SC reference.
+// A machine that claims weak ordering and produces a non-SC outcome on a DRF0
+// program is a contract violation; the violating program is delta-debugged to
+// a minimal reproducer, written out as both litmus text and ready-to-paste
+// program.Builder code.
+//
+// Usage:
+//
+//	wofuzz [-seeds N] [-seed S] [-budget DUR] [-machines CSV] [-minimize]
+//	       [-max-states N] [-json PATH] [-out DIR] [-v]
+//
+// -machines accepts a comma-separated list of machine names plus the aliases
+// "weak" (every machine claiming the contract; the default), "all", and
+// "broken" (the known-bad fixtures — the non-atomic cached network and the
+// reserve-bit ablation — useful for demonstrating the catch-and-shrink
+// pipeline end to end: `wofuzz -machines broken` finds violations and emits
+// minimized reproducers). The exit status is 1 if any Definition-2 violation
+// was found, 0 otherwise — racy programs with non-SC outcomes are recorded
+// but are not failures.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"weakorder/internal/fuzz"
+	"weakorder/internal/litmus"
+	"weakorder/internal/model"
+	"weakorder/internal/program"
+	"weakorder/internal/workload"
+)
+
+// progReport is one program's verdict in the JSON report.
+type progReport struct {
+	Index      int      `json:"index"`
+	Seed       int64    `json:"seed"`
+	Name       string   `json:"name"`
+	Config     string   `json:"config"`
+	DRF0       bool     `json:"drf0"`
+	Skipped    bool     `json:"skipped,omitempty"` // state budget exhausted
+	SCOutcomes int      `json:"sc_outcomes,omitempty"`
+	RacyNonSC  bool     `json:"racy_non_sc,omitempty"`
+	Violating  []string `json:"violating,omitempty"`
+	// Reproducers maps violating machine name to the minimized program in
+	// litmus text form (only when -minimize is on).
+	Reproducers map[string]string `json:"reproducers,omitempty"`
+}
+
+// campaignReport is the top-level JSON report.
+type campaignReport struct {
+	Seeds      int          `json:"seeds"`
+	BaseSeed   int64        `json:"base_seed"`
+	Machines   []string     `json:"machines"`
+	Checked    int          `json:"checked"`
+	Skipped    int          `json:"skipped"`
+	DRF0       int          `json:"drf0"`
+	Racy       int          `json:"racy"`
+	RacyNonSC  int          `json:"racy_non_sc"`
+	Violations int          `json:"violations"`
+	Elapsed    string       `json:"elapsed"`
+	Programs   []progReport `json:"programs"`
+}
+
+// configFor varies the generator deterministically across campaign indices so
+// a single run sweeps light/dense sync, RMW-heavy mixes, guarded conditionals,
+// and three-processor programs without any randomness beyond the seed.
+func configFor(i int) (string, workload.RandomConfig) {
+	switch i % 6 {
+	case 0:
+		return "2p-default", workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 4}
+	case 1:
+		return "2p-sparse", workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 4, SyncDensity: 10}
+	case 2:
+		return "2p-rmw", workload.RandomConfig{Procs: 2, DataVars: 1, SyncVars: 2, Ops: 4, SyncDensity: 60, RMWPct: 70, FetchAddPct: 40}
+	case 3:
+		return "3p-dense", workload.RandomConfig{Procs: 3, DataVars: 1, SyncVars: 1, Ops: 3, SyncDensity: 70}
+	case 4:
+		return "2p-guarded", workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 3, SyncDensity: 50, CondPct: 50}
+	default:
+		return "2p-syncread", workload.RandomConfig{Procs: 2, DataVars: 1, SyncVars: 1, Ops: 4, SyncDensity: 50, SyncReadPct: 80}
+	}
+}
+
+func main() {
+	seeds := flag.Int("seeds", 64, "number of random programs to generate")
+	baseSeed := flag.Int64("seed", 1, "base seed; program i uses seed+i")
+	budget := flag.Duration("budget", 0, "wall-clock budget; 0 = run all seeds")
+	machinesCSV := flag.String("machines", "weak", `machines to test: comma-separated names, "weak", "all", or "broken"`)
+	minimize := flag.Bool("minimize", true, "delta-debug violating programs to minimal reproducers")
+	maxStates := flag.Int("max-states", 0, "per-exploration state budget (0 = fuzzing default)")
+	jsonPath := flag.String("json", "", `write a JSON campaign report to PATH ("-" = stdout)`)
+	outDir := flag.String("out", "", "write minimized reproducers (.litmus and .go) into DIR")
+	verbose := flag.Bool("v", false, "log every program checked")
+	flag.Parse()
+
+	factories, err := litmus.FactoriesByNames(*machinesCSV)
+	if err != nil {
+		fatal(err)
+	}
+	if len(factories) == 0 {
+		fatal(errors.New("no machines selected"))
+	}
+	x := fuzz.DefaultExplorer()
+	if *maxStates > 0 {
+		x.MaxStates = *maxStates
+	}
+	chk := &fuzz.Checker{Explorer: x, Machines: factories}
+
+	rep := campaignReport{Seeds: *seeds, BaseSeed: *baseSeed}
+	for _, f := range factories {
+		rep.Machines = append(rep.Machines, f.Name)
+	}
+
+	start := time.Now()
+	for i := 0; i < *seeds; i++ {
+		if *budget > 0 && time.Since(start) > *budget {
+			fmt.Fprintf(os.Stderr, "wofuzz: budget %s exhausted after %d/%d seeds\n", *budget, i, *seeds)
+			break
+		}
+		seed := *baseSeed + int64(i)
+		var p *program.Program
+		var cfgName string
+		// Every 7th program comes from the guarded producer/consumer shape —
+		// the pattern the reserve-bit stall exists to protect — so the
+		// campaign always exercises that bug class directly.
+		if i%7 == 6 {
+			cfgName = "guarded-mp"
+			p = workload.RandomGuarded(seed, 1+i%2, i%3)
+		} else {
+			var cfg workload.RandomConfig
+			cfgName, cfg = configFor(i)
+			p = workload.Random(seed, cfg)
+		}
+
+		pr := progReport{Index: i, Seed: seed, Name: p.Name, Config: cfgName}
+		r, err := chk.Check(p)
+		switch {
+		case err != nil && errors.Is(err, model.ErrStateBudget):
+			pr.Skipped = true
+			rep.Skipped++
+		case err != nil:
+			fatal(err)
+		default:
+			rep.Checked++
+			pr.DRF0 = r.DRF0
+			pr.SCOutcomes = r.SCOutcomes
+			if r.DRF0 {
+				rep.DRF0++
+			} else {
+				rep.Racy++
+			}
+			if r.RacyNonSC() {
+				pr.RacyNonSC = true
+				rep.RacyNonSC++
+			}
+			if v := r.Violating(); len(v) > 0 {
+				pr.Violating = v
+				rep.Violations++
+				handleViolation(&pr, p, v, *minimize, x, *outDir)
+			}
+		}
+		if *verbose {
+			fmt.Printf("[%3d] seed=%-6d %-12s %-22s drf0=%-5v skipped=%v violating=%v\n",
+				i, seed, cfgName, p.Name, pr.DRF0, pr.Skipped, pr.Violating)
+		}
+		rep.Programs = append(rep.Programs, pr)
+	}
+	rep.Elapsed = time.Since(start).Round(time.Millisecond).String()
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, &rep); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wofuzz: %d checked (%d drf0, %d racy, %d racy-non-SC), %d skipped, %d violation(s) in %s\n",
+		rep.Checked, rep.DRF0, rep.Racy, rep.RacyNonSC, rep.Skipped, rep.Violations, rep.Elapsed)
+	if rep.Violations > 0 {
+		fmt.Fprintln(os.Stderr, "wofuzz: DEFINITION-2 VIOLATION(S) FOUND")
+		os.Exit(1)
+	}
+}
+
+// handleViolation minimizes the program against each violating machine and
+// records/writes the reproducers.
+func handleViolation(pr *progReport, p *program.Program, violating []string, minimize bool, x *model.Explorer, outDir string) {
+	fmt.Fprintf(os.Stderr, "wofuzz: VIOLATION: %s breaks Definition 2 on %v\n", p.Name, violating)
+	if !minimize {
+		return
+	}
+	pr.Reproducers = make(map[string]string, len(violating))
+	for _, name := range violating {
+		f, ok := litmus.FactoryByName(name)
+		if !ok {
+			// Violating names come from the factory list, so this cannot
+			// happen unless the list mutates mid-run.
+			fatal(fmt.Errorf("violating machine %q has no factory", name))
+		}
+		min := fuzz.Minimize(p, f, x)
+		sz := fuzz.SizeOf(min)
+		header := []string{
+			fmt.Sprintf("minimized reproducer: %s violates Definition 2 on %s", p.Name, name),
+			fmt.Sprintf("size: %d thread(s), longest %d op(s), %d address(es)", sz.Threads, sz.MaxOps, sz.Addrs),
+			fmt.Sprintf("non-SC outcomes: %v", fuzz.ExtraOutcomes(min, f, x)),
+		}
+		lit := fuzz.EmitLitmus(min, header...)
+		pr.Reproducers[name] = lit
+		fmt.Fprintf(os.Stderr, "wofuzz: minimized to %d thread(s) x %d op(s):\n%s\nBuilder code:\n%s",
+			sz.Threads, sz.MaxOps, lit, fuzz.EmitGo(min))
+		if outDir != "" {
+			if err := writeReproducer(outDir, min, name, lit); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func writeReproducer(dir string, min *program.Program, machine, lit string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, fmt.Sprintf("%s-%s", min.Name, machine))
+	if err := os.WriteFile(base+".litmus", []byte(lit), 0o644); err != nil {
+		return err
+	}
+	code := fmt.Sprintf("// %s: minimized Definition-2 violation on %s\n%s", min.Name, machine, fuzz.EmitGo(min))
+	return os.WriteFile(base+".go.txt", []byte(code), 0o644)
+}
+
+func writeJSON(path string, rep *campaignReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wofuzz: %v\n", err)
+	os.Exit(1)
+}

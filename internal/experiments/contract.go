@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"weakorder/internal/core"
+	"weakorder/internal/fuzz"
 	"weakorder/internal/litmus"
 	"weakorder/internal/model"
 	"weakorder/internal/par"
@@ -29,20 +29,11 @@ type ContractSummary struct {
 }
 
 // contractMachines are the hardware models E6 sweeps: every weakly ordered
-// machine (must honor the contract), the deliberately broken NonAtomic
-// machine, and the no-reserve ablation of the Section-5 implementation (both
-// must get caught).
+// machine (must honor the contract) plus the deliberately broken fixtures —
+// the NonAtomic machine and the no-reserve ablation of the Section-5
+// implementation (both must get caught).
 func contractMachines() []litmus.Factory {
-	fs := litmus.WeaklyOrderedFactories()
-	fs = append(fs, litmus.Factory{
-		Name: "network+cache-nonatomic",
-		New:  func(p *program.Program) model.Machine { return model.NewNonAtomic(p) },
-	})
-	fs = append(fs, litmus.Factory{
-		Name: "WO-def2-noreserve",
-		New:  func(p *program.Program) model.Machine { return model.NewWODef2NoReserve(p) },
-	})
-	return fs
+	return append(litmus.WeaklyOrderedFactories(), litmus.BrokenFactories()...)
 }
 
 // Contract runs E6 over n random straight-line programs at two
@@ -96,31 +87,16 @@ func Contract(n int, seed int64) (*ContractSummary, error) {
 		violated  []string // machines violating the contract on this program
 		racyNonSC bool
 	}
+	chk := &fuzz.Checker{Explorer: x, Machines: contractMachines()}
 	verdicts, err := par.Map(progs, 0, func(_ int, p *program.Program) (verdict, error) {
 		var v verdict
-		enum := &model.Enumerator{Prog: p, Explorer: x}
-		rep, err := core.CheckProgram(enum, core.DRF0{}, 1)
+		rep, err := chk.Check(p)
 		if err != nil {
-			return v, fmt.Errorf("contract: DRF0 check of %s: %w", p.Name, err)
+			return v, fmt.Errorf("contract: %w", err)
 		}
-		v.obeys = rep.Obeys()
-		scOut, _, err := x.Outcomes(model.NewSC(p))
-		if err != nil {
-			return v, fmt.Errorf("contract: SC outcomes of %s: %w", p.Name, err)
-		}
-		for _, f := range contractMachines() {
-			hwOut, _, err := x.Outcomes(f.New(p))
-			if err != nil {
-				return v, fmt.Errorf("contract: %s outcomes of %s: %w", f.Name, p.Name, err)
-			}
-			crep := core.CheckContract(p.Name, f.Name, v.obeys, scOut, hwOut)
-			if v.obeys && !crep.Honored() {
-				v.violated = append(v.violated, f.Name)
-			}
-			if !v.obeys && len(crep.Extra) > 0 {
-				v.racyNonSC = true
-			}
-		}
+		v.obeys = rep.DRF0
+		v.violated = rep.Violating()
+		v.racyNonSC = rep.RacyNonSC()
 		return v, nil
 	})
 	if err != nil {

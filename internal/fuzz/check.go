@@ -1,0 +1,177 @@
+// Package fuzz implements the differential litmus fuzzer: it attacks the
+// paper's Definition-2 contract — hardware is weakly ordered w.r.t. DRF0 iff
+// it appears sequentially consistent to all DRF0 software — with far more
+// programs than the hand-written litmus corpus holds.
+//
+// The pipeline has three stages, each usable on its own:
+//
+//   - Checker differentially runs one program on every machine under test
+//     against the SC reference, asserting outcome-set containment
+//     (outcomes(M, P) ⊆ outcomes(SC, P)) for DRF0 programs and recording —
+//     but not failing on — non-SC outcomes of racy ones.
+//   - Minimize delta-debugs a violating program (drop threads, drop
+//     instructions, merge addresses), re-verifying after every step that the
+//     program still obeys DRF0 and the violation still reproduces.
+//   - EmitGo / EmitLitmus render a minimized reproducer as ready-to-paste
+//     program.Builder code and as a corpus file in the repository's litmus
+//     text format.
+//
+// Three harnesses drive the pipeline: the native `go test -fuzz=FuzzContract`
+// target in this package (seed corpus under testdata/fuzz/), the cmd/wofuzz
+// CLI, and the nightly CI fuzz workflow.
+package fuzz
+
+import (
+	"fmt"
+
+	"weakorder/internal/core"
+	"weakorder/internal/litmus"
+	"weakorder/internal/mem"
+	"weakorder/internal/model"
+	"weakorder/internal/program"
+)
+
+// Checker differentially tests programs against the SC reference.
+// The zero value checks every weakly ordered machine with a trace-bounded
+// default explorer.
+type Checker struct {
+	// Explorer configures exploration; nil uses DefaultExplorer().
+	Explorer *model.Explorer
+	// Machines are the hardware models under test; nil means
+	// litmus.WeaklyOrderedFactories() — the machines that *claim* the
+	// contract and must therefore never violate it.
+	Machines []litmus.Factory
+}
+
+// DefaultExplorer returns the exploration settings the fuzzing harnesses use:
+// Result-preserving enumeration bounded enough that a pathological random
+// program aborts with model.ErrStateBudget instead of hanging the run.
+func DefaultExplorer() *model.Explorer {
+	return &model.Explorer{MaxTraceOps: 40, MaxStates: 400_000}
+}
+
+func (c *Checker) explorer() *model.Explorer {
+	if c.Explorer != nil {
+		return c.Explorer
+	}
+	return DefaultExplorer()
+}
+
+func (c *Checker) machines() []litmus.Factory {
+	if c.Machines != nil {
+		return c.Machines
+	}
+	return litmus.WeaklyOrderedFactories()
+}
+
+// MachineReport is one machine's verdict on one program.
+type MachineReport struct {
+	Machine  string
+	Outcomes int
+	// Extra lists outcomes the machine produced outside the SC set. On a
+	// DRF0 program any entry is a Definition-2 violation; on a racy program
+	// entries are informational (evidence the relaxations are real).
+	Extra []mem.Result
+}
+
+// Report is the differential verdict for one program.
+type Report struct {
+	Prog       *program.Program
+	DRF0       bool // whether the program obeys DRF0 (Definition 3)
+	Executions int  // idealized executions enumerated for the DRF0 verdict
+	SCOutcomes int
+	Machines   []MachineReport
+}
+
+// Violating returns the machines that broke the Definition-2 contract on this
+// program: produced an outcome outside the SC set although the program obeys
+// DRF0. Empty for racy programs by construction.
+func (r *Report) Violating() []string {
+	if !r.DRF0 {
+		return nil
+	}
+	var out []string
+	for _, m := range r.Machines {
+		if len(m.Extra) > 0 {
+			out = append(out, m.Machine)
+		}
+	}
+	return out
+}
+
+// RacyNonSC reports whether the program is racy AND some machine produced a
+// non-SC outcome on it — the informational counterpart of a violation.
+func (r *Report) RacyNonSC() bool {
+	if r.DRF0 {
+		return false
+	}
+	for _, m := range r.Machines {
+		if len(m.Extra) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs the full differential pipeline on one program: decide DRF0 by
+// enumerating all idealized executions (Definition 3), collect the SC outcome
+// set, then check Definition-2 containment for every machine under test.
+func (c *Checker) Check(p *program.Program) (*Report, error) {
+	x := c.explorer()
+	rep := &Report{Prog: p}
+	enum := &model.Enumerator{Prog: p, Explorer: x}
+	drf, err := core.CheckProgram(enum, core.DRF0{}, 1)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: DRF0 check of %s: %w", p.Name, err)
+	}
+	rep.DRF0 = drf.Obeys()
+	rep.Executions = drf.Executions
+	scOut, _, err := x.Outcomes(model.NewSC(p))
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: SC outcomes of %s: %w", p.Name, err)
+	}
+	rep.SCOutcomes = len(scOut)
+	for _, f := range c.machines() {
+		hwOut, _, err := x.Outcomes(f.New(p))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %s outcomes of %s: %w", f.Name, p.Name, err)
+		}
+		crep := core.CheckContract(p.Name, f.Name, rep.DRF0, scOut, hwOut)
+		rep.Machines = append(rep.Machines, MachineReport{
+			Machine:  f.Name,
+			Outcomes: len(hwOut),
+			Extra:    crep.Extra,
+		})
+	}
+	return rep, nil
+}
+
+// violates reports whether the program (a) obeys DRF0 and (b) still produces
+// an outcome outside the SC set on the single given machine. It is the
+// predicate the shrinker re-verifies after every candidate reduction; any
+// exploration error (state budget, deadlock introduced by a bad reduction)
+// counts as "does not violate" so the candidate is simply rejected.
+func violates(p *program.Program, f litmus.Factory, x *model.Explorer) bool {
+	if p == nil || len(p.Threads) == 0 || p.Validate() != nil {
+		return false
+	}
+	enum := &model.Enumerator{Prog: p, Explorer: x}
+	drf, err := core.CheckProgram(enum, core.DRF0{}, 1)
+	if err != nil || !drf.Obeys() {
+		return false
+	}
+	scOut, _, err := x.Outcomes(model.NewSC(p))
+	if err != nil {
+		return false
+	}
+	hwOut, _, err := x.Outcomes(f.New(p))
+	if err != nil {
+		return false
+	}
+	for k := range hwOut {
+		if _, ok := scOut[k]; !ok {
+			return true
+		}
+	}
+	return false
+}

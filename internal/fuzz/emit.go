@@ -1,0 +1,192 @@
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// branchLabels assigns a label name to every branch target of one thread, so
+// both emitters can render structured branches instead of raw indices.
+func branchLabels(code program.Code) map[int]string {
+	labels := make(map[int]string)
+	for _, in := range code {
+		switch in.Op {
+		case program.IBeq, program.IBne, program.IBlt, program.IJmp:
+			if _, ok := labels[in.Target]; !ok {
+				labels[in.Target] = fmt.Sprintf("L%d", in.Target)
+			}
+		}
+	}
+	return labels
+}
+
+func sortedInit(init map[mem.Addr]mem.Value) []mem.Addr {
+	addrs := make([]mem.Addr, 0, len(init))
+	for a := range init {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// EmitGo renders the program as ready-to-paste program.Builder code — the
+// form a minimized reproducer is pasted into a regression test as.
+func EmitGo(p *program.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "b := program.NewBuilder(%q)\n", p.Name)
+	for _, a := range sortedInit(p.Init) {
+		fmt.Fprintf(&b, "b.Init(%d, %d)\n", a, p.Init[a])
+	}
+	for _, code := range p.Threads {
+		fmt.Fprintf(&b, "b.Thread()\n")
+		labels := branchLabels(code)
+		for i, in := range code {
+			if lbl, ok := labels[i]; ok {
+				fmt.Fprintf(&b, "b.Label(%q)\n", lbl)
+			}
+			b.WriteString(emitGoInstr(in, labels))
+			b.WriteByte('\n')
+		}
+		// A branch may target the instruction slot one past the last emitted
+		// instruction only if Validate rejected it earlier; targets are
+		// always < len(code), so every label was emitted above.
+	}
+	fmt.Fprintf(&b, "p := b.MustBuild()\n")
+	return b.String()
+}
+
+func goOperand(o program.Operand) string {
+	if o.IsReg {
+		return fmt.Sprintf("program.R(%d)", o.Reg)
+	}
+	return fmt.Sprintf("program.Imm(%d)", o.Imm)
+}
+
+func emitGoInstr(in program.Instr, labels map[int]string) string {
+	switch in.Op {
+	case program.INop:
+		return fmt.Sprintf("b.Nop(%d)", in.Delay)
+	case program.IMov:
+		return fmt.Sprintf("b.Mov(%d, %s)", in.Rd, goOperand(in.Src))
+	case program.IAdd:
+		return fmt.Sprintf("b.Add(%d, %d, %s)", in.Rd, in.Ra, goOperand(in.Src))
+	case program.ISub:
+		return fmt.Sprintf("b.Sub(%d, %d, %s)", in.Rd, in.Ra, goOperand(in.Src))
+	case program.IMul:
+		return fmt.Sprintf("b.Mul(%d, %d, %s)", in.Rd, in.Ra, goOperand(in.Src))
+	case program.ILoad:
+		if in.UseAddrReg {
+			return fmt.Sprintf("b.LoadIdx(%d, %d, %d)", in.Rd, in.Addr, in.AddrReg)
+		}
+		return fmt.Sprintf("b.Load(%d, %d)", in.Rd, in.Addr)
+	case program.IStore:
+		if in.UseAddrReg {
+			return fmt.Sprintf("b.StoreIdx(%d, %d, %s)", in.Addr, in.AddrReg, goOperand(in.Src))
+		}
+		return fmt.Sprintf("b.Store(%d, %s)", in.Addr, goOperand(in.Src))
+	case program.ISyncLoad:
+		return fmt.Sprintf("b.SyncLoad(%d, %d)", in.Rd, in.Addr)
+	case program.ISyncStore:
+		return fmt.Sprintf("b.SyncStore(%d, %s)", in.Addr, goOperand(in.Src))
+	case program.ISyncRMW:
+		if in.RMW == program.RMWAdd {
+			return fmt.Sprintf("b.FetchAdd(%d, %d, %s)", in.Rd, in.Addr, goOperand(in.Src))
+		}
+		return fmt.Sprintf("b.TestAndSet(%d, %d, %s)", in.Rd, in.Addr, goOperand(in.Src))
+	case program.IBeq:
+		return fmt.Sprintf("b.Beq(%d, %s, %q)", in.Ra, goOperand(in.Src), labels[in.Target])
+	case program.IBne:
+		return fmt.Sprintf("b.Bne(%d, %s, %q)", in.Ra, goOperand(in.Src), labels[in.Target])
+	case program.IBlt:
+		return fmt.Sprintf("b.Blt(%d, %s, %q)", in.Ra, goOperand(in.Src), labels[in.Target])
+	case program.IJmp:
+		return fmt.Sprintf("b.Jmp(%q)", labels[in.Target])
+	case program.IHalt:
+		return "b.Halt()"
+	default:
+		return fmt.Sprintf("// unknown opcode %d", in.Op)
+	}
+}
+
+// EmitLitmus renders the program in the repository's litmus text format
+// (program.Parse's grammar), suitable as a corpus file. Locations keep their
+// numeric addresses as symbolic names ("x101"); Parse reassigns dense
+// addresses on reload, which preserves the program's structure — and
+// therefore any contract violation, since the machines treat addresses
+// opaquely. The header comments carry provenance the grammar has no clause
+// for.
+func EmitLitmus(p *program.Program, comments ...string) string {
+	var b strings.Builder
+	for _, c := range comments {
+		fmt.Fprintf(&b, "# %s\n", c)
+	}
+	fmt.Fprintf(&b, "name: %s\n", p.Name)
+	if len(p.Init) > 0 {
+		b.WriteString("init:")
+		for _, a := range sortedInit(p.Init) {
+			fmt.Fprintf(&b, " x%d=%d", a, p.Init[a])
+		}
+		b.WriteByte('\n')
+	}
+	for _, code := range p.Threads {
+		b.WriteString("thread:\n")
+		labels := branchLabels(code)
+		for i, in := range code {
+			if lbl, ok := labels[i]; ok {
+				fmt.Fprintf(&b, "%s:\n", lbl)
+			}
+			fmt.Fprintf(&b, "    %s\n", emitLitmusInstr(in, labels))
+		}
+	}
+	return b.String()
+}
+
+func litmusOperand(o program.Operand) string {
+	if o.IsReg {
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+	return fmt.Sprintf("%d", o.Imm)
+}
+
+func litmusLoc(in program.Instr) string {
+	if in.UseAddrReg {
+		return fmt.Sprintf("x%d[r%d]", in.Addr, in.AddrReg)
+	}
+	return fmt.Sprintf("x%d", in.Addr)
+}
+
+func emitLitmusInstr(in program.Instr, labels map[int]string) string {
+	switch in.Op {
+	case program.INop:
+		return fmt.Sprintf("nop %d", in.Delay)
+	case program.IMov:
+		return fmt.Sprintf("mov r%d, %s", in.Rd, litmusOperand(in.Src))
+	case program.IAdd, program.ISub, program.IMul:
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.Rd, in.Ra, litmusOperand(in.Src))
+	case program.ILoad:
+		return fmt.Sprintf("ld r%d, %s", in.Rd, litmusLoc(in))
+	case program.IStore:
+		return fmt.Sprintf("st %s, %s", litmusLoc(in), litmusOperand(in.Src))
+	case program.ISyncLoad:
+		return fmt.Sprintf("sync.ld r%d, %s", in.Rd, litmusLoc(in))
+	case program.ISyncStore:
+		return fmt.Sprintf("sync.st %s, %s", litmusLoc(in), litmusOperand(in.Src))
+	case program.ISyncRMW:
+		if in.RMW == program.RMWAdd {
+			return fmt.Sprintf("faa r%d, %s, %s", in.Rd, litmusLoc(in), litmusOperand(in.Src))
+		}
+		return fmt.Sprintf("tas r%d, %s, %s", in.Rd, litmusLoc(in), litmusOperand(in.Src))
+	case program.IBeq, program.IBne, program.IBlt:
+		return fmt.Sprintf("%s r%d, %s, %s", in.Op, in.Ra, litmusOperand(in.Src), labels[in.Target])
+	case program.IJmp:
+		return fmt.Sprintf("jmp %s", labels[in.Target])
+	case program.IHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("# unknown opcode %d", in.Op)
+	}
+}

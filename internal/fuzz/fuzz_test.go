@@ -1,0 +1,316 @@
+package fuzz
+
+import (
+	"errors"
+	"testing"
+
+	"weakorder/internal/litmus"
+	"weakorder/internal/model"
+	"weakorder/internal/program"
+	"weakorder/internal/workload"
+)
+
+// noReserve is the deliberately broken fixture: the Section-5 machine with
+// the reserve-bit stall dropped. It is NOT weakly ordered w.r.t. DRF0, and
+// the fuzzer must catch it.
+func noReserve() litmus.Factory {
+	return litmus.Factory{
+		Name: "WO-def2-noreserve",
+		New:  func(p *program.Program) model.Machine { return model.NewWODef2NoReserve(p) },
+	}
+}
+
+// TestCheckerCatchesAndShrinksNoReserve is the end-to-end acceptance test of
+// the pipeline: a short differential campaign over guarded random programs
+// must catch the no-reserve ablation, and delta-debugging must shrink the
+// witness to at most 3 threads of at most 4 instructions whose emitted
+// corpus file re-triggers the violation after a parse round-trip.
+func TestCheckerCatchesAndShrinksNoReserve(t *testing.T) {
+	chk := &Checker{Machines: []litmus.Factory{noReserve()}}
+	var caught *program.Program
+	for seed := int64(0); seed < 20 && caught == nil; seed++ {
+		p := workload.RandomGuarded(seed, 1+int(seed%3), int(seed%2))
+		rep, err := chk.Check(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violating()) > 0 {
+			caught = p
+		}
+	}
+	if caught == nil {
+		t.Fatal("20 guarded programs never caught the no-reserve ablation; the checker is toothless")
+	}
+
+	min := Minimize(caught, noReserve(), nil)
+	if !violates(min, noReserve(), DefaultExplorer()) {
+		t.Fatal("minimized program lost the violation")
+	}
+	sz := SizeOf(min)
+	t.Logf("minimized %v from %v:\n%s", sz, SizeOf(caught), EmitGo(min))
+	if sz.Threads > 3 {
+		t.Errorf("minimized to %d threads, want <= 3", sz.Threads)
+	}
+	if sz.MaxOps > 4 {
+		t.Errorf("minimized to %d ops in the longest thread, want <= 4", sz.MaxOps)
+	}
+
+	// The emitted corpus file must survive a parse round-trip with the
+	// violation intact (addresses are renamed densely by the parser; the
+	// machines don't care).
+	src := EmitLitmus(min, "minimized no-reserve witness")
+	res, err := program.Parse(src)
+	if err != nil {
+		t.Fatalf("emitted litmus does not parse: %v\n%s", err, src)
+	}
+	if !violates(res.Program, noReserve(), DefaultExplorer()) {
+		t.Fatalf("round-tripped reproducer lost the violation:\n%s", src)
+	}
+}
+
+// TestWeaklyOrderedMachinesSurviveSweep is the standing correctness gate: a
+// short sweep of mixed random programs across every machine that claims the
+// Definition-2 contract must find no violation.
+func TestWeaklyOrderedMachinesSurviveSweep(t *testing.T) {
+	chk := &Checker{}
+	for seed := int64(0); seed < 12; seed++ {
+		cfg := workload.RandomConfig{
+			Procs:       2 + int(seed%2),
+			Ops:         2 + int(seed%3),
+			SyncDensity: 20 + int(seed*13%60),
+			RMWPct:      20,
+			CondPct:     int(seed * 17 % 50),
+		}
+		p := workload.Random(seed, cfg)
+		rep, err := chk.Check(p)
+		if err != nil {
+			if errors.Is(err, model.ErrStateBudget) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if v := rep.Violating(); len(v) > 0 {
+			min := Minimize(p, mustFactory(t, v[0]), nil)
+			t.Fatalf("machine(s) %v violated the contract on seed %d; minimized reproducer:\n%s",
+				v, seed, EmitGo(min))
+		}
+	}
+}
+
+func mustFactory(t *testing.T, name string) litmus.Factory {
+	t.Helper()
+	f, ok := litmus.FactoryByName(name)
+	if !ok {
+		t.Fatalf("unknown factory %q", name)
+	}
+	return f
+}
+
+// FuzzContract is the native fuzzing harness: every input derives a random
+// generator configuration, and every machine claiming the Definition-2
+// contract must keep its outcomes inside the SC set on DRF0 programs. Racy
+// programs are informational only. Run with
+//
+//	go test ./internal/fuzz -run='^$' -fuzz=FuzzContract -fuzztime=30s
+func FuzzContract(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(1), byte(30), byte(34), byte(0))
+	f.Add(int64(7), byte(1), byte(2), byte(60), byte(80), byte(40))
+	f.Add(int64(42), byte(2), byte(0), byte(45), byte(10), byte(55))
+	f.Fuzz(func(t *testing.T, seed int64, procs, ops, syncDensity, rmwPct, condPct byte) {
+		cfg := workload.RandomConfig{
+			Procs:       2 + int(procs%3),
+			DataVars:    1 + int(procs/3%2),
+			SyncVars:    1 + int(ops/3%2),
+			Ops:         2 + int(ops%3),
+			SyncDensity: 10 + int(syncDensity)%81,
+			RMWPct:      1 + int(rmwPct)%99,
+			SyncReadPct: 1 + int(rmwPct/2)%99,
+			CondPct:     int(condPct) % 61,
+		}
+		if cfg.Procs >= 4 {
+			// Four-processor interleavings explode the Result-keyed state
+			// space; two ops per thread keeps exploration exhaustive.
+			cfg.Ops = 2
+		}
+		p := workload.Random(seed, cfg)
+		// Tighter state budget than DefaultExplorer: go fuzzing treats any
+		// input running past ~10s as a hang, and a sparse-sync 4-processor
+		// program can spend that long across nine explorations at the default
+		// budget. 100k states keeps the worst input a few seconds and turns
+		// the pathological ones into skips.
+		chk := &Checker{Explorer: &model.Explorer{MaxTraceOps: 40, MaxStates: 100_000}}
+		rep, err := chk.Check(p)
+		if err != nil {
+			if errors.Is(err, model.ErrStateBudget) {
+				t.Skip("state budget exhausted; input too large to enumerate")
+			}
+			t.Fatal(err)
+		}
+		if v := rep.Violating(); len(v) > 0 {
+			fac, ok := litmus.FactoryByName(v[0])
+			if !ok {
+				t.Fatalf("machine(s) %v violated the contract (factory lookup failed)", v)
+			}
+			min := Minimize(p, fac, nil)
+			t.Fatalf("DEFINITION-2 VIOLATION on %v (seed %d)\nminimized reproducer (Builder code):\n%s\ncorpus file:\n%s",
+				v, seed, EmitGo(min), EmitLitmus(min))
+		}
+		if rep.RacyNonSC() {
+			t.Logf("racy program %s: non-SC outcomes observed (informational)", p.Name)
+		}
+	})
+}
+
+// TestEmitGoRendersAllForms pins the Builder-code emitter's output for a
+// program exercising every instruction form the generator can produce.
+func TestEmitGoRendersAllForms(t *testing.T) {
+	b := program.NewBuilder("forms")
+	b.Init(5, 9)
+	b.Thread()
+	b.Mov(1, program.Imm(3))
+	b.Add(2, 1, program.R(1))
+	b.Store(10, program.R(2))
+	b.SyncStore(20, program.Imm(1))
+	b.Halt()
+	b.Thread()
+	b.SyncLoad(0, 20)
+	b.Beq(0, program.Imm(0), "end")
+	b.Load(1, 10)
+	b.TestAndSet(2, 21, program.Imm(1))
+	b.FetchAdd(3, 21, program.Imm(2))
+	b.Label("end")
+	b.Halt()
+	p := b.MustBuild()
+
+	got := EmitGo(p)
+	want := `b := program.NewBuilder("forms")
+b.Init(5, 9)
+b.Thread()
+b.Mov(1, program.Imm(3))
+b.Add(2, 1, program.R(1))
+b.Store(10, program.R(2))
+b.SyncStore(20, program.Imm(1))
+b.Halt()
+b.Thread()
+b.SyncLoad(0, 20)
+b.Beq(0, program.Imm(0), "L5")
+b.Load(1, 10)
+b.TestAndSet(2, 21, program.Imm(1))
+b.FetchAdd(3, 21, program.Imm(2))
+b.Label("L5")
+b.Halt()
+p := b.MustBuild()
+`
+	if got != want {
+		t.Errorf("EmitGo mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEmitLitmusRoundTrip checks structural equality through the parser:
+// same thread count, same opcode/RMW sequences (addresses are densely
+// renamed by Parse, so they are compared per-location-class only).
+func TestEmitLitmusRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := workload.Random(seed, workload.RandomConfig{
+			Procs: 2, Ops: 4, SyncDensity: 50, RMWPct: 30, CondPct: 40, FetchAddPct: 25,
+		})
+		src := EmitLitmus(p, "round-trip test")
+		res, err := program.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: emitted litmus does not parse: %v\n%s", seed, err, src)
+		}
+		q := res.Program
+		if len(q.Threads) != len(p.Threads) {
+			t.Fatalf("seed %d: thread count %d -> %d", seed, len(p.Threads), len(q.Threads))
+		}
+		for ti := range p.Threads {
+			if len(q.Threads[ti]) != len(p.Threads[ti]) {
+				t.Fatalf("seed %d T%d: length %d -> %d", seed, ti, len(p.Threads[ti]), len(q.Threads[ti]))
+			}
+			for ii := range p.Threads[ti] {
+				a, b := p.Threads[ti][ii], q.Threads[ti][ii]
+				if a.Op != b.Op || a.RMW != b.RMW || a.Rd != b.Rd || a.Ra != b.Ra || a.Target != b.Target {
+					t.Fatalf("seed %d T%d@%d: %s -> %s", seed, ti, ii, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestMinimizeDropsJunk pads the canonical guarded message-passing witness
+// with junk instructions and checks the minimizer strips all of it while
+// preserving the violation.
+func TestMinimizeDropsJunk(t *testing.T) {
+	b := program.NewBuilder("padded")
+	b.Thread() // producer with junk
+	b.Nop(1)
+	b.Store(101, program.Imm(7))
+	b.Load(3, 102)
+	b.SyncStore(200, program.Imm(1))
+	b.Halt()
+	b.Thread() // consumer with junk
+	b.Mov(2, program.Imm(9))
+	b.SyncLoad(0, 200)
+	b.Beq(0, program.Imm(0), "skip")
+	b.Load(1, 101)
+	b.Label("skip")
+	b.Halt()
+	b.Thread() // bystander thread, entirely junk
+	b.Load(2, 102)
+	b.Halt()
+	p := b.MustBuild()
+
+	f := noReserve()
+	if !violates(p, f, DefaultExplorer()) {
+		t.Fatal("padded witness does not violate; test setup wrong")
+	}
+	min := Minimize(p, f, nil)
+	sz := SizeOf(min)
+	if sz.Threads != 2 {
+		t.Errorf("threads = %d, want 2 (bystander dropped)", sz.Threads)
+	}
+	// The consumer bottoms out at 4 instructions: sync.ld, beq, ld, and the
+	// halt the beq targets (dropping the halt would dangle the branch).
+	if sz.MaxOps > 4 {
+		t.Errorf("longest thread = %d ops, want <= 4:\n%s", sz.MaxOps, EmitGo(min))
+	}
+	if !violates(min, f, DefaultExplorer()) {
+		t.Error("minimized program lost the violation")
+	}
+	// 1-minimality spot check: dropping any remaining instruction loses it.
+	for ti := range min.Threads {
+		for ii := range min.Threads[ti] {
+			if violates(dropOp(min, ti, ii), f, DefaultExplorer()) {
+				t.Errorf("not 1-minimal: dropping T%d@%d keeps the violation", ti, ii)
+			}
+		}
+	}
+}
+
+// TestDropOpFixesBranchTargets exercises the index arithmetic directly.
+func TestDropOpFixesBranchTargets(t *testing.T) {
+	b := program.NewBuilder("branches")
+	b.Thread()
+	b.Mov(0, program.Imm(1))        // 0 (dropped)
+	b.Beq(0, program.Imm(0), "end") // 1
+	b.Nop(1)                        // 2
+	b.Label("end")
+	b.Halt() // 3
+	p := b.MustBuild()
+
+	q := dropOp(p, 0, 0)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Threads[0][0].Target; got != 2 {
+		t.Errorf("branch target after drop = %d, want 2", got)
+	}
+	// Dropping the branch's own target retargets to the successor.
+	r := dropOp(p, 0, 3)
+	if got := r.Threads[0][1].Target; got != 3 {
+		t.Errorf("branch target after dropping its target = %d, want 3 (past end => invalid)", got)
+	}
+	if err := r.Validate(); err == nil {
+		t.Error("dangling branch target should fail validation")
+	}
+}

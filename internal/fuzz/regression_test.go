@@ -1,0 +1,49 @@
+package fuzz
+
+import (
+	"testing"
+
+	"weakorder/internal/program"
+)
+
+// TestNoReserveReproducerRegression pins the minimized counterexample the
+// fuzzer produced against the reserve-bit ablation. The builder code below
+// is pasted verbatim from EmitGo's output for the shrunk witness
+// (TestCheckerCatchesAndShrinksNoReserve logs it): the producer's data store
+// is still in flight when its synchronization write commits, and without the
+// reservation stall the consumer's guarded read can observe the flag before
+// the data — an outcome no SC execution allows. Any machine change that
+// reintroduces the bug class fails here with a 2×4 program instead of a
+// random campaign.
+func TestNoReserveReproducerRegression(t *testing.T) {
+	b := program.NewBuilder("guarded-0-min")
+	b.Thread()
+	b.Store(100, program.Imm(25))
+	b.SyncStore(200, program.Imm(1))
+	b.Thread()
+	b.SyncLoad(0, 200)
+	b.Beq(0, program.Imm(0), "L3")
+	b.Load(1, 100)
+	b.Label("L3")
+	b.Halt()
+	p := b.MustBuild()
+
+	f := noReserve()
+	if !violates(p, f, DefaultExplorer()) {
+		t.Fatal("pasted reproducer no longer violates on WO-def2-noreserve")
+	}
+
+	// The same program must be harmless on the real Section-5 machine and on
+	// the SC reference — the violation is the ablation's alone.
+	chk := &Checker{}
+	rep, err := chk.Check(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DRF0 {
+		t.Fatal("reproducer must obey DRF0 (otherwise Definition 2 promises nothing)")
+	}
+	if v := rep.Violating(); len(v) > 0 {
+		t.Fatalf("weakly ordered machines %v violate on the reproducer; real bug!", v)
+	}
+}

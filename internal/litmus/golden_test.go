@@ -1,0 +1,126 @@
+package litmus
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"weakorder/internal/model"
+	"weakorder/internal/par"
+)
+
+// renderReport formats RunAll's outcomes the way cmd/litmus prints them: one
+// Outcome.String() per line, in returned order.
+func renderReport(t *testing.T, tests []*Test, fs []Factory) string {
+	t.Helper()
+	x := &model.Explorer{MaxTraceOps: 20}
+	out, err := RunAll(tests, fs, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, o := range out {
+		b.WriteString(o.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestRunAllReportDeterministicAcrossPoolWidths pins RunAll's determinism
+// contract: the report text is byte-identical whether the (test, machine)
+// cells run on a single worker or fan out across every core. A diff here
+// means some cell's outcome depends on scheduling — exactly the bug class a
+// memory-model checker cannot afford in its own harness.
+func TestRunAllReportDeterministicAcrossPoolWidths(t *testing.T) {
+	// A corpus slice large enough to make the pool reorder completions, small
+	// enough to keep the test quick.
+	tests := Corpus()
+	if len(tests) > 6 {
+		tests = tests[:6]
+	}
+	fs := Factories()
+
+	restore := par.SetWorkers(1)
+	serial := renderReport(t, tests, fs)
+	restore()
+
+	restore = par.SetWorkers(runtime.GOMAXPROCS(0))
+	wide := renderReport(t, tests, fs)
+	restore()
+
+	if serial != wide {
+		t.Fatalf("report differs between 1 worker and %d workers:\n--- serial ---\n%s--- wide ---\n%s",
+			runtime.GOMAXPROCS(0), serial, wide)
+	}
+	// Sanity: the report actually contains one line per (test, machine) cell.
+	if got, want := strings.Count(serial, "\n"), len(tests)*len(fs); got != want {
+		t.Fatalf("report has %d lines, want %d", got, want)
+	}
+}
+
+func TestFactoriesByNames(t *testing.T) {
+	names := func(fs []Factory) []string {
+		var out []string
+		for _, f := range fs {
+			out = append(out, f.Name)
+		}
+		return out
+	}
+	cases := []struct {
+		csv  string
+		want []string
+	}{
+		{"SC", []string{"SC"}},
+		{"SC, WO-def2", []string{"SC", "WO-def2"}},
+		{"weak", names(WeaklyOrderedFactories())},
+		{"all", names(Factories())},
+		{"broken", []string{"network+cache-nonatomic", "WO-def2-noreserve"}},
+		// Duplicates collapse to the first occurrence; aliases and explicit
+		// names mix freely.
+		{"SC,SC,SC", []string{"SC"}},
+		{"WO-def2,weak", append([]string{"WO-def2"}, func() []string {
+			var rest []string
+			for _, n := range names(WeaklyOrderedFactories()) {
+				if n != "WO-def2" {
+					rest = append(rest, n)
+				}
+			}
+			return rest
+		}()...)},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		fs, err := FactoriesByNames(tc.csv)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.csv, err)
+		}
+		got := names(fs)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%q: got %v, want %v", tc.csv, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%q: got %v, want %v", tc.csv, got, tc.want)
+			}
+		}
+	}
+	if _, err := FactoriesByNames("weak,no-such-machine"); err == nil ||
+		!strings.Contains(err.Error(), "no-such-machine") {
+		t.Fatalf("unknown machine error = %v, want it to name the offender", err)
+	}
+}
+
+// TestFactoryByNameFindsBrokenFixtures ensures the catch-and-shrink pipeline
+// can resolve a violating machine's name back to a factory even when the
+// machine is one of the deliberately broken fixtures outside Factories().
+func TestFactoryByNameFindsBrokenFixtures(t *testing.T) {
+	for _, name := range []string{"network+cache-nonatomic", "WO-def2-noreserve"} {
+		f, ok := FactoryByName(name)
+		if !ok {
+			t.Fatalf("FactoryByName(%q) not found", name)
+		}
+		if f.New == nil {
+			t.Fatalf("FactoryByName(%q) has nil constructor", name)
+		}
+	}
+}

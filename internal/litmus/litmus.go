@@ -6,6 +6,7 @@ package litmus
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"weakorder/internal/model"
 	"weakorder/internal/par"
@@ -36,14 +37,69 @@ func Factories() []Factory {
 	}
 }
 
-// FactoryByName returns the named factory.
+// FactoryByName returns the named factory, searching the standard set and the
+// deliberately broken fixtures.
 func FactoryByName(name string) (Factory, bool) {
-	for _, f := range Factories() {
+	for _, f := range append(Factories(), BrokenFactories()...) {
 		if f.Name == name {
 			return f, true
 		}
 	}
 	return Factory{}, false
+}
+
+// BrokenFactories returns the deliberately broken machines used to prove the
+// contract checker has teeth: the cached network without write atomicity, and
+// the Section-5 implementation with its reserve-bit stall ablated. Both claim
+// (or approximate) weak ordering and both violate Definition 2 on DRF0
+// programs, so fuzzing campaigns include them as known-bad controls.
+func BrokenFactories() []Factory {
+	return []Factory{
+		{"network+cache-nonatomic", func(p *program.Program) model.Machine { return model.NewNonAtomic(p) }},
+		{"WO-def2-noreserve", func(p *program.Program) model.Machine { return model.NewWODef2NoReserve(p) }},
+	}
+}
+
+// FactoriesByNames resolves a comma-separated list of machine names into
+// factories, in list order. Three aliases expand in place: "weak" to
+// WeaklyOrderedFactories(), "all" to Factories(), and "broken" to
+// BrokenFactories(). Duplicates are dropped, keeping the first occurrence; an
+// unknown name is an error naming the offender.
+func FactoriesByNames(csv string) ([]Factory, error) {
+	var out []Factory
+	seen := make(map[string]bool)
+	add := func(f Factory) {
+		if !seen[f.Name] {
+			seen[f.Name] = true
+			out = append(out, f)
+		}
+	}
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "":
+			continue
+		case "weak":
+			for _, f := range WeaklyOrderedFactories() {
+				add(f)
+			}
+		case "all":
+			for _, f := range Factories() {
+				add(f)
+			}
+		case "broken":
+			for _, f := range BrokenFactories() {
+				add(f)
+			}
+		default:
+			f, ok := FactoryByName(name)
+			if !ok {
+				return nil, fmt.Errorf("litmus: unknown machine %q (try \"weak\", \"all\", or one of the Factories() names)", name)
+			}
+			add(f)
+		}
+	}
+	return out, nil
 }
 
 // WeaklyOrderedFactories returns the machines that claim to be weakly ordered

@@ -16,6 +16,11 @@ type Builder struct {
 	fixups  []fixup
 	err     error
 	curName int
+	// sawThread records whether an explicit Thread() call happened. Emitting
+	// instructions without one is the single-thread convenience; mixing the
+	// two styles is almost certainly a forgotten first Thread() call and
+	// fails loudly (see Thread).
+	sawThread bool
 }
 
 type fixup struct {
@@ -38,7 +43,17 @@ func (b *Builder) Init(a mem.Addr, v mem.Value) *Builder {
 }
 
 // Thread finishes the current thread (if any) and starts a new one.
+//
+// A program built without any Thread() call gets a single implicit thread
+// (the convenience used by single-thread interpreter tests); but once
+// instructions or labels have been emitted that way, a subsequent Thread()
+// call is rejected — it would silently turn the intended first thread into a
+// separate one, which is the classic forgotten-first-Thread() bug.
 func (b *Builder) Thread() *Builder {
+	if !b.sawThread && (len(b.cur) > 0 || len(b.labels) > 0 || len(b.fixups) > 0) {
+		b.fail("%d instruction(s)/label(s) emitted before the first Thread() call", len(b.cur)+len(b.labels))
+	}
+	b.sawThread = true
 	b.flush()
 	return b
 }

@@ -83,6 +83,113 @@ func TestBuilderForwardReference(t *testing.T) {
 	}
 }
 
+// TestBuilderErrorPaths sweeps the builder's failure modes table-style: every
+// misuse must surface as a loud Build error naming the problem, never as a
+// silently mangled program.
+func TestBuilderErrorPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Program, error)
+		want  string // substring the error must contain
+	}{
+		{
+			name: "duplicate label",
+			build: func() (*Program, error) {
+				return NewBuilder("bad").Thread().Label("x").Nop(1).Label("x").Halt().Build()
+			},
+			want: `duplicate label "x"`,
+		},
+		{
+			name: "duplicate label in second thread names the thread",
+			build: func() (*Program, error) {
+				return NewBuilder("bad").
+					Thread().Halt().
+					Thread().Label("y").Nop(1).Label("y").Halt().
+					Build()
+			},
+			want: "thread 1",
+		},
+		{
+			name: "branch to undefined label",
+			build: func() (*Program, error) {
+				return NewBuilder("bad").Thread().Beq(0, Imm(0), "gone").Halt().Build()
+			},
+			want: `undefined label "gone"`,
+		},
+		{
+			name: "jmp to undefined label",
+			build: func() (*Program, error) {
+				return NewBuilder("bad").Thread().Jmp("nowhere").Build()
+			},
+			want: `undefined label "nowhere"`,
+		},
+		{
+			name: "label from another thread does not resolve",
+			build: func() (*Program, error) {
+				return NewBuilder("bad").
+					Thread().Label("top").Halt().
+					Thread().Jmp("top").
+					Build()
+			},
+			want: `undefined label "top"`,
+		},
+		{
+			name: "ops before first Thread call",
+			build: func() (*Program, error) {
+				b := NewBuilder("bad")
+				b.Store(0, Imm(1)) // intended for "thread 0", but Thread() was forgotten
+				b.Thread().Load(0, 0).Halt()
+				return b.Build()
+			},
+			want: "before the first Thread() call",
+		},
+		{
+			name: "label before first Thread call",
+			build: func() (*Program, error) {
+				b := NewBuilder("bad")
+				b.Label("top")
+				b.Thread().Halt()
+				return b.Build()
+			},
+			want: "before the first Thread() call",
+		},
+		{
+			name: "zero-delay nop rejected by validation",
+			build: func() (*Program, error) {
+				return NewBuilder("bad").Thread().Nop(0).Build()
+			},
+			want: "nop delay must be >= 1",
+		},
+		{
+			name: "register out of range rejected by validation",
+			build: func() (*Program, error) {
+				return NewBuilder("bad").Thread().Load(NumRegs, 0).Halt().Build()
+			},
+			want: "register out of range",
+		},
+		{
+			name: "first error wins",
+			build: func() (*Program, error) {
+				// Both a duplicate label and an undefined branch: the report
+				// must be the duplicate, which happened first.
+				return NewBuilder("bad").Thread().Label("x").Label("x").Jmp("gone").Build()
+			},
+			want: "duplicate label",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.build()
+			if err == nil {
+				t.Fatalf("Build() accepted a bad program: %v", p)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
 func TestBuilderImplicitFirstThread(t *testing.T) {
 	// Emitting without an explicit Thread() call starts thread 0.
 	p, err := NewBuilder("implicit").Halt().Build()

@@ -88,6 +88,158 @@ func TestDetectorDRF1TestDoesNotRelease(t *testing.T) {
 	}
 }
 
+// TestDetectorSyncRMWOrdersBothWays pins the RMW's dual role: a TestAndSet
+// both acquires (its read component) and releases (its write component), so a
+// handoff chained through two RMWs is clean even under DRF1 — unlike the
+// Test/Unset split, where the direction matters.
+func TestDetectorSyncRMWOrdersBothWays(t *testing.T) {
+	// P1's TAS acquires P0's release and immediately re-releases, carrying
+	// W(x0) transitively to P2: W ≤po TAS0 → TAS1 → TAS2 ≤po R.
+	e := mem.NewExecution(3)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncRMW, Addr: 1, Value: 0, WValue: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 1, Value: 1, WValue: 2})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 2, Op: mem.OpSyncRMW, Addr: 1, Value: 2, WValue: 3})
+	e.Append(mem.Access{Proc: 2, Op: mem.OpRead, Addr: 0, Value: 1})
+	for _, m := range []core.SyncModel{core.DRF0{}, core.DRF1{}} {
+		races, err := CheckExecution(e, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(races) != 0 {
+			t.Fatalf("%s: RMW chain should transitively order all accesses: %v", m.Name(), races)
+		}
+	}
+}
+
+// TestDetectorDRF1UnsetDoesNotAcquire exercises the syntheticRelease gate on
+// the acquire side: under DRF1 a write-only synchronization operation (Unset)
+// observes nothing, so it must not inherit the location's release clock even
+// though a release clock exists. The same execution is clean under DRF0,
+// where any sync pair on the location synchronizes.
+func TestDetectorDRF1UnsetDoesNotAcquire(t *testing.T) {
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncWrite, Addr: 1, Value: 2})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	r0, err := CheckExecution(e, core.DRF0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r0) != 0 {
+		t.Fatalf("DRF0: any sync pair orders, expected clean: %v", r0)
+	}
+	r1, err := CheckExecution(e, core.DRF1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != 1 {
+		t.Fatalf("DRF1: the second Unset acquires nothing, expected the W/R race: %v", r1)
+	}
+}
+
+// TestDetectorDRF1ReleaseSurvivesIntermediateTest pins the release-clock
+// bookkeeping behind syntheticRelease/syntheticAcquire: a read-only Test by a
+// third party between the Unset and the acquiring Test must neither erase nor
+// launder the release clock — the eventual acquirer still inherits the
+// original release, and the bystander contributes nothing.
+func TestDetectorDRF1ReleaseSurvivesIntermediateTest(t *testing.T) {
+	e := mem.NewExecution(3)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 2, Op: mem.OpSyncRead, Addr: 1, Value: 1}) // bystander Test
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRead, Addr: 1, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	races, err := CheckExecution(e, core.DRF1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 0 {
+		t.Fatalf("DRF1: consumer acquires the producer's release despite bystander: %v", races)
+	}
+}
+
+// TestDetectorSyncDataConflictIsARace documents that only sync-sync pairs are
+// exempt from racing: a data write and a *synchronization* read of the same
+// location on different processors, unordered by happens-before, is a race
+// under every model.
+func TestDetectorSyncDataConflictIsARace(t *testing.T) {
+	e := mem.NewExecution(2)
+	e.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	e.Append(mem.Access{Proc: 1, Op: mem.OpSyncRead, Addr: 0, Value: 1})
+	for _, m := range []core.SyncModel{core.DRF0{}, core.DRF1{}} {
+		races, err := CheckExecution(e, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(races) != 1 {
+			t.Fatalf("%s: data/sync conflict on one location should race: %v", m.Name(), races)
+		}
+	}
+}
+
+// TestDetectorMinimalRacyVsDRFPair gives, per model, the smallest program
+// pair separating racy from race-free — the boundary the fuzzer's DRF0
+// classification stands on. Each clean execution differs from its racy
+// sibling by exactly the synchronization the model credits.
+func TestDetectorMinimalRacyVsDRFPair(t *testing.T) {
+	// DRF0: unsynchronized W‖R races; any sync pair on a flag repairs it.
+	racy0 := mem.NewExecution(2)
+	racy0.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	racy0.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	clean0 := buildHandoff()
+
+	// DRF1: release must write, acquire must read. The racy sibling uses a
+	// read-only Test as the would-be release (the exact idiom Section 6
+	// outlaws); the clean one uses Unset → Test in the proper direction.
+	racy1 := mem.NewExecution(2)
+	racy1.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	racy1.Append(mem.Access{Proc: 0, Op: mem.OpSyncRead, Addr: 1, Value: 0})
+	racy1.Append(mem.Access{Proc: 1, Op: mem.OpSyncRMW, Addr: 1, Value: 0, WValue: 1})
+	racy1.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+	clean1 := mem.NewExecution(2)
+	clean1.Append(mem.Access{Proc: 0, Op: mem.OpWrite, Addr: 0, Value: 1})
+	clean1.Append(mem.Access{Proc: 0, Op: mem.OpSyncWrite, Addr: 1, Value: 1})
+	clean1.Append(mem.Access{Proc: 1, Op: mem.OpSyncRead, Addr: 1, Value: 1})
+	clean1.Append(mem.Access{Proc: 1, Op: mem.OpRead, Addr: 0, Value: 1})
+
+	cases := []struct {
+		name  string
+		model core.SyncModel
+		exec  *mem.Execution
+		races int
+	}{
+		{"DRF0 racy", core.DRF0{}, racy0, 1},
+		{"DRF0 clean", core.DRF0{}, clean0, 0},
+		{"DRF1 racy", core.DRF1{}, racy1, 1},
+		{"DRF1 clean", core.DRF1{}, clean1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			races, err := CheckExecution(tc.exec, tc.model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(races) != tc.races {
+				t.Fatalf("races = %v, want %d", races, tc.races)
+			}
+		})
+	}
+}
+
+func TestDetectorStepRejectsBadProcessor(t *testing.T) {
+	d := NewDetector(2, core.DRF0{})
+	err := d.Step(mem.Event{Access: mem.Access{Proc: 5, Op: mem.OpRead, Addr: 0}})
+	if err == nil {
+		t.Fatal("expected out-of-range processor error")
+	}
+	if d.Events() != 0 && d.Events() != 1 {
+		t.Fatalf("events = %d", d.Events())
+	}
+}
+
 func TestDetectorRequiresCompletionOrder(t *testing.T) {
 	e := buildHandoff()
 	e.Completed = nil

@@ -9,18 +9,70 @@ import (
 )
 
 // RandomConfig parameterizes random program generation for the contract
-// experiments (E6). Programs are straight-line (no loops), so operational
-// exploration is exhaustive without trace bounds.
+// experiments (E6) and the differential fuzzer (internal/fuzz). Programs are
+// loop-free (straight-line code plus optional forward-branch guarded blocks),
+// so operational exploration is exhaustive without trace bounds.
+//
+// Percentage fields share one convention: the zero value means "use the
+// documented default", a negative value means "exactly zero percent". This
+// keeps the zero RandomConfig useful while still allowing a caller to switch
+// a feature off entirely.
 type RandomConfig struct {
-	Procs    int // threads (default 2)
+	Procs    int // threads (default 2, the fuzzer sweeps 2–4)
 	DataVars int // data locations (default 2)
 	SyncVars int // sync locations (default 1)
 	Ops      int // memory operations per thread (default 4)
 	// SyncDensity is the per-op probability (in percent) of emitting a
 	// synchronization operation instead of a data access. Zero sync density
 	// on >1 shared vars almost always yields racy programs; high density
-	// yields mostly DRF0 ones.
+	// yields mostly DRF0 ones. The zero value defaults to
+	// DefaultSyncDensity so that forgetting to set it no longer silently
+	// produces an almost-always-racy (and therefore one-sided) sweep;
+	// pass a negative value for a deliberately synchronization-free
+	// program.
 	SyncDensity int
+	// RMWPct is the share (in percent) of synchronization operations
+	// emitted as atomic read-modify-writes. When RMWPct, SyncReadPct and
+	// FetchAddPct are all zero the generator keeps its original
+	// equal-thirds split between sync reads, sync writes and TestAndSets —
+	// byte-identical instruction streams per seed, which the deterministic
+	// experiment sweeps rely on. Setting any of the three switches to the
+	// explicit percentage mixer (zeros then mean their defaults: RMW 34,
+	// SyncRead 50, FetchAdd 0).
+	RMWPct int
+	// SyncReadPct splits the non-RMW synchronization operations between
+	// read-only (Test) and write-only (Unset) — the split the DRF1
+	// refinement cares about. Default 50.
+	SyncReadPct int
+	// FetchAddPct is the share (in percent) of RMWs emitted as FetchAdd
+	// rather than TestAndSet. Default 0.
+	FetchAddPct int
+	// CondPct is the per-slot probability (in percent) of emitting a
+	// loop-free guarded block instead of a single access: a sync read of a
+	// flag followed by a forward branch over one or two data accesses (the
+	// message-passing consumer idiom, cf. RandomGuarded). Default 0; the
+	// draw is only made when CondPct is positive, so existing seeds are
+	// unaffected.
+	CondPct int
+}
+
+// DefaultSyncDensity is the synchronization density applied when
+// RandomConfig.SyncDensity is zero: high enough that a typical sweep contains
+// a healthy share of DRF0 programs, low enough that racy ones still appear.
+const DefaultSyncDensity = 40
+
+// pctDefault resolves a percentage knob under the shared convention: zero
+// means the default, negative means zero percent.
+func pctDefault(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	case v > 100:
+		return 100
+	}
+	return v
 }
 
 func (c *RandomConfig) defaults() {
@@ -36,6 +88,15 @@ func (c *RandomConfig) defaults() {
 	if c.Ops <= 0 {
 		c.Ops = 4
 	}
+	c.SyncDensity = pctDefault(c.SyncDensity, DefaultSyncDensity)
+	if c.RMWPct != 0 || c.SyncReadPct != 0 || c.FetchAddPct != 0 {
+		c.RMWPct = pctDefault(c.RMWPct, 34)
+		c.SyncReadPct = pctDefault(c.SyncReadPct, 50)
+		c.FetchAddPct = pctDefault(c.FetchAddPct, 0)
+	}
+	if c.CondPct < 0 {
+		c.CondPct = 0
+	}
 }
 
 // dataBase/syncBase separate the random address spaces.
@@ -44,38 +105,86 @@ const (
 	randSyncBase mem.Addr = 200
 )
 
-// Random generates a straight-line random program from the seed. Whether it
+// Random generates a loop-free random program from the seed. Whether it
 // obeys DRF0 is for the checker to decide (core.CheckProgram); the generator
-// only guarantees that data and sync locations are disjoint.
+// only guarantees that data and sync locations are disjoint and that every
+// branch is a forward branch (so exploration terminates without trace
+// bounds).
 func Random(seed int64, cfg RandomConfig) *program.Program {
+	legacyMix := cfg.RMWPct == 0 && cfg.SyncReadPct == 0 && cfg.FetchAddPct == 0
 	cfg.defaults()
 	rng := rand.New(rand.NewSource(seed))
 	b := program.NewBuilder(fmt.Sprintf("random-%d", seed))
 	val := mem.Value(1)
+	guards := 0
+	emitSync := func() {
+		s := randSyncBase + mem.Addr(rng.Intn(cfg.SyncVars))
+		if legacyMix {
+			// Legacy equal-thirds mixer; the rng draws here must stay
+			// byte-identical so the deterministic experiment sweeps keep
+			// their per-seed program streams.
+			switch rng.Intn(3) {
+			case 0:
+				b.SyncLoad(program.Reg(rng.Intn(4)), s)
+			case 1:
+				b.SyncStore(s, program.Imm(val))
+				val++
+			default:
+				b.TestAndSet(program.Reg(rng.Intn(4)), s, program.Imm(val))
+				val++
+			}
+			return
+		}
+		switch draw := rng.Intn(100); {
+		case draw < cfg.RMWPct:
+			rd := program.Reg(rng.Intn(4))
+			if rng.Intn(100) < cfg.FetchAddPct {
+				b.FetchAdd(rd, s, program.Imm(val))
+			} else {
+				b.TestAndSet(rd, s, program.Imm(val))
+			}
+			val++
+		case rng.Intn(100) < cfg.SyncReadPct:
+			b.SyncLoad(program.Reg(rng.Intn(4)), s)
+		default:
+			b.SyncStore(s, program.Imm(val))
+			val++
+		}
+	}
+	emitData := func() {
+		d := randDataBase + mem.Addr(rng.Intn(cfg.DataVars))
+		if rng.Intn(2) == 0 {
+			b.Load(program.Reg(rng.Intn(4)), d)
+		} else {
+			b.Store(d, program.Imm(val))
+			val++
+		}
+	}
 	for t := 0; t < cfg.Procs; t++ {
 		b.Thread()
 		for k := 0; k < cfg.Ops; k++ {
-			if rng.Intn(100) < cfg.SyncDensity {
+			if cfg.CondPct > 0 && rng.Intn(100) < cfg.CondPct {
+				// Guarded block: sync-read a flag, branch forward over one
+				// or two data accesses. The sync read and the guarded
+				// accesses all count against the op budget.
 				s := randSyncBase + mem.Addr(rng.Intn(cfg.SyncVars))
-				switch rng.Intn(3) {
-				case 0:
-					b.SyncLoad(program.Reg(rng.Intn(4)), s)
-				case 1:
-					b.SyncStore(s, program.Imm(val))
-					val++
-				default:
-					b.TestAndSet(program.Reg(rng.Intn(4)), s, program.Imm(val))
-					val++
+				r := program.Reg(rng.Intn(4))
+				b.SyncLoad(r, s)
+				lbl := fmt.Sprintf("g%d", guards)
+				guards++
+				b.Beq(r, program.Imm(0), lbl)
+				for n := 1 + rng.Intn(2); n > 0 && k+1 < cfg.Ops; n-- {
+					emitData()
+					k++
 				}
+				b.Label(lbl)
 				continue
 			}
-			d := randDataBase + mem.Addr(rng.Intn(cfg.DataVars))
-			if rng.Intn(2) == 0 {
-				b.Load(program.Reg(rng.Intn(4)), d)
-			} else {
-				b.Store(d, program.Imm(val))
-				val++
+			if rng.Intn(100) < cfg.SyncDensity {
+				emitSync()
+				continue
 			}
+			emitData()
 		}
 		b.Halt()
 	}
