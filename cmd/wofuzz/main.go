@@ -9,7 +9,11 @@
 // Usage:
 //
 //	wofuzz [-seeds N] [-seed S] [-budget DUR] [-machines CSV] [-minimize]
-//	       [-max-states N] [-json PATH] [-out DIR] [-v]
+//	       [-max-states N] [-por on|off] [-json PATH] [-out DIR] [-v]
+//
+// -por=off disables the exploration kernel's partial-order reduction (a
+// debugging escape hatch: the differential tests pin that outcome sets are
+// identical either way, so only speed changes).
 //
 // -machines accepts a comma-separated list of machine names plus the aliases
 // "weak" (every machine claiming the contract; the default), "all", and
@@ -18,7 +22,9 @@
 // pipeline end to end: `wofuzz -machines broken` finds violations and emits
 // minimized reproducers). The exit status is 1 if any Definition-2 violation
 // was found, 0 otherwise — racy programs with non-SC outcomes are recorded
-// but are not failures.
+// but are not failures. Programs whose exploration exhausts the state budget
+// are skipped and counted; if *every* program is skipped the campaign decided
+// nothing and exits with status 2 and a distinct message (raise -max-states).
 package main
 
 import (
@@ -95,6 +101,7 @@ func main() {
 	machinesCSV := flag.String("machines", "weak", `machines to test: comma-separated names, "weak", "all", or "broken"`)
 	minimize := flag.Bool("minimize", true, "delta-debug violating programs to minimal reproducers")
 	maxStates := flag.Int("max-states", 0, "per-exploration state budget (0 = fuzzing default)")
+	por := flag.String("por", "on", "partial-order reduction in the exploration kernel: on or off")
 	jsonPath := flag.String("json", "", `write a JSON campaign report to PATH ("-" = stdout)`)
 	outDir := flag.String("out", "", "write minimized reproducers (.litmus and .go) into DIR")
 	verbose := flag.Bool("v", false, "log every program checked")
@@ -110,6 +117,13 @@ func main() {
 	x := fuzz.DefaultExplorer()
 	if *maxStates > 0 {
 		x.MaxStates = *maxStates
+	}
+	switch *por {
+	case "on":
+	case "off":
+		x.FullExploration = true
+	default:
+		fatal(fmt.Errorf("invalid -por %q (want on or off)", *por))
 	}
 	chk := &fuzz.Checker{Explorer: x, Machines: factories}
 
@@ -185,6 +199,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wofuzz: DEFINITION-2 VIOLATION(S) FOUND")
 		os.Exit(1)
 	}
+	if rep.Checked == 0 && rep.Skipped > 0 {
+		fmt.Fprintln(os.Stderr, "wofuzz: state budget exhausted on every program — nothing was decided (raise -max-states)")
+		os.Exit(2)
+	}
 }
 
 // handleViolation minimizes the program against each violating machine and
@@ -246,7 +264,14 @@ func writeJSON(path string, rep *campaignReport) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// fatal aborts the campaign. A state-budget error gets its own exit status
+// (2) and wording: it means "the search was too big to finish", not "a
+// violation was found" (1) or a usage/IO failure.
 func fatal(err error) {
+	if errors.Is(err, model.ErrStateBudget) {
+		fmt.Fprintf(os.Stderr, "wofuzz: state budget exhausted: %v (raise -max-states)\n", err)
+		os.Exit(2)
+	}
 	fmt.Fprintf(os.Stderr, "wofuzz: %v\n", err)
 	os.Exit(1)
 }

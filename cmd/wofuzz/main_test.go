@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildWofuzz(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wofuzz")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestAllSkippedBudgetExit pins the distinct error path: when the state
+// budget is so small that every program is skipped, the campaign decided
+// nothing and must exit with status 2 (not 0, which would read as "no
+// violations", and not the violation status 1).
+func TestAllSkippedBudgetExit(t *testing.T) {
+	bin := buildWofuzz(t)
+	out, code := run(t, bin, "-seeds", "2", "-max-states", "1", "-minimize=false")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "state budget exhausted on every program") {
+		t.Fatalf("missing budget message in output:\n%s", out)
+	}
+}
+
+// TestPORFlag runs a small campaign with reduction on and off: both must
+// succeed, and the summary lines (checked/drf0/racy counts) must be
+// identical — POR may only change how much work the verdicts cost.
+func TestPORFlag(t *testing.T) {
+	bin := buildWofuzz(t)
+	var summaries []string
+	for _, por := range []string{"on", "off"} {
+		out, code := run(t, bin, "-seeds", "6", "-minimize=false", "-por", por)
+		if code != 0 {
+			t.Fatalf("-por=%s: exit code = %d\noutput:\n%s", por, code, out)
+		}
+		i := strings.Index(out, "wofuzz: ")
+		j := strings.Index(out, " in ") // strip the elapsed-time suffix
+		if i < 0 || j < 0 || j < i {
+			t.Fatalf("-por=%s: unexpected summary output:\n%s", por, out)
+		}
+		summaries = append(summaries, out[i:j])
+	}
+	if summaries[0] != summaries[1] {
+		t.Fatalf("POR changed campaign verdicts:\n on: %s\noff: %s", summaries[0], summaries[1])
+	}
+	if out, code := run(t, bin, "-por", "sideways"); code != 1 || !strings.Contains(out, "invalid -por") {
+		t.Fatalf("invalid -por: exit code = %d, output:\n%s", code, out)
+	}
+}

@@ -7,15 +7,22 @@
 //	wosim -workload prodcons|lock|barrier|fig3 [-policy sc|def1|def2|def2drf1]
 //	      [-procs N] [-iters N] [-work N] [-spin sync|data|tas]
 //	      [-netlat N] [-jitter N] [-bus] [-seed S] [-check]
+//	      [-por on|off] [-max-states N]
 //
 // -check additionally records the execution trace and verifies it is
 // sequentially consistent (expected for the DRF0 workloads on every policy).
+// The verification runs on the shared exploration kernel; -por=off disables
+// its partial-order reduction (a debugging escape hatch — the answer never
+// changes) and -max-states bounds its search. A check that exhausts the state
+// budget exits with status 2 and a distinct message, separating "too big to
+// decide" from "decided and not SC" (status 1).
 //
 // -cpuprofile and -memprofile write pprof profiles for the run, for
 // inspection with `go tool pprof`.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,7 @@ import (
 
 	"weakorder/internal/conditions"
 	"weakorder/internal/core"
+	"weakorder/internal/explore"
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
 	"weakorder/internal/proc"
@@ -47,6 +55,8 @@ func main() {
 	update := flag.Bool("update", false, "use the write-update protocol for data writes")
 	seed := flag.Int64("seed", 1, "jitter seed")
 	check := flag.Bool("check", false, "verify the trace is sequentially consistent")
+	por := flag.String("por", "on", "partial-order reduction in the -check search: on or off")
+	maxStates := flag.Int("max-states", 0, "state budget for the -check search (0 = kernel default)")
 	conds := flag.Bool("conditions", false, "verify the run against the Section-5.1 conditions")
 	dump := flag.String("dump-trace", "", "write the recorded trace (and timings) as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -168,8 +178,20 @@ func main() {
 		init[a] = v
 	}
 	if *check {
-		w, err := core.SCCheck(res.Trace, init)
+		opts := core.SCOptions{MaxStates: *maxStates}
+		switch *por {
+		case "on":
+		case "off":
+			opts.FullExploration = true
+		default:
+			fatal(fmt.Errorf("invalid -por %q (want on or off)", *por))
+		}
+		w, err := core.SCCheckOpt(res.Trace, init, opts)
 		if err != nil {
+			if errors.Is(err, explore.ErrStateBudget) {
+				fmt.Fprintf(os.Stderr, "wosim: trace check: state budget exhausted: %v (rerun with a larger -max-states)\n", err)
+				os.Exit(2)
+			}
 			fatal(err)
 		}
 		if w.SC {

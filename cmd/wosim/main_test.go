@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildWosim compiles the command once per test binary into a temp dir.
+func buildWosim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wosim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestCheckStateBudgetExit pins the distinct error path: an SC trace check
+// that exhausts -max-states must exit with status 2 (not the generic 1) and
+// say so, because "too big to decide" is not "not sequentially consistent".
+func TestCheckStateBudgetExit(t *testing.T) {
+	bin := buildWosim(t)
+	out, code := run(t, bin, "-workload", "prodcons", "-iters", "2", "-check", "-max-states", "1")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "state budget exhausted") {
+		t.Fatalf("missing budget message in output:\n%s", out)
+	}
+}
+
+// TestCheckPORFlag runs the same checked workload with reduction on and off;
+// both must succeed and agree on the verdict line.
+func TestCheckPORFlag(t *testing.T) {
+	bin := buildWosim(t)
+	const verdict = "trace check: sequentially consistent"
+	for _, por := range []string{"on", "off"} {
+		out, code := run(t, bin, "-workload", "prodcons", "-iters", "2", "-check", "-por", por)
+		if code != 0 {
+			t.Fatalf("-por=%s: exit code = %d\noutput:\n%s", por, code, out)
+		}
+		if !strings.Contains(out, verdict) {
+			t.Fatalf("-por=%s: missing %q in output:\n%s", por, verdict, out)
+		}
+	}
+	if out, code := run(t, bin, "-check", "-por", "sideways"); code != 1 || !strings.Contains(out, "invalid -por") {
+		t.Fatalf("invalid -por: exit code = %d, output:\n%s", code, out)
+	}
+}

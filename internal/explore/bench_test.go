@@ -1,0 +1,108 @@
+package explore_test
+
+import (
+	"testing"
+
+	"weakorder/internal/litmus"
+	"weakorder/internal/model"
+	"weakorder/internal/program"
+)
+
+// runSuite runs the full litmus suite — every corpus test on every machine,
+// broken fixtures included — exactly the way the production runner does
+// (litmus.Run: reachability query with early stop once the outcome of
+// interest is observed, trace-bounded like the golden report) and returns
+// the summed exploration statistics.
+func runSuite(tb testing.TB, fullExpl bool) (states, transitions int) {
+	tb.Helper()
+	x := &model.Explorer{MaxTraceOps: 20, FullExploration: fullExpl}
+	for _, lt := range litmus.Corpus() {
+		for _, f := range allFactories() {
+			o, err := litmus.Run(lt, f, x)
+			if err != nil {
+				tb.Fatalf("%s on %s: %v", lt.Name, f.Name, err)
+			}
+			states += o.Stats.States
+			transitions += o.Stats.Transitions
+		}
+	}
+	return states, transitions
+}
+
+// exhaustSuite is runSuite without the early stop: every reachable state of
+// every (test, machine) cell, the steeper measure of the reduction.
+func exhaustSuite(tb testing.TB, fullExpl bool) (states, transitions int) {
+	tb.Helper()
+	x := &model.Explorer{FullExploration: fullExpl}
+	for _, lt := range litmus.Corpus() {
+		for _, f := range allFactories() {
+			st, err := x.FinalStates(f.New(lt.Prog), func(*program.FinalState) bool { return true })
+			if err != nil {
+				tb.Fatalf("%s on %s: %v", lt.Name, f.Name, err)
+			}
+			states += st.States
+			transitions += st.Transitions
+		}
+	}
+	return states, transitions
+}
+
+// TestPORStatesBudget is the states-visited regression budget CI enforces.
+// Two pins, both deterministic:
+//
+//   - the litmus suite as production runs it (reachability queries) must
+//     keep needing at most half the states of full exploration, and the
+//     absolute POR count must not creep past its recorded ceiling;
+//   - exhaustive enumeration must keep at least its recorded reduction
+//     floor (the reduction is structurally smaller there: every final state
+//     must still be produced, so only interior interleavings collapse).
+//
+// A failure means a footprint declaration got coarser (or a machine grew a
+// new dependence) and the reduction quietly degraded — or the corpus
+// changed, in which case regenerate BENCH_explore.json and retune these
+// numbers in the same commit.
+func TestPORStatesBudget(t *testing.T) {
+	por, porTrans := runSuite(t, false)
+	full, fullTrans := runSuite(t, true)
+	t.Logf("litmus suite (reachability): POR %d states / %d transitions, full %d / %d (%.2fx states, %.2fx transitions)",
+		por, porTrans, full, fullTrans, float64(full)/float64(por), float64(fullTrans)/float64(porTrans))
+	if por*2 > full {
+		t.Errorf("POR needed %d states vs %d full — reduction below the 2x acceptance bar", por, full)
+	}
+	// ~10% above the value recorded in BENCH_explore.json.
+	const maxPORStates = 7200
+	if por > maxPORStates {
+		t.Errorf("POR needed %d states, budget is %d — update BENCH_explore.json and this budget deliberately if the corpus grew", por, maxPORStates)
+	}
+
+	exPor, exPorTrans := exhaustSuite(t, false)
+	exFull, exFullTrans := exhaustSuite(t, true)
+	t.Logf("litmus suite (exhaustive): POR %d states / %d transitions, full %d / %d (%.2fx states, %.2fx transitions)",
+		exPor, exPorTrans, exFull, exFullTrans, float64(exFull)/float64(exPor), float64(exFullTrans)/float64(exPorTrans))
+	if exPor*13 > exFull*10 {
+		t.Errorf("exhaustive POR visited %d states vs %d full — below the recorded 1.3x reduction floor", exPor, exFull)
+	}
+	if exPorTrans*2 > exFullTrans {
+		t.Errorf("exhaustive POR applied %d transitions vs %d full — below the 2x transition floor", exPorTrans, exFullTrans)
+	}
+}
+
+// BenchmarkExplorePOR measures the litmus suite under the reduced
+// exploration; the states metric is what BENCH_explore.json records.
+func BenchmarkExplorePOR(b *testing.B) {
+	benchmarkSuite(b, false)
+}
+
+// BenchmarkExploreFull is the unreduced baseline.
+func BenchmarkExploreFull(b *testing.B) {
+	benchmarkSuite(b, true)
+}
+
+func benchmarkSuite(b *testing.B, fullExpl bool) {
+	states, transitions := 0, 0
+	for i := 0; i < b.N; i++ {
+		states, transitions = runSuite(b, fullExpl)
+	}
+	b.ReportMetric(float64(states), "states")
+	b.ReportMetric(float64(transitions), "transitions")
+}

@@ -1,0 +1,348 @@
+package explore_test
+
+// Differential tests pinning the partial-order reduction's one hard promise:
+// turning it off never changes what is observable. They live in an external
+// test package because the corpus and the machines sit above the kernel
+// (litmus -> model -> explore); the kernel itself is exercised through the
+// same adapters production uses.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"weakorder/internal/litmus"
+	"weakorder/internal/mem"
+	"weakorder/internal/model"
+	"weakorder/internal/par"
+	"weakorder/internal/program"
+	"weakorder/internal/workload"
+)
+
+// allFactories returns every machine: the standard set plus the deliberately
+// broken fixtures (deduplicated). POR must be outcome-preserving on the
+// broken machines too — a reduction that hid their violations would defang
+// the whole fuzzing pipeline.
+func allFactories() []litmus.Factory {
+	fs := litmus.Factories()
+	seen := make(map[string]bool, len(fs))
+	for _, f := range fs {
+		seen[f.Name] = true
+	}
+	for _, f := range litmus.BrokenFactories() {
+		if !seen[f.Name] {
+			seen[f.Name] = true
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// renderFinal canonically encodes a final state: per-thread registers in
+// thread order, then memory sorted by address.
+func renderFinal(fs *program.FinalState) string {
+	var b strings.Builder
+	for ti, regs := range fs.Regs {
+		fmt.Fprintf(&b, "t%d:%v;", ti, regs)
+	}
+	addrs := make([]mem.Addr, 0, len(fs.Mem))
+	for a := range fs.Mem {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fmt.Fprintf(&b, "x%d=%d;", a, fs.Mem[a])
+	}
+	return b.String()
+}
+
+// renderExecution canonically encodes an execution at exactly the
+// granularity KeyExecution deduplicates on: each processor's program-order
+// access sequence (with bound values) plus the global sync commit order. The
+// raw completion interleaving of independent data accesses is deliberately
+// NOT part of the encoding — key-equal executions can interleave them
+// differently, and which representative survives deduplication depends on
+// exploration order.
+func renderExecution(e *mem.Execution) string {
+	var b strings.Builder
+	for p, ids := range e.ByProc() {
+		for _, id := range ids {
+			fmt.Fprintf(&b, "P%d:%s;", p, e.Event(id).Access)
+		}
+	}
+	for _, id := range e.Completed {
+		if ev := e.Event(id); ev.Op.IsSync() {
+			fmt.Fprintf(&b, "S:P%d.%d@x%d;", ev.Proc, ev.Index, ev.Addr)
+		}
+	}
+	return b.String()
+}
+
+// joinSorted canonicalizes a collected outcome multiset into the byte string
+// two explorations must agree on.
+func joinSorted(keys []string) string {
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// diffMaxStates caps each exploration in the random sweeps. The cap decides
+// skipping deterministically: the FULL exploration runs first, and a program
+// too big for the budget on some machine is skipped on that machine. The
+// reduced run needs no such check — POR expands a subset of each state's
+// steps, so it visits a subset of the states full exploration visits.
+const diffMaxStates = 20_000
+
+// finalSets explores the program on one machine at KeyState granularity both
+// ways and returns the canonical final-state sets, or skipped=true when the
+// full exploration exceeds the budget.
+func finalSets(f litmus.Factory, p *program.Program) (por, full string, skipped bool, err error) {
+	collect := func(fullExpl bool) (string, error) {
+		x := &model.Explorer{MaxStates: diffMaxStates, FullExploration: fullExpl}
+		var keys []string
+		_, err := x.FinalStates(f.New(p), func(fs *program.FinalState) bool {
+			keys = append(keys, renderFinal(fs))
+			return true
+		})
+		return joinSorted(keys), err
+	}
+	full, err = collect(true)
+	if errors.Is(err, model.ErrStateBudget) {
+		return "", "", true, nil
+	}
+	if err != nil {
+		return "", "", false, err
+	}
+	por, err = collect(false)
+	return por, full, false, err
+}
+
+// resultSets is finalSets at KeyResult granularity: the paper's Result
+// notion (all read values plus final memory).
+func resultSets(f litmus.Factory, p *program.Program) (por, full string, skipped bool, err error) {
+	collect := func(fullExpl bool) (string, model.Stats, error) {
+		x := &model.Explorer{MaxStates: diffMaxStates, FullExploration: fullExpl}
+		out, st, err := x.Outcomes(f.New(p))
+		return strings.Join(out.Keys(), "\n"), st, err
+	}
+	full, st, err := collect(true)
+	if errors.Is(err, model.ErrStateBudget) {
+		return "", "", true, nil
+	}
+	if err != nil {
+		return "", "", false, err
+	}
+	if st.Truncated != 0 {
+		// The generator emits only forward branches; a truncation here would
+		// silently weaken the equivalence claim.
+		return "", "", false, fmt.Errorf("truncated exploration of loop-free program")
+	}
+	por, _, err = collect(false)
+	return por, full, false, err
+}
+
+// executionSets enumerates the program's idealized executions (the fuzzer's
+// path: SC machine at KeyExecution granularity, where the sync-order
+// dependence refinement is live) both ways.
+func executionSets(p *program.Program) (por, full string, skipped bool, err error) {
+	collect := func(fullExpl bool) (string, error) {
+		enum := &model.Enumerator{
+			Prog:     p,
+			Explorer: &model.Explorer{MaxStates: diffMaxStates, FullExploration: fullExpl},
+		}
+		var keys []string
+		err := enum.IdealizedExecutions(func(e *mem.Execution) bool {
+			keys = append(keys, renderExecution(e))
+			return true
+		})
+		return joinSorted(keys), err
+	}
+	full, err = collect(true)
+	if errors.Is(err, model.ErrStateBudget) {
+		return "", "", true, nil
+	}
+	if err != nil {
+		return "", "", false, err
+	}
+	por, err = collect(false)
+	return por, full, false, err
+}
+
+// TestPOREquivalence is the determinism gate CI runs twice: on every litmus
+// program and a 256-seed random corpus, across every machine (broken
+// fixtures included), exploration with partial-order reduction must produce
+// outcome sets byte-identical to full exploration — at final-state
+// granularity for the whole corpus, and at result and execution granularity
+// for the sub-corpora those modes can afford.
+func TestPOREquivalence(t *testing.T) {
+	factories := allFactories()
+	corpus := randomCorpus(256)
+
+	t.Run("litmus", func(t *testing.T) {
+		type cell struct {
+			test *litmus.Test
+			f    litmus.Factory
+		}
+		var cells []cell
+		for _, lt := range litmus.Corpus() {
+			for _, f := range factories {
+				cells = append(cells, cell{lt, f})
+			}
+		}
+		_, err := par.Map(cells, 0, func(_ int, c cell) (struct{}, error) {
+			por, porSt, err := litmusFinalSet(c.f.New(c.test.Prog), false)
+			if err != nil {
+				return struct{}{}, fmt.Errorf("%s on %s (POR): %w", c.test.Name, c.f.Name, err)
+			}
+			full, fullSt, err := litmusFinalSet(c.f.New(c.test.Prog), true)
+			if err != nil {
+				return struct{}{}, fmt.Errorf("%s on %s (full): %w", c.test.Name, c.f.Name, err)
+			}
+			if por != full {
+				return struct{}{}, fmt.Errorf("%s on %s: POR changed the final-state set\n--- POR ---\n%s\n--- full ---\n%s",
+					c.test.Name, c.f.Name, por, full)
+			}
+			if porSt.States > fullSt.States {
+				return struct{}{}, fmt.Errorf("%s on %s: POR visited more states (%d) than full exploration (%d)",
+					c.test.Name, c.f.Name, porSt.States, fullSt.States)
+			}
+			return struct{}{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("random-final-states", func(t *testing.T) {
+		skipped := sweep(t, corpus, func(p *program.Program) (int, error) {
+			n := 0
+			for _, f := range factories {
+				por, full, skip, err := finalSets(f, p)
+				if err != nil {
+					return n, fmt.Errorf("%s on %s: %w", p.Name, f.Name, err)
+				}
+				if skip {
+					n++
+					continue
+				}
+				if por != full {
+					return n, fmt.Errorf("%s on %s: POR changed the final-state set\n--- POR ---\n%s\n--- full ---\n%s",
+						p.Name, f.Name, por, full)
+				}
+			}
+			return n, nil
+		})
+		// The budget skips only the state-space blowups (the non-atomic
+		// machine on a handful of dense programs); the sweep must still
+		// decide the overwhelming majority of its cells.
+		if limit := len(corpus) * len(factories) / 10; skipped > limit {
+			t.Fatalf("%d of %d cells skipped on state budget (limit %d) — corpus or budget needs retuning",
+				skipped, len(corpus)*len(factories), limit)
+		}
+	})
+
+	t.Run("random-results", func(t *testing.T) {
+		sub := corpus[:64]
+		skipped := sweep(t, sub, func(p *program.Program) (int, error) {
+			n := 0
+			for _, f := range factories {
+				por, full, skip, err := resultSets(f, p)
+				if err != nil {
+					return n, fmt.Errorf("%s on %s: %w", p.Name, f.Name, err)
+				}
+				if skip {
+					n++
+					continue
+				}
+				if por != full {
+					return n, fmt.Errorf("%s on %s: POR changed the outcome set\n--- POR ---\n%s\n--- full ---\n%s",
+						p.Name, f.Name, por, full)
+				}
+			}
+			return n, nil
+		})
+		if limit := len(sub) * len(factories) / 4; skipped > limit {
+			t.Fatalf("%d of %d cells skipped on state budget (limit %d) — corpus or budget needs retuning",
+				skipped, len(sub)*len(factories), limit)
+		}
+	})
+
+	t.Run("random-executions", func(t *testing.T) {
+		sub := corpus[:64]
+		skipped := sweep(t, sub, func(p *program.Program) (int, error) {
+			por, full, skip, err := executionSets(p)
+			if err != nil {
+				return 0, fmt.Errorf("%s: %w", p.Name, err)
+			}
+			if skip {
+				return 1, nil
+			}
+			if por != full {
+				return 0, fmt.Errorf("%s: POR changed the idealized-execution set\n--- POR ---\n%s\n--- full ---\n%s",
+					p.Name, por, full)
+			}
+			return 0, nil
+		})
+		if limit := len(sub) / 4; skipped > limit {
+			t.Fatalf("%d of %d programs skipped on state budget (limit %d) — corpus or budget needs retuning",
+				skipped, len(sub), limit)
+		}
+	})
+}
+
+// litmusFinalSet explores a litmus machine exhaustively (no budget: the
+// corpus is known to be small at KeyState granularity) and returns the
+// canonical final-state set.
+func litmusFinalSet(m model.Machine, fullExpl bool) (string, model.Stats, error) {
+	x := &model.Explorer{FullExploration: fullExpl}
+	var keys []string
+	st, err := x.FinalStates(m, func(fs *program.FinalState) bool {
+		keys = append(keys, renderFinal(fs))
+		return true
+	})
+	return joinSorted(keys), st, err
+}
+
+// sweep fans check out over the programs through the par worker pool and
+// returns the summed skip count.
+func sweep(t *testing.T, progs []*program.Program, check func(*program.Program) (int, error)) int {
+	t.Helper()
+	counts, err := par.Map(progs, 0, func(_ int, p *program.Program) (int, error) {
+		return check(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// randomCorpus generates n loop-free random programs sweeping the same shape
+// variations the wofuzz campaign uses: light and dense synchronization,
+// RMW-heavy mixes, guarded conditionals, and three-processor programs.
+func randomCorpus(n int) []*program.Program {
+	out := make([]*program.Program, n)
+	for i := range out {
+		var cfg workload.RandomConfig
+		switch i % 6 {
+		case 0:
+			cfg = workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 4}
+		case 1:
+			cfg = workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 4, SyncDensity: 10}
+		case 2:
+			cfg = workload.RandomConfig{Procs: 2, DataVars: 1, SyncVars: 2, Ops: 4, SyncDensity: 60, RMWPct: 70, FetchAddPct: 40}
+		case 3:
+			cfg = workload.RandomConfig{Procs: 3, DataVars: 1, SyncVars: 1, Ops: 3, SyncDensity: 70}
+		case 4:
+			cfg = workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 3, SyncDensity: 50, CondPct: 50}
+		default:
+			cfg = workload.RandomConfig{Procs: 2, DataVars: 1, SyncVars: 1, Ops: 4, SyncDensity: 50, SyncReadPct: 80}
+		}
+		out[i] = workload.Random(int64(i)+1, cfg)
+	}
+	return out
+}

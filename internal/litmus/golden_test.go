@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -27,10 +28,13 @@ func renderReport(t *testing.T, tests []*Test, fs []Factory) string {
 }
 
 // TestRunAllReportDeterministicAcrossPoolWidths pins RunAll's determinism
-// contract: the report text is byte-identical whether the (test, machine)
-// cells run on a single worker or fan out across every core. A diff here
-// means some cell's outcome depends on scheduling — exactly the bug class a
-// memory-model checker cannot afford in its own harness.
+// contract over the exploration kernel: the report text is byte-identical
+// whether the (test, machine) cells run on one worker, two, or fan out
+// across every core, and the observed outcome of every cell is identical
+// with the partial-order reduction on and off at every width. A diff here
+// means some cell's outcome depends on scheduling or on the reduction —
+// exactly the bug classes a memory-model checker cannot afford in its own
+// harness.
 func TestRunAllReportDeterministicAcrossPoolWidths(t *testing.T) {
 	// A corpus slice large enough to make the pool reorder completions, small
 	// enough to keep the test quick.
@@ -39,21 +43,47 @@ func TestRunAllReportDeterministicAcrossPoolWidths(t *testing.T) {
 		tests = tests[:6]
 	}
 	fs := Factories()
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
 
-	restore := par.SetWorkers(1)
-	serial := renderReport(t, tests, fs)
-	restore()
+	// observed renders just the verdict columns (test, machine, reachable) —
+	// the part that must also be invariant under FullExploration, whose
+	// Stats differ by construction.
+	observed := func(fullExpl bool) string {
+		x := &model.Explorer{MaxTraceOps: 20, FullExploration: fullExpl}
+		out, err := RunAll(tests, fs, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, o := range out {
+			fmt.Fprintf(&b, "%s/%s=%v\n", o.Test, o.Machine, o.Observed)
+		}
+		return b.String()
+	}
 
-	restore = par.SetWorkers(runtime.GOMAXPROCS(0))
-	wide := renderReport(t, tests, fs)
-	restore()
-
-	if serial != wide {
-		t.Fatalf("report differs between 1 worker and %d workers:\n--- serial ---\n%s--- wide ---\n%s",
-			runtime.GOMAXPROCS(0), serial, wide)
+	var reports, verdictsPOR, verdictsFull []string
+	for _, w := range widths {
+		restore := par.SetWorkers(w)
+		reports = append(reports, renderReport(t, tests, fs))
+		verdictsPOR = append(verdictsPOR, observed(false))
+		verdictsFull = append(verdictsFull, observed(true))
+		restore()
+	}
+	for i := 1; i < len(widths); i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("report differs between %d worker(s) and %d:\n--- %d ---\n%s--- %d ---\n%s",
+				widths[0], widths[i], widths[0], reports[0], widths[i], reports[i])
+		}
+		if verdictsPOR[i] != verdictsPOR[0] || verdictsFull[i] != verdictsFull[0] {
+			t.Fatalf("outcome sets differ across pool widths %d and %d", widths[0], widths[i])
+		}
+	}
+	if verdictsPOR[0] != verdictsFull[0] {
+		t.Fatalf("POR changed an observed outcome:\n--- POR ---\n%s--- full ---\n%s",
+			verdictsPOR[0], verdictsFull[0])
 	}
 	// Sanity: the report actually contains one line per (test, machine) cell.
-	if got, want := strings.Count(serial, "\n"), len(tests)*len(fs); got != want {
+	if got, want := strings.Count(reports[0], "\n"), len(tests)*len(fs); got != want {
 		t.Fatalf("report has %d lines, want %d", got, want)
 	}
 }

@@ -3,7 +3,9 @@ package model
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
+	"weakorder/internal/explore"
 	"weakorder/internal/mem"
 )
 
@@ -157,16 +159,33 @@ func (c *copies) allDrained() bool { return len(c.pending) == 0 }
 // are excluded (they differ between equivalent states reached along
 // different paths); what delivery semantics actually depend on is, per
 // pending propagation, (a) its position among pending propagations for the
-// same destination and address — preserved by list order — and (b) whether
-// it is still "live" (its seq exceeds the destination's current stamp, so it
-// will apply rather than be dropped). Both are encoded.
+// same destination and address — deliverable() and the stale-drop rule never
+// compare propagations across (dst, addr) pairs — and (b) whether it is
+// still "live" (its seq exceeds the destination's current stamp, so it will
+// apply rather than be dropped). Propagations are therefore encoded grouped:
+// stable-sorted by (dst, addr), preserving only the in-group commit order.
+// The cross-group interleaving the list order records is not state; keeping
+// it out of the key makes commit steps of different processors commute at
+// the key level, which the partial-order reducer relies on.
 func (c *copies) appendKey(key []byte, addrs []mem.Addr) []byte {
 	for p := 0; p < c.nproc; p++ {
 		key = appendMem(key, addrs, c.data[p])
 	}
 	key = append(key, 'P')
 	key = binary.AppendUvarint(key, uint64(len(c.pending)))
-	for _, m := range c.pending {
+	idx := make([]int, len(c.pending))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		x, y := c.pending[idx[a]], c.pending[idx[b]]
+		if x.dst != y.dst {
+			return x.dst < y.dst
+		}
+		return x.addr < y.addr
+	})
+	for _, i := range idx {
+		m := c.pending[i]
 		live := byte(0)
 		if m.seq > c.stamp[m.dst][m.addr] {
 			live = 1
@@ -178,4 +197,51 @@ func (c *copies) appendKey(key []byte, addrs []mem.Addr) []byte {
 		key = append(key, live)
 	}
 	return key
+}
+
+// propSrc returns the source processor of the pending propagation identified
+// by (seq, dst), or -1.
+func (c *copies) propSrc(seq int64, dst int) int {
+	for _, m := range c.pending {
+		if m.seq == seq && m.dst == dst {
+			return m.src
+		}
+	}
+	return -1
+}
+
+// propInfo classifies a delivery transition (Aux=seq, Proc=dst) for
+// partial-order reduction: the propagation acts for its *source* processor —
+// outstanding[src] is what it decrements, and every gate that can freeze on
+// undelivered propagations (WODef1's sync stall, WODef2's reservation
+// release, per-(dst,addr) FIFO order) waits on the source's deliveries.
+func (c *copies) propInfo(seq int64, dst int, bitOf func(mem.Addr) (uint64, bool)) explore.Info {
+	for _, m := range c.pending {
+		if m.seq == seq && m.dst == dst {
+			info := explore.Info{Agent: m.src, Addr: m.addr, Op: mem.OpWrite}
+			info.AddrBit, _ = bitOf(m.addr)
+			return info
+		}
+	}
+	return explore.Info{Agent: dst, Opaque: true}
+}
+
+// propMask is the address footprint of one processor's pending propagations.
+type propMask struct {
+	bits uint64
+	wild bool
+}
+
+// propMasks returns, per source processor, the addresses of its undelivered
+// propagations (wild when an address has no dense bit).
+func (c *copies) propMasks(bitOf func(mem.Addr) (uint64, bool)) []propMask {
+	masks := make([]propMask, c.nproc)
+	for _, m := range c.pending {
+		if bit, ok := bitOf(m.addr); ok {
+			masks[m.src].bits |= bit
+		} else {
+			masks[m.src].wild = true
+		}
+	}
+	return masks
 }

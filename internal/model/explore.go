@@ -1,19 +1,19 @@
 package model
 
 import (
-	"errors"
-	"fmt"
+	"sort"
 
 	"weakorder/internal/core"
-	"weakorder/internal/digest"
+	"weakorder/internal/explore"
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
 )
 
-// Explorer exhaustively enumerates the behaviors of a Machine by depth-first
-// search over its nondeterministic transitions, deduplicating states by
-// canonical key. The key mode determines what the deduplicated enumeration
-// preserves; see KeyMode.
+// Explorer exhaustively enumerates the behaviors of a Machine by adapting it
+// to the shared exploration kernel (internal/explore): depth-first search
+// over its nondeterministic transitions with state deduplication by canonical
+// key and conflict-driven partial-order reduction. The key mode determines
+// what the deduplicated enumeration preserves; see KeyMode.
 type Explorer struct {
 	// MaxStates bounds the number of distinct states visited (0 = the
 	// DefaultMaxStates safety net). Exceeding it aborts with an error
@@ -30,191 +30,103 @@ type Explorer struct {
 	// nonzero count flags the enumeration as length-bounded rather than
 	// exhaustive.
 	MaxTraceOps int
+	// FullExploration disables the partial-order reduction: every enabled
+	// transition of every state is expanded. The escape hatch for debugging
+	// and for the differential tests that pin POR soundness.
+	FullExploration bool
 	// FullKeys, when true, deduplicates on the full canonical key encoding
 	// instead of its 128-bit digest. The digest path is what production
-	// sweeps use (16 bytes per visited state, no per-state allocation); the
-	// full-key path is collision-free by construction and exists as a debug
-	// cross-check — tests explore both ways and assert identical Stats.
+	// sweeps use (constant memory per visited state, no per-state
+	// allocation); the full-key path is collision-free by construction and
+	// exists as a debug cross-check — tests explore both ways and assert
+	// identical Stats.
 	FullKeys bool
 }
 
 // DefaultMaxStates is the safety net applied when Explorer.MaxStates is 0.
-const DefaultMaxStates = 2_000_000
+const DefaultMaxStates = explore.DefaultMaxStates
 
 // ErrStateBudget reports that exploration exceeded MaxStates. Visit returns
 // it wrapped with the machine name; check with errors.Is.
-var ErrStateBudget = errors.New("model: state budget exhausted")
+var ErrStateBudget = explore.ErrStateBudget
 
-// visitedSet deduplicates canonical state keys either by fixed-seed 128-bit
-// digest (the default: constant memory per state, no allocation) or by the
-// full key bytes (FullKeys debug mode).
-type visitedSet struct {
-	hashed map[digest.Sum]struct{}
-	full   map[string]struct{}
+// Stats summarizes one exploration.
+type Stats = explore.Stats
+
+// machineSystem adapts a Machine to the kernel's TransitionSystem: it carries
+// the key mode and trace bound, translates Transition to explore.Step (adding
+// the machine's StepInfo), and presents the enabled steps in a canonical
+// order. The machines emit deliveries in internal list order, which is not a
+// function of the state key (equivalent states reached along different paths
+// hold their pending lists in different cross-group orders), so the adapter
+// sorts by (Kind, Proc, Addr) — a total order on any one state's steps, since
+// per-(agent, addr) FIFO delivery makes at most one delivery per (Proc, Addr)
+// pair enabled at once — giving the kernel the position-aligned step lists
+// its per-state masks require.
+type machineSystem struct {
+	m           Machine
+	mode        KeyMode
+	maxTraceOps int
 }
 
-func newVisitedSet(fullKeys bool, capacity int) *visitedSet {
-	v := &visitedSet{}
-	if fullKeys {
-		v.full = make(map[string]struct{}, capacity)
-	} else {
-		v.hashed = make(map[digest.Sum]struct{}, capacity)
+func (s *machineSystem) Name() string { return s.m.Name() }
+
+func (s *machineSystem) Clone() explore.TransitionSystem {
+	return &machineSystem{m: s.m.Clone(), mode: s.mode, maxTraceOps: s.maxTraceOps}
+}
+
+func (s *machineSystem) Steps() []explore.Step {
+	ts := s.m.Transitions()
+	steps := make([]explore.Step, len(ts))
+	for i, t := range ts {
+		steps[i] = explore.Step{Kind: uint8(t.Kind), Proc: t.Proc, Aux: int64(t.Aux), Info: s.m.StepInfo(t)}
 	}
-	return v
-}
-
-// add inserts the key encoding, reporting whether it was absent.
-func (v *visitedSet) add(key []byte) bool {
-	if v.full != nil {
-		if _, ok := v.full[string(key)]; ok {
-			return false
+	sort.SliceStable(steps, func(a, b int) bool {
+		x, y := steps[a], steps[b]
+		if x.Kind != y.Kind {
+			return x.Kind < y.Kind
 		}
-		v.full[string(key)] = struct{}{}
-		return true
-	}
-	d := digest.Sum128(key)
-	if _, ok := v.hashed[d]; ok {
-		return false
-	}
-	v.hashed[d] = struct{}{}
-	return true
+		if x.Proc != y.Proc {
+			return x.Proc < y.Proc
+		}
+		return x.Info.Addr < y.Info.Addr
+	})
+	return steps
 }
 
-func (v *visitedSet) len() int {
-	if v.full != nil {
-		return len(v.full)
-	}
-	return len(v.hashed)
+func (s *machineSystem) Apply(t explore.Step) error {
+	return s.m.Apply(Transition{Kind: TransKind(t.Kind), Proc: t.Proc, Aux: int(t.Aux)})
 }
 
-// frame is one node of the explicit DFS stack: a machine state plus the
-// iterator over its enabled transitions.
-type frame struct {
-	m    Machine
-	ts   []Transition
-	next int
+func (s *machineSystem) Done() bool { return s.m.Done() }
+
+func (s *machineSystem) AppendKey(key []byte) []byte { return s.m.AppendKey(s.mode, key) }
+
+func (s *machineSystem) Prune() bool {
+	return s.maxTraceOps > 0 && s.m.Trace().Len() > s.maxTraceOps
+}
+
+func (s *machineSystem) Footprints(buf []explore.AgentFootprints) []explore.AgentFootprints {
+	return s.m.Footprints(buf)
 }
 
 // Visit runs the exploration, calling fn on every distinct completed machine
 // (Done() true, deduplicated under Mode). fn returning false stops early.
 // Visit reports statistics via the returned Stats even on early stop.
-//
-// The search is an explicit-stack depth-first traversal (preserving the
-// pre-order of the transition lists), so state spaces bounded only by
-// MaxStates cannot overflow the goroutine stack no matter how deep a path
-// runs. Visit allocates its working state locally, so one Explorer may be
-// shared by concurrent explorations.
 func (x *Explorer) Visit(m Machine, fn func(Machine) bool) (Stats, error) {
-	budget := x.MaxStates
-	if budget <= 0 {
-		budget = DefaultMaxStates
+	k := explore.Explorer{
+		MaxStates:       x.MaxStates,
+		FullExploration: x.FullExploration,
+		FullKeys:        x.FullKeys,
+		// KeyExecution keys embed the global sync log, so the relative order
+		// of sync steps on different locations is observable; coarser modes
+		// only see sync effects through their memory locations.
+		VisibleSyncOrder: x.Mode >= KeyExecution,
 	}
-	st := Stats{}
-	visited := newVisitedSet(x.FullKeys, 1024)
-	finals := newVisitedSet(x.FullKeys, 16)
-	stop := false
-	var key []byte // reused across all states of this exploration
-
-	// enter processes one state exactly as the former recursion's prologue
-	// did: trace bound, transition computation, dedup, budget, final
-	// handling. It reports descend=true when the state is new and has
-	// children to push.
-	enter := func(m Machine) (f frame, descend bool, err error) {
-		if x.MaxTraceOps > 0 && m.Trace().Len() > x.MaxTraceOps {
-			st.Truncated++
-			return frame{}, false, nil
-		}
-		// Compute transitions before keying: Transitions() advances threads
-		// through their (deterministic) local instructions to their next
-		// memory operation, normalizing the state so that equivalent states
-		// reached along different paths key identically.
-		ts := m.Transitions()
-		key = m.AppendKey(x.Mode, key[:0])
-		if visited.len() >= budget {
-			// Checked before the insert so the budget error is raised only
-			// when a new state would exceed it, as before.
-			if !visited.add(key) {
-				return frame{}, false, nil
-			}
-			return frame{}, false, fmt.Errorf("model: exploring %s: %w", m.Name(), ErrStateBudget)
-		}
-		if !visited.add(key) {
-			return frame{}, false, nil
-		}
-		st.States++
-		if len(ts) == 0 {
-			if !m.Done() {
-				return frame{}, false, fmt.Errorf("model: %s deadlocked (no enabled transitions, not done)", m.Name())
-			}
-			if finals.add(key) {
-				st.Finals++
-				if !fn(m) {
-					stop = true
-				}
-			}
-			return frame{}, false, nil
-		}
-		return frame{m: m, ts: ts}, true, nil
-	}
-
-	root, descend, err := enter(m.Clone())
-	if err != nil {
-		return st, err
-	}
-	stack := make([]frame, 0, 64)
-	if descend {
-		stack = append(stack, root)
-	}
-	for len(stack) > 0 && !stop {
-		top := &stack[len(stack)-1]
-		if top.next >= len(top.ts) {
-			stack = stack[:len(stack)-1]
-			continue
-		}
-		t := top.ts[top.next]
-		top.next++
-		var c Machine
-		if top.next >= len(top.ts) {
-			// Last child: this frame is exhausted and will never be touched
-			// again, so the child consumes the parent machine in place — one
-			// whole clone saved per expanded state (states with a single
-			// successor, the common case on long deterministic runs, clone
-			// nothing at all).
-			c = top.m
-			stack = stack[:len(stack)-1]
-		} else {
-			c = top.m.Clone()
-		}
-		if err := c.Apply(t); err != nil {
-			return st, fmt.Errorf("model: applying %s on %s: %w", t, c.Name(), err)
-		}
-		st.Transitions++
-		child, descend, err := enter(c)
-		if err != nil {
-			return st, err
-		}
-		if descend {
-			stack = append(stack, child)
-		}
-	}
-	return st, nil
-}
-
-// Stats summarizes one exploration.
-type Stats struct {
-	States      int // distinct states visited
-	Transitions int // transitions applied
-	Finals      int // distinct completed states reached
-	Truncated   int // paths pruned by MaxTraceOps (0 means exhaustive)
-}
-
-// String implements fmt.Stringer.
-func (s Stats) String() string {
-	if s.Truncated > 0 {
-		return fmt.Sprintf("%d states, %d transitions, %d final states, %d paths truncated",
-			s.States, s.Transitions, s.Finals, s.Truncated)
-	}
-	return fmt.Sprintf("%d states, %d transitions, %d final states", s.States, s.Transitions, s.Finals)
+	sys := &machineSystem{m: m, mode: x.Mode, maxTraceOps: x.MaxTraceOps}
+	return k.Run(sys, func(s explore.TransitionSystem) bool {
+		return fn(s.(*machineSystem).m)
+	})
 }
 
 // Outcomes collects the set of distinct Results (the paper's notion: all read

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 
+	"weakorder/internal/explore"
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
 )
@@ -123,6 +124,18 @@ type Machine interface {
 	// Trace returns the recorded execution so far: accesses in completion
 	// (commit) order. For the SC machine this is an idealized execution.
 	Trace() *mem.Execution
+	// StepInfo classifies an enabled transition for partial-order reduction:
+	// which agent it belongs to and which single memory access it performs.
+	// Agents partition a machine's transitions so that a disabled transition
+	// of agent a can only be enabled by a step of a itself or of an agent
+	// whose footprint conflicts with a's (the kernel's frozen-gate contract).
+	StepInfo(t Transition) explore.Info
+	// Footprints appends one entry per agent: an over-approximation of every
+	// access the agent may still perform (static program suffix plus dynamic
+	// machine state such as buffered writes or in-flight messages), and the
+	// wake footprint through which other agents can unfreeze its currently
+	// disabled steps.
+	Footprints(buf []explore.AgentFootprints) []explore.AgentFootprints
 }
 
 // base carries the thread interpreters and recording shared by all machines.
@@ -137,6 +150,9 @@ type base struct {
 	readLog [][]readRec
 	// syncLog is the global commit order of synchronization operations.
 	syncLog []syncRec
+	// fp holds the immutable static footprints of the program, shared by all
+	// clones (cloneBase copies the pointer).
+	fp *progFootprints
 }
 
 type readRec struct {
@@ -157,6 +173,7 @@ func newBase(name string, p *program.Program) base {
 		addrs:   p.Addrs(),
 		trace:   mem.NewExecution(p.NumThreads()),
 		readLog: make([][]readRec, p.NumThreads()),
+		fp:      computeFootprints(p),
 	}
 	for _, code := range p.Threads {
 		b.threads = append(b.threads, program.NewThread(code))

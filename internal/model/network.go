@@ -3,7 +3,9 @@ package model
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
+	"weakorder/internal/explore"
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
 )
@@ -209,7 +211,25 @@ func (m *Network) AppendKey(mode KeyMode, key []byte) []byte {
 	key = appendMem(key, m.addrs, m.memory)
 	key = append(key, 'F')
 	key = binary.AppendUvarint(key, uint64(len(m.inflight)))
-	for _, msg := range m.inflight {
+	// Canonical grouped encoding: messages sorted by (proc, addr) with the
+	// in-group (per-module FIFO) order preserved. The machine's behavior
+	// depends only on each (proc, addr) subsequence — deliverable() never
+	// compares messages across groups — so the cross-group interleaving the
+	// list order records is not state and must not reach the key, or issue
+	// steps of different processors would fail to commute at the key level.
+	idx := make([]int, len(m.inflight))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		x, y := m.inflight[idx[a]], m.inflight[idx[b]]
+		if x.proc != y.proc {
+			return x.proc < y.proc
+		}
+		return x.addr < y.addr
+	})
+	for _, i := range idx {
+		msg := m.inflight[i]
 		r := byte('w')
 		if msg.isRead {
 			r = 'r'
@@ -221,6 +241,49 @@ func (m *Network) AppendKey(mode KeyMode, key []byte) []byte {
 		key = binary.AppendUvarint(key, uint64(msg.opIndex))
 	}
 	return key
+}
+
+// StepInfo implements Machine. Deliveries act for the issuing processor: all
+// of an agent's gates (per-module FIFO, in-flight caps, read blocking, sync
+// quiescence) wait only on the agent's own deliveries.
+func (m *Network) StepInfo(t Transition) explore.Info {
+	if t.Kind == TDeliver {
+		if i, ok := m.findMsg(t.Aux); ok {
+			msg := m.inflight[i]
+			op := mem.OpWrite
+			if msg.isRead {
+				op = mem.OpRead
+			}
+			info := explore.Info{Agent: msg.proc, Addr: msg.addr, Op: op}
+			info.AddrBit, _ = m.fpAddrBit(msg.addr)
+			return info
+		}
+		return explore.Info{Agent: t.Proc, Opaque: true}
+	}
+	return m.execInfo(t.Proc)
+}
+
+// Footprints implements Machine: each processor's static suffix plus its
+// in-flight accesses. Wake footprints stay empty — every enabling gate
+// (per-module FIFO, the in-flight cap, read blocking, sync quiescence)
+// depends only on the processor's own in-flight messages.
+func (m *Network) Footprints(buf []explore.AgentFootprints) []explore.AgentFootprints {
+	base := len(buf)
+	buf = m.appendThreadFootprints(buf)
+	for _, msg := range m.inflight {
+		fp := &buf[base+msg.proc].Future
+		bit, ok := m.fpAddrBit(msg.addr)
+		if !ok {
+			fp.Wild = true
+			continue
+		}
+		if msg.isRead {
+			fp.Reads |= bit
+		} else {
+			fp.Writes |= bit
+		}
+	}
+	return buf
 }
 
 // Final implements Machine.

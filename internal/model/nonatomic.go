@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 
+	"weakorder/internal/explore"
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
 )
@@ -87,6 +88,33 @@ func (m *NonAtomic) Done() bool { return m.c.allDrained() && m.threadsDone() }
 func (m *NonAtomic) AppendKey(mode KeyMode, key []byte) []byte {
 	key = m.appendKeyBase(mode, key)
 	return m.c.appendKey(key, m.addrs)
+}
+
+// StepInfo implements Machine: deliveries act for the source processor (see
+// copies.propInfo), executions for the issuing thread.
+func (m *NonAtomic) StepInfo(t Transition) explore.Info {
+	if t.Kind == TDeliver {
+		return m.c.propInfo(int64(t.Aux), t.Proc, m.fpAddrBit)
+	}
+	return m.execInfo(t.Proc)
+}
+
+// Footprints implements Machine: each processor's static suffix plus its
+// undelivered write propagations. The only cross-agent enabling gate is a
+// delivery blocked behind another source's older same-(dst,addr)
+// propagation, declared as a wake footprint on the agent's own propagation
+// addresses.
+func (m *NonAtomic) Footprints(buf []explore.AgentFootprints) []explore.AgentFootprints {
+	base := len(buf)
+	buf = m.appendThreadFootprints(buf)
+	for p, pm := range m.c.propMasks(m.fpAddrBit) {
+		af := &buf[base+p]
+		af.Future.Writes |= pm.bits
+		af.Future.Wild = af.Future.Wild || pm.wild
+		af.Wake.Reads |= pm.bits
+		af.Wake.Wild = af.Wake.Wild || pm.wild
+	}
+	return buf
 }
 
 // Final implements Machine: once drained all copies agree; processor 0's copy

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 
+	"weakorder/internal/explore"
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
 )
@@ -68,6 +69,17 @@ func (m *SC) AppendKey(mode KeyMode, key []byte) []byte {
 	key = m.appendKeyBase(mode, key)
 	key = append(key, 'M')
 	return appendMem(key, m.addrs, m.memory)
+}
+
+// StepInfo implements Machine: every transition is one atomic access by the
+// acting thread.
+func (m *SC) StepInfo(t Transition) explore.Info { return m.execInfo(t.Proc) }
+
+// Footprints implements Machine: with no buffers or messages, an agent's
+// future accesses are exactly its static program suffix, every step is
+// always enabled, and the wake footprints stay empty.
+func (m *SC) Footprints(buf []explore.AgentFootprints) []explore.AgentFootprints {
+	return m.appendThreadFootprints(buf)
 }
 
 // Final implements Machine.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"weakorder/internal/explore"
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
 )
@@ -154,7 +155,25 @@ func (m *WeakOrdered) Transitions() []Transition {
 func (m *WeakOrdered) Apply(t Transition) error {
 	switch t.Kind {
 	case TDeliver:
-		return m.c.deliver(int64(t.Aux), t.Proc)
+		src := m.c.propSrc(int64(t.Aux), t.Proc)
+		if err := m.c.deliver(int64(t.Aux), t.Proc); err != nil {
+			return err
+		}
+		// A reservation is released for good the moment its holder's
+		// outstanding counter reads zero. Scrubbing eagerly (rather than
+		// filtering lazily in reserver) matters for state deduplication: a
+		// lazily released reservation would silently rearm when the holder
+		// commits its next write, giving two states with identical canonical
+		// keys (the 'V' section encodes effective reservations only)
+		// different futures.
+		if src >= 0 && m.c.drained(src) {
+			for a, h := range m.resv {
+				if h == src {
+					delete(m.resv, a)
+				}
+			}
+		}
+		return nil
 	case TExec:
 		req, ok, err := m.pending(t.Proc)
 		if err != nil {
@@ -238,6 +257,54 @@ func (m *WeakOrdered) AppendKey(mode KeyMode, key []byte) []byte {
 		key = binary.AppendUvarint(key, uint64(m.reserver(a)))
 	}
 	return key
+}
+
+// StepInfo implements Machine. Deliveries act for the *source* processor:
+// WODef1's sync stall (drained(p)) and WODef2's reservation release
+// (drained(holder)) both wait only on the stalled/holding agent's own
+// deliveries, which is what lets the kernel treat each processor plus its
+// undelivered propagations as one agent.
+func (m *WeakOrdered) StepInfo(t Transition) explore.Info {
+	if t.Kind == TDeliver {
+		return m.c.propInfo(int64(t.Aux), t.Proc, m.fpAddrBit)
+	}
+	return m.execInfo(t.Proc)
+}
+
+// Footprints implements Machine: each processor's static suffix plus the
+// writes it has committed but not yet globally performed. Two gates can be
+// unfrozen by other agents and are declared as wake footprints: a delivery
+// blocked behind another source's older same-(dst,addr) propagation (woken
+// by that source delivering — a write to the same address, so the agent's
+// own propagation addresses as reads), and a synchronization stalled on a
+// reservation (woken by the holder finishing its deliveries — writes to the
+// holder's propagation addresses). Everything else (canCommit, Definition
+// 1's drain stall) waits on the agent's own deliveries.
+func (m *WeakOrdered) Footprints(buf []explore.AgentFootprints) []explore.AgentFootprints {
+	base := len(buf)
+	buf = m.appendThreadFootprints(buf)
+	masks := m.c.propMasks(m.fpAddrBit)
+	for p, pm := range masks {
+		af := &buf[base+p]
+		af.Future.Writes |= pm.bits
+		af.Future.Wild = af.Future.Wild || pm.wild
+		af.Wake.Reads |= pm.bits
+		af.Wake.Wild = af.Wake.Wild || pm.wild
+	}
+	if m.mode == modeDef2 || m.mode == modeDef2DRF1 {
+		for p := range m.threads {
+			req, ok, err := m.pending(p)
+			if err != nil || !ok || !req.Op.IsSync() {
+				continue
+			}
+			if r := m.reserver(req.Addr); r >= 0 && r != p {
+				af := &buf[base+p]
+				af.Wake.Reads |= masks[r].bits
+				af.Wake.Wild = af.Wake.Wild || masks[r].wild
+			}
+		}
+	}
+	return buf
 }
 
 // Final implements Machine.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"weakorder/internal/explore"
 	"weakorder/internal/mem"
 	"weakorder/internal/program"
 )
@@ -219,6 +220,42 @@ func (m *WriteBuffer) AppendKey(mode KeyMode, key []byte) []byte {
 		}
 	}
 	return key
+}
+
+// StepInfo implements Machine. A drain retires the head buffered write, an
+// access by the buffering processor (its agent): draining is only gated by
+// the processor's own buffer, so every step of an agent is enabled or
+// waitable on the agent itself.
+func (m *WriteBuffer) StepInfo(t Transition) explore.Info {
+	if t.Kind == TDrain {
+		if b := m.buffers[t.Proc]; len(b) > 0 {
+			info := explore.Info{Agent: t.Proc, Addr: b[0].addr, Op: mem.OpWrite}
+			info.AddrBit, _ = m.fpAddrBit(b[0].addr)
+			return info
+		}
+		return explore.Info{Agent: t.Proc, Opaque: true}
+	}
+	return m.execInfo(t.Proc)
+}
+
+// Footprints implements Machine: each processor's static suffix plus the
+// writes still sitting in its buffer. Wake footprints stay empty — every
+// enabling gate (buffer room, sync drain, delay sets) depends on the
+// processor's own buffer alone.
+func (m *WriteBuffer) Footprints(buf []explore.AgentFootprints) []explore.AgentFootprints {
+	base := len(buf)
+	buf = m.appendThreadFootprints(buf)
+	for p, b := range m.buffers {
+		fp := &buf[base+p].Future
+		for _, e := range b {
+			if bit, ok := m.fpAddrBit(e.addr); ok {
+				fp.Writes |= bit
+			} else {
+				fp.Wild = true
+			}
+		}
+	}
+	return buf
 }
 
 // Final implements Machine.
