@@ -10,6 +10,16 @@
 //
 //	wofuzz [-seeds N] [-seed S] [-budget DUR] [-machines CSV] [-minimize]
 //	       [-max-states N] [-por on|off] [-json PATH] [-out DIR] [-v]
+//	wofuzz -chaos [-seeds N] [-seed S] [-budget DUR] [-fault-seed S]
+//	       [-fault-rates drop=P,dup=P,...] [-max-states N] [-v]
+//
+// -chaos switches the campaign to the differential chaos harness
+// (internal/chaos): random DRF0 programs run on the *timed* Definition-2
+// machine over the deterministic fault-injecting fabric, asserting every run
+// completes under bounded retry and lands inside the program's SC outcome
+// set. A completion failure or containment escape exits with status 1 and
+// prints the (program seed, fault seed) pair plus the injection log — a
+// byte-identical reproducer.
 //
 // -por=off disables the exploration kernel's partial-order reduction (a
 // debugging escape hatch: the differential tests pin that outcome sets are
@@ -36,6 +46,8 @@ import (
 	"path/filepath"
 	"time"
 
+	"weakorder/internal/chaos"
+	"weakorder/internal/faults"
 	"weakorder/internal/fuzz"
 	"weakorder/internal/litmus"
 	"weakorder/internal/model"
@@ -105,7 +117,23 @@ func main() {
 	jsonPath := flag.String("json", "", `write a JSON campaign report to PATH ("-" = stdout)`)
 	outDir := flag.String("out", "", "write minimized reproducers (.litmus and .go) into DIR")
 	verbose := flag.Bool("v", false, "log every program checked")
+	chaosMode := flag.Bool("chaos", false, "run the differential chaos campaign on the timed machine under fault injection")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos: base fault seed; program i uses fault-seed+i")
+	faultRates := flag.String("fault-rates", "", "chaos: fault rates (empty = defaults)")
 	flag.Parse()
+
+	if *chaosMode {
+		rates, err := faults.ParseRates(*faultRates)
+		if err != nil {
+			fatal(err)
+		}
+		x := fuzz.DefaultExplorer()
+		if *maxStates > 0 {
+			x.MaxStates = *maxStates
+		}
+		runChaos(*seeds, *baseSeed, *budget, *faultSeed, rates, x, *verbose)
+		return
+	}
 
 	factories, err := litmus.FactoriesByNames(*machinesCSV)
 	if err != nil {
@@ -202,6 +230,60 @@ func main() {
 	if rep.Checked == 0 && rep.Skipped > 0 {
 		fmt.Fprintln(os.Stderr, "wofuzz: state budget exhausted on every program — nothing was decided (raise -max-states)")
 		os.Exit(2)
+	}
+}
+
+// runChaos is the -chaos campaign: DRF0-by-construction programs on the timed
+// Definition-2 machine under deterministic fault injection, asserting the
+// completion and SC-containment properties for every (program, fault seed)
+// pair. Any failure prints a byte-identical reproducer and exits 1.
+func runChaos(seeds int, baseSeed int64, budget time.Duration, faultSeed int64, rates faults.Rates, x *model.Explorer, verbose bool) {
+	start := time.Now()
+	var checked, injected int
+	var retries, tolerated int64
+	failures := 0
+	for i := 0; i < seeds; i++ {
+		if budget > 0 && time.Since(start) > budget {
+			fmt.Fprintf(os.Stderr, "wofuzz: budget %s exhausted after %d/%d seeds\n", budget, i, seeds)
+			break
+		}
+		seed := baseSeed + int64(i)
+		var p *program.Program
+		if i%2 == 0 {
+			p = workload.RandomGuarded(seed, 2, 3)
+		} else {
+			p = workload.RandomDRF(seed, 2, 2, 2)
+		}
+		scOut, err := chaos.SCOutcomes(p, x)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := chaos.RunCase(p, faultSeed+int64(i), rates, chaos.CanonicalSet(scOut))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wofuzz: CHAOS COMPLETION FAILURE: %v\n", err)
+			failures++
+			continue
+		}
+		checked++
+		injected += c.Faults
+		retries += c.Retries
+		tolerated += c.Tolerated
+		if !c.Contained {
+			fmt.Fprintf(os.Stderr,
+				"wofuzz: CHAOS CONTAINMENT ESCAPE: %s (seed %d, fault seed %d) outcome outside the SC set:\n%s\ninjections:\n%s",
+				p.Name, seed, c.Seed, c.Canonical, c.InjectionLog)
+			failures++
+		}
+		if verbose {
+			fmt.Printf("[%3d] seed=%-6d fault-seed=%-6d %-22s faults=%-3d retries=%-3d tolerated=%-3d contained=%v\n",
+				i, seed, c.Seed, p.Name, c.Faults, c.Retries, c.Tolerated, c.Contained)
+		}
+	}
+	fmt.Printf("wofuzz chaos: %d checked, %d faults injected, %d retries, %d tolerated, %d failure(s) in %s (rates %s)\n",
+		checked, injected, retries, tolerated, failures, time.Since(start).Round(time.Millisecond), rates)
+	if failures > 0 {
+		fmt.Fprintln(os.Stderr, "wofuzz: CHAOS PROPERTY VIOLATION(S) FOUND")
+		os.Exit(1)
 	}
 }
 

@@ -70,3 +70,36 @@ func TestPORFlag(t *testing.T) {
 		t.Fatalf("invalid -por: exit code = %d, output:\n%s", code, out)
 	}
 }
+
+// TestChaosMode runs a small chaos campaign end to end: it must complete with
+// status 0, actually inject faults, and report the deterministic summary.
+func TestChaosMode(t *testing.T) {
+	bin := buildWofuzz(t)
+	args := []string{"-chaos", "-seeds", "8", "-fault-seed", "3"}
+	out, code := run(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("exit code = %d\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wofuzz chaos: 8 checked") {
+		t.Fatalf("missing chaos summary:\n%s", out)
+	}
+	if strings.Contains(out, " 0 faults injected") {
+		t.Fatalf("chaos campaign injected nothing:\n%s", out)
+	}
+	// Replay determinism: the summary (minus elapsed time) is identical.
+	out2, _ := run(t, bin, args...)
+	trim := func(s string) string {
+		i := strings.Index(s, "wofuzz chaos:")
+		j := strings.Index(s, " in ")
+		if i < 0 || j < 0 {
+			t.Fatalf("unexpected summary:\n%s", s)
+		}
+		return s[i:j]
+	}
+	if trim(out) != trim(out2) {
+		t.Fatalf("chaos replay diverged:\n first: %s\nsecond: %s", trim(out), trim(out2))
+	}
+	if out, code := run(t, bin, "-chaos", "-seeds", "1", "-fault-rates", "drop=nope"); code != 1 || !strings.Contains(out, "bad probability") {
+		t.Fatalf("invalid -fault-rates: exit code = %d, output:\n%s", code, out)
+	}
+}

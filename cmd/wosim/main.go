@@ -8,6 +8,11 @@
 //	      [-procs N] [-iters N] [-work N] [-spin sync|data|tas]
 //	      [-netlat N] [-jitter N] [-bus] [-seed S] [-check]
 //	      [-por on|off] [-max-states N]
+//	      [-faults] [-fault-seed S] [-fault-rates drop=P,dup=P,delay=P,reorder=P,maxdelay=N]
+//
+// All flag values are validated up front: an unknown enum value or a negative
+// latency exits with status 2 and a one-line message before any simulation
+// work happens.
 //
 // -check additionally records the execution trace and verifies it is
 // sequentially consistent (expected for the DRF0 workloads on every policy).
@@ -16,6 +21,12 @@
 // changes) and -max-states bounds its search. A check that exhausts the state
 // budget exits with status 2 and a distinct message, separating "too big to
 // decide" from "decided and not SC" (status 1).
+//
+// -faults runs the machine over the deterministic fault-injecting fabric
+// (internal/faults) with the protocol's recovery machinery (retries, NACKs,
+// lenient duplicate handling, directory watchdog) enabled; -fault-seed and
+// -fault-rates pick the exact fault schedule, and the run prints an injection
+// summary. The same seed and rates replay byte-identically.
 //
 // -cpuprofile and -memprofile write pprof profiles for the run, for
 // inspection with `go tool pprof`.
@@ -32,6 +43,7 @@ import (
 	"weakorder/internal/conditions"
 	"weakorder/internal/core"
 	"weakorder/internal/explore"
+	"weakorder/internal/faults"
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
 	"weakorder/internal/proc"
@@ -59,9 +71,70 @@ func main() {
 	maxStates := flag.Int("max-states", 0, "state budget for the -check search (0 = kernel default)")
 	conds := flag.Bool("conditions", false, "verify the run against the Section-5.1 conditions")
 	dump := flag.String("dump-trace", "", "write the recorded trace (and timings) as JSON to this file")
+	injectFaults := flag.Bool("faults", false, "inject deterministic fabric faults and enable the recovery machinery")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (replays byte-identically)")
+	faultRates := flag.String("fault-rates", "", "fault rates, e.g. drop=0.03,dup=0.04,delay=0.06,reorder=0.02,maxdelay=16 (empty = defaults)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	// Validate every flag before doing any work: a typo'd enum or a negative
+	// latency is a usage error (exit 2), not something to discover mid-run.
+	var pol proc.Policy
+	switch *policy {
+	case "sc":
+		pol = proc.PolicySC
+	case "def1":
+		pol = proc.PolicyWODef1
+	case "def2":
+		pol = proc.PolicyWODef2
+	case "def2drf1":
+		pol = proc.PolicyWODef2DRF1
+	case "def2noreserve":
+		pol = proc.PolicyWODef2NoReserve
+	default:
+		usage(fmt.Errorf("unknown -policy %q (want sc, def1, def2, def2drf1, or def2noreserve)", *policy))
+	}
+	var sk workload.SpinKind
+	switch *spin {
+	case "sync":
+		sk = workload.SpinSync
+	case "data":
+		sk = workload.SpinData
+	case "tas":
+		sk = workload.SpinTAS
+	default:
+		usage(fmt.Errorf("unknown -spin %q (want sync, data, or tas)", *spin))
+	}
+	switch *wl {
+	case "prodcons", "lock", "barrier", "fig3":
+	default:
+		usage(fmt.Errorf("unknown -workload %q (want prodcons, lock, barrier, or fig3)", *wl))
+	}
+	if *por != "on" && *por != "off" {
+		usage(fmt.Errorf("invalid -por %q (want on or off)", *por))
+	}
+	if *netlat < 0 {
+		usage(fmt.Errorf("negative -netlat %d", *netlat))
+	}
+	if *jitter < 0 {
+		usage(fmt.Errorf("negative -jitter %d", *jitter))
+	}
+	if *procs < 1 {
+		usage(fmt.Errorf("-procs %d out of range (want at least 1)", *procs))
+	}
+	if *iters < 0 {
+		usage(fmt.Errorf("negative -iters %d", *iters))
+	}
+	rates := faults.Rates{}
+	if *injectFaults {
+		var err error
+		if rates, err = faults.ParseRates(*faultRates); err != nil {
+			usage(fmt.Errorf("invalid -fault-rates: %w", err))
+		}
+	} else if *faultRates != "" {
+		usage(fmt.Errorf("-fault-rates requires -faults"))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -88,33 +161,6 @@ func main() {
 		}()
 	}
 
-	var pol proc.Policy
-	switch *policy {
-	case "sc":
-		pol = proc.PolicySC
-	case "def1":
-		pol = proc.PolicyWODef1
-	case "def2":
-		pol = proc.PolicyWODef2
-	case "def2drf1":
-		pol = proc.PolicyWODef2DRF1
-	case "def2noreserve":
-		pol = proc.PolicyWODef2NoReserve
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
-	}
-	var sk workload.SpinKind
-	switch *spin {
-	case "sync":
-		sk = workload.SpinSync
-	case "data":
-		sk = workload.SpinData
-	case "tas":
-		sk = workload.SpinTAS
-	default:
-		fatal(fmt.Errorf("unknown spin kind %q", *spin))
-	}
-
 	var prog *program.Program
 	switch *wl {
 	case "prodcons":
@@ -125,8 +171,6 @@ func main() {
 		prog = workload.Barrier(*procs, *iters, *work, sk)
 	case "fig3":
 		prog = workload.Fig3(*procs-1, *work)
-	default:
-		fatal(fmt.Errorf("unknown workload %q", *wl))
 	}
 
 	cfg := machine.NewConfig(pol)
@@ -139,6 +183,11 @@ func main() {
 	if *update {
 		cfg.Protocol = machine.ProtocolUpdate
 	}
+	if *injectFaults {
+		cfg.Faults = true
+		cfg.FaultSeed = *faultSeed
+		cfg.FaultRates = rates
+	}
 	cfg.RecordTrace = *check || *dump != ""
 	cfg.RecordTimings = *conds || *dump != ""
 
@@ -148,6 +197,9 @@ func main() {
 	}
 
 	fmt.Printf("workload %s on %s: %d cycles, %d messages\n", prog.Name, pol, res.Cycles, res.Messages)
+	if *injectFaults {
+		fmt.Printf("faults: seed=%d rates=%s injected=%d\n", *faultSeed, rates, len(res.Injections))
+	}
 	tbl := stats.NewTable("per-processor", "proc", "finish", "reads", "writes", "syncs",
 		"read stall", "sync stall", "local")
 	for i, ps := range res.ProcStats {
@@ -179,12 +231,8 @@ func main() {
 	}
 	if *check {
 		opts := core.SCOptions{MaxStates: *maxStates}
-		switch *por {
-		case "on":
-		case "off":
+		if *por == "off" {
 			opts.FullExploration = true
-		default:
-			fatal(fmt.Errorf("invalid -por %q (want on or off)", *por))
 		}
 		w, err := core.SCCheckOpt(res.Trace, init, opts)
 		if err != nil {
@@ -229,4 +277,12 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "wosim: %v\n", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation error. Usage errors exit with status 2 —
+// distinct from a failed run (1) — so scripts can tell "you called it wrong"
+// from "the simulation found a problem".
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "wosim: %v\n", err)
+	os.Exit(2)
 }

@@ -59,7 +59,60 @@ func TestCheckPORFlag(t *testing.T) {
 			t.Fatalf("-por=%s: missing %q in output:\n%s", por, verdict, out)
 		}
 	}
-	if out, code := run(t, bin, "-check", "-por", "sideways"); code != 1 || !strings.Contains(out, "invalid -por") {
-		t.Fatalf("invalid -por: exit code = %d, output:\n%s", code, out)
+	if out, code := run(t, bin, "-check", "-por", "sideways"); code != 2 || !strings.Contains(out, "invalid -por") {
+		t.Fatalf("invalid -por: exit code = %d, want 2, output:\n%s", code, out)
+	}
+}
+
+// TestFlagValidationExitsTwo pins the up-front validation contract: a typo'd
+// enum or a negative latency is rejected with status 2 and a message naming
+// the flag, before any simulation output.
+func TestFlagValidationExitsTwo(t *testing.T) {
+	bin := buildWosim(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bad workload", []string{"-workload", "nope"}, "unknown -workload"},
+		{"bad policy", []string{"-policy", "tso"}, "unknown -policy"},
+		{"bad spin", []string{"-spin", "busy"}, "unknown -spin"},
+		{"negative netlat", []string{"-netlat", "-1"}, "negative -netlat"},
+		{"negative jitter", []string{"-jitter", "-3"}, "negative -jitter"},
+		{"zero procs", []string{"-procs", "0"}, "-procs"},
+		{"bad fault rates", []string{"-faults", "-fault-rates", "drop=2"}, "invalid -fault-rates"},
+		{"rates without faults", []string{"-fault-rates", "drop=0.1"}, "requires -faults"},
+	}
+	for _, c := range cases {
+		out, code := run(t, bin, c.args...)
+		if code != 2 {
+			t.Errorf("%s: exit code = %d, want 2\noutput:\n%s", c.name, code, out)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s: output missing %q:\n%s", c.name, c.want, out)
+		}
+		if strings.Contains(out, "cycles") {
+			t.Errorf("%s: simulation ran despite the usage error:\n%s", c.name, out)
+		}
+	}
+}
+
+// TestFaultInjectionReplays runs the same faulty simulation twice and asserts
+// the output — cycle counts, injection summary, final memory — is identical:
+// the -fault-seed contract.
+func TestFaultInjectionReplays(t *testing.T) {
+	bin := buildWosim(t)
+	args := []string{"-workload", "fig3", "-procs", "3", "-work", "10",
+		"-faults", "-fault-seed", "7", "-fault-rates", "drop=0.05,dup=0.05,delay=0.08,reorder=0.03,maxdelay=12"}
+	out1, code1 := run(t, bin, args...)
+	out2, code2 := run(t, bin, args...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exit codes = %d, %d\noutput:\n%s", code1, code2, out1)
+	}
+	if out1 != out2 {
+		t.Fatalf("faulty runs with the same seed diverged:\n--- first ---\n%s--- second ---\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "faults: seed=7") {
+		t.Fatalf("missing injection summary:\n%s", out1)
 	}
 }

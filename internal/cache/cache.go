@@ -40,11 +40,17 @@ type line struct {
 	state    LineState
 	value    mem.Value
 	reserved bool
+	// epoch is the directory transaction that granted this copy. Every
+	// later directory message for the line carries a strictly greater
+	// epoch, so a forward or invalidation tagged with epoch <= this one is
+	// a duplicated or delayed fabric artifact, not a protocol event.
+	epoch uint64
 }
 
 // mshr tracks one outstanding transaction for an address.
 type mshr struct {
 	exclusive    bool // GetX (else GetS)
+	sync         bool // synchronization access (not counted by dataCounter)
 	update       bool // UpdateReq (write-update protocol)
 	dataArrived  bool
 	performed    bool // WriteAck (or Performed Data) received
@@ -55,12 +61,30 @@ type mshr struct {
 	updateOverride *mem.Value
 	value          mem.Value
 	excl           bool
+	// seq is the transaction number stamped on the request; responses must
+	// echo it or be discarded as stale.
+	seq uint64
+	// req is the request message, kept for retransmission.
+	req Msg
+	// attempts counts retransmissions (timeout- or NACK-triggered).
+	attempts int
 	// onData fires at commit (Data arrival; for reads, value binding).
 	onData func(old mem.Value)
 	// onPerformed fires at global performance (writes/syncs only).
 	onPerformed func()
 	// free callbacks waiting for the MSHR to clear.
 	onFree []func()
+}
+
+// satisfied reports whether the transaction no longer needs its request
+// retransmitted: reads and invalidation-protocol writes once Data arrived
+// (performance rides on WriteAck, which the fault model never drops), updates
+// once the directory acknowledged.
+func (m *mshr) satisfied() bool {
+	if m.update {
+		return m.performed
+	}
+	return m.dataArrived
 }
 
 // Cache is one processor's cache and weak-ordering bookkeeping.
@@ -74,15 +98,45 @@ type Cache struct {
 	lines map[mem.Addr]*line
 	mshrs map[mem.Addr]*mshr
 
+	// lenient tolerates messages explainable as fabric faults (duplicates,
+	// stale responses) by ignoring them with a counted stat instead of
+	// raising ErrProtocol. Set by the machine when fault injection is on;
+	// the default strict mode treats every unexplained message as a bug.
+	lenient bool
+	// retryTimeout/retryLimit enable bounded request retransmission with
+	// exponential backoff: attempt k is resent retryTimeout<<k cycles after
+	// the previous one, up to retryLimit resends. Zero timeout disables
+	// retransmission (the fault-free default: no timers, no extra events).
+	retryTimeout sim.Time
+	retryLimit   int
+	// seq numbers outgoing transactions (starting at 1 so a zero Seq stays
+	// "untagged" for hand-crafted messages in tests).
+	seq uint64
+
 	// counter is the paper's outstanding-access counter: incremented on
 	// every miss sent, decremented when the transaction's data has arrived
 	// (reads) or the access is globally performed (writes/syncs).
+	//
+	// dataCounter counts only the *ordinary* (non-synchronization) subset.
+	// The Section-5.3 reserve machinery must key off this one: a reserve bit
+	// guarantees that accesses previous to the reserving synchronization
+	// operation are performed before the line is handed over, and those can
+	// only be held up by ordinary accesses — which always complete
+	// independently, because data forwards are never reserve-stalled. Waiting
+	// for the full counter instead deadlocks: a processor that releases lock
+	// A and then acquires lock B keeps its own counter positive with the
+	// outstanding acquire, which may itself be reserve-stalled at a peer
+	// doing the mirror-image release/acquire — a cross reserve-stall cycle
+	// neither counter-zero event can break. (Found by the chaos sweep; it is
+	// reachable fault-free with adverse network timing.)
 	counter       int
+	dataCounter   int
 	onCounterZero []func()
 
 	// stalledFwds queues remote synchronization requests (forwarded by the
 	// directory) that hit a reserved line; they are serviced when the
-	// counter reads zero (Section 5.3's stalled-request queue).
+	// ordinary-access counter reads zero (Section 5.3's stalled-request
+	// queue).
 	stalledFwds []stalledFwd
 	// pendingFwds queues forwards that arrived before our own Data for the
 	// same line (message-race guard).
@@ -117,8 +171,53 @@ func New(id interconnect.NodeID, engine *sim.Engine, fabric interconnect.Fabric,
 	return c
 }
 
-// Counter returns the outstanding-access counter.
+// SetLenient switches the cache into fault-tolerant mode: messages
+// explainable as fabric artifacts (duplicates, stale responses, stale
+// forwards) are counted and dropped instead of raising ErrProtocol.
+func (c *Cache) SetLenient(on bool) { c.lenient = on }
+
+// SetRetry enables bounded request retransmission: a request unanswered for
+// timeout<<k cycles is resent (attempt k), up to limit resends, after which
+// the run fails with ErrRetryExhausted. Must be set before the first access.
+func (c *Cache) SetRetry(timeout sim.Time, limit int) {
+	c.retryTimeout = timeout
+	c.retryLimit = limit
+}
+
+// fail aborts the simulation with a ProtocolError detected by this cache.
+func (c *Cache) fail(kind error, format string, args ...interface{}) {
+	c.engine.Fail(&ProtocolError{
+		Node: c.ID, Cycle: c.engine.Now(), Reason: fmt.Sprintf(format, args...), Kind: kind,
+	})
+}
+
+// failMsg aborts the simulation with a ProtocolError triggered by a message.
+func (c *Cache) failMsg(src interconnect.NodeID, msg Msg, format string, args ...interface{}) {
+	c.engine.Fail(&ProtocolError{
+		Node: c.ID, Cycle: c.engine.Now(), Msg: msg, HasMsg: true, From: src,
+		Reason: fmt.Sprintf(format, args...),
+	})
+}
+
+// tolerate handles a message that is only explainable as a fabric fault:
+// in lenient mode it is counted and dropped (returning true); in strict mode
+// the run fails with a ProtocolError (returning false).
+func (c *Cache) tolerate(stat string, src interconnect.NodeID, msg Msg, format string, args ...interface{}) bool {
+	if c.lenient {
+		c.Stats.Add("tolerated_"+stat, 1)
+		return true
+	}
+	c.failMsg(src, msg, format, args...)
+	return false
+}
+
+// Counter returns the outstanding-access counter (all access classes).
 func (c *Cache) Counter() int { return c.counter }
+
+// DataCounter returns the outstanding *ordinary* access counter — the one the
+// reserve machinery keys off (see the field comment for why synchronization
+// accesses must not be counted there).
+func (c *Cache) DataCounter() int { return c.dataCounter }
 
 // OnCounterZero registers fn to run when the counter reads zero (immediately
 // if it already does).
@@ -152,31 +251,96 @@ func (c *Cache) State(a mem.Addr) LineState {
 	return Invalid
 }
 
-// incCounter / decCounter maintain the paper's counter and fire zero-events.
-func (c *Cache) incCounter() { c.counter++ }
+// incCounter / decCounter maintain the paper's counters and fire zero-events.
+// sync tells whether the access is a synchronization access, which is counted
+// by the full counter only (see the dataCounter field comment).
+func (c *Cache) incCounter(sync bool) {
+	c.counter++
+	if !sync {
+		c.dataCounter++
+	}
+}
 
-func (c *Cache) decCounter() {
+func (c *Cache) decCounter(sync bool) {
 	c.counter--
 	if c.counter < 0 {
-		panic(fmt.Sprintf("cache %d: counter went negative", c.ID))
+		c.fail(nil, "outstanding-access counter went negative")
+		c.counter = 0
+		c.dataCounter = 0
+		return
+	}
+	if !sync {
+		c.dataCounter--
+		if c.dataCounter < 0 {
+			c.fail(nil, "ordinary-access counter went negative")
+			c.dataCounter = 0
+			return
+		}
+		if c.dataCounter == 0 {
+			// "All reserve bits are reset when the counter reads zero" — the
+			// counter of accesses a reserve can be waiting on, i.e. ordinary
+			// ones.
+			for _, l := range c.lines {
+				l.reserved = false
+			}
+			// Service remote synchronization requests stalled on reserve bits.
+			stalled := c.stalledFwds
+			c.stalledFwds = nil
+			for _, s := range stalled {
+				c.serviceFwd(s.src, s.msg)
+			}
+		}
 	}
 	if c.counter == 0 {
-		// "All reserve bits are reset when the counter reads zero."
-		for _, l := range c.lines {
-			l.reserved = false
-		}
+		// Definition 1's issue condition waits on *all* previous accesses.
 		cbs := c.onCounterZero
 		c.onCounterZero = nil
 		for _, fn := range cbs {
 			fn()
 		}
-		// Service remote synchronization requests stalled on reserve bits.
-		stalled := c.stalledFwds
-		c.stalledFwds = nil
-		for _, s := range stalled {
-			c.serviceFwd(s.src, s.msg)
-		}
 	}
+}
+
+// sendRequest stamps, records and sends a request, arming the retransmission
+// timer when retry is enabled.
+func (c *Cache) sendRequest(a mem.Addr, m *mshr, msg Msg) {
+	c.seq++
+	m.seq = c.seq
+	msg.Seq = c.seq
+	m.req = msg
+	c.fabric.Send(c.ID, c.dir, msg)
+	c.armRetry(a, m)
+}
+
+// armRetry schedules the next retransmission check for the MSHR's request.
+func (c *Cache) armRetry(a mem.Addr, m *mshr) {
+	if c.retryTimeout <= 0 {
+		return
+	}
+	c.engine.After(c.retryTimeout<<uint(m.attempts), func() { c.retryCheck(a, m) })
+}
+
+// retryCheck fires when a retransmission timer expires: if the transaction is
+// still unanswered, the request is resent with exponential backoff; past the
+// bounded budget the run fails with ErrRetryExhausted.
+func (c *Cache) retryCheck(a mem.Addr, m *mshr) {
+	if c.mshrs[a] != m || m.satisfied() {
+		return // answered (or retired) in the meantime
+	}
+	c.resendRequest(a, m)
+}
+
+// resendRequest performs one bounded retransmission attempt.
+func (c *Cache) resendRequest(a mem.Addr, m *mshr) {
+	m.attempts++
+	if m.attempts > c.retryLimit {
+		c.fail(ErrRetryExhausted, "%s for x%d unanswered after %d attempts (seq %d)",
+			m.req.Kind, a, m.attempts, m.seq)
+		return
+	}
+	c.Stats.Add("request_retries", 1)
+	c.fabric.Send(c.ID, c.dir, m.req)
+	c.armRetry(a, m)
 }
 
 // AcquireShared ensures the line is at least Shared and calls done with its
@@ -191,12 +355,14 @@ func (c *Cache) AcquireShared(a mem.Addr, sync bool, done func(v mem.Value)) {
 		return
 	}
 	if c.mshrs[a] != nil {
-		panic(fmt.Sprintf("cache %d: AcquireShared with busy MSHR for x%d", c.ID, a))
+		c.fail(nil, "AcquireShared with busy MSHR for x%d", a)
+		return
 	}
 	c.Stats.Add("read_misses", 1)
-	c.incCounter()
-	c.mshrs[a] = &mshr{onData: func(v mem.Value) { done(v) }}
-	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgGetS, Addr: a, Sync: sync})
+	c.incCounter(sync)
+	m := &mshr{sync: sync, onData: func(v mem.Value) { done(v) }}
+	c.mshrs[a] = m
+	c.sendRequest(a, m, Msg{Kind: MsgGetS, Addr: a, Sync: sync})
 }
 
 // AcquireExclusive ensures the line is Exclusive. committed runs at the
@@ -216,12 +382,14 @@ func (c *Cache) AcquireExclusive(a mem.Addr, sync bool, committed func(old mem.V
 		return
 	}
 	if c.mshrs[a] != nil {
-		panic(fmt.Sprintf("cache %d: AcquireExclusive with busy MSHR for x%d", c.ID, a))
+		c.fail(nil, "AcquireExclusive with busy MSHR for x%d", a)
+		return
 	}
 	c.Stats.Add("write_misses", 1)
-	c.incCounter()
-	c.mshrs[a] = &mshr{exclusive: true, onData: committed, onPerformed: performed}
-	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgGetX, Addr: a, Sync: sync})
+	c.incCounter(sync)
+	m := &mshr{exclusive: true, sync: sync, onData: committed, onPerformed: performed}
+	c.mshrs[a] = m
+	c.sendRequest(a, m, Msg{Kind: MsgGetX, Addr: a, Sync: sync})
 }
 
 // WriteUpdate performs a data write under the write-update protocol: the
@@ -240,20 +408,32 @@ func (c *Cache) WriteUpdate(a mem.Addr, v mem.Value, performed func()) {
 		return
 	}
 	if c.mshrs[a] != nil {
-		panic(fmt.Sprintf("cache %d: WriteUpdate with busy MSHR for x%d", c.ID, a))
+		c.fail(nil, "WriteUpdate with busy MSHR for x%d", a)
+		return
 	}
 	if l := c.lines[a]; l != nil {
 		l.value = v // provisional local commit; directory order prevails
 	}
 	c.Stats.Add("update_writes", 1)
-	c.incCounter()
-	c.mshrs[a] = &mshr{exclusive: true, update: true, dataArrived: true, onPerformed: performed}
-	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgUpdateReq, Addr: a, Value: v})
+	c.incCounter(false)
+	m := &mshr{exclusive: true, update: true, dataArrived: true, onPerformed: performed}
+	c.mshrs[a] = m
+	c.sendRequest(a, m, Msg{Kind: MsgUpdateReq, Addr: a, Value: v})
 }
 
 // onUpdate applies a directory-serialized update to the local copy.
 func (c *Cache) onUpdate(msg Msg) {
 	if l := c.lines[msg.Addr]; l != nil {
+		if msg.Epoch != 0 && msg.Epoch <= l.epoch {
+			// Duplicated or delayed update from a transaction serialized
+			// before this copy was granted: applying it would travel back in
+			// directory order.
+			if !c.tolerate("stale_update", c.dir, msg, "stale Update (line epoch %d)", l.epoch) {
+				return
+			}
+			c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgUpdateAck, Addr: msg.Addr, Epoch: msg.Epoch})
+			return
+		}
 		l.value = msg.Value
 	} else if m := c.mshrs[msg.Addr]; m != nil && !m.dataArrived {
 		// The update overtook our pending fill: remember it so the fill
@@ -262,7 +442,7 @@ func (c *Cache) onUpdate(msg Msg) {
 		m.updateOverride = &v
 	}
 	c.Stats.Add("updates_received", 1)
-	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgUpdateAck, Addr: msg.Addr})
+	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgUpdateAck, Addr: msg.Addr, Epoch: msg.Epoch})
 }
 
 // WriteLocal commits a value into an Exclusive line. It is called by the
@@ -270,20 +450,22 @@ func (c *Cache) onUpdate(msg Msg) {
 func (c *Cache) WriteLocal(a mem.Addr, v mem.Value) {
 	l := c.lines[a]
 	if l == nil || l.state != Exclusive {
-		panic(fmt.Sprintf("cache %d: WriteLocal to non-exclusive line x%d", c.ID, a))
+		c.fail(nil, "WriteLocal to non-exclusive line x%d", a)
+		return
 	}
 	l.value = v
 }
 
 // Reserve sets the reserve bit on an Exclusive line; the bit clears
-// automatically when the counter reads zero.
+// automatically when the ordinary-access counter reads zero.
 func (c *Cache) Reserve(a mem.Addr) {
 	l := c.lines[a]
 	if l == nil || l.state != Exclusive {
-		panic(fmt.Sprintf("cache %d: Reserve on non-exclusive line x%d", c.ID, a))
+		c.fail(nil, "Reserve on non-exclusive line x%d", a)
+		return
 	}
-	if c.counter == 0 {
-		return // nothing outstanding: reservation would clear immediately
+	if c.dataCounter == 0 {
+		return // no ordinary access outstanding: reservation would clear immediately
 	}
 	l.reserved = true
 	c.Stats.Add("reserves_set", 1)
@@ -297,30 +479,48 @@ func (c *Cache) Reserved(a mem.Addr) bool {
 
 // Deliver implements interconnect.Endpoint.
 func (c *Cache) Deliver(src interconnect.NodeID, m interconnect.Message) {
+	if c.engine.Failed() != nil {
+		return
+	}
 	msg, ok := m.(Msg)
 	if !ok {
-		panic(fmt.Sprintf("cache %d: non-protocol message %T", c.ID, m))
+		c.engine.Fail(&ProtocolError{
+			Node: c.ID, Cycle: c.engine.Now(),
+			Reason: fmt.Sprintf("non-protocol message %T", m),
+		})
+		return
 	}
 	switch msg.Kind {
 	case MsgData:
-		c.onDataArrival(msg)
+		c.onDataArrival(src, msg)
 	case MsgWriteAck:
-		c.onWriteAck(msg)
+		c.onWriteAck(src, msg)
 	case MsgInv:
 		c.onInv(src, msg)
 	case MsgUpdate:
 		c.onUpdate(msg)
 	case MsgFwdS, MsgFwdX:
 		c.onFwd(src, msg)
+	case MsgNack:
+		c.onNack(src, msg)
 	default:
-		panic(fmt.Sprintf("cache %d: unexpected %s", c.ID, msg.Kind))
+		c.failMsg(src, msg, "unexpected %s", msg.Kind)
 	}
 }
 
-func (c *Cache) onDataArrival(msg Msg) {
+func (c *Cache) onDataArrival(src interconnect.NodeID, msg Msg) {
 	m := c.mshrs[msg.Addr]
 	if m == nil {
-		panic(fmt.Sprintf("cache %d: Data for x%d with no MSHR", c.ID, msg.Addr))
+		c.tolerate("stale_data", src, msg, "Data for x%d with no MSHR", msg.Addr)
+		return
+	}
+	if msg.Seq != 0 && msg.Seq != m.seq {
+		c.tolerate("stale_data", src, msg, "Data for x%d with stale seq (MSHR seq %d)", msg.Addr, m.seq)
+		return
+	}
+	if m.dataArrived {
+		c.tolerate("dup_data", src, msg, "duplicate Data for x%d", msg.Addr)
+		return
 	}
 	v := msg.Value
 	if m.updateOverride != nil {
@@ -347,7 +547,7 @@ func (c *Cache) onDataArrival(msg Msg) {
 	if st == Invalid {
 		delete(c.lines, msg.Addr)
 	} else {
-		c.lines[msg.Addr] = &line{state: st, value: v}
+		c.lines[msg.Addr] = &line{state: st, value: v, epoch: msg.Epoch}
 	}
 	// Synchronous with installation: the committed callback (which applies
 	// the processor's write) runs before any other message can touch the
@@ -358,13 +558,41 @@ func (c *Cache) onDataArrival(msg Msg) {
 	c.maybeCompleteMSHR(msg.Addr, m)
 }
 
-func (c *Cache) onWriteAck(msg Msg) {
+func (c *Cache) onWriteAck(src interconnect.NodeID, msg Msg) {
 	m := c.mshrs[msg.Addr]
 	if m == nil {
-		panic(fmt.Sprintf("cache %d: WriteAck for x%d with no MSHR", c.ID, msg.Addr))
+		c.tolerate("stale_writeack", src, msg, "WriteAck for x%d with no MSHR", msg.Addr)
+		return
+	}
+	if msg.Seq != 0 && msg.Seq != m.seq {
+		c.tolerate("stale_writeack", src, msg, "WriteAck for x%d with stale seq (MSHR seq %d)", msg.Addr, m.seq)
+		return
 	}
 	m.performed = true
 	c.maybeCompleteMSHR(msg.Addr, m)
+}
+
+// onNack handles a directory rejection of a request (bounded queue full): the
+// request is retried with exponential backoff under the same bounded budget
+// as timeout-triggered retransmission.
+func (c *Cache) onNack(src interconnect.NodeID, msg Msg) {
+	m := c.mshrs[msg.Addr]
+	if m == nil || (msg.Seq != 0 && msg.Seq != m.seq) || m.satisfied() {
+		c.tolerate("stale_nack", src, msg, "Nack for x%d with no matching transaction", msg.Addr)
+		return
+	}
+	if c.retryTimeout <= 0 {
+		c.failMsg(src, msg, "Nack for x%d but retries are disabled", msg.Addr)
+		return
+	}
+	c.Stats.Add("nacks_received", 1)
+	backoff := c.retryTimeout << uint(m.attempts)
+	c.engine.After(backoff, func() { c.retryCheck(msg.Addr, m) })
+	m.attempts++
+	if m.attempts > c.retryLimit {
+		c.fail(ErrRetryExhausted, "%s for x%d NACKed past the retry budget (%d attempts)",
+			m.req.Kind, msg.Addr, m.attempts)
+	}
 }
 
 // maybeCompleteMSHR retires the transaction once all its parts are in:
@@ -380,7 +608,7 @@ func (c *Cache) maybeCompleteMSHR(a mem.Addr, m *mshr) {
 	if m.exclusive && m.onPerformed != nil {
 		m.onPerformed()
 	}
-	c.decCounter()
+	c.decCounter(m.sync)
 	frees := m.onFree
 	m.onFree = nil
 	for _, fn := range frees {
@@ -396,6 +624,13 @@ func (c *Cache) maybeCompleteMSHR(a mem.Addr, m *mshr) {
 }
 
 func (c *Cache) onInv(src interconnect.NodeID, msg Msg) {
+	if l := c.lines[msg.Addr]; l != nil && msg.Epoch != 0 && msg.Epoch <= l.epoch {
+		// The invalidation belongs to a transaction serialized before this
+		// copy was granted: a duplicated or delayed artifact. Obeying it
+		// would discard a copy the directory still believes we hold.
+		c.tolerate("stale_inv", src, msg, "stale Inv for x%d (line epoch %d)", msg.Addr, l.epoch)
+		return
+	}
 	if m := c.mshrs[msg.Addr]; m != nil && !m.dataArrived {
 		// The invalidation overtook our pending fill.
 		m.invWhilePend = true
@@ -404,12 +639,12 @@ func (c *Cache) onInv(src interconnect.NodeID, msg Msg) {
 		delete(c.lines, msg.Addr)
 	}
 	c.Stats.Add("invalidations", 1)
-	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgInvAck, Addr: msg.Addr})
+	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgInvAck, Addr: msg.Addr, Epoch: msg.Epoch})
 }
 
 // onFwd handles FwdS/FwdX from the directory: supply the line to the
 // requester. Synchronization requests for a reserved line stall until the
-// counter reads zero.
+// ordinary-access counter reads zero.
 func (c *Cache) onFwd(src interconnect.NodeID, msg Msg) {
 	// A transaction of our own is still in flight for this line (our Data
 	// has not arrived, or our write is not yet performed): park the forward
@@ -420,12 +655,19 @@ func (c *Cache) onFwd(src interconnect.NodeID, msg Msg) {
 	}
 	l := c.lines[msg.Addr]
 	if l == nil || l.state != Exclusive {
-		panic(fmt.Sprintf("cache %d: %s for x%d we do not own", c.ID, msg.Kind, msg.Addr))
+		c.tolerate("stale_fwd", src, msg, "%s for x%d we do not own", msg.Kind, msg.Addr)
+		return
+	}
+	if msg.Epoch != 0 && msg.Epoch <= l.epoch {
+		// The forward was issued before this copy was granted: servicing it
+		// would hand the line to a transaction that already completed.
+		c.tolerate("stale_fwd", src, msg, "stale %s for x%d (line epoch %d)", msg.Kind, msg.Addr, l.epoch)
+		return
 	}
 	if msg.Sync && l.reserved {
 		// Section 5.3: a synchronization request routed to a processor is
 		// serviced only if the reserve bit is reset; otherwise it is
-		// stalled until the counter reads zero.
+		// stalled until the ordinary-access counter reads zero.
 		c.Stats.Add("reserve_stalls", 1)
 		c.stalledFwds = append(c.stalledFwds, stalledFwd{src, msg})
 		return
@@ -436,21 +678,23 @@ func (c *Cache) onFwd(src interconnect.NodeID, msg Msg) {
 func (c *Cache) serviceFwd(src interconnect.NodeID, msg Msg) {
 	l := c.lines[msg.Addr]
 	if l == nil || l.state != Exclusive {
-		panic(fmt.Sprintf("cache %d: servicing %s for x%d we no longer own", c.ID, msg.Kind, msg.Addr))
+		c.tolerate("stale_fwd", src, msg, "servicing %s for x%d we no longer own", msg.Kind, msg.Addr)
+		return
 	}
 	switch msg.Kind {
 	case MsgFwdS:
 		l.state = Shared
 		l.reserved = false
-		c.fabric.Send(c.ID, msg.Requester, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true})
-		c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgDowngrade, Addr: msg.Addr, Value: l.value})
+		l.epoch = msg.Epoch
+		c.fabric.Send(c.ID, msg.Requester, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true, Seq: msg.Seq, Epoch: msg.Epoch})
+		c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgDowngrade, Addr: msg.Addr, Value: l.value, Epoch: msg.Epoch})
 	case MsgFwdX:
 		v := l.value
 		delete(c.lines, msg.Addr)
-		c.fabric.Send(c.ID, msg.Requester, Msg{Kind: MsgData, Addr: msg.Addr, Value: v, Excl: true, Performed: true})
-		c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgTransfer, Addr: msg.Addr, Value: v})
+		c.fabric.Send(c.ID, msg.Requester, Msg{Kind: MsgData, Addr: msg.Addr, Value: v, Excl: true, Performed: true, Seq: msg.Seq, Epoch: msg.Epoch})
+		c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgTransfer, Addr: msg.Addr, Value: v, Epoch: msg.Epoch})
 	default:
-		panic(fmt.Sprintf("cache %d: serviceFwd of %s", c.ID, msg.Kind))
+		c.failMsg(src, msg, "serviceFwd of %s", msg.Kind)
 	}
 }
 

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"testing"
 
 	"weakorder/internal/interconnect"
@@ -230,12 +231,11 @@ func TestBusyAndOnFree(t *testing.T) {
 
 func TestWriteLocalRequiresExclusive(t *testing.T) {
 	r := newRig(t, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
 	r.c0.WriteLocal(9, 1)
+	err := r.engine.Failed()
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
 }
 
 func TestLineStateStrings(t *testing.T) {

@@ -18,9 +18,26 @@ type dirLine struct {
 	value   mem.Value
 	busy    bool
 	queue   []queuedReq
-	// invalidation collection for the in-flight GetX
-	pendingAcks int
+	// epoch numbers this line's transactions; it increments when one opens
+	// and is stamped on every message the transaction emits, so stale
+	// (duplicated or delayed) acknowledgements and forwards identify
+	// themselves by carrying a closed epoch.
+	epoch uint64
+	// pendingFrom is the set of nodes whose InvAck/UpdateAck the in-flight
+	// transaction still awaits. A set, not a counter: a duplicated ack from
+	// a node already accounted for cannot decrement twice.
+	pendingFrom map[interconnect.NodeID]bool
 	requester   interconnect.NodeID
+	// curSrc/curSeq identify the request that opened the in-flight
+	// transaction, and seen records the highest request seq ever opened per
+	// source, so a fabric-duplicated request (same src and seq) is ignored
+	// rather than re-processed — re-processing a completed GetX could steal
+	// ownership from its rightful current holder.
+	curSrc interconnect.NodeID
+	curSeq uint64
+	seen   map[interconnect.NodeID]uint64
+	// busySince is when the in-flight transaction opened (watchdog input).
+	busySince sim.Time
 }
 
 type queuedReq struct {
@@ -36,6 +53,21 @@ type Directory struct {
 	memLat sim.Time
 	lines  map[mem.Addr]*dirLine
 	Stats  *stats.Counters
+
+	// lenient tolerates messages explainable as fabric faults (see
+	// Cache.SetLenient); strict mode raises ErrProtocol for them.
+	lenient bool
+	// queueLimit bounds the per-line request queue; requests beyond it are
+	// NACKed so the requester backs off and retries. Zero (the default)
+	// keeps the legacy unbounded queue and never NACKs.
+	queueLimit int
+	// Watchdog: while any line is busy, a recurring check every wdInterval
+	// cycles fails the run with ErrWatchdog if a transaction has been open
+	// longer than wdTimeout. Armed lazily so an idle directory schedules no
+	// events and the engine's queue still drains.
+	wdInterval sim.Time
+	wdTimeout  sim.Time
+	wdArmed    bool
 }
 
 // NewDirectory builds the directory/memory controller. init supplies initial
@@ -60,8 +92,59 @@ func NewDirectory(id interconnect.NodeID, engine *sim.Engine, fabric interconnec
 	return d
 }
 
+// SetLenient switches the directory into fault-tolerant mode (see
+// Cache.SetLenient).
+func (d *Directory) SetLenient(on bool) { d.lenient = on }
+
+// SetQueueLimit bounds the per-line request queue to n entries; further
+// requests are NACKed. Zero restores the unbounded legacy behaviour.
+func (d *Directory) SetQueueLimit(n int) { d.queueLimit = n }
+
+// EnableWatchdog arms the transaction watchdog: every interval cycles (while
+// any line is busy) it checks for a transaction open longer than timeout and
+// fails the run with ErrWatchdog — a lost message with no recovery path.
+func (d *Directory) EnableWatchdog(interval, timeout sim.Time) {
+	if interval < 1 {
+		interval = 1
+	}
+	d.wdInterval = interval
+	d.wdTimeout = timeout
+}
+
+// fail aborts the simulation with a ProtocolError detected by the directory.
+func (d *Directory) fail(kind error, format string, args ...interface{}) {
+	d.engine.Fail(&ProtocolError{
+		Node: d.ID, Dir: true, Cycle: d.engine.Now(),
+		Reason: fmt.Sprintf(format, args...), Kind: kind,
+	})
+}
+
+// failMsg aborts the simulation with a message-triggered ProtocolError.
+func (d *Directory) failMsg(src interconnect.NodeID, msg Msg, format string, args ...interface{}) {
+	d.engine.Fail(&ProtocolError{
+		Node: d.ID, Dir: true, Cycle: d.engine.Now(), Msg: msg, HasMsg: true, From: src,
+		Reason: fmt.Sprintf(format, args...),
+	})
+}
+
+// tolerate mirrors Cache.tolerate for the directory side.
+func (d *Directory) tolerate(stat string, src interconnect.NodeID, msg Msg, format string, args ...interface{}) bool {
+	if d.lenient {
+		d.Stats.Add("tolerated_"+stat, 1)
+		return true
+	}
+	d.failMsg(src, msg, format, args...)
+	return false
+}
+
 func (d *Directory) newLine(v mem.Value) *dirLine {
-	return &dirLine{owner: -1, sharers: make(map[interconnect.NodeID]bool), value: v}
+	return &dirLine{
+		owner:       -1,
+		sharers:     make(map[interconnect.NodeID]bool),
+		value:       v,
+		pendingFrom: make(map[interconnect.NodeID]bool),
+		seen:        make(map[interconnect.NodeID]uint64),
+	}
 }
 
 func (d *Directory) line(a mem.Addr) *dirLine {
@@ -73,54 +156,116 @@ func (d *Directory) line(a mem.Addr) *dirLine {
 	return l
 }
 
+// dupRequest reports whether the request is a fabric duplicate of one the
+// directory already opened, is processing, or has queued. Untagged requests
+// (Seq 0, from hand-crafted tests) are never deduplicated.
+func (d *Directory) dupRequest(l *dirLine, src interconnect.NodeID, msg Msg) bool {
+	if msg.Seq == 0 {
+		return false
+	}
+	if l.seen[src] >= msg.Seq {
+		return true
+	}
+	if l.busy && l.curSrc == src && l.curSeq == msg.Seq {
+		return true
+	}
+	for _, q := range l.queue {
+		if q.src == src && q.msg.Seq == msg.Seq {
+			return true
+		}
+	}
+	return false
+}
+
+// open starts a transaction: the line goes busy, the epoch advances, and the
+// request is remembered for duplicate suppression and the watchdog.
+func (d *Directory) open(l *dirLine, src interconnect.NodeID, msg Msg) {
+	l.busy = true
+	l.epoch++
+	l.curSrc = src
+	l.curSeq = msg.Seq
+	l.busySince = d.engine.Now()
+	if msg.Seq > l.seen[src] {
+		l.seen[src] = msg.Seq
+	}
+	d.armWatchdog()
+	d.engine.After(d.memLat, func() { d.process(l, src, msg) })
+}
+
 // Deliver implements interconnect.Endpoint.
 func (d *Directory) Deliver(src interconnect.NodeID, m interconnect.Message) {
+	if d.engine.Failed() != nil {
+		return
+	}
 	msg, ok := m.(Msg)
 	if !ok {
-		panic(fmt.Sprintf("directory: non-protocol message %T", m))
+		d.engine.Fail(&ProtocolError{
+			Node: d.ID, Dir: true, Cycle: d.engine.Now(),
+			Reason: fmt.Sprintf("non-protocol message %T", m),
+		})
+		return
 	}
 	switch msg.Kind {
 	case MsgGetS, MsgGetX, MsgUpdateReq:
 		l := d.line(msg.Addr)
+		if d.dupRequest(l, src, msg) {
+			d.Stats.Add("tolerated_dup_request", 1)
+			return
+		}
 		if l.busy {
+			if d.queueLimit > 0 && len(l.queue) >= d.queueLimit {
+				d.Stats.Add("nacks_sent", 1)
+				d.fabric.Send(d.ID, src, Msg{Kind: MsgNack, Addr: msg.Addr, Seq: msg.Seq})
+				return
+			}
 			l.queue = append(l.queue, queuedReq{src, msg})
 			d.Stats.Add("queued_requests", 1)
 			return
 		}
-		d.engine.After(d.memLat, func() { d.process(l, src, msg) })
-		l.busy = true
+		d.open(l, src, msg)
 	case MsgInvAck, MsgUpdateAck:
-		d.onInvAck(msg)
+		d.onAck(src, msg)
 	case MsgDowngrade:
 		d.onDowngrade(src, msg)
 	case MsgTransfer:
-		d.onTransfer(msg)
+		d.onTransfer(src, msg)
 	default:
-		panic(fmt.Sprintf("directory: unexpected %s", msg.Kind))
+		d.failMsg(src, msg, "unexpected %s", msg.Kind)
 	}
 }
 
-// process starts a transaction for a line previously marked busy.
+// process starts a transaction for a line previously opened by open().
 func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
+	if d.engine.Failed() != nil {
+		return
+	}
 	switch msg.Kind {
 	case MsgGetS:
 		d.Stats.Add("gets", 1)
-		if l.owner >= 0 {
+		if l.owner >= 0 && l.owner != src {
 			// Route to the exclusive owner (the paper's "the next request
 			// for it will be routed to Pi"). The line stays busy until the
 			// owner's Downgrade arrives.
 			l.requester = src
-			d.fabric.Send(d.ID, l.owner, Msg{Kind: MsgFwdS, Addr: msg.Addr, Requester: src, Sync: msg.Sync})
+			d.fabric.Send(d.ID, l.owner, Msg{Kind: MsgFwdS, Addr: msg.Addr, Requester: src, Sync: msg.Sync, Seq: msg.Seq, Epoch: l.epoch})
+			return
+		}
+		if l.owner == src {
+			// The recorded owner re-reading its own line cannot happen
+			// fault-free (it would hit locally); re-grant for robustness.
+			l.busy = false
+			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
+			d.drain(l)
 			return
 		}
 		l.sharers[src] = true
 		l.busy = false
-		d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true})
+		d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
 		d.drain(l)
 	case MsgGetX:
 		d.Stats.Add("getx", 1)
 		if l.owner >= 0 && l.owner != src {
-			d.fabric.Send(d.ID, l.owner, Msg{Kind: MsgFwdX, Addr: msg.Addr, Requester: src, Sync: msg.Sync})
+			d.fabric.Send(d.ID, l.owner, Msg{Kind: MsgFwdX, Addr: msg.Addr, Requester: src, Sync: msg.Sync, Seq: msg.Seq, Epoch: l.epoch})
 			l.requester = src
 			return
 		}
@@ -128,7 +273,7 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 			// The owner re-requesting exclusivity cannot happen without
 			// evictions; treat as immediate re-grant for robustness.
 			l.busy = false
-			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true})
+			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
 			d.drain(l)
 			return
 		}
@@ -144,15 +289,18 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 		l.owner = src
 		if len(targets) == 0 {
 			l.busy = false
-			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true})
+			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
 			d.drain(l)
 			return
 		}
-		l.pendingAcks = len(targets)
-		l.requester = src
-		d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: false})
+		l.pendingFrom = make(map[interconnect.NodeID]bool, len(targets))
 		for _, t := range targets {
-			d.fabric.Send(d.ID, t, Msg{Kind: MsgInv, Addr: msg.Addr})
+			l.pendingFrom[t] = true
+		}
+		l.requester = src
+		d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: false, Seq: msg.Seq, Epoch: l.epoch})
+		for _, t := range targets {
+			d.fabric.Send(d.ID, t, Msg{Kind: MsgInv, Addr: msg.Addr, Epoch: l.epoch})
 		}
 	case MsgUpdateReq:
 		// Write-update data path: memory takes the value; every other
@@ -171,31 +319,46 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 		}
 		if len(targets) == 0 {
 			l.busy = false
-			d.fabric.Send(d.ID, src, Msg{Kind: MsgWriteAck, Addr: msg.Addr})
+			d.fabric.Send(d.ID, src, Msg{Kind: MsgWriteAck, Addr: msg.Addr, Seq: msg.Seq, Epoch: l.epoch})
 			d.drain(l)
 			return
 		}
-		l.pendingAcks = len(targets)
+		l.pendingFrom = make(map[interconnect.NodeID]bool, len(targets))
+		for _, t := range targets {
+			l.pendingFrom[t] = true
+		}
 		l.requester = src
 		for _, t := range targets {
-			d.fabric.Send(d.ID, t, Msg{Kind: MsgUpdate, Addr: msg.Addr, Value: msg.Value})
+			d.fabric.Send(d.ID, t, Msg{Kind: MsgUpdate, Addr: msg.Addr, Value: msg.Value, Epoch: l.epoch})
 		}
 	default:
-		panic(fmt.Sprintf("directory: process %s", msg.Kind))
+		d.failMsg(src, msg, "process %s", msg.Kind)
 	}
 }
 
-func (d *Directory) onInvAck(msg Msg) {
+// onAck collects InvAck/UpdateAck for the in-flight transaction. Duplicated
+// acks are idempotent: each pending node is crossed off a set at most once,
+// so the completion condition can never be reached early by double-counting.
+func (d *Directory) onAck(src interconnect.NodeID, msg Msg) {
 	l := d.line(msg.Addr)
-	if !l.busy || l.pendingAcks <= 0 {
-		panic(fmt.Sprintf("directory: stray InvAck for x%d", msg.Addr))
+	if !l.busy || len(l.pendingFrom) == 0 {
+		d.tolerate("stray_ack", src, msg, "stray %s for x%d", msg.Kind, msg.Addr)
+		return
 	}
-	l.pendingAcks--
-	if l.pendingAcks == 0 {
+	if msg.Epoch != 0 && msg.Epoch != l.epoch {
+		d.tolerate("stale_ack", src, msg, "%s for x%d from a closed epoch (current %d)", msg.Kind, msg.Addr, l.epoch)
+		return
+	}
+	if !l.pendingFrom[src] {
+		d.tolerate("dup_ack", src, msg, "%s for x%d from node %d not pending", msg.Kind, msg.Addr, src)
+		return
+	}
+	delete(l.pendingFrom, src)
+	if len(l.pendingFrom) == 0 {
 		// "When the directory receives all the acks pertaining to a
 		// particular write, it sends its ack to the processor cache that
 		// issued the write."
-		d.fabric.Send(d.ID, l.requester, Msg{Kind: MsgWriteAck, Addr: msg.Addr})
+		d.fabric.Send(d.ID, l.requester, Msg{Kind: MsgWriteAck, Addr: msg.Addr, Seq: l.curSeq, Epoch: l.epoch})
 		l.busy = false
 		d.drain(l)
 	}
@@ -203,8 +366,13 @@ func (d *Directory) onInvAck(msg Msg) {
 
 func (d *Directory) onDowngrade(src interconnect.NodeID, msg Msg) {
 	l := d.line(msg.Addr)
-	if !l.busy {
-		panic(fmt.Sprintf("directory: stray Downgrade for x%d", msg.Addr))
+	if !l.busy || l.owner < 0 {
+		d.tolerate("stray_downgrade", src, msg, "stray Downgrade for x%d", msg.Addr)
+		return
+	}
+	if msg.Epoch != 0 && msg.Epoch != l.epoch {
+		d.tolerate("stale_downgrade", src, msg, "Downgrade for x%d from a closed epoch (current %d)", msg.Addr, l.epoch)
+		return
 	}
 	l.value = msg.Value
 	// Both the downgraded old owner and the requester (supplied directly by
@@ -216,10 +384,15 @@ func (d *Directory) onDowngrade(src interconnect.NodeID, msg Msg) {
 	d.drain(l)
 }
 
-func (d *Directory) onTransfer(msg Msg) {
+func (d *Directory) onTransfer(src interconnect.NodeID, msg Msg) {
 	l := d.line(msg.Addr)
-	if !l.busy {
-		panic(fmt.Sprintf("directory: stray Transfer for x%d", msg.Addr))
+	if !l.busy || l.owner < 0 {
+		d.tolerate("stray_transfer", src, msg, "stray Transfer for x%d", msg.Addr)
+		return
+	}
+	if msg.Epoch != 0 && msg.Epoch != l.epoch {
+		d.tolerate("stale_transfer", src, msg, "Transfer for x%d from a closed epoch (current %d)", msg.Addr, l.epoch)
+		return
 	}
 	l.value = msg.Value
 	l.owner = l.requester
@@ -234,8 +407,48 @@ func (d *Directory) drain(l *dirLine) {
 	}
 	q := l.queue[0]
 	l.queue = l.queue[1:]
-	l.busy = true
-	d.engine.After(d.memLat, func() { d.process(l, q.src, q.msg) })
+	d.open(l, q.src, q.msg)
+}
+
+// armWatchdog schedules the next watchdog check unless one is already
+// pending or the watchdog is disabled.
+func (d *Directory) armWatchdog() {
+	if d.wdInterval <= 0 || d.wdArmed {
+		return
+	}
+	d.wdArmed = true
+	d.engine.After(d.wdInterval, d.watchdogTick)
+}
+
+// watchdogTick fails the run if a transaction overstayed its timeout, and
+// re-arms only while some line is still busy — so an idle machine's event
+// queue drains and Run terminates normally.
+func (d *Directory) watchdogTick() {
+	d.wdArmed = false
+	if d.engine.Failed() != nil {
+		return
+	}
+	now := d.engine.Now()
+	var expired *dirLine
+	var expiredAddr mem.Addr
+	anyBusy := false
+	for a, l := range d.lines {
+		if !l.busy {
+			continue
+		}
+		anyBusy = true
+		if now-l.busySince >= d.wdTimeout && (expired == nil || a < expiredAddr) {
+			expired, expiredAddr = l, a
+		}
+	}
+	if expired != nil {
+		d.fail(ErrWatchdog, "transaction for x%d (from node %d, seq %d, epoch %d) busy since cycle %d",
+			expiredAddr, expired.curSrc, expired.curSeq, expired.epoch, expired.busySince)
+		return
+	}
+	if anyBusy {
+		d.armWatchdog()
+	}
 }
 
 // MemValue returns the directory's memory value for final-state collection.

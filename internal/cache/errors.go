@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"weakorder/internal/interconnect"
+	"weakorder/internal/sim"
+)
+
+// ErrProtocol is the sentinel all coherence-protocol errors wrap. A genuine
+// protocol bug — a message the state machine cannot explain, a counter going
+// negative, an operation on a line in the wrong state — surfaces as a
+// *ProtocolError matching this sentinel instead of a panic, so a run that
+// trips one becomes a failing test with a reproducer rather than a crash.
+var ErrProtocol = errors.New("coherence protocol error")
+
+// ErrRetryExhausted is the sentinel wrapped by protocol errors raised when a
+// request's bounded retry budget runs out (the fabric kept dropping or
+// NACKing it). It also matches ErrProtocol.
+var ErrRetryExhausted = errors.New("request retry budget exhausted")
+
+// ErrWatchdog is the sentinel wrapped by protocol errors raised by the
+// directory's transaction watchdog: a line stayed busy longer than the
+// timeout, meaning some message of the in-flight transaction was lost with
+// no recovery path. It also matches ErrProtocol.
+var ErrWatchdog = errors.New("directory transaction watchdog expired")
+
+// ProtocolError describes one protocol violation: which node detected it, at
+// what cycle, the offending message (when one triggered the detection), and
+// a human-readable reason. It unwraps to ErrProtocol (and optionally a more
+// specific sentinel) for errors.Is dispatch.
+type ProtocolError struct {
+	// Node is the endpoint that detected the violation (a cache ID or the
+	// directory's node ID).
+	Node interconnect.NodeID
+	// Dir marks the detector as the directory rather than a cache.
+	Dir bool
+	// Cycle is the simulated time of detection.
+	Cycle sim.Time
+	// Msg is the offending message; meaningful only when HasMsg is set
+	// (counter underflow, for example, has no triggering message).
+	Msg    Msg
+	HasMsg bool
+	// From is the sender of the offending message (when HasMsg).
+	From interconnect.NodeID
+	// Reason is the human-readable description of the violation.
+	Reason string
+	// Kind is an optional more specific sentinel (ErrRetryExhausted,
+	// ErrWatchdog); nil for plain protocol violations.
+	Kind error
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	who := fmt.Sprintf("cache %d", e.Node)
+	if e.Dir {
+		who = "directory"
+	}
+	s := fmt.Sprintf("%s @%d: %s", who, e.Cycle, e.Reason)
+	if e.HasMsg {
+		s += fmt.Sprintf(" (message %s x%d value=%d seq=%d epoch=%d from node %d)",
+			e.Msg.Kind, e.Msg.Addr, e.Msg.Value, e.Msg.Seq, e.Msg.Epoch, e.From)
+	}
+	return s
+}
+
+// Unwrap implements errors.Is chaining: every ProtocolError matches
+// ErrProtocol, and additionally its specific Kind sentinel when set.
+func (e *ProtocolError) Unwrap() []error {
+	if e.Kind != nil {
+		return []error{ErrProtocol, e.Kind}
+	}
+	return []error{ErrProtocol}
+}

@@ -64,12 +64,15 @@ const (
 	MsgUpdate
 	// MsgUpdateAck (sharer→dir) acknowledges an update.
 	MsgUpdateAck
+	// MsgNack (dir→cache) rejects a request the directory cannot queue (its
+	// bounded per-line queue is full); the requester backs off and retries.
+	MsgNack
 )
 
 // String implements fmt.Stringer.
 func (k MsgKind) String() string {
 	names := [...]string{"GetS", "GetX", "Data", "WriteAck", "Inv", "InvAck",
-		"FwdS", "FwdX", "Downgrade", "Transfer", "UpdateReq", "Update", "UpdateAck"}
+		"FwdS", "FwdX", "Downgrade", "Transfer", "UpdateReq", "Update", "UpdateAck", "Nack"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -91,4 +94,16 @@ type Msg struct {
 	// Performed marks Data whose transaction is already globally performed
 	// (no invalidation acknowledgements outstanding).
 	Performed bool
+	// Seq is the requester's per-cache transaction number. Requests carry
+	// it; Data/WriteAck/Nack echo it so the requester can discard stale or
+	// duplicated responses after a retry. FwdS/FwdX relay the requester's
+	// Seq so the owner's cache-to-cache Data echoes it too.
+	Seq uint64
+	// Epoch is the directory's per-line transaction number, stamped on
+	// every message the directory emits for a transaction (Data, Inv,
+	// Update, FwdS, FwdX) and echoed on the messages that close it (InvAck,
+	// UpdateAck, Downgrade, Transfer). It makes duplicated or delayed
+	// acknowledgements and forwards self-describing: anything tagged with a
+	// closed epoch is a fabric artifact, not a protocol event.
+	Epoch uint64
 }

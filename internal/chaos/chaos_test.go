@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"testing"
+
+	"weakorder/internal/core"
+	"weakorder/internal/faults"
+	"weakorder/internal/fuzz"
+	"weakorder/internal/litmus"
+	"weakorder/internal/model"
+	"weakorder/internal/program"
+	"weakorder/internal/workload"
+)
+
+// litmusSeeds is the tier-1 fault-seed sweep over the corpus; the nightly
+// chaos job extends it.
+var litmusSeeds = []int64{1, 7, 1234}
+
+// TestChaosLitmusSweep runs every corpus litmus test on the timed def2
+// machine under default fault rates across a seed sweep: every run must
+// complete, and DRF0 programs must land inside their SC outcome set.
+func TestChaosLitmusSweep(t *testing.T) {
+	rates := faults.DefaultRates()
+	for _, tst := range litmus.Corpus() {
+		var sc map[string]bool
+		if tst.DRF0 { // racy programs: completion only
+			scOut, err := SCOutcomes(tst.Prog, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", tst.Name, err)
+			}
+			sc = CanonicalSet(scOut)
+		}
+		for _, seed := range litmusSeeds {
+			c, err := RunCase(tst.Prog, seed, rates, sc)
+			if err != nil {
+				t.Fatalf("completion failed: %v", err)
+			}
+			if c.Checked && !c.Contained {
+				t.Errorf("%s seed %d: outcome escaped the SC set under faults:\n%s\ninjections:\n%s",
+					tst.Name, seed, c.Canonical, c.InjectionLog)
+			}
+		}
+	}
+}
+
+// randomProgram returns the i-th chaos program: DRF0 by construction,
+// alternating between the message-passing-guarded and critical-section
+// shapes so both protocols' sync paths are exercised.
+func randomProgram(i int) *program.Program {
+	seed := int64(1_000 + i)
+	if i%2 == 0 {
+		return workload.RandomGuarded(seed, 2, 3)
+	}
+	return workload.RandomDRF(seed, 2, 2, 2)
+}
+
+// TestChaosRandomSweep is the acceptance sweep: 256 random DRF0 programs,
+// each under a distinct fault seed, must complete under retry with outcomes
+// contained in their SC sets.
+func TestChaosRandomSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is tier-1 but not -short")
+	}
+	rates := faults.DefaultRates()
+	injected := 0
+	for i := 0; i < 256; i++ {
+		p := randomProgram(i)
+		scOut, err := SCOutcomes(p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		c, err := RunCase(p, int64(i), rates, CanonicalSet(scOut))
+		if err != nil {
+			t.Fatalf("completion failed: %v", err)
+		}
+		if !c.Contained {
+			t.Errorf("%s seed %d: outcome escaped the SC set under faults:\n%s\ninjections:\n%s",
+				p.Name, c.Seed, c.Canonical, c.InjectionLog)
+		}
+		injected += c.Faults
+	}
+	if injected == 0 {
+		t.Fatal("sweep injected no faults: the harness is not testing anything")
+	}
+}
+
+// TestChaosClassifiedRacyPrograms runs unguarded random programs (classified
+// by the DRF0 checker) for the completion property; containment is asserted
+// only for the ones that happen to be DRF0.
+func TestChaosClassifiedRacyPrograms(t *testing.T) {
+	rates := faults.DefaultRates()
+	x := fuzz.DefaultExplorer()
+	cfg := workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 6}
+	for i := 0; i < 16; i++ {
+		p := workload.Random(int64(500+i), cfg)
+		enum := &model.Enumerator{Prog: p, Explorer: x}
+		drf, err := core.CheckProgram(enum, core.DRF0{}, 1)
+		if err != nil {
+			t.Fatalf("%s: DRF0 check: %v", p.Name, err)
+		}
+		var sc map[string]bool
+		if drf.Obeys() {
+			scOut, err := SCOutcomes(p, x)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			sc = CanonicalSet(scOut)
+		}
+		c, err := RunCase(p, int64(i), rates, sc)
+		if err != nil {
+			t.Fatalf("completion failed: %v", err)
+		}
+		if c.Checked && !c.Contained {
+			t.Errorf("%s seed %d: DRF0 outcome escaped the SC set:\n%s", p.Name, c.Seed, c.Canonical)
+		}
+	}
+}
+
+// TestChaosReplayByteIdentical asserts the determinism property: a fixed
+// (program, fault seed) pair reproduces the same outcome and the same
+// injection log, byte for byte.
+func TestChaosReplayByteIdentical(t *testing.T) {
+	rates := faults.DefaultRates()
+	progs := []*program.Program{
+		workload.RandomGuarded(42, 3, 6),
+		workload.RandomDRF(43, 3, 2, 3),
+		workload.Fig3(2, 10),
+	}
+	for _, p := range progs {
+		for _, seed := range []int64{1, 99} {
+			if err := CheckReplay(p, seed, rates); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+// TestChaosRecoveryMachineryActivates runs a contended workload long enough
+// that drops and duplicates actually trigger retries and tolerated-message
+// suppression — guarding against a harness that silently injects nothing.
+func TestChaosRecoveryMachineryActivates(t *testing.T) {
+	rates := faults.Rates{Drop: 0.10, Dup: 0.10, Delay: 0.10, Reorder: 0.05, MaxDelay: 16}
+	var faultsSeen, retries, tolerated int64
+	for seed := int64(0); seed < 8; seed++ {
+		p := workload.Fig3(3, 20)
+		c, err := RunCase(p, seed, rates, nil)
+		if err != nil {
+			t.Fatalf("completion failed: %v", err)
+		}
+		faultsSeen += int64(c.Faults)
+		retries += c.Retries
+		tolerated += c.Tolerated
+	}
+	if faultsSeen == 0 {
+		t.Fatal("no faults injected")
+	}
+	if retries == 0 {
+		t.Error("drops never triggered a retry")
+	}
+	if tolerated == 0 {
+		t.Error("duplicates never exercised tolerated-message suppression")
+	}
+}

@@ -6,11 +6,13 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"weakorder/internal/cache"
 	"weakorder/internal/conditions"
+	"weakorder/internal/faults"
 	"weakorder/internal/interconnect"
 	"weakorder/internal/mem"
 	"weakorder/internal/proc"
@@ -83,6 +85,29 @@ type Config struct {
 	// MaxTime / MaxEvents bound the simulation (0 = generous defaults).
 	MaxTime   sim.Time
 	MaxEvents uint64
+	// Faults wraps the fabric in a deterministic fault injector
+	// (internal/faults) and switches the protocol into its fault-tolerant
+	// mode: lenient message handling, bounded request retry with
+	// exponential backoff, a bounded directory queue with NACKs, and the
+	// directory transaction watchdog. Off by default; a fault-free run's
+	// event stream is unchanged.
+	Faults bool
+	// FaultSeed seeds the injector's RNG (independent of Seed, so the same
+	// workload can be swept across fault schedules).
+	FaultSeed int64
+	// FaultRates configures the injector; the zero value means
+	// faults.DefaultRates().
+	FaultRates faults.Rates
+	// RetryTimeout/RetryLimit override the cache retransmission parameters
+	// when Faults is on (0 = derived defaults).
+	RetryTimeout sim.Time
+	RetryLimit   int
+	// QueueLimit bounds the directory's per-line request queue when Faults
+	// is on (0 = derived default); overflow is NACKed.
+	QueueLimit int
+	// WatchdogTimeout overrides the directory watchdog's transaction
+	// deadline when Faults is on (0 = derived default).
+	WatchdogTimeout sim.Time
 }
 
 // NewConfig returns a Config with the documented defaults and the given
@@ -119,6 +144,27 @@ func (c *Config) defaults() {
 	if c.MaxEvents == 0 {
 		c.MaxEvents = 200_000_000
 	}
+	if c.Faults {
+		if c.FaultRates.MaxDelay < 1 {
+			c.FaultRates.MaxDelay = faults.DefaultRates().MaxDelay
+		}
+		if c.RetryTimeout < 1 {
+			// Comfortably above one request/response round trip plus the
+			// worst injected delay, so fault-free transactions never retry.
+			c.RetryTimeout = 8 * (c.NetLatency + c.MemLatency + c.FaultRates.MaxDelay)
+		}
+		if c.RetryLimit < 1 {
+			c.RetryLimit = 8
+		}
+		if c.QueueLimit < 1 {
+			c.QueueLimit = 8
+		}
+		if c.WatchdogTimeout < 1 {
+			// Backstop only: far beyond the full exponential retry budget,
+			// so it fires only on a genuinely wedged transaction.
+			c.WatchdogTimeout = c.RetryTimeout << uint(c.RetryLimit+2)
+		}
+	}
 }
 
 // Result reports one run.
@@ -144,6 +190,11 @@ type Result struct {
 	FinalMem map[mem.Addr]mem.Value
 	// FinalRegs is each thread's final register file.
 	FinalRegs []([program.NumRegs]mem.Value)
+	// Injections is the fault-injection log when Config.Faults was set
+	// (nil otherwise); InjectionLog is its canonical rendering, compared
+	// byte for byte by the chaos harness's replay check.
+	Injections   []faults.Injection
+	InjectionLog string
 }
 
 // TotalStall sums a stall counter across processors.
@@ -179,6 +230,7 @@ type Machine struct {
 	caches []*cache.Cache
 	dir    *cache.Directory
 	fabric interconnect.Fabric
+	inj    *faults.Injector
 	trace  *mem.Execution
 	times  *timingSink
 	prog   *program.Program
@@ -197,6 +249,20 @@ func New(p *program.Program, cfg Config) *Machine {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		fabric = interconnect.NewNetwork(engine, cfg.NetLatency, cfg.NetJitter, rng, cfg.FIFO)
 	}
+	var inj *faults.Injector
+	if cfg.Faults {
+		rates := cfg.FaultRates
+		if rates.Zero() {
+			rates = faults.DefaultRates()
+		}
+		inj = faults.NewInjector(engine, fabric, cfg.FaultSeed, rates)
+		fabric = inj
+		if cfg.QueueLimit < n {
+			// Every processor must fit in the queue or contention alone
+			// (no faults) could NACK a request into retry exhaustion.
+			cfg.QueueLimit = n
+		}
+	}
 	dirID := interconnect.NodeID(n)
 	init := make(map[mem.Addr]mem.Value)
 	for _, a := range p.Addrs() {
@@ -206,7 +272,12 @@ func New(p *program.Program, cfg Config) *Machine {
 		init[a] = v
 	}
 	dir := cache.NewDirectory(dirID, engine, fabric, cfg.MemLatency, init)
-	m := &Machine{cfg: cfg, engine: engine, dir: dir, fabric: fabric, prog: p}
+	if cfg.Faults {
+		dir.SetLenient(true)
+		dir.SetQueueLimit(cfg.QueueLimit)
+		dir.EnableWatchdog(cfg.RetryTimeout, cfg.WatchdogTimeout)
+	}
+	m := &Machine{cfg: cfg, engine: engine, dir: dir, fabric: fabric, inj: inj, prog: p}
 	var tr *tracer
 	if cfg.RecordTrace {
 		m.trace = mem.NewExecution(n)
@@ -217,6 +288,10 @@ func New(p *program.Program, cfg Config) *Machine {
 	}
 	for i := 0; i < n; i++ {
 		c := cache.New(interconnect.NodeID(i), engine, fabric, dirID, cfg.HitLatency)
+		if cfg.Faults {
+			c.SetLenient(true)
+			c.SetRetry(cfg.RetryTimeout, cfg.RetryLimit)
+		}
 		m.caches = append(m.caches, c)
 		var t proc.Tracer
 		if tr != nil {
@@ -232,6 +307,46 @@ func New(p *program.Program, cfg Config) *Machine {
 	return m
 }
 
+// ProtocolFailure wraps a coherence ProtocolError that aborted a run with
+// the reproduction context: the failure cycle, the recorded trace so far
+// (when Config.RecordTrace was set), and the fault-injection log (when
+// Config.Faults was set). It unwraps to the underlying error, so
+// errors.Is(err, cache.ErrProtocol) still matches.
+type ProtocolFailure struct {
+	Err          error
+	Cycle        sim.Time
+	TraceDump    string
+	InjectionLog string
+}
+
+// Error implements error: the underlying violation plus the dumps.
+func (f *ProtocolFailure) Error() string {
+	s := fmt.Sprintf("protocol failure @%d: %v", f.Cycle, f.Err)
+	if f.TraceDump != "" {
+		s += "\ntrace so far:\n" + f.TraceDump
+	}
+	if f.InjectionLog != "" {
+		s += "injected faults:\n" + f.InjectionLog
+	}
+	return s
+}
+
+// Unwrap implements errors.Is/As chaining.
+func (f *ProtocolFailure) Unwrap() error { return f.Err }
+
+// traceDump renders the tail of the recorded execution for failure reports.
+func (m *Machine) traceDump() string {
+	if m.trace == nil {
+		return ""
+	}
+	const maxDump = 4096
+	s := m.trace.String()
+	if len(s) > maxDump {
+		s = "...\n" + s[len(s)-maxDump:]
+	}
+	return s
+}
+
 // Run executes the program to completion (all threads halted, all
 // transactions drained) and returns the result.
 func (m *Machine) Run() (*Result, error) {
@@ -242,6 +357,13 @@ func (m *Machine) Run() (*Result, error) {
 	// Run the event queue dry: processors halt along the way, and trailing
 	// coherence traffic (outstanding write performance) still completes.
 	if err := m.engine.Run(nil); err != nil {
+		if errors.Is(err, cache.ErrProtocol) {
+			f := &ProtocolFailure{Err: err, Cycle: m.engine.Now(), TraceDump: m.traceDump()}
+			if m.inj != nil {
+				f.InjectionLog = m.inj.LogString()
+			}
+			return nil, f
+		}
 		return nil, fmt.Errorf("machine: %w (policy %s)", err, m.cfg.Policy)
 	}
 	if remaining != 0 {
@@ -255,6 +377,10 @@ func (m *Machine) Run() (*Result, error) {
 	}
 	if m.times != nil {
 		res.Timings = m.times.log
+	}
+	if m.inj != nil {
+		res.Injections = m.inj.Log()
+		res.InjectionLog = m.inj.LogString()
 	}
 	var last sim.Time
 	for i, pr := range m.procs {

@@ -368,8 +368,13 @@ func (p *Processor) syncExclusive(req program.Request, waitPerformed bool) {
 			p.cache.WriteLocal(req.Addr, newV)
 		}
 		if !waitPerformed {
-			// Definition 2: commit is the release point for the issuer.
-			if p.Policy != PolicyWODef2NoReserve && p.cache.Counter() > 0 {
+			// Definition 2: commit is the release point for the issuer. The
+			// reserve waits only on outstanding *ordinary* accesses: those
+			// are the accesses previous to this operation that the next
+			// synchronizer must observe, and — unlike synchronization
+			// acquires, which can themselves be reserve-stalled at a peer —
+			// they always complete, keeping the stall acyclic.
+			if p.Policy != PolicyWODef2NoReserve && p.cache.DataCounter() > 0 {
 				p.cache.Reserve(req.Addr)
 			}
 			p.Stats.Add("sync_line_stall_cycles", int64(p.engine.Now()-t0))

@@ -59,9 +59,12 @@ func (r *rig) run(t *testing.T) {
 }
 
 // producerRelease is W(x)=1 then Unset(s)=1 — the Figure-3 producer with a
-// payload write whose performance is slowed by a sharer.
+// payload write whose performance is slowed by a sharer. The leading nop lets
+// the warm reader's GetS reach the directory first, so the payload write
+// really does have an invalidation outstanding when the release commits.
 func producerRelease() program.Code {
 	return program.Code{
+		{Op: program.INop, Delay: 20},
 		{Op: program.IStore, Addr: 0, Src: program.Imm(1)},
 		{Op: program.ISyncStore, Addr: 1, Src: program.Imm(1)},
 		{Op: program.IHalt},

@@ -51,6 +51,7 @@ type Engine struct {
 	steps  uint64
 	maxT   Time
 	budget uint64
+	failed error
 }
 
 // NewEngine returns an engine at time zero. maxTime bounds simulated time and
@@ -79,6 +80,19 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d cycles from now. d must be >= 0.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// Fail aborts the simulation: Run stops dispatching and returns err before
+// the next event. Components use it to surface protocol errors as values
+// instead of panicking from deep inside an event callback. The first failure
+// wins; later calls are ignored so cascading detections keep the root cause.
+func (e *Engine) Fail(err error) {
+	if e.failed == nil && err != nil {
+		e.failed = err
+	}
+}
+
+// Failed returns the error recorded by Fail, or nil.
+func (e *Engine) Failed() error { return e.failed }
+
 // ErrBudget is returned by Run when the time or event budget is exhausted
 // before the event queue drains — usually a deadlock-free livelock (e.g. a
 // spin loop that never observes its flag) or an unbounded retry storm.
@@ -89,6 +103,9 @@ var ErrBudget = fmt.Errorf("sim: time or event budget exhausted")
 // a drained queue or satisfied predicate.
 func (e *Engine) Run(done func() bool) error {
 	for e.queue.Len() > 0 {
+		if e.failed != nil {
+			return e.failed
+		}
 		if done != nil && done() {
 			return nil
 		}
@@ -102,6 +119,9 @@ func (e *Engine) Run(done func() bool) error {
 			return ErrBudget
 		}
 		ev.fn()
+	}
+	if e.failed != nil {
+		return e.failed
 	}
 	if done != nil && !done() {
 		// The queue drained but the machine did not reach its goal: the

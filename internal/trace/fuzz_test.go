@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes through the untrusted-document decoder. The
+// invariant is total safety: Read either rejects the input with an error or
+// returns an execution that validates and round-trips through Encode — it
+// never panics, never over-allocates from an absurd declared shape, and never
+// yields an execution its own Validate would reject.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		`{"version": 1, "procs": 1, "events": []}`,
+		`{"version": 1, "procs": 2, "init": {"0": 3},
+		  "events": [{"proc":0,"index":0,"op":"W","addr":0,"value":1},
+		             {"proc":1,"index":0,"op":"Srw","addr":1,"value":0,"wvalue":1}],
+		  "timings": [{"proc":0,"index":0,"op":"W","addr":0,"issue":1,"commit":2,"perform":9}]}`,
+		`{"version": 1, "procs": 1000000000, "events": []}`,
+		`{"version": 1, "procs": 2, "events": [{"proc":7,"index":0,"op":"R","addr":0}]}`,
+		`{"version": 1, "procs": 1, "events": [{"proc":0,"index":-1,"op":"R","addr":0}]}`,
+		`{"version": 1, "procs": 1, "events": [{"proc":0,"index":0,"op":"R","addr":0}],
+		  "timings": [{"proc":0,"index":9,"op":"R","addr":0,"issue":0,"commit":0,"perform":0}]}`,
+		`{{{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, init, timings, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "trace:") {
+				t.Fatalf("error lost its package prefix: %v", err)
+			}
+			return
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("accepted execution fails Validate: %v", err)
+		}
+		if e.NumProcs > MaxProcs {
+			t.Fatalf("accepted execution with %d processors (max %d)", e.NumProcs, MaxProcs)
+		}
+		if _, err := Encode(e, init, timings); err != nil {
+			t.Fatalf("accepted document does not re-encode: %v", err)
+		}
+	})
+}

@@ -123,16 +123,35 @@ func Encode(e *mem.Execution, init map[mem.Addr]mem.Value, timings []conditions.
 	return d, nil
 }
 
-// Decode reconstructs the execution, initial memory and timing log.
+// MaxProcs bounds the processor count a decoded document may declare.
+// Documents are untrusted input; consumers allocate per-processor state, so an
+// absurd count must be a decode error, not an out-of-memory.
+const MaxProcs = 4096
+
+// Decode reconstructs the execution, initial memory and timing log. The
+// document is treated as untrusted input: out-of-range processors, unknown
+// ops, non-dense indices, and timings referencing missing events are decode
+// errors, never panics or silently oversized executions.
 func Decode(d *Document) (*mem.Execution, map[mem.Addr]mem.Value, []conditions.AccessTiming, error) {
 	if d.Version != Version {
 		return nil, nil, nil, fmt.Errorf("trace: unsupported version %d", d.Version)
+	}
+	if d.Procs < 0 || d.Procs > MaxProcs {
+		return nil, nil, nil, fmt.Errorf("trace: processor count %d out of range [0,%d]", d.Procs, MaxProcs)
 	}
 	e := mem.NewExecution(d.Procs)
 	for i, ej := range d.Events {
 		op, err := opFromName(ej.Op)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if ej.Proc < 0 || ej.Proc >= d.Procs {
+			// AppendAt would silently grow the execution past the declared
+			// processor count; reject instead.
+			return nil, nil, nil, fmt.Errorf("trace: event %d: processor P%d out of range [0,%d)", i, ej.Proc, d.Procs)
+		}
+		if ej.Index < 0 {
+			return nil, nil, nil, fmt.Errorf("trace: event %d: negative program-order index %d", i, ej.Index)
 		}
 		a := mem.Access{
 			Proc:   mem.ProcID(ej.Proc),
@@ -158,15 +177,31 @@ func Decode(d *Document) (*mem.Execution, map[mem.Addr]mem.Value, []conditions.A
 		}
 	}
 	var timings []conditions.AccessTiming
-	for i, tj := range d.Timings {
-		op, err := opFromName(tj.Op)
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("trace: timing %d: %w", i, err)
+	if len(d.Timings) > 0 {
+		// A timing entry must reference an event present in the execution;
+		// a lifecycle for a missing access would make the Section-5.1
+		// condition checkers reason about phantom operations.
+		known := make(map[[2]int]bool, len(d.Events))
+		for _, ej := range d.Events {
+			known[[2]int{ej.Proc, ej.Index}] = true
 		}
-		timings = append(timings, conditions.AccessTiming{
-			Proc: tj.Proc, OpIndex: tj.Index, Op: op, Addr: mem.Addr(tj.Addr),
-			Issue: sim.Time(tj.Issue), Commit: sim.Time(tj.Commit), Perform: sim.Time(tj.Perform),
-		})
+		for i, tj := range d.Timings {
+			op, err := opFromName(tj.Op)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("trace: timing %d: %w", i, err)
+			}
+			if !known[[2]int{tj.Proc, tj.Index}] {
+				return nil, nil, nil, fmt.Errorf("trace: timing %d references missing event P%d.%d", i, tj.Proc, tj.Index)
+			}
+			if tj.Issue < 0 || tj.Commit < tj.Issue || tj.Perform < tj.Commit {
+				return nil, nil, nil, fmt.Errorf("trace: timing %d: lifecycle not ordered (issue %d, commit %d, perform %d)",
+					i, tj.Issue, tj.Commit, tj.Perform)
+			}
+			timings = append(timings, conditions.AccessTiming{
+				Proc: tj.Proc, OpIndex: tj.Index, Op: op, Addr: mem.Addr(tj.Addr),
+				Issue: sim.Time(tj.Issue), Commit: sim.Time(tj.Commit), Perform: sim.Time(tj.Perform),
+			})
+		}
 	}
 	return e, init, timings, nil
 }

@@ -94,6 +94,17 @@ func TestDecodeErrors(t *testing.T) {
 		{"sparse indices", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":3,"op":"R","addr":0}]}`},
 		{"bad init key", `{"version": 1, "procs": 1, "init": {"abc": 1}, "events": []}`},
 		{"not json", `{{{`},
+		{"truncated json", `{"version": 1, "procs": 2, "events": [{"proc":0,`},
+		{"negative procs", `{"version": 1, "procs": -1, "events": []}`},
+		{"absurd procs", `{"version": 1, "procs": 1000000000, "events": []}`},
+		{"negative proc", `{"version": 1, "procs": 1, "events": [{"proc":-1,"index":0,"op":"R","addr":0}]}`},
+		{"proc out of range", `{"version": 1, "procs": 2, "events": [{"proc":2,"index":0,"op":"R","addr":0}]}`},
+		{"negative index", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":-1,"op":"R","addr":0}]}`},
+		{"duplicate index", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":0,"op":"R","addr":0},{"proc":0,"index":0,"op":"R","addr":0}]}`},
+		{"timing bad op", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":0,"op":"R","addr":0}], "timings": [{"proc":0,"index":0,"op":"XX","addr":0,"issue":0,"commit":0,"perform":0}]}`},
+		{"timing for missing event", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":0,"op":"R","addr":0}], "timings": [{"proc":0,"index":5,"op":"R","addr":0,"issue":0,"commit":0,"perform":0}]}`},
+		{"timing lifecycle out of order", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":0,"op":"R","addr":0}], "timings": [{"proc":0,"index":0,"op":"R","addr":0,"issue":5,"commit":3,"perform":9}]}`},
+		{"timing negative issue", `{"version": 1, "procs": 1, "events": [{"proc":0,"index":0,"op":"R","addr":0}], "timings": [{"proc":0,"index":0,"op":"R","addr":0,"issue":-1,"commit":0,"perform":0}]}`},
 	}
 	for _, c := range cases {
 		if _, _, _, err := Read(strings.NewReader(c.src)); err == nil {
