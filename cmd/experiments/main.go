@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig1|fig2|fig3|quant|spin|contract|fence|all] [-n N] [-seed S]
+//	experiments [-run fig1|fig2|fig3|quant|spin|contract|fence|overlap|all] [-n N] [-seed S]
 //
 // -n sets the number of random programs for the contract sweep; -seed its
 // generator seed. -cpuprofile and -memprofile write pprof profiles for the
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: fig1, fig2, fig3, quant, spin, contract, fence, delayset, conditions, sweep, protocol, all")
+	run := flag.String("run", "all", "experiment to run: fig1, fig2, fig3, quant, spin, contract, fence, delayset, conditions, sweep, protocol, overlap, all")
 	n := flag.Int("n", 40, "random programs for the contract sweep")
 	seed := flag.Int64("seed", 7, "random seed for the contract sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -152,6 +152,16 @@ func main() {
 			fail(err)
 		}
 		print(s.Table)
+	}
+	if want("overlap") {
+		ran = true
+		s, err := experiments.Overlap()
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+		fmt.Printf("overlap reclaimed at every cell: %v (total %d cycles)\n\n",
+			s.AllReclaimedPositive, s.TotalReclaimed)
 	}
 	if want("protocol") {
 		ran = true

@@ -1,0 +1,37 @@
+// Command validate-timeline checks that a file is a well-formed Chrome
+// trace-event timeline as written by `wosim -timeline` (see
+// metrics.ValidateTimeline for the checked schema). Exit status 0 means
+// valid; 1 names the first violation; 2 is a usage error. CI runs it against
+// the timeline artifact so a schema regression fails the build even if the
+// writer's self-check is bypassed.
+//
+// Usage:
+//
+//	validate-timeline FILE...
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"weakorder/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: validate-timeline FILE...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate-timeline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := metrics.ValidateTimeline(data); err != nil {
+			fmt.Fprintf(os.Stderr, "validate-timeline: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (%d events)\n", path, metrics.EventCount(data))
+	}
+}

@@ -9,6 +9,7 @@
 //	      [-netlat N] [-jitter N] [-bus] [-seed S] [-check]
 //	      [-por on|off] [-max-states N]
 //	      [-faults] [-fault-seed S] [-fault-rates drop=P,dup=P,delay=P,reorder=P,maxdelay=N]
+//	      [-metrics] [-timeline FILE]
 //
 // All flag values are validated up front: an unknown enum value or a negative
 // latency exits with status 2 and a one-line message before any simulation
@@ -28,6 +29,15 @@
 // -fault-rates pick the exact fault schedule, and the run prints an injection
 // summary. The same seed and rates replay byte-identically.
 //
+// -metrics turns on cycle-level observability (internal/metrics) and prints
+// the attribution tables: every processor cycle classified as compute,
+// reserve-stall, counter-stall, fence-stall, retry-backoff or idle, plus
+// fabric traffic per message class and reserve-bit/directory occupancy
+// histograms. -timeline additionally writes the run as Chrome trace-event
+// JSON (load it in chrome://tracing or Perfetto); it implies the recorder and
+// the written file is schema-validated before wosim exits. Both views are
+// deterministic: the same flags produce byte-identical output.
+//
 // -cpuprofile and -memprofile write pprof profiles for the run, for
 // inspection with `go tool pprof`.
 package main
@@ -46,6 +56,7 @@ import (
 	"weakorder/internal/faults"
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/proc"
 	"weakorder/internal/program"
 	"weakorder/internal/sim"
@@ -74,6 +85,8 @@ func main() {
 	injectFaults := flag.Bool("faults", false, "inject deterministic fabric faults and enable the recovery machinery")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (replays byte-identically)")
 	faultRates := flag.String("fault-rates", "", "fault rates, e.g. drop=0.03,dup=0.04,delay=0.06,reorder=0.02,maxdelay=16 (empty = defaults)")
+	showMetrics := flag.Bool("metrics", false, "print cycle-attribution, traffic and occupancy tables")
+	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline (JSON) to this file; implies the metrics recorder")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -189,6 +202,7 @@ func main() {
 		cfg.FaultRates = rates
 	}
 	cfg.RecordTrace = *check || *dump != ""
+	cfg.Metrics = *showMetrics || *timeline != ""
 	cfg.RecordTimings = *conds || *dump != ""
 
 	res, err := machine.Run(prog, cfg)
@@ -221,6 +235,32 @@ func main() {
 		fmt.Printf(" x%d=%d", a, res.FinalMem[a])
 	}
 	fmt.Println()
+
+	if *showMetrics {
+		for _, mt := range res.Metrics.Tables() {
+			fmt.Println(mt)
+		}
+	}
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Metrics.WriteTimeline(f, prog.Name); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		data, err := os.ReadFile(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := metrics.ValidateTimeline(data); err != nil {
+			fatal(fmt.Errorf("timeline failed self-validation: %w", err))
+		}
+		fmt.Printf("timeline written to %s (%d events validated)\n", *timeline, metrics.EventCount(data))
+	}
 
 	init := make(map[mem.Addr]mem.Value)
 	for _, a := range prog.Addrs() {

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"weakorder/internal/metrics"
 )
 
 // buildWosim compiles the command once per test binary into a temp dir.
@@ -114,5 +117,67 @@ func TestFaultInjectionReplays(t *testing.T) {
 	}
 	if !strings.Contains(out1, "faults: seed=7") {
 		t.Fatalf("missing injection summary:\n%s", out1)
+	}
+}
+
+// TestMetricsAndTimelineFlags exercises the observability surface end to end:
+// -metrics prints the attribution tables, -timeline writes a trace file that
+// validates, and the combination is byte-deterministic across reruns.
+func TestMetricsAndTimelineFlags(t *testing.T) {
+	bin := buildWosim(t)
+	tl1 := filepath.Join(t.TempDir(), "a.json")
+	tl2 := filepath.Join(t.TempDir(), "b.json")
+	args := func(tl string) []string {
+		return []string{"-workload", "fig3", "-procs", "3", "-work", "15",
+			"-jitter", "2", "-metrics", "-timeline", tl}
+	}
+	out1, code1 := run(t, bin, args(tl1)...)
+	out2, code2 := run(t, bin, args(tl2)...)
+	if code1 != 0 || code2 != 0 {
+		t.Fatalf("exit codes = %d, %d\noutput:\n%s", code1, code2, out1)
+	}
+	for _, want := range []string{
+		"cycle attribution", "compute", "idle",
+		"fabric traffic", "reserve-bit occupancy", "directory occupancy",
+		"timeline written to",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out1)
+		}
+	}
+	// The two runs name different output files; everything else must match.
+	strip := func(out string) string {
+		var kept []string
+		for _, l := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(l, "timeline written to") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(out1) != strip(out2) {
+		t.Fatalf("-metrics output diverged between identical runs:\n--- first ---\n%s--- second ---\n%s", out1, out2)
+	}
+	d1, err := os.ReadFile(tl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := os.ReadFile(tl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Fatal("timeline files diverged between identical runs")
+	}
+	if err := metrics.ValidateTimeline(d1); err != nil {
+		t.Fatalf("written timeline invalid: %v", err)
+	}
+	if n := metrics.EventCount(d1); n == 0 {
+		t.Fatal("timeline holds no events")
+	}
+	// Without the flags the run must not mention the recorder at all.
+	plain, code := run(t, bin, "-workload", "fig3", "-procs", "3", "-work", "15")
+	if code != 0 || strings.Contains(plain, "cycle attribution") {
+		t.Fatalf("metrics output leaked into a plain run (code %d):\n%s", code, plain)
 	}
 }

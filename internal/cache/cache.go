@@ -2,9 +2,11 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"weakorder/internal/interconnect"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/sim"
 	"weakorder/internal/stats"
 )
@@ -144,11 +146,17 @@ type Cache struct {
 
 	// Stats counts hits, misses, reserve stalls, etc.
 	Stats *stats.Counters
+
+	// rec, when non-nil, receives cycle-observability events (reserve-bit
+	// set/clear, reserve-stall spans, retry-backoff windows). Every hook is
+	// nil-safe, so the fault-free fast path pays nothing when metrics are off.
+	rec *metrics.Recorder
 }
 
 type stalledFwd struct {
-	src interconnect.NodeID
-	msg Msg
+	src   interconnect.NodeID
+	msg   Msg
+	since sim.Time // arrival time, for reserve-stall span attribution
 }
 
 // New builds a cache attached to the fabric.
@@ -182,6 +190,62 @@ func (c *Cache) SetLenient(on bool) { c.lenient = on }
 func (c *Cache) SetRetry(timeout sim.Time, limit int) {
 	c.retryTimeout = timeout
 	c.retryLimit = limit
+}
+
+// SetMetrics attaches a cycle-observability recorder (nil to detach).
+func (c *Cache) SetMetrics(rec *metrics.Recorder) { c.rec = rec }
+
+// maxBackoffShift bounds the exponential-backoff exponent: past it the
+// backoff saturates instead of doubling. Without the bound, attempt counts
+// beyond ~55 shift retryTimeout past the sign bit and the negative delay
+// panics the engine ("schedule before now") — reachable whenever the retry
+// budget is configured high under a heavy drop rate.
+const maxBackoffShift = 16
+
+// maxBackoffTotal caps any single backoff (and, transitively, the budget sum
+// in BackoffBudget) so arithmetic on deadlines can never overflow sim.Time.
+const maxBackoffTotal = sim.Time(1) << 40
+
+// backoffFor returns the clamped exponential backoff for one attempt:
+// timeout << min(attempts, maxBackoffShift), saturating at maxBackoffTotal.
+func backoffFor(timeout sim.Time, attempts int) sim.Time {
+	if timeout <= 0 {
+		return 0
+	}
+	if timeout >= maxBackoffTotal {
+		return maxBackoffTotal
+	}
+	shift := attempts
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	b := timeout << uint(shift)
+	if b <= 0 || b > maxBackoffTotal {
+		return maxBackoffTotal
+	}
+	return b
+}
+
+// backoff returns this cache's clamped backoff for the given attempt count.
+func (c *Cache) backoff(attempts int) sim.Time { return backoffFor(c.retryTimeout, attempts) }
+
+// BackoffBudget returns the worst-case total time a requester can legally
+// spend sleeping in its retransmission schedule: the sum of every clamped
+// backoff across the full retry budget. The directory watchdog must extend
+// its deadline by at least this much, or it will condemn a transaction whose
+// requester is merely sleeping between attempts.
+func BackoffBudget(timeout sim.Time, limit int) sim.Time {
+	var total sim.Time
+	for k := 0; k <= limit+1; k++ {
+		total += backoffFor(timeout, k)
+		if total >= maxBackoffTotal {
+			return maxBackoffTotal
+		}
+	}
+	return total
 }
 
 // fail aborts the simulation with a ProtocolError detected by this cache.
@@ -279,14 +343,24 @@ func (c *Cache) decCounter(sync bool) {
 		if c.dataCounter == 0 {
 			// "All reserve bits are reset when the counter reads zero" — the
 			// counter of accesses a reserve can be waiting on, i.e. ordinary
-			// ones.
-			for _, l := range c.lines {
-				l.reserved = false
+			// ones. Cleared in address order so the recorded clear events (and
+			// with them the exported timeline) are deterministic.
+			var reserved []mem.Addr
+			for a, l := range c.lines {
+				if l.reserved {
+					reserved = append(reserved, a)
+				}
+			}
+			sort.Slice(reserved, func(i, j int) bool { return reserved[i] < reserved[j] })
+			for _, a := range reserved {
+				c.lines[a].reserved = false
+				c.rec.ReserveCleared(int(c.ID), a)
 			}
 			// Service remote synchronization requests stalled on reserve bits.
 			stalled := c.stalledFwds
 			c.stalledFwds = nil
 			for _, s := range stalled {
+				c.rec.ReserveStalled(int(s.msg.Requester), s.msg.Addr, s.since, c.engine.Now())
 				c.serviceFwd(s.src, s.msg)
 			}
 		}
@@ -317,7 +391,7 @@ func (c *Cache) armRetry(a mem.Addr, m *mshr) {
 	if c.retryTimeout <= 0 {
 		return
 	}
-	c.engine.After(c.retryTimeout<<uint(m.attempts), func() { c.retryCheck(a, m) })
+	c.engine.After(c.backoff(m.attempts), func() { c.retryCheck(a, m) })
 }
 
 // retryCheck fires when a retransmission timer expires: if the transaction is
@@ -341,6 +415,9 @@ func (c *Cache) resendRequest(a mem.Addr, m *mshr) {
 	c.Stats.Add("request_retries", 1)
 	c.fabric.Send(c.ID, c.dir, m.req)
 	c.armRetry(a, m)
+	// The window until the next retransmission check is attributed to the
+	// retry schedule; report-time carving trims it at the answer's arrival.
+	c.rec.Backoff(int(c.ID), a, c.engine.Now(), c.engine.Now()+c.backoff(m.attempts))
 }
 
 // AcquireShared ensures the line is at least Shared and calls done with its
@@ -469,6 +546,7 @@ func (c *Cache) Reserve(a mem.Addr) {
 	}
 	l.reserved = true
 	c.Stats.Add("reserves_set", 1)
+	c.rec.ReserveSet(int(c.ID), a)
 }
 
 // Reserved reports whether the line currently has its reserve bit set.
@@ -586,8 +664,9 @@ func (c *Cache) onNack(src interconnect.NodeID, msg Msg) {
 		return
 	}
 	c.Stats.Add("nacks_received", 1)
-	backoff := c.retryTimeout << uint(m.attempts)
+	backoff := c.backoff(m.attempts)
 	c.engine.After(backoff, func() { c.retryCheck(msg.Addr, m) })
+	c.rec.Backoff(int(c.ID), msg.Addr, c.engine.Now(), c.engine.Now()+backoff)
 	m.attempts++
 	if m.attempts > c.retryLimit {
 		c.fail(ErrRetryExhausted, "%s for x%d NACKed past the retry budget (%d attempts)",
@@ -650,7 +729,7 @@ func (c *Cache) onFwd(src interconnect.NodeID, msg Msg) {
 	// has not arrived, or our write is not yet performed): park the forward
 	// until the MSHR completes so the local access stays atomic.
 	if c.mshrs[msg.Addr] != nil {
-		c.pendingFwds[msg.Addr] = append(c.pendingFwds[msg.Addr], stalledFwd{src, msg})
+		c.pendingFwds[msg.Addr] = append(c.pendingFwds[msg.Addr], stalledFwd{src: src, msg: msg, since: c.engine.Now()})
 		return
 	}
 	l := c.lines[msg.Addr]
@@ -669,7 +748,7 @@ func (c *Cache) onFwd(src interconnect.NodeID, msg Msg) {
 		// serviced only if the reserve bit is reset; otherwise it is
 		// stalled until the ordinary-access counter reads zero.
 		c.Stats.Add("reserve_stalls", 1)
-		c.stalledFwds = append(c.stalledFwds, stalledFwd{src, msg})
+		c.stalledFwds = append(c.stalledFwds, stalledFwd{src: src, msg: msg, since: c.engine.Now()})
 		return
 	}
 	c.serviceFwd(src, msg)
@@ -680,6 +759,9 @@ func (c *Cache) serviceFwd(src interconnect.NodeID, msg Msg) {
 	if l == nil || l.state != Exclusive {
 		c.tolerate("stale_fwd", src, msg, "servicing %s for x%d we no longer own", msg.Kind, msg.Addr)
 		return
+	}
+	if l.reserved {
+		c.rec.ReserveCleared(int(c.ID), msg.Addr)
 	}
 	switch msg.Kind {
 	case MsgFwdS:

@@ -2,9 +2,11 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"weakorder/internal/interconnect"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/sim"
 	"weakorder/internal/stats"
 )
@@ -63,11 +65,16 @@ type Directory struct {
 	queueLimit int
 	// Watchdog: while any line is busy, a recurring check every wdInterval
 	// cycles fails the run with ErrWatchdog if a transaction has been open
-	// longer than wdTimeout. Armed lazily so an idle directory schedules no
-	// events and the engine's queue still drains.
+	// longer than wdTimeout (plus wdGrace, see SetWatchdogGrace). Armed
+	// lazily so an idle directory schedules no events and the engine's queue
+	// still drains.
 	wdInterval sim.Time
 	wdTimeout  sim.Time
+	wdGrace    sim.Time
 	wdArmed    bool
+
+	// rec, when non-nil, receives per-line transaction occupancy spans.
+	rec *metrics.Recorder
 }
 
 // NewDirectory builds the directory/memory controller. init supplies initial
@@ -110,6 +117,23 @@ func (d *Directory) EnableWatchdog(interval, timeout sim.Time) {
 	d.wdInterval = interval
 	d.wdTimeout = timeout
 }
+
+// SetWatchdogGrace extends the watchdog deadline by grace cycles. A
+// transaction can be open, through no fault of its own, while its requester
+// (or the owner servicing a routed request) legitimately sleeps through its
+// retransmission backoff schedule — the watchdog deadline must cover the
+// worst-case remaining backoff (cache.BackoffBudget) on top of the
+// lost-message timeout, or heavy-but-survivable fault rates raise spurious
+// ErrWatchdog failures.
+func (d *Directory) SetWatchdogGrace(grace sim.Time) {
+	if grace < 0 {
+		grace = 0
+	}
+	d.wdGrace = grace
+}
+
+// SetMetrics attaches a cycle-observability recorder (nil to detach).
+func (d *Directory) SetMetrics(rec *metrics.Recorder) { d.rec = rec }
 
 // fail aborts the simulation with a ProtocolError detected by the directory.
 func (d *Directory) fail(kind error, format string, args ...interface{}) {
@@ -188,8 +212,17 @@ func (d *Directory) open(l *dirLine, src interconnect.NodeID, msg Msg) {
 	if msg.Seq > l.seen[src] {
 		l.seen[src] = msg.Seq
 	}
+	if d.rec.Enabled() {
+		d.rec.DirOpen(msg.Addr, fmt.Sprintf("%s P%d", msg.Kind, src))
+	}
 	d.armWatchdog()
 	d.engine.After(d.memLat, func() { d.process(l, src, msg) })
+}
+
+// closeTxn ends the line's in-flight transaction.
+func (d *Directory) closeTxn(a mem.Addr, l *dirLine) {
+	l.busy = false
+	d.rec.DirClosed(a)
 }
 
 // Deliver implements interconnect.Endpoint.
@@ -253,13 +286,13 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 		if l.owner == src {
 			// The recorded owner re-reading its own line cannot happen
 			// fault-free (it would hit locally); re-grant for robustness.
-			l.busy = false
+			d.closeTxn(msg.Addr, l)
 			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
 			d.drain(l)
 			return
 		}
 		l.sharers[src] = true
-		l.busy = false
+		d.closeTxn(msg.Addr, l)
 		d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
 		d.drain(l)
 	case MsgGetX:
@@ -272,7 +305,7 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 		if l.owner == src {
 			// The owner re-requesting exclusivity cannot happen without
 			// evictions; treat as immediate re-grant for robustness.
-			l.busy = false
+			d.closeTxn(msg.Addr, l)
 			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
 			d.drain(l)
 			return
@@ -285,10 +318,11 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 				targets = append(targets, s)
 			}
 		}
+		sortNodes(targets)
 		l.sharers = make(map[interconnect.NodeID]bool)
 		l.owner = src
 		if len(targets) == 0 {
-			l.busy = false
+			d.closeTxn(msg.Addr, l)
 			d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Excl: true, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
 			d.drain(l)
 			return
@@ -317,8 +351,9 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 		if l.owner >= 0 && l.owner != src {
 			targets = append(targets, l.owner)
 		}
+		sortNodes(targets)
 		if len(targets) == 0 {
-			l.busy = false
+			d.closeTxn(msg.Addr, l)
 			d.fabric.Send(d.ID, src, Msg{Kind: MsgWriteAck, Addr: msg.Addr, Seq: msg.Seq, Epoch: l.epoch})
 			d.drain(l)
 			return
@@ -359,7 +394,7 @@ func (d *Directory) onAck(src interconnect.NodeID, msg Msg) {
 		// particular write, it sends its ack to the processor cache that
 		// issued the write."
 		d.fabric.Send(d.ID, l.requester, Msg{Kind: MsgWriteAck, Addr: msg.Addr, Seq: l.curSeq, Epoch: l.epoch})
-		l.busy = false
+		d.closeTxn(msg.Addr, l)
 		d.drain(l)
 	}
 }
@@ -380,7 +415,7 @@ func (d *Directory) onDowngrade(src interconnect.NodeID, msg Msg) {
 	l.sharers[l.owner] = true
 	l.sharers[l.requester] = true
 	l.owner = -1
-	l.busy = false
+	d.closeTxn(msg.Addr, l)
 	d.drain(l)
 }
 
@@ -396,8 +431,15 @@ func (d *Directory) onTransfer(src interconnect.NodeID, msg Msg) {
 	}
 	l.value = msg.Value
 	l.owner = l.requester
-	l.busy = false
+	d.closeTxn(msg.Addr, l)
 	d.drain(l)
+}
+
+// sortNodes orders a multicast target list. The sharer set is a map, so
+// without the sort the send order — and with it the per-message jitter draw
+// and bus occupancy slots — would vary run to run on identical configs.
+func sortNodes(ns []interconnect.NodeID) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 }
 
 // drain processes the next queued request for the line, if any.
@@ -437,7 +479,7 @@ func (d *Directory) watchdogTick() {
 			continue
 		}
 		anyBusy = true
-		if now-l.busySince >= d.wdTimeout && (expired == nil || a < expiredAddr) {
+		if now-l.busySince >= d.wdTimeout+d.wdGrace && (expired == nil || a < expiredAddr) {
 			expired, expiredAddr = l, a
 		}
 	}

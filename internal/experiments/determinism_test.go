@@ -34,6 +34,23 @@ func TestDeterministicAcrossPoolWidths(t *testing.T) {
 		}
 	})
 
+	t.Run("Overlap", func(t *testing.T) {
+		var got []*OverlapSummary
+		for _, w := range widths {
+			restore := par.SetWorkers(w)
+			s, err := Overlap()
+			restore()
+			if err != nil {
+				t.Fatalf("Overlap at width %d: %v", w, err)
+			}
+			got = append(got, s)
+		}
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Errorf("Overlap summaries differ between widths %v:\n%+v\nvs\n%+v",
+				widths, got[0], got[1])
+		}
+	})
+
 	t.Run("Sweep", func(t *testing.T) {
 		var got []*SweepSummary
 		for _, w := range widths {

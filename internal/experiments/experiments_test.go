@@ -199,3 +199,25 @@ func TestFence(t *testing.T) {
 		t.Error("RP3 fence machine should match Definition 1 on every corpus program")
 	}
 }
+
+func TestOverlap(t *testing.T) {
+	s, err := Overlap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) == 0 {
+		t.Fatal("no points")
+	}
+	if !s.AllReclaimedPositive {
+		t.Error("def2 should reclaim overlap cycles at every swept cell")
+	}
+	if s.TotalReclaimed <= 0 {
+		t.Errorf("total reclaimed = %d, want > 0", s.TotalReclaimed)
+	}
+	for _, pt := range s.Points {
+		if pt.Def1Release <= pt.Def2Release {
+			t.Errorf("warmers=%d lat=%d: def1 release stall %d not above def2's %d",
+				pt.Warmers, pt.NetLatency, pt.Def1Release, pt.Def2Release)
+		}
+	}
+}

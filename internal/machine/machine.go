@@ -15,6 +15,7 @@ import (
 	"weakorder/internal/faults"
 	"weakorder/internal/interconnect"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/proc"
 	"weakorder/internal/program"
 	"weakorder/internal/sim"
@@ -106,8 +107,17 @@ type Config struct {
 	// is on (0 = derived default); overflow is NACKed.
 	QueueLimit int
 	// WatchdogTimeout overrides the directory watchdog's transaction
-	// deadline when Faults is on (0 = derived default).
+	// deadline when Faults is on (0 = derived default). On top of it the
+	// machine always grants the watchdog a grace of cache.BackoffBudget —
+	// the worst-case time a requester can legally sleep in retry backoff —
+	// so the deadline only has to cover genuinely lost transactions.
 	WatchdogTimeout sim.Time
+	// Metrics enables the cycle-level observability layer
+	// (internal/metrics): per-processor stall attribution, per-class fabric
+	// traffic, reserve-bit and directory occupancy, and the exportable
+	// timeline. Off by default; a run with metrics off allocates no recorder
+	// and dispatches an identical event stream.
+	Metrics bool
 }
 
 // NewConfig returns a Config with the documented defaults and the given
@@ -160,9 +170,13 @@ func (c *Config) defaults() {
 			c.QueueLimit = 8
 		}
 		if c.WatchdogTimeout < 1 {
-			// Backstop only: far beyond the full exponential retry budget,
-			// so it fires only on a genuinely wedged transaction.
-			c.WatchdogTimeout = c.RetryTimeout << uint(c.RetryLimit+2)
+			// Lost-message deadline: a few full round trips. The watchdog's
+			// effective deadline adds cache.BackoffBudget (set in New) for
+			// time legally spent sleeping in retry backoff, so this no longer
+			// needs to over-approximate the exponential budget itself — the
+			// old shifted derivation overflowed for large RetryLimit exactly
+			// like the unclamped cache backoff did.
+			c.WatchdogTimeout = 16 * c.RetryTimeout
 		}
 	}
 }
@@ -195,6 +209,9 @@ type Result struct {
 	// byte for byte by the chaos harness's replay check.
 	Injections   []faults.Injection
 	InjectionLog string
+	// Metrics is the finalized observability report when Config.Metrics was
+	// set (nil otherwise).
+	Metrics *metrics.Report
 }
 
 // TotalStall sums a stall counter across processors.
@@ -231,6 +248,7 @@ type Machine struct {
 	dir    *cache.Directory
 	fabric interconnect.Fabric
 	inj    *faults.Injector
+	rec    *metrics.Recorder
 	trace  *mem.Execution
 	times  *timingSink
 	prog   *program.Program
@@ -248,6 +266,14 @@ func New(p *program.Program, cfg Config) *Machine {
 	default:
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		fabric = interconnect.NewNetwork(engine, cfg.NetLatency, cfg.NetJitter, rng, cfg.FIFO)
+	}
+	var rec *metrics.Recorder
+	if cfg.Metrics {
+		// The tap sits under the fault injector: it observes the traffic
+		// that actually enters the network (drops invisible, duplicates
+		// counted twice — both are the real fabric load).
+		rec = metrics.NewRecorder(engine, n)
+		fabric = metrics.NewFabricTap(rec, fabric, classifyMsg)
 	}
 	var inj *faults.Injector
 	if cfg.Faults {
@@ -272,12 +298,16 @@ func New(p *program.Program, cfg Config) *Machine {
 		init[a] = v
 	}
 	dir := cache.NewDirectory(dirID, engine, fabric, cfg.MemLatency, init)
+	dir.SetMetrics(rec)
 	if cfg.Faults {
 		dir.SetLenient(true)
 		dir.SetQueueLimit(cfg.QueueLimit)
 		dir.EnableWatchdog(cfg.RetryTimeout, cfg.WatchdogTimeout)
+		// A busy line is not lost while its requester (or the owner it was
+		// routed to) is still inside the bounded retransmission schedule.
+		dir.SetWatchdogGrace(cache.BackoffBudget(cfg.RetryTimeout, cfg.RetryLimit))
 	}
-	m := &Machine{cfg: cfg, engine: engine, dir: dir, fabric: fabric, inj: inj, prog: p}
+	m := &Machine{cfg: cfg, engine: engine, dir: dir, fabric: fabric, inj: inj, rec: rec, prog: p}
 	var tr *tracer
 	if cfg.RecordTrace {
 		m.trace = mem.NewExecution(n)
@@ -288,6 +318,7 @@ func New(p *program.Program, cfg Config) *Machine {
 	}
 	for i := 0; i < n; i++ {
 		c := cache.New(interconnect.NodeID(i), engine, fabric, dirID, cfg.HitLatency)
+		c.SetMetrics(rec)
 		if cfg.Faults {
 			c.SetLenient(true)
 			c.SetRetry(cfg.RetryTimeout, cfg.RetryLimit)
@@ -302,6 +333,7 @@ func New(p *program.Program, cfg Config) *Machine {
 			pr.SetTimingSink(m.times)
 		}
 		pr.SetUpdateProtocol(cfg.Protocol == ProtocolUpdate)
+		pr.SetMetrics(rec)
 		m.procs = append(m.procs, pr)
 	}
 	return m
@@ -393,6 +425,9 @@ func (m *Machine) Run() (*Result, error) {
 		res.CacheStats = append(res.CacheStats, m.caches[i].Stats)
 	}
 	res.Cycles = last
+	if m.rec != nil {
+		res.Metrics = m.rec.Report(res.ProcFinish)
+	}
 	// Collect the coherent final memory: owner caches override the
 	// directory copy.
 	for _, a := range m.prog.Addrs() {
@@ -418,6 +453,16 @@ func (m *Machine) finalRegs() []([program.NumRegs]mem.Value) {
 		out[i] = pr.Registers()
 	}
 	return out
+}
+
+// classifyMsg names protocol messages for the metrics fabric tap (injected
+// here so internal/metrics never needs to import internal/cache).
+func classifyMsg(m interconnect.Message) metrics.MsgInfo {
+	msg, ok := m.(cache.Msg)
+	if !ok {
+		return metrics.MsgInfo{}
+	}
+	return metrics.MsgInfo{Class: msg.Kind.String(), Addr: msg.Addr, OK: true}
 }
 
 // Run is the one-call convenience: compose and run.

@@ -1,0 +1,253 @@
+package machine
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"weakorder/internal/cache"
+	"weakorder/internal/faults"
+	"weakorder/internal/metrics"
+	"weakorder/internal/par"
+	"weakorder/internal/proc"
+	"weakorder/internal/workload"
+)
+
+// metricsTablesString renders every aggregate table into one string (what
+// `wosim -metrics` prints), for byte-comparison.
+func metricsTablesString(rep *metrics.Report) string {
+	var sb strings.Builder
+	for _, tbl := range rep.Tables() {
+		sb.WriteString(tbl.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestMetricsAttributionCloses checks the tentpole invariant on a real run:
+// under every policy, each processor's six buckets total its lifetime
+// exactly.
+func TestMetricsAttributionCloses(t *testing.T) {
+	for _, pol := range allPolicies {
+		cfg := NewConfig(pol)
+		cfg.Metrics = true
+		res, err := Run(workload.Fig3(2, 30), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if res.Metrics == nil {
+			t.Fatalf("%s: Metrics nil with Config.Metrics set", pol)
+		}
+		for _, p := range res.Metrics.Procs {
+			if p.Total() != int64(p.Finish) {
+				t.Errorf("%s P%d: buckets total %d, finish %d", pol, p.Proc, p.Total(), p.Finish)
+			}
+			for cl, n := range p.Cycles {
+				if n < 0 {
+					t.Errorf("%s P%d: negative %s cycles %d", pol, p.Proc, metrics.Class(cl), n)
+				}
+			}
+		}
+	}
+}
+
+// TestMetricsPolicyContrast pins the paper's Section-6 story in the
+// attribution: the def1-style machine charges the releasing processor
+// counter-stall cycles that the def2 machine eliminates (its release commits
+// and the stall transfers to the reserve bit).
+func TestMetricsPolicyContrast(t *testing.T) {
+	prog := workload.Fig3(2, 40)
+	run := func(pol proc.Policy) *Result {
+		cfg := NewConfig(pol)
+		cfg.Metrics = true
+		res, err := Run(prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		return res
+	}
+	def1, def2 := run(proc.PolicyWODef1), run(proc.PolicyWODef2)
+	if got := def1.Metrics.ProcStall(0, metrics.ClassCounterStall); got <= 0 {
+		t.Errorf("def1 P0 counter-stall = %d, want > 0", got)
+	}
+	if got := def2.Metrics.ProcStall(0, metrics.ClassCounterStall); got != 0 {
+		t.Errorf("def2 P0 counter-stall = %d, want 0", got)
+	}
+	if def2.ProcFinish[0] >= def1.ProcFinish[0] {
+		t.Errorf("def2 P0 finish %d not earlier than def1 %d", def2.ProcFinish[0], def1.ProcFinish[0])
+	}
+	if len(def2.Metrics.ReserveOcc) == 0 {
+		t.Error("def2 run set no reserve bits on the Figure-3 shape")
+	}
+}
+
+// TestMetricsZeroOverhead checks the overhead-when-disabled argument's
+// observable half: the same run with metrics on and off produces identical
+// timing, traffic, and architectural results.
+func TestMetricsZeroOverhead(t *testing.T) {
+	for _, pol := range allPolicies {
+		run := func(on bool) *Result {
+			cfg := NewConfig(pol)
+			cfg.NetJitter = 3
+			cfg.Metrics = on
+			res, err := Run(workload.Fig3(2, 25), cfg)
+			if err != nil {
+				t.Fatalf("%s metrics=%v: %v", pol, on, err)
+			}
+			return res
+		}
+		off, on := run(false), run(true)
+		if off.Cycles != on.Cycles || off.Messages != on.Messages {
+			t.Errorf("%s: metrics changed the run: cycles %d/%d messages %d/%d",
+				pol, off.Cycles, on.Cycles, off.Messages, on.Messages)
+		}
+		for i := range off.ProcFinish {
+			if off.ProcFinish[i] != on.ProcFinish[i] {
+				t.Errorf("%s P%d: finish %d/%d", pol, i, off.ProcFinish[i], on.ProcFinish[i])
+			}
+		}
+		if off.Metrics != nil {
+			t.Errorf("%s: metrics-off run carries a report", pol)
+		}
+	}
+}
+
+// TestMetricsDeterministic reruns an identical faulty configuration — once
+// per worker-pool width, since CLI and experiment callers run under the pool —
+// and byte-compares the rendered tables and the timeline JSON.
+func TestMetricsDeterministic(t *testing.T) {
+	build := func() (string, string) {
+		cfg := NewConfig(proc.PolicyWODef2)
+		cfg.Metrics = true
+		cfg.NetJitter = 4
+		cfg.Faults = true
+		cfg.FaultSeed = 7
+		res, err := Run(workload.Fig3N(2, 3, 20), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.Metrics.WriteTimeline(&sb, "det"); err != nil {
+			t.Fatal(err)
+		}
+		return metricsTablesString(res.Metrics), sb.String()
+	}
+	t1, j1 := build()
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		restore := par.SetWorkers(w)
+		t2, j2 := build()
+		restore()
+		if t1 != t2 {
+			t.Errorf("width %d: metrics tables differ between identical runs:\n%s\n----\n%s", w, t1, t2)
+		}
+		if j1 != j2 {
+			t.Errorf("width %d: timeline JSON differs between identical runs", w)
+		}
+	}
+	if err := metrics.ValidateTimeline([]byte(j1)); err != nil {
+		t.Errorf("timeline invalid: %v", err)
+	}
+}
+
+// TestMetricsUnderFaultsValidates exercises the recorder along the retry,
+// NACK and reserve paths and checks the exported timeline stays well-formed.
+func TestMetricsUnderFaultsValidates(t *testing.T) {
+	cfg := NewConfig(proc.PolicyWODef2)
+	cfg.Metrics = true
+	cfg.Faults = true
+	cfg.FaultSeed = 3
+	cfg.FaultRates = faults.Rates{Drop: 0.2, Dup: 0.1, Delay: 0.1, Reorder: 0.05, MaxDelay: 12}
+	res, err := Run(workload.Fig3N(2, 4, 15), cfg)
+	if err != nil {
+		t.Fatalf("faulty run failed outright: %v", err)
+	}
+	var sb strings.Builder
+	if err := res.Metrics.WriteTimeline(&sb, "faulty"); err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateTimeline([]byte(sb.String())); err != nil {
+		t.Errorf("timeline under faults invalid: %v", err)
+	}
+	// Fault recovery is where the two def2-specific buckets actually fire:
+	// delayed acks hold the reserve window open long enough to park a
+	// forwarded request, and dropped requests put processors into backoff.
+	if got := res.Metrics.Stall(metrics.ClassReserveStall); got <= 0 {
+		t.Errorf("reserve-stall = %d, want > 0 under this fault schedule", got)
+	}
+	if got := res.Metrics.Stall(metrics.ClassRetryBackoff); got <= 0 {
+		t.Errorf("retry-backoff = %d, want > 0 under this fault schedule", got)
+	}
+}
+
+// TestRetryStormNoPanic is the machine-level face of the backoff-overflow
+// bugfix: a high drop rate with a deep retry budget drives attempt counts up;
+// the run must end in a value error (or survive), never a scheduling panic.
+func TestRetryStormNoPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("retry storm panicked: %v", r)
+		}
+	}()
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := NewConfig(proc.PolicyWODef2)
+		cfg.Faults = true
+		cfg.FaultSeed = seed
+		cfg.FaultRates = faults.Rates{Drop: 0.9, MaxDelay: 8}
+		cfg.RetryTimeout = 2
+		cfg.RetryLimit = 100
+		res, err := Run(workload.Fig3(1, 5), cfg)
+		if err != nil {
+			// Contained failures are acceptable under a 90% drop rate; a
+			// panic or an unwrapped error is not.
+			if !errors.Is(err, cache.ErrProtocol) && !strings.Contains(err.Error(), "machine:") {
+				t.Errorf("seed %d: uncontained error: %v", seed, err)
+			}
+			continue
+		}
+		_ = res
+	}
+}
+
+// TestWatchdogBackoffGrace is the watchdog false-positive regression. The
+// scenario: an owner holds a line reserved while its own ordinary accesses
+// retry through drop-induced exponential backoff; the directory transaction
+// that routed a synchronization request to that owner stays open the whole
+// time. With the old deadline (no backoff grace) the watchdog condemns the
+// line even though the run is survivable; with the deadline extended by
+// cache.BackoffBudget the same run completes. The seed sweep finds a
+// provoking fault schedule, then the assertion pair pins both behaviours.
+func TestWatchdogBackoffGrace(t *testing.T) {
+	prog := workload.Fig3N(2, 6, 10)
+	mkcfg := func(seed int64) Config {
+		cfg := NewConfig(proc.PolicyWODef2)
+		cfg.Faults = true
+		cfg.FaultSeed = seed
+		cfg.FaultRates = faults.Rates{Drop: 0.55, MaxDelay: 8}
+		cfg.RetryTimeout = 40
+		cfg.RetryLimit = 8
+		// Deadline covering lost messages but not the backoff schedule —
+		// the pre-fix effective deadline shape.
+		cfg.WatchdogTimeout = 16 * cfg.RetryTimeout
+		return cfg
+	}
+	provoking := int64(-1)
+	for seed := int64(1); seed <= 80; seed++ {
+		m := New(prog, mkcfg(seed))
+		m.dir.SetWatchdogGrace(0) // old behaviour: deadline ignores backoff
+		_, err := m.Run()
+		if err == nil || !errors.Is(err, cache.ErrWatchdog) {
+			continue
+		}
+		// Same schedule with the backoff-aware deadline: a false positive
+		// must turn into a completed run.
+		if res, err2 := Run(prog, mkcfg(seed)); err2 == nil && res != nil {
+			provoking = seed
+			break
+		}
+	}
+	if provoking < 0 {
+		t.Fatal("no fault schedule provoked a spurious ErrWatchdog in 80 seeds; regression scenario lost")
+	}
+	t.Logf("provoking fault seed: %d", provoking)
+}

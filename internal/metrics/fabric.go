@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"weakorder/internal/interconnect"
+	"weakorder/internal/mem"
+)
+
+// MsgInfo is what the fabric tap needs to know about one message. The
+// classifier is injected by the machine (which knows the protocol's concrete
+// message type) so this package never imports internal/cache.
+type MsgInfo struct {
+	Class string
+	Addr  mem.Addr
+	OK    bool
+}
+
+// Classifier maps an opaque fabric message to its class and address.
+type Classifier func(msg interconnect.Message) MsgInfo
+
+// FabricTap wraps a fabric and records every send and delivery into a
+// Recorder. The machine interposes it under the fault injector, so it sees
+// the traffic that actually enters the network: dropped messages never reach
+// it, duplicated messages are counted twice — both are real fabric load.
+type FabricTap struct {
+	rec      *Recorder
+	inner    interconnect.Fabric
+	classify Classifier
+}
+
+// NewFabricTap wraps inner, recording into rec with classify naming each
+// message.
+func NewFabricTap(rec *Recorder, inner interconnect.Fabric, classify Classifier) *FabricTap {
+	return &FabricTap{rec: rec, inner: inner, classify: classify}
+}
+
+// Attach implements interconnect.Fabric, wrapping the endpoint so deliveries
+// are observed too.
+func (t *FabricTap) Attach(id interconnect.NodeID, e interconnect.Endpoint) {
+	t.inner.Attach(id, &tappedEndpoint{tap: t, id: id, inner: e})
+}
+
+// Send implements interconnect.Fabric.
+func (t *FabricTap) Send(src, dst interconnect.NodeID, msg interconnect.Message) {
+	if info := t.classify(msg); info.OK {
+		t.rec.MsgSent(int(src), int(dst), info.Class, info.Addr)
+	}
+	t.inner.Send(src, dst, msg)
+}
+
+// Messages implements interconnect.Fabric.
+func (t *FabricTap) Messages() uint64 { return t.inner.Messages() }
+
+// tappedEndpoint observes deliveries before forwarding them.
+type tappedEndpoint struct {
+	tap   *FabricTap
+	id    interconnect.NodeID
+	inner interconnect.Endpoint
+}
+
+// Deliver implements interconnect.Endpoint.
+func (e *tappedEndpoint) Deliver(src interconnect.NodeID, msg interconnect.Message) {
+	if info := e.tap.classify(msg); info.OK {
+		e.tap.rec.MsgDelivered(int(src), int(e.id))
+	}
+	e.inner.Deliver(src, msg)
+}

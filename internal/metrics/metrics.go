@@ -1,0 +1,603 @@
+// Package metrics is the cycle-level observability layer of the timed
+// machine: when enabled it attributes every processor cycle to one of
+// {compute, reserve-stall, counter-stall, fence-stall, retry-backoff, idle},
+// counts fabric traffic per message class, tracks per-line reserve-bit and
+// directory occupancy, and exports both aggregate tables (internal/stats) and
+// a Chrome trace-event timeline (one track per processor plus the directory).
+//
+// Zero overhead when disabled: every hook is a method on *Recorder that
+// returns immediately on a nil receiver, the machine only allocates a
+// Recorder when Config.Metrics is set, and the fabric tap is only interposed
+// then. Recording itself never schedules simulator events — the Recorder
+// holds a sim.Clock, not the engine — so an instrumented run dispatches
+// exactly the same event stream as a bare one.
+//
+// Cycle-attribution taxonomy (per processor, covering [0, finish)):
+//
+//   - compute:       local work (explicit Nop delays) and the one-cycle
+//     issue/complete pipeline cost of each operation.
+//   - counter-stall: waiting for the outstanding-access counter to read zero
+//     (Definition 1's synchronization issue condition).
+//   - fence-stall:   post-commit waits for global performance — SC's
+//     stall-until-performed and Definition 1's condition 3. The stall a
+//     fence would cost, hence the name.
+//   - reserve-stall: the span the processor's synchronization request spent
+//     parked in a remote owner's stalled-request queue behind a Section-5.3
+//     reserve bit (attributed to the requester, where the cycles are lost).
+//   - retry-backoff: the part of a memory wait that overlapped the
+//     transaction's retransmission schedule — NACK backoff sleeps and
+//     re-flight windows of resent requests (faults mode only).
+//   - idle:          the remainder — waiting on the memory system for data
+//     or ownership with nothing to overlap.
+//
+// The first four are recorded directly by the processor front-end, which is
+// sequential, so its spans never overlap. reserve-stall and retry-backoff are
+// recorded by the cache layer and carved out of the enclosing memory-wait
+// spans at report time (reserve-stall wins where both overlap); what remains
+// of a memory wait is idle. idle is then the exact closure
+// finish − (sum of the other five), so the attribution always totals the
+// processor's lifetime.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+	"weakorder/internal/stats"
+)
+
+// Class is one cycle-attribution bucket.
+type Class uint8
+
+const (
+	// ClassCompute is local work and per-op pipeline cost.
+	ClassCompute Class = iota
+	// ClassReserveStall is time parked behind a remote reserve bit.
+	ClassReserveStall
+	// ClassCounterStall is Definition 1's counter-zero issue wait.
+	ClassCounterStall
+	// ClassFenceStall is a post-commit wait for global performance.
+	ClassFenceStall
+	// ClassRetryBackoff is wait time overlapping the retry schedule.
+	ClassRetryBackoff
+	// ClassIdle is the uninstrumented remainder of a memory wait.
+	ClassIdle
+	// NumClasses is the bucket count.
+	NumClasses = int(ClassIdle) + 1
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCompute:
+		return "compute"
+	case ClassReserveStall:
+		return "reserve-stall"
+	case ClassCounterStall:
+		return "counter-stall"
+	case ClassFenceStall:
+		return "fence-stall"
+	case ClassRetryBackoff:
+		return "retry-backoff"
+	case ClassIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// spanKind distinguishes raw recorded spans; memory waits are not a final
+// class — they are carved into reserve-stall / retry-backoff / idle pieces at
+// report time.
+type spanKind uint8
+
+const (
+	kindCompute spanKind = iota
+	kindCounter
+	kindFence
+	kindMemWait
+	kindReserve
+	kindBackoff
+)
+
+// span is one recorded interval. proc is the processor the cycles are
+// attributed to; seq breaks rendering ties deterministically.
+type span struct {
+	proc     int
+	kind     spanKind
+	addr     mem.Addr
+	sync     bool
+	from, to sim.Time
+	seq      uint64
+}
+
+// dirSpan is one directory transaction occupancy interval.
+type dirSpan struct {
+	addr     mem.Addr
+	label    string
+	from, to sim.Time
+	seq      uint64
+}
+
+// msgSpan is one fabric message lifetime (send to delivery).
+type msgSpan struct {
+	src, dst  int
+	class     string
+	addr      mem.Addr
+	sent      sim.Time
+	delivered sim.Time
+	done      bool
+	seq       uint64
+}
+
+// Recorder collects raw observations during a run. All hook methods are safe
+// on a nil receiver (they do nothing), which is how the instrumented
+// components stay zero-overhead when metrics are off.
+type Recorder struct {
+	clock  sim.Clock
+	nprocs int
+	seq    uint64
+
+	spans []span // processor cycle spans (all kinds)
+
+	reserveOpen map[[2]int64]sim.Time // (cache, addr) -> set time
+	reserveHist map[mem.Addr]*stats.Histogram
+	reserveSets map[mem.Addr]int64
+
+	dirOpen  map[mem.Addr]dirSpan
+	dirSpans []dirSpan
+	dirHist  map[mem.Addr]*stats.Histogram
+
+	msgClasses *stats.Counters
+	msgs       []msgSpan
+	pending    map[[2]int][]int // (src,dst) -> indices of in-flight msgs
+}
+
+// NewRecorder returns a recorder for a machine with nprocs processors
+// reading time from clock.
+func NewRecorder(clock sim.Clock, nprocs int) *Recorder {
+	return &Recorder{
+		clock:       clock,
+		nprocs:      nprocs,
+		reserveOpen: make(map[[2]int64]sim.Time),
+		reserveHist: make(map[mem.Addr]*stats.Histogram),
+		reserveSets: make(map[mem.Addr]int64),
+		dirOpen:     make(map[mem.Addr]dirSpan),
+		dirHist:     make(map[mem.Addr]*stats.Histogram),
+		msgClasses:  stats.NewCounters(),
+		pending:     make(map[[2]int][]int),
+	}
+}
+
+// Enabled reports whether the recorder is live (nil-safe).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+func (r *Recorder) push(s span) {
+	if s.to <= s.from {
+		return
+	}
+	r.seq++
+	s.seq = r.seq
+	r.spans = append(r.spans, s)
+}
+
+// Compute attributes [from, to) of processor proc to local work.
+func (r *Recorder) Compute(proc int, from, to sim.Time) {
+	if r == nil {
+		return
+	}
+	r.push(span{proc: proc, kind: kindCompute, from: from, to: to})
+}
+
+// CounterStall attributes [from, to) to the Definition-1 counter-zero wait.
+func (r *Recorder) CounterStall(proc int, from, to sim.Time) {
+	if r == nil {
+		return
+	}
+	r.push(span{proc: proc, kind: kindCounter, from: from, to: to})
+}
+
+// FenceStall attributes [from, to) to a post-commit performance wait.
+func (r *Recorder) FenceStall(proc int, from, to sim.Time) {
+	if r == nil {
+		return
+	}
+	r.push(span{proc: proc, kind: kindFence, from: from, to: to})
+}
+
+// MemWait records a raw memory-system wait of proc on addr over [from, to);
+// it is carved into reserve-stall, retry-backoff and idle at report time.
+func (r *Recorder) MemWait(proc int, addr mem.Addr, sync bool, from, to sim.Time) {
+	if r == nil {
+		return
+	}
+	r.push(span{proc: proc, kind: kindMemWait, addr: addr, sync: sync, from: from, to: to})
+}
+
+// ReserveStalled records that requester's synchronization request for addr
+// sat parked behind a reserve bit over [from, to).
+func (r *Recorder) ReserveStalled(requester int, addr mem.Addr, from, to sim.Time) {
+	if r == nil {
+		return
+	}
+	r.push(span{proc: requester, kind: kindReserve, addr: addr, from: from, to: to})
+}
+
+// Backoff records that proc's transaction for addr was in its retransmission
+// schedule over [from, to); only the part overlapping an actual processor
+// wait is attributed.
+func (r *Recorder) Backoff(proc int, addr mem.Addr, from, to sim.Time) {
+	if r == nil {
+		return
+	}
+	r.push(span{proc: proc, kind: kindBackoff, addr: addr, from: from, to: to})
+}
+
+// ReserveSet records cache setting the reserve bit on addr.
+func (r *Recorder) ReserveSet(cache int, addr mem.Addr) {
+	if r == nil {
+		return
+	}
+	r.reserveOpen[[2]int64{int64(cache), int64(addr)}] = r.clock.Now()
+	r.reserveSets[addr]++
+}
+
+// ReserveCleared records cache clearing the reserve bit on addr, closing the
+// occupancy interval opened by ReserveSet.
+func (r *Recorder) ReserveCleared(cache int, addr mem.Addr) {
+	if r == nil {
+		return
+	}
+	key := [2]int64{int64(cache), int64(addr)}
+	from, ok := r.reserveOpen[key]
+	if !ok {
+		return
+	}
+	delete(r.reserveOpen, key)
+	h := r.reserveHist[addr]
+	if h == nil {
+		h = stats.NewHistogram()
+		r.reserveHist[addr] = h
+	}
+	h.Observe(int64(r.clock.Now() - from))
+}
+
+// DirOpen records the directory opening a transaction for addr (label names
+// the request, e.g. "GetX P1").
+func (r *Recorder) DirOpen(addr mem.Addr, label string) {
+	if r == nil {
+		return
+	}
+	r.seq++
+	r.dirOpen[addr] = dirSpan{addr: addr, label: label, from: r.clock.Now(), seq: r.seq}
+}
+
+// DirClosed records the directory closing the in-flight transaction for addr.
+func (r *Recorder) DirClosed(addr mem.Addr) {
+	if r == nil {
+		return
+	}
+	s, ok := r.dirOpen[addr]
+	if !ok {
+		return
+	}
+	delete(r.dirOpen, addr)
+	s.to = r.clock.Now()
+	r.dirSpans = append(r.dirSpans, s)
+	h := r.dirHist[addr]
+	if h == nil {
+		h = stats.NewHistogram()
+		r.dirHist[addr] = h
+	}
+	h.Observe(int64(s.to - s.from))
+}
+
+// MsgSent records one message entering the fabric.
+func (r *Recorder) MsgSent(src, dst int, class string, addr mem.Addr) {
+	if r == nil {
+		return
+	}
+	r.msgClasses.Add(class, 1)
+	r.seq++
+	r.msgs = append(r.msgs, msgSpan{
+		src: src, dst: dst, class: class, addr: addr, sent: r.clock.Now(), seq: r.seq,
+	})
+	key := [2]int{src, dst}
+	r.pending[key] = append(r.pending[key], len(r.msgs)-1)
+}
+
+// MsgDelivered closes the oldest in-flight message on (src, dst). Pairing is
+// per-link FIFO — exact on the default FIFO fabrics, best-effort under
+// jitter reordering (lifetimes may swap between same-link messages; class
+// counts are unaffected).
+func (r *Recorder) MsgDelivered(src, dst int) {
+	if r == nil {
+		return
+	}
+	key := [2]int{src, dst}
+	q := r.pending[key]
+	if len(q) == 0 {
+		return
+	}
+	i := q[0]
+	r.pending[key] = q[1:]
+	r.msgs[i].delivered = r.clock.Now()
+	r.msgs[i].done = true
+}
+
+// ProcCycles is one processor's finalized cycle attribution.
+type ProcCycles struct {
+	Proc   int
+	Finish sim.Time
+	Cycles [NumClasses]int64
+}
+
+// Total sums the buckets (== Finish by construction).
+func (p ProcCycles) Total() int64 {
+	var n int64
+	for _, c := range p.Cycles {
+		n += c
+	}
+	return n
+}
+
+// LineOccupancy is the occupancy histogram of one line (reserve bit or
+// directory transaction).
+type LineOccupancy struct {
+	Addr mem.Addr
+	Sets int64 // occupancy intervals observed
+	Hist *stats.Histogram
+}
+
+// Report is the finalized view of a run's observations.
+type Report struct {
+	Procs      []ProcCycles
+	MsgClasses *stats.Counters
+	ReserveOcc []LineOccupancy
+	DirOcc     []LineOccupancy
+
+	// timeline inputs, kept for WriteTimeline.
+	events []timelineSpan
+	msgs   []msgSpan
+	dir    []dirSpan
+	nprocs int
+}
+
+// timelineSpan is one finalized processor-track interval.
+type timelineSpan struct {
+	proc     int
+	class    Class
+	addr     mem.Addr
+	hasAddr  bool
+	from, to sim.Time
+	seq      uint64
+}
+
+// Report finalizes the observations: memory waits are carved into
+// reserve-stall / retry-backoff / idle, per-class totals are closed so every
+// cycle of [0, finish) is attributed, and timeline inputs are frozen.
+// finishes holds each processor's completion time.
+func (r *Recorder) Report(finishes []sim.Time) *Report {
+	if r == nil {
+		return nil
+	}
+	rep := &Report{MsgClasses: r.msgClasses, nprocs: r.nprocs, dir: r.dirSpans}
+	for _, m := range r.msgs {
+		if m.done {
+			rep.msgs = append(rep.msgs, m)
+		}
+	}
+	// Partition the raw spans per processor.
+	perProc := make([][]span, r.nprocs)
+	for _, s := range r.spans {
+		if s.proc < 0 || s.proc >= r.nprocs {
+			continue
+		}
+		perProc[s.proc] = append(perProc[s.proc], s)
+	}
+	for p := 0; p < r.nprocs; p++ {
+		var finish sim.Time
+		if p < len(finishes) {
+			finish = finishes[p]
+		}
+		pc := ProcCycles{Proc: p, Finish: finish}
+		spans := perProc[p]
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].from != spans[j].from {
+				return spans[i].from < spans[j].from
+			}
+			return spans[i].seq < spans[j].seq
+		})
+		var direct = map[spanKind]Class{
+			kindCompute: ClassCompute, kindCounter: ClassCounterStall, kindFence: ClassFenceStall,
+		}
+		for _, s := range spans {
+			if cl, ok := direct[s.kind]; ok {
+				pc.Cycles[cl] += int64(s.to - s.from)
+				rep.events = append(rep.events, timelineSpan{proc: p, class: cl, from: s.from, to: s.to, seq: s.seq})
+			}
+		}
+		// Carve each memory wait: reserve-stall pieces first, retry-backoff
+		// from what remains, idle is the rest.
+		for _, w := range spans {
+			if w.kind != kindMemWait {
+				continue
+			}
+			rest := []iv{{w.from, w.to}}
+			carve := func(kind spanKind, class Class) {
+				var sub []iv
+				for _, s := range spans {
+					if s.kind != kind || s.addr != w.addr {
+						continue
+					}
+					sub = append(sub, iv{s.from, s.to})
+				}
+				var kept []iv
+				for _, piece := range rest {
+					cut := intersectAll(piece, sub)
+					for _, c := range cut {
+						pc.Cycles[class] += int64(c.to - c.from)
+						rep.events = append(rep.events, timelineSpan{
+							proc: p, class: class, addr: w.addr, hasAddr: true, from: c.from, to: c.to, seq: w.seq,
+						})
+					}
+					kept = append(kept, subtractAll(piece, cut)...)
+				}
+				rest = kept
+			}
+			carve(kindReserve, ClassReserveStall)
+			carve(kindBackoff, ClassRetryBackoff)
+			for _, piece := range rest {
+				rep.events = append(rep.events, timelineSpan{
+					proc: p, class: ClassIdle, addr: w.addr, hasAddr: true, from: piece.from, to: piece.to, seq: w.seq,
+				})
+			}
+		}
+		// Close the attribution: idle absorbs whatever the direct spans and
+		// carved waits did not cover, so the six buckets total the lifetime.
+		var covered int64
+		for cl, n := range pc.Cycles {
+			if Class(cl) != ClassIdle {
+				covered += n
+			}
+		}
+		idle := int64(finish) - covered
+		if idle < 0 {
+			idle = 0
+		}
+		pc.Cycles[ClassIdle] = idle
+		rep.Procs = append(rep.Procs, pc)
+	}
+	rep.ReserveOcc = occupancies(r.reserveHist, r.reserveSets)
+	dirSets := make(map[mem.Addr]int64, len(r.dirHist))
+	for a, h := range r.dirHist {
+		dirSets[a] = h.Count()
+	}
+	rep.DirOcc = occupancies(r.dirHist, dirSets)
+	sort.SliceStable(rep.events, func(i, j int) bool {
+		if rep.events[i].from != rep.events[j].from {
+			return rep.events[i].from < rep.events[j].from
+		}
+		return rep.events[i].seq < rep.events[j].seq
+	})
+	return rep
+}
+
+// iv is a half-open interval.
+type iv struct{ from, to sim.Time }
+
+// intersectAll clips each of subs against piece, merging overlaps, returning
+// the disjoint ordered intersections.
+func intersectAll(piece iv, subs []iv) []iv {
+	var out []iv
+	for _, s := range subs {
+		f, t := s.from, s.to
+		if f < piece.from {
+			f = piece.from
+		}
+		if t > piece.to {
+			t = piece.to
+		}
+		if t > f {
+			out = append(out, iv{f, t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].from < out[j].from })
+	var merged []iv
+	for _, s := range out {
+		if n := len(merged); n > 0 && s.from <= merged[n-1].to {
+			if s.to > merged[n-1].to {
+				merged[n-1].to = s.to
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// subtractAll removes the (disjoint, ordered) cuts from piece.
+func subtractAll(piece iv, cuts []iv) []iv {
+	var out []iv
+	at := piece.from
+	for _, c := range cuts {
+		if c.from > at {
+			out = append(out, iv{at, c.from})
+		}
+		if c.to > at {
+			at = c.to
+		}
+	}
+	if piece.to > at {
+		out = append(out, iv{at, piece.to})
+	}
+	return out
+}
+
+// occupancies renders per-line histograms sorted by address.
+func occupancies(hists map[mem.Addr]*stats.Histogram, sets map[mem.Addr]int64) []LineOccupancy {
+	addrs := make([]mem.Addr, 0, len(hists))
+	for a := range hists {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	out := make([]LineOccupancy, 0, len(addrs))
+	for _, a := range addrs {
+		out = append(out, LineOccupancy{Addr: a, Sets: sets[a], Hist: hists[a]})
+	}
+	return out
+}
+
+// Tables renders the aggregate views in the repo's table style: cycle
+// attribution, fabric traffic by class, and the occupancy histograms.
+func (rep *Report) Tables() []*stats.Table {
+	attr := stats.NewTable("cycle attribution (per processor)",
+		"proc", "finish", "compute", "reserve-stall", "counter-stall",
+		"fence-stall", "retry-backoff", "idle")
+	for _, p := range rep.Procs {
+		attr.Row(fmt.Sprintf("P%d", p.Proc), int64(p.Finish),
+			p.Cycles[ClassCompute], p.Cycles[ClassReserveStall],
+			p.Cycles[ClassCounterStall], p.Cycles[ClassFenceStall],
+			p.Cycles[ClassRetryBackoff], p.Cycles[ClassIdle])
+	}
+	attr.Note("every cycle of a processor's lifetime lands in exactly one class")
+
+	traffic := stats.NewTable("fabric traffic by message class", "class", "messages")
+	names := rep.MsgClasses.Names()
+	sort.Strings(names)
+	for _, n := range names {
+		traffic.Row(n, rep.MsgClasses.Get(n))
+	}
+
+	reserve := stats.NewTable("reserve-bit occupancy by line",
+		"line", "sets", "cycles", "occupancy histogram")
+	for _, o := range rep.ReserveOcc {
+		reserve.Row(fmt.Sprintf("x%d", o.Addr), o.Sets, o.Hist.Sum(), o.Hist.String())
+	}
+	dir := stats.NewTable("directory occupancy by line",
+		"line", "transactions", "busy cycles", "occupancy histogram")
+	for _, o := range rep.DirOcc {
+		dir.Row(fmt.Sprintf("x%d", o.Addr), o.Sets, o.Hist.Sum(), o.Hist.String())
+	}
+	return []*stats.Table{attr, traffic, reserve, dir}
+}
+
+// Stall returns the total cycles the report attributes to class across all
+// processors.
+func (rep *Report) Stall(class Class) int64 {
+	var n int64
+	for _, p := range rep.Procs {
+		n += p.Cycles[class]
+	}
+	return n
+}
+
+// ProcStall returns proc's cycles in class (0 when out of range).
+func (rep *Report) ProcStall(proc int, class Class) int64 {
+	if proc < 0 || proc >= len(rep.Procs) {
+		return 0
+	}
+	return rep.Procs[proc].Cycles[class]
+}

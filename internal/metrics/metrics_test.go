@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+)
+
+// fakeClock is a settable sim.Clock for driving the recorder by hand.
+type fakeClock struct{ t sim.Time }
+
+func (f *fakeClock) Now() sim.Time { return f.t }
+
+// TestNilRecorder pins the zero-overhead contract: every hook is a no-op on
+// a nil receiver.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims to be enabled")
+	}
+	r.Compute(0, 0, 5)
+	r.CounterStall(0, 0, 5)
+	r.FenceStall(0, 0, 5)
+	r.MemWait(0, 1, false, 0, 5)
+	r.ReserveStalled(0, 1, 0, 5)
+	r.Backoff(0, 1, 0, 5)
+	r.ReserveSet(0, 1)
+	r.ReserveCleared(0, 1)
+	r.DirOpen(1, "GetX P0")
+	r.DirClosed(1)
+	r.MsgSent(0, 1, "GetS", 1)
+	r.MsgDelivered(0, 1)
+	if rep := r.Report([]sim.Time{10}); rep != nil {
+		t.Fatal("nil recorder produced a report")
+	}
+}
+
+// TestAttributionCloses checks the core invariant: the six buckets always
+// total the processor's lifetime, with idle as the exact remainder.
+func TestAttributionCloses(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk, 1)
+	r.Compute(0, 0, 10)
+	r.CounterStall(0, 10, 25)
+	r.FenceStall(0, 25, 40)
+	r.MemWait(0, 7, false, 40, 90)
+	rep := r.Report([]sim.Time{100})
+	p := rep.Procs[0]
+	if p.Cycles[ClassCompute] != 10 || p.Cycles[ClassCounterStall] != 15 || p.Cycles[ClassFenceStall] != 15 {
+		t.Fatalf("direct buckets wrong: %+v", p.Cycles)
+	}
+	// 100 total - 40 direct = 60 idle (50 from the memory wait, 10 uncovered).
+	if p.Cycles[ClassIdle] != 60 {
+		t.Fatalf("idle = %d, want 60", p.Cycles[ClassIdle])
+	}
+	if p.Total() != 100 {
+		t.Fatalf("total = %d, want finish 100", p.Total())
+	}
+}
+
+// TestCarving checks the memory-wait carve: reserve-stall pieces win over
+// backoff where both overlap, and only the overlap with the wait counts.
+func TestCarving(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk, 1)
+	// Wait on x3 over [10, 50).
+	r.MemWait(0, 3, true, 10, 50)
+	// Reserve-stall overlaps [20, 35); backoff claims [30, 45) — only its
+	// part outside the reserve piece counts; backoff also extends past the
+	// wait's end ([45, 60) is clipped off entirely).
+	r.ReserveStalled(0, 3, 20, 35)
+	r.Backoff(0, 3, 30, 60)
+	// A backoff on a different address must not be attributed here.
+	r.Backoff(0, 9, 10, 50)
+	rep := r.Report([]sim.Time{50})
+	p := rep.Procs[0]
+	if got := p.Cycles[ClassReserveStall]; got != 15 {
+		t.Errorf("reserve-stall = %d, want 15", got)
+	}
+	if got := p.Cycles[ClassRetryBackoff]; got != 15 {
+		t.Errorf("retry-backoff = %d, want 15 ([35,50))", got)
+	}
+	// Wait pieces outside both carves are idle: [10,20) = 10, plus the
+	// uncovered [0,10) prefix of the lifetime.
+	if got := p.Cycles[ClassIdle]; got != 20 {
+		t.Errorf("idle = %d, want 20", got)
+	}
+	if p.Total() != 50 {
+		t.Errorf("total = %d, want 50", p.Total())
+	}
+}
+
+// TestIntervalMath pins the helper semantics directly.
+func TestIntervalMath(t *testing.T) {
+	piece := iv{10, 50}
+	cuts := intersectAll(piece, []iv{{0, 15}, {12, 20}, {40, 60}, {70, 80}})
+	want := []iv{{10, 20}, {40, 50}}
+	if len(cuts) != len(want) {
+		t.Fatalf("intersect = %v, want %v", cuts, want)
+	}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("intersect = %v, want %v", cuts, want)
+		}
+	}
+	rest := subtractAll(piece, cuts)
+	if len(rest) != 1 || rest[0] != (iv{20, 40}) {
+		t.Fatalf("subtract = %v, want [{20 40}]", rest)
+	}
+}
+
+// TestOccupancyHistograms checks reserve and directory occupancy tracking.
+func TestOccupancyHistograms(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk, 1)
+	clk.t = 5
+	r.ReserveSet(0, 7)
+	clk.t = 13
+	r.ReserveCleared(0, 7)
+	// Unmatched clear: ignored.
+	r.ReserveCleared(0, 7)
+	clk.t = 20
+	r.DirOpen(7, "GetX P0")
+	clk.t = 26
+	r.DirClosed(7)
+	rep := r.Report([]sim.Time{30})
+	if len(rep.ReserveOcc) != 1 || rep.ReserveOcc[0].Addr != 7 || rep.ReserveOcc[0].Hist.Sum() != 8 {
+		t.Fatalf("reserve occupancy wrong: %+v", rep.ReserveOcc)
+	}
+	if len(rep.DirOcc) != 1 || rep.DirOcc[0].Hist.Sum() != 6 {
+		t.Fatalf("dir occupancy wrong: %+v", rep.DirOcc)
+	}
+}
+
+// TestMsgPairing checks per-link FIFO lifetime pairing and that unmatched
+// sends are dropped from the timeline rather than emitted unbalanced.
+func TestMsgPairing(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk, 2)
+	clk.t = 0
+	r.MsgSent(0, 1, "GetS", 4)
+	clk.t = 2
+	r.MsgSent(0, 1, "GetX", 5)
+	clk.t = 9
+	r.MsgDelivered(0, 1) // pairs with the GetS
+	// The GetX is never delivered (aborted run): it must not appear.
+	rep := r.Report([]sim.Time{10, 10})
+	if len(rep.msgs) != 1 || rep.msgs[0].class != "GetS" || rep.msgs[0].delivered != 9 {
+		t.Fatalf("paired msgs wrong: %+v", rep.msgs)
+	}
+	if rep.MsgClasses.Get("GetS") != 1 || rep.MsgClasses.Get("GetX") != 1 {
+		t.Fatalf("class counts wrong: %s", rep.MsgClasses)
+	}
+	var sb strings.Builder
+	if err := rep.WriteTimeline(&sb, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTimeline([]byte(sb.String())); err != nil {
+		t.Fatalf("timeline invalid: %v", err)
+	}
+}
+
+// TestTablesRender sanity-checks the aggregate rendering.
+func TestTablesRender(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk, 2)
+	r.Compute(0, 0, 4)
+	r.MemWait(1, 2, false, 0, 6)
+	r.MsgSent(0, 2, "GetS", 2)
+	rep := r.Report([]sim.Time{10, 10})
+	tables := rep.Tables()
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	out := tables[0].String()
+	for _, want := range []string{"P0", "P1", "compute", "idle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("attribution table missing %q:\n%s", want, out)
+		}
+	}
+	if rep.Stall(ClassCompute) != 4 || rep.ProcStall(1, ClassIdle) != 10 {
+		t.Errorf("stall accessors wrong: %+v", rep.Procs)
+	}
+}
+
+// TestValidateTimelineRejects drives the validator over malformed traces.
+func TestValidateTimelineRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not-json", `{"traceEvents":`},
+		{"missing-array", `{"other":1}`},
+		{"unnamed-event", `{"traceEvents":[{"name":"","ph":"X","ts":0,"pid":0,"tid":0}]}`},
+		{"negative-dur", `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":-1,"pid":0,"tid":0}]}`},
+		{"negative-ts", `{"traceEvents":[{"name":"a","ph":"X","ts":-1,"pid":0,"tid":0}]}`},
+		{"unknown-phase", `{"traceEvents":[{"name":"a","ph":"Q","ts":0,"pid":0,"tid":0}]}`},
+		{"begin-no-id", `{"traceEvents":[{"name":"a","ph":"b","ts":0,"pid":0,"tid":0}]}`},
+		{"end-no-begin", `{"traceEvents":[{"name":"a","ph":"e","ts":0,"pid":0,"tid":0,"id":"m1"}]}`},
+		{"unended-begin", `{"traceEvents":[{"name":"a","cat":"msg","ph":"b","ts":0,"pid":0,"tid":0,"id":"m1"}]}`},
+		{"end-before-begin", `{"traceEvents":[` +
+			`{"name":"a","cat":"msg","ph":"b","ts":5,"pid":0,"tid":0,"id":"m1"},` +
+			`{"name":"a","cat":"msg","ph":"e","ts":3,"pid":0,"tid":0,"id":"m1"}]}`},
+		{"dup-begin", `{"traceEvents":[` +
+			`{"name":"a","cat":"msg","ph":"b","ts":0,"pid":0,"tid":0,"id":"m1"},` +
+			`{"name":"a","cat":"msg","ph":"b","ts":1,"pid":0,"tid":0,"id":"m1"}]}`},
+		{"metadata-no-name", `{"traceEvents":[{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateTimeline([]byte(tc.data)); err == nil {
+				t.Errorf("validator accepted %s", tc.name)
+			}
+		})
+	}
+	ok := `{"traceEvents":[` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"P0"}},` +
+		`{"name":"compute","cat":"cpu","ph":"X","ts":0,"dur":4,"pid":0,"tid":0},` +
+		`{"name":"a","cat":"msg","ph":"b","ts":0,"pid":0,"tid":0,"id":"m1"},` +
+		`{"name":"a","cat":"msg","ph":"e","ts":7,"pid":0,"tid":0,"id":"m1"}]}`
+	if err := ValidateTimeline([]byte(ok)); err != nil {
+		t.Errorf("validator rejected a valid trace: %v", err)
+	}
+}
+
+// TestTimelineDeterministic renders the same observations twice and compares
+// bytes.
+func TestTimelineDeterministic(t *testing.T) {
+	build := func() string {
+		clk := &fakeClock{}
+		r := NewRecorder(clk, 2)
+		r.Compute(0, 0, 3)
+		r.MemWait(0, mem.Addr(1), false, 3, 12)
+		r.Backoff(0, mem.Addr(1), 5, 9)
+		clk.t = 2
+		r.DirOpen(1, "GetS P0")
+		clk.t = 8
+		r.DirClosed(1)
+		r.MsgSent(0, 2, "GetS", 1)
+		clk.t = 12
+		r.MsgDelivered(0, 2)
+		var sb strings.Builder
+		if err := r.Report([]sim.Time{12, 0}).WriteTimeline(&sb, "d"); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("timeline bytes differ:\n%s\n----\n%s", a, b)
+	}
+	if err := ValidateTimeline([]byte(a)); err != nil {
+		t.Fatal(err)
+	}
+}

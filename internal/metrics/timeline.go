@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The timeline is the Chrome trace-event JSON format (load it in
+// chrome://tracing or Perfetto): one "thread" track per processor plus one
+// for the directory, "X" complete events for cycle-attribution and
+// directory-occupancy spans, and "b"/"e" async pairs for message lifetimes.
+// ts and dur are in simulated cycles, not microseconds. Rendering is fully
+// deterministic: events are ordered by (ts, record sequence), struct field
+// order fixes the JSON key order, and one event is written per line.
+
+// traceEvent is one Chrome trace-event record. Field order is the JSON key
+// order, part of the byte-stable output contract.
+type traceEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat,omitempty"`
+	Ph   string     `json:"ph"`
+	Ts   int64      `json:"ts"`
+	Dur  int64      `json:"dur,omitempty"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	ID   string     `json:"id,omitempty"`
+	Args *traceArgs `json:"args,omitempty"`
+}
+
+// traceArgs carries the per-event detail (again: struct, not map, so key
+// order is fixed).
+type traceArgs struct {
+	Name  string `json:"name,omitempty"`
+	Addr  string `json:"addr,omitempty"`
+	Class string `json:"class,omitempty"`
+	Src   int    `json:"src,omitempty"`
+	Dst   int    `json:"dst,omitempty"`
+}
+
+// WriteTimeline renders the report as Chrome trace-event JSON. label names
+// the trace (shown as the process name).
+func (rep *Report) WriteTimeline(w io.Writer, label string) error {
+	dirTid := rep.nprocs
+	var evs []traceEvent
+	// Track metadata: process name, then one thread per processor and one for
+	// the directory. Sort index pins the display order.
+	evs = append(evs, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: &traceArgs{Name: label},
+	})
+	for p := 0; p < rep.nprocs; p++ {
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: p,
+			Args: &traceArgs{Name: fmt.Sprintf("P%d", p)},
+		})
+	}
+	evs = append(evs, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: 0, Tid: dirTid,
+		Args: &traceArgs{Name: "directory"},
+	})
+	// Processor cycle spans (already sorted by (from, seq) in Report).
+	for _, s := range rep.events {
+		e := traceEvent{
+			Name: s.class.String(), Cat: "cpu", Ph: "X",
+			Ts: int64(s.from), Dur: int64(s.to - s.from), Pid: 0, Tid: s.proc,
+		}
+		if s.hasAddr {
+			e.Args = &traceArgs{Addr: fmt.Sprintf("x%d", s.addr)}
+		}
+		evs = append(evs, e)
+	}
+	// Directory transaction spans.
+	dir := append([]dirSpan(nil), rep.dir...)
+	sort.SliceStable(dir, func(i, j int) bool {
+		if dir[i].from != dir[j].from {
+			return dir[i].from < dir[j].from
+		}
+		return dir[i].seq < dir[j].seq
+	})
+	for _, s := range dir {
+		if s.to <= s.from {
+			continue
+		}
+		evs = append(evs, traceEvent{
+			Name: s.label, Cat: "dir", Ph: "X",
+			Ts: int64(s.from), Dur: int64(s.to - s.from), Pid: 0, Tid: dirTid,
+			Args: &traceArgs{Addr: fmt.Sprintf("x%d", s.addr)},
+		})
+	}
+	// Message lifetimes as async begin/end pairs keyed by a per-message id
+	// (async events tolerate the arbitrary nesting that "X" spans cannot).
+	msgs := append([]msgSpan(nil), rep.msgs...)
+	sort.SliceStable(msgs, func(i, j int) bool {
+		if msgs[i].sent != msgs[j].sent {
+			return msgs[i].sent < msgs[j].sent
+		}
+		return msgs[i].seq < msgs[j].seq
+	})
+	for i, m := range msgs {
+		name := fmt.Sprintf("%s x%d %d>%d", m.class, m.addr, m.src, m.dst)
+		id := fmt.Sprintf("m%d", i)
+		args := &traceArgs{Class: m.class, Addr: fmt.Sprintf("x%d", m.addr), Src: m.src, Dst: m.dst}
+		evs = append(evs, traceEvent{
+			Name: name, Cat: "msg", Ph: "b", Ts: int64(m.sent), Pid: 0, Tid: m.src, ID: id, Args: args,
+		})
+		evs = append(evs, traceEvent{
+			Name: name, Cat: "msg", Ph: "e", Ts: int64(m.delivered), Pid: 0, Tid: m.src, ID: id,
+		})
+	}
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range evs {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(evs)-1 {
+			sep = "\n"
+		}
+		if _, err := w.Write(append(b, sep...)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"timeUnit\":\"cycles\"}}\n")
+	return err
+}
+
+// ValidateTimeline checks that data is a well-formed trace: parses as the
+// expected envelope, every event carries a known phase with sane
+// timestamps, "X" spans have non-negative durations, and every async "b" has
+// a matching "e" with ts(e) >= ts(b). CI runs this against the file wosim
+// -timeline writes.
+func ValidateTimeline(data []byte) error {
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("timeline: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("timeline: missing traceEvents array")
+	}
+	open := make(map[string]traceEvent)
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("timeline: event %d has no name", i)
+		}
+		if e.Ts < 0 || e.Tid < 0 {
+			return fmt.Errorf("timeline: event %d (%s) has negative ts/tid", i, e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Args == nil || e.Args.Name == "" {
+				return fmt.Errorf("timeline: metadata event %d lacks args.name", i)
+			}
+		case "X":
+			if e.Dur < 0 {
+				return fmt.Errorf("timeline: span %d (%s) has negative dur", i, e.Name)
+			}
+		case "b":
+			if e.ID == "" {
+				return fmt.Errorf("timeline: async begin %d (%s) has no id", i, e.Name)
+			}
+			key := e.Cat + "/" + e.ID
+			if _, dup := open[key]; dup {
+				return fmt.Errorf("timeline: async id %s opened twice", key)
+			}
+			open[key] = e
+		case "e":
+			key := e.Cat + "/" + e.ID
+			b, ok := open[key]
+			if !ok {
+				return fmt.Errorf("timeline: async end %d (%s) without begin", i, e.Name)
+			}
+			if e.Ts < b.Ts {
+				return fmt.Errorf("timeline: async %s ends at %d before begin %d", key, e.Ts, b.Ts)
+			}
+			delete(open, key)
+		default:
+			return fmt.Errorf("timeline: event %d has unknown phase %q", i, e.Ph)
+		}
+	}
+	if len(open) > 0 {
+		return fmt.Errorf("timeline: %d async events never ended", len(open))
+	}
+	return nil
+}
+
+// EventCount reports how many events a timeline holds (0 if data does not
+// parse) — for "wrote N events" style reporting after validation.
+func EventCount(data []byte) int {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0
+	}
+	return len(doc.TraceEvents)
+}

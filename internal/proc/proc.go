@@ -27,6 +27,7 @@ import (
 	"weakorder/internal/cache"
 	"weakorder/internal/conditions"
 	"weakorder/internal/mem"
+	"weakorder/internal/metrics"
 	"weakorder/internal/program"
 	"weakorder/internal/sim"
 	"weakorder/internal/stats"
@@ -102,6 +103,11 @@ type Processor struct {
 	// Stats: per-class stall cycles and op counts.
 	Stats *stats.Counters
 
+	// rec, when non-nil, receives cycle-attribution spans (compute, counter
+	// and fence stalls, raw memory waits). Nil-safe hooks keep the metrics-off
+	// path free.
+	rec *metrics.Recorder
+
 	done     bool
 	finish   sim.Time
 	onFinish func()
@@ -127,6 +133,10 @@ func (p *Processor) SetTimingSink(s TimingSink) { p.timing = s }
 // SetUpdateProtocol switches data writes to the write-update protocol. Must
 // be called before Start.
 func (p *Processor) SetUpdateProtocol(on bool) { p.updateProto = on }
+
+// SetMetrics attaches a cycle-observability recorder (nil to detach). Must be
+// called before Start.
+func (p *Processor) SetMetrics(rec *metrics.Recorder) { p.rec = rec }
 
 // emitTiming reports one completed access lifecycle.
 func (p *Processor) emitTiming(op mem.Op, addr mem.Addr, opIndex int, issue, commit, perform sim.Time) {
@@ -186,6 +196,7 @@ func (p *Processor) step() {
 	// this stall point before issuing the operation or halting.
 	if d := p.thread.TakeLocalWork(); d > 0 {
 		p.Stats.Add("local_cycles", int64(d))
+		p.rec.Compute(p.ID, p.engine.Now(), p.engine.Now()+sim.Time(d))
 		p.engine.After(sim.Time(d), p.step)
 		return
 	}
@@ -203,6 +214,7 @@ func (p *Processor) step() {
 		t0 := p.engine.Now()
 		p.cache.OnFree(req.Addr, func() {
 			p.Stats.Add("mshr_stall_cycles", int64(p.engine.Now()-t0))
+			p.rec.MemWait(p.ID, req.Addr, false, t0, p.engine.Now())
 			p.step()
 		})
 		return
@@ -222,6 +234,7 @@ func (p *Processor) step() {
 // and continues the thread. Cache callbacks are synchronous, so scheduling
 // here is also what advances simulated time on cache-hit spin loops.
 func (p *Processor) resume() {
+	p.rec.Compute(p.ID, p.engine.Now(), p.engine.Now()+1)
 	p.engine.After(1, p.step)
 }
 
@@ -232,6 +245,7 @@ func (p *Processor) dataRead(req program.Request) {
 	p.cache.AcquireShared(req.Addr, false, func(v mem.Value) {
 		now := p.engine.Now()
 		p.Stats.Add("read_stall_cycles", int64(now-t0))
+		p.rec.MemWait(p.ID, req.Addr, false, t0, now)
 		p.emitTiming(mem.OpRead, req.Addr, opIdx, t0, now, now)
 		p.record(mem.OpRead, req.Addr, v, 0)
 		p.thread.Resolve(v)
@@ -259,6 +273,8 @@ func (p *Processor) dataWrite(req program.Request) {
 			func() {
 				now := p.engine.Now()
 				p.Stats.Add("write_stall_cycles", int64(now-t0))
+				p.rec.MemWait(p.ID, req.Addr, false, t0, commitT)
+				p.rec.FenceStall(p.ID, commitT, now)
 				p.emitTiming(mem.OpWrite, req.Addr, opIdx, t0, commitT, now)
 				p.record(mem.OpWrite, req.Addr, 0, req.Data)
 				p.thread.Resolve(0)
@@ -293,6 +309,7 @@ func (p *Processor) updateWrite(req program.Request, t0 sim.Time, opIdx int) {
 		p.cache.WriteUpdate(req.Addr, req.Data, func() {
 			now := p.engine.Now()
 			p.Stats.Add("write_stall_cycles", int64(now-t0))
+			p.rec.FenceStall(p.ID, commitT, now)
 			p.emitTiming(mem.OpWrite, req.Addr, opIdx, t0, commitT, now)
 			p.record(mem.OpWrite, req.Addr, 0, req.Data)
 			p.thread.Resolve(0)
@@ -319,6 +336,7 @@ func (p *Processor) syncOp(req program.Request) {
 		t0 := p.engine.Now()
 		p.cache.OnCounterZero(func() {
 			p.Stats.Add("sync_counter_stall_cycles", int64(p.engine.Now()-t0))
+			p.rec.CounterStall(p.ID, t0, p.engine.Now())
 			// Condition 3: nothing issues past the sync until it is
 			// globally performed, so stall through performance.
 			p.syncExclusive(req, true)
@@ -335,6 +353,7 @@ func (p *Processor) syncOp(req program.Request) {
 			p.cache.AcquireShared(req.Addr, true, func(v mem.Value) {
 				now := p.engine.Now()
 				p.Stats.Add("sync_line_stall_cycles", int64(now-t0))
+				p.rec.MemWait(p.ID, req.Addr, true, t0, now)
 				p.emitTiming(req.Op, req.Addr, opIdx, t0, now, now)
 				p.record(req.Op, req.Addr, v, 0)
 				p.thread.Resolve(v)
@@ -368,6 +387,7 @@ func (p *Processor) syncExclusive(req program.Request, waitPerformed bool) {
 			p.cache.WriteLocal(req.Addr, newV)
 		}
 		if !waitPerformed {
+			p.rec.MemWait(p.ID, req.Addr, true, t0, commitT)
 			// Definition 2: commit is the release point for the issuer. The
 			// reserve waits only on outstanding *ordinary* accesses: those
 			// are the accesses previous to this operation that the next
@@ -386,6 +406,8 @@ func (p *Processor) syncExclusive(req program.Request, waitPerformed bool) {
 	performed := func() {
 		p.emitTiming(req.Op, req.Addr, opIdx, t0, commitT, p.engine.Now())
 		if waitPerformed {
+			p.rec.MemWait(p.ID, req.Addr, true, t0, commitT)
+			p.rec.FenceStall(p.ID, commitT, p.engine.Now())
 			p.Stats.Add("sync_performed_stall_cycles", int64(p.engine.Now()-t0))
 			p.record(req.Op, req.Addr, old, newV)
 			p.thread.Resolve(old)

@@ -42,6 +42,14 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// Clock is the read-only view of simulated time that instrumentation layers
+// (internal/metrics) depend on: they timestamp observations but must never
+// schedule events, so handing them a Clock instead of the Engine makes the
+// zero-overhead-when-disabled argument checkable at the type level.
+type Clock interface {
+	Now() Time
+}
+
 // Engine is the discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {

@@ -33,11 +33,40 @@ func (c *Counters) Get(name string) int64 { return c.values[name] }
 // Names returns the counters in registration order.
 func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
 
-// Merge adds every counter of o into c.
+// Merge adds every counter of o into c and pins the merged Names() order as
+// an ordered union: names already registered in c keep their positions, and
+// each name new to c is inserted immediately before the next name of o that c
+// already holds (at the end when no such name follows). The merged order is a
+// deterministic function of the two name sequences — in particular, a
+// receiver missing some of o's names in interleaved order ends up with o's
+// relative order restored, which per-worker metric merging relies on.
 func (c *Counters) Merge(o *Counters) {
-	for _, n := range o.names {
-		c.Add(n, o.values[n])
+	// Walk o backwards: insertAt tracks where a missing name must go to sit
+	// just before the nearest following name that c already has (or had
+	// inserted); repeated inserts at the same index keep o's relative order.
+	insertAt := len(c.names)
+	for i := len(o.names) - 1; i >= 0; i-- {
+		n := o.names[i]
+		if at, ok := c.indexOf(n); ok {
+			insertAt = at
+			c.values[n] += o.values[n]
+			continue
+		}
+		c.names = append(c.names, "")
+		copy(c.names[insertAt+1:], c.names[insertAt:])
+		c.names[insertAt] = n
+		c.values[n] = o.values[n]
 	}
+}
+
+// indexOf returns the position of a registered name.
+func (c *Counters) indexOf(name string) (int, bool) {
+	for i, n := range c.names {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Snapshot returns a sorted copy of the values, for deterministic printing.
@@ -144,6 +173,91 @@ func (t *Table) String() string {
 	}
 	for _, n := range t.notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Histogram is a power-of-two-bucketed distribution of non-negative integer
+// samples (durations in cycles, queue depths). Bucket k counts samples in
+// [2^(k-1), 2^k) with bucket 0 holding exact zeros; rendering is deterministic,
+// so histograms can appear in golden tables.
+type Histogram struct {
+	buckets []int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a sample to its bucket index: 0 for v <= 0, else
+// 1 + floor(log2(v)).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 1
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe adds one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bucketOf(v)
+	for len(h.buckets) <= b {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[b]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min and Max return the sample extremes (0 for an empty histogram).
+func (h *Histogram) Min() int64 { return h.min }
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the sample mean (0 for empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// String renders the non-empty buckets deterministically:
+// "n=3 sum=12 [0]:1 [2,4):1 [8,16):1".
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d sum=%d", h.count, h.sum)
+	for k, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if k == 0 {
+			fmt.Fprintf(&b, " [0]:%d", n)
+		} else {
+			fmt.Fprintf(&b, " [%d,%d):%d", int64(1)<<(k-1), int64(1)<<k, n)
+		}
 	}
 	return b.String()
 }

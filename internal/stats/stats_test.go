@@ -34,6 +34,113 @@ func TestCountersMerge(t *testing.T) {
 	}
 }
 
+// TestCountersMergeOrder pins Merge's Names() order: an ordered union where
+// names new to the receiver slot in right after the last shared name that
+// precedes them in the merged-in bag. The interleaved case is the regression:
+// the old append-at-end behaviour produced [a c b d], leaking the receiver's
+// (worker-dependent) registration history into the merged order.
+func TestCountersMergeOrder(t *testing.T) {
+	build := func(names ...string) *Counters {
+		c := NewCounters()
+		for i, n := range names {
+			c.Add(n, int64(i+1))
+		}
+		return c
+	}
+	cases := []struct {
+		name string
+		recv []string
+		in   []string
+		want []string
+	}{
+		{"interleaved-missing", []string{"a", "c"}, []string{"a", "b", "c", "d"}, []string{"a", "b", "c", "d"}},
+		{"empty-receiver", nil, []string{"m", "k"}, []string{"m", "k"}},
+		{"empty-input", []string{"a", "b"}, nil, []string{"a", "b"}},
+		{"disjoint", []string{"a"}, []string{"b", "c"}, []string{"a", "b", "c"}},
+		{"all-shared", []string{"a", "b"}, []string{"b", "a"}, []string{"a", "b"}},
+		{"leading-missing", []string{"c"}, []string{"a", "b", "c"}, []string{"a", "b", "c"}},
+		{"trailing-missing", []string{"a"}, []string{"a", "b", "c"}, []string{"a", "b", "c"}},
+		{"receiver-extra-kept", []string{"z", "a"}, []string{"a", "b"}, []string{"z", "a", "b"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recv := build(tc.recv...)
+			recv.Merge(build(tc.in...))
+			got := recv.Names()
+			if len(got) != len(tc.want) {
+				t.Fatalf("Names() = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Names() = %v, want %v", got, tc.want)
+				}
+			}
+			// Values survive: shared names summed, new names copied.
+			for _, n := range tc.want {
+				if recv.Get(n) == 0 {
+					t.Errorf("merged counter %q reads 0", n)
+				}
+			}
+		})
+	}
+}
+
+// TestCountersMergeWorkerOrderIndependent is the property the tentpole's
+// per-worker metric merging needs: merging the same per-worker bags into a
+// fresh aggregate yields the same Names() order even when the workers
+// registered a shared schema at different points of their private histories.
+func TestCountersMergeWorkerOrderIndependent(t *testing.T) {
+	w1 := NewCounters()
+	for _, n := range []string{"compute", "idle", "reserve"} {
+		w1.Add(n, 1)
+	}
+	w2 := NewCounters()
+	for _, n := range []string{"compute", "backoff", "idle", "reserve"} {
+		w2.Add(n, 1)
+	}
+	agg1 := NewCounters()
+	agg1.Merge(w1)
+	agg1.Merge(w2)
+	agg2 := NewCounters()
+	agg2.Merge(w2)
+	agg2.Merge(w1)
+	n1, n2 := agg1.Names(), agg2.Names()
+	if len(n1) != len(n2) {
+		t.Fatalf("orders diverge: %v vs %v", n1, n2)
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("orders diverge: %v vs %v", n1, n2)
+		}
+	}
+	if agg1.Get("compute") != 2 || agg1.Get("backoff") != 1 {
+		t.Errorf("merged values wrong: %s", agg1)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.String() != "n=0 sum=0" {
+		t.Errorf("empty histogram = %q", h.String())
+	}
+	for _, v := range []int64{0, 1, 3, 3, 9, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 16 {
+		t.Errorf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 9 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	want := "n=6 sum=16 [0]:2 [1,2):1 [2,4):2 [8,16):1"
+	if h.String() != want {
+		t.Errorf("histogram = %q, want %q", h.String(), want)
+	}
+	if m := h.Mean(); m < 2.66 || m > 2.67 {
+		t.Errorf("mean = %f", m)
+	}
+}
+
 func TestCountersSnapshotAndString(t *testing.T) {
 	c := NewCounters()
 	c.Add("b", 2)
