@@ -9,9 +9,10 @@
 // Usage:
 //
 //	wofuzz [-seeds N] [-seed S] [-budget DUR] [-machines CSV] [-minimize]
-//	       [-max-states N] [-por on|off] [-json PATH] [-out DIR] [-v]
+//	       [-max-states N] [-explore-workers N] [-por on|off]
+//	       [-json PATH] [-out DIR] [-v]
 //	wofuzz -chaos [-seeds N] [-seed S] [-budget DUR] [-fault-seed S]
-//	       [-fault-rates drop=P,dup=P,...] [-max-states N] [-v]
+//	       [-fault-rates drop=P,dup=P,...] [-max-states N] [-explore-workers N] [-v]
 //
 // -chaos switches the campaign to the differential chaos harness
 // (internal/chaos): random DRF0 programs run on the *timed* Definition-2
@@ -24,6 +25,13 @@
 // -por=off disables the exploration kernel's partial-order reduction (a
 // debugging escape hatch: the differential tests pin that outcome sets are
 // identical either way, so only speed changes).
+//
+// -explore-workers widens each individual exploration inside the kernel: the
+// default 1 keeps explorations serial (the campaign already fans programs
+// across cores), an explicit N runs N workers per exploration, and 0
+// auto-sizes each exploration to whatever cores the campaign fan-out has left
+// spare — useful when a handful of state-space blowups dominate the
+// campaign's wall clock. Outcome sets are identical at every width.
 //
 // -machines accepts a comma-separated list of machine names plus the aliases
 // "weak" (every machine claiming the contract; the default), "all", and
@@ -113,6 +121,7 @@ func main() {
 	machinesCSV := flag.String("machines", "weak", `machines to test: comma-separated names, "weak", "all", or "broken"`)
 	minimize := flag.Bool("minimize", true, "delta-debug violating programs to minimal reproducers")
 	maxStates := flag.Int("max-states", 0, "per-exploration state budget (0 = fuzzing default)")
+	exploreWorkers := flag.Int("explore-workers", 1, "worker count inside each exploration (1 = serial, 0 = one per spare core)")
 	por := flag.String("por", "on", "partial-order reduction in the exploration kernel: on or off")
 	jsonPath := flag.String("json", "", `write a JSON campaign report to PATH ("-" = stdout)`)
 	outDir := flag.String("out", "", "write minimized reproducers (.litmus and .go) into DIR")
@@ -121,6 +130,18 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "chaos: base fault seed; program i uses fault-seed+i")
 	faultRates := flag.String("fault-rates", "", "chaos: fault rates (empty = defaults)")
 	flag.Parse()
+
+	if *exploreWorkers < 0 {
+		fatal(fmt.Errorf("negative -explore-workers %d (want 1 = serial, 0 = one per spare core, or an explicit width)", *exploreWorkers))
+	}
+	// The CLI's 0 means "auto": each exploration claims whatever spare slots
+	// the par budget has at that moment (the campaign-level fan-out and the
+	// in-exploration workers share one process-wide budget), which the kernel
+	// spells as a negative width.
+	kernelWorkers := *exploreWorkers
+	if kernelWorkers == 0 {
+		kernelWorkers = -1
+	}
 
 	if *chaosMode {
 		rates, err := faults.ParseRates(*faultRates)
@@ -131,6 +152,7 @@ func main() {
 		if *maxStates > 0 {
 			x.MaxStates = *maxStates
 		}
+		x.Workers = kernelWorkers
 		runChaos(*seeds, *baseSeed, *budget, *faultSeed, rates, x, *verbose)
 		return
 	}
@@ -146,6 +168,7 @@ func main() {
 	if *maxStates > 0 {
 		x.MaxStates = *maxStates
 	}
+	x.Workers = kernelWorkers
 	switch *por {
 	case "on":
 	case "off":

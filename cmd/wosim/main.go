@@ -7,7 +7,7 @@
 //	wosim -workload prodcons|lock|barrier|fig3 [-policy sc|def1|def2|def2drf1]
 //	      [-procs N] [-iters N] [-work N] [-spin sync|data|tas]
 //	      [-netlat N] [-jitter N] [-bus] [-seed S] [-check]
-//	      [-por on|off] [-max-states N]
+//	      [-por on|off] [-max-states N] [-explore-workers N]
 //	      [-faults] [-fault-seed S] [-fault-rates drop=P,dup=P,delay=P,reorder=P,maxdelay=N]
 //	      [-metrics] [-timeline FILE]
 //
@@ -19,9 +19,15 @@
 // sequentially consistent (expected for the DRF0 workloads on every policy).
 // The verification runs on the shared exploration kernel; -por=off disables
 // its partial-order reduction (a debugging escape hatch — the answer never
-// changes) and -max-states bounds its search. A check that exhausts the state
-// budget exits with status 2 and a distinct message, separating "too big to
-// decide" from "decided and not SC" (status 1).
+// changes) and -max-states bounds its search. -explore-workers widens the
+// search inside the kernel: 1 (the default) is the serial search, an explicit
+// N runs N workers over a shared work-stealing frontier, and 0 auto-sizes to
+// the spare cores; the verdict is identical at every width, though a
+// satisfiable check may report a different (equally valid) witness order. A
+// check that exhausts the state budget exits with status 2 and a distinct
+// message — now naming the number of states the budget admitted, so the next
+// -max-states needs no -metrics rerun — separating "too big to decide" from
+// "decided and not SC" (status 1).
 //
 // -faults runs the machine over the deterministic fault-injecting fabric
 // (internal/faults) with the protocol's recovery machinery (retries, NACKs,
@@ -80,6 +86,7 @@ func main() {
 	check := flag.Bool("check", false, "verify the trace is sequentially consistent")
 	por := flag.String("por", "on", "partial-order reduction in the -check search: on or off")
 	maxStates := flag.Int("max-states", 0, "state budget for the -check search (0 = kernel default)")
+	exploreWorkers := flag.Int("explore-workers", 1, "worker count for the -check search (1 = serial, 0 = one per spare core)")
 	conds := flag.Bool("conditions", false, "verify the run against the Section-5.1 conditions")
 	dump := flag.String("dump-trace", "", "write the recorded trace (and timings) as JSON to this file")
 	injectFaults := flag.Bool("faults", false, "inject deterministic fabric faults and enable the recovery machinery")
@@ -126,6 +133,9 @@ func main() {
 	}
 	if *por != "on" && *por != "off" {
 		usage(fmt.Errorf("invalid -por %q (want on or off)", *por))
+	}
+	if *exploreWorkers < 0 {
+		usage(fmt.Errorf("negative -explore-workers %d (want 1 = serial, 0 = one per spare core, or an explicit width)", *exploreWorkers))
 	}
 	if *netlat < 0 {
 		usage(fmt.Errorf("negative -netlat %d", *netlat))
@@ -273,6 +283,13 @@ func main() {
 		opts := core.SCOptions{MaxStates: *maxStates}
 		if *por == "off" {
 			opts.FullExploration = true
+		}
+		// The CLI's 0 means "auto" (one worker per spare core), which is the
+		// kernel's negative width; 1 stays serial.
+		if *exploreWorkers == 0 {
+			opts.Workers = -1
+		} else {
+			opts.Workers = *exploreWorkers
 		}
 		w, err := core.SCCheckOpt(res.Trace, init, opts)
 		if err != nil {

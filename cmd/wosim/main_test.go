@@ -46,6 +46,31 @@ func TestCheckStateBudgetExit(t *testing.T) {
 	if !strings.Contains(out, "state budget exhausted") {
 		t.Fatalf("missing budget message in output:\n%s", out)
 	}
+	// The message carries the visited-state count at exhaustion, so retuning
+	// -max-states needs no second run under -metrics.
+	if !strings.Contains(out, "after 1 distinct states") {
+		t.Fatalf("budget message does not report the state count:\n%s", out)
+	}
+}
+
+// TestCheckExploreWorkers pins the parallel search plumbing: explicit widths
+// and the auto width (0) must reach the same verdict as the serial default,
+// and a negative width is a usage error.
+func TestCheckExploreWorkers(t *testing.T) {
+	bin := buildWosim(t)
+	const verdict = "trace check: sequentially consistent"
+	for _, w := range []string{"0", "1", "4"} {
+		out, code := run(t, bin, "-workload", "prodcons", "-iters", "2", "-check", "-explore-workers", w)
+		if code != 0 {
+			t.Fatalf("-explore-workers=%s: exit code = %d\noutput:\n%s", w, code, out)
+		}
+		if !strings.Contains(out, verdict) {
+			t.Fatalf("-explore-workers=%s: missing %q in output:\n%s", w, verdict, out)
+		}
+	}
+	if out, code := run(t, bin, "-check", "-explore-workers", "-2"); code != 2 || !strings.Contains(out, "negative -explore-workers") {
+		t.Fatalf("negative -explore-workers: exit code = %d, want 2, output:\n%s", code, out)
+	}
 }
 
 // TestCheckPORFlag runs the same checked workload with reduction on and off;

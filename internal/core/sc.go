@@ -41,6 +41,12 @@ type SCOptions struct {
 	// DefaultMaxStates safety net). Exceeding it aborts with an error
 	// satisfying errors.Is(err, explore.ErrStateBudget).
 	MaxStates int
+	// Workers selects the search width, passed through to the kernel (0 or 1
+	// serial, n > 1 that many workers, negative auto-sized from the par
+	// budget). The SC verdict is width-independent, but when an execution has
+	// several witnessing orders a parallel search may return any of them —
+	// VerifyWitness accepts them all.
+	Workers int
 }
 
 // SCCheckOpt is SCCheck with explicit exploration options.
@@ -116,6 +122,7 @@ func SCCheckOpt(e *mem.Execution, init map[mem.Addr]mem.Value, opts SCOptions) (
 	x := explore.Explorer{
 		MaxStates:       opts.MaxStates,
 		FullExploration: opts.FullExploration,
+		Workers:         opts.Workers,
 		// Replay keys are (frontier, memory): the relative order in which
 		// synchronization operations on different locations were serialized
 		// is not part of the question being asked.

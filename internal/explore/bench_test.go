@@ -1,6 +1,8 @@
 package explore_test
 
 import (
+	"flag"
+	"runtime"
 	"testing"
 
 	"weakorder/internal/litmus"
@@ -8,14 +10,22 @@ import (
 	"weakorder/internal/program"
 )
 
+// exploreWorkers sets the kernel width the Benchmark/Explore* benchmarks run
+// at. The default 1 is the serial kernel — the baseline BENCH_explore.json
+// records — so `go test -bench BenchmarkExplore -explore-workers 8` measures
+// the parallel kernel against it.
+var exploreWorkers = flag.Int("explore-workers", 1, "explore kernel width for the explore benchmarks (1 = serial)")
+
 // runSuite runs the full litmus suite — every corpus test on every machine,
 // broken fixtures included — exactly the way the production runner does
 // (litmus.Run: reachability query with early stop once the outcome of
 // interest is observed, trace-bounded like the golden report) and returns
-// the summed exploration statistics.
-func runSuite(tb testing.TB, fullExpl bool) (states, transitions int) {
+// the summed exploration statistics. Note that at widths above 1 the summed
+// stats may vary run to run: reduced-mode state counts and early-stop points
+// depend on visit order, which parallel scheduling does not fix.
+func runSuite(tb testing.TB, fullExpl bool, workers int) (states, transitions int) {
 	tb.Helper()
-	x := &model.Explorer{MaxTraceOps: 20, FullExploration: fullExpl}
+	x := &model.Explorer{MaxTraceOps: 20, FullExploration: fullExpl, Workers: workers}
 	for _, lt := range litmus.Corpus() {
 		for _, f := range allFactories() {
 			o, err := litmus.Run(lt, f, x)
@@ -62,8 +72,8 @@ func exhaustSuite(tb testing.TB, fullExpl bool) (states, transitions int) {
 // changed, in which case regenerate BENCH_explore.json and retune these
 // numbers in the same commit.
 func TestPORStatesBudget(t *testing.T) {
-	por, porTrans := runSuite(t, false)
-	full, fullTrans := runSuite(t, true)
+	por, porTrans := runSuite(t, false, 1)
+	full, fullTrans := runSuite(t, true, 1)
 	t.Logf("litmus suite (reachability): POR %d states / %d transitions, full %d / %d (%.2fx states, %.2fx transitions)",
 		por, porTrans, full, fullTrans, float64(full)/float64(por), float64(fullTrans)/float64(porTrans))
 	if por*2 > full {
@@ -88,20 +98,47 @@ func TestPORStatesBudget(t *testing.T) {
 }
 
 // BenchmarkExplorePOR measures the litmus suite under the reduced
-// exploration; the states metric is what BENCH_explore.json records.
+// exploration; the states metric is what BENCH_explore.json records. Runs at
+// the -explore-workers width (default serial).
 func BenchmarkExplorePOR(b *testing.B) {
-	benchmarkSuite(b, false)
+	benchmarkSuite(b, false, *exploreWorkers)
 }
 
-// BenchmarkExploreFull is the unreduced baseline.
+// BenchmarkExploreFull is the unreduced baseline, at the -explore-workers
+// width.
 func BenchmarkExploreFull(b *testing.B) {
-	benchmarkSuite(b, true)
+	benchmarkSuite(b, true, *exploreWorkers)
 }
 
-func benchmarkSuite(b *testing.B, fullExpl bool) {
+// parallelWidth is the width the *Parallel benchmark variants run at: the
+// -explore-workers flag when raised above 1, else every core, else — on a
+// single-core box, where these variants only measure coordination overhead —
+// a two-worker pool.
+func parallelWidth() int {
+	if *exploreWorkers > 1 {
+		return *exploreWorkers
+	}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 2
+}
+
+// BenchmarkExplorePORParallel is BenchmarkExplorePOR on the parallel kernel.
+func BenchmarkExplorePORParallel(b *testing.B) {
+	benchmarkSuite(b, false, parallelWidth())
+}
+
+// BenchmarkExploreFullParallel is BenchmarkExploreFull on the parallel
+// kernel.
+func BenchmarkExploreFullParallel(b *testing.B) {
+	benchmarkSuite(b, true, parallelWidth())
+}
+
+func benchmarkSuite(b *testing.B, fullExpl bool, workers int) {
 	states, transitions := 0, 0
 	for i := 0; i < b.N; i++ {
-		states, transitions = runSuite(b, fullExpl)
+		states, transitions = runSuite(b, fullExpl, workers)
 	}
 	b.ReportMetric(float64(states), "states")
 	b.ReportMetric(float64(transitions), "transitions")

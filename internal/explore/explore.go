@@ -229,6 +229,23 @@ const DefaultMaxStates = 2_000_000
 // wrapped with the system name; check with errors.Is.
 var ErrStateBudget = errors.New("explore: state budget exhausted")
 
+// StateBudgetError is the concrete error Run returns when exploration
+// exceeds MaxStates. It satisfies errors.Is(err, ErrStateBudget) and carries
+// the number of distinct states visited when the budget tripped, so callers
+// can print an actionable retuning hint without rerunning under -metrics.
+type StateBudgetError struct {
+	System string // TransitionSystem.Name()
+	States int    // distinct states visited when the budget was exhausted
+}
+
+// Error implements error.
+func (e *StateBudgetError) Error() string {
+	return fmt.Sprintf("explore: exploring %s: state budget exhausted after %d distinct states", e.System, e.States)
+}
+
+// Unwrap makes errors.Is(err, ErrStateBudget) hold.
+func (e *StateBudgetError) Unwrap() error { return ErrStateBudget }
+
 // Explorer configures the exploration kernel. The zero value explores with
 // partial-order reduction, digest-deduplicated states, and the
 // DefaultMaxStates budget.
@@ -258,6 +275,16 @@ type Explorer struct {
 	// blocked replay (recorded read value unreachable) is an expected dead
 	// end, not a modeling bug.
 	AllowStuck bool
+	// Workers selects the exploration width. 0 or 1 runs the classic serial
+	// kernel. n > 1 runs exactly n workers sharing a work-stealing frontier
+	// and a striped visited store (the extra n-1 slots are registered with
+	// the process-wide par budget so nested sweeps shrink accordingly). A
+	// negative value auto-sizes: the run claims as many spare slots as the
+	// par budget has free, possibly none (serial). Every width yields the
+	// same terminal-state set — see DESIGN.md §"Parallel exploration" — but
+	// the order in which final() observes them, and Stats under reduction,
+	// may vary run to run for widths above 1.
+	Workers int
 }
 
 // Stats summarizes one exploration.
@@ -284,6 +311,24 @@ func (s Stats) String() string {
 type visitedSet struct {
 	hashed map[digest.Sum]uint64
 	full   map[string]uint64
+}
+
+// visitedCapacity sizes the visited store from the state budget: an explicit
+// MaxStates is a size hint (capped so absurd budgets don't preallocate
+// gigabytes), while the DefaultMaxStates safety net is not — runs that never
+// said how big they are start small and grow.
+func visitedCapacity(maxStates int) int {
+	const floor, ceil = 1024, 1 << 21
+	switch {
+	case maxStates <= 0:
+		return floor
+	case maxStates < floor:
+		return maxStates
+	case maxStates > ceil:
+		return ceil
+	default:
+		return maxStates
+	}
 }
 
 func newVisitedSet(fullKeys bool, capacity int) *visitedSet {
@@ -444,12 +489,19 @@ func (r *reducer) persistentMask(sys TransitionSystem, steps []Step) uint64 {
 // cannot overflow the goroutine stack. Run allocates its working state
 // locally, so one Explorer may be shared by concurrent explorations.
 func (x *Explorer) Run(sys TransitionSystem, final func(TransitionSystem) bool) (Stats, error) {
+	if w, release := x.resolveWorkers(); w > 1 {
+		st, err := x.runParallel(sys, final, w)
+		release()
+		return st, err
+	} else {
+		release()
+	}
 	budget := x.MaxStates
 	if budget <= 0 {
 		budget = DefaultMaxStates
 	}
 	st := Stats{}
-	visited := newVisitedSet(x.FullKeys, 1024)
+	visited := newVisitedSet(x.FullKeys, visitedCapacity(x.MaxStates))
 	finals := newVisitedSet(x.FullKeys, 16)
 	red := &reducer{syncOrder: x.VisibleSyncOrder}
 	stop := false
@@ -493,7 +545,7 @@ func (x *Explorer) Run(sys TransitionSystem, final func(TransitionSystem) bool) 
 		old, seen := visited.get(key)
 		if !seen {
 			if visited.len() >= budget {
-				return frame{}, false, fmt.Errorf("explore: exploring %s: %w", s.Name(), ErrStateBudget)
+				return frame{}, false, &StateBudgetError{System: s.Name(), States: visited.len()}
 			}
 			visited.put(key, skip)
 			st.States++
@@ -540,7 +592,11 @@ func (x *Explorer) Run(sys TransitionSystem, final func(TransitionSystem) bool) 
 	for len(stack) > 0 && !stop {
 		top := &stack[len(stack)-1]
 		i := top.next
-		for i < len(top.steps) && top.todo&(uint64(1)<<i) == 0 {
+		// The todo mask only describes the first 64 steps; indices past 63
+		// exist only on the first visit of a >64-step state (whose mask is
+		// all-ones and whose revisits carry todo == 0) and are expanded
+		// unconditionally, never skipped by a zero bit of an exhausted shift.
+		for i < len(top.steps) && i < 64 && top.todo&(uint64(1)<<i) == 0 {
 			i++
 		}
 		if i >= len(top.steps) {
@@ -567,8 +623,12 @@ func (x *Explorer) Run(sys TransitionSystem, final func(TransitionSystem) bool) 
 			}
 		}
 		top.done |= uint64(1) << i
+		last := top.todo&^maskAll(i+1) == 0
+		if len(top.steps) > 64 {
+			last = i == len(top.steps)-1
+		}
 		var c TransitionSystem
-		if top.todo&^maskAll(i+1) == 0 {
+		if last {
 			// Last child: this frame is exhausted and will never be touched
 			// again, so the child consumes the parent system in place — one
 			// whole clone saved per expanded state (states with a single

@@ -41,6 +41,12 @@ type Explorer struct {
 	// exists as a debug cross-check — tests explore both ways and assert
 	// identical Stats.
 	FullKeys bool
+	// Workers selects the exploration width, passed through to the kernel:
+	// 0 or 1 serial, n > 1 that many workers sharing one search, negative
+	// auto-sized from the par budget. Any width produces the same outcome
+	// set; visit order and reduced-mode Stats may vary above width 1. See
+	// explore.Explorer.Workers.
+	Workers int
 }
 
 // DefaultMaxStates is the safety net applied when Explorer.MaxStates is 0.
@@ -118,6 +124,7 @@ func (x *Explorer) Visit(m Machine, fn func(Machine) bool) (Stats, error) {
 		MaxStates:       x.MaxStates,
 		FullExploration: x.FullExploration,
 		FullKeys:        x.FullKeys,
+		Workers:         x.Workers,
 		// KeyExecution keys embed the global sync log, so the relative order
 		// of sync steps on different locations is observable; coarser modes
 		// only see sync effects through their memory locations.

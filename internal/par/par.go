@@ -22,6 +22,57 @@ import (
 // override holds the SetWorkers value; 0 means unset.
 var override atomic.Int64
 
+// active tracks worker slots currently claimed process-wide: ForEach pools
+// claim their width while they run, and parallel explorations
+// (explore.Explorer.Workers) claim their extra workers for the lifetime of a
+// run. Auto-sized widths subtract it from Workers(), so nested parallelism —
+// a parallel exploration inside a cell of a parallel sweep, or a sweep
+// launched from inside another sweep — shares one process-wide budget
+// instead of multiplying into oversubscription.
+var active atomic.Int64
+
+// Register unconditionally claims n worker slots and returns a function
+// releasing them (idempotent). Explicit widths are pins — a caller that asked
+// for exactly n workers gets them even when the budget is spoken for — but
+// registering them lets auto-sized work elsewhere shrink while they run.
+func Register(n int) (release func()) {
+	if n <= 0 {
+		return func() {}
+	}
+	active.Add(int64(n))
+	var once sync.Once
+	return func() { once.Do(func() { active.Add(-int64(n)) }) }
+}
+
+// Acquire claims up to n extra worker slots, granting only what the budget
+// has free: Workers() minus one slot for the calling goroutine minus slots
+// already claimed. It returns the granted count (possibly 0) and an
+// idempotent release function. Callers that can scale down — a parallel
+// exploration that degrades gracefully to fewer workers — use Acquire; the
+// grant is best-effort advisory, so concurrent acquirers may transiently see
+// a stale count, which costs only a little parallelism, never correctness.
+func Acquire(n int) (granted int, release func()) {
+	if n <= 0 {
+		return 0, func() {}
+	}
+	budget := int64(Workers())
+	for {
+		cur := active.Load()
+		free := budget - 1 - cur
+		if free <= 0 {
+			return 0, func() {}
+		}
+		g := int64(n)
+		if g > free {
+			g = free
+		}
+		if active.CompareAndSwap(cur, cur+g) {
+			var once sync.Once
+			return int(g), func() { once.Do(func() { active.Add(-g) }) }
+		}
+	}
+}
+
 // Workers returns the pool width used by Map and ForEach when the caller
 // passes width <= 0: the SetWorkers override if set, else the
 // WEAKORDER_WORKERS environment variable if it parses to a positive integer,
@@ -59,10 +110,19 @@ func ForEach(n, width int, fn func(i int) error) error {
 		return nil
 	}
 	if width <= 0 {
-		width = Workers()
+		// Auto-sized pools respect slots already claimed elsewhere in the
+		// process (Register/Acquire), so a sweep started while a parallel
+		// exploration holds workers does not oversubscribe the machine.
+		width = Workers() - int(active.Load())
+		if width < 1 {
+			width = 1
+		}
 	}
 	if width > n {
 		width = n
+	}
+	if width > 1 {
+		defer Register(width)()
 	}
 	if width == 1 {
 		// Run inline: exploration workloads are allocation-heavy, and the

@@ -112,6 +112,93 @@ func TestEnvOverride(t *testing.T) {
 	}
 }
 
+func TestRegisterAcquire(t *testing.T) {
+	restore := SetWorkers(8)
+	defer restore()
+
+	// Register is unconditional and idempotent on release.
+	rel := Register(3)
+	if got := active.Load(); got != 3 {
+		t.Fatalf("after Register(3): active = %d, want 3", got)
+	}
+	// Acquire grants only what is free: 8 workers - 1 caller - 3 active = 4.
+	got, rel2 := Acquire(10)
+	if got != 4 {
+		t.Fatalf("Acquire(10) granted %d, want 4", got)
+	}
+	if active.Load() != 7 {
+		t.Fatalf("after Acquire: active = %d, want 7", active.Load())
+	}
+	// Budget exhausted: nothing left to grant.
+	if n, rel3 := Acquire(1); n != 0 {
+		t.Fatalf("Acquire(1) on a full budget granted %d", n)
+	} else {
+		rel3()
+	}
+	rel2()
+	rel2() // idempotent
+	rel()
+	rel()
+	if active.Load() != 0 {
+		t.Fatalf("after releases: active = %d, want 0", active.Load())
+	}
+	if n, rel4 := Acquire(0); n != 0 {
+		t.Fatalf("Acquire(0) granted %d", n)
+	} else {
+		rel4()
+	}
+}
+
+func TestForEachAutoWidthRespectsActive(t *testing.T) {
+	restore := SetWorkers(4)
+	defer restore()
+	// With 3 of 4 slots claimed, an auto-sized pool shrinks to width 1 —
+	// observable through the inline fast path running items sequentially.
+	rel := Register(3)
+	defer rel()
+	var inFlight, maxInFlight atomic.Int64
+	err := ForEach(8, 0, func(i int) error {
+		n := inFlight.Add(1)
+		for {
+			m := maxInFlight.Load()
+			if n <= m || maxInFlight.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInFlight.Load() != 1 {
+		t.Fatalf("max in-flight = %d, want 1 (auto width shrunk by active claims)", maxInFlight.Load())
+	}
+}
+
+func TestForEachRegistersItsWidth(t *testing.T) {
+	restore := SetWorkers(4)
+	defer restore()
+	// An auto-sized pool claims its width while running, so a nested
+	// auto-sized pool shrinks instead of oversubscribing.
+	var sawActive int64
+	err := ForEach(2, 0, func(i int) error {
+		if i == 0 {
+			sawActive = active.Load()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawActive != 2 {
+		t.Fatalf("active during width-2 ForEach = %d, want 2", sawActive)
+	}
+	if active.Load() != 0 {
+		t.Fatalf("active after ForEach = %d, want 0", active.Load())
+	}
+}
+
 func TestEmpty(t *testing.T) {
 	if err := ForEach(0, 8, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
