@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildLitmus(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "litmus")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+// TestUnknownNamesRejected pins the flag-validation contract: a typo'd
+// machine or test name fails before any exploration, with an error naming
+// the offender.
+func TestUnknownNamesRejected(t *testing.T) {
+	bin := buildLitmus(t)
+	out, code := run(t, bin, "-machine", "no-such-machine")
+	if code != 1 || !strings.Contains(out, `unknown machine "no-such-machine"`) {
+		t.Fatalf("-machine no-such-machine: exit code = %d, output:\n%s", code, out)
+	}
+	out, code = run(t, bin, "-test", "no-such-test")
+	if code != 1 || !strings.Contains(out, `unknown corpus test "no-such-test"`) {
+		t.Fatalf("-test no-such-test: exit code = %d, output:\n%s", code, out)
+	}
+}
+
+// TestRelaxedMachinesResolve runs one corpus test on each of the relaxed
+// write-buffer machines by name: every name must resolve and the observation
+// must match its corpus annotation (exit 0).
+func TestRelaxedMachinesResolve(t *testing.T) {
+	bin := buildLitmus(t)
+	for _, m := range []string{"tso", "pso", "rmo"} {
+		out, code := run(t, bin, "-machine", m, "-test", "fig1-dekker-data")
+		if code != 0 {
+			t.Fatalf("-machine %s: exit code = %d\noutput:\n%s", m, code, out)
+		}
+		if !strings.Contains(out, m) {
+			t.Fatalf("-machine %s: machine name missing from the report:\n%s", m, out)
+		}
+	}
+}

@@ -71,6 +71,31 @@ func TestPORFlag(t *testing.T) {
 	}
 }
 
+// TestMachinesFlag pins the -machines selection surface: the relaxed
+// write-buffer machines resolve by name and run a campaign to completion,
+// while an unknown name is rejected before any program is generated, with an
+// error naming the offender.
+func TestMachinesFlag(t *testing.T) {
+	bin := buildWofuzz(t)
+	out, code := run(t, bin, "-seeds", "3", "-minimize=false", "-machines", "tso,pso,rmo")
+	if code != 0 {
+		t.Fatalf("-machines tso,pso,rmo: exit code = %d\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "checked") {
+		t.Fatalf("-machines tso,pso,rmo: campaign summary missing:\n%s", out)
+	}
+	out, code = run(t, bin, "-machines", "tso,no-such-machine")
+	if code != 1 {
+		t.Fatalf("unknown machine: exit code = %d, want 1\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, `unknown machine "no-such-machine"`) {
+		t.Fatalf("unknown-machine error does not name the offender:\n%s", out)
+	}
+	if strings.Contains(out, "checked") {
+		t.Fatalf("campaign ran despite the bad -machines value:\n%s", out)
+	}
+}
+
 // TestChaosMode runs a small chaos campaign end to end: it must complete with
 // status 0, actually inject faults, and report the deterministic summary.
 func TestChaosMode(t *testing.T) {

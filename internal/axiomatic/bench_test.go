@@ -1,0 +1,29 @@
+package axiomatic
+
+import "testing"
+
+// BenchmarkAxiomaticCheck measures Admitted over the classic litmus shapes,
+// one sub-benchmark per axiom system, so the relational enumeration
+// (coherence orders × sync orders × reads-from, pruned by the acyclicity
+// checks) joins the perf trajectory alongside the operational explorers in
+// BENCH_explore.json. The shape sweep is the same one the differential test
+// TestAdmittedMatchesMachines pins for correctness.
+func BenchmarkAxiomaticCheck(b *testing.B) {
+	ps := shapes()
+	for _, sys := range Systems() {
+		b.Run(sys.String(), func(b *testing.B) {
+			outcomes := 0
+			for i := 0; i < b.N; i++ {
+				outcomes = 0
+				for _, p := range ps {
+					got, err := Admitted(p, sys)
+					if err != nil {
+						b.Fatalf("%s/%s: %v", p.Name, sys, err)
+					}
+					outcomes += len(got)
+				}
+			}
+			b.ReportMetric(float64(outcomes), "outcomes")
+		})
+	}
+}

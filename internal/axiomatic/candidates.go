@@ -1,0 +1,299 @@
+package axiomatic
+
+import (
+	"fmt"
+	"sort"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// Enumeration budgets. Exceeding one fails with ErrTooLarge — the checker is
+// exact on the programs it accepts, never approximate, so it refuses rather
+// than subsample.
+const (
+	maxPoolSize       = 32
+	maxPoolRounds     = 64
+	maxTracesPerProc  = 2048
+	maxCombos         = 1 << 16
+	maxOrdersPerAddr  = 1024
+	maxOrderProduct   = 1 << 14
+	maxRfProduct      = 1 << 14
+	maxBranchVectors  = 1 << 12
+	maxGraphChecks    = 250_000
+	maxDataWritesPerT = 8 // bufferDepth and DefaultWindow in internal/model
+)
+
+// ev is one dynamic memory operation of a thread-local trace.
+type ev struct {
+	proc int
+	idx  int // program-order operation index (Thread.OpIndex at issue)
+	op   mem.Op
+	addr mem.Addr
+	rval mem.Value // value returned by the read component, if any
+	wval mem.Value // value stored by the write component, if any
+}
+
+func (e ev) reads() bool     { return e.op.Reads() }
+func (e ev) writes() bool    { return e.op.Writes() }
+func (e ev) sync() bool      { return e.op.IsSync() }
+func (e ev) dataWrite() bool { return e.op == mem.OpWrite }
+
+// initVal returns the initial value of addr (locations absent from Init start
+// at zero, mirroring model.initMem).
+func initVal(p *program.Program, a mem.Addr) mem.Value { return p.Init[a] }
+
+// valuePools computes, per location, a closed superset of the values any
+// execution can store there: the initial value plus every value some
+// thread-local simulation can write given the current pools, iterated. Read
+// branching draws from these pools, so they over-approximate the reachable
+// value set — candidate filtering and the consistency check cut it back down
+// exactly. The iteration stops after one round per write instruction: a
+// reachable value's derivation is an rf chain through read-modify-writes,
+// which visits each write event at most once (rf through an atomic goes
+// coherence-backwards), so deeper rounds only manufacture unreachable values
+// (e.g. a FetchAdd endlessly re-incrementing its own output).
+func valuePools(p *program.Program) (map[mem.Addr][]mem.Value, error) {
+	rounds := 1
+	for _, code := range p.Threads {
+		for _, in := range code {
+			if op, ok := in.MemOp(); ok && op.Writes() {
+				rounds++
+			}
+		}
+	}
+	if rounds > maxPoolRounds {
+		// Truncating below the sound bound could lose reachable values, so
+		// this is a refusal, not an approximation.
+		return nil, fmt.Errorf("axiomatic: %d value-pool rounds exceed %d: %w", rounds, maxPoolRounds, ErrTooLarge)
+	}
+	sets := make(map[mem.Addr]map[mem.Value]bool)
+	for _, a := range p.Addrs() {
+		sets[a] = map[mem.Value]bool{initVal(p, a): true}
+	}
+	pools := poolSlices(sets)
+	for round := 0; round < rounds; round++ {
+		grew := false
+		for ti, code := range p.Threads {
+			traces, err := threadTraces(code, ti, pools)
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range traces {
+				for _, e := range tr {
+					if e.writes() && !sets[e.addr][e.wval] {
+						sets[e.addr][e.wval] = true
+						if len(sets[e.addr]) > maxPoolSize {
+							return nil, fmt.Errorf("axiomatic: value pool of x%d exceeds %d values: %w", e.addr, maxPoolSize, ErrTooLarge)
+						}
+						grew = true
+					}
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+		pools = poolSlices(sets)
+	}
+	return pools, nil
+}
+
+func poolSlices(sets map[mem.Addr]map[mem.Value]bool) map[mem.Addr][]mem.Value {
+	pools := make(map[mem.Addr][]mem.Value, len(sets))
+	for a, s := range sets {
+		vs := make([]mem.Value, 0, len(s))
+		for v := range s {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		pools[a] = vs
+	}
+	return pools
+}
+
+// threadTraces enumerates every thread-local execution of code: a depth-first
+// walk of the interpreter, branching over the value pool at each operation
+// with a read component. The program is loop-free (Supports), so each path
+// terminates.
+func threadTraces(code program.Code, proc int, pools map[mem.Addr][]mem.Value) ([][]ev, error) {
+	var out [][]ev
+	var walk func(t program.Thread, tr []ev) error
+	walk = func(t program.Thread, tr []ev) error {
+		for {
+			req, ok, err := t.Pending()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				if len(out) >= maxTracesPerProc {
+					return fmt.Errorf("axiomatic: thread %d has more than %d local traces: %w", proc, maxTracesPerProc, ErrTooLarge)
+				}
+				out = append(out, append([]ev(nil), tr...))
+				return nil
+			}
+			e := ev{proc: proc, idx: t.OpIndex, op: req.Op, addr: req.Addr}
+			if req.Op.Reads() {
+				for _, v := range pools[req.Addr] {
+					tt := t // Thread is a value type: plain copy forks the interpreter
+					e2 := e
+					e2.rval = v
+					if req.Op.Writes() {
+						e2.wval = req.NewValue(v)
+					}
+					tt.Resolve(v)
+					branch := append(append([]ev(nil), tr...), e2)
+					if err := walk(tt, branch); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			e.wval = req.Data
+			t.Resolve(0)
+			tr = append(tr, e)
+		}
+	}
+	if err := walk(program.NewThread(code), nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// combo is one candidate assignment of a local trace to every thread, with
+// the flattened event indexing the relational machinery works over.
+type combo struct {
+	traces [][]ev
+	all    []ev  // flattened; the index into all is the event id
+	offset []int // offset[p] + position = event id
+}
+
+func newCombo(traces [][]ev) *combo {
+	c := &combo{traces: traces, offset: make([]int, len(traces))}
+	for p, tr := range traces {
+		c.offset[p] = len(c.all)
+		c.all = append(c.all, tr...)
+	}
+	return c
+}
+
+// writersByAddr returns, per location, the write event ids grouped as
+// per-processor program-order chains — the units both co and so enumeration
+// interleave.
+func (c *combo) writersByAddr() map[mem.Addr][][]int {
+	chains := make(map[mem.Addr][][]int)
+	for p, tr := range c.traces {
+		per := make(map[mem.Addr][]int)
+		for k, e := range tr {
+			if e.writes() {
+				per[e.addr] = append(per[e.addr], c.offset[p]+k)
+			}
+		}
+		for a, ids := range per {
+			chains[a] = append(chains[a], ids)
+		}
+	}
+	return chains
+}
+
+// syncsByAddr returns, per location, the synchronization-operation event ids
+// as per-processor program-order chains.
+func (c *combo) syncsByAddr() map[mem.Addr][][]int {
+	chains := make(map[mem.Addr][][]int)
+	for p, tr := range c.traces {
+		per := make(map[mem.Addr][]int)
+		for k, e := range tr {
+			if e.sync() {
+				per[e.addr] = append(per[e.addr], c.offset[p]+k)
+			}
+		}
+		for a, ids := range per {
+			chains[a] = append(chains[a], ids)
+		}
+	}
+	return chains
+}
+
+// ownPrevWrite returns the event id of the program-order-latest same-address
+// write of the reader's own processor before the read, or -1.
+func (c *combo) ownPrevWrite(readID int) int {
+	r := c.all[readID]
+	tr := c.traces[r.proc]
+	for k := readID - c.offset[r.proc] - 1; k >= 0; k-- {
+		if e := tr[k]; e.writes() && e.addr == r.addr {
+			return c.offset[r.proc] + k
+		}
+	}
+	return -1
+}
+
+// interleavings enumerates every merge of the chains that preserves each
+// chain's internal order (the linear extensions of the union of chains).
+func interleavings(chains [][]int, cap int) ([][]int, error) {
+	total := 0
+	for _, ch := range chains {
+		total += len(ch)
+	}
+	var out [][]int
+	idx := make([]int, len(chains))
+	cur := make([]int, 0, total)
+	var rec func() error
+	rec = func() error {
+		if len(cur) == total {
+			if len(out) >= cap {
+				return fmt.Errorf("axiomatic: more than %d orders per location: %w", cap, ErrTooLarge)
+			}
+			out = append(out, append([]int(nil), cur...))
+			return nil
+		}
+		for i, ch := range chains {
+			if idx[i] < len(ch) {
+				cur = append(cur, ch[idx[i]])
+				idx[i]++
+				if err := rec(); err != nil {
+					return err
+				}
+				idx[i]--
+				cur = cur[:len(cur)-1]
+			}
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// product iterates the cartesian product of choice-list lengths, calling f
+// with an index vector. It fails if the product exceeds cap.
+func product(lens []int, cap int, f func(pick []int) (stop bool, err error)) error {
+	n := 1
+	for _, l := range lens {
+		if l == 0 {
+			return nil
+		}
+		n *= l
+		if n > cap {
+			return fmt.Errorf("axiomatic: choice product exceeds %d: %w", cap, ErrTooLarge)
+		}
+	}
+	pick := make([]int, len(lens))
+	for {
+		stop, err := f(pick)
+		if err != nil || stop {
+			return err
+		}
+		i := len(pick) - 1
+		for ; i >= 0; i-- {
+			pick[i]++
+			if pick[i] < lens[i] {
+				break
+			}
+			pick[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package axiomatic
+
+// digraph is a tiny dense digraph used for the acyclicity checks. An edge
+// u -> v asserts the strict timing fact t(u) < t(v); a witness exists for a
+// constraint set iff the graph is acyclic, because any finite strict partial
+// order extends to a linear order over dense time.
+type digraph struct {
+	n   int
+	adj [][]int32
+}
+
+func newDigraph(n int) *digraph { return &digraph{n: n, adj: make([][]int32, n)} }
+
+// edge adds the constraint t(u) < t(v).
+func (g *digraph) edge(u, v int) { g.adj[u] = append(g.adj[u], int32(v)) }
+
+// acyclic reports whether the constraint set is satisfiable, via iterative
+// three-color DFS (self-loops — contradictions t(u) < t(u) — count as cycles).
+func (g *digraph) acyclic() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, g.n)
+	type frame struct {
+		node int
+		next int
+	}
+	var stack []frame
+	for start := 0; start < g.n; start++ {
+		if color[start] != white {
+			continue
+		}
+		color[start] = gray
+		stack = append(stack[:0], frame{node: start})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.node]) {
+				next := int(g.adj[f.node][f.next])
+				f.next++
+				switch color[next] {
+				case gray:
+					return false
+				case white:
+					color[next] = gray
+					stack = append(stack, frame{node: next})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return true
+}

@@ -1,0 +1,442 @@
+package axiomatic
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+)
+
+// This file encodes each memory model as a set of strict timing constraints
+// over a candidate execution. Every constraint has the form t(u) < t(v) for
+// two abstract time points u, v (issue times, commit times, propagation
+// arrival times, view times); a candidate is admitted iff some assignment of
+// real times satisfies all constraints, which — time being dense and the
+// constraint set finite — holds iff the constraint digraph is acyclic.
+//
+// Time points per model family:
+//
+//   - SC: one point per operation (issue = perform).
+//   - TSO/PSO/RMO: issue(e) per operation plus commit(w) per data write (the
+//     moment w retires from the store buffer into memory). Synchronization
+//     writes commit at issue, so their commit point IS their issue point.
+//     RMO additionally has view(r) per non-forwarded data read: the moment in
+//     memory-commit history whose value the read returns (view(r) < issue(r),
+//     the staleness relaxation).
+//   - WO def-1/def-2 (distributed copies): issue(e) per operation plus
+//     apply(w,q) per data write w and remote processor q (the moment w's
+//     propagation updates q's copy). Synchronization writes apply to every
+//     copy at issue.
+//
+// Choice points that are not determined by the outcome — whether a read was
+// forwarded from the issuer's own buffer or served by memory, and when a
+// def-2 reserver's outstanding writes finished draining — are enumerated as
+// small branch vectors; the candidate is admitted if any branch yields an
+// acyclic graph.
+
+// coInfo indexes one chosen per-location coherence (write-serialization)
+// order.
+type coInfo struct {
+	order map[mem.Addr][]int // write event ids in coherence order
+	next  map[int]int        // write event id -> co-successor id, or -1
+}
+
+func newCoInfo(order map[mem.Addr][]int) *coInfo {
+	ci := &coInfo{order: order, next: make(map[int]int)}
+	for _, ids := range order {
+		for k, id := range ids {
+			if k+1 < len(ids) {
+				ci.next[id] = ids[k+1]
+			} else {
+				ci.next[id] = -1
+			}
+		}
+	}
+	return ci
+}
+
+func (ci *coInfo) first(a mem.Addr) int {
+	if ids := ci.order[a]; len(ids) > 0 {
+		return ids[0]
+	}
+	return -1
+}
+
+// checkGraph spends one unit of the per-query budget on an acyclicity test.
+func checkGraph(budget *int, g *digraph) (bool, error) {
+	if *budget <= 0 {
+		return false, fmt.Errorf("axiomatic: graph-check budget exhausted: %w", ErrTooLarge)
+	}
+	*budget--
+	return g.acyclic(), nil
+}
+
+// admits reports whether the model sys has a timing witness for the candidate
+// (c, co, rf) — plus, for def-2, the synchronization order so.
+func admits(sys System, c *combo, co *coInfo, so map[mem.Addr][]int, rf []int, budget *int) (bool, error) {
+	switch sys {
+	case SysSC:
+		return checkGraph(budget, buildSC(c, co, rf))
+	case SysTSO, SysPSO, SysRMO:
+		return admitsBuffered(sys, c, co, rf, budget)
+	case SysWODef1, SysWODef2:
+		return admitsCopies(sys, c, co, so, rf, budget)
+	default:
+		return false, fmt.Errorf("axiomatic: unknown system %d", sys)
+	}
+}
+
+// po adds the program-order chains on the issue nodes.
+func po(g *digraph, c *combo) {
+	for p, tr := range c.traces {
+		for k := 1; k < len(tr); k++ {
+			g.edge(c.offset[p]+k-1, c.offset[p]+k)
+		}
+	}
+}
+
+// buildSC: every operation performs atomically at its single time point, in
+// program order; the constraint set is the classic acyclicity of
+// po ∪ co ∪ rf ∪ fr.
+func buildSC(c *combo, co *coInfo, rf []int) *digraph {
+	g := newDigraph(len(c.all))
+	po(g, c)
+	for _, ids := range co.order {
+		for k := 1; k < len(ids); k++ {
+			g.edge(ids[k-1], ids[k])
+		}
+	}
+	for id, e := range c.all {
+		if !e.reads() {
+			continue
+		}
+		if w := rf[id]; w >= 0 {
+			g.edge(w, id) // rf
+			// fr; the co chain supplies the rest transitively. An RMW that
+			// is itself the co-successor of its rf source needs no edge —
+			// its write is the same time point as its read.
+			if nx := co.next[w]; nx >= 0 && nx != id {
+				g.edge(id, nx)
+			}
+		} else if f := co.first(e.addr); f >= 0 && f != id {
+			g.edge(id, f) // reading the initial value precedes every write
+		}
+	}
+	return g
+}
+
+// admitsBuffered checks the store-buffer family. The only free choice left
+// after (co, rf) is, per data read whose rf source is the issuer's own latest
+// prior same-address data write, whether the read was forwarded from the
+// buffer or served by memory after the write committed.
+func admitsBuffered(sys System, c *combo, co *coInfo, rf []int, budget *int) (bool, error) {
+	n := len(c.all)
+	cnode := make([]int, n) // event id -> node standing for its memory commit
+	nodes := n
+	for id, e := range c.all {
+		if e.dataWrite() {
+			cnode[id] = nodes
+			nodes++
+		} else {
+			cnode[id] = id
+		}
+	}
+	var branchable []int // read ids where both FWD and MEM are candidates
+	for id, e := range c.all {
+		if e.op == mem.OpRead {
+			if wl := c.ownPrevWrite(id); wl >= 0 && c.all[wl].dataWrite() && rf[id] == wl {
+				branchable = append(branchable, id)
+			}
+		}
+	}
+	lens := make([]int, len(branchable))
+	for i := range lens {
+		lens[i] = 2
+	}
+	found := false
+	err := product(lens, maxBranchVectors, func(pick []int) (bool, error) {
+		fwd := make(map[int]bool, len(branchable))
+		for i, id := range branchable {
+			if pick[i] == 1 {
+				fwd[id] = true
+			}
+		}
+		ok, err := checkGraph(budget, buildBuffered(sys, c, co, rf, cnode, nodes, fwd))
+		if err != nil {
+			return true, err
+		}
+		found = ok
+		return ok, nil
+	})
+	return found, err
+}
+
+func buildBuffered(sys System, c *combo, co *coInfo, rf []int, cnode []int, nodes int, fwd map[int]bool) *digraph {
+	// RMO view nodes, one per memory-served data read.
+	vnode := make(map[int]int)
+	if sys == SysRMO {
+		for id, e := range c.all {
+			if e.op == mem.OpRead && !fwd[id] {
+				vnode[id] = nodes
+				nodes++
+			}
+		}
+	}
+	g := newDigraph(nodes)
+	po(g, c)
+	for p, tr := range c.traces {
+		// Commit order within a buffer: full FIFO for TSO, FIFO per address
+		// for PSO/RMO. Synchronization gates on a drained buffer: every
+		// program-earlier data write commits before the sync issues.
+		lastCommit := -1
+		lastByAddr := make(map[mem.Addr]int)
+		for k, e := range tr {
+			id := c.offset[p] + k
+			switch {
+			case e.dataWrite():
+				g.edge(id, cnode[id]) // a write commits after it issues
+				if sys == SysTSO {
+					if lastCommit >= 0 {
+						g.edge(cnode[lastCommit], cnode[id])
+					}
+					lastCommit = id
+				} else if prev, ok := lastByAddr[e.addr]; ok {
+					g.edge(cnode[prev], cnode[id])
+				}
+				lastByAddr[e.addr] = id
+			case e.sync():
+				for j := 0; j < k; j++ {
+					if w := tr[j]; w.dataWrite() {
+						g.edge(cnode[c.offset[p]+j], id)
+					}
+				}
+			}
+		}
+	}
+	// Coherence: memory holds the writes' values in commit order, so the
+	// commit points are chained per location.
+	for _, ids := range co.order {
+		for k := 1; k < len(ids); k++ {
+			g.edge(cnode[ids[k-1]], cnode[ids[k]])
+		}
+	}
+	// memRead constrains a point t to observe write w (or the initial value,
+	// w < 0) in memory: the co-latest commit before t is w's.
+	memRead := func(t int, w int, a mem.Addr) {
+		if w >= 0 {
+			g.edge(cnode[w], t)
+			// As in buildSC, an RMW immediately co-after its rf source gets
+			// no fr self-edge: read and write share the issue point.
+			if nx := co.next[w]; nx >= 0 && cnode[nx] != t {
+				g.edge(t, cnode[nx])
+			}
+		} else if f := co.first(a); f >= 0 && cnode[f] != t {
+			g.edge(t, cnode[f])
+		}
+	}
+	cursor := make(map[[2]int]int) // (proc, addr) -> previous view node
+	for p, tr := range c.traces {
+		for k, e := range tr {
+			id := c.offset[p] + k
+			switch {
+			case e.sync() && e.reads():
+				// Sync accesses act on memory atomically at issue.
+				memRead(id, rf[id], e.addr)
+			case e.op == mem.OpRead:
+				wl := c.ownPrevWrite(id)
+				if fwd[id] {
+					// Forwarded from the buffer: the source write is still
+					// buffered, i.e. commits after the read.
+					g.edge(id, cnode[rf[id]])
+					continue
+				}
+				// Memory-served: the issuer's own latest prior same-address
+				// write must have left the buffer (else forwarding would have
+				// been forced).
+				t := id
+				if sys == SysRMO {
+					t = vnode[id]
+					g.edge(t, id) // the observed view is no newer than issue
+					// The fence half of every program-earlier sync discards
+					// stale views.
+					for j := 0; j < k; j++ {
+						if tr[j].sync() {
+							g.edge(c.offset[p]+j, t)
+						}
+					}
+					// The per-location cursor never retreats.
+					ck := [2]int{p, int(e.addr)}
+					if prev, ok := cursor[ck]; ok {
+						g.edge(prev, t)
+					}
+					cursor[ck] = t
+				}
+				if wl >= 0 {
+					g.edge(cnode[wl], t)
+				}
+				memRead(t, rf[id], e.addr)
+			}
+		}
+	}
+	return g
+}
+
+// admitsCopies checks the distributed-copies family (the paper's weak
+// ordering implementations). For def-2 the free choice left after
+// (co, so, rf) is, per cross-processor pair of so-consecutive
+// synchronization operations, how many of the reserver's data writes had
+// been issued by the moment its drain released the reservation.
+func admitsCopies(sys System, c *combo, co *coInfo, so map[mem.Addr][]int, rf []int, budget *int) (bool, error) {
+	n := len(c.all)
+	nproc := len(c.traces)
+	// apply(w,q) nodes for data writes and remote processors.
+	apply := make(map[[2]int]int)
+	nodes := n
+	for id, e := range c.all {
+		if !e.dataWrite() {
+			continue
+		}
+		for q := 0; q < nproc; q++ {
+			if q != e.proc {
+				apply[[2]int{id, q}] = nodes
+				nodes++
+			}
+		}
+	}
+	// arr(w,q): when w's value reaches q's copy — at issue for the writer's
+	// own copy and for (multi-copy atomic) synchronization writes.
+	arr := func(w, q int) int {
+		if node, ok := apply[[2]int{w, q}]; ok {
+			return node
+		}
+		return w
+	}
+	// Data writes per processor in program order, for drain constraints.
+	writesOf := make([][]int, nproc)
+	for p, tr := range c.traces {
+		for k, e := range tr {
+			if e.dataWrite() {
+				writesOf[p] = append(writesOf[p], c.offset[p]+k)
+			}
+		}
+	}
+	// def-2 gated pairs: so-consecutive sync operations by distinct
+	// processors. The reservation set by S (if its issuer was undrained)
+	// blocks S' until the issuer's outstanding writes — some prefix of its
+	// write sequence that includes at least every write issued before S —
+	// have fully applied.
+	type gated struct {
+		s1, s2 int
+		proc   int
+		k0     int
+	}
+	var pairs []gated
+	var lens []int
+	if sys == SysWODef2 {
+		for _, ids := range so {
+			for k := 1; k < len(ids); k++ {
+				s1, s2 := ids[k-1], ids[k]
+				p := c.all[s1].proc
+				if p == c.all[s2].proc {
+					continue
+				}
+				k0 := 0
+				for _, w := range writesOf[p] {
+					if w < s1 { // same thread: event id order is program order
+						k0++
+					}
+				}
+				pairs = append(pairs, gated{s1: s1, s2: s2, proc: p, k0: k0})
+				lens = append(lens, len(writesOf[p])-k0+1)
+			}
+		}
+	}
+	build := func(pick []int) *digraph {
+		g := newDigraph(nodes + len(pairs))
+		po(g, c)
+		// Coherence is the global commit order, and copies machines commit a
+		// write (assign its serialization slot) at issue: the chain lives on
+		// the issue nodes.
+		for _, ids := range co.order {
+			for k := 1; k < len(ids); k++ {
+				g.edge(ids[k-1], ids[k])
+			}
+		}
+		for id, e := range c.all {
+			if e.dataWrite() {
+				for q := 0; q < nproc; q++ {
+					if q != e.proc {
+						g.edge(id, apply[[2]int{id, q}])
+					}
+				}
+			}
+			if e.reads() {
+				// Every read — data or sync — returns its own copy's value:
+				// the rf source has arrived, no co-later write has.
+				q := e.proc
+				if w := rf[id]; w >= 0 {
+					g.edge(arr(w, q), id)
+					for nx := co.next[w]; nx >= 0; nx = co.next[nx] {
+						if nx != id { // an RMW is not fr-before its own write
+							g.edge(id, arr(nx, q))
+						}
+					}
+				} else {
+					for _, w := range co.order[e.addr] {
+						if w != id {
+							g.edge(id, arr(w, q))
+						}
+					}
+				}
+			}
+			if e.sync() && sys == SysWODef1 {
+				// Definition 1 / RP3 fence: a sync waits for the issuer's
+				// outstanding accesses to be globally performed.
+				for _, w := range writesOf[e.proc] {
+					if w >= id {
+						break
+					}
+					for q := 0; q < nproc; q++ {
+						if q != e.proc {
+							g.edge(apply[[2]int{w, q}], id)
+						}
+					}
+				}
+			}
+		}
+		if sys == SysWODef2 {
+			for _, ids := range so {
+				for k := 1; k < len(ids); k++ {
+					g.edge(ids[k-1], ids[k])
+				}
+			}
+			for i, pr := range pairs {
+				d := nodes + i // the drain point releasing the reservation
+				k := pr.k0 + pick[i]
+				g.edge(pr.s1, d)
+				g.edge(d, pr.s2)
+				for j, w := range writesOf[pr.proc] {
+					if j < k {
+						for q := 0; q < nproc; q++ {
+							if q != pr.proc {
+								g.edge(apply[[2]int{w, q}], d)
+							}
+						}
+					} else {
+						g.edge(d, w)
+					}
+				}
+			}
+		}
+		return g
+	}
+	found := false
+	err := product(lens, maxBranchVectors, func(pick []int) (bool, error) {
+		ok, err := checkGraph(budget, build(pick))
+		if err != nil {
+			return true, err
+		}
+		found = ok
+		return ok, nil
+	})
+	return found, err
+}

@@ -41,8 +41,9 @@
 //
 // Independence is conservative: steps of the same agent never commute, two
 // synchronization steps never commute (their global commit order is part of
-// execution-level keys), and otherwise steps commute exactly when their
-// declared single-access footprints do not conflict. A transition system must
+// execution-level keys), a fence step never commutes with a write or another
+// fence (its effect spans every location), and otherwise steps commute
+// exactly when their declared single-access footprints do not conflict. A transition system must
 // only declare footprints whose commutation is real at the level of canonical
 // keys: if two steps are independent under Independent, applying them in
 // either order from any state where both are enabled must produce
@@ -84,6 +85,14 @@ type Info struct {
 	// Opaque marks a step with an undeclarable footprint: it conflicts with
 	// everything and never participates in reduction.
 	Opaque bool
+	// Fence marks a step whose effect additionally spans every location at
+	// once — e.g. a full memory fence that snaps the issuing processor's view
+	// of all write histories. A fence is dependent on every write and on every
+	// other fence, regardless of address: committing a write before the fence
+	// leaves the fencing processor permanently fresh on that location, while
+	// committing it after leaves a stale view available. Steps that only read
+	// (and other non-fence, non-write steps) still commute with a fence.
+	Fence bool
 }
 
 // footprint views the step's single access as a Footprint.
@@ -91,7 +100,7 @@ func (i Info) footprint() Footprint {
 	if i.Opaque {
 		return Footprint{Opaque: true}
 	}
-	fp := Footprint{Sync: i.Op.IsSync()}
+	fp := Footprint{Sync: i.Op.IsSync(), Fence: i.Fence}
 	if i.AddrBit == 0 {
 		fp.Wild = true
 		return fp
@@ -131,13 +140,18 @@ func (s Step) same(o Step) bool { return s.Kind == o.Kind && s.Proc == o.Proc &&
 // Independent reports whether two enabled steps commute: they must act for
 // different agents, neither may be opaque, and their accesses must not
 // conflict in the paper's sense (same location, at least one write —
-// mem.Conflicts). With visibleSyncOrder set, two synchronization steps never
-// commute even on different locations: the global sync commit order is part
-// of execution-level state keys (the sync log that orders happens-before),
-// so swapping two syncs produces key-distinct states. Dependence is the
-// conservative default.
+// mem.Conflicts). A fence step (Info.Fence) is additionally dependent on
+// every write and every other fence whatever their addresses — its effect
+// spans all locations. With visibleSyncOrder set, two synchronization steps
+// never commute even on different locations: the global sync commit order is
+// part of execution-level state keys (the sync log that orders
+// happens-before), so swapping two syncs produces key-distinct states.
+// Dependence is the conservative default.
 func Independent(a, b Step, visibleSyncOrder bool) bool {
 	if a.Opaque || b.Opaque || a.Agent == b.Agent {
+		return false
+	}
+	if a.Fence && (b.Fence || b.Op.Writes()) || b.Fence && a.Op.Writes() {
 		return false
 	}
 	if visibleSyncOrder && a.Op.IsSync() && b.Op.IsSync() {
@@ -156,6 +170,7 @@ type Footprint struct {
 	Wild   bool   // may access statically unknown locations (reads and writes)
 	Sync   bool   // may include a synchronization step
 	Opaque bool   // may include an opaque step
+	Fence  bool   // may include a fence step (dependent on all writes and fences)
 }
 
 // AgentFootprints is what a transition system declares per agent for the
@@ -178,6 +193,9 @@ type AgentFootprints struct {
 // step drawn from the other; visibleSyncOrder mirrors Independent's flag.
 func (f Footprint) Conflicts(g Footprint, visibleSyncOrder bool) bool {
 	if f.Opaque || g.Opaque {
+		return true
+	}
+	if f.Fence && (g.Fence || g.Wild || g.Writes != 0) || g.Fence && (f.Wild || f.Writes != 0) {
 		return true
 	}
 	if visibleSyncOrder && f.Sync && g.Sync {
@@ -438,6 +456,7 @@ func (r *reducer) persistentMask(sys TransitionSystem, steps []Step) uint64 {
 		sfp.Wild = sfp.Wild || fp.Wild
 		sfp.Sync = sfp.Sync || fp.Sync
 		sfp.Opaque = sfp.Opaque || fp.Opaque
+		sfp.Fence = sfp.Fence || fp.Fence
 	}
 	// Attraction ranges over ALL agents, enabled or not: a currently frozen
 	// agent pulled into A constrains the closure through its wake footprint

@@ -1,0 +1,223 @@
+package fuzz
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"weakorder/internal/axiomatic"
+	"weakorder/internal/litmus"
+	"weakorder/internal/model"
+	"weakorder/internal/program"
+	"weakorder/internal/workload"
+)
+
+// counterpartFactories returns every registered machine that has an axiomatic
+// specification, SC included.
+func counterpartFactories(t testing.TB) []litmus.Factory {
+	t.Helper()
+	var out []litmus.Factory
+	for _, f := range litmus.Factories() {
+		if _, ok := axiomatic.CounterpartFor(f.Name); ok {
+			out = append(out, f)
+		}
+	}
+	if len(out) < 7 {
+		t.Fatalf("only %d machines have axiomatic counterparts; expected SC, tso (x3), pso, rmo, WO-def1 (x2), WO-def2", len(out))
+	}
+	return out
+}
+
+// equivalenceCorpus is the program set the operational/axiomatic equivalence
+// is asserted over: every litmus-corpus program inside the axiomatic fragment
+// plus seeds random loop-free programs (256 in the full sweep).
+func equivalenceCorpus(seeds int64) []*program.Program {
+	var progs []*program.Program
+	for _, tt := range litmus.Corpus() {
+		if axiomatic.Supports(tt.Prog) == nil {
+			progs = append(progs, tt.Prog)
+		}
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		cfg := workload.RandomConfig{
+			// Small shapes: the axiomatic side enumerates candidate
+			// executions exhaustively, so the sweep trades per-program size
+			// for corpus breadth.
+			Procs:       2 + int(seed%2),
+			DataVars:    1 + int(seed%3),
+			SyncVars:    1 + int(seed/3%2),
+			Ops:         2 + int(seed%3),
+			SyncDensity: 10 + int(seed*13%81),
+			RMWPct:      1 + int(seed*7%80),
+			SyncReadPct: 1 + int(seed*11%90),
+			FetchAddPct: int(seed * 5 % 50),
+			CondPct:     int(seed * 17 % 45),
+		}
+		p := workload.Random(seed, cfg)
+		if axiomatic.Supports(p) != nil {
+			continue // generator emits only forward branches; defensive
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+func outcomeKeys(m map[string]bool) string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, "\n")
+}
+
+// TestAxiomaticOperationalEquivalence is the headline differential gate: for
+// every machine with an axiomatic counterpart, the operational outcome set
+// equals the axiomatically admitted set — byte-identical key sets in both
+// directions — over the litmus corpus and a 256-seed random corpus, with the
+// partial-order reduction on and off and at exploration widths 1 and
+// GOMAXPROCS. The axiomatic side is computed once per (program, system);
+// every explorer configuration must reproduce it exactly.
+func TestAxiomaticOperationalEquivalence(t *testing.T) {
+	machines := counterpartFactories(t)
+	seeds := int64(256)
+	if testing.Short() {
+		seeds = 48
+	}
+	progs := equivalenceCorpus(seeds)
+	widths := []int{1}
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		widths = append(widths, w)
+	}
+	checked, skipped := 0, 0
+	for _, p := range progs {
+		admitted := make(map[axiomatic.System]string) // canonical key set per system
+		for _, sys := range axiomatic.Systems() {
+			adm, err := axiomatic.Admitted(p, sys)
+			if errors.Is(err, axiomatic.ErrTooLarge) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: axiomatic %s: %v", p.Name, sys, err)
+			}
+			set := make(map[string]bool, len(adm))
+			for k := range adm {
+				set[k] = true
+			}
+			admitted[sys] = outcomeKeys(set)
+		}
+		for _, f := range machines {
+			sys, _ := axiomatic.CounterpartFor(f.Name)
+			want, ok := admitted[sys]
+			if !ok {
+				skipped++
+				continue
+			}
+			for _, full := range []bool{false, true} {
+				for _, w := range widths {
+					x := &model.Explorer{FullExploration: full, Workers: w, MaxStates: 400_000}
+					out, _, err := x.Outcomes(f.New(p))
+					if err != nil {
+						t.Fatalf("%s on %s (full=%v width=%d): %v", p.Name, f.Name, full, w, err)
+					}
+					set := make(map[string]bool, len(out))
+					for k := range out {
+						set[k] = true
+					}
+					if got := outcomeKeys(set); got != want {
+						t.Errorf("%s: %s (full=%v width=%d) disagrees with %s axioms\n--- operational ---\n%s\n--- axiomatic ---\n%s",
+							p.Name, f.Name, full, w, sys, got, want)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("equivalence sweep checked nothing")
+	}
+	t.Logf("equivalence held over %d program/machine/explorer combinations (%d machine-programs skipped by budget)", checked, skipped)
+}
+
+// TestCheckerAxiomaticCrossValidation exercises the fuzz.Checker integration:
+// with Axiomatic set, every counterpart machine must agree with its
+// specification on a mixed slice of random programs, and the report must
+// actually record the cross-checks (counterpart names filled in).
+func TestCheckerAxiomaticCrossValidation(t *testing.T) {
+	chk := &Checker{Axiomatic: true, Machines: counterpartFactories(t)}
+	validated := 0
+	for seed := int64(0); seed < 10; seed++ {
+		p := workload.Random(seed, workload.RandomConfig{
+			Procs: 2, Ops: 2 + int(seed%2), SyncDensity: 30 + int(seed*9%50), RMWPct: 30,
+		})
+		rep, err := chk.Check(p)
+		if err != nil {
+			if errors.Is(err, model.ErrStateBudget) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if d := rep.AxiomaticDisagreements(); len(d) > 0 {
+			for _, m := range rep.Machines {
+				if len(m.MissingAxiomatic) > 0 {
+					t.Errorf("seed %d: %s produced outcomes its %s axioms reject: %v", seed, m.Machine, m.Axiomatic, m.MissingAxiomatic)
+				}
+				if len(m.ExtraAxiomatic) > 0 {
+					t.Errorf("seed %d: %s axioms admit outcomes %s never produces: %v", seed, m.Axiomatic, m.Machine, m.ExtraAxiomatic)
+				}
+			}
+		}
+		for _, m := range rep.Machines {
+			if m.Axiomatic != "" {
+				validated++
+			}
+		}
+	}
+	if validated == 0 {
+		t.Fatal("no machine was ever cross-validated; Axiomatic plumbing is dead")
+	}
+}
+
+// FuzzAxiomatic is the native fuzzing harness for the axiomatic checker: each
+// input derives a small random program, and every machine with a counterpart
+// must produce exactly the admitted outcome set. Run with
+//
+//	go test ./internal/fuzz -run='^$' -fuzz=FuzzAxiomatic -fuzztime=30s
+func FuzzAxiomatic(f *testing.F) {
+	f.Add(int64(3), byte(0), byte(0), byte(40), byte(25))
+	f.Add(int64(11), byte(1), byte(1), byte(70), byte(60))
+	f.Add(int64(99), byte(0), byte(2), byte(15), byte(85))
+	f.Fuzz(func(t *testing.T, seed int64, procs, ops, syncDensity, rmwPct byte) {
+		cfg := workload.RandomConfig{
+			Procs:       2 + int(procs%2),
+			DataVars:    1 + int(ops/3%2),
+			SyncVars:    1,
+			Ops:         2 + int(ops%3),
+			SyncDensity: 10 + int(syncDensity)%81,
+			RMWPct:      1 + int(rmwPct)%99,
+			SyncReadPct: 1 + int(rmwPct/2)%99,
+			CondPct:     int(syncDensity/2) % 45,
+		}
+		p := workload.Random(seed, cfg)
+		if axiomatic.Supports(p) != nil {
+			t.Skip("outside the axiomatic fragment")
+		}
+		chk := &Checker{
+			Axiomatic: true,
+			Machines:  counterpartFactories(t),
+			Explorer:  &model.Explorer{MaxTraceOps: 40, MaxStates: 100_000},
+		}
+		rep, err := chk.Check(p)
+		if err != nil {
+			if errors.Is(err, model.ErrStateBudget) {
+				t.Skip("state budget exhausted")
+			}
+			t.Fatal(err)
+		}
+		if d := rep.AxiomaticDisagreements(); len(d) > 0 {
+			t.Fatalf("MACHINE/SPECIFICATION DISAGREEMENT on %v (seed %d):\n%s", d, seed, EmitGo(p))
+		}
+	})
+}

@@ -22,8 +22,10 @@
 package fuzz
 
 import (
+	"errors"
 	"fmt"
 
+	"weakorder/internal/axiomatic"
 	"weakorder/internal/core"
 	"weakorder/internal/litmus"
 	"weakorder/internal/mem"
@@ -41,6 +43,13 @@ type Checker struct {
 	// litmus.WeaklyOrderedFactories() — the machines that *claim* the
 	// contract and must therefore never violate it.
 	Machines []litmus.Factory
+	// Axiomatic additionally cross-validates every machine that has an
+	// axiomatic counterpart (axiomatic.CounterpartFor): the operational
+	// outcome set must equal the axiomatically admitted set exactly, in both
+	// directions. Programs outside the checker's fragment — or past its
+	// enumeration budgets — are skipped per machine, visible as an empty
+	// MachineReport.Axiomatic.
+	Axiomatic bool
 }
 
 // DefaultExplorer returns the exploration settings the fuzzing harnesses use:
@@ -72,6 +81,16 @@ type MachineReport struct {
 	// DRF0 program any entry is a Definition-2 violation; on a racy program
 	// entries are informational (evidence the relaxations are real).
 	Extra []mem.Result
+	// Axiomatic names the counterpart system this machine was cross-checked
+	// against; empty when the check was off, the machine has no counterpart,
+	// or the program lies outside the axiomatic fragment/budgets.
+	Axiomatic string
+	// MissingAxiomatic lists operational outcomes the axioms reject, and
+	// ExtraAxiomatic outcomes the axioms admit but the machine never
+	// produces. Either being non-empty means machine and specification
+	// disagree — a bug in one of them.
+	MissingAxiomatic []mem.Result
+	ExtraAxiomatic   []mem.Result
 }
 
 // Report is the differential verdict for one program.
@@ -93,6 +112,19 @@ func (r *Report) Violating() []string {
 	var out []string
 	for _, m := range r.Machines {
 		if len(m.Extra) > 0 {
+			out = append(out, m.Machine)
+		}
+	}
+	return out
+}
+
+// AxiomaticDisagreements returns the machines whose operational outcome set
+// differed — in either direction — from their axiomatic counterpart's
+// admitted set. Always empty unless Checker.Axiomatic was set.
+func (r *Report) AxiomaticDisagreements() []string {
+	var out []string
+	for _, m := range r.Machines {
+		if len(m.MissingAxiomatic) > 0 || len(m.ExtraAxiomatic) > 0 {
 			out = append(out, m.Machine)
 		}
 	}
@@ -131,19 +163,62 @@ func (c *Checker) Check(p *program.Program) (*Report, error) {
 		return nil, fmt.Errorf("fuzz: SC outcomes of %s: %w", p.Name, err)
 	}
 	rep.SCOutcomes = len(scOut)
+	axCache := make(map[axiomatic.System]map[string]mem.Result)
 	for _, f := range c.machines() {
 		hwOut, _, err := x.Outcomes(f.New(p))
 		if err != nil {
 			return nil, fmt.Errorf("fuzz: %s outcomes of %s: %w", f.Name, p.Name, err)
 		}
 		crep := core.CheckContract(p.Name, f.Name, rep.DRF0, scOut, hwOut)
-		rep.Machines = append(rep.Machines, MachineReport{
+		mrep := MachineReport{
 			Machine:  f.Name,
 			Outcomes: len(hwOut),
 			Extra:    crep.Extra,
-		})
+		}
+		if c.Axiomatic {
+			if err := c.crossValidate(p, f.Name, hwOut, axCache, &mrep); err != nil {
+				return nil, err
+			}
+		}
+		rep.Machines = append(rep.Machines, mrep)
 	}
 	return rep, nil
+}
+
+// crossValidate compares one machine's operational outcome set against its
+// axiomatic counterpart's admitted set, recording any disagreement in mrep.
+// Admitted sets are memoized per system: several machines (e.g. the tso model
+// and the Figure-1 bus machines) share one specification.
+func (c *Checker) crossValidate(p *program.Program, machine string, hwOut core.OutcomeSet,
+	cache map[axiomatic.System]map[string]mem.Result, mrep *MachineReport) error {
+	sys, ok := axiomatic.CounterpartFor(machine)
+	if !ok {
+		return nil
+	}
+	adm, ok := cache[sys]
+	if !ok {
+		var err error
+		adm, err = axiomatic.Admitted(p, sys)
+		if errors.Is(err, axiomatic.ErrUnsupported) || errors.Is(err, axiomatic.ErrTooLarge) {
+			return nil // outside the fragment/budgets: skip, leaving Axiomatic empty
+		}
+		if err != nil {
+			return fmt.Errorf("fuzz: axiomatic %s on %s: %w", sys, p.Name, err)
+		}
+		cache[sys] = adm
+	}
+	mrep.Axiomatic = sys.String()
+	for k, r := range hwOut {
+		if _, ok := adm[k]; !ok {
+			mrep.MissingAxiomatic = append(mrep.MissingAxiomatic, r)
+		}
+	}
+	for k, r := range adm {
+		if _, ok := hwOut[k]; !ok {
+			mrep.ExtraAxiomatic = append(mrep.ExtraAxiomatic, r)
+		}
+	}
+	return nil
 }
 
 // violates reports whether the program (a) obeys DRF0 and (b) still produces

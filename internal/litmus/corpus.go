@@ -35,6 +35,9 @@ func allowedOnRelaxedOnly() map[string]bool {
 		"WO-def2":                 true,
 		"WO-def2-drf1":            true,
 		"RP3-fence":               true,
+		"tso":                     true,
+		"pso":                     true,
+		"rmo":                     true,
 	}
 }
 
@@ -115,6 +118,9 @@ exists: 1:r0=1 && 1:r1=0
 			"WO-def2":                 true,
 			"WO-def2-drf1":            true,
 			"RP3-fence":               true,
+			"tso":                     false, // single FIFO buffer keeps d before f
+			"pso":                     true,  // per-address buffers: f may retire first
+			"rmo":                     true,
 		}))
 
 	// Message passing with a synchronization flag: DRF0, so every weakly
@@ -147,6 +153,9 @@ exists: 1:r0=1 && 1:r1=0
 			"WO-def2":                 false,
 			"WO-def2-drf1":            false,
 			"RP3-fence":               false,
+			"tso":                     false,
+			"pso":                     false,
+			"rmo":                     false, // consumer syncs reset the stale view
 		}))
 
 	// Load buffering: requires a read to be overtaken by a program-later
@@ -211,6 +220,9 @@ exists: 2:r0=1 && 2:r1=0 && 3:r2=1 && 3:r3=0
 			"WO-def2":                 true,
 			"WO-def2-drf1":            true,
 			"RP3-fence":               true,
+			"tso":                     false, // single memory: writes are multi-copy atomic
+			"pso":                     false,
+			"rmo":                     true, // stale per-location views let readers disagree
 		}))
 
 	// IRIW with synchronization reads and writes: DRF0, forbidden on every
@@ -241,6 +253,9 @@ exists: 2:r0=1 && 2:r1=0 && 3:r2=1 && 3:r3=0
 			"WO-def2":                 false,
 			"WO-def2-drf1":            false,
 			"RP3-fence":               false,
+			"tso":                     false,
+			"pso":                     false,
+			"rmo":                     false,
 		}))
 
 	// Write-to-read causality with data accesses: P2 observes P1's write
@@ -271,6 +286,9 @@ exists: 1:r0=1 && 2:r1=1 && 2:r2=0
 			"WO-def2":                 true,
 			"WO-def2-drf1":            true,
 			"RP3-fence":               true,
+			"tso":                     false, // P1's read of x proves x=1 committed
+			"pso":                     false,
+			"rmo":                     true, // P2's second read may use a stale x view
 		}))
 
 	// Transitive causality through two synchronization locations — the
@@ -305,6 +323,9 @@ exists: 2:r2=0
 			"WO-def2":                 false,
 			"WO-def2-drf1":            false,
 			"RP3-fence":               false,
+			"tso":                     false,
+			"pso":                     false,
+			"rmo":                     false, // the acquire-side sync resets P2's views
 		}))
 
 	// S: can P0's first write to x be ordered after P1's write to x even
@@ -334,6 +355,9 @@ exists: 1:r0=1 && [x]=2
 			"WO-def2":                 false,
 			"WO-def2-drf1":            false,
 			"RP3-fence":               false,
+			"tso":                     false, // FIFO drain keeps x=2 before y=1
+			"pso":                     true,  // y=1 may retire while x=2 stays buffered
+			"rmo":                     true,
 		}))
 
 	// 2+2W: both locations end with their *first* writer's value, requiring
@@ -361,6 +385,9 @@ exists: [x]=1 && [y]=1
 			"WO-def2":                 false,
 			"WO-def2-drf1":            false,
 			"RP3-fence":               false,
+			"tso":                     false, // both buffers FIFO: the cycle is impossible
+			"pso":                     true,  // each writer reorders its two stores
+			"rmo":                     true,
 		}))
 
 	// The Figure 3 scenario as a reachability question: P0 writes x and
@@ -391,6 +418,9 @@ exists: 1:r1=0
 			"WO-def2":                 false,
 			"WO-def2-drf1":            false,
 			"RP3-fence":               false,
+			"tso":                     false,
+			"pso":                     false,
+			"rmo":                     false, // the winning tas is a sync RMW: full fence
 		}))
 
 	// Mutual exclusion with a TestAndSet lock: both processors increment a
@@ -429,6 +459,9 @@ exists: !([c]=2)
 			"WO-def2":                 false,
 			"WO-def2-drf1":            false,
 			"RP3-fence":               false,
+			"tso":                     false,
+			"pso":                     false,
+			"rmo":                     false,
 		}))
 
 	// Spinning on a barrier count with a DATA read — the "limitation of
@@ -454,6 +487,43 @@ exists: 1:r1=0
 			"SC":      false,
 			"WO-def1": false, // Unset waits for W(d) to perform globally first
 			"WO-def2": true,  // data spin creates no reservation hand-off
+			"tso":     false, // sync.st drains d=7 before f becomes visible
+			"pso":     false,
+			"rmo":     true, // the spinning reader may keep a stale view of d
+		}))
+
+	// Message passing with a fenced producer but an unfenced consumer: the
+	// producer's sync.st orders its stores on every buffer machine, so the
+	// stale outcome now requires the *reader* to relax load-load order. This
+	// is the shape that separates rmo from pso, and — on the weakly ordered
+	// side — Definition 2 (which lets the release overtake outstanding data
+	// propagations, reservation aside) from Definition 1 (whose release waits
+	// for them).
+	tests = append(tests, mk("mp-release",
+		"message passing, fenced producer only: stale payload needs reader-side reordering",
+		false, `
+name: mp-release
+init: d=0 f=0
+thread:
+    st d, 1
+    sync.st f, 1
+thread:
+    ld r0, f
+    ld r1, d
+exists: 1:r0=1 && 1:r1=0
+`, map[string]bool{
+			"SC":                      false,
+			"bus+writebuffer":         false, // sync drains the buffer before f commits
+			"bus+cache+writebuffer":   false,
+			"network-nocache":         false, // sync waits for d to perform globally
+			"network+cache-nonatomic": true,  // d's propagation to P1 may lag f
+			"WO-def1":                 false, // Definition 1: release waits for W(d) globally
+			"WO-def2":                 true,  // Definition 2: release may overtake d's delivery
+			"WO-def2-drf1":            true,
+			"RP3-fence":               false,
+			"tso":                     false,
+			"pso":                     false,
+			"rmo":                     true, // reader's second load may use a stale d view
 		}))
 
 	return tests

@@ -1,0 +1,82 @@
+package litmus
+
+import "testing"
+
+// TestNewMachinesDiscriminated: the relaxation-ladder machines are pairwise
+// separated — from SC and from each other — by the corpus. For each pair the
+// test finds an entry whose annotations differ and then actually runs it on
+// both machines, so the separation claim rests on observed behavior, not just
+// on the Expect tables.
+func TestNewMachinesDiscriminated(t *testing.T) {
+	pairs := [][2]string{
+		{"SC", "tso"}, {"SC", "pso"}, {"SC", "rmo"},
+		{"tso", "pso"}, {"tso", "rmo"}, {"pso", "rmo"},
+	}
+	corpus := Corpus()
+	for _, pair := range pairs {
+		var witness *Test
+		for _, tt := range corpus {
+			ea, oka := tt.Expect[pair[0]]
+			eb, okb := tt.Expect[pair[1]]
+			if oka && okb && ea != eb {
+				witness = tt
+				break
+			}
+		}
+		if witness == nil {
+			t.Errorf("no corpus entry separates %s from %s", pair[0], pair[1])
+			continue
+		}
+		var obs [2]bool
+		for i, name := range pair {
+			f, ok := FactoryByName(name)
+			if !ok {
+				t.Fatalf("unknown machine %s", name)
+			}
+			o, err := Run(witness, f, nil)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", witness.Name, name, err)
+			}
+			if !o.OK() {
+				t.Errorf("%s on %s: observed %v, annotated %v", witness.Name, name, o.Observed, o.Expected)
+			}
+			obs[i] = o.Observed
+		}
+		if obs[0] == obs[1] {
+			t.Errorf("%s does not separate %s from %s after all (both observed %v)",
+				witness.Name, pair[0], pair[1], obs[0])
+		} else {
+			t.Logf("%s separates %s (%v) from %s (%v)", witness.Name, pair[0], obs[0], pair[1], obs[1])
+		}
+	}
+}
+
+// TestLadderMachinesAreWeaklyOrdered: the new machines join the
+// weakly-ordered set (sync is a full fence for them) and FactoriesByNames
+// resolves their bare names.
+func TestLadderMachinesAreWeaklyOrdered(t *testing.T) {
+	weak := map[string]bool{}
+	for _, f := range WeaklyOrderedFactories() {
+		weak[f.Name] = true
+	}
+	for _, name := range []string{"tso", "pso", "rmo"} {
+		if !weak[name] {
+			t.Errorf("%s missing from WeaklyOrderedFactories", name)
+		}
+	}
+	fs, err := FactoriesByNames("tso, pso,rmo,tso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("FactoriesByNames dedup: got %d factories, want 3", len(fs))
+	}
+	for i, want := range []string{"tso", "pso", "rmo"} {
+		if fs[i].Name != want {
+			t.Errorf("factory %d = %s, want %s", i, fs[i].Name, want)
+		}
+	}
+	if _, ok := FactoryByName("rmo"); !ok {
+		t.Error("FactoryByName(rmo) failed")
+	}
+}

@@ -34,6 +34,9 @@ func Factories() []Factory {
 		{"WO-def2", func(p *program.Program) model.Machine { return model.NewWODef2(p) }},
 		{"WO-def2-drf1", func(p *program.Program) model.Machine { return model.NewWODef2DRF1(p) }},
 		{"RP3-fence", func(p *program.Program) model.Machine { return model.NewFence(p) }},
+		{"tso", func(p *program.Program) model.Machine { return model.NewTSO(p) }},
+		{"pso", func(p *program.Program) model.Machine { return model.NewPSO(p) }},
+		{"rmo", func(p *program.Program) model.Machine { return model.NewRMO(p) }},
 	}
 }
 
@@ -113,7 +116,11 @@ func WeaklyOrderedFactories() []Factory {
 			// A write buffer drained at synchronization is weakly ordered
 			// w.r.t. DRF0 as well; it is listed so the contract experiments
 			// cover the Figure-1 hardware that *does* honor the contract.
-			"bus+writebuffer", "bus+cache+writebuffer", "network-nocache":
+			"bus+writebuffer", "bus+cache+writebuffer", "network-nocache",
+			// The relaxation-ladder machines treat every sync op as a full
+			// fence over a single multi-copy-atomic memory, so they satisfy
+			// Definition 2 as well.
+			"tso", "pso", "rmo":
 			out = append(out, f)
 		}
 	}

@@ -83,6 +83,9 @@ func TestMachinesRecordValidTraces(t *testing.T) {
 		func(p *program.Program) Machine { return NewWODef2(p) },
 		func(p *program.Program) Machine { return NewWODef2DRF1(p) },
 		func(p *program.Program) Machine { return NewWODef2NoReserve(p) },
+		func(p *program.Program) Machine { return NewTSO(p) },
+		func(p *program.Program) Machine { return NewPSO(p) },
+		func(p *program.Program) Machine { return NewRMO(p) },
 	}
 	x := &Explorer{}
 	for _, mk := range mks {
@@ -383,6 +386,9 @@ wait:
 		func(p *program.Program) Machine { return NewNetwork(p) },
 		func(p *program.Program) Machine { return NewNonAtomic(p) },
 		func(p *program.Program) Machine { return NewWODef2(p) },
+		func(p *program.Program) Machine { return NewTSO(p) },
+		func(p *program.Program) Machine { return NewPSO(p) },
+		func(p *program.Program) Machine { return NewRMO(p) },
 	}
 	for _, p := range progs {
 		for _, mk := range machines {

@@ -1,0 +1,472 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"weakorder/internal/explore"
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+)
+
+// relaxMode selects which program-order relaxations a Relaxed machine
+// exhibits between synchronization operations.
+type relaxMode uint8
+
+const (
+	// relaxTSO relaxes only W->R order: writes retire through a single FIFO
+	// store buffer per processor while reads bypass it (forwarding from the
+	// newest same-address buffered write). The classic total-store-order
+	// machine; behaviorally it coincides with the Figure-1 write-buffer
+	// hardware but is kept as an independently implemented model so the
+	// axiomatic checker can cross-validate two codebases against one axiom
+	// set.
+	relaxTSO relaxMode = iota
+	// relaxPSO additionally relaxes W->W order between different addresses:
+	// the store buffer is FIFO per address only, so writes to distinct
+	// locations retire in any order (SPARC partial store order).
+	relaxPSO
+	// relaxRMO additionally relaxes R->R and R->W order observationally: a
+	// read may return a stale — but per-location coherent — view of memory,
+	// as if the load had executed earlier than program order placed it.
+	// Loads never pass their own processor's program-later stores (no load
+	// speculation), so load buffering stays forbidden; the machine is
+	// "RMO-ish" rather than full SPARC RMO.
+	relaxRMO
+)
+
+// Relaxed is the family of single-memory store-buffer machines covering the
+// classic relaxation ladder TSO -> PSO -> RMO. All three share one commit
+// substrate: writes retire from per-processor buffers into a single global
+// memory (writes are multi-copy atomic — every processor observes a retired
+// write at the same instant), reads bind in program order at issue, and every
+// synchronization operation first drains the issuer's buffer, then executes
+// atomically against memory, then (RMO) discards any stale view — i.e. sync
+// acts as a full fence, which is what makes all three weakly ordered with
+// respect to DRF0 under the paper's Definition 2.
+//
+// The RMO staleness mechanism: memory keeps, per location, the history of
+// values it has held (the per-location write serialization), and each
+// processor a cursor into that history — the newest version it has observed.
+// A read may return any version at or after the cursor, advancing it; the
+// cursor can lag the history arbitrarily but never moves backward, so
+// per-location coherence (CoRR/CoWR/CoRW/CoWW) holds while reads of
+// different locations may observe global memory at different points in time.
+type Relaxed struct {
+	base
+	mode   relaxMode
+	memory map[mem.Addr]mem.Value
+	// buffers holds each processor's pending stores in issue order. TSO
+	// retires strictly FIFO; PSO/RMO retire FIFO per address only.
+	buffers [][]wbEntry
+	// hist (RMO only) is the per-location value history: hist[a][0] is the
+	// oldest version still observable by some processor and the last entry
+	// always equals memory[a]. Entries below every cursor are pruned.
+	hist map[mem.Addr][]mem.Value
+	// seen (RMO only) is each processor's cursor: the index into hist[a] of
+	// the newest version of a it has observed. Reads choose any index >=
+	// seen[p][a].
+	seen []map[mem.Addr]int
+}
+
+// NewTSO builds the total-store-order machine.
+func NewTSO(p *program.Program) *Relaxed { return newRelaxed(p, relaxTSO, "tso") }
+
+// NewPSO builds the partial-store-order machine.
+func NewPSO(p *program.Program) *Relaxed { return newRelaxed(p, relaxPSO, "pso") }
+
+// NewRMO builds the relaxed-memory-order machine.
+func NewRMO(p *program.Program) *Relaxed { return newRelaxed(p, relaxRMO, "rmo") }
+
+func newRelaxed(p *program.Program, mode relaxMode, name string) *Relaxed {
+	m := &Relaxed{
+		base:    newBase(name, p),
+		mode:    mode,
+		memory:  initMem(p),
+		buffers: make([][]wbEntry, p.NumThreads()),
+	}
+	if mode == relaxRMO {
+		m.hist = make(map[mem.Addr][]mem.Value)
+		m.seen = make([]map[mem.Addr]int, p.NumThreads())
+		for i := range m.seen {
+			m.seen[i] = make(map[mem.Addr]int)
+		}
+		for _, a := range m.addrs {
+			m.hist[a] = []mem.Value{m.memory[a]}
+		}
+	}
+	return m
+}
+
+// Clone implements Machine.
+func (m *Relaxed) Clone() Machine {
+	c := &Relaxed{
+		base:    m.cloneBase(),
+		mode:    m.mode,
+		memory:  copyMem(m.memory),
+		buffers: make([][]wbEntry, len(m.buffers)),
+	}
+	for i, b := range m.buffers {
+		c.buffers[i] = append([]wbEntry(nil), b...)
+	}
+	if m.mode == relaxRMO {
+		c.hist = make(map[mem.Addr][]mem.Value, len(m.hist))
+		for a, h := range m.hist {
+			c.hist[a] = append([]mem.Value(nil), h...)
+		}
+		c.seen = make([]map[mem.Addr]int, len(m.seen))
+		for p, s := range m.seen {
+			c.seen[p] = make(map[mem.Addr]int, len(s))
+			for a, i := range s {
+				c.seen[p][a] = i
+			}
+		}
+	}
+	return c
+}
+
+// ensureHist makes sure a history exists for addr (register-indexed accesses
+// can reach locations outside the static universe).
+func (m *Relaxed) ensureHist(a mem.Addr) {
+	if _, ok := m.hist[a]; !ok {
+		m.hist[a] = []mem.Value{m.memory[a]}
+		for p := range m.seen {
+			m.seen[p][a] = 0
+		}
+	}
+}
+
+// commit applies one retired or atomic write to memory, extending the RMO
+// history and advancing the writer's own cursor (a processor observes its own
+// writes immediately). A write of the value the location already holds is a
+// stutter: no read can distinguish the two coherence-adjacent versions, so it
+// extends no history — without this collapse a spin loop of failed
+// TestAndSets would grow the history (and the state space) without bound.
+func (m *Relaxed) commit(p int, a mem.Addr, v mem.Value) {
+	m.memory[a] = v
+	if m.mode != relaxRMO {
+		return
+	}
+	m.ensureHist(a)
+	if h := m.hist[a]; v != h[len(h)-1] {
+		m.hist[a] = append(h, v)
+	}
+	m.seen[p][a] = len(m.hist[a]) - 1
+	m.pruneHist(a)
+}
+
+// pruneHist drops history entries of a below every cursor; they can never be
+// observed again, and keeping them would make equivalent states key-distinct.
+func (m *Relaxed) pruneHist(a mem.Addr) {
+	min := len(m.hist[a]) - 1
+	for p := range m.seen {
+		s, ok := m.seen[p][a]
+		if !ok {
+			s = 0
+		}
+		if s < min {
+			min = s
+		}
+	}
+	if min <= 0 {
+		return
+	}
+	m.hist[a] = m.hist[a][min:]
+	for p := range m.seen {
+		if s, ok := m.seen[p][a]; ok {
+			m.seen[p][a] = s - min
+		} else {
+			m.seen[p][a] = 0
+		}
+	}
+}
+
+// drainIndex returns the buffer index the drain transition for (proc, addr)
+// retires: the head for TSO, the oldest same-address entry for PSO/RMO.
+func (m *Relaxed) drainIndex(p int, a mem.Addr) int {
+	if m.mode == relaxTSO {
+		if len(m.buffers[p]) > 0 {
+			return 0
+		}
+		return -1
+	}
+	for i, e := range m.buffers[p] {
+		if e.addr == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// forwardFrom returns the newest buffered write of p to a, if any.
+func (m *Relaxed) forwardFrom(p int, a mem.Addr) (mem.Value, bool) {
+	for i := len(m.buffers[p]) - 1; i >= 0; i-- {
+		if m.buffers[p][i].addr == a {
+			return m.buffers[p][i].value, true
+		}
+	}
+	return 0, false
+}
+
+// Transitions implements Machine. RMO read transitions carry in Aux the
+// offset from the reader's cursor of the history version they observe; all
+// other transitions use Aux 0 (TSO drains) or the drained address (PSO/RMO
+// drains), so key-equal states enumerate identical step lists.
+func (m *Relaxed) Transitions() []Transition {
+	var ts []Transition
+	for p := range m.threads {
+		switch m.mode {
+		case relaxTSO:
+			if len(m.buffers[p]) > 0 {
+				ts = append(ts, Transition{Kind: TDrain, Proc: p})
+			}
+		default:
+			emitted := make(map[mem.Addr]bool)
+			for _, e := range m.buffers[p] {
+				if !emitted[e.addr] {
+					emitted[e.addr] = true
+					ts = append(ts, Transition{Kind: TDrain, Proc: p, Aux: int(e.addr)})
+				}
+			}
+		}
+		req, ok, err := m.pending(p)
+		if err != nil || !ok {
+			continue
+		}
+		switch {
+		case req.Op.IsSync():
+			if len(m.buffers[p]) > 0 {
+				continue // sync waits for the buffer to drain
+			}
+			ts = append(ts, Transition{Kind: TExec, Proc: p})
+		case req.Op == mem.OpWrite:
+			if len(m.buffers[p]) >= bufferDepth {
+				continue // buffer full: stall until a drain
+			}
+			ts = append(ts, Transition{Kind: TExec, Proc: p})
+		default: // OpRead
+			if m.mode != relaxRMO {
+				ts = append(ts, Transition{Kind: TExec, Proc: p})
+				continue
+			}
+			if _, fwd := m.forwardFrom(p, req.Addr); fwd {
+				ts = append(ts, Transition{Kind: TExec, Proc: p})
+				continue
+			}
+			m.ensureHist(req.Addr)
+			base := m.seen[p][req.Addr]
+			for off := 0; off < len(m.hist[req.Addr])-base; off++ {
+				ts = append(ts, Transition{Kind: TExec, Proc: p, Aux: off})
+			}
+		}
+	}
+	return ts
+}
+
+// Apply implements Machine.
+func (m *Relaxed) Apply(t Transition) error {
+	switch t.Kind {
+	case TDrain:
+		i := m.drainIndex(t.Proc, mem.Addr(t.Aux))
+		if i < 0 {
+			return fmt.Errorf("%s: P%d drain with no matching entry (aux %d)", m.name, t.Proc, t.Aux)
+		}
+		e := m.buffers[t.Proc][i]
+		m.buffers[t.Proc] = append(m.buffers[t.Proc][:i], m.buffers[t.Proc][i+1:]...)
+		m.commit(t.Proc, e.addr, e.value)
+		m.record(t.Proc, e.opIndex, program.Request{Op: mem.OpWrite, Addr: e.addr, Data: e.value}, 0, e.value)
+		return nil
+	case TExec:
+		req, ok, err := m.pending(t.Proc)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%s: P%d has no pending operation", m.name, t.Proc)
+		}
+		switch {
+		case req.Op == mem.OpWrite:
+			m.buffers[t.Proc] = append(m.buffers[t.Proc], wbEntry{
+				addr: req.Addr, value: req.Data, opIndex: m.threads[t.Proc].OpIndex,
+			})
+			m.threads[t.Proc].Resolve(0)
+			return nil
+		case req.Op == mem.OpRead:
+			if v, fwd := m.forwardFrom(t.Proc, req.Addr); fwd {
+				m.resolve(t.Proc, req, v, 0)
+				return nil
+			}
+			if m.mode != relaxRMO {
+				m.resolve(t.Proc, req, m.memory[req.Addr], 0)
+				return nil
+			}
+			m.ensureHist(req.Addr)
+			idx := m.seen[t.Proc][req.Addr] + t.Aux
+			if idx < 0 || idx >= len(m.hist[req.Addr]) {
+				return fmt.Errorf("rmo: P%d read of x%d with out-of-range version offset %d", t.Proc, req.Addr, t.Aux)
+			}
+			v := m.hist[req.Addr][idx]
+			m.seen[t.Proc][req.Addr] = idx
+			m.pruneHist(req.Addr)
+			m.resolve(t.Proc, req, v, 0)
+			return nil
+		default: // synchronization: buffer drained; full fence + atomic access
+			if len(m.buffers[t.Proc]) > 0 {
+				return fmt.Errorf("%s: sync op with non-empty buffer on P%d", m.name, t.Proc)
+			}
+			old := m.memory[req.Addr]
+			var wv mem.Value
+			if req.Op.Writes() {
+				wv = req.NewValue(old)
+				m.commit(t.Proc, req.Addr, wv)
+			}
+			if m.mode == relaxRMO {
+				// The fence half: discard every stale view, so accesses after
+				// the sync cannot appear to have executed before it.
+				for a, h := range m.hist {
+					m.seen[t.Proc][a] = len(h) - 1
+					m.pruneHist(a)
+				}
+			}
+			m.resolve(t.Proc, req, old, wv)
+			return nil
+		}
+	default:
+		return fmt.Errorf("%s: unexpected transition %s", m.name, t)
+	}
+}
+
+// Done implements Machine.
+func (m *Relaxed) Done() bool {
+	if !m.threadsDone() {
+		return false
+	}
+	for _, b := range m.buffers {
+		if len(b) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// histAddrs returns every location with a history, static universe first,
+// extras sorted — the canonical iteration order for key encoding.
+func (m *Relaxed) histAddrs() []mem.Addr {
+	out := append([]mem.Addr(nil), m.addrs...)
+	var extra []mem.Addr
+	for a := range m.hist {
+		if !containsAddr(m.addrs, a) {
+			extra = append(extra, a)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(out, extra...)
+}
+
+// AppendKey implements Machine. PSO/RMO buffers are encoded grouped by
+// address (stable, preserving per-address FIFO order): the cross-address
+// interleaving of a PSO buffer is not semantic state — drains, forwarding and
+// Done never compare entries across addresses — and keeping it out of the key
+// makes independent steps commute at key level, which the partial-order
+// reducer relies on. TSO buffers are strictly FIFO, so their full order is
+// state and is encoded as-is.
+func (m *Relaxed) AppendKey(mode KeyMode, key []byte) []byte {
+	key = m.appendKeyBase(mode, key)
+	key = append(key, 'M')
+	key = appendMem(key, m.addrs, m.memory)
+	key = append(key, 'B')
+	for p := range m.buffers {
+		b := m.buffers[p]
+		if m.mode != relaxTSO && len(b) > 1 {
+			b = append([]wbEntry(nil), b...)
+			sort.SliceStable(b, func(i, j int) bool { return b[i].addr < b[j].addr })
+		}
+		key = binary.AppendUvarint(key, uint64(len(b)))
+		for _, e := range b {
+			key = binary.AppendUvarint(key, uint64(e.addr))
+			key = binary.AppendVarint(key, int64(e.value))
+			key = binary.AppendUvarint(key, uint64(e.opIndex))
+		}
+	}
+	if m.mode == relaxRMO {
+		key = append(key, 'H')
+		addrs := m.histAddrs()
+		key = binary.AppendUvarint(key, uint64(len(addrs)))
+		for _, a := range addrs {
+			h := m.hist[a]
+			key = binary.AppendUvarint(key, uint64(a))
+			key = binary.AppendUvarint(key, uint64(len(h)))
+			for _, v := range h {
+				key = binary.AppendVarint(key, int64(v))
+			}
+			for p := range m.seen {
+				s, ok := m.seen[p][a]
+				if !ok {
+					s = 0
+				}
+				key = binary.AppendUvarint(key, uint64(s))
+			}
+		}
+	}
+	return key
+}
+
+// StepInfo implements Machine. A drain retires one buffered write, an access
+// by the buffering processor (its agent); every gate (buffer room, sync
+// drain) waits on the agent's own buffer, and the RMO read-version choice set
+// grows only through conflicting writes, which the reducer already orders.
+// On RMO every sync is additionally a full fence: Apply snaps the issuer's
+// staleness cursors for ALL locations to the histories as of the fence, so
+// the step is dependent on every other processor's write commits and on
+// every other fence — more than a single-address Info can say, hence the
+// Fence flag. TSO and PSO carry no cursor state and need no fence axis.
+func (m *Relaxed) StepInfo(t Transition) explore.Info {
+	if t.Kind == TDrain {
+		a := mem.Addr(t.Aux)
+		if m.mode == relaxTSO {
+			if b := m.buffers[t.Proc]; len(b) > 0 {
+				a = b[0].addr
+			} else {
+				return explore.Info{Agent: t.Proc, Opaque: true}
+			}
+		}
+		info := explore.Info{Agent: t.Proc, Addr: a, Op: mem.OpWrite}
+		info.AddrBit, _ = m.fpAddrBit(a)
+		return info
+	}
+	info := m.execInfo(t.Proc)
+	if m.mode == relaxRMO && info.Op.IsSync() {
+		info.Fence = true
+	}
+	return info
+}
+
+// Footprints implements Machine: each processor's static suffix plus the
+// writes still sitting in its buffer. Wake footprints stay empty — every
+// enabling gate depends on the processor's own buffer alone.
+func (m *Relaxed) Footprints(buf []explore.AgentFootprints) []explore.AgentFootprints {
+	base := len(buf)
+	buf = m.appendThreadFootprints(buf)
+	for p, b := range m.buffers {
+		fp := &buf[base+p].Future
+		for _, e := range b {
+			if bit, ok := m.fpAddrBit(e.addr); ok {
+				fp.Writes |= bit
+			} else {
+				fp.Wild = true
+			}
+		}
+		// On RMO every remaining sync is a full fence (see StepInfo).
+		if m.mode == relaxRMO && fp.Sync {
+			fp.Fence = true
+		}
+	}
+	return buf
+}
+
+// Final implements Machine.
+func (m *Relaxed) Final() *program.FinalState { return m.finalState(m.memory) }
+
+// Result implements Machine.
+func (m *Relaxed) Result() mem.Result { return m.result(m.memory) }
