@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig1|fig2|fig3|quant|spin|contract|fence|overlap|all] [-n N] [-seed S]
+//	experiments [-run fig1|fig2|fig3|quant|spin|contract|fence|overlap|capacity|all] [-n N] [-seed S]
 //
 // -n sets the number of random programs for the contract sweep; -seed its
 // generator seed. -cpuprofile and -memprofile write pprof profiles for the
@@ -23,9 +23,10 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: fig1, fig2, fig3, quant, spin, contract, fence, delayset, conditions, sweep, protocol, overlap, all")
+	run := flag.String("run", "all", "experiment to run: fig1, fig2, fig3, quant, spin, contract, fence, delayset, conditions, sweep, protocol, overlap, capacity, all")
 	n := flag.Int("n", 40, "random programs for the contract sweep")
 	seed := flag.Int64("seed", 7, "random seed for the contract sweep")
+	capacityMaxP := flag.Int("max-p", 64, "largest processor count for the capacity sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -162,6 +163,26 @@ func main() {
 		print(s.Table)
 		fmt.Printf("overlap reclaimed at every cell: %v (total %d cycles)\n\n",
 			s.AllReclaimedPositive, s.TotalReclaimed)
+	}
+	if want("capacity") {
+		ran = true
+		maxP := *capacityMaxP
+		s, err := experiments.CapacityUpTo(maxP)
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+		knee := func(p int) string {
+			if p == 0 {
+				return "not reached"
+			}
+			return fmt.Sprintf("P=%d", p)
+		}
+		fmt.Printf("capacity knee: high contention %s, low contention %s\n", knee(s.KneeHigh), knee(s.KneeLow))
+		// Stderr, not stdout: the throughput figure is wall-clock and would
+		// break the byte-identical-at-any-pool-width property of golden output.
+		fmt.Fprintf(os.Stderr, "capacity engine throughput: %.0f simcycles/sec (wall-clock, excluded from golden output)\n", s.SimCyclesPerSec)
+		fmt.Println()
 	}
 	if want("protocol") {
 		ran = true

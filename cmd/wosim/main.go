@@ -7,6 +7,8 @@
 //	wosim -workload prodcons|lock|barrier|fig3 [-policy sc|def1|def2|def2drf1]
 //	      [-procs N] [-iters N] [-work N] [-spin sync|data|tas]
 //	      [-netlat N] [-jitter N] [-bus] [-seed S] [-check]
+//	      [-dir-shards N] [-topology flat|dancehall|clusters]
+//	      [-cluster-size N] [-remote-lat N] [-engine calendar|heap]
 //	      [-por on|off] [-max-states N] [-explore-workers N]
 //	      [-faults] [-fault-seed S] [-fault-rates drop=P,dup=P,delay=P,reorder=P,maxdelay=N]
 //	      [-metrics] [-timeline FILE]
@@ -60,6 +62,7 @@ import (
 	"weakorder/internal/core"
 	"weakorder/internal/explore"
 	"weakorder/internal/faults"
+	"weakorder/internal/interconnect"
 	"weakorder/internal/machine"
 	"weakorder/internal/mem"
 	"weakorder/internal/metrics"
@@ -92,6 +95,11 @@ func main() {
 	injectFaults := flag.Bool("faults", false, "inject deterministic fabric faults and enable the recovery machinery")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection seed (replays byte-identically)")
 	faultRates := flag.String("fault-rates", "", "fault rates, e.g. drop=0.03,dup=0.04,delay=0.06,reorder=0.02,maxdelay=16 (empty = defaults)")
+	dirShards := flag.Int("dir-shards", 1, "address-interleaved directory shards (1 = single home node)")
+	topology := flag.String("topology", "flat", "network topology: flat, dancehall, or clusters")
+	clusterSize := flag.Int("cluster-size", 8, "processors per cluster for -topology clusters")
+	remoteLat := flag.Int("remote-lat", 0, "extra latency per topology crossing (0 = same as -netlat)")
+	engine := flag.String("engine", "calendar", "event scheduler: calendar (default) or heap (legacy baseline)")
 	showMetrics := flag.Bool("metrics", false, "print cycle-attribution, traffic and occupancy tables")
 	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline (JSON) to this file; implies the metrics recorder")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -148,6 +156,25 @@ func main() {
 	}
 	if *iters < 0 {
 		usage(fmt.Errorf("negative -iters %d", *iters))
+	}
+	if *dirShards < 1 {
+		usage(fmt.Errorf("-dir-shards %d out of range (want at least 1)", *dirShards))
+	}
+	topo, err := interconnect.ParseTopology(*topology)
+	if err != nil {
+		usage(err)
+	}
+	if topo != interconnect.TopoFlat && *bus {
+		usage(fmt.Errorf("-topology %s requires the network fabric (drop -bus)", topo))
+	}
+	if *clusterSize < 1 {
+		usage(fmt.Errorf("-cluster-size %d out of range (want at least 1)", *clusterSize))
+	}
+	if *remoteLat < 0 {
+		usage(fmt.Errorf("negative -remote-lat %d", *remoteLat))
+	}
+	if *engine != "calendar" && *engine != "heap" {
+		usage(fmt.Errorf("unknown -engine %q (want calendar or heap)", *engine))
 	}
 	rates := faults.Rates{}
 	if *injectFaults {
@@ -211,6 +238,11 @@ func main() {
 		cfg.FaultSeed = *faultSeed
 		cfg.FaultRates = rates
 	}
+	cfg.DirShards = *dirShards
+	cfg.Topology = topo
+	cfg.ClusterSize = *clusterSize
+	cfg.RemoteLatency = sim.Time(*remoteLat)
+	cfg.HeapEngine = *engine == "heap"
 	cfg.RecordTrace = *check || *dump != ""
 	cfg.Metrics = *showMetrics || *timeline != ""
 	cfg.RecordTimings = *conds || *dump != ""
@@ -240,6 +272,11 @@ func main() {
 	}
 	fmt.Printf("caches: %s\n", agg)
 	fmt.Printf("directory: %s\n", res.DirStats)
+	if *dirShards > 1 {
+		for i, ss := range res.DirShardStats {
+			fmt.Printf("  shard %d (node %d): %s\n", i, *procs+i, ss)
+		}
+	}
 	fmt.Printf("final memory:")
 	for _, a := range prog.Addrs() {
 		fmt.Printf(" x%d=%d", a, res.FinalMem[a])

@@ -74,8 +74,46 @@ type mshr struct {
 	onData func(old mem.Value)
 	// onPerformed fires at global performance (writes/syncs only).
 	onPerformed func()
+	// issuer, when non-nil, replaces onData/onPerformed: the cache calls
+	// LineCommitted/LinePerformed with a pointer to ictx, the issuer's
+	// per-access context stored by value in the MSHR. This is the
+	// allocation-free completion path — one mshr allocation per miss instead
+	// of an mshr plus captured continuation closures.
+	issuer IssueSink
+	ictx   IssueCtx
 	// free callbacks waiting for the MSHR to clear.
 	onFree []func()
+}
+
+// IssueCtx is the per-access context an IssueSink stores in the MSHR when
+// issuing a miss through AcquireSharedCtx/AcquireExclusiveCtx. The cache
+// treats every field as opaque issuer scratch: it copies the context into
+// the MSHR at issue time and hands a pointer to that copy back at commit and
+// performance time, so the issuer keeps per-transaction state (timestamps,
+// operand values) without capturing it in closures.
+type IssueCtx struct {
+	Kind  uint8 // issuer-defined discriminator
+	Flag  bool  // issuer-defined (e.g. stall-until-performed)
+	RMW   uint8 // issuer-defined RMW function selector
+	Op    mem.Op
+	OpIdx int
+	Addr  mem.Addr
+	Data  mem.Value // write payload / RMW operand
+	T0    sim.Time  // issue time
+	// Scratch the issuer fills between commit and performance.
+	CommitT sim.Time
+	Old     mem.Value
+	New     mem.Value
+}
+
+// IssueSink receives completion callbacks for misses issued with an
+// IssueCtx. LineCommitted mirrors AcquireShared's done / AcquireExclusive's
+// committed callback (synchronous with line installation); LinePerformed
+// mirrors AcquireExclusive's performed callback and fires for exclusive
+// transactions only.
+type IssueSink interface {
+	LineCommitted(ctx *IssueCtx, v mem.Value)
+	LinePerformed(ctx *IssueCtx)
 }
 
 // satisfied reports whether the transaction no longer needs its request
@@ -95,7 +133,11 @@ type Cache struct {
 	engine *sim.Engine
 	fabric interconnect.Fabric
 	dir    interconnect.NodeID
-	hitLat sim.Time
+	// dirShards spreads the home directory over dirShards nodes starting at
+	// dir; every message for address a goes to dir + ShardOf(a, dirShards).
+	// The default 1 is the classic single home node.
+	dirShards int
+	hitLat    sim.Time
 
 	lines map[mem.Addr]*line
 	mshrs map[mem.Addr]*mshr
@@ -147,6 +189,14 @@ type Cache struct {
 	// Stats counts hits, misses, reserve stalls, etc.
 	Stats *stats.Counters
 
+	// Hot-path counter handles (see stats.Hot).
+	hHits, hReadMiss, hWriteMiss stats.Hot
+
+	// ictxScratch backs the hit arms of the Ctx issue paths: the context is
+	// copied here (the Cache is already heap-resident) so the callback can
+	// take a pointer without forcing the caller's stack value to escape.
+	ictxScratch IssueCtx
+
 	// rec, when non-nil, receives cycle-observability events (reserve-bit
 	// set/clear, reserve-stall spans, retry-backoff windows). Every hook is
 	// nil-safe, so the fault-free fast path pays nothing when metrics are off.
@@ -169,6 +219,7 @@ func New(id interconnect.NodeID, engine *sim.Engine, fabric interconnect.Fabric,
 		engine:      engine,
 		fabric:      fabric,
 		dir:         dir,
+		dirShards:   1,
 		hitLat:      hitLat,
 		lines:       make(map[mem.Addr]*line),
 		mshrs:       make(map[mem.Addr]*mshr),
@@ -177,6 +228,24 @@ func New(id interconnect.NodeID, engine *sim.Engine, fabric interconnect.Fabric,
 	}
 	fabric.Attach(id, c)
 	return c
+}
+
+// SetDirShards tells the cache the home directory is sharded over n nodes
+// (dir..dir+n-1); requests and replies route by ShardOf. Must be set before
+// the first access.
+func (c *Cache) SetDirShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.dirShards = n
+}
+
+// dirFor returns the home node for an address.
+func (c *Cache) dirFor(a mem.Addr) interconnect.NodeID {
+	if c.dirShards == 1 {
+		return c.dir
+	}
+	return c.dir + interconnect.NodeID(ShardOf(a, c.dirShards))
 }
 
 // SetLenient switches the cache into fault-tolerant mode: messages
@@ -382,7 +451,7 @@ func (c *Cache) sendRequest(a mem.Addr, m *mshr, msg Msg) {
 	m.seq = c.seq
 	msg.Seq = c.seq
 	m.req = msg
-	c.fabric.Send(c.ID, c.dir, msg)
+	c.fabric.Send(c.ID, c.dirFor(a), msg)
 	c.armRetry(a, m)
 }
 
@@ -413,7 +482,7 @@ func (c *Cache) resendRequest(a mem.Addr, m *mshr) {
 		return
 	}
 	c.Stats.Add("request_retries", 1)
-	c.fabric.Send(c.ID, c.dir, m.req)
+	c.fabric.Send(c.ID, c.dirFor(a), m.req)
 	c.armRetry(a, m)
 	// The window until the next retransmission check is attributed to the
 	// retry schedule; report-time carving trims it at the answer's arrival.
@@ -427,7 +496,7 @@ func (c *Cache) resendRequest(a mem.Addr, m *mshr) {
 // before its next step.
 func (c *Cache) AcquireShared(a mem.Addr, sync bool, done func(v mem.Value)) {
 	if l := c.lines[a]; l != nil && l.state != Invalid {
-		c.Stats.Add("hits", 1)
+		c.hHits.Add(c.Stats, "hits", 1)
 		done(l.value)
 		return
 	}
@@ -435,11 +504,78 @@ func (c *Cache) AcquireShared(a mem.Addr, sync bool, done func(v mem.Value)) {
 		c.fail(nil, "AcquireShared with busy MSHR for x%d", a)
 		return
 	}
-	c.Stats.Add("read_misses", 1)
+	c.hReadMiss.Add(c.Stats, "read_misses", 1)
 	c.incCounter(sync)
 	m := &mshr{sync: sync, onData: func(v mem.Value) { done(v) }}
 	c.mshrs[a] = m
 	c.sendRequest(a, m, Msg{Kind: MsgGetS, Addr: a, Sync: sync})
+}
+
+// TryReadHit mirrors the hit arm of AcquireShared without taking a
+// continuation: if the line is present it charges the hit and returns its
+// value. Hot issue paths use it to complete hits without allocating the
+// callback closure; on a miss the caller falls back to AcquireShared.
+func (c *Cache) TryReadHit(a mem.Addr) (mem.Value, bool) {
+	if l := c.lines[a]; l != nil && l.state != Invalid {
+		c.hHits.Add(c.Stats, "hits", 1)
+		return l.value, true
+	}
+	return 0, false
+}
+
+// TryExclusiveHit is TryReadHit's exclusive counterpart, mirroring the hit
+// arm of AcquireExclusive: commit and global performance coincide, and the
+// caller applies its write via WriteLocal.
+func (c *Cache) TryExclusiveHit(a mem.Addr) (mem.Value, bool) {
+	if l := c.lines[a]; l != nil && l.state == Exclusive {
+		c.hHits.Add(c.Stats, "hits", 1)
+		return l.value, true
+	}
+	return 0, false
+}
+
+// AcquireSharedCtx is AcquireShared for IssueSink issuers: identical
+// protocol behavior and hit/miss accounting, but the continuation state
+// travels in the MSHR as an IssueCtx value instead of captured closures.
+func (c *Cache) AcquireSharedCtx(a mem.Addr, sync bool, is IssueSink, ctx IssueCtx) {
+	if l := c.lines[a]; l != nil && l.state != Invalid {
+		c.hHits.Add(c.Stats, "hits", 1)
+		c.ictxScratch = ctx
+		is.LineCommitted(&c.ictxScratch, l.value)
+		return
+	}
+	if c.mshrs[a] != nil {
+		c.fail(nil, "AcquireShared with busy MSHR for x%d", a)
+		return
+	}
+	c.hReadMiss.Add(c.Stats, "read_misses", 1)
+	c.incCounter(sync)
+	m := &mshr{sync: sync, issuer: is, ictx: ctx}
+	c.mshrs[a] = m
+	c.sendRequest(a, m, Msg{Kind: MsgGetS, Addr: a, Sync: sync})
+}
+
+// AcquireExclusiveCtx is AcquireExclusive for IssueSink issuers (see
+// AcquireSharedCtx). On a hit, commit and performance coincide:
+// LineCommitted then LinePerformed run synchronously, like the committed and
+// performed callbacks would.
+func (c *Cache) AcquireExclusiveCtx(a mem.Addr, sync bool, is IssueSink, ctx IssueCtx) {
+	if l := c.lines[a]; l != nil && l.state == Exclusive {
+		c.hHits.Add(c.Stats, "hits", 1)
+		c.ictxScratch = ctx
+		is.LineCommitted(&c.ictxScratch, l.value)
+		is.LinePerformed(&c.ictxScratch)
+		return
+	}
+	if c.mshrs[a] != nil {
+		c.fail(nil, "AcquireExclusive with busy MSHR for x%d", a)
+		return
+	}
+	c.hWriteMiss.Add(c.Stats, "write_misses", 1)
+	c.incCounter(sync)
+	m := &mshr{exclusive: true, sync: sync, issuer: is, ictx: ctx}
+	c.mshrs[a] = m
+	c.sendRequest(a, m, Msg{Kind: MsgGetX, Addr: a, Sync: sync})
 }
 
 // AcquireExclusive ensures the line is Exclusive. committed runs at the
@@ -451,7 +587,7 @@ func (c *Cache) AcquireShared(a mem.Addr, sync bool, done func(v mem.Value)) {
 func (c *Cache) AcquireExclusive(a mem.Addr, sync bool, committed func(old mem.Value), performed func()) {
 	if l := c.lines[a]; l != nil && l.state == Exclusive {
 		// Sole copy: commit and global performance coincide.
-		c.Stats.Add("hits", 1)
+		c.hHits.Add(c.Stats, "hits", 1)
 		committed(l.value)
 		if performed != nil {
 			performed()
@@ -462,7 +598,7 @@ func (c *Cache) AcquireExclusive(a mem.Addr, sync bool, committed func(old mem.V
 		c.fail(nil, "AcquireExclusive with busy MSHR for x%d", a)
 		return
 	}
-	c.Stats.Add("write_misses", 1)
+	c.hWriteMiss.Add(c.Stats, "write_misses", 1)
 	c.incCounter(sync)
 	m := &mshr{exclusive: true, sync: sync, onData: committed, onPerformed: performed}
 	c.mshrs[a] = m
@@ -477,7 +613,7 @@ func (c *Cache) AcquireExclusive(a mem.Addr, sync bool, committed func(old mem.V
 // Busy first.
 func (c *Cache) WriteUpdate(a mem.Addr, v mem.Value, performed func()) {
 	if l := c.lines[a]; l != nil && l.state == Exclusive {
-		c.Stats.Add("hits", 1)
+		c.hHits.Add(c.Stats, "hits", 1)
 		l.value = v
 		if performed != nil {
 			performed()
@@ -505,10 +641,10 @@ func (c *Cache) onUpdate(msg Msg) {
 			// Duplicated or delayed update from a transaction serialized
 			// before this copy was granted: applying it would travel back in
 			// directory order.
-			if !c.tolerate("stale_update", c.dir, msg, "stale Update (line epoch %d)", l.epoch) {
+			if !c.tolerate("stale_update", c.dirFor(msg.Addr), msg, "stale Update (line epoch %d)", l.epoch) {
 				return
 			}
-			c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgUpdateAck, Addr: msg.Addr, Epoch: msg.Epoch})
+			c.fabric.Send(c.ID, c.dirFor(msg.Addr), Msg{Kind: MsgUpdateAck, Addr: msg.Addr, Epoch: msg.Epoch})
 			return
 		}
 		l.value = msg.Value
@@ -519,7 +655,7 @@ func (c *Cache) onUpdate(msg Msg) {
 		m.updateOverride = &v
 	}
 	c.Stats.Add("updates_received", 1)
-	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgUpdateAck, Addr: msg.Addr, Epoch: msg.Epoch})
+	c.fabric.Send(c.ID, c.dirFor(msg.Addr), Msg{Kind: MsgUpdateAck, Addr: msg.Addr, Epoch: msg.Epoch})
 }
 
 // WriteLocal commits a value into an Exclusive line. It is called by the
@@ -630,7 +766,9 @@ func (c *Cache) onDataArrival(src interconnect.NodeID, msg Msg) {
 	// Synchronous with installation: the committed callback (which applies
 	// the processor's write) runs before any other message can touch the
 	// line.
-	if m.onData != nil {
+	if m.issuer != nil {
+		m.issuer.LineCommitted(&m.ictx, v)
+	} else if m.onData != nil {
 		m.onData(v)
 	}
 	c.maybeCompleteMSHR(msg.Addr, m)
@@ -684,7 +822,9 @@ func (c *Cache) maybeCompleteMSHR(a mem.Addr, m *mshr) {
 		return
 	}
 	delete(c.mshrs, a)
-	if m.exclusive && m.onPerformed != nil {
+	if m.exclusive && m.issuer != nil {
+		m.issuer.LinePerformed(&m.ictx)
+	} else if m.exclusive && m.onPerformed != nil {
 		m.onPerformed()
 	}
 	c.decCounter(m.sync)
@@ -718,7 +858,7 @@ func (c *Cache) onInv(src interconnect.NodeID, msg Msg) {
 		delete(c.lines, msg.Addr)
 	}
 	c.Stats.Add("invalidations", 1)
-	c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgInvAck, Addr: msg.Addr, Epoch: msg.Epoch})
+	c.fabric.Send(c.ID, c.dirFor(msg.Addr), Msg{Kind: MsgInvAck, Addr: msg.Addr, Epoch: msg.Epoch})
 }
 
 // onFwd handles FwdS/FwdX from the directory: supply the line to the
@@ -769,12 +909,12 @@ func (c *Cache) serviceFwd(src interconnect.NodeID, msg Msg) {
 		l.reserved = false
 		l.epoch = msg.Epoch
 		c.fabric.Send(c.ID, msg.Requester, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true, Seq: msg.Seq, Epoch: msg.Epoch})
-		c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgDowngrade, Addr: msg.Addr, Value: l.value, Epoch: msg.Epoch})
+		c.fabric.Send(c.ID, c.dirFor(msg.Addr), Msg{Kind: MsgDowngrade, Addr: msg.Addr, Value: l.value, Epoch: msg.Epoch})
 	case MsgFwdX:
 		v := l.value
 		delete(c.lines, msg.Addr)
 		c.fabric.Send(c.ID, msg.Requester, Msg{Kind: MsgData, Addr: msg.Addr, Value: v, Excl: true, Performed: true, Seq: msg.Seq, Epoch: msg.Epoch})
-		c.fabric.Send(c.ID, c.dir, Msg{Kind: MsgTransfer, Addr: msg.Addr, Value: v, Epoch: msg.Epoch})
+		c.fabric.Send(c.ID, c.dirFor(msg.Addr), Msg{Kind: MsgTransfer, Addr: msg.Addr, Value: v, Epoch: msg.Epoch})
 	default:
 		c.failMsg(src, msg, "serviceFwd of %s", msg.Kind)
 	}

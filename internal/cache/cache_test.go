@@ -13,7 +13,7 @@ import (
 type rig struct {
 	engine *sim.Engine
 	c0, c1 *Cache
-	dir    *Directory
+	dir    *DirShard
 }
 
 func newRig(t *testing.T, init map[mem.Addr]mem.Value) *rig {

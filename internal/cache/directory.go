@@ -47,14 +47,21 @@ type queuedReq struct {
 	msg Msg
 }
 
-// Directory is the home node: full-map directory plus backing memory.
-type Directory struct {
+// DirShard is one home node: a full-map directory plus backing memory for
+// the slice of the address space it owns. A single-shard machine gives it the
+// whole address space; NewShardedDirectory composes several over an address
+// partition. Either way it is the complete, unmodified protocol engine — the
+// sharding layer above it only routes.
+type DirShard struct {
 	ID     interconnect.NodeID
 	engine *sim.Engine
 	fabric interconnect.Fabric
 	memLat sim.Time
 	lines  map[mem.Addr]*dirLine
 	Stats  *stats.Counters
+
+	// Hot-path counter handles (see stats.Hot).
+	hGets, hGetx, hQueued stats.Hot
 
 	// lenient tolerates messages explainable as fabric faults (see
 	// Cache.SetLenient); strict mode raises ErrProtocol for them.
@@ -73,6 +80,12 @@ type Directory struct {
 	wdGrace    sim.Time
 	wdArmed    bool
 
+	// occ is the request-occupancy histogram: each arriving request is
+	// bucketed by how many transactions for its line were already open or
+	// queued (the last bucket absorbs the tail). Kept per shard so hot-shard
+	// contention is directly visible in capacity studies.
+	occ [occBuckets]uint64
+
 	// rec, when non-nil, receives per-line transaction occupancy spans.
 	rec *metrics.Recorder
 }
@@ -80,11 +93,11 @@ type Directory struct {
 // NewDirectory builds the directory/memory controller. init supplies initial
 // memory contents; memLat is the lookup latency applied to each request it
 // processes.
-func NewDirectory(id interconnect.NodeID, engine *sim.Engine, fabric interconnect.Fabric, memLat sim.Time, init map[mem.Addr]mem.Value) *Directory {
+func NewDirectory(id interconnect.NodeID, engine *sim.Engine, fabric interconnect.Fabric, memLat sim.Time, init map[mem.Addr]mem.Value) *DirShard {
 	if memLat < 1 {
 		memLat = 1
 	}
-	d := &Directory{
+	d := &DirShard{
 		ID:     id,
 		engine: engine,
 		fabric: fabric,
@@ -101,16 +114,16 @@ func NewDirectory(id interconnect.NodeID, engine *sim.Engine, fabric interconnec
 
 // SetLenient switches the directory into fault-tolerant mode (see
 // Cache.SetLenient).
-func (d *Directory) SetLenient(on bool) { d.lenient = on }
+func (d *DirShard) SetLenient(on bool) { d.lenient = on }
 
 // SetQueueLimit bounds the per-line request queue to n entries; further
 // requests are NACKed. Zero restores the unbounded legacy behaviour.
-func (d *Directory) SetQueueLimit(n int) { d.queueLimit = n }
+func (d *DirShard) SetQueueLimit(n int) { d.queueLimit = n }
 
 // EnableWatchdog arms the transaction watchdog: every interval cycles (while
 // any line is busy) it checks for a transaction open longer than timeout and
 // fails the run with ErrWatchdog — a lost message with no recovery path.
-func (d *Directory) EnableWatchdog(interval, timeout sim.Time) {
+func (d *DirShard) EnableWatchdog(interval, timeout sim.Time) {
 	if interval < 1 {
 		interval = 1
 	}
@@ -125,7 +138,7 @@ func (d *Directory) EnableWatchdog(interval, timeout sim.Time) {
 // worst-case remaining backoff (cache.BackoffBudget) on top of the
 // lost-message timeout, or heavy-but-survivable fault rates raise spurious
 // ErrWatchdog failures.
-func (d *Directory) SetWatchdogGrace(grace sim.Time) {
+func (d *DirShard) SetWatchdogGrace(grace sim.Time) {
 	if grace < 0 {
 		grace = 0
 	}
@@ -133,10 +146,10 @@ func (d *Directory) SetWatchdogGrace(grace sim.Time) {
 }
 
 // SetMetrics attaches a cycle-observability recorder (nil to detach).
-func (d *Directory) SetMetrics(rec *metrics.Recorder) { d.rec = rec }
+func (d *DirShard) SetMetrics(rec *metrics.Recorder) { d.rec = rec }
 
 // fail aborts the simulation with a ProtocolError detected by the directory.
-func (d *Directory) fail(kind error, format string, args ...interface{}) {
+func (d *DirShard) fail(kind error, format string, args ...interface{}) {
 	d.engine.Fail(&ProtocolError{
 		Node: d.ID, Dir: true, Cycle: d.engine.Now(),
 		Reason: fmt.Sprintf(format, args...), Kind: kind,
@@ -144,7 +157,7 @@ func (d *Directory) fail(kind error, format string, args ...interface{}) {
 }
 
 // failMsg aborts the simulation with a message-triggered ProtocolError.
-func (d *Directory) failMsg(src interconnect.NodeID, msg Msg, format string, args ...interface{}) {
+func (d *DirShard) failMsg(src interconnect.NodeID, msg Msg, format string, args ...interface{}) {
 	d.engine.Fail(&ProtocolError{
 		Node: d.ID, Dir: true, Cycle: d.engine.Now(), Msg: msg, HasMsg: true, From: src,
 		Reason: fmt.Sprintf(format, args...),
@@ -152,7 +165,7 @@ func (d *Directory) failMsg(src interconnect.NodeID, msg Msg, format string, arg
 }
 
 // tolerate mirrors Cache.tolerate for the directory side.
-func (d *Directory) tolerate(stat string, src interconnect.NodeID, msg Msg, format string, args ...interface{}) bool {
+func (d *DirShard) tolerate(stat string, src interconnect.NodeID, msg Msg, format string, args ...interface{}) bool {
 	if d.lenient {
 		d.Stats.Add("tolerated_"+stat, 1)
 		return true
@@ -161,7 +174,7 @@ func (d *Directory) tolerate(stat string, src interconnect.NodeID, msg Msg, form
 	return false
 }
 
-func (d *Directory) newLine(v mem.Value) *dirLine {
+func (d *DirShard) newLine(v mem.Value) *dirLine {
 	return &dirLine{
 		owner:       -1,
 		sharers:     make(map[interconnect.NodeID]bool),
@@ -171,7 +184,7 @@ func (d *Directory) newLine(v mem.Value) *dirLine {
 	}
 }
 
-func (d *Directory) line(a mem.Addr) *dirLine {
+func (d *DirShard) line(a mem.Addr) *dirLine {
 	l := d.lines[a]
 	if l == nil {
 		l = d.newLine(0)
@@ -183,7 +196,7 @@ func (d *Directory) line(a mem.Addr) *dirLine {
 // dupRequest reports whether the request is a fabric duplicate of one the
 // directory already opened, is processing, or has queued. Untagged requests
 // (Seq 0, from hand-crafted tests) are never deduplicated.
-func (d *Directory) dupRequest(l *dirLine, src interconnect.NodeID, msg Msg) bool {
+func (d *DirShard) dupRequest(l *dirLine, src interconnect.NodeID, msg Msg) bool {
 	if msg.Seq == 0 {
 		return false
 	}
@@ -203,7 +216,7 @@ func (d *Directory) dupRequest(l *dirLine, src interconnect.NodeID, msg Msg) boo
 
 // open starts a transaction: the line goes busy, the epoch advances, and the
 // request is remembered for duplicate suppression and the watchdog.
-func (d *Directory) open(l *dirLine, src interconnect.NodeID, msg Msg) {
+func (d *DirShard) open(l *dirLine, src interconnect.NodeID, msg Msg) {
 	l.busy = true
 	l.epoch++
 	l.curSrc = src
@@ -220,13 +233,13 @@ func (d *Directory) open(l *dirLine, src interconnect.NodeID, msg Msg) {
 }
 
 // closeTxn ends the line's in-flight transaction.
-func (d *Directory) closeTxn(a mem.Addr, l *dirLine) {
+func (d *DirShard) closeTxn(a mem.Addr, l *dirLine) {
 	l.busy = false
 	d.rec.DirClosed(a)
 }
 
 // Deliver implements interconnect.Endpoint.
-func (d *Directory) Deliver(src interconnect.NodeID, m interconnect.Message) {
+func (d *DirShard) Deliver(src interconnect.NodeID, m interconnect.Message) {
 	if d.engine.Failed() != nil {
 		return
 	}
@@ -245,6 +258,14 @@ func (d *Directory) Deliver(src interconnect.NodeID, m interconnect.Message) {
 			d.Stats.Add("tolerated_dup_request", 1)
 			return
 		}
+		depth := 0
+		if l.busy {
+			depth = 1 + len(l.queue)
+		}
+		if depth >= occBuckets {
+			depth = occBuckets - 1
+		}
+		d.occ[depth]++
 		if l.busy {
 			if d.queueLimit > 0 && len(l.queue) >= d.queueLimit {
 				d.Stats.Add("nacks_sent", 1)
@@ -252,7 +273,7 @@ func (d *Directory) Deliver(src interconnect.NodeID, m interconnect.Message) {
 				return
 			}
 			l.queue = append(l.queue, queuedReq{src, msg})
-			d.Stats.Add("queued_requests", 1)
+			d.hQueued.Add(d.Stats, "queued_requests", 1)
 			return
 		}
 		d.open(l, src, msg)
@@ -268,13 +289,13 @@ func (d *Directory) Deliver(src interconnect.NodeID, m interconnect.Message) {
 }
 
 // process starts a transaction for a line previously opened by open().
-func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
+func (d *DirShard) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 	if d.engine.Failed() != nil {
 		return
 	}
 	switch msg.Kind {
 	case MsgGetS:
-		d.Stats.Add("gets", 1)
+		d.hGets.Add(d.Stats, "gets", 1)
 		if l.owner >= 0 && l.owner != src {
 			// Route to the exclusive owner (the paper's "the next request
 			// for it will be routed to Pi"). The line stays busy until the
@@ -296,7 +317,7 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 		d.fabric.Send(d.ID, src, Msg{Kind: MsgData, Addr: msg.Addr, Value: l.value, Performed: true, Seq: msg.Seq, Epoch: l.epoch})
 		d.drain(l)
 	case MsgGetX:
-		d.Stats.Add("getx", 1)
+		d.hGetx.Add(d.Stats, "getx", 1)
 		if l.owner >= 0 && l.owner != src {
 			d.fabric.Send(d.ID, l.owner, Msg{Kind: MsgFwdX, Addr: msg.Addr, Requester: src, Sync: msg.Sync, Seq: msg.Seq, Epoch: l.epoch})
 			l.requester = src
@@ -374,7 +395,7 @@ func (d *Directory) process(l *dirLine, src interconnect.NodeID, msg Msg) {
 // onAck collects InvAck/UpdateAck for the in-flight transaction. Duplicated
 // acks are idempotent: each pending node is crossed off a set at most once,
 // so the completion condition can never be reached early by double-counting.
-func (d *Directory) onAck(src interconnect.NodeID, msg Msg) {
+func (d *DirShard) onAck(src interconnect.NodeID, msg Msg) {
 	l := d.line(msg.Addr)
 	if !l.busy || len(l.pendingFrom) == 0 {
 		d.tolerate("stray_ack", src, msg, "stray %s for x%d", msg.Kind, msg.Addr)
@@ -399,7 +420,7 @@ func (d *Directory) onAck(src interconnect.NodeID, msg Msg) {
 	}
 }
 
-func (d *Directory) onDowngrade(src interconnect.NodeID, msg Msg) {
+func (d *DirShard) onDowngrade(src interconnect.NodeID, msg Msg) {
 	l := d.line(msg.Addr)
 	if !l.busy || l.owner < 0 {
 		d.tolerate("stray_downgrade", src, msg, "stray Downgrade for x%d", msg.Addr)
@@ -419,7 +440,7 @@ func (d *Directory) onDowngrade(src interconnect.NodeID, msg Msg) {
 	d.drain(l)
 }
 
-func (d *Directory) onTransfer(src interconnect.NodeID, msg Msg) {
+func (d *DirShard) onTransfer(src interconnect.NodeID, msg Msg) {
 	l := d.line(msg.Addr)
 	if !l.busy || l.owner < 0 {
 		d.tolerate("stray_transfer", src, msg, "stray Transfer for x%d", msg.Addr)
@@ -443,7 +464,7 @@ func sortNodes(ns []interconnect.NodeID) {
 }
 
 // drain processes the next queued request for the line, if any.
-func (d *Directory) drain(l *dirLine) {
+func (d *DirShard) drain(l *dirLine) {
 	if l.busy || len(l.queue) == 0 {
 		return
 	}
@@ -454,7 +475,7 @@ func (d *Directory) drain(l *dirLine) {
 
 // armWatchdog schedules the next watchdog check unless one is already
 // pending or the watchdog is disabled.
-func (d *Directory) armWatchdog() {
+func (d *DirShard) armWatchdog() {
 	if d.wdInterval <= 0 || d.wdArmed {
 		return
 	}
@@ -465,7 +486,7 @@ func (d *Directory) armWatchdog() {
 // watchdogTick fails the run if a transaction overstayed its timeout, and
 // re-arms only while some line is still busy — so an idle machine's event
 // queue drains and Run terminates normally.
-func (d *Directory) watchdogTick() {
+func (d *DirShard) watchdogTick() {
 	d.wdArmed = false
 	if d.engine.Failed() != nil {
 		return
@@ -494,7 +515,7 @@ func (d *Directory) watchdogTick() {
 }
 
 // MemValue returns the directory's memory value for final-state collection.
-func (d *Directory) MemValue(a mem.Addr) (mem.Value, bool) {
+func (d *DirShard) MemValue(a mem.Addr) (mem.Value, bool) {
 	l := d.lines[a]
 	if l == nil {
 		return 0, false
@@ -503,10 +524,29 @@ func (d *Directory) MemValue(a mem.Addr) (mem.Value, bool) {
 }
 
 // Owner returns the current exclusive owner of a line (-1 none).
-func (d *Directory) Owner(a mem.Addr) interconnect.NodeID {
+func (d *DirShard) Owner(a mem.Addr) interconnect.NodeID {
 	l := d.lines[a]
 	if l == nil {
 		return -1
 	}
 	return l.owner
+}
+
+// occBuckets is the request-occupancy histogram width (see the occ field).
+const occBuckets = 8
+
+// Counters implements Directory: a lone shard's aggregate is its own bag.
+func (d *DirShard) Counters() *stats.Counters { return d.Stats }
+
+// ShardCounters implements Directory.
+func (d *DirShard) ShardCounters() []*stats.Counters { return []*stats.Counters{d.Stats} }
+
+// Shards implements Directory.
+func (d *DirShard) Shards() int { return 1 }
+
+// Occupancy implements Directory: one histogram per shard.
+func (d *DirShard) Occupancy() [][]uint64 {
+	h := make([]uint64, occBuckets)
+	copy(h, d.occ[:])
+	return [][]uint64{h}
 }

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"weakorder/internal/machine"
+	"weakorder/internal/metrics"
+	"weakorder/internal/par"
+	"weakorder/internal/proc"
+	"weakorder/internal/stats"
+	"weakorder/internal/workload"
+)
+
+// CapacitySummary reports E13: the capacity study of the scaled timed
+// machine. For each contention level the sweep raises the processor count on
+// the contended-lock workload, feeds each run's cycle attribution into the
+// saturation analyzer, and reports the knee — the first processor count
+// where synchronization stalls (reserve, counter, fence) dominate compute
+// and marginal throughput has collapsed. Everything in Table and the point
+// slices is deterministic; SimCyclesPerSec is the one wall-clock figure
+// (simulated cycles per CPU-second across the sweep's runs) and must stay
+// out of golden comparisons.
+type CapacitySummary struct {
+	Table *stats.Table
+	// High and Low are the saturation sweeps at high contention (back-to-back
+	// critical sections) and low contention (long inter-acquisition local
+	// work), in ascending processor count.
+	High, Low []metrics.SaturationPoint
+	// KneeHigh/KneeLow are the processor counts at each sweep's knee (0 when
+	// the sweep never saturated).
+	KneeHigh, KneeLow int
+	// SimCyclesPerSec is simulated cycles per CPU-second over all runs of the
+	// sweep — the engine-throughput figure the CI capacity smoke floors.
+	SimCyclesPerSec float64
+}
+
+// Capacity runs E13 with the default sweep (P up to 64).
+func Capacity() (*CapacitySummary, error) { return CapacityUpTo(64) }
+
+// CapacityUpTo runs E13 with processor counts 2..maxP (doubling), so smoke
+// runs can bound the sweep. The acquisition count is fixed per processor:
+// total useful work scales linearly with P, which is what makes acquisitions
+// per kilocycle a meaningful throughput curve.
+func CapacityUpTo(maxP int) (*CapacitySummary, error) {
+	const acquires = 2
+	type level struct {
+		name    string
+		outWork int // local work between acquisitions: low values = contention
+	}
+	levels := []level{{"high", 10}, {"low", 200}}
+	var procsSweep []int
+	for p := 2; p <= maxP; p *= 2 {
+		procsSweep = append(procsSweep, p)
+	}
+	type cell struct {
+		level level
+		procs int
+	}
+	var cells []cell
+	for _, lv := range levels {
+		for _, p := range procsSweep {
+			cells = append(cells, cell{level: lv, procs: p})
+		}
+	}
+	type meas struct {
+		point metrics.SaturationPoint
+		msgs  int64
+		wall  time.Duration
+	}
+	results, err := par.Map(cells, 0, func(_ int, c cell) (meas, error) {
+		prog := workload.Lock(c.procs, acquires, 10, c.level.outWork, workload.SpinSync)
+		cfg := machine.NewConfig(proc.PolicyWODef2)
+		cfg.Metrics = true
+		start := time.Now()
+		res, err := machine.Run(prog, cfg)
+		wall := time.Since(start)
+		if err != nil {
+			return meas{}, err
+		}
+		thru := float64(c.procs*acquires) / float64(res.Cycles) * 1000
+		return meas{
+			point: metrics.NewSaturationPoint(c.procs, res.Cycles, res.Metrics, thru),
+			msgs:  int64(res.Messages),
+			wall:  wall,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &CapacitySummary{}
+	tbl := stats.NewTable(fmt.Sprintf("E13 — capacity: saturation knee of the contended lock (WO-def2, %d acquisitions/proc)", acquires),
+		"contention", "procs", "cycles", "messages", "compute", "sync stall", "wait", "stall share", "acq/kcycle", "marginal")
+	var wall time.Duration
+	i := 0
+	for _, lv := range levels {
+		points := make([]metrics.SaturationPoint, 0, len(procsSweep))
+		for range procsSweep {
+			m := results[i]
+			points = append(points, m.point)
+			wall += m.wall
+			i++
+		}
+		marginal := metrics.MarginalThroughput(points)
+		knee := metrics.FindKnee(points)
+		for j, p := range points {
+			kneeMark := ""
+			if j == knee {
+				kneeMark = " <- knee"
+			}
+			m := results[i-len(points)+j]
+			tbl.Row(lv.name, p.Load, int64(p.Cycles), m.msgs, p.Compute, p.SyncStall, p.Wait,
+				fmt.Sprintf("%.1f%%", p.StallShare()*100),
+				fmt.Sprintf("%.3f", p.Throughput),
+				fmt.Sprintf("%.3f%s", marginal[j], kneeMark))
+		}
+		kneeProcs := 0
+		if knee >= 0 {
+			kneeProcs = points[knee].Load
+		}
+		if lv.name == "high" {
+			s.High, s.KneeHigh = points, kneeProcs
+		} else {
+			s.Low, s.KneeLow = points, kneeProcs
+		}
+	}
+	tbl.Note("knee: first P where attributed wait cycles >= compute and marginal acq/kcycle fell below half the initial per-proc rate")
+	tbl.Note("high contention: 10 local cycles between acquisitions; low: 200")
+	s.Table = tbl
+
+	var total int64
+	for _, m := range results {
+		total += int64(m.point.Cycles)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		s.SimCyclesPerSec = float64(total) / secs
+	}
+	return s, nil
+}

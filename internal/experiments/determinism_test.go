@@ -51,6 +51,27 @@ func TestDeterministicAcrossPoolWidths(t *testing.T) {
 		}
 	})
 
+	t.Run("Capacity", func(t *testing.T) {
+		// SimCyclesPerSec is wall-clock and legitimately varies; everything
+		// else — points, knees, the rendered table — must be byte-identical.
+		var got []*CapacitySummary
+		for _, w := range widths {
+			restore := par.SetWorkers(w)
+			s, err := CapacityUpTo(8)
+			restore()
+			if err != nil {
+				t.Fatalf("Capacity at width %d: %v", w, err)
+			}
+			s.SimCyclesPerSec = 0
+			got = append(got, s)
+		}
+		if got[0].Table.String() != got[1].Table.String() || !reflect.DeepEqual(got[0].High, got[1].High) ||
+			!reflect.DeepEqual(got[0].Low, got[1].Low) || got[0].KneeHigh != got[1].KneeHigh || got[0].KneeLow != got[1].KneeLow {
+			t.Errorf("Capacity summaries differ between widths %v:\n%s\nvs\n%s",
+				widths, got[0].Table, got[1].Table)
+		}
+	})
+
 	t.Run("Sweep", func(t *testing.T) {
 		var got []*SweepSummary
 		for _, w := range widths {

@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"weakorder/internal/metrics"
+)
 
 func TestFig1(t *testing.T) {
 	s, err := Fig1()
@@ -197,6 +201,41 @@ func TestFence(t *testing.T) {
 	}
 	if !s.Equal {
 		t.Error("RP3 fence machine should match Definition 1 on every corpus program")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	s, err := CapacityUpTo(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.High) == 0 || len(s.High) != len(s.Low) {
+		t.Fatalf("sweep shape: %d high, %d low points", len(s.High), len(s.Low))
+	}
+	// Both contention levels must saturate within the sweep: the
+	// back-to-back lock immediately, the padded one once the lock's service
+	// time overtakes the local work between acquisitions.
+	if s.KneeHigh == 0 {
+		t.Error("high-contention sweep never found a knee")
+	}
+	if s.KneeLow == 0 {
+		t.Error("low-contention sweep never found a knee")
+	}
+	if s.KneeHigh != 0 && s.KneeLow != 0 && s.KneeLow < s.KneeHigh {
+		t.Errorf("low contention saturated earlier (P=%d) than high (P=%d)", s.KneeLow, s.KneeHigh)
+	}
+	// Past the knee, per-acquisition throughput must decline.
+	for _, pts := range [][]metrics.SaturationPoint{s.High, s.Low} {
+		last := pts[len(pts)-1]
+		if first := pts[0]; last.Throughput >= first.Throughput {
+			t.Errorf("throughput did not decline across the sweep: %f -> %f", first.Throughput, last.Throughput)
+		}
+		if last.Wait < last.Compute {
+			t.Errorf("largest P is not stall-dominated: wait %d < compute %d", last.Wait, last.Compute)
+		}
+	}
+	if s.SimCyclesPerSec <= 0 {
+		t.Errorf("engine throughput figure missing: %f", s.SimCyclesPerSec)
 	}
 }
 

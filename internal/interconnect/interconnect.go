@@ -37,6 +37,14 @@ type Fabric interface {
 	Messages() uint64
 }
 
+// sinkEP adapts an Endpoint to sim.Sink so deliveries can be scheduled by
+// value (no closure per message). One adapter is allocated per Attach.
+type sinkEP struct {
+	ep Endpoint
+}
+
+func (s *sinkEP) DeliverEvent(src int, msg any) { s.ep.Deliver(NodeID(src), msg) }
+
 // Network is a general interconnection network: each message takes
 // Latency ± jitter cycles, independently, so two messages on different
 // source/destination pairs (and even on the same pair, if jitter differs) may
@@ -45,6 +53,8 @@ type Fabric interface {
 type Network struct {
 	engine  *sim.Engine
 	eps     map[NodeID]Endpoint
+	sinks   map[NodeID]*sinkEP
+	topo    *Topology
 	latency sim.Time
 	jitter  int
 	rng     *rand.Rand
@@ -66,6 +76,7 @@ func NewNetwork(engine *sim.Engine, latency sim.Time, jitter int, rng *rand.Rand
 	return &Network{
 		engine:   engine,
 		eps:      make(map[NodeID]Endpoint),
+		sinks:    make(map[NodeID]*sinkEP),
 		latency:  latency,
 		jitter:   jitter,
 		rng:      rng,
@@ -74,17 +85,31 @@ func NewNetwork(engine *sim.Engine, latency sim.Time, jitter int, rng *rand.Rand
 	}
 }
 
+// SetTopology routes subsequent sends through topo: the base hop cost becomes
+// a function of (src, dst) instead of the flat constant. A flat topology with
+// Local equal to the constructor latency is behaviorally identical to no
+// topology at all. Must be called before the first Send.
+func (n *Network) SetTopology(topo *Topology) { n.topo = topo }
+
 // Attach implements Fabric.
-func (n *Network) Attach(id NodeID, e Endpoint) { n.eps[id] = e }
+func (n *Network) Attach(id NodeID, e Endpoint) {
+	n.eps[id] = e
+	n.sinks[id] = &sinkEP{ep: e}
+}
 
 // Send implements Fabric.
 func (n *Network) Send(src, dst NodeID, msg Message) {
-	ep, ok := n.eps[dst]
+	sink, ok := n.sinks[dst]
 	if !ok {
 		panic(fmt.Sprintf("interconnect: send to unattached node %d", dst))
 	}
 	n.sent++
 	d := n.latency
+	if n.topo != nil {
+		d = n.topo.Latency(src, dst)
+	}
+	// The jitter draw happens on every send, topology or not, so routing
+	// changes never shift the RNG stream of unrelated messages.
 	if n.jitter > 0 && n.rng != nil {
 		d += sim.Time(n.rng.Intn(n.jitter))
 	}
@@ -96,7 +121,7 @@ func (n *Network) Send(src, dst NodeID, msg Message) {
 		}
 		n.lastArr[key] = at
 	}
-	n.engine.At(at, func() { ep.Deliver(src, msg) })
+	n.engine.DeliverAt(at, sink, int(src), msg)
 }
 
 // Messages implements Fabric.
@@ -108,6 +133,7 @@ func (n *Network) Messages() uint64 { return n.sent }
 type Bus struct {
 	engine *sim.Engine
 	eps    map[NodeID]Endpoint
+	sinks  map[NodeID]*sinkEP
 	cycle  sim.Time
 	free   sim.Time // earliest time the bus is available
 	sent   uint64
@@ -118,15 +144,18 @@ func NewBus(engine *sim.Engine, cycle sim.Time) *Bus {
 	if cycle < 1 {
 		cycle = 1
 	}
-	return &Bus{engine: engine, eps: make(map[NodeID]Endpoint), cycle: cycle}
+	return &Bus{engine: engine, eps: make(map[NodeID]Endpoint), sinks: make(map[NodeID]*sinkEP), cycle: cycle}
 }
 
 // Attach implements Fabric.
-func (b *Bus) Attach(id NodeID, e Endpoint) { b.eps[id] = e }
+func (b *Bus) Attach(id NodeID, e Endpoint) {
+	b.eps[id] = e
+	b.sinks[id] = &sinkEP{ep: e}
+}
 
 // Send implements Fabric.
 func (b *Bus) Send(src, dst NodeID, msg Message) {
-	ep, ok := b.eps[dst]
+	sink, ok := b.sinks[dst]
 	if !ok {
 		panic(fmt.Sprintf("interconnect: send to unattached node %d", dst))
 	}
@@ -137,7 +166,7 @@ func (b *Bus) Send(src, dst NodeID, msg Message) {
 	}
 	arrival := start + b.cycle
 	b.free = arrival
-	b.engine.At(arrival, func() { ep.Deliver(src, msg) })
+	b.engine.DeliverAt(arrival, sink, int(src), msg)
 }
 
 // Messages implements Fabric.

@@ -1,0 +1,127 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"weakorder/internal/sim"
+)
+
+// TopologyKind selects the shape of the network.
+type TopologyKind uint8
+
+const (
+	// TopoFlat is a symmetric crossbar: every hop costs Local. With Local
+	// equal to the network's base latency this reproduces the plain Network
+	// byte for byte.
+	TopoFlat TopologyKind = iota
+	// TopoDanceHall puts all processors on one side of an indirect switch
+	// stage and all memory/directory nodes on the other — the classic
+	// dance-hall organization. Crossing the hall (processor to directory or
+	// back) costs Local + Remote; a processor-to-processor message (e.g. a
+	// cache-to-cache forward) traverses the stage twice: Local + 2*Remote.
+	TopoDanceHall
+	// TopoClusters is a two-level NUMA-ish organization: processors are
+	// grouped into clusters of ClusterSize, directory shards are distributed
+	// round-robin over the clusters, intra-cluster hops cost Local, and
+	// crossing the inter-cluster link adds Remote.
+	TopoClusters
+)
+
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoFlat:
+		return "flat"
+	case TopoDanceHall:
+		return "dancehall"
+	case TopoClusters:
+		return "clusters"
+	}
+	return fmt.Sprintf("TopologyKind(%d)", uint8(k))
+}
+
+// ParseTopology maps a CLI name to a kind.
+func ParseTopology(s string) (TopologyKind, error) {
+	switch s {
+	case "flat":
+		return TopoFlat, nil
+	case "dancehall":
+		return TopoDanceHall, nil
+	case "clusters":
+		return TopoClusters, nil
+	}
+	return 0, fmt.Errorf("interconnect: unknown topology %q (want flat, dancehall, or clusters)", s)
+}
+
+// Topology is a pure per-hop latency function over node pairs. It composes
+// under the fault injector and the metrics FabricTap — both wrap the fabric
+// that consults the topology — so chaos testing and message accounting see
+// real routes. It holds no mutable state: routing is a deterministic function
+// of (src, dst), and jitter/FIFO policy stay with the Network.
+type Topology struct {
+	Kind TopologyKind
+	// Procs is the processor count: nodes 0..Procs-1 are processor caches,
+	// nodes >= Procs are directory/memory shards (the machine's numbering
+	// convention).
+	Procs int
+	// Local is the base one-hop cost in cycles.
+	Local sim.Time
+	// Remote is the extra cost of each top-level crossing (switch stage or
+	// inter-cluster link).
+	Remote sim.Time
+	// ClusterSize is processors per cluster for TopoClusters.
+	ClusterSize int
+}
+
+// NewTopology builds a topology, clamping degenerate parameters the same way
+// NewNetwork clamps latency.
+func NewTopology(kind TopologyKind, procs int, local, remote sim.Time, clusterSize int) *Topology {
+	if local < 1 {
+		local = 1
+	}
+	if remote < 0 {
+		remote = 0
+	}
+	if clusterSize < 1 {
+		clusterSize = 1
+	}
+	return &Topology{Kind: kind, Procs: procs, Local: local, Remote: remote, ClusterSize: clusterSize}
+}
+
+// clusters returns the cluster count for TopoClusters.
+func (t *Topology) clusters() int {
+	n := (t.Procs + t.ClusterSize - 1) / t.ClusterSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// cluster maps a node to its cluster: processors by contiguous blocks of
+// ClusterSize, directory shards round-robin so every cluster is home to an
+// even share of the address space.
+func (t *Topology) cluster(id NodeID) int {
+	if int(id) < t.Procs {
+		return int(id) / t.ClusterSize
+	}
+	return (int(id) - t.Procs) % t.clusters()
+}
+
+// Latency returns the hop cost from src to dst.
+func (t *Topology) Latency(src, dst NodeID) sim.Time {
+	switch t.Kind {
+	case TopoDanceHall:
+		srcProc := int(src) < t.Procs
+		dstProc := int(dst) < t.Procs
+		if srcProc == dstProc {
+			return t.Local + 2*t.Remote
+		}
+		return t.Local + t.Remote
+	case TopoClusters:
+		if t.cluster(src) == t.cluster(dst) {
+			return t.Local
+		}
+		return t.Local + t.Remote
+	default:
+		return t.Local
+	}
+}

@@ -118,6 +118,29 @@ type Config struct {
 	// timeline. Off by default; a run with metrics off allocates no recorder
 	// and dispatches an identical event stream.
 	Metrics bool
+	// DirShards spreads the directory over this many address-interleaved
+	// home nodes (fabric nodes n..n+DirShards-1, mapping cache.ShardOf).
+	// 0/1 keeps the single home node. A fault-free run's event stream —
+	// and with it every outcome, stat, and timeline — is identical at every
+	// shard count; sharding only relieves home-node serialization once
+	// topologies or future per-node service limits make it matter, and keeps
+	// big-P directory state partitioned.
+	DirShards int
+	// Topology shapes the network fabric's per-hop latency (flat,
+	// dance-hall, or two-level clusters; see interconnect.Topology). Flat is
+	// the default and is byte-identical to no topology at all. Ignored on
+	// the bus fabric, which is a single shared medium by definition.
+	Topology interconnect.TopologyKind
+	// RemoteLatency is the extra cost per top-level crossing for non-flat
+	// topologies (default: NetLatency).
+	RemoteLatency sim.Time
+	// ClusterSize is processors per cluster for the clusters topology
+	// (default 8).
+	ClusterSize int
+	// HeapEngine runs the simulation on the legacy binary-heap scheduler
+	// instead of the calendar queue. Event order is identical; this exists
+	// as the throughput-comparison baseline.
+	HeapEngine bool
 }
 
 // NewConfig returns a Config with the documented defaults and the given
@@ -153,6 +176,15 @@ func (c *Config) defaults() {
 	}
 	if c.MaxEvents == 0 {
 		c.MaxEvents = 200_000_000
+	}
+	if c.DirShards < 1 {
+		c.DirShards = 1
+	}
+	if c.Topology != interconnect.TopoFlat && c.RemoteLatency < 1 {
+		c.RemoteLatency = c.NetLatency
+	}
+	if c.ClusterSize < 1 {
+		c.ClusterSize = 8
 	}
 	if c.Faults {
 		if c.FaultRates.MaxDelay < 1 {
@@ -191,8 +223,16 @@ type Result struct {
 	ProcStats []*stats.Counters
 	// CacheStats holds each cache's counters (hits, misses, reserves...).
 	CacheStats []*stats.Counters
-	// DirStats is the directory's counters.
+	// DirStats is the directory's counters, aggregated over shards when the
+	// directory is sharded.
 	DirStats *stats.Counters
+	// DirShardStats is each directory shard's own counter bag (one entry for
+	// the unsharded directory).
+	DirShardStats []*stats.Counters
+	// DirOccupancy is each shard's request-occupancy histogram: arriving
+	// requests bucketed by how many transactions for the same line were
+	// already open or queued.
+	DirOccupancy [][]uint64
 	// Messages is the total fabric traffic.
 	Messages uint64
 	// Trace is the recorded execution when Config.RecordTrace was set.
@@ -245,7 +285,7 @@ type Machine struct {
 	engine *sim.Engine
 	procs  []*proc.Processor
 	caches []*cache.Cache
-	dir    *cache.Directory
+	dir    cache.Directory
 	fabric interconnect.Fabric
 	inj    *faults.Injector
 	rec    *metrics.Recorder
@@ -258,6 +298,9 @@ type Machine struct {
 func New(p *program.Program, cfg Config) *Machine {
 	cfg.defaults()
 	engine := sim.NewEngine(cfg.MaxTime, cfg.MaxEvents)
+	if cfg.HeapEngine {
+		engine = sim.NewHeapEngine(cfg.MaxTime, cfg.MaxEvents)
+	}
 	n := p.NumThreads()
 	var fabric interconnect.Fabric
 	switch cfg.Fabric {
@@ -265,7 +308,13 @@ func New(p *program.Program, cfg Config) *Machine {
 		fabric = interconnect.NewBus(engine, cfg.BusCycle)
 	default:
 		rng := rand.New(rand.NewSource(cfg.Seed))
-		fabric = interconnect.NewNetwork(engine, cfg.NetLatency, cfg.NetJitter, rng, cfg.FIFO)
+		net := interconnect.NewNetwork(engine, cfg.NetLatency, cfg.NetJitter, rng, cfg.FIFO)
+		if cfg.Topology != interconnect.TopoFlat {
+			// The topology shapes the base fabric, *under* the metrics tap
+			// and the fault injector composed below, so both see real routes.
+			net.SetTopology(interconnect.NewTopology(cfg.Topology, n, cfg.NetLatency, cfg.RemoteLatency, cfg.ClusterSize))
+		}
+		fabric = net
 	}
 	var rec *metrics.Recorder
 	if cfg.Metrics {
@@ -297,7 +346,12 @@ func New(p *program.Program, cfg Config) *Machine {
 	for a, v := range p.Init {
 		init[a] = v
 	}
-	dir := cache.NewDirectory(dirID, engine, fabric, cfg.MemLatency, init)
+	var dir cache.Directory
+	if cfg.DirShards > 1 {
+		dir = cache.NewShardedDirectory(dirID, cfg.DirShards, engine, fabric, cfg.MemLatency, init)
+	} else {
+		dir = cache.NewDirectory(dirID, engine, fabric, cfg.MemLatency, init)
+	}
 	dir.SetMetrics(rec)
 	if cfg.Faults {
 		dir.SetLenient(true)
@@ -318,6 +372,7 @@ func New(p *program.Program, cfg Config) *Machine {
 	}
 	for i := 0; i < n; i++ {
 		c := cache.New(interconnect.NodeID(i), engine, fabric, dirID, cfg.HitLatency)
+		c.SetDirShards(cfg.DirShards)
 		c.SetMetrics(rec)
 		if cfg.Faults {
 			c.SetLenient(true)
@@ -402,10 +457,12 @@ func (m *Machine) Run() (*Result, error) {
 		return nil, fmt.Errorf("machine: %d processor(s) never finished (deadlock or livelock), policy %s", remaining, m.cfg.Policy)
 	}
 	res := &Result{
-		DirStats: m.dir.Stats,
-		Messages: m.fabric.Messages(),
-		Trace:    m.trace,
-		FinalMem: make(map[mem.Addr]mem.Value),
+		DirStats:      m.dir.Counters(),
+		DirShardStats: m.dir.ShardCounters(),
+		DirOccupancy:  m.dir.Occupancy(),
+		Messages:      m.fabric.Messages(),
+		Trace:         m.trace,
+		FinalMem:      make(map[mem.Addr]mem.Value),
 	}
 	if m.times != nil {
 		res.Timings = m.times.log

@@ -294,11 +294,23 @@ func (r *Recorder) DirClosed(addr mem.Addr) {
 	h.Observe(int64(s.to - s.from))
 }
 
+// dirNode folds every directory-side node onto one logical track: shard
+// nodes live at ids >= nprocs, and reports/timelines must not change when the
+// directory's shard count does (a shard-count-invariant event stream keyed by
+// raw node ids would still render different src/dst labels).
+func (r *Recorder) dirNode(id int) int {
+	if id > r.nprocs {
+		return r.nprocs
+	}
+	return id
+}
+
 // MsgSent records one message entering the fabric.
 func (r *Recorder) MsgSent(src, dst int, class string, addr mem.Addr) {
 	if r == nil {
 		return
 	}
+	src, dst = r.dirNode(src), r.dirNode(dst)
 	r.msgClasses.Add(class, 1)
 	r.seq++
 	r.msgs = append(r.msgs, msgSpan{
@@ -316,6 +328,7 @@ func (r *Recorder) MsgDelivered(src, dst int) {
 	if r == nil {
 		return
 	}
+	src, dst = r.dirNode(src), r.dirNode(dst)
 	key := [2]int{src, dst}
 	q := r.pending[key]
 	if len(q) == 0 {

@@ -1,0 +1,97 @@
+package metrics
+
+import "weakorder/internal/sim"
+
+// SaturationPoint is one load level of a capacity sweep, summarized from a
+// finalized cycle-attribution Report. Load is the swept parameter (processor
+// count in E13); Throughput is the caller's useful-work rate at that load
+// (e.g. lock acquisitions per kilocycle), in whatever unit the caller keeps
+// consistent across the sweep.
+type SaturationPoint struct {
+	Load       int
+	Cycles     sim.Time
+	Compute    int64 // ClassCompute cycles across all processors
+	SyncStall  int64 // reserve + counter + fence stall cycles across all processors
+	Wait       int64 // every attributed non-compute cycle (SyncStall + retry backoff + idle memory waits)
+	Throughput float64
+}
+
+// NewSaturationPoint summarizes a Report at one load level. The sync-stall
+// aggregate is the three synchronization-serialization classes — reserve
+// stalls (parked behind a remote reserve bit), counter stalls (Definition
+// 1's issue wait), and fence stalls (post-commit waits for global
+// performance). Wait additionally folds in retry backoff and the idle
+// remainder of memory waits: on a contended lock the serialization cost
+// mostly materializes as the lock line bouncing between caches, which the
+// attribution carves into idle, so saturation is judged on the full
+// non-compute aggregate while the table still breaks out the
+// serialization-specific classes.
+func NewSaturationPoint(load int, cycles sim.Time, rep *Report, throughput float64) SaturationPoint {
+	syncStall := rep.Stall(ClassReserveStall) + rep.Stall(ClassCounterStall) + rep.Stall(ClassFenceStall)
+	return SaturationPoint{
+		Load:       load,
+		Cycles:     cycles,
+		Compute:    rep.Stall(ClassCompute),
+		SyncStall:  syncStall,
+		Wait:       syncStall + rep.Stall(ClassRetryBackoff) + rep.Stall(ClassIdle),
+		Throughput: throughput,
+	}
+}
+
+// StallShare returns the point's non-compute fraction of all attributed
+// cycles (0 when nothing was attributed).
+func (p SaturationPoint) StallShare() float64 {
+	total := p.Compute + p.Wait
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Wait) / float64(total)
+}
+
+// FindKnee locates the saturation knee of an ascending-load sweep: the first
+// point where stall cycles dominate compute (Wait >= Compute) AND adding
+// load has stopped paying — marginal throughput per added unit of load at
+// that point is below half the sweep's initial per-unit rate (the first
+// point qualifies on stall dominance alone: saturated from the start). The
+// two conditions cross-check each other: stall dominance says *why* the
+// machine saturated (serialization, not capacity), the marginal-throughput
+// collapse says it actually *did*. Returns the index into points, or -1 when
+// no point qualifies.
+func FindKnee(points []SaturationPoint) int {
+	marginal := MarginalThroughput(points)
+	base := 0.0
+	if len(points) > 0 && points[0].Load > 0 {
+		base = points[0].Throughput / float64(points[0].Load)
+	}
+	for i, p := range points {
+		if p.Wait < p.Compute {
+			continue
+		}
+		if i == 0 || marginal[i] < base/2 {
+			return i
+		}
+	}
+	return -1
+}
+
+// MarginalThroughput returns, per point, the throughput gained per unit of
+// added load relative to the previous point; the first point reports its
+// absolute throughput per unit of load. Negative values mean throughput
+// regressed as load grew — already past the knee.
+func MarginalThroughput(points []SaturationPoint) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		if i == 0 {
+			if p.Load > 0 {
+				out[i] = p.Throughput / float64(p.Load)
+			}
+			continue
+		}
+		dl := p.Load - points[i-1].Load
+		if dl <= 0 {
+			continue
+		}
+		out[i] = (p.Throughput - points[i-1].Throughput) / float64(dl)
+	}
+	return out
+}

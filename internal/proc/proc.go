@@ -111,11 +111,23 @@ type Processor struct {
 	done     bool
 	finish   sim.Time
 	onFinish func()
+
+	// Hot-path counter handles (see stats.Hot): each resolves on first
+	// touch, so registration order and which counters exist are unchanged;
+	// steady-state increments skip the string-map lookup.
+	hLocal, hMshr, hReads, hReadStall, hWrites, hWriteStall stats.Hot
+	hSyncs, hSyncCounter, hSyncLine, hSyncPerformed         stats.Hot
+
+	// stepFn is p.step bound once at construction. Every scheduling site uses
+	// this stored value: a fresh method-value expression (p.step) allocates a
+	// closure per call, which on cache-hit spin loops was one of the largest
+	// steady-state allocation sources.
+	stepFn func()
 }
 
 // New builds a processor for one thread. tracer may be nil.
 func New(id int, engine *sim.Engine, c *cache.Cache, code program.Code, policy Policy, tracer Tracer) *Processor {
-	return &Processor{
+	p := &Processor{
 		ID:     id,
 		Policy: policy,
 		engine: engine,
@@ -124,6 +136,8 @@ func New(id int, engine *sim.Engine, c *cache.Cache, code program.Code, policy P
 		tracer: tracer,
 		Stats:  stats.NewCounters(),
 	}
+	p.stepFn = p.step
+	return p
 }
 
 // SetTimingSink enables Section-5.1 lifecycle logging. Must be called before
@@ -153,7 +167,7 @@ func (p *Processor) emitTiming(op mem.Op, addr mem.Addr, opIndex int, issue, com
 // runs once when the thread halts.
 func (p *Processor) Start(onFinish func()) {
 	p.onFinish = onFinish
-	p.engine.After(0, p.step)
+	p.engine.After(0, p.stepFn)
 }
 
 // Done reports whether the thread has halted.
@@ -195,9 +209,9 @@ func (p *Processor) step() {
 	// Charge explicit local work (nop delays) accumulated on the way to
 	// this stall point before issuing the operation or halting.
 	if d := p.thread.TakeLocalWork(); d > 0 {
-		p.Stats.Add("local_cycles", int64(d))
+		p.hLocal.Add(p.Stats, "local_cycles", int64(d))
 		p.rec.Compute(p.ID, p.engine.Now(), p.engine.Now()+sim.Time(d))
-		p.engine.After(sim.Time(d), p.step)
+		p.engine.After(sim.Time(d), p.stepFn)
 		return
 	}
 	if !ok {
@@ -213,7 +227,7 @@ func (p *Processor) step() {
 	if p.cache.Busy(req.Addr) {
 		t0 := p.engine.Now()
 		p.cache.OnFree(req.Addr, func() {
-			p.Stats.Add("mshr_stall_cycles", int64(p.engine.Now()-t0))
+			p.hMshr.Add(p.Stats, "mshr_stall_cycles", int64(p.engine.Now()-t0))
 			p.rec.MemWait(p.ID, req.Addr, false, t0, p.engine.Now())
 			p.step()
 		})
@@ -235,29 +249,34 @@ func (p *Processor) step() {
 // here is also what advances simulated time on cache-hit spin loops.
 func (p *Processor) resume() {
 	p.rec.Compute(p.ID, p.engine.Now(), p.engine.Now()+1)
-	p.engine.After(1, p.step)
+	p.engine.After(1, p.stepFn)
 }
 
 func (p *Processor) dataRead(req program.Request) {
 	t0 := p.engine.Now()
 	opIdx := p.thread.OpIndex
-	p.Stats.Add("reads", 1)
-	p.cache.AcquireShared(req.Addr, false, func(v mem.Value) {
-		now := p.engine.Now()
-		p.Stats.Add("read_stall_cycles", int64(now-t0))
-		p.rec.MemWait(p.ID, req.Addr, false, t0, now)
-		p.emitTiming(mem.OpRead, req.Addr, opIdx, t0, now, now)
+	p.hReads.Add(p.Stats, "reads", 1)
+	if v, ok := p.cache.TryReadHit(req.Addr); ok {
+		// Hit: AcquireShared would run done synchronously at t0 anyway.
+		// Completing inline replicates that callback's exact stat, metric,
+		// timing, and resolve sequence without allocating the continuation —
+		// this is the hottest issue path (spin loops polling a cached flag).
+		p.hReadStall.Add(p.Stats, "read_stall_cycles", 0)
+		p.rec.MemWait(p.ID, req.Addr, false, t0, t0)
+		p.emitTiming(mem.OpRead, req.Addr, opIdx, t0, t0, t0)
 		p.record(mem.OpRead, req.Addr, v, 0)
 		p.thread.Resolve(v)
 		p.resume()
-	})
+		return
+	}
+	p.cache.AcquireSharedCtx(req.Addr, false, p,
+		cache.IssueCtx{Kind: issueDataRead, Addr: req.Addr, OpIdx: opIdx, T0: t0})
 }
 
 func (p *Processor) dataWrite(req program.Request) {
 	t0 := p.engine.Now()
 	opIdx := p.thread.OpIndex
-	p.Stats.Add("writes", 1)
-	var commitT sim.Time
+	p.hWrites.Add(p.Stats, "writes", 1)
 	if p.updateProto {
 		p.updateWrite(req, t0, opIdx)
 		return
@@ -265,21 +284,8 @@ func (p *Processor) dataWrite(req program.Request) {
 	if p.Policy == PolicySC {
 		// Stall until globally performed: the sequentially consistent
 		// processor never has more than one access outstanding.
-		p.cache.AcquireExclusive(req.Addr, false,
-			func(old mem.Value) {
-				commitT = p.engine.Now()
-				p.cache.WriteLocal(req.Addr, req.Data)
-			},
-			func() {
-				now := p.engine.Now()
-				p.Stats.Add("write_stall_cycles", int64(now-t0))
-				p.rec.MemWait(p.ID, req.Addr, false, t0, commitT)
-				p.rec.FenceStall(p.ID, commitT, now)
-				p.emitTiming(mem.OpWrite, req.Addr, opIdx, t0, commitT, now)
-				p.record(mem.OpWrite, req.Addr, 0, req.Data)
-				p.thread.Resolve(0)
-				p.resume()
-			})
+		p.cache.AcquireExclusiveCtx(req.Addr, false, p,
+			cache.IssueCtx{Kind: issueDataWriteSC, Addr: req.Addr, Data: req.Data, OpIdx: opIdx, T0: t0})
 		return
 	}
 	// Weakly ordered processors fire and forget: the thread resolves
@@ -287,14 +293,20 @@ func (p *Processor) dataWrite(req program.Request) {
 	// tracked by the cache's counter.
 	v := req.Data
 	a := req.Addr
-	p.cache.AcquireExclusive(a, false,
-		func(old mem.Value) {
-			commitT = p.engine.Now()
-			p.cache.WriteLocal(a, v)
-		},
-		func() {
-			p.emitTiming(mem.OpWrite, a, opIdx, t0, commitT, p.engine.Now())
-		})
+	if _, ok := p.cache.TryExclusiveHit(a); ok {
+		// Exclusive hit: commit and performance coincide, so the committed
+		// and performed callbacks would both run synchronously here. Inline
+		// them (same order: write, timing entry, trace, resolve) without
+		// allocating either closure.
+		p.cache.WriteLocal(a, v)
+		p.emitTiming(mem.OpWrite, a, opIdx, t0, t0, t0)
+		p.record(mem.OpWrite, a, 0, v)
+		p.thread.Resolve(0)
+		p.resume()
+		return
+	}
+	p.cache.AcquireExclusiveCtx(a, false, p,
+		cache.IssueCtx{Kind: issueDataWriteWO, Addr: a, Data: v, OpIdx: opIdx, T0: t0})
 	p.record(mem.OpWrite, a, 0, v)
 	p.thread.Resolve(0)
 	p.resume()
@@ -308,7 +320,7 @@ func (p *Processor) updateWrite(req program.Request, t0 sim.Time, opIdx int) {
 	if p.Policy == PolicySC {
 		p.cache.WriteUpdate(req.Addr, req.Data, func() {
 			now := p.engine.Now()
-			p.Stats.Add("write_stall_cycles", int64(now-t0))
+			p.hWriteStall.Add(p.Stats, "write_stall_cycles", int64(now-t0))
 			p.rec.FenceStall(p.ID, commitT, now)
 			p.emitTiming(mem.OpWrite, req.Addr, opIdx, t0, commitT, now)
 			p.record(mem.OpWrite, req.Addr, 0, req.Data)
@@ -326,7 +338,7 @@ func (p *Processor) updateWrite(req program.Request, t0 sim.Time, opIdx int) {
 }
 
 func (p *Processor) syncOp(req program.Request) {
-	p.Stats.Add("syncs", 1)
+	p.hSyncs.Add(p.Stats, "syncs", 1)
 	switch p.Policy {
 	case PolicySC:
 		p.syncExclusive(req, true)
@@ -335,7 +347,7 @@ func (p *Processor) syncOp(req program.Request) {
 		// globally performed before issuing the synchronization operation.
 		t0 := p.engine.Now()
 		p.cache.OnCounterZero(func() {
-			p.Stats.Add("sync_counter_stall_cycles", int64(p.engine.Now()-t0))
+			p.hSyncCounter.Add(p.Stats, "sync_counter_stall_cycles", int64(p.engine.Now()-t0))
 			p.rec.CounterStall(p.ID, t0, p.engine.Now())
 			// Condition 3: nothing issues past the sync until it is
 			// globally performed, so stall through performance.
@@ -352,7 +364,7 @@ func (p *Processor) syncOp(req program.Request) {
 			opIdx := p.thread.OpIndex
 			p.cache.AcquireShared(req.Addr, true, func(v mem.Value) {
 				now := p.engine.Now()
-				p.Stats.Add("sync_line_stall_cycles", int64(now-t0))
+				p.hSyncLine.Add(p.Stats, "sync_line_stall_cycles", int64(now-t0))
 				p.rec.MemWait(p.ID, req.Addr, true, t0, now)
 				p.emitTiming(req.Op, req.Addr, opIdx, t0, now, now)
 				p.record(req.Op, req.Addr, v, 0)
@@ -375,19 +387,52 @@ func (p *Processor) syncOp(req program.Request) {
 func (p *Processor) syncExclusive(req program.Request, waitPerformed bool) {
 	t0 := p.engine.Now()
 	opIdx := p.thread.OpIndex
-	var old mem.Value
-	var newV mem.Value
-	var commitT sim.Time
-	committed := func(cur mem.Value) {
-		old = cur
-		newV = cur
-		commitT = p.engine.Now()
-		if req.Op.Writes() {
-			newV = req.NewValue(cur)
-			p.cache.WriteLocal(req.Addr, newV)
+	if cur, ok := p.cache.TryExclusiveHit(req.Addr); ok {
+		p.syncHit(req, waitPerformed, t0, opIdx, cur)
+		return
+	}
+	p.cache.AcquireExclusiveCtx(req.Addr, true, p, cache.IssueCtx{
+		Kind: issueSync, Flag: waitPerformed, Op: req.Op, RMW: uint8(req.RMW),
+		Addr: req.Addr, Data: req.Data, OpIdx: opIdx, T0: t0,
+	})
+}
+
+// Issue-context discriminators for the IssueSink completion path: misses
+// carry one of these in IssueCtx.Kind so LineCommitted/LinePerformed can
+// replay the exact per-variant completion sequence the old continuation
+// closures ran, without the per-miss closure allocations.
+const (
+	issueDataRead uint8 = iota
+	issueDataWriteWO
+	issueDataWriteSC
+	issueSync
+)
+
+// LineCommitted implements cache.IssueSink: the commit point of a miss
+// issued with an IssueCtx (synchronous with line installation, like the
+// committed/done callbacks it replaces).
+func (p *Processor) LineCommitted(ctx *cache.IssueCtx, v mem.Value) {
+	now := p.engine.Now()
+	switch ctx.Kind {
+	case issueDataRead:
+		p.hReadStall.Add(p.Stats, "read_stall_cycles", int64(now-ctx.T0))
+		p.rec.MemWait(p.ID, ctx.Addr, false, ctx.T0, now)
+		p.emitTiming(mem.OpRead, ctx.Addr, ctx.OpIdx, ctx.T0, now, now)
+		p.record(mem.OpRead, ctx.Addr, v, 0)
+		p.thread.Resolve(v)
+		p.resume()
+	case issueDataWriteWO, issueDataWriteSC:
+		ctx.CommitT = now
+		p.cache.WriteLocal(ctx.Addr, ctx.Data)
+	case issueSync:
+		ctx.Old, ctx.New, ctx.CommitT = v, v, now
+		if ctx.Op.Writes() {
+			req := program.Request{Op: ctx.Op, Addr: ctx.Addr, Data: ctx.Data, RMW: program.RMWKind(ctx.RMW)}
+			ctx.New = req.NewValue(v)
+			p.cache.WriteLocal(ctx.Addr, ctx.New)
 		}
-		if !waitPerformed {
-			p.rec.MemWait(p.ID, req.Addr, true, t0, commitT)
+		if !ctx.Flag {
+			p.rec.MemWait(p.ID, ctx.Addr, true, ctx.T0, ctx.CommitT)
 			// Definition 2: commit is the release point for the issuer. The
 			// reserve waits only on outstanding *ordinary* accesses: those
 			// are the accesses previous to this operation that the next
@@ -395,24 +440,76 @@ func (p *Processor) syncExclusive(req program.Request, waitPerformed bool) {
 			// acquires, which can themselves be reserve-stalled at a peer —
 			// they always complete, keeping the stall acyclic.
 			if p.Policy != PolicyWODef2NoReserve && p.cache.DataCounter() > 0 {
-				p.cache.Reserve(req.Addr)
+				p.cache.Reserve(ctx.Addr)
 			}
-			p.Stats.Add("sync_line_stall_cycles", int64(p.engine.Now()-t0))
-			p.record(req.Op, req.Addr, old, newV)
-			p.thread.Resolve(old)
+			p.hSyncLine.Add(p.Stats, "sync_line_stall_cycles", int64(p.engine.Now()-ctx.T0))
+			p.record(ctx.Op, ctx.Addr, ctx.Old, ctx.New)
+			p.thread.Resolve(ctx.Old)
 			p.resume()
 		}
 	}
-	performed := func() {
-		p.emitTiming(req.Op, req.Addr, opIdx, t0, commitT, p.engine.Now())
-		if waitPerformed {
-			p.rec.MemWait(p.ID, req.Addr, true, t0, commitT)
-			p.rec.FenceStall(p.ID, commitT, p.engine.Now())
-			p.Stats.Add("sync_performed_stall_cycles", int64(p.engine.Now()-t0))
-			p.record(req.Op, req.Addr, old, newV)
-			p.thread.Resolve(old)
+}
+
+// LinePerformed implements cache.IssueSink: global performance of an
+// exclusive miss issued with an IssueCtx (the performed callback it
+// replaces).
+func (p *Processor) LinePerformed(ctx *cache.IssueCtx) {
+	now := p.engine.Now()
+	switch ctx.Kind {
+	case issueDataWriteWO:
+		p.emitTiming(mem.OpWrite, ctx.Addr, ctx.OpIdx, ctx.T0, ctx.CommitT, now)
+	case issueDataWriteSC:
+		p.hWriteStall.Add(p.Stats, "write_stall_cycles", int64(now-ctx.T0))
+		p.rec.MemWait(p.ID, ctx.Addr, false, ctx.T0, ctx.CommitT)
+		p.rec.FenceStall(p.ID, ctx.CommitT, now)
+		p.emitTiming(mem.OpWrite, ctx.Addr, ctx.OpIdx, ctx.T0, ctx.CommitT, now)
+		p.record(mem.OpWrite, ctx.Addr, 0, ctx.Data)
+		p.thread.Resolve(0)
+		p.resume()
+	case issueSync:
+		p.emitTiming(ctx.Op, ctx.Addr, ctx.OpIdx, ctx.T0, ctx.CommitT, now)
+		if ctx.Flag {
+			p.rec.MemWait(p.ID, ctx.Addr, true, ctx.T0, ctx.CommitT)
+			p.rec.FenceStall(p.ID, ctx.CommitT, p.engine.Now())
+			p.hSyncPerformed.Add(p.Stats, "sync_performed_stall_cycles", int64(p.engine.Now()-ctx.T0))
+			p.record(ctx.Op, ctx.Addr, ctx.Old, ctx.New)
+			p.thread.Resolve(ctx.Old)
 			p.resume()
 		}
 	}
-	p.cache.AcquireExclusive(req.Addr, true, committed, performed)
+}
+
+// syncHit completes a synchronization operation whose line was already held
+// Exclusive. It replicates the committed→performed callback sequence of
+// syncExclusive on a hit exactly — same stat registrations, metric spans,
+// timing-entry order, and resolve point — without allocating the two
+// continuation closures; that pair dominated steady-state allocation on
+// sync spin loops. On a hit, issue, commit, and performance coincide at t0.
+func (p *Processor) syncHit(req program.Request, waitPerformed bool, t0 sim.Time, opIdx int, cur mem.Value) {
+	old, newV := cur, cur
+	if req.Op.Writes() {
+		newV = req.NewValue(cur)
+		p.cache.WriteLocal(req.Addr, newV)
+	}
+	if !waitPerformed {
+		p.rec.MemWait(p.ID, req.Addr, true, t0, t0)
+		if p.Policy != PolicyWODef2NoReserve && p.cache.DataCounter() > 0 {
+			p.cache.Reserve(req.Addr)
+		}
+		p.hSyncLine.Add(p.Stats, "sync_line_stall_cycles", 0)
+		p.record(req.Op, req.Addr, old, newV)
+		p.thread.Resolve(old)
+		p.resume()
+		// The performed callback runs after committed returns, so the timing
+		// entry lands after the resolve, exactly as on the closure path.
+		p.emitTiming(req.Op, req.Addr, opIdx, t0, t0, t0)
+		return
+	}
+	p.emitTiming(req.Op, req.Addr, opIdx, t0, t0, t0)
+	p.rec.MemWait(p.ID, req.Addr, true, t0, t0)
+	p.rec.FenceStall(p.ID, t0, t0)
+	p.hSyncPerformed.Add(p.Stats, "sync_performed_stall_cycles", 0)
+	p.record(req.Op, req.Addr, old, newV)
+	p.thread.Resolve(old)
+	p.resume()
 }

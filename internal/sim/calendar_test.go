@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// recSink records deliveries so tests can compare dispatch order across
+// engines.
+type recSink struct {
+	log *[]int64
+}
+
+func (r recSink) DeliverEvent(src int, msg any) {
+	*r.log = append(*r.log, int64(src)*1000000+msg.(int64))
+}
+
+// TestCalendarMatchesHeap drives both schedulers through the same
+// pseudo-random event storm — self-rescheduling callbacks, bursts at shared
+// timestamps, horizon-crossing delays — and requires the dispatch logs
+// (event id + dispatch time) to be identical. This is the determinism
+// contract the calendar queue must preserve byte for byte.
+func TestCalendarMatchesHeap(t *testing.T) {
+	type entry struct {
+		id int
+		at Time
+	}
+	run := func(mk func(Time, uint64) *Engine) []entry {
+		e := mk(0, 0)
+		var log []entry
+		// Deterministic LCG so both engines see the same schedule.
+		state := uint64(12345)
+		next := func(n uint64) uint64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return (state >> 33) % n
+		}
+		id := 0
+		var spawn func(depth int) func()
+		spawn = func(depth int) func() {
+			myID := id
+			id++
+			return func() {
+				log = append(log, entry{myID, e.Now()})
+				if depth >= 6 {
+					return
+				}
+				k := int(next(3)) // 0..2 children
+				for c := 0; c < k; c++ {
+					var d Time
+					switch next(4) {
+					case 0:
+						d = 0 // same-cycle batch
+					case 1:
+						d = Time(next(8)) // dense near future
+					case 2:
+						d = Time(next(200)) // mid horizon
+					default:
+						d = wheelSize - 2 + Time(next(6)) // straddles the horizon
+					}
+					e.At(e.Now()+d, spawn(depth+1))
+				}
+			}
+		}
+		for i := 0; i < 20; i++ {
+			e.At(Time(next(uint64(2*wheelSize))), spawn(0))
+		}
+		if err := e.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("pending = %d after drain", e.Pending())
+		}
+		return log
+	}
+	heapLog := run(NewHeapEngine)
+	calLog := run(NewEngine)
+	if len(heapLog) != len(calLog) {
+		t.Fatalf("dispatched %d events on heap, %d on calendar", len(heapLog), len(calLog))
+	}
+	for i := range heapLog {
+		if heapLog[i] != calLog[i] {
+			t.Fatalf("dispatch %d: heap %+v, calendar %+v", i, heapLog[i], calLog[i])
+		}
+	}
+}
+
+// TestCalendarOverflowMerge pins the subtle tie: an event scheduled from far
+// away lands in the overflow heap, a later-scheduled event for the same cycle
+// lands in the wheel, and the earlier schedule (smaller seq, here the
+// overflow one) must still dispatch first.
+func TestCalendarOverflowMerge(t *testing.T) {
+	for name, mk := range engines {
+		t.Run(name, func(t *testing.T) {
+			e := mk(0, 0)
+			target := Time(2 * wheelSize)
+			var got []int
+			e.At(target, func() { got = append(got, 1) }) // beyond horizon: overflow
+			e.At(target-10, func() {                      // within horizon of target when it runs
+				e.At(target, func() { got = append(got, 2) }) // wheel
+			})
+			e.At(target, func() { got = append(got, 3) }) // overflow again
+			if err := e.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+				t.Fatalf("order = %v, want [1 3 2] (schedule order within the cycle)", got)
+			}
+		})
+	}
+}
+
+// TestDeliverAtOrdersWithAt checks value-typed deliveries interleave with
+// closure events in strict schedule order on both engines.
+func TestDeliverAtOrdersWithAt(t *testing.T) {
+	for name, mk := range engines {
+		t.Run(name, func(t *testing.T) {
+			e := mk(0, 0)
+			var log []int64
+			s := recSink{log: &log}
+			e.DeliverAt(5, s, 1, int64(10))
+			e.At(5, func() { log = append(log, -1) })
+			e.DeliverAt(5, s, 2, int64(20))
+			e.At(3, func() { log = append(log, -2) })
+			if err := e.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			want := []int64{-2, 1000010, -1, 2000020}
+			if len(log) != len(want) {
+				t.Fatalf("log = %v, want %v", log, want)
+			}
+			for i := range want {
+				if log[i] != want[i] {
+					t.Fatalf("log = %v, want %v", log, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDeliverAtPastFails mirrors the At past-time contract for the delivery
+// fast path.
+func TestDeliverAtPastFails(t *testing.T) {
+	for name, mk := range engines {
+		t.Run(name, func(t *testing.T) {
+			e := mk(0, 0)
+			var log []int64
+			s := recSink{log: &log}
+			e.At(10, func() { e.DeliverAt(5, s, 0, int64(1)) })
+			if err := e.Run(nil); !errors.Is(err, ErrSchedulePast) {
+				t.Fatalf("err = %v, want ErrSchedulePast", err)
+			}
+			if len(log) != 0 {
+				t.Error("past-time delivery must be dropped")
+			}
+		})
+	}
+}
+
+// TestCalendarSteadyStateAllocFree: once the wheel's slot buffers are warm, a
+// self-rescheduling workload must not allocate per event.
+func TestCalendarSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine(0, 0)
+	n := 0
+	limit := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < limit {
+			e.After(1, tick)
+		}
+	}
+	// Warm every slot: time keeps advancing across runs, so the whole wheel
+	// must have seen at least one event before allocations are counted.
+	n, limit = 0, 2*wheelSize
+	e.After(0, tick)
+	if err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	limit = 64
+	allocs := testing.AllocsPerRun(10, func() {
+		n = 0
+		e.After(0, tick)
+		if err := e.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state run allocated %.1f objects per run, want 0", allocs)
+	}
+}

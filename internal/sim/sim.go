@@ -5,6 +5,16 @@
 // The timed machine in internal/machine (processors, caches, directory,
 // interconnect) is built on this kernel; the operational exploration layer in
 // internal/model does not use it (exploration is untimed).
+//
+// Two schedulers back the same Engine API. The default is a calendar queue: a
+// fixed-size timing wheel of per-cycle slots holding value-typed events, with
+// a binary min-heap fallback for events scheduled beyond the wheel horizon.
+// Slot buffers and the overflow heap's backing array are recycled, so
+// steady-state scheduling is allocation-free, and a whole cycle's slot is
+// dispatched as one batch. NewHeapEngine builds the original
+// container/heap-based scheduler (one allocation per event); it dispatches in
+// exactly the same order and exists as the baseline for differential tests
+// and benchmarks.
 package sim
 
 import (
@@ -15,11 +25,23 @@ import (
 // Time is simulated time in cycles.
 type Time int64
 
-// Event is a scheduled callback.
+// Sink is a destination for a value-typed delivery event. Fabrics schedule
+// message arrival through DeliverAt instead of a closure so that the hot
+// send path does not allocate.
+type Sink interface {
+	DeliverEvent(src int, msg any)
+}
+
+// event is a scheduled callback (fn) or delivery (sink/src/msg). The calendar
+// scheduler stores events by value in slot buffers; the legacy heap scheduler
+// stores them behind pointers.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	sink Sink
+	src  int
+	msg  any
 }
 
 type eventQueue []*event
@@ -42,6 +64,78 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// wheelSize is the calendar horizon in cycles. Events scheduled less than
+// wheelSize cycles ahead land in their cycle's slot; anything further goes to
+// the overflow heap. All latencies in the timed machine (hit, memory,
+// network, bus) are far below this, so in steady state the overflow heap only
+// sees watchdog and deep-backoff timers.
+const (
+	wheelSize = 1 << 10
+	wheelMask = wheelSize - 1
+)
+
+// slot is one wheel cycle's batch of events, appended in schedule (seq)
+// order. head marks how many have been dispatched; buffers are reset, not
+// freed, so a warmed-up wheel never allocates.
+type slot struct {
+	head int
+	evs  []event
+}
+
+// overflow is a value-typed min-heap ordered by (at, seq) for events beyond
+// the wheel horizon.
+type overflow struct {
+	h []event
+}
+
+func (o *overflow) len() int    { return len(o.h) }
+func (o *overflow) top() *event { return &o.h[0] }
+
+func (o *overflow) less(i, j int) bool {
+	if o.h[i].at != o.h[j].at {
+		return o.h[i].at < o.h[j].at
+	}
+	return o.h[i].seq < o.h[j].seq
+}
+
+func (o *overflow) push(ev event) {
+	o.h = append(o.h, ev)
+	i := len(o.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !o.less(i, p) {
+			break
+		}
+		o.h[i], o.h[p] = o.h[p], o.h[i]
+		i = p
+	}
+}
+
+func (o *overflow) pop() event {
+	ev := o.h[0]
+	n := len(o.h) - 1
+	o.h[0] = o.h[n]
+	o.h[n] = event{}
+	o.h = o.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && o.less(l, s) {
+			s = l
+		}
+		if r < n && o.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		o.h[i], o.h[s] = o.h[s], o.h[i]
+		i = s
+	}
+	return ev
+}
+
 // Clock is the read-only view of simulated time that instrumentation layers
 // (internal/metrics) depend on: they timestamp observations but must never
 // schedule events, so handing them a Clock instead of the Engine makes the
@@ -51,22 +145,37 @@ type Clock interface {
 }
 
 // Engine is the discrete-event simulator. The zero value is not usable; call
-// NewEngine.
+// NewEngine or NewHeapEngine.
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventQueue
 	steps  uint64
 	maxT   Time
 	budget uint64
 	failed error
+
+	// legacy selects the original container/heap scheduler.
+	legacy bool
+	queue  eventQueue
+
+	// Calendar scheduler state.
+	live  int // events resident in wheel slots
+	over  overflow
+	wheel [wheelSize]slot
 }
 
-// NewEngine returns an engine at time zero. maxTime bounds simulated time and
-// maxEvents bounds the number of dispatched events; either being exceeded
-// makes Run return ErrBudget. Pass 0 for no bound.
+// NewEngine returns a calendar-queue engine at time zero. maxTime bounds
+// simulated time and maxEvents bounds the number of dispatched events; either
+// being exceeded makes Run return ErrBudget. Pass 0 for no bound.
 func NewEngine(maxTime Time, maxEvents uint64) *Engine {
 	return &Engine{maxT: maxTime, budget: maxEvents}
+}
+
+// NewHeapEngine returns an engine using the original binary-heap scheduler.
+// It dispatches the same schedule in the same order as NewEngine; it is kept
+// as the comparison baseline for equivalence tests and throughput benchmarks.
+func NewHeapEngine(maxTime Time, maxEvents uint64) *Engine {
+	return &Engine{maxT: maxTime, budget: maxEvents, legacy: true}
 }
 
 // Now returns the current simulated time.
@@ -75,14 +184,67 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events dispatched so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
+// ErrSchedulePast is the sentinel matched (via errors.Is) by the
+// ScheduleError recorded when a component schedules an event before the
+// current time.
+var ErrSchedulePast = fmt.Errorf("sim: schedule before now")
+
+// ScheduleError reports a past-time scheduling attempt: a component bug, but
+// surfaced as a run failure (like ErrProtocol in the cache layer) instead of
+// a panic so harnesses can report it alongside the offending configuration.
+type ScheduleError struct {
+	At, Now Time
+}
+
+func (s *ScheduleError) Error() string {
+	return fmt.Sprintf("sim: schedule at %d before now %d", s.At, s.Now)
+}
+
+// Is makes errors.Is(err, ErrSchedulePast) match.
+func (s *ScheduleError) Is(target error) bool { return target == ErrSchedulePast }
+
 // At schedules fn to run at the absolute time t. Scheduling in the past
-// panics: it always indicates a component bug.
+// always indicates a component bug: the event is dropped and the run fails
+// with a ScheduleError before the next dispatch.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+		e.Fail(&ScheduleError{At: t, Now: e.now})
+		return
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	if e.legacy {
+		heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+		return
+	}
+	e.place(event{at: t, seq: e.seq, fn: fn})
+}
+
+// DeliverAt schedules s.DeliverEvent(src, msg) at the absolute time t. On the
+// calendar engine this is allocation-free (the event is stored by value); on
+// the legacy heap engine it degrades to the closure it replaces. Past-time
+// scheduling fails the run exactly like At.
+func (e *Engine) DeliverAt(t Time, s Sink, src int, msg any) {
+	if t < e.now {
+		e.Fail(&ScheduleError{At: t, Now: e.now})
+		return
+	}
+	e.seq++
+	if e.legacy {
+		heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: func() { s.DeliverEvent(src, msg) }})
+		return
+	}
+	e.place(event{at: t, seq: e.seq, sink: s, src: src, msg: msg})
+}
+
+// place files a value event into its wheel slot or the overflow heap.
+func (e *Engine) place(ev event) {
+	if ev.at-e.now < wheelSize {
+		s := &e.wheel[ev.at&wheelMask]
+		s.evs = append(s.evs, ev)
+		e.live++
+		return
+	}
+	e.over.push(ev)
 }
 
 // After schedules fn to run d cycles from now. d must be >= 0.
@@ -110,6 +272,13 @@ var ErrBudget = fmt.Errorf("sim: time or event budget exhausted")
 // (if non-nil) returns true, or until a budget is exceeded. It returns nil on
 // a drained queue or satisfied predicate.
 func (e *Engine) Run(done func() bool) error {
+	if e.legacy {
+		return e.runHeap(done)
+	}
+	return e.runWheel(done)
+}
+
+func (e *Engine) runHeap(done func() bool) error {
 	for e.queue.Len() > 0 {
 		if e.failed != nil {
 			return e.failed
@@ -128,6 +297,91 @@ func (e *Engine) Run(done func() bool) error {
 		}
 		ev.fn()
 	}
+	return e.finish(done)
+}
+
+// runWheel is the calendar dispatch loop: advance to the next populated
+// cycle, then drain that cycle's slot as one batch, merging in any overflow
+// events that carry the same timestamp (an event scheduled from far away can
+// share a cycle with one scheduled inside the horizon; schedule order must
+// still break the tie, so the merge compares sequence numbers).
+func (e *Engine) runWheel(done func() bool) error {
+	for e.live > 0 || e.over.len() > 0 {
+		if e.failed != nil {
+			return e.failed
+		}
+		if done != nil && done() {
+			return nil
+		}
+		e.now = e.nextTime()
+		if e.maxT > 0 && e.now > e.maxT {
+			return ErrBudget
+		}
+		s := &e.wheel[e.now&wheelMask]
+		// Every event in this slot is for the current cycle: inserts always
+		// satisfy at-now < wheelSize, so a slot never holds two laps at once.
+		for {
+			hasW := s.head < len(s.evs)
+			hasO := e.over.len() > 0 && e.over.top().at == e.now
+			if !hasW && !hasO {
+				break
+			}
+			if e.failed != nil {
+				return e.failed
+			}
+			if done != nil && done() {
+				return nil
+			}
+			var ev event
+			if hasW && (!hasO || s.evs[s.head].seq < e.over.top().seq) {
+				ev = s.evs[s.head]
+				s.evs[s.head] = event{}
+				s.head++
+				e.live--
+			} else {
+				ev = e.over.pop()
+			}
+			e.steps++
+			if e.budget > 0 && e.steps > e.budget {
+				return ErrBudget
+			}
+			if ev.sink != nil {
+				ev.sink.DeliverEvent(ev.src, ev.msg)
+			} else {
+				ev.fn()
+			}
+		}
+		s.evs = s.evs[:0]
+		s.head = 0
+	}
+	return e.finish(done)
+}
+
+// nextTime finds the earliest populated cycle: the wheel is scanned forward
+// from now (any resident event is within wheelSize cycles, and the scan
+// pointer only moves with time, so the cost amortizes to O(1) per event),
+// bounded by the overflow heap's minimum.
+func (e *Engine) nextTime() Time {
+	best := Time(-1)
+	if e.over.len() > 0 {
+		best = e.over.top().at
+	}
+	if e.live > 0 {
+		for d := Time(0); d < wheelSize; d++ {
+			t := e.now + d
+			if best >= 0 && t > best {
+				break
+			}
+			s := &e.wheel[t&wheelMask]
+			if s.head < len(s.evs) {
+				return t
+			}
+		}
+	}
+	return best
+}
+
+func (e *Engine) finish(done func() bool) error {
 	if e.failed != nil {
 		return e.failed
 	}
@@ -146,4 +400,9 @@ func (e *Engine) Run(done func() bool) error {
 var ErrDeadlock = fmt.Errorf("sim: deadlock (event queue drained before completion)")
 
 // Pending returns the number of undelivered events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int {
+	if e.legacy {
+		return e.queue.Len()
+	}
+	return e.live + e.over.len()
+}

@@ -1,8 +1,16 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 )
+
+// engines runs a subtest against both schedulers; the heap engine is the
+// reference the calendar engine must match event for event.
+var engines = map[string]func(Time, uint64) *Engine{
+	"calendar": NewEngine,
+	"heap":     NewHeapEngine,
+}
 
 func TestEngineOrdering(t *testing.T) {
 	e := NewEngine(0, 0)
@@ -48,18 +56,26 @@ func TestEngineAfterChains(t *testing.T) {
 	}
 }
 
-func TestEngineSchedulePastPanics(t *testing.T) {
-	e := NewEngine(0, 0)
-	e.At(10, func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("scheduling in the past should panic")
+func TestEngineSchedulePastFails(t *testing.T) {
+	for name, mk := range engines {
+		t.Run(name, func(t *testing.T) {
+			e := mk(0, 0)
+			ran := false
+			e.At(10, func() {
+				e.At(5, func() { ran = true })
+			})
+			err := e.Run(nil)
+			if !errors.Is(err, ErrSchedulePast) {
+				t.Fatalf("err = %v, want ErrSchedulePast", err)
 			}
-		}()
-		e.At(5, func() {})
-	})
-	if err := e.Run(nil); err != nil {
-		t.Fatal(err)
+			var se *ScheduleError
+			if !errors.As(err, &se) || se.At != 5 || se.Now != 10 {
+				t.Fatalf("err = %#v, want ScheduleError{At:5, Now:10}", err)
+			}
+			if ran {
+				t.Error("past-time event must be dropped, not dispatched")
+			}
+		})
 	}
 }
 

@@ -10,25 +10,58 @@ import (
 
 // Counters is an ordered bag of named integer counters.
 type Counters struct {
-	names  []string
-	values map[string]int64
+	names []string
+	cells map[string]*int64
 }
 
 // NewCounters returns an empty counter bag.
 func NewCounters() *Counters {
-	return &Counters{values: make(map[string]int64)}
+	return &Counters{cells: make(map[string]*int64)}
+}
+
+// cell returns the named counter's storage, registering it on first use.
+func (c *Counters) cell(name string) *int64 {
+	p, ok := c.cells[name]
+	if !ok {
+		p = new(int64)
+		c.cells[name] = p
+		c.names = append(c.names, name)
+	}
+	return p
 }
 
 // Add increments a counter, registering it on first use.
-func (c *Counters) Add(name string, delta int64) {
-	if _, ok := c.values[name]; !ok {
-		c.names = append(c.names, name)
-	}
-	c.values[name] += delta
-}
+func (c *Counters) Add(name string, delta int64) { *c.cell(name) += delta }
+
+// Counter returns a stable pointer to the named counter's cell, registering
+// the name on first use. It is the same storage Add and Get observe: hot
+// paths resolve the handle once and increment through it, skipping the
+// per-Add string-map lookup.
+func (c *Counters) Counter(name string) *int64 { return c.cell(name) }
 
 // Get returns a counter's value (zero when never touched).
-func (c *Counters) Get(name string) int64 { return c.values[name] }
+func (c *Counters) Get(name string) int64 {
+	if p, ok := c.cells[name]; ok {
+		return *p
+	}
+	return 0
+}
+
+// Hot is a lazily resolved counter handle for hot paths. The first Add goes
+// through Counters.Counter, so the name registers at the same program point
+// it always did (first touch), keeping registration order and the
+// only-touched-counters-render property intact; later Adds are a plain
+// pointer increment with no string-map lookup. A Hot is bound to whichever
+// bag its first Add used and must not be shared across bags.
+type Hot struct{ p *int64 }
+
+// Add increments the named counter of c, resolving the handle on first use.
+func (h *Hot) Add(c *Counters, name string, delta int64) {
+	if h.p == nil {
+		h.p = c.Counter(name)
+	}
+	*h.p += delta
+}
 
 // Names returns the counters in registration order.
 func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
@@ -49,13 +82,14 @@ func (c *Counters) Merge(o *Counters) {
 		n := o.names[i]
 		if at, ok := c.indexOf(n); ok {
 			insertAt = at
-			c.values[n] += o.values[n]
+			*c.cells[n] += *o.cells[n]
 			continue
 		}
 		c.names = append(c.names, "")
 		copy(c.names[insertAt+1:], c.names[insertAt:])
 		c.names[insertAt] = n
-		c.values[n] = o.values[n]
+		v := *o.cells[n]
+		c.cells[n] = &v
 	}
 }
 
@@ -71,9 +105,9 @@ func (c *Counters) indexOf(name string) (int, bool) {
 
 // Snapshot returns a sorted copy of the values, for deterministic printing.
 func (c *Counters) Snapshot() map[string]int64 {
-	m := make(map[string]int64, len(c.values))
-	for k, v := range c.values {
-		m[k] = v
+	m := make(map[string]int64, len(c.cells))
+	for k, v := range c.cells {
+		m[k] = *v
 	}
 	return m
 }
@@ -84,7 +118,7 @@ func (c *Counters) String() string {
 	sort.Strings(names)
 	parts := make([]string, len(names))
 	for i, n := range names {
-		parts[i] = fmt.Sprintf("%s=%d", n, c.values[n])
+		parts[i] = fmt.Sprintf("%s=%d", n, *c.cells[n])
 	}
 	return strings.Join(parts, " ")
 }
