@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig1|fig2|fig3|quant|spin|contract|fence|overlap|capacity|all] [-n N] [-seed S]
+//	experiments [-run fig1|fig2|fig3|quant|spin|contract|fence|overlap|capacity|openloop|all] [-n N] [-seed S]
 //
 // -n sets the number of random programs for the contract sweep; -seed its
 // generator seed. -cpuprofile and -memprofile write pprof profiles for the
@@ -23,10 +23,11 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: fig1, fig2, fig3, quant, spin, contract, fence, delayset, conditions, sweep, protocol, overlap, capacity, all")
+	run := flag.String("run", "all", "experiment to run: fig1, fig2, fig3, quant, spin, contract, fence, delayset, conditions, sweep, protocol, overlap, capacity, openloop, all")
 	n := flag.Int("n", 40, "random programs for the contract sweep")
 	seed := flag.Int64("seed", 7, "random seed for the contract sweep")
 	capacityMaxP := flag.Int("max-p", 64, "largest processor count for the capacity sweep")
+	openLoopMaxRate := flag.Int("max-rate", 64, "largest arrival rate for the open-loop sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -182,6 +183,24 @@ func main() {
 		// Stderr, not stdout: the throughput figure is wall-clock and would
 		// break the byte-identical-at-any-pool-width property of golden output.
 		fmt.Fprintf(os.Stderr, "capacity engine throughput: %.0f simcycles/sec (wall-clock, excluded from golden output)\n", s.SimCyclesPerSec)
+		fmt.Println()
+	}
+	if want("openloop") {
+		ran = true
+		s, err := experiments.OpenLoopUpTo(*openLoopMaxRate)
+		if err != nil {
+			fail(err)
+		}
+		print(s.Table)
+		knee := func(r int) string {
+			if r == 0 {
+				return "not reached"
+			}
+			return fmt.Sprintf("rate=%d", r)
+		}
+		fmt.Printf("open-loop knee: lock %s, barrier %s, prodcons %s\n", knee(s.KneeLock), knee(s.KneeBarrier), knee(s.KneeProdCons))
+		// Stderr, not stdout: wall-clock, excluded from golden output.
+		fmt.Fprintf(os.Stderr, "open-loop engine throughput: %.0f simcycles/sec (wall-clock, excluded from golden output)\n", s.SimCyclesPerSec)
 		fmt.Println()
 	}
 	if want("protocol") {

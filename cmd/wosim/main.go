@@ -6,6 +6,7 @@
 //
 //	wosim -workload prodcons|lock|barrier|fig3 [-policy sc|def1|def2|def2drf1]
 //	      [-procs N] [-iters N] [-work N] [-spin sync|data|tas]
+//	      [-spec FILE] [-record FILE] [-replay FILE]
 //	      [-netlat N] [-jitter N] [-bus] [-seed S] [-check]
 //	      [-dir-shards N] [-topology flat|dancehall|clusters]
 //	      [-cluster-size N] [-remote-lat N] [-engine calendar|heap]
@@ -13,9 +14,20 @@
 //	      [-faults] [-fault-seed S] [-fault-rates drop=P,dup=P,delay=P,reorder=P,maxdelay=N]
 //	      [-metrics] [-timeline FILE]
 //
-// All flag values are validated up front: an unknown enum value or a negative
-// latency exits with status 2 and a one-line message before any simulation
-// work happens.
+// All flag values are validated up front: an unknown enum value, a negative
+// latency, an ill-formed -spec file, or an unreadable -replay trace exits
+// with status 2 and a one-line message before any simulation work happens.
+// The built-in barrier workload rejects -spin tas the same way: the
+// test-and-set spin cannot express the sense-reversing barrier.
+//
+// -spec FILE runs an open-loop workload (internal/workload/spec, YAML or
+// JSON) instead of -workload: operations arrive at simulated-time instants
+// drawn from the spec's per-phase rates. -record FILE writes the exact
+// arrival stream to a versioned binary trace; -replay FILE re-runs a
+// recorded trace with no spec in hand, and combines with -record to
+// re-record the replay (the two trace files are byte-identical — the CI
+// smoke test relies on it). -spec and -replay are mutually exclusive, and
+// -record without either is a usage error.
 //
 // -check additionally records the execution trace and verifies it is
 // sequentially consistent (expected for the DRF0 workloads on every policy).
@@ -51,6 +63,7 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -72,6 +85,9 @@ import (
 	"weakorder/internal/stats"
 	"weakorder/internal/trace"
 	"weakorder/internal/workload"
+	"weakorder/internal/workload/openloop"
+	"weakorder/internal/workload/spec"
+	"weakorder/internal/workload/tracefmt"
 )
 
 func main() {
@@ -81,6 +97,9 @@ func main() {
 	iters := flag.Int("iters", 8, "items/acquires/phases")
 	work := flag.Int("work", 20, "local work cycles")
 	spin := flag.String("spin", "sync", "sync, data, tas")
+	specFile := flag.String("spec", "", "run an open-loop workload spec (YAML or JSON) instead of -workload")
+	recordFile := flag.String("record", "", "record the open-loop arrival stream to this trace file (requires -spec or -replay)")
+	replayFile := flag.String("replay", "", "replay a recorded arrival trace instead of generating one")
 	netlat := flag.Int("netlat", 10, "network latency")
 	jitter := flag.Int("jitter", 0, "network jitter")
 	bus := flag.Bool("bus", false, "use the serialized bus fabric")
@@ -138,6 +157,12 @@ func main() {
 	case "prodcons", "lock", "barrier", "fig3":
 	default:
 		usage(fmt.Errorf("unknown -workload %q (want prodcons, lock, barrier, or fig3)", *wl))
+	}
+	if *specFile != "" && *replayFile != "" {
+		usage(fmt.Errorf("-spec and -replay are mutually exclusive (a replay needs no spec)"))
+	}
+	if *recordFile != "" && *specFile == "" && *replayFile == "" {
+		usage(fmt.Errorf("-record requires -spec or -replay (nothing to record)"))
 	}
 	if *por != "on" && *por != "off" {
 		usage(fmt.Errorf("invalid -por %q (want on or off)", *por))
@@ -211,16 +236,69 @@ func main() {
 		}()
 	}
 
+	// Resolve the program and (for open-loop runs) the arrival source. Spec
+	// and trace problems found here are usage errors: nothing has run yet.
 	var prog *program.Program
-	switch *wl {
-	case "prodcons":
-		prog = workload.ProducerConsumer(*iters, *work)
-	case "lock":
-		prog = workload.Lock(*procs, *iters, *work, *work, sk)
-	case "barrier":
-		prog = workload.Barrier(*procs, *iters, *work, sk)
-	case "fig3":
-		prog = workload.Fig3(*procs-1, *work)
+	var src openloop.Source
+	var traceHdr tracefmt.Header
+	switch {
+	case *specFile != "":
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			usage(fmt.Errorf("reading -spec: %w", err))
+		}
+		sp, err := spec.Parse(data)
+		if err != nil {
+			usage(fmt.Errorf("invalid -spec %s: %w", *specFile, err))
+		}
+		if prog, err = openloop.Program(sp); err != nil {
+			usage(err)
+		}
+		gen, err := openloop.NewGenerator(sp, 0)
+		if err != nil {
+			usage(err)
+		}
+		src, traceHdr = gen, openloop.Header(sp)
+	case *replayFile != "":
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			usage(fmt.Errorf("opening -replay: %w", err))
+		}
+		defer f.Close()
+		r, err := tracefmt.NewReader(bufio.NewReader(f))
+		if err != nil {
+			usage(fmt.Errorf("invalid -replay %s: %w", *replayFile, err))
+		}
+		if prog, err = openloop.ReplayProgram(r.Header()); err != nil {
+			usage(err)
+		}
+		src, traceHdr = openloop.NewReplayer(r), r.Header()
+	default:
+		switch *wl {
+		case "prodcons":
+			prog = workload.ProducerConsumer(*iters, *work)
+		case "lock":
+			prog = workload.Lock(*procs, *iters, *work, *work, sk)
+		case "barrier":
+			var err error
+			if prog, err = workload.BuildBarrier(*procs, *iters, *work, sk); err != nil {
+				usage(err)
+			}
+		case "fig3":
+			prog = workload.Fig3(*procs-1, *work)
+		}
+	}
+	var traceW *tracefmt.Writer
+	var traceOut *os.File
+	if *recordFile != "" {
+		var err error
+		if traceOut, err = os.Create(*recordFile); err != nil {
+			fatal(err)
+		}
+		if traceW, err = tracefmt.NewWriter(traceOut, traceHdr); err != nil {
+			fatal(err)
+		}
+		src = openloop.NewRecorder(src, traceW)
 	}
 
 	cfg := machine.NewConfig(pol)
@@ -246,10 +324,22 @@ func main() {
 	cfg.RecordTrace = *check || *dump != ""
 	cfg.Metrics = *showMetrics || *timeline != ""
 	cfg.RecordTimings = *conds || *dump != ""
+	if src != nil {
+		cfg.Workload = openloop.Compile(src)
+	}
 
 	res, err := machine.Run(prog, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if traceW != nil {
+		if err := traceW.Close(); err != nil {
+			fatal(fmt.Errorf("closing -record trace: %w", err))
+		}
+		if err := traceOut.Close(); err != nil {
+			fatal(fmt.Errorf("closing -record trace: %w", err))
+		}
+		fmt.Printf("arrival trace recorded to %s (%d records)\n", *recordFile, traceW.Count())
 	}
 
 	fmt.Printf("workload %s on %s: %d cycles, %d messages\n", prog.Name, pol, res.Cycles, res.Messages)

@@ -72,6 +72,29 @@ func TestDeterministicAcrossPoolWidths(t *testing.T) {
 		}
 	})
 
+	t.Run("OpenLoop", func(t *testing.T) {
+		// Same shape as Capacity: SimCyclesPerSec is wall-clock and varies;
+		// the tables, points, and knees must be byte-identical.
+		var got []*OpenLoopSummary
+		for _, w := range widths {
+			restore := par.SetWorkers(w)
+			s, err := OpenLoopUpTo(8)
+			restore()
+			if err != nil {
+				t.Fatalf("OpenLoop at width %d: %v", w, err)
+			}
+			s.SimCyclesPerSec = 0
+			got = append(got, s)
+		}
+		if got[0].Table.String() != got[1].Table.String() || !reflect.DeepEqual(got[0].Lock, got[1].Lock) ||
+			!reflect.DeepEqual(got[0].Barrier, got[1].Barrier) || !reflect.DeepEqual(got[0].ProdCons, got[1].ProdCons) ||
+			got[0].KneeLock != got[1].KneeLock || got[0].KneeBarrier != got[1].KneeBarrier ||
+			got[0].KneeProdCons != got[1].KneeProdCons {
+			t.Errorf("OpenLoop summaries differ between widths %v:\n%s\nvs\n%s",
+				widths, got[0].Table, got[1].Table)
+		}
+	})
+
 	t.Run("Sweep", func(t *testing.T) {
 		var got []*SweepSummary
 		for _, w := range widths {

@@ -260,3 +260,45 @@ func TestOverlap(t *testing.T) {
 		}
 	}
 }
+
+func TestOpenLoop(t *testing.T) {
+	s, err := OpenLoopUpTo(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps := map[string][]metrics.SaturationPoint{
+		"lock": s.Lock, "barrier": s.Barrier, "prodcons": s.ProdCons,
+	}
+	knees := map[string]int{"lock": s.KneeLock, "barrier": s.KneeBarrier, "prodcons": s.KneeProdCons}
+	for name, pts := range sweeps {
+		if len(pts) == 0 {
+			t.Fatalf("%s sweep is empty", name)
+		}
+		// Raising the offered rate can only lengthen the drain.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Cycles < pts[i-1].Cycles {
+				t.Errorf("%s: drain shortened as rate rose: %d cycles at rate %d, %d at rate %d",
+					name, pts[i-1].Cycles, pts[i-1].Load, pts[i].Cycles, pts[i].Load)
+			}
+		}
+		// Every scenario must saturate within the sweep, at a rate past the
+		// bottom (the lightest offered load must not read as stall-dominated —
+		// that would mean arrival slack leaked into the wait aggregate).
+		if knees[name] == 0 {
+			t.Errorf("%s sweep never found a knee", name)
+		}
+		if knees[name] == pts[0].Load {
+			t.Errorf("%s knee at the lightest rate %d: arrival slack miscounted as backlog", name, knees[name])
+		}
+		last := pts[len(pts)-1]
+		if last.Wait < last.Compute {
+			t.Errorf("%s: highest rate is not backlog-dominated: wait %d < compute %d", name, last.Wait, last.Compute)
+		}
+		if first := pts[0]; first.Wait >= first.Compute {
+			t.Errorf("%s: lightest rate reads as saturated: wait %d >= compute %d", name, first.Wait, first.Compute)
+		}
+	}
+	if s.SimCyclesPerSec <= 0 {
+		t.Errorf("engine throughput figure missing: %f", s.SimCyclesPerSec)
+	}
+}

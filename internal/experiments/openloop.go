@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"weakorder/internal/machine"
+	"weakorder/internal/metrics"
+	"weakorder/internal/par"
+	"weakorder/internal/proc"
+	"weakorder/internal/stats"
+	"weakorder/internal/workload/openloop"
+	"weakorder/internal/workload/spec"
+	"weakorder/internal/workload/tracefmt"
+)
+
+// OpenLoopSummary reports E14: the open-loop arrival-rate sweep. Where E13
+// raises the processor count on a closed-loop program, E14 fixes the machine
+// and raises the offered arrival rate of three injected scenarios — the
+// contended lock, the barrier storm, and producer/consumer pipelines — until
+// the machine stops draining arrivals inside their window. The knee is the
+// first rate where the drain overrun dominates compute and marginal
+// delivered throughput has collapsed. Everything in Table and the point
+// slices is deterministic; SimCyclesPerSec is the one wall-clock figure and
+// must stay out of golden comparisons.
+type OpenLoopSummary struct {
+	Table *stats.Table
+	// Lock, Barrier, ProdCons are the saturation sweeps per scenario, in
+	// ascending arrival rate (operations per 1000 ticks per processor).
+	Lock, Barrier, ProdCons []metrics.SaturationPoint
+	// KneeLock/KneeBarrier/KneeProdCons are the arrival rates at each
+	// sweep's knee (0 when the sweep never saturated).
+	KneeLock, KneeBarrier, KneeProdCons int
+	// SimCyclesPerSec is simulated cycles per CPU-second over all runs.
+	SimCyclesPerSec float64
+}
+
+// OpenLoop runs E14 with the default sweep (rates up to 64).
+func OpenLoop() (*OpenLoopSummary, error) { return OpenLoopUpTo(64) }
+
+// openLoopProcs is E14's fixed machine size.
+const openLoopProcs = 8
+
+// openLoopSpec builds the single-phase spec for one sweep cell.
+func openLoopSpec(scenario spec.Scenario, rate int) *spec.Spec {
+	return &spec.Spec{
+		SpecVersion: spec.Version,
+		Name:        fmt.Sprintf("e14-%s-r%d", scenario, rate),
+		Procs:       openLoopProcs,
+		Seed:        7,
+		Phases: []spec.Phase{
+			{Duration: 6000, Rate: rate, Scenario: scenario, Work: 10},
+		},
+	}
+}
+
+// countingSource counts the records a source delivers, so delivered
+// operations per kilocycle is measurable without touching the stream.
+type countingSource struct {
+	src openloop.Source
+	n   int64
+}
+
+func (c *countingSource) Next(proc int) (tracefmt.Record, bool, error) {
+	r, ok, err := c.src.Next(proc)
+	if ok && err == nil {
+		c.n++
+	}
+	return r, ok, err
+}
+
+// OpenLoopUpTo runs E14 with arrival rates 2..maxRate (doubling), so smoke
+// runs can bound the sweep. Each cell injects one scenario at one offered
+// rate for a fixed window; delivered operations per kilocycle against the
+// offered rate gives the throughput curve, and the drain overrun past the
+// window gives the saturation evidence.
+func OpenLoopUpTo(maxRate int) (*OpenLoopSummary, error) {
+	scenarios := []spec.Scenario{spec.ScenarioLock, spec.ScenarioBarrier, spec.ScenarioProdCons}
+	var rates []int
+	for r := 1; r <= maxRate; r *= 2 {
+		rates = append(rates, r)
+	}
+	type cell struct {
+		scenario spec.Scenario
+		rate     int
+	}
+	var cells []cell
+	for _, sc := range scenarios {
+		for _, r := range rates {
+			cells = append(cells, cell{scenario: sc, rate: r})
+		}
+	}
+	type meas struct {
+		point metrics.SaturationPoint
+		ops   int64
+		msgs  int64
+		wall  time.Duration
+	}
+	results, err := par.Map(cells, 0, func(_ int, c cell) (meas, error) {
+		s := openLoopSpec(c.scenario, c.rate)
+		prog, err := openloop.Program(s)
+		if err != nil {
+			return meas{}, err
+		}
+		gen, err := openloop.NewGenerator(s, 0)
+		if err != nil {
+			return meas{}, err
+		}
+		counted := &countingSource{src: gen}
+		cfg := machine.NewConfig(proc.PolicyWODef2)
+		cfg.Workload = openloop.Compile(counted)
+		cfg.Metrics = true
+		start := time.Now()
+		res, err := machine.Run(prog, cfg)
+		wall := time.Since(start)
+		if err != nil {
+			return meas{}, err
+		}
+		thru := float64(counted.n) / float64(res.Cycles) * 1000
+		return meas{
+			point: metrics.NewOpenLoopSaturationPoint(c.rate, s.EndTime(), res.Cycles, res.Metrics, thru),
+			ops:   counted.n,
+			msgs:  int64(res.Messages),
+			wall:  wall,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &OpenLoopSummary{}
+	tbl := stats.NewTable(fmt.Sprintf("E14 — open-loop: saturation knee of injected arrivals (WO-def2, %d procs, 6000-tick window)", openLoopProcs),
+		"scenario", "rate", "ops", "cycles", "messages", "compute", "sync stall", "wait", "stall share", "ops/kcycle", "marginal")
+	var wall time.Duration
+	i := 0
+	for _, sc := range scenarios {
+		points := make([]metrics.SaturationPoint, 0, len(rates))
+		for range rates {
+			m := results[i]
+			points = append(points, m.point)
+			wall += m.wall
+			i++
+		}
+		marginal := metrics.MarginalThroughput(points)
+		knee := metrics.FindKnee(points)
+		for j, p := range points {
+			kneeMark := ""
+			if j == knee {
+				kneeMark = " <- knee"
+			}
+			m := results[i-len(points)+j]
+			tbl.Row(sc, p.Load, m.ops, int64(p.Cycles), m.msgs, p.Compute, p.SyncStall, p.Wait,
+				fmt.Sprintf("%.1f%%", p.StallShare()*100),
+				fmt.Sprintf("%.3f", p.Throughput),
+				fmt.Sprintf("%.3f%s", marginal[j], kneeMark))
+		}
+		kneeRate := 0
+		if knee >= 0 {
+			kneeRate = points[knee].Load
+		}
+		switch sc {
+		case spec.ScenarioLock:
+			s.Lock, s.KneeLock = points, kneeRate
+		case spec.ScenarioBarrier:
+			s.Barrier, s.KneeBarrier = points, kneeRate
+		case spec.ScenarioProdCons:
+			s.ProdCons, s.KneeProdCons = points, kneeRate
+		}
+	}
+	tbl.Note("rate: offered arrivals per 1000 ticks per processor; wait folds the drain overrun past the arrival window in place of closed-loop idle")
+	tbl.Note("knee: first rate where backlog wait >= compute and marginal delivered ops/kcycle fell below half the initial per-rate slope")
+	s.Table = tbl
+
+	var total int64
+	for _, m := range results {
+		total += int64(m.point.Cycles)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		s.SimCyclesPerSec = float64(total) / secs
+	}
+	return s, nil
+}

@@ -141,6 +141,13 @@ type Config struct {
 	// instead of the calendar queue. Event order is identical; this exists
 	// as the throughput-comparison baseline.
 	HeapEngine bool
+	// Workload attaches an open-loop fragment source to every processor
+	// (internal/workload/openloop builds them from a spec or a recorded
+	// trace). The program passed to New is then a skeleton: it sizes the
+	// thread population and declares the address pools in Init; each thread
+	// starts pulling fragments when its skeleton code halts. Nil runs the
+	// program as-is.
+	Workload proc.Workload
 }
 
 // NewConfig returns a Config with the documented defaults and the given
@@ -389,6 +396,9 @@ func New(p *program.Program, cfg Config) *Machine {
 		}
 		pr.SetUpdateProtocol(cfg.Protocol == ProtocolUpdate)
 		pr.SetMetrics(rec)
+		if cfg.Workload != nil {
+			pr.SetWorkload(cfg.Workload)
+		}
 		m.procs = append(m.procs, pr)
 	}
 	return m

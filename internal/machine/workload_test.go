@@ -1,0 +1,225 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/proc"
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+)
+
+// frag compiles one code fragment (a single-thread program body).
+func frag(t *testing.T, build func(b *program.Builder)) program.Code {
+	t.Helper()
+	b := program.NewBuilder("frag")
+	b.Thread()
+	build(b)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("frag: %v", err)
+	}
+	return p.Threads[0]
+}
+
+// skeleton builds the workload skeleton: n threads that halt immediately,
+// with the shared addresses declared in Init so the directory owns them.
+func skeleton(t *testing.T, n int, addrs ...mem.Addr) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("skeleton")
+	for _, a := range addrs {
+		b.Init(a, 0)
+	}
+	for i := 0; i < n; i++ {
+		b.Thread()
+		b.Halt()
+	}
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("skeleton: %v", err)
+	}
+	return p
+}
+
+// queueSource feeds each processor a fixed fragment queue.
+type queueSource struct {
+	jobs  [][]proc.Job
+	pulls []int
+	// failProc/failPull, when failPull > 0, inject an error on that
+	// processor's Nth pull (1-based).
+	failProc, failPull int
+	failErr            error
+}
+
+func (s *queueSource) Next(p int) (proc.Job, bool, error) {
+	s.pulls[p]++
+	if s.failErr != nil && p == s.failProc && s.pulls[p] == s.failPull {
+		return proc.Job{}, false, s.failErr
+	}
+	if len(s.jobs[p]) == 0 {
+		return proc.Job{}, false, nil
+	}
+	j := s.jobs[p][0]
+	s.jobs[p] = s.jobs[p][1:]
+	return j, true, nil
+}
+
+// TestWorkloadFragmentsRunAsOneThread drives two processors through fragment
+// streams and checks the single-logical-thread contract: registers persist
+// across fragments, op indices stay contiguous (the recorded execution's
+// Validate enforces per-processor index density), and arrival times hold
+// back fragments scheduled in the future.
+func TestWorkloadFragmentsRunAsOneThread(t *testing.T) {
+	const a, b = mem.Addr(100), mem.Addr(101)
+	src := &queueSource{
+		pulls: make([]int, 2),
+		jobs: [][]proc.Job{
+			{
+				// Fragment 1 leaves 7 in r2; fragment 2 stores r2, so the
+				// final memory proves the register file crossed the boundary.
+				{At: 0, Code: frag(t, func(bd *program.Builder) {
+					bd.Mov(2, program.Imm(7))
+					bd.Store(a, program.Imm(1))
+				})},
+				{At: 400, Code: frag(t, func(bd *program.Builder) {
+					bd.Store(b, program.R(2))
+				})},
+			},
+			{
+				{At: 0, Code: frag(t, func(bd *program.Builder) {
+					bd.Load(1, a)
+				})},
+				{At: 200, Code: frag(t, func(bd *program.Builder) {
+					bd.Load(3, b)
+				})},
+			},
+		},
+	}
+	cfg := NewConfig(proc.PolicyWODef2)
+	cfg.RecordTrace = true
+	cfg.RecordTimings = true
+	cfg.Workload = src
+	res, err := Run(skeleton(t, 2, a, b), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatalf("fragmented execution fails Validate (op indices not contiguous?): %v", err)
+	}
+	if res.FinalMem[b] != 7 {
+		t.Fatalf("final mem[%d] = %d, want 7 (register file did not carry across fragments)", b, res.FinalMem[b])
+	}
+	if res.FinalRegs[0][2] != 7 {
+		t.Fatalf("P0 r2 = %d, want 7", res.FinalRegs[0][2])
+	}
+	// P0's second fragment arrives at t=400; its store cannot issue earlier.
+	for _, tm := range res.Timings {
+		if tm.Proc == 0 && tm.OpIndex == 1 && tm.Issue < 400 {
+			t.Fatalf("fragment arriving at 400 issued at %d", tm.Issue)
+		}
+	}
+	if res.Cycles < 400 {
+		t.Fatalf("run finished at %d, before the last arrival at 400", res.Cycles)
+	}
+	// Each processor pulls: its fragments plus the final exhausted pull.
+	if src.pulls[0] != 3 || src.pulls[1] != 3 {
+		t.Fatalf("pulls = %v, want [3 3]", src.pulls)
+	}
+}
+
+// TestWorkloadBacklogRunsImmediately pins the open-loop backlog rule: an
+// arrival time already in the past does not reschedule — the fragment starts
+// in the same event, and the run still terminates.
+func TestWorkloadBacklogRunsImmediately(t *testing.T) {
+	const a = mem.Addr(100)
+	var jobs []proc.Job
+	// All ten arrivals at t=1; the processor falls behind on the first and
+	// processes the rest as backlog.
+	for i := 0; i < 10; i++ {
+		v := mem.Value(i)
+		jobs = append(jobs, proc.Job{At: 1, Code: frag(t, func(bd *program.Builder) {
+			bd.Store(a, program.Imm(v))
+		})})
+	}
+	src := &queueSource{pulls: make([]int, 1), jobs: [][]proc.Job{jobs}}
+	cfg := NewConfig(proc.PolicyWODef2)
+	cfg.Workload = src
+	res, err := Run(skeleton(t, 1, a), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FinalMem[a] != 9 {
+		t.Fatalf("final mem = %d, want 9 (all backlog fragments must run)", res.FinalMem[a])
+	}
+}
+
+// TestWorkloadSourceErrorPropagates completes the ErrSchedulePast-style
+// propagation sweep for the workload seam: a source failure surfaces from
+// machine.Run with the processor identified and errors.Is still matching the
+// source's sentinel through both the proc and machine wrapping layers.
+func TestWorkloadSourceErrorPropagates(t *testing.T) {
+	sentinel := errors.New("trace decode failed")
+	src := &queueSource{
+		pulls: make([]int, 2),
+		jobs: [][]proc.Job{
+			{{At: 0, Code: frag(t, func(bd *program.Builder) { bd.Store(100, program.Imm(1)) })}},
+			{{At: 0, Code: frag(t, func(bd *program.Builder) { bd.Load(1, 100) })}},
+		},
+		failProc: 1, failPull: 2, failErr: sentinel,
+	}
+	cfg := NewConfig(proc.PolicyWODef2)
+	cfg.Workload = src
+	_, err := Run(skeleton(t, 2, 100), cfg)
+	if err == nil {
+		t.Fatal("Run succeeded despite a workload source failure")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run error %v does not unwrap to the source's sentinel", err)
+	}
+	want := fmt.Sprintf("P%d workload source", 1)
+	if !contains(err.Error(), want) {
+		t.Fatalf("Run error %q does not identify the processor (%q)", err, want)
+	}
+}
+
+// TestWorkloadPastArrivalIsNotSchedulePast guards the backlog rule's
+// interaction with the engine contract: a workload handing out At values far
+// in the past must never turn into a sim.ErrSchedulePast failure — the
+// processor absorbs backlog by running immediately instead of scheduling
+// backwards.
+func TestWorkloadPastArrivalIsNotSchedulePast(t *testing.T) {
+	src := &queueSource{
+		pulls: make([]int, 1),
+		jobs: [][]proc.Job{{
+			{At: 0, Code: frag(t, func(bd *program.Builder) { bd.Nop(500).Store(100, program.Imm(1)) })},
+			// By the time the first fragment finishes, t >= 500; this
+			// arrival is long past.
+			{At: 3, Code: frag(t, func(bd *program.Builder) { bd.Store(100, program.Imm(2)) })},
+		}},
+	}
+	cfg := NewConfig(proc.PolicyWODef2)
+	cfg.Workload = src
+	res, err := Run(skeleton(t, 1, 100), cfg)
+	if err != nil {
+		if errors.Is(err, sim.ErrSchedulePast) {
+			t.Fatalf("backlogged arrival was scheduled into the past: %v", err)
+		}
+		t.Fatalf("Run: %v", err)
+	}
+	if res.FinalMem[100] != 2 {
+		t.Fatalf("final mem = %d, want 2", res.FinalMem[100])
+	}
+}
+
+// contains avoids importing strings for one call.
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -38,6 +38,36 @@ func NewSaturationPoint(load int, cycles sim.Time, rep *Report, throughput float
 	}
 }
 
+// NewOpenLoopSaturationPoint summarizes a Report for an open-loop sweep,
+// where the load knob is the offered arrival rate rather than the processor
+// count. The closed-loop point folds every idle cycle into Wait, but under
+// open-loop injection the idle bucket also absorbs arrival slack — the time
+// a processor spends drained, waiting for its next arrival — which is
+// largest at the *lightest* load and would mark the bottom of the sweep as
+// stall-dominated. The open-loop point therefore judges saturation on
+// backlog instead: Wait is the attributed synchronization and retry cycles
+// plus the drain overrun — cycles the run needed beyond the offered arrival
+// window, scaled by processor count to stay commensurable with the
+// aggregated Compute. An unsaturated machine retires each arrival before
+// the next and finishes with the window (overrun ~ one service time); a
+// saturated one accumulates backlog and the overrun grows without bound as
+// the rate rises.
+func NewOpenLoopSaturationPoint(load int, window, cycles sim.Time, rep *Report, throughput float64) SaturationPoint {
+	syncStall := rep.Stall(ClassReserveStall) + rep.Stall(ClassCounterStall) + rep.Stall(ClassFenceStall)
+	var overrun int64
+	if cycles > window {
+		overrun = int64(cycles-window) * int64(len(rep.Procs))
+	}
+	return SaturationPoint{
+		Load:       load,
+		Cycles:     cycles,
+		Compute:    rep.Stall(ClassCompute),
+		SyncStall:  syncStall,
+		Wait:       syncStall + rep.Stall(ClassRetryBackoff) + overrun,
+		Throughput: throughput,
+	}
+}
+
 // StallShare returns the point's non-compute fraction of all attributed
 // cycles (0 when nothing was attributed).
 func (p SaturationPoint) StallShare() float64 {
@@ -55,12 +85,24 @@ func (p SaturationPoint) StallShare() float64 {
 // point qualifies on stall dominance alone: saturated from the start). The
 // two conditions cross-check each other: stall dominance says *why* the
 // machine saturated (serialization, not capacity), the marginal-throughput
-// collapse says it actually *did*. Returns the index into points, or -1 when
-// no point qualifies.
+// collapse says it actually *did*.
+//
+// Returns the index into points, or the documented sentinel -1 when no point
+// qualifies. -1 is returned in particular for:
+//   - an empty sweep (nothing to judge);
+//   - a single-point sweep (no marginal-throughput evidence exists, and a
+//     knee claimed from one sample would be indistinguishable from a
+//     constant-factor-slow machine);
+//   - a monotonically improving sweep — marginal throughput never collapses
+//     below half the initial per-unit rate, so even stall-dominated points
+//     past the first are scaling, not saturated.
 func FindKnee(points []SaturationPoint) int {
+	if len(points) < 2 {
+		return -1
+	}
 	marginal := MarginalThroughput(points)
 	base := 0.0
-	if len(points) > 0 && points[0].Load > 0 {
+	if points[0].Load > 0 {
 		base = points[0].Throughput / float64(points[0].Load)
 	}
 	for i, p := range points {

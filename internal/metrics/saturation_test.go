@@ -1,0 +1,113 @@
+package metrics
+
+import "testing"
+
+// pt builds a SaturationPoint without going through a Report.
+func pt(load int, compute, wait int64, throughput float64) SaturationPoint {
+	return SaturationPoint{Load: load, Compute: compute, Wait: wait, Throughput: throughput}
+}
+
+// TestFindKneeSentinel pins the documented -1 sentinel on the three edge
+// shapes a sweep can take before it has real knee evidence.
+func TestFindKneeSentinel(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []SaturationPoint
+		want   int
+	}{
+		{name: "empty-sweep", points: nil, want: -1},
+		{name: "empty-sweep-nonnil", points: []SaturationPoint{}, want: -1},
+		// One point carries no marginal-throughput evidence, even when it is
+		// stall-dominated: -1, never index 0.
+		{name: "single-point", points: []SaturationPoint{pt(2, 10, 100, 1.0)}, want: -1},
+		{name: "single-point-unsaturated", points: []SaturationPoint{pt(2, 100, 10, 1.0)}, want: -1},
+		// Monotonically improving: throughput scales linearly with load, so
+		// marginal throughput never collapses below half the initial per-unit
+		// rate — no knee, even though later points are stall-dominated.
+		{name: "monotonically-improving", points: []SaturationPoint{
+			pt(1, 100, 10, 1.0), pt(2, 100, 200, 2.0), pt(4, 100, 400, 4.0),
+		}, want: -1},
+		// Never stall-dominated: compute always wins, no knee regardless of
+		// the throughput curve.
+		{name: "never-stall-dominated", points: []SaturationPoint{
+			pt(1, 100, 10, 1.0), pt(2, 100, 10, 1.1), pt(4, 100, 10, 1.1),
+		}, want: -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := FindKnee(tc.points); got != tc.want {
+				t.Fatalf("FindKnee(%v) = %d, want %d", tc.points, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFindKneeLocatesCollapse pins the positive path: the knee is the first
+// stall-dominated point whose marginal throughput fell below half the initial
+// per-unit rate, and a sweep saturated from its very first point reports
+// index 0 on stall dominance alone.
+func TestFindKneeLocatesCollapse(t *testing.T) {
+	sweep := []SaturationPoint{
+		pt(1, 100, 10, 1.0),  // healthy: base rate 1.0/unit
+		pt(2, 100, 110, 1.9), // stall-dominated but marginal 0.9 >= 0.5: still paying
+		pt(4, 100, 400, 2.1), // marginal 0.1 < 0.5 and stall-dominated: knee
+		pt(8, 100, 900, 2.0),
+	}
+	if got := FindKnee(sweep); got != 2 {
+		t.Fatalf("FindKnee = %d, want 2", got)
+	}
+	saturatedFromStart := []SaturationPoint{
+		pt(1, 10, 100, 1.0),
+		pt(2, 10, 200, 1.0),
+	}
+	if got := FindKnee(saturatedFromStart); got != 0 {
+		t.Fatalf("FindKnee(saturated from start) = %d, want 0", got)
+	}
+}
+
+// TestMarginalThroughputShape pins the companion helper FindKnee reasons
+// over: absolute-per-unit at the first point, deltas after, zero on
+// non-ascending load.
+func TestMarginalThroughputShape(t *testing.T) {
+	m := MarginalThroughput([]SaturationPoint{
+		pt(2, 0, 0, 4.0), pt(4, 0, 0, 6.0), pt(4, 0, 0, 9.0),
+	})
+	want := []float64{2.0, 1.0, 0}
+	if len(m) != len(want) {
+		t.Fatalf("len = %d, want %d", len(m), len(want))
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("marginal[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+	if got := MarginalThroughput(nil); len(got) != 0 {
+		t.Fatalf("MarginalThroughput(nil) = %v, want empty", got)
+	}
+}
+
+// TestOpenLoopSaturationPoint pins the open-loop point's backlog judgement:
+// arrival-slack idle never counts as wait, and the drain overrun — scaled by
+// processor count — does.
+func TestOpenLoopSaturationPoint(t *testing.T) {
+	rep := &Report{Procs: []ProcCycles{
+		{Cycles: [NumClasses]int64{ClassCompute: 40, ClassReserveStall: 5, ClassIdle: 900}},
+		{Cycles: [NumClasses]int64{ClassCompute: 60, ClassRetryBackoff: 10, ClassIdle: 800}},
+	}}
+	// Finished inside the window: idle is all arrival slack, no overrun.
+	p := NewOpenLoopSaturationPoint(4, 1000, 1000, rep, 2.0)
+	if p.Compute != 100 || p.SyncStall != 5 || p.Wait != 15 {
+		t.Fatalf("unsaturated point = %+v, want compute 100, syncStall 5, wait 15", p)
+	}
+	if p.Wait >= p.Compute {
+		t.Fatal("slack-idle run must not read as stall-dominated")
+	}
+	// Overran the window by 200 cycles on 2 processors: 400 backlog cycles.
+	p = NewOpenLoopSaturationPoint(4, 1000, 1200, rep, 2.0)
+	if p.Wait != 15+400 {
+		t.Fatalf("overrun point wait = %d, want 415", p.Wait)
+	}
+	if p.Wait < p.Compute {
+		t.Fatal("backlogged run must read as stall-dominated")
+	}
+}

@@ -112,6 +112,13 @@ type Processor struct {
 	finish   sim.Time
 	onFinish func()
 
+	// src, when non-nil, feeds the processor open-loop code fragments once
+	// the initial thread halts (SetWorkload). opBase is the running count of
+	// memory operations completed by finished fragments, so opIndex stays a
+	// single contiguous per-processor sequence across fragments.
+	src    Workload
+	opBase int
+
 	// Hot-path counter handles (see stats.Hot): each resolves on first
 	// touch, so registration order and which counters exist are unchanged;
 	// steady-state increments skip the string-map lookup.
@@ -194,54 +201,72 @@ func (p *Processor) record(op mem.Op, addr mem.Addr, readV, writeV mem.Value) {
 	default:
 		a.Value = readV
 	}
-	p.tracer.Record(a, p.thread.OpIndex)
+	p.tracer.Record(a, p.opIndex())
 }
 
-// step advances the thread to its next stall point.
+// opIndex is the global program-order index the current (or just-resolving)
+// memory operation carries: fragment-local OpIndex on top of the completed
+// fragments' base.
+func (p *Processor) opIndex() int { return p.opBase + p.thread.OpIndex }
+
+// step advances the thread to its next stall point. The loop exists for the
+// workload path: when a fragment halts and the next arrival is already due,
+// the processor continues into it within the same event instead of recursing.
 func (p *Processor) step() {
 	if p.done {
 		return
 	}
-	req, ok, err := p.thread.Pending()
-	if err != nil {
-		panic(fmt.Sprintf("P%d: %v", p.ID, err))
-	}
-	// Charge explicit local work (nop delays) accumulated on the way to
-	// this stall point before issuing the operation or halting.
-	if d := p.thread.TakeLocalWork(); d > 0 {
-		p.hLocal.Add(p.Stats, "local_cycles", int64(d))
-		p.rec.Compute(p.ID, p.engine.Now(), p.engine.Now()+sim.Time(d))
-		p.engine.After(sim.Time(d), p.stepFn)
-		return
-	}
-	if !ok {
-		p.done = true
-		p.finish = p.engine.Now()
-		if p.onFinish != nil {
-			p.onFinish()
+	for {
+		req, ok, err := p.thread.Pending()
+		if err != nil {
+			panic(fmt.Sprintf("P%d: %v", p.ID, err))
 		}
+		// Charge explicit local work (nop delays) accumulated on the way to
+		// this stall point before issuing the operation or halting.
+		if d := p.thread.TakeLocalWork(); d > 0 {
+			p.hLocal.Add(p.Stats, "local_cycles", int64(d))
+			p.rec.Compute(p.ID, p.engine.Now(), p.engine.Now()+sim.Time(d))
+			p.engine.After(sim.Time(d), p.stepFn)
+			return
+		}
+		if !ok {
+			// Thread halted: with a workload attached this only ends the
+			// current fragment — pull the next arrival.
+			switch p.pull() {
+			case pullNow:
+				continue
+			case pullLater:
+				return
+			}
+			p.done = true
+			p.finish = p.engine.Now()
+			if p.onFinish != nil {
+				p.onFinish()
+			}
+			return
+		}
+		// Same-address transaction in flight: preserve intra-processor
+		// dependences (condition 1) by waiting for the MSHR.
+		if p.cache.Busy(req.Addr) {
+			t0 := p.engine.Now()
+			p.cache.OnFree(req.Addr, func() {
+				p.hMshr.Add(p.Stats, "mshr_stall_cycles", int64(p.engine.Now()-t0))
+				p.rec.MemWait(p.ID, req.Addr, false, t0, p.engine.Now())
+				p.step()
+			})
+			return
+		}
+		if req.Op.IsSync() {
+			p.syncOp(req)
+			return
+		}
+		if req.Op == mem.OpRead {
+			p.dataRead(req)
+			return
+		}
+		p.dataWrite(req)
 		return
 	}
-	// Same-address transaction in flight: preserve intra-processor
-	// dependences (condition 1) by waiting for the MSHR.
-	if p.cache.Busy(req.Addr) {
-		t0 := p.engine.Now()
-		p.cache.OnFree(req.Addr, func() {
-			p.hMshr.Add(p.Stats, "mshr_stall_cycles", int64(p.engine.Now()-t0))
-			p.rec.MemWait(p.ID, req.Addr, false, t0, p.engine.Now())
-			p.step()
-		})
-		return
-	}
-	if req.Op.IsSync() {
-		p.syncOp(req)
-		return
-	}
-	if req.Op == mem.OpRead {
-		p.dataRead(req)
-		return
-	}
-	p.dataWrite(req)
 }
 
 // resume charges one hit latency (the pipeline cost of completing an access)
@@ -254,7 +279,7 @@ func (p *Processor) resume() {
 
 func (p *Processor) dataRead(req program.Request) {
 	t0 := p.engine.Now()
-	opIdx := p.thread.OpIndex
+	opIdx := p.opIndex()
 	p.hReads.Add(p.Stats, "reads", 1)
 	if v, ok := p.cache.TryReadHit(req.Addr); ok {
 		// Hit: AcquireShared would run done synchronously at t0 anyway.
@@ -275,7 +300,7 @@ func (p *Processor) dataRead(req program.Request) {
 
 func (p *Processor) dataWrite(req program.Request) {
 	t0 := p.engine.Now()
-	opIdx := p.thread.OpIndex
+	opIdx := p.opIndex()
 	p.hWrites.Add(p.Stats, "writes", 1)
 	if p.updateProto {
 		p.updateWrite(req, t0, opIdx)
@@ -361,7 +386,7 @@ func (p *Processor) syncOp(req program.Request) {
 			// issues as a shared-copy read (still flagged sync, so a
 			// reserving owner stalls it).
 			t0 := p.engine.Now()
-			opIdx := p.thread.OpIndex
+			opIdx := p.opIndex()
 			p.cache.AcquireShared(req.Addr, true, func(v mem.Value) {
 				now := p.engine.Now()
 				p.hSyncLine.Add(p.Stats, "sync_line_stall_cycles", int64(now-t0))
@@ -386,7 +411,7 @@ func (p *Processor) syncOp(req program.Request) {
 // Section 5.3).
 func (p *Processor) syncExclusive(req program.Request, waitPerformed bool) {
 	t0 := p.engine.Now()
-	opIdx := p.thread.OpIndex
+	opIdx := p.opIndex()
 	if cur, ok := p.cache.TryExclusiveHit(req.Addr); ok {
 		p.syncHit(req, waitPerformed, t0, opIdx, cur)
 		return

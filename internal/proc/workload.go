@@ -1,0 +1,82 @@
+package proc
+
+import (
+	"fmt"
+
+	"weakorder/internal/program"
+	"weakorder/internal/sim"
+)
+
+// Job is one code fragment an open-loop workload hands a processor: run Code
+// starting no earlier than simulated time At. Fragments of one processor are
+// one logical thread — the register file carries across fragments and the
+// per-processor operation index keeps counting, so tracing, race detection,
+// and timing attribution see a single continuous instruction stream.
+type Job struct {
+	// At is the arrival time. A processor that reaches the fragment later
+	// than At (open-loop backlog: the previous fragment overran) starts it
+	// immediately; the queueing delay is visible as the difference between
+	// At and the operations' issue times.
+	At sim.Time
+	// Code is the fragment body. It ends by halting (or running off the
+	// end), which triggers the next pull — not the processor's finish.
+	Code program.Code
+}
+
+// Workload feeds processors an open-loop stream of code fragments. The
+// processor pulls the next job each time its current fragment halts; ok=false
+// ends that processor's stream, and an error aborts the whole run through
+// engine.Fail with the processor identified.
+//
+// Implementations must be deterministic per (spec, seed) regardless of pull
+// interleaving across processors: the timed engine dispatches same-cycle
+// events in a fixed order, and replay byte-identity depends on each
+// processor's stream being a pure function of its own pull count.
+type Workload interface {
+	Next(proc int) (Job, bool, error)
+}
+
+// SetWorkload attaches an open-loop workload source. Must be called before
+// Start. With a source attached, the processor's initial thread acts as a
+// skeleton: when it halts, the processor starts pulling fragments, and only
+// an exhausted source finishes the processor.
+func (p *Processor) SetWorkload(w Workload) { p.src = w }
+
+// pullResult says how step should proceed after a fragment halt.
+type pullResult uint8
+
+const (
+	// pullNow: a fragment whose arrival time is already due was installed —
+	// keep stepping in the current event.
+	pullNow pullResult = iota
+	// pullLater: a future step was scheduled (or the run failed) — stop
+	// stepping now.
+	pullLater
+	// pullDone: the stream is exhausted — the processor finishes.
+	pullDone
+)
+
+// pull installs the next workload fragment, preserving the register file and
+// rolling the finished fragment's operations into the op-index base.
+func (p *Processor) pull() pullResult {
+	if p.src == nil {
+		return pullDone
+	}
+	job, ok, err := p.src.Next(p.ID)
+	if err != nil {
+		p.engine.Fail(fmt.Errorf("proc: P%d workload source: %w", p.ID, err))
+		return pullLater
+	}
+	if !ok {
+		return pullDone
+	}
+	p.opBase += p.thread.OpIndex
+	regs := p.thread.Regs
+	p.thread = program.NewThread(job.Code)
+	p.thread.Regs = regs
+	if job.At > p.engine.Now() {
+		p.engine.At(job.At, p.stepFn)
+		return pullLater
+	}
+	return pullNow
+}

@@ -85,6 +85,15 @@ func (b *Builder) fail(format string, args ...any) {
 	}
 }
 
+// Errorf records a construction error under the builder's first-error-wins
+// convention, so generators layered on top of the Builder (internal/workload)
+// can reject invalid parameter combinations the same way a bad label does:
+// the error surfaces from Build instead of panicking mid-generation.
+func (b *Builder) Errorf(format string, args ...any) *Builder {
+	b.fail(format, args...)
+	return b
+}
+
 func (b *Builder) emit(in Instr) *Builder {
 	b.cur = append(b.cur, in)
 	return b

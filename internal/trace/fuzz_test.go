@@ -24,6 +24,18 @@ func FuzzRead(f *testing.F) {
 		`{"version": 1, "procs": 1, "events": [{"proc":0,"index":0,"op":"R","addr":0}],
 		  "timings": [{"proc":0,"index":9,"op":"R","addr":0,"issue":0,"commit":0,"perform":0}]}`,
 		`{{{`,
+		// Truncation witness: a document cut mid-array must fail fast with a
+		// decode error from the incremental reader, never hang or panic.
+		`{"version": 1, "procs": 2, "events": [{"proc":0,"index":0,"op":"W","addr":0,"value":1},
+		             {"proc":1,"index"`,
+		// Truncated mid-object and mid-key variants of the same witness.
+		`{"version": 1, "procs": 2, "events": [{"proc":0,`,
+		`{"version": 1, "pro`,
+		// Sections out of the documented order: events before the shape is
+		// declared must be rejected, not silently sized.
+		`{"events": [{"proc":0,"index":0,"op":"R","addr":0}], "version": 1, "procs": 1}`,
+		// Duplicate events sections must not concatenate.
+		`{"version": 1, "procs": 1, "events": [], "events": [{"proc":0,"index":0,"op":"R","addr":0}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

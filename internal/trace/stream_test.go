@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// countingReader counts bytes handed out, so tests can assert the decoder
+// stopped reading at (shortly after) the first invalid record instead of
+// draining the whole stream.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// TestReadFailsFastOnBadEvent builds a document whose second event is invalid
+// and pads it with a long valid tail; the incremental reader must reject it
+// after reading only a small prefix, proving validation happens as events
+// stream rather than after materializing the document.
+func TestReadFailsFastOnBadEvent(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"version":1,"procs":2,"events":[`)
+	b.WriteString(`{"proc":0,"index":0,"op":"W","addr":0,"value":1},`)
+	b.WriteString(`{"proc":9,"index":0,"op":"W","addr":0,"value":1}`) // out of range
+	for i := 1; i < 200000; i++ {
+		fmt.Fprintf(&b, `,{"proc":0,"index":%d,"op":"W","addr":0,"value":1}`, i)
+	}
+	b.WriteString(`]}`)
+	doc := b.String()
+	cr := &countingReader{r: strings.NewReader(doc)}
+	_, _, _, err := Read(cr)
+	if err == nil {
+		t.Fatal("Read accepted an out-of-range processor")
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Read error = %v, want out-of-range processor", err)
+	}
+	// json.Decoder buffers in chunks, so allow some slack, but the decoder
+	// must not have consumed the multi-MB tail behind the bad event.
+	if cr.n > len(doc)/4 {
+		t.Fatalf("Read consumed %d of %d bytes before rejecting event 1 — not failing fast", cr.n, len(doc))
+	}
+}
+
+// TestReadTruncated pins the truncation witness: documents cut at various
+// points all produce a decode error (and never a panic or an accepted
+// half-execution).
+func TestReadTruncated(t *testing.T) {
+	full := `{"version":1,"procs":2,"init":{"0":3},` +
+		`"events":[{"proc":0,"index":0,"op":"W","addr":0,"value":1},` +
+		`{"proc":1,"index":0,"op":"Srw","addr":1,"value":0,"wvalue":1}],` +
+		`"timings":[{"proc":0,"index":0,"op":"W","addr":0,"issue":1,"commit":2,"perform":9}]}`
+	if _, _, _, err := Read(strings.NewReader(full)); err != nil {
+		t.Fatalf("full document must parse: %v", err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := Read(strings.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated document (%d of %d bytes) was accepted", cut, len(full))
+		}
+	}
+}
+
+// TestReadSectionDiscipline pins the incremental reader's section rules:
+// shape before data, no duplicate sections, unknown sections skipped.
+func TestReadSectionDiscipline(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string // empty = accept
+	}{
+		{name: "events-before-procs",
+			doc:     `{"events":[],"version":1,"procs":1}`,
+			wantErr: "before version/procs"},
+		{name: "timings-before-events",
+			doc:     `{"version":1,"procs":1,"timings":[]}`,
+			wantErr: "before events"},
+		{name: "duplicate-events",
+			doc:     `{"version":1,"procs":1,"events":[],"events":[]}`,
+			wantErr: "duplicate"},
+		{name: "missing-version",
+			doc:     `{"procs":1,"events":[]}`,
+			wantErr: "before version"},
+		{name: "missing-procs-entirely",
+			doc:     `{"version":1}`,
+			wantErr: "missing processor count"},
+		{name: "unknown-section-skipped",
+			doc: `{"version":1,"procs":1,"future":{"a":[1,2,{"b":3}]},"events":[]}`},
+		{name: "minimal",
+			doc: `{"version":1,"procs":0,"events":[]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, _, err := Read(strings.NewReader(tc.doc))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Read(%s): %v", tc.doc, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Read(%s) = %v, want error containing %q", tc.doc, err, tc.wantErr)
+			}
+		})
+	}
+}

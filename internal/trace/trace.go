@@ -217,11 +217,204 @@ func Write(w io.Writer, e *mem.Execution, init map[mem.Addr]mem.Value, timings [
 	return enc.Encode(d)
 }
 
-// Read deserializes from r.
+// Read deserializes from r incrementally: events and timings are decoded and
+// validated one at a time as they stream off the reader, so a truncated or
+// adversarial multi-GB document fails fast at the first bad or missing byte
+// instead of being materialized whole before validation. The stream must
+// declare "version" and "procs" before the "events" and "timings" arrays
+// (the order Write emits); each section may appear at most once.
 func Read(r io.Reader) (*mem.Execution, map[mem.Addr]mem.Value, []conditions.AccessTiming, error) {
-	var d Document
-	if err := json.NewDecoder(r).Decode(&d); err != nil {
-		return nil, nil, nil, fmt.Errorf("trace: %w", err)
+	dec := json.NewDecoder(r)
+	if err := expectDelim(dec, '{'); err != nil {
+		return nil, nil, nil, err
 	}
-	return Decode(&d)
+	var (
+		e          *mem.Execution
+		init       map[mem.Addr]mem.Value
+		timings    []conditions.AccessTiming
+		sawVersion bool
+		seen       = map[string]bool{}
+		nevents    int
+		// known accumulates (proc, index) pairs of streamed events so timing
+		// entries can be checked against real accesses as they arrive.
+		known = map[[2]int]bool{}
+	)
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("trace: %w", err)
+		}
+		key, ok := tok.(string)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("trace: expected object key, got %v", tok)
+		}
+		if seen[key] {
+			return nil, nil, nil, fmt.Errorf("trace: duplicate %q section", key)
+		}
+		seen[key] = true
+		switch key {
+		case "version":
+			var v int
+			if err := dec.Decode(&v); err != nil {
+				return nil, nil, nil, fmt.Errorf("trace: version: %w", err)
+			}
+			if v != Version {
+				return nil, nil, nil, fmt.Errorf("trace: unsupported version %d", v)
+			}
+			sawVersion = true
+		case "procs":
+			var p int
+			if err := dec.Decode(&p); err != nil {
+				return nil, nil, nil, fmt.Errorf("trace: procs: %w", err)
+			}
+			if p < 0 || p > MaxProcs {
+				return nil, nil, nil, fmt.Errorf("trace: processor count %d out of range [0,%d]", p, MaxProcs)
+			}
+			e = mem.NewExecution(p)
+		case "init":
+			var m map[string]int64
+			if err := dec.Decode(&m); err != nil {
+				return nil, nil, nil, fmt.Errorf("trace: init: %w", err)
+			}
+			if len(m) > 0 {
+				init = make(map[mem.Addr]mem.Value, len(m))
+				for k, v := range m {
+					n, err := strconv.ParseUint(k, 10, 32)
+					if err != nil {
+						return nil, nil, nil, fmt.Errorf("trace: bad init address %q", k)
+					}
+					init[mem.Addr(n)] = mem.Value(v)
+				}
+			}
+		case "events":
+			if !sawVersion || e == nil {
+				return nil, nil, nil, fmt.Errorf("trace: events before version/procs declaration")
+			}
+			if err := expectDelim(dec, '['); err != nil {
+				return nil, nil, nil, err
+			}
+			for dec.More() {
+				var ej EventJSON
+				if err := dec.Decode(&ej); err != nil {
+					return nil, nil, nil, fmt.Errorf("trace: event %d: %w", nevents, err)
+				}
+				op, err := opFromName(ej.Op)
+				if err != nil {
+					return nil, nil, nil, fmt.Errorf("trace: event %d: %w", nevents, err)
+				}
+				if ej.Proc < 0 || ej.Proc >= e.NumProcs {
+					// AppendAt would silently grow the execution past the
+					// declared processor count; reject instead.
+					return nil, nil, nil, fmt.Errorf("trace: event %d: processor P%d out of range [0,%d)", nevents, ej.Proc, e.NumProcs)
+				}
+				if ej.Index < 0 {
+					return nil, nil, nil, fmt.Errorf("trace: event %d: negative program-order index %d", nevents, ej.Index)
+				}
+				e.AppendAt(mem.Access{
+					Proc:   mem.ProcID(ej.Proc),
+					Op:     op,
+					Addr:   mem.Addr(ej.Addr),
+					Value:  mem.Value(ej.Value),
+					WValue: mem.Value(ej.WValue),
+				}, ej.Index)
+				known[[2]int{ej.Proc, ej.Index}] = true
+				nevents++
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return nil, nil, nil, err
+			}
+		case "timings":
+			if !sawVersion || e == nil {
+				return nil, nil, nil, fmt.Errorf("trace: timings before version/procs declaration")
+			}
+			if !seen["events"] {
+				// A timing entry must reference an event present in the
+				// execution; a lifecycle for a missing access would make the
+				// Section-5.1 condition checkers reason about phantom
+				// operations.
+				return nil, nil, nil, fmt.Errorf("trace: timings before events section")
+			}
+			if err := expectDelim(dec, '['); err != nil {
+				return nil, nil, nil, err
+			}
+			for i := 0; dec.More(); i++ {
+				var tj TimingJSON
+				if err := dec.Decode(&tj); err != nil {
+					return nil, nil, nil, fmt.Errorf("trace: timing %d: %w", i, err)
+				}
+				op, err := opFromName(tj.Op)
+				if err != nil {
+					return nil, nil, nil, fmt.Errorf("trace: timing %d: %w", i, err)
+				}
+				if !known[[2]int{tj.Proc, tj.Index}] {
+					return nil, nil, nil, fmt.Errorf("trace: timing %d references missing event P%d.%d", i, tj.Proc, tj.Index)
+				}
+				if tj.Issue < 0 || tj.Commit < tj.Issue || tj.Perform < tj.Commit {
+					return nil, nil, nil, fmt.Errorf("trace: timing %d: lifecycle not ordered (issue %d, commit %d, perform %d)",
+						i, tj.Issue, tj.Commit, tj.Perform)
+				}
+				timings = append(timings, conditions.AccessTiming{
+					Proc: tj.Proc, OpIndex: tj.Index, Op: op, Addr: mem.Addr(tj.Addr),
+					Issue: sim.Time(tj.Issue), Commit: sim.Time(tj.Commit), Perform: sim.Time(tj.Perform),
+				})
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return nil, nil, nil, err
+			}
+		default:
+			// Unknown sections are skipped token by token (forward
+			// compatibility), still without materializing them as one value.
+			if err := skipValue(dec); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return nil, nil, nil, err
+	}
+	if !sawVersion {
+		return nil, nil, nil, fmt.Errorf("trace: missing version")
+	}
+	if e == nil {
+		return nil, nil, nil, fmt.Errorf("trace: missing processor count")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, nil, nil, fmt.Errorf("trace: decoded execution invalid: %w", err)
+	}
+	return e, init, timings, nil
+}
+
+// expectDelim consumes one token and requires it to be the given delimiter.
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("trace: expected %q, got %v", want, tok)
+	}
+	return nil
+}
+
+// skipValue consumes one JSON value (scalar, object, or array) token by
+// token without building it in memory.
+func skipValue(dec *json.Decoder) error {
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if d, ok := tok.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		}
+		if depth == 0 {
+			return nil
+		}
+	}
 }

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildBarrierErrors pins the Builder error convention on the barrier
+// generator: misuse returns an error from Build (never a panic), valid
+// parameter combinations build clean programs with one thread per processor.
+func TestBuildBarrierErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		nproc   int
+		phases  int
+		work    int
+		spin    SpinKind
+		wantErr string // substring; empty means must succeed
+	}{
+		{name: "spin-tas-rejected", nproc: 4, phases: 2, work: 5, spin: SpinTAS,
+			wantErr: "SpinTAS is for locks"},
+		{name: "spin-tas-rejected-even-single-proc", nproc: 1, phases: 1, work: 0, spin: SpinTAS,
+			wantErr: "SpinTAS is for locks"},
+		{name: "zero-procs-rejected", nproc: 0, phases: 2, work: 5, spin: SpinSync,
+			wantErr: "at least 1 processor"},
+		{name: "negative-procs-rejected", nproc: -3, phases: 2, work: 5, spin: SpinSync,
+			wantErr: "at least 1 processor"},
+		{name: "sync-spin-ok", nproc: 3, phases: 2, work: 5, spin: SpinSync},
+		{name: "data-spin-ok", nproc: 3, phases: 2, work: 5, spin: SpinData},
+		{name: "no-work-ok", nproc: 2, phases: 1, work: 0, spin: SpinSync},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := BuildBarrier(tc.nproc, tc.phases, tc.work, tc.spin)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("BuildBarrier(%d,%d,%d,%s) = program %q, want error containing %q",
+						tc.nproc, tc.phases, tc.work, tc.spin, p.Name, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("BuildBarrier error = %q, want substring %q", err, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), "program builder:") {
+					t.Fatalf("BuildBarrier error = %q, want the Builder convention prefix", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("BuildBarrier(%d,%d,%d,%s): %v", tc.nproc, tc.phases, tc.work, tc.spin, err)
+			}
+			if got := p.NumThreads(); got != tc.nproc {
+				t.Fatalf("BuildBarrier built %d threads, want %d", got, tc.nproc)
+			}
+		})
+	}
+}
+
+// TestBarrierPanicsOnMisuse pins the convenience wrapper's Must semantics:
+// Barrier still panics (with the builder error) so existing callers keep
+// their contract, while BuildBarrier is the checked path.
+func TestBarrierPanicsOnMisuse(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Barrier(SpinTAS) did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !strings.Contains(err.Error(), "SpinTAS is for locks") {
+			t.Fatalf("Barrier(SpinTAS) panicked with %v, want the builder error", r)
+		}
+	}()
+	Barrier(2, 1, 0, SpinTAS)
+}

@@ -1,0 +1,185 @@
+package openloop
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"weakorder/internal/machine"
+	"weakorder/internal/par"
+	"weakorder/internal/proc"
+	"weakorder/internal/sim"
+	"weakorder/internal/workload/spec"
+	"weakorder/internal/workload/tracefmt"
+)
+
+// bigSpec is the acceptance-scale workload: a long racy-mix phase followed
+// by a contended-lock phase, sized to generate at least a million arrival
+// records at full scale. -short divides the window by 20 (~55k records).
+func bigSpec(short bool) *spec.Spec {
+	scale := sim.Time(1)
+	if short {
+		scale = 20
+	}
+	return &spec.Spec{
+		SpecVersion: spec.Version,
+		Name:        "acceptance",
+		Procs:       8,
+		Seed:        11,
+		Phases: []spec.Phase{
+			{Duration: 1250000 / scale, Rate: 100, Scenario: spec.ScenarioMix},
+			{Duration: 50000 / scale, Rate: 20, Scenario: spec.ScenarioLock, Work: 5},
+		},
+	}
+}
+
+// TestAcceptanceRecordReplayByteIdentical is the headline acceptance check:
+// a million-operation open-loop run records a trace, the trace replays with
+// no spec in hand, the replay's re-recorded trace is byte-identical to the
+// original, and the result tables match exactly — at worker-pool widths 1
+// and GOMAXPROCS both (machine.Run is single-threaded, but the pin guards
+// against any future pool leaking into the run path).
+func TestAcceptanceRecordReplayByteIdentical(t *testing.T) {
+	s := bigSpec(testing.Short())
+	type run struct {
+		trace, replay []byte
+		res, replayed *machine.Result
+	}
+	var runs []run
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		restore := par.SetWorkers(w)
+		trace, res := recordRun(t, s, nil)
+		replay, replayed := replayRun(t, trace, nil)
+		restore()
+		runs = append(runs, run{trace: trace, replay: replay, res: res, replayed: replayed})
+	}
+	for i, r := range runs {
+		if !bytes.Equal(r.trace, r.replay) {
+			t.Fatalf("width run %d: replay re-recording differs from the recorded trace (%d vs %d bytes)",
+				i, len(r.trace), len(r.replay))
+		}
+		sameResult(t, r.res, r.replayed)
+	}
+	if !bytes.Equal(runs[0].trace, runs[1].trace) {
+		t.Fatal("recorded traces differ between pool widths")
+	}
+	sameResult(t, runs[0].res, runs[1].res)
+
+	rd, err := tracefmt.NewReader(bytes.NewReader(runs[0].trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := rd.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if !testing.Short() && n < 1_000_000 {
+		t.Fatalf("acceptance run generated %d records, want at least 1M", n)
+	}
+	if n == 0 {
+		t.Fatal("acceptance run generated no records")
+	}
+}
+
+// TestAcceptanceTimelineByteIdentical extends byte-identity to the exported
+// observability artifacts on a metrics-on run: the cycle-attribution tables
+// and the Chrome trace-event timeline of a replay match the recorded run's
+// byte for byte.
+func TestAcceptanceTimelineByteIdentical(t *testing.T) {
+	s := testSpec(4)
+	metricsOn := func(cfg *machine.Config) { cfg.Metrics = true }
+	render := func(res *machine.Result) (string, []byte) {
+		var tables bytes.Buffer
+		for _, tb := range res.Metrics.Tables() {
+			tables.WriteString(tb.String())
+		}
+		var tl bytes.Buffer
+		if err := res.Metrics.WriteTimeline(&tl, "acceptance"); err != nil {
+			t.Fatal(err)
+		}
+		return tables.String(), tl.Bytes()
+	}
+	trace, res := recordRun(t, s, metricsOn)
+	_, replayed := replayRun(t, trace, metricsOn)
+	tab1, tl1 := render(res)
+	tab2, tl2 := render(replayed)
+	if tab1 != tab2 {
+		t.Fatalf("metrics tables differ between record and replay:\n%s\nvs\n%s", tab1, tab2)
+	}
+	if !bytes.Equal(tl1, tl2) {
+		t.Fatalf("timelines differ between record and replay (%d vs %d bytes)", len(tl1), len(tl2))
+	}
+}
+
+// liveSampler wraps a Source and samples the live heap (after a forced GC)
+// every interval records, keeping the maximum.
+type liveSampler struct {
+	src      Source
+	interval int
+	n        int
+	maxLive  uint64
+}
+
+func (l *liveSampler) Next(proc int) (tracefmt.Record, bool, error) {
+	r, ok, err := l.src.Next(proc)
+	if ok && err == nil {
+		l.n++
+		if l.n%l.interval == 0 {
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > l.maxLive {
+				l.maxLive = ms.HeapAlloc
+			}
+		}
+	}
+	return r, ok, err
+}
+
+// TestAcceptanceMemoryBounded pins the streaming contract at machine scale:
+// peak live heap during a run is a function of the live state (address
+// pools, backlog window, fragment cache), not of how many operations the
+// run injects. A 4x longer run must stay within 2x the shorter run's peak
+// plus fixed slack — if any stage accumulated per-record state, the long
+// run's peak would scale with its record count instead.
+func TestAcceptanceMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory pin needs the full-scale run")
+	}
+	peak := func(duration sim.Time) uint64 {
+		s := &spec.Spec{
+			SpecVersion: spec.Version,
+			Name:        "mempin",
+			Procs:       4,
+			Seed:        3,
+			Phases: []spec.Phase{
+				{Duration: duration, Rate: 100, Scenario: spec.ScenarioMix},
+			},
+		}
+		g, err := NewGenerator(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler := &liveSampler{src: g, interval: 20000}
+		prog, err := Program(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := machine.NewConfig(proc.PolicyWODef2)
+		cfg.Workload = Compile(sampler)
+		if _, err := machine.Run(prog, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if sampler.maxLive == 0 {
+			t.Fatalf("sampler never fired over %d pulls (interval %d)", sampler.n, sampler.interval)
+		}
+		return sampler.maxLive
+	}
+	short, long := peak(125000), peak(500000)
+	if long > 2*short+8<<20 {
+		t.Fatalf("live heap grew with trace length: %d bytes at 4x the run length, %d at 1x", long, short)
+	}
+}

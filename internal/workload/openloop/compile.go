@@ -1,0 +1,115 @@
+package openloop
+
+import (
+	"fmt"
+
+	"weakorder/internal/proc"
+	"weakorder/internal/program"
+	"weakorder/internal/workload/tracefmt"
+)
+
+// maxFragCache bounds the compiled-fragment cache. Workloads draw from small
+// address pools so the working set of distinct fragments is tiny, but the
+// cache is keyed by record *values* too (a Write's stored value is an
+// immediate), and per-processor value counters make those unbounded — the
+// cap keeps compilation O(1) memory on multi-million-op runs. Beyond the cap
+// fragments compile fresh: correctness never depends on a cache hit.
+const maxFragCache = 4096
+
+// fragKey identifies a fragment up to the fields that shape its code:
+// everything in the record except processor and arrival time.
+type fragKey struct {
+	kind       tracefmt.Kind
+	addr, aux  uint32
+	value, arg int64
+}
+
+// Compiled adapts a Source to proc.Workload by compiling each record into a
+// code fragment.
+type Compiled struct {
+	src   Source
+	cache map[fragKey]program.Code
+}
+
+// Compile wraps a record source as a processor workload.
+func Compile(src Source) *Compiled {
+	return &Compiled{src: src, cache: make(map[fragKey]program.Code)}
+}
+
+// Next implements proc.Workload.
+func (c *Compiled) Next(procID int) (proc.Job, bool, error) {
+	r, ok, err := c.src.Next(procID)
+	if err != nil || !ok {
+		return proc.Job{}, false, err
+	}
+	key := fragKey{kind: r.Kind, addr: uint32(r.Addr), aux: uint32(r.Aux), value: int64(r.Value), arg: int64(r.Arg)}
+	code, hit := c.cache[key]
+	if !hit {
+		code, err = compileFragment(r)
+		if err != nil {
+			return proc.Job{}, false, err
+		}
+		if len(c.cache) < maxFragCache {
+			c.cache[key] = code
+		}
+	}
+	return proc.Job{At: r.At, Code: code}, true, nil
+}
+
+// compileFragment lowers one arrival record to straight-line code (with
+// backward spin branches for the composite kinds). Scratch registers r1/r2
+// are clobbered freely — the open-loop workloads carry no live values across
+// fragments.
+func compileFragment(r tracefmt.Record) (program.Code, error) {
+	b := program.NewBuilder("frag-" + r.Kind.String())
+	b.Thread()
+	switch r.Kind {
+	case tracefmt.KindRead:
+		b.Load(1, r.Addr)
+	case tracefmt.KindWrite:
+		b.Store(r.Addr, program.Imm(r.Value))
+	case tracefmt.KindSyncRead:
+		b.SyncLoad(1, r.Addr)
+	case tracefmt.KindSyncWrite:
+		b.SyncStore(r.Addr, program.Imm(r.Value))
+	case tracefmt.KindTAS:
+		b.TestAndSet(1, r.Addr, program.Imm(r.Value))
+	case tracefmt.KindFetchAdd:
+		b.FetchAdd(1, r.Addr, program.Imm(r.Value))
+	case tracefmt.KindWork:
+		b.Nop(int(r.Value))
+	case tracefmt.KindLockAcquire:
+		b.Label("spin")
+		b.TestAndSet(1, r.Addr, program.Imm(1))
+		b.Bne(1, program.Imm(0), "spin")
+	case tracefmt.KindLockRelease:
+		b.SyncStore(r.Addr, program.Imm(0))
+	case tracefmt.KindAwaitGE:
+		b.Label("spin")
+		b.SyncLoad(1, r.Addr)
+		b.Blt(1, program.Imm(r.Value), "spin")
+	case tracefmt.KindBarrier:
+		// Sense-"reversing" barrier with a monotone episode counter as the
+		// sense: arrive on the counter; the last arriver (previous count ==
+		// Arg) resets the counter for the next episode, then publishes the
+		// episode number; everyone else spins until the sense reaches it.
+		b.FetchAdd(1, r.Addr, program.Imm(1))
+		b.Beq(1, program.Imm(r.Arg), "last")
+		b.Label("spin")
+		b.SyncLoad(2, r.Aux)
+		b.Blt(2, program.Imm(r.Value), "spin")
+		b.Jmp("end")
+		b.Label("last")
+		b.SyncStore(r.Addr, program.Imm(0))
+		b.SyncStore(r.Aux, program.Imm(r.Value))
+		b.Label("end")
+	default:
+		return nil, fmt.Errorf("openloop: cannot compile record kind %s", r.Kind)
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("openloop: compiling %s fragment: %w", r.Kind, err)
+	}
+	return p.Threads[0], nil
+}

@@ -1,0 +1,265 @@
+package openloop
+
+import (
+	"fmt"
+	"math/rand"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+	"weakorder/internal/workload/spec"
+	"weakorder/internal/workload/tracefmt"
+)
+
+// Generator derives the arrival stream from (spec, seed). Each processor
+// owns an independent RNG seeded from (seed, processor), so its stream is
+// unaffected by how the machine interleaves pulls across processors — the
+// property record/replay byte-identity rests on.
+type Generator struct {
+	spec  *spec.Spec
+	lay   layout
+	procs []genProc
+}
+
+// genProc is one processor's generation cursor.
+type genProc struct {
+	rng   *rand.Rand
+	phase int      // index into spec.Phases
+	start sim.Time // current phase's start time
+	// cursor is the Poisson arrival clock within the current phase
+	// (mix/lock scenarios); episode counts paced episodes (barrier,
+	// prodcons).
+	cursor  float64
+	episode int
+	// barBase/pcBase accumulate episode counts of *earlier* barrier and
+	// prodcons phases, keeping sense targets and flag sequence numbers
+	// monotone across phases that reuse the same words.
+	barBase, pcBase int64
+	// val is the per-processor write-value counter.
+	val mem.Value
+	// queue is the generated-but-undelivered burst (head-indexed to avoid
+	// re-slicing churn; one arrival generates at most a handful of records).
+	queue []tracefmt.Record
+	head  int
+}
+
+// NewGenerator validates the spec and builds a generator. seed 0 falls back
+// to the spec's own seed (and then to 1, so the zero value still runs).
+func NewGenerator(s *spec.Spec, seed int64) (*Generator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = s.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	g := &Generator{spec: s, lay: layoutOf(s), procs: make([]genProc, s.Procs)}
+	for i := range g.procs {
+		// Golden-ratio stride decorrelates per-processor seeds without
+		// shared draws.
+		g.procs[i] = genProc{rng: rand.New(rand.NewSource(seed + int64(i)*-0x61c8864680b583eb)), val: 1}
+	}
+	return g, nil
+}
+
+// Next implements Source.
+func (g *Generator) Next(procID int) (tracefmt.Record, bool, error) {
+	if procID < 0 || procID >= len(g.procs) {
+		return tracefmt.Record{}, false, fmt.Errorf("openloop: P%d out of range [0,%d)", procID, len(g.procs))
+	}
+	p := &g.procs[procID]
+	for p.head >= len(p.queue) {
+		p.queue, p.head = p.queue[:0], 0
+		if p.phase >= len(g.spec.Phases) {
+			return tracefmt.Record{}, false, nil
+		}
+		g.generate(procID, p)
+	}
+	r := p.queue[p.head]
+	p.head++
+	return r, true, nil
+}
+
+// push appends one record to the processor's pending burst.
+func (p *genProc) push(r tracefmt.Record) { p.queue = append(p.queue, r) }
+
+// nextPhase advances the cursor past the current phase, rolling paced
+// episode counts into the monotone bases.
+func (g *Generator) nextPhase(p *genProc) {
+	ph := &g.spec.Phases[p.phase]
+	switch ph.Scenario {
+	case spec.ScenarioBarrier:
+		p.barBase += int64(episodes(ph))
+	case spec.ScenarioProdCons:
+		p.pcBase += int64(episodes(ph))
+	}
+	p.start += ph.Duration
+	p.phase++
+	p.cursor = 0
+	p.episode = 0
+}
+
+// episodes is the forced-equal episode count of a paced phase: every
+// processor joins exactly this many barrier/prodcons episodes, so the phase
+// cannot deadlock on mismatched arrival draws.
+func episodes(ph *spec.Phase) int {
+	n := int(int64(ph.Duration) * int64(ph.Rate) / 1000)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// pct resolves a mix knob under the RandomConfig convention: zero means the
+// default, negative means zero percent.
+func pct(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// generate produces one arrival (or advances one phase) for procID.
+func (g *Generator) generate(procID int, p *genProc) {
+	ph := &g.spec.Phases[p.phase]
+	switch ph.Scenario {
+	case spec.ScenarioMix, spec.ScenarioLock:
+		// Poisson arrivals: exponential inter-arrival gaps with mean
+		// 1000/Rate. The explicit float64 conversions pin IEEE rounding at
+		// each step so no build may fuse the arithmetic and shift arrivals.
+		gap := float64(p.rng.ExpFloat64() * (1000.0 / float64(ph.Rate)))
+		p.cursor = float64(p.cursor + gap)
+		if p.cursor >= float64(ph.Duration) {
+			g.nextPhase(p)
+			return
+		}
+		at := p.start + sim.Time(p.cursor)
+		if ph.Scenario == spec.ScenarioMix {
+			g.emitMix(procID, p, ph, at)
+		} else {
+			g.emitLock(procID, p, ph, at)
+		}
+	case spec.ScenarioBarrier:
+		n := episodes(ph)
+		if p.episode >= n {
+			g.nextPhase(p)
+			return
+		}
+		k := p.episode
+		p.episode++
+		at := p.start + pacedAt(ph.Duration, k, n)
+		if ph.Work > 0 {
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindWork, Value: mem.Value(ph.Work)})
+		}
+		p.push(tracefmt.Record{
+			Proc: procID, At: at, Kind: tracefmt.KindBarrier,
+			Addr: g.lay.barCnt, Aux: g.lay.barSns,
+			Value: mem.Value(p.barBase + int64(k) + 1),
+			Arg:   mem.Value(g.spec.Procs - 1),
+		})
+	case spec.ScenarioProdCons:
+		pairs := g.spec.Procs / 2
+		if procID >= pairs*2 {
+			// Odd processor count: the unpaired processor sits this phase out.
+			g.nextPhase(p)
+			return
+		}
+		n := episodes(ph)
+		if p.episode >= n {
+			g.nextPhase(p)
+			return
+		}
+		k := int64(p.episode)
+		p.episode++
+		at := p.start + pacedAt(ph.Duration, int(k), n)
+		pair := procID / 2
+		flag := g.lay.pcFlags + 2*mem.Addr(pair)
+		ack := flag + 1
+		data := g.lay.pcData + mem.Addr(pair)
+		seq := p.pcBase + k
+		if procID%2 == 0 {
+			// Producer: wait for the consumer's previous acknowledgement
+			// (flow control keeps the data hand-off data-race-free), write
+			// the payload, release through the flag.
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindAwaitGE, Addr: ack, Value: mem.Value(seq)})
+			if ph.Work > 0 {
+				p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindWork, Value: mem.Value(ph.Work)})
+			}
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindWrite, Addr: data, Value: p.val})
+			p.val++
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindSyncWrite, Addr: flag, Value: mem.Value(seq + 1)})
+		} else {
+			// Consumer: await the flag, read under it, acknowledge.
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindAwaitGE, Addr: flag, Value: mem.Value(seq + 1)})
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindRead, Addr: data})
+			if ph.Work > 0 {
+				p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindWork, Value: mem.Value(ph.Work)})
+			}
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindSyncWrite, Addr: ack, Value: mem.Value(seq + 1)})
+		}
+	}
+}
+
+// pacedAt spaces episode k of n evenly across the phase.
+func pacedAt(d sim.Time, k, n int) sim.Time {
+	return sim.Time(int64(k) * int64(d) / int64(n))
+}
+
+// emitMix draws one independent operation from the sync-density mix
+// (mirroring workload.Random's explicit percentage mixer).
+func (g *Generator) emitMix(procID int, p *genProc, ph *spec.Phase, at sim.Time) {
+	if ph.Work > 0 {
+		p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindWork, Value: mem.Value(ph.Work)})
+	}
+	dv, sv := effVars(ph)
+	density := pct(ph.Mix.SyncDensity, 40)
+	if p.rng.Intn(100) < density {
+		s := g.lay.mixSync + mem.Addr(p.rng.Intn(sv))
+		rmw := pct(ph.Mix.RMWPct, 34)
+		syncRead := pct(ph.Mix.SyncReadPct, 50)
+		fetchAdd := pct(ph.Mix.FetchAddPct, 0)
+		switch {
+		case p.rng.Intn(100) < rmw:
+			if p.rng.Intn(100) < fetchAdd {
+				p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindFetchAdd, Addr: s, Value: 1})
+			} else {
+				p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindTAS, Addr: s, Value: p.val})
+				p.val++
+			}
+		case p.rng.Intn(100) < syncRead:
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindSyncRead, Addr: s})
+		default:
+			p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindSyncWrite, Addr: s, Value: p.val})
+			p.val++
+		}
+		return
+	}
+	d := g.lay.mixData + mem.Addr(p.rng.Intn(dv))
+	if p.rng.Intn(2) == 0 {
+		p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindRead, Addr: d})
+	} else {
+		p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindWrite, Addr: d, Value: p.val})
+		p.val++
+	}
+}
+
+// emitLock emits one lock-protected critical section: acquire, counter
+// read/write, optional local work, release — all arriving together.
+func (g *Generator) emitLock(procID int, p *genProc, ph *spec.Phase, at sim.Time) {
+	_, sv := effVars(ph)
+	li := p.rng.Intn(sv)
+	lock := g.lay.locks + mem.Addr(li)
+	ctr := g.lay.lockCtr + mem.Addr(li)
+	p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindLockAcquire, Addr: lock})
+	p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindRead, Addr: ctr})
+	p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindWrite, Addr: ctr, Value: p.val})
+	p.val++
+	if ph.Work > 0 {
+		p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindWork, Value: mem.Value(ph.Work)})
+	}
+	p.push(tracefmt.Record{Proc: procID, At: at, Kind: tracefmt.KindLockRelease, Addr: lock})
+}

@@ -1,0 +1,205 @@
+// Package openloop turns a workload spec (internal/workload/spec) into an
+// open-loop arrival stream for the timed machine: operations arrive at
+// simulated-time instants drawn from per-phase rates, independent of how fast
+// the machine retires them, so rising rates expose the saturation knee
+// instead of the closed-loop self-throttling a fixed program exhibits.
+//
+// The pipeline has three interchangeable stages:
+//
+//	Source  — a per-processor stream of tracefmt.Records. Generator derives
+//	          one from (spec, seed); Replayer derives one from a recorded
+//	          trace; Recorder tees any Source into a tracefmt.Writer.
+//	Compile — adapts a Source to proc.Workload by compiling each record
+//	          into a code fragment (spin loops for the composite kinds),
+//	          with a bounded fragment cache.
+//	Program — builds the machine's skeleton program: one halting thread per
+//	          processor plus the address pools in Init, so the directory
+//	          owns every location before the first arrival.
+//
+// Determinism contract: a Generator's per-processor stream is a pure
+// function of (spec, seed, processor) — each processor draws from its own
+// seeded RNG, so the pull interleaving across processors cannot perturb
+// generation. Together with the engine's deterministic same-cycle dispatch
+// order this makes a run byte-reproducible from (spec, seed), and the
+// recorded trace makes it byte-reproducible with no generator at all.
+//
+// Memory contract: every stage is streaming. The Generator holds one
+// arrival burst per processor, the Replayer a bounded demux window, the
+// Compiled adapter a capped fragment cache — live state never scales with
+// trace length.
+package openloop
+
+import (
+	"fmt"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/program"
+	"weakorder/internal/workload/spec"
+	"weakorder/internal/workload/tracefmt"
+)
+
+// Source is a demultiplexed record stream: Next returns processor proc's
+// next arrival. ok=false ends that processor's stream; an error aborts the
+// run. Implementations must tolerate interleaved calls across processors but
+// are not required to be safe for concurrent use — the timed engine is
+// single-threaded.
+type Source interface {
+	Next(proc int) (tracefmt.Record, bool, error)
+}
+
+// layout assigns each scenario its own address region, so phases of
+// different scenarios cannot corrupt each other's protocol state (a mix
+// phase TAS-ing a barrier counter would deadlock every later barrier).
+// Regions are computed from the spec's maxima, packed from the conventional
+// bases: data from 100, synchronization from 200 (or higher when the data
+// region is large).
+type layout struct {
+	mixData mem.Addr // racy mix-scenario data pool
+	lockCtr mem.Addr // lock-protected counters, one per lock
+	pcData  mem.Addr // producer/consumer payload, one per pair
+	mixSync mem.Addr // mix-scenario sync pool
+	locks   mem.Addr // lock words, one per lock
+	barCnt  mem.Addr // barrier arrival counter
+	barSns  mem.Addr // barrier sense (a monotone episode counter)
+	pcFlags mem.Addr // prodcons flag/ack words, two per pair
+
+	nMixData, nLockCtr, nPCData      int
+	nMixSync, nLocks, nBar, nPCFlags int
+}
+
+// effVars resolves a phase's pool sizes (zero means the default).
+func effVars(ph *spec.Phase) (dataVars, syncVars int) {
+	dataVars, syncVars = ph.DataVars, ph.SyncVars
+	if dataVars == 0 {
+		dataVars = 4
+	}
+	if syncVars == 0 {
+		syncVars = 2
+	}
+	return dataVars, syncVars
+}
+
+// layoutOf computes the address regions a spec's phases can touch.
+func layoutOf(s *spec.Spec) layout {
+	var maxMixData, maxMixSync, maxLock int
+	var hasBar, hasPC bool
+	for i := range s.Phases {
+		ph := &s.Phases[i]
+		dv, sv := effVars(ph)
+		switch ph.Scenario {
+		case spec.ScenarioMix:
+			maxMixData = max(maxMixData, dv)
+			maxMixSync = max(maxMixSync, sv)
+		case spec.ScenarioLock:
+			maxLock = max(maxLock, sv)
+		case spec.ScenarioBarrier:
+			hasBar = true
+		case spec.ScenarioProdCons:
+			hasPC = true
+		}
+	}
+	pairs := s.Procs / 2
+	var l layout
+	a := mem.Addr(100)
+	l.mixData, l.nMixData = a, maxMixData
+	a += mem.Addr(maxMixData)
+	l.lockCtr, l.nLockCtr = a, maxLock
+	a += mem.Addr(maxLock)
+	if hasPC {
+		l.pcData, l.nPCData = a, pairs
+		a += mem.Addr(pairs)
+	}
+	if a < 200 {
+		a = 200
+	}
+	l.mixSync, l.nMixSync = a, maxMixSync
+	a += mem.Addr(maxMixSync)
+	l.locks, l.nLocks = a, maxLock
+	a += mem.Addr(maxLock)
+	if hasBar {
+		l.barCnt, l.barSns, l.nBar = a, a+1, 2
+		a += 2
+	}
+	if hasPC {
+		l.pcFlags, l.nPCFlags = a, 2*pairs
+	}
+	return l
+}
+
+// addrs enumerates every address in the layout's regions.
+func (l *layout) addrs() []mem.Addr {
+	var out []mem.Addr
+	span := func(base mem.Addr, n int) {
+		for i := 0; i < n; i++ {
+			out = append(out, base+mem.Addr(i))
+		}
+	}
+	span(l.mixData, l.nMixData)
+	span(l.lockCtr, l.nLockCtr)
+	span(l.pcData, l.nPCData)
+	span(l.mixSync, l.nMixSync)
+	span(l.locks, l.nLocks)
+	if l.nBar > 0 {
+		out = append(out, l.barCnt, l.barSns)
+	}
+	span(l.pcFlags, l.nPCFlags)
+	return out
+}
+
+// Program builds the machine skeleton for a spec: one halting thread per
+// processor, with every pool address declared (zero) in Init so the
+// directory owns the whole working set before the first arrival.
+func Program(s *spec.Spec) (*program.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	lay := layoutOf(s)
+	return skeleton(name(s.Name), s.Procs, lay.addrs(), nil)
+}
+
+// Header describes a spec's runs for trace recording: the header written
+// first into every trace, carrying enough (procs, name, init) to rebuild the
+// skeleton with ReplayProgram from the trace alone.
+func Header(s *spec.Spec) tracefmt.Header {
+	lay := layoutOf(s)
+	init := make(map[mem.Addr]mem.Value)
+	for _, a := range lay.addrs() {
+		init[a] = 0
+	}
+	return tracefmt.Header{Procs: s.Procs, Name: name(s.Name), Init: init}
+}
+
+// ReplayProgram rebuilds the machine skeleton from a recorded trace's
+// header, so a trace replays with no spec in hand.
+func ReplayProgram(hdr tracefmt.Header) (*program.Program, error) {
+	if hdr.Procs < 1 {
+		return nil, fmt.Errorf("openloop: trace header has %d processors", hdr.Procs)
+	}
+	var addrs []mem.Addr
+	for a := range hdr.Init {
+		addrs = append(addrs, a)
+	}
+	return skeleton(name(hdr.Name), hdr.Procs, addrs, hdr.Init)
+}
+
+// skeleton assembles the n-thread halting program with the given Init set.
+// values may be nil (all zeros).
+func skeleton(name string, n int, addrs []mem.Addr, values map[mem.Addr]mem.Value) (*program.Program, error) {
+	b := program.NewBuilder(name)
+	for _, a := range addrs {
+		b.Init(a, values[a])
+	}
+	for i := 0; i < n; i++ {
+		b.Thread()
+		b.Halt()
+	}
+	return b.Build()
+}
+
+// name defaults the workload label.
+func name(s string) string {
+	if s == "" {
+		return "openloop"
+	}
+	return s
+}

@@ -1,0 +1,97 @@
+package openloop
+
+import (
+	"fmt"
+	"io"
+
+	"weakorder/internal/workload/tracefmt"
+)
+
+// Recorder tees a Source into a trace writer: every record is written in the
+// exact order the machine pulls it. The engine is single-threaded and
+// dispatches same-cycle events deterministically, so the pull order — and
+// with it the recorded byte stream — is reproducible run over run. The
+// caller closes the writer after the run drains.
+type Recorder struct {
+	src Source
+	w   *tracefmt.Writer
+}
+
+// NewRecorder wraps src, recording through w.
+func NewRecorder(src Source, w *tracefmt.Writer) *Recorder {
+	return &Recorder{src: src, w: w}
+}
+
+// Next implements Source.
+func (r *Recorder) Next(proc int) (tracefmt.Record, bool, error) {
+	rec, ok, err := r.src.Next(proc)
+	if err != nil || !ok {
+		return rec, ok, err
+	}
+	if err := r.w.Write(rec); err != nil {
+		return tracefmt.Record{}, false, fmt.Errorf("openloop: recording trace: %w", err)
+	}
+	return rec, true, nil
+}
+
+// maxReplayWindow bounds each processor's demux queue. The trace is stored
+// in pull order, so replaying on the machine that recorded it keeps every
+// queue near-empty; a window overflow means the trace and the machine
+// disagree wildly about scheduling (wrong pool width changing pull order is
+// impossible — the engine is deterministic — so this indicates a foreign or
+// corrupted trace) and the replay fails loudly instead of buffering the
+// whole file.
+const maxReplayWindow = 1 << 16
+
+// Replayer demultiplexes a recorded trace back into per-processor streams.
+// Records for not-yet-requested processors buffer in bounded FIFO windows;
+// memory stays O(window), not O(trace).
+type Replayer struct {
+	r      *tracefmt.Reader
+	queues [][]tracefmt.Record
+	heads  []int
+	eof    bool
+	err    error
+}
+
+// NewReplayer wraps an open trace reader (header already consumed).
+func NewReplayer(r *tracefmt.Reader) *Replayer {
+	n := r.Header().Procs
+	return &Replayer{r: r, queues: make([][]tracefmt.Record, n), heads: make([]int, n)}
+}
+
+// Next implements Source.
+func (rp *Replayer) Next(proc int) (tracefmt.Record, bool, error) {
+	if proc < 0 || proc >= len(rp.queues) {
+		return tracefmt.Record{}, false, fmt.Errorf("openloop: replay P%d out of range [0,%d)", proc, len(rp.queues))
+	}
+	for rp.heads[proc] >= len(rp.queues[proc]) {
+		rp.queues[proc], rp.heads[proc] = rp.queues[proc][:0], 0
+		if rp.err != nil {
+			// Sticky: every processor sees the decode failure, and the
+			// engine's first-error-wins keeps the root cause.
+			return tracefmt.Record{}, false, rp.err
+		}
+		if rp.eof {
+			return tracefmt.Record{}, false, nil
+		}
+		rec, err := rp.r.Next()
+		if err == io.EOF {
+			rp.eof = true
+			continue
+		}
+		if err != nil {
+			rp.err = fmt.Errorf("openloop: replaying trace: %w", err)
+			return tracefmt.Record{}, false, rp.err
+		}
+		q := rec.Proc
+		if len(rp.queues[q])-rp.heads[q] >= maxReplayWindow {
+			rp.err = fmt.Errorf("openloop: replay demux window for P%d exceeded %d records (trace does not match this machine)", q, maxReplayWindow)
+			return tracefmt.Record{}, false, rp.err
+		}
+		rp.queues[q] = append(rp.queues[q], rec)
+	}
+	rec := rp.queues[proc][rp.heads[proc]]
+	rp.heads[proc]++
+	return rec, true, nil
+}

@@ -1,0 +1,344 @@
+// Package spec defines the versioned open-loop workload description: thread
+// population, a sequence of phases with per-phase arrival rates, and the
+// operation-mix knobs each phase draws from (the same sync-density vocabulary
+// as workload.RandomConfig). A Spec plus a seed fully determines the arrival
+// stream an openloop.Generator produces, so experiments are reproducible from
+// the pair alone.
+//
+// Specs parse from JSON or from a small YAML subset (block mappings,
+// block sequences, scalar values, '#' comments — no anchors, flow style, or
+// multi-line strings), so hand-written workload files stay readable without
+// pulling in a YAML dependency. Both parsers reject unknown fields: a typo in
+// a knob name is an error, not a silently ignored default.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"weakorder/internal/sim"
+)
+
+// Version is the current spec schema version. A spec file must declare it;
+// parsers reject versions they do not know.
+const Version = 1
+
+// MaxProcs bounds the thread population (matches tracefmt.MaxProcs).
+const MaxProcs = 4096
+
+// ErrSpec reports an invalid or unparseable workload spec; all parse and
+// validation failures wrap it.
+var ErrSpec = errors.New("workload spec")
+
+// Scenario names the per-phase arrival pattern.
+type Scenario string
+
+const (
+	// ScenarioMix draws independent operations per arrival from the
+	// sync-density mix (the open-loop analogue of workload.Random).
+	ScenarioMix Scenario = "mix"
+	// ScenarioLock makes each arrival a lock-protected critical section:
+	// acquire, read-modify-write the protected counter, local work,
+	// release. Contention scales with rate.
+	ScenarioLock Scenario = "lock"
+	// ScenarioBarrier makes each arrival a sense-reversing barrier episode
+	// joined by every thread (a barrier storm at high rate).
+	ScenarioBarrier Scenario = "barrier"
+	// ScenarioProdCons pairs threads producer/consumer: even threads write
+	// data and release a flag, odd threads await the flag and read, with an
+	// acknowledgement flag providing flow control.
+	ScenarioProdCons Scenario = "prodcons"
+)
+
+// valid reports whether s is a known scenario.
+func (s Scenario) valid() bool {
+	switch s {
+	case ScenarioMix, ScenarioLock, ScenarioBarrier, ScenarioProdCons:
+		return true
+	}
+	return false
+}
+
+// Mix carries the operation-mix knobs for ScenarioMix phases, sharing
+// workload.RandomConfig's convention: zero means the documented default,
+// negative means exactly zero percent.
+type Mix struct {
+	// SyncDensity is the per-arrival probability (percent) of a
+	// synchronization operation instead of a data access.
+	SyncDensity int `json:"sync_density,omitempty"`
+	// RMWPct is the share (percent) of synchronization operations emitted
+	// as atomic read-modify-writes.
+	RMWPct int `json:"rmw_pct,omitempty"`
+	// SyncReadPct splits non-RMW synchronization between read-only and
+	// write-only operations.
+	SyncReadPct int `json:"sync_read_pct,omitempty"`
+	// FetchAddPct is the share (percent) of RMWs emitted as FetchAdd
+	// rather than TestAndSet.
+	FetchAddPct int `json:"fetch_add_pct,omitempty"`
+}
+
+// Phase is one window of the workload: for Duration simulated time units,
+// each thread receives arrivals at Rate per thousand time units, drawn from
+// Scenario's pattern.
+type Phase struct {
+	// Duration is the phase length in simulated time units.
+	Duration sim.Time `json:"duration"`
+	// Rate is the open-loop arrival rate in arrivals per 1000 simulated
+	// time units per thread. Arrivals are Poisson (exponential
+	// inter-arrival times) for mix and lock scenarios; barrier and
+	// prodcons phases space their episodes evenly so every thread joins
+	// the same episode count and the phase cannot deadlock.
+	Rate int `json:"rate"`
+	// Scenario selects the arrival pattern.
+	Scenario Scenario `json:"scenario"`
+	// DataVars and SyncVars size the address pools (defaults 4 and 2).
+	DataVars int `json:"data_vars,omitempty"`
+	SyncVars int `json:"sync_vars,omitempty"`
+	// Work is the local computation (cycles) attached to each arrival's
+	// operation (default 0).
+	Work int `json:"work,omitempty"`
+	// Mix tunes ScenarioMix phases; ignored by the other scenarios.
+	Mix Mix `json:"mix,omitempty"`
+}
+
+// Spec is a complete open-loop workload description.
+type Spec struct {
+	// SpecVersion must equal Version.
+	SpecVersion int `json:"version"`
+	// Name labels the workload in traces and metrics output.
+	Name string `json:"name,omitempty"`
+	// Procs is the thread population; every thread runs for the whole
+	// spec, receiving arrivals per the current phase.
+	Procs int `json:"procs"`
+	// Seed is the default generation seed; a caller-provided seed
+	// overrides it.
+	Seed int64 `json:"seed,omitempty"`
+	// Phases run back to back in order.
+	Phases []Phase `json:"phases"`
+}
+
+// EndTime returns the simulated time at which the last phase ends.
+func (s *Spec) EndTime() sim.Time {
+	var t sim.Time
+	for _, p := range s.Phases {
+		t += p.Duration
+	}
+	return t
+}
+
+// Validate checks the spec against the schema's bounds. It is called by
+// Parse; callers constructing a Spec in code should call it themselves.
+func (s *Spec) Validate() error {
+	if s.SpecVersion != Version {
+		return fmt.Errorf("%w: version %d unsupported (want %d)", ErrSpec, s.SpecVersion, Version)
+	}
+	if s.Procs < 1 || s.Procs > MaxProcs {
+		return fmt.Errorf("%w: procs %d out of range [1,%d]", ErrSpec, s.Procs, MaxProcs)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("%w: no phases", ErrSpec)
+	}
+	for i, p := range s.Phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("%w: phase %d duration %d must be positive", ErrSpec, i, p.Duration)
+		}
+		if p.Rate < 1 || p.Rate > 1_000_000 {
+			return fmt.Errorf("%w: phase %d rate %d out of range [1,1000000]", ErrSpec, i, p.Rate)
+		}
+		if !p.Scenario.valid() {
+			return fmt.Errorf("%w: phase %d scenario %q unknown (mix, lock, barrier, prodcons)", ErrSpec, i, p.Scenario)
+		}
+		if p.DataVars < 0 || p.DataVars > 1<<16 {
+			return fmt.Errorf("%w: phase %d data_vars %d out of range", ErrSpec, i, p.DataVars)
+		}
+		if p.SyncVars < 0 || p.SyncVars > 1<<16 {
+			return fmt.Errorf("%w: phase %d sync_vars %d out of range", ErrSpec, i, p.SyncVars)
+		}
+		if p.Work < 0 || p.Work > 1<<20 {
+			return fmt.Errorf("%w: phase %d work %d out of range", ErrSpec, i, p.Work)
+		}
+		for _, k := range []struct {
+			name string
+			v    int
+		}{
+			{"sync_density", p.Mix.SyncDensity},
+			{"rmw_pct", p.Mix.RMWPct},
+			{"sync_read_pct", p.Mix.SyncReadPct},
+			{"fetch_add_pct", p.Mix.FetchAddPct},
+		} {
+			if k.v > 100 {
+				return fmt.Errorf("%w: phase %d mix %s %d exceeds 100", ErrSpec, i, k.name, k.v)
+			}
+		}
+		if p.Scenario == ScenarioProdCons && s.Procs < 2 {
+			return fmt.Errorf("%w: phase %d prodcons needs at least 2 threads", ErrSpec, i)
+		}
+	}
+	return nil
+}
+
+// Parse decodes a workload spec from JSON (input starting with '{') or the
+// YAML subset, then validates it.
+func Parse(data []byte) (*Spec, error) {
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	var v any
+	var err error
+	if strings.HasPrefix(trimmed, "{") {
+		err = json.Unmarshal(data, &v)
+		if err != nil {
+			err = fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+	} else {
+		v, err = parseYAML(string(data))
+	}
+	if err != nil {
+		return nil, err
+	}
+	s, err := decodeSpec(v)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// decodeSpec converts the generic parse tree (from either syntax) into a
+// Spec, rejecting unknown fields.
+func decodeSpec(v any) (*Spec, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%w: top level must be a mapping, got %T", ErrSpec, v)
+	}
+	s := &Spec{}
+	for key, val := range m {
+		var err error
+		switch key {
+		case "version":
+			s.SpecVersion, err = asInt(key, val)
+		case "name":
+			s.Name, err = asString(key, val)
+		case "procs":
+			s.Procs, err = asInt(key, val)
+		case "seed":
+			var n int64
+			n, err = asInt64(key, val)
+			s.Seed = n
+		case "phases":
+			list, lok := val.([]any)
+			if !lok {
+				return nil, fmt.Errorf("%w: phases must be a sequence, got %T", ErrSpec, val)
+			}
+			for i, pv := range list {
+				p, perr := decodePhase(i, pv)
+				if perr != nil {
+					return nil, perr
+				}
+				s.Phases = append(s.Phases, p)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown field %q", ErrSpec, key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func decodePhase(i int, v any) (Phase, error) {
+	var p Phase
+	m, ok := v.(map[string]any)
+	if !ok {
+		return p, fmt.Errorf("%w: phase %d must be a mapping, got %T", ErrSpec, i, v)
+	}
+	for key, val := range m {
+		var err error
+		switch key {
+		case "duration":
+			var n int64
+			n, err = asInt64(key, val)
+			p.Duration = sim.Time(n)
+		case "rate":
+			p.Rate, err = asInt(key, val)
+		case "scenario":
+			var s string
+			s, err = asString(key, val)
+			p.Scenario = Scenario(s)
+		case "data_vars":
+			p.DataVars, err = asInt(key, val)
+		case "sync_vars":
+			p.SyncVars, err = asInt(key, val)
+		case "work":
+			p.Work, err = asInt(key, val)
+		case "mix":
+			mm, mok := val.(map[string]any)
+			if !mok {
+				return p, fmt.Errorf("%w: phase %d mix must be a mapping, got %T", ErrSpec, i, val)
+			}
+			for mkey, mval := range mm {
+				var n int
+				n, err = asInt(mkey, mval)
+				if err != nil {
+					return p, err
+				}
+				switch mkey {
+				case "sync_density":
+					p.Mix.SyncDensity = n
+				case "rmw_pct":
+					p.Mix.RMWPct = n
+				case "sync_read_pct":
+					p.Mix.SyncReadPct = n
+				case "fetch_add_pct":
+					p.Mix.FetchAddPct = n
+				default:
+					return p, fmt.Errorf("%w: phase %d: unknown mix field %q", ErrSpec, i, mkey)
+				}
+			}
+		default:
+			return p, fmt.Errorf("%w: phase %d: unknown field %q", ErrSpec, i, key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("%w (phase %d)", err, i)
+		}
+	}
+	return p, nil
+}
+
+// asInt64 coerces a scalar from either parser: float64 (JSON) must be
+// integral, string (YAML) must parse as a base-10 integer.
+func asInt64(key string, v any) (int64, error) {
+	switch n := v.(type) {
+	case float64:
+		if n != float64(int64(n)) {
+			return 0, fmt.Errorf("%w: field %q: %v is not an integer", ErrSpec, key, n)
+		}
+		return int64(n), nil
+	case string:
+		i, err := strconv.ParseInt(n, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: field %q: %q is not an integer", ErrSpec, key, n)
+		}
+		return i, nil
+	}
+	return 0, fmt.Errorf("%w: field %q: expected integer, got %T", ErrSpec, key, v)
+}
+
+func asInt(key string, v any) (int, error) {
+	n, err := asInt64(key, v)
+	return int(n), err
+}
+
+func asString(key string, v any) (string, error) {
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("%w: field %q: expected string, got %T", ErrSpec, key, v)
+	}
+	return s, nil
+}

@@ -1,0 +1,167 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const yamlDoc = `# lock contention swept across two rate windows
+version: 1
+name: "lock-storm"   # quoted, with a trailing comment
+procs: 4
+seed: 42
+phases:
+  - duration: 50000
+    rate: 4
+    scenario: lock
+    work: 20
+  - duration: 50000
+    rate: 16
+    scenario: mix
+    data_vars: 8
+    sync_vars: 2
+    mix:
+      sync_density: 60
+      rmw_pct: 34
+      sync_read_pct: 50
+`
+
+const jsonDoc = `{
+  "version": 1,
+  "name": "lock-storm",
+  "procs": 4,
+  "seed": 42,
+  "phases": [
+    {"duration": 50000, "rate": 4, "scenario": "lock", "work": 20},
+    {"duration": 50000, "rate": 16, "scenario": "mix", "data_vars": 8,
+     "sync_vars": 2, "mix": {"sync_density": 60, "rmw_pct": 34, "sync_read_pct": 50}}
+  ]
+}`
+
+// TestParseBothSyntaxes pins that the YAML subset and JSON describe the same
+// spec: every field of the two parses must agree.
+func TestParseBothSyntaxes(t *testing.T) {
+	fromYAML, err := Parse([]byte(yamlDoc))
+	if err != nil {
+		t.Fatalf("Parse(yaml): %v", err)
+	}
+	fromJSON, err := Parse([]byte(jsonDoc))
+	if err != nil {
+		t.Fatalf("Parse(json): %v", err)
+	}
+	if fromYAML.Name != "lock-storm" || fromYAML.Procs != 4 || fromYAML.Seed != 42 {
+		t.Fatalf("yaml spec = %+v", fromYAML)
+	}
+	if len(fromYAML.Phases) != 2 {
+		t.Fatalf("yaml spec has %d phases, want 2", len(fromYAML.Phases))
+	}
+	if fromYAML.Phases[0].Scenario != ScenarioLock || fromYAML.Phases[0].Work != 20 {
+		t.Fatalf("yaml phase 0 = %+v", fromYAML.Phases[0])
+	}
+	if fromYAML.Phases[1].Mix.SyncDensity != 60 {
+		t.Fatalf("yaml phase 1 mix = %+v", fromYAML.Phases[1].Mix)
+	}
+	if fromYAML.Name != fromJSON.Name || fromYAML.Procs != fromJSON.Procs ||
+		fromYAML.Seed != fromJSON.Seed || len(fromYAML.Phases) != len(fromJSON.Phases) {
+		t.Fatalf("yaml %+v != json %+v", fromYAML, fromJSON)
+	}
+	for i := range fromYAML.Phases {
+		if fromYAML.Phases[i] != fromJSON.Phases[i] {
+			t.Fatalf("phase %d: yaml %+v != json %+v", i, fromYAML.Phases[i], fromJSON.Phases[i])
+		}
+	}
+	if fromYAML.EndTime() != 100000 {
+		t.Fatalf("EndTime = %d, want 100000", fromYAML.EndTime())
+	}
+}
+
+// TestParseRejects pins the error paths: unknown fields, bad versions,
+// out-of-range knobs, and YAML-subset structural damage all fail with
+// ErrSpec and a message naming the problem.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"unknown-top-field", "version: 1\nprocs: 2\nbogus: 1\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n", "unknown field \"bogus\""},
+		{"unknown-phase-field", "version: 1\nprocs: 2\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n    turbo: 9\n", "unknown field \"turbo\""},
+		{"unknown-mix-field", "version: 1\nprocs: 2\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n    mix:\n      chaos: 1\n", "unknown mix field"},
+		{"bad-version", "version: 2\nprocs: 2\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n", "version 2 unsupported"},
+		{"missing-version", "procs: 2\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n", "version 0 unsupported"},
+		{"zero-procs", "version: 1\nprocs: 0\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n", "procs 0 out of range"},
+		{"no-phases", "version: 1\nprocs: 2\n", "no phases"},
+		{"zero-duration", "version: 1\nprocs: 2\nphases:\n  - duration: 0\n    rate: 1\n    scenario: mix\n", "duration 0 must be positive"},
+		{"zero-rate", "version: 1\nprocs: 2\nphases:\n  - duration: 10\n    rate: 0\n    scenario: mix\n", "rate 0 out of range"},
+		{"bad-scenario", "version: 1\nprocs: 2\nphases:\n  - duration: 10\n    rate: 1\n    scenario: warp\n", "scenario \"warp\" unknown"},
+		{"mix-over-100", "version: 1\nprocs: 2\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n    mix:\n      sync_density: 101\n", "sync_density 101 exceeds 100"},
+		{"prodcons-one-thread", "version: 1\nprocs: 1\nphases:\n  - duration: 10\n    rate: 1\n    scenario: prodcons\n", "prodcons needs at least 2"},
+		{"non-integer", "version: one\nprocs: 2\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n", "not an integer"},
+		{"tab-indent", "version: 1\n\tprocs: 2\n", "tab in indentation"},
+		{"duplicate-key", "version: 1\nversion: 1\nprocs: 2\nphases:\n  - duration: 10\n    rate: 1\n    scenario: mix\n", "duplicate key"},
+		{"empty-doc", "", "empty document"},
+		{"dangling-key", "version: 1\nprocs: 2\nphases:\n", "has no value"},
+		{"bad-json", "{not json}", "workload spec"},
+		{"json-float", `{"version": 1, "procs": 2.5, "phases": [{"duration": 10, "rate": 1, "scenario": "mix"}]}`, "not an integer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.doc)
+			}
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("error %v does not wrap ErrSpec", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestYAMLSubsetShapes exercises parser corners: scalar sequence items,
+// comments in odd places, quoted strings with '#' inside, and indentation
+// errors.
+func TestYAMLSubsetShapes(t *testing.T) {
+	t.Run("quoted-hash", func(t *testing.T) {
+		v, err := parseYAML("name: \"a # not a comment\"\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(map[string]any)["name"] != "a # not a comment" {
+			t.Fatalf("parsed %v", v)
+		}
+	})
+	t.Run("scalar-seq", func(t *testing.T) {
+		v, err := parseYAML("items:\n  - 1\n  - 2\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := v.(map[string]any)["items"].([]any)
+		if len(got) != 2 || got[0] != "1" || got[1] != "2" {
+			t.Fatalf("parsed %v", got)
+		}
+	})
+	t.Run("dash-alone", func(t *testing.T) {
+		v, err := parseYAML("phases:\n  -\n    duration: 5\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph := v.(map[string]any)["phases"].([]any)
+		if len(ph) != 1 || ph[0].(map[string]any)["duration"] != "5" {
+			t.Fatalf("parsed %v", ph)
+		}
+	})
+	t.Run("bad-indent-under-scalar", func(t *testing.T) {
+		if _, err := parseYAML("a: 1\n  b: 2\n"); err == nil {
+			t.Fatal("accepted mapping nested under a scalar")
+		}
+	})
+	t.Run("misaligned-item-key", func(t *testing.T) {
+		if _, err := parseYAML("phases:\n  - duration: 5\n   rate: 1\n"); err == nil {
+			t.Fatal("accepted misaligned mapping key in sequence item")
+		}
+	})
+}

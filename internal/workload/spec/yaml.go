@@ -1,0 +1,188 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parseYAML parses the documented YAML subset into the same generic tree
+// shape encoding/json produces (map[string]any, []any), with scalars kept as
+// strings for the shared coercion layer. Supported: block mappings, block
+// sequences ("- " items), scalar values, '#' comments, single/double quoted
+// strings. Not supported (rejected, never misparsed): tabs in indentation,
+// anchors, aliases, flow style, multi-line strings, documents.
+func parseYAML(src string) (any, error) {
+	p := &yparser{}
+	for i, raw := range strings.Split(src, "\n") {
+		n := i + 1
+		line := strings.TrimRight(raw, " \r")
+		content := strings.TrimLeft(line, " ")
+		if content == "" {
+			continue
+		}
+		indent := len(line) - len(content)
+		if strings.HasPrefix(content, "\t") || strings.Contains(line[:indent+1], "\t") {
+			return nil, fmt.Errorf("%w: line %d: tab in indentation", ErrSpec, n)
+		}
+		content = stripComment(content)
+		if strings.TrimSpace(content) == "" {
+			continue
+		}
+		p.lines = append(p.lines, yline{n: n, indent: indent, text: content})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("%w: empty document", ErrSpec)
+	}
+	v, err := p.parseValue(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("%w: line %d: unexpected indentation", ErrSpec, p.lines[p.pos].n)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing '#' comment that is not inside quotes. A
+// '#' only starts a comment at the beginning of content or after a space
+// (matching YAML), so "a#b" stays intact.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return s
+}
+
+type yline struct {
+	n      int // 1-based source line
+	indent int
+	text   string
+}
+
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+// parseValue parses the block starting at the current line, which must sit
+// at exactly the given indent.
+func (p *yparser) parseValue(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, fmt.Errorf("%w: line %d: expected indentation %d, got %d", ErrSpec, l.n, indent, l.indent)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *yparser) parseMap(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("%w: line %d: unexpected indentation", ErrSpec, l.n)
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("%w: line %d: sequence item in mapping", ErrSpec, l.n)
+		}
+		key, rest, ok := strings.Cut(l.text, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: expected \"key: value\"", ErrSpec, l.n)
+		}
+		key = strings.TrimSpace(unquote(strings.TrimSpace(key)))
+		if key == "" {
+			return nil, fmt.Errorf("%w: line %d: empty key", ErrSpec, l.n)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("%w: line %d: duplicate key %q", ErrSpec, l.n, key)
+		}
+		rest = strings.TrimSpace(rest)
+		p.pos++
+		if rest != "" {
+			m[key] = unquote(rest)
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				return nil, fmt.Errorf("%w: line %d: unexpected indentation under scalar %q", ErrSpec, p.lines[p.pos].n, key)
+			}
+			continue
+		}
+		// Block value: the next line must be indented deeper.
+		if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+			return nil, fmt.Errorf("%w: line %d: key %q has no value", ErrSpec, l.n, key)
+		}
+		v, err := p.parseValue(p.lines[p.pos].indent)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+func (p *yparser) parseSeq(indent int) (any, error) {
+	list := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		isItem := l.text == "-" || strings.HasPrefix(l.text, "- ")
+		if l.indent > indent || !isItem {
+			return nil, fmt.Errorf("%w: line %d: expected \"- \" sequence item at indentation %d", ErrSpec, l.n, indent)
+		}
+		if l.text == "-" {
+			// Item body on the following, deeper-indented lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("%w: line %d: empty sequence item", ErrSpec, l.n)
+			}
+			v, err := p.parseValue(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+			continue
+		}
+		body := strings.TrimLeft(l.text[2:], " ")
+		off := indent + (len(l.text) - len(body))
+		if !strings.Contains(body, ":") {
+			// Scalar item.
+			list = append(list, unquote(body))
+			p.pos++
+			continue
+		}
+		// Mapping item: the inline "key: value" plus any following lines
+		// aligned with it form one mapping. Re-inject the remainder as a
+		// virtual line at the content's column and parse a block there.
+		p.lines[p.pos] = yline{n: l.n, indent: off, text: body}
+		v, err := p.parseValue(off)
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, v)
+	}
+	return list, nil
+}
+
+// unquote strips one matched pair of surrounding single or double quotes.
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package tracefmt
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"weakorder/internal/mem"
+)
+
+// FuzzReader feeds arbitrary bytes through the binary trace decoder. The
+// invariant is total safety on untrusted input: the Reader either rejects the
+// stream with a typed, prefixed error or yields records that re-encode to the
+// exact input bytes — it never panics, never allocates from an absurd
+// declared length, and never accepts a stream whose footer does not match
+// what it read.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace, its truncation witnesses, and targeted
+	// corruptions of each region (magic, version, header, record, footer).
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{
+		Procs: 2,
+		Name:  "seed",
+		Init:  map[mem.Addr]mem.Value{100: 1, 200: -2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range []Record{
+		{Proc: 0, At: 0, Kind: KindWork, Value: 8},
+		{Proc: 1, At: 3, Kind: KindLockAcquire, Addr: 200},
+		{Proc: 1, At: 3, Kind: KindWrite, Addr: 100, Value: -5},
+		{Proc: 1, At: 3, Kind: KindLockRelease, Addr: 200},
+		{Proc: 0, At: 7, Kind: KindBarrier, Addr: 201, Aux: 202, Value: 1, Arg: 1},
+	} {
+		if err := w.Write(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Truncation witnesses: cut inside the header, inside a record frame,
+	// and just before the footer.
+	f.Add(valid[:3])
+	f.Add(valid[:8])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-5])
+	// Corruption witnesses.
+	for _, off := range []int{0, 4, 6, len(valid) / 2, len(valid) - 2} {
+		bad := append([]byte{}, valid...)
+		bad[off] ^= 0xFF
+		f.Add(bad)
+	}
+	// Absurd declared lengths: a header frame claiming 2^60 bytes, and a
+	// record frame longer than the cap.
+	f.Add([]byte("WOTF\x01\xff\xff\xff\xff\xff\xff\xff\xff\x0f"))
+	f.Add(append(append([]byte{}, valid[:5]...), 0xC8, 0x01))
+	f.Add([]byte{})
+	f.Add([]byte("WOTF"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			checkErr(t, err)
+			return
+		}
+		hdr := r.Header()
+		if hdr.Procs < 1 || hdr.Procs > MaxProcs {
+			t.Fatalf("accepted header with %d processors", hdr.Procs)
+		}
+		if len(hdr.Name) > MaxNameLen || len(hdr.Init) > MaxInit {
+			t.Fatalf("accepted header beyond caps: name %d, init %d", len(hdr.Name), len(hdr.Init))
+		}
+		// Re-encode everything the Reader accepts; if the stream completes
+		// (io.EOF after a valid footer) the re-encoding must be
+		// byte-identical to the input — the format has exactly one encoding
+		// per trace.
+		var out bytes.Buffer
+		w, err := NewWriter(&out, hdr)
+		if err != nil {
+			t.Fatalf("accepted header does not re-encode: %v", err)
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(out.Bytes(), data) {
+					t.Fatalf("complete trace does not round-trip byte-identically (%d in, %d out)", len(data), out.Len())
+				}
+				return
+			}
+			if err != nil {
+				checkErr(t, err)
+				return
+			}
+			if rec.Proc < 0 || rec.Proc >= hdr.Procs || rec.Kind >= numKinds {
+				t.Fatalf("accepted out-of-range record %+v", rec)
+			}
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("accepted record does not re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// checkErr asserts a decode error carries the package prefix (directly or
+// via a typed sentinel), so callers can always attribute the failure.
+func checkErr(t *testing.T, err error) {
+	t.Helper()
+	if !strings.Contains(err.Error(), "tracefmt:") {
+		t.Fatalf("error lost its package prefix: %v", err)
+	}
+}

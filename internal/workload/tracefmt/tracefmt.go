@@ -1,0 +1,576 @@
+// Package tracefmt defines the versioned, length-prefixed binary format for
+// open-loop workload traces: the arrival stream an openloop.Generator feeds
+// the timed machine, recorded so a multi-million-operation run is
+// byte-reproducible from the trace alone (no spec, no seed).
+//
+// Layout (all integers are unsigned varints unless noted; signed values use
+// zigzag varints):
+//
+//	magic "WOTF" | version byte |
+//	header frame | record frame* | footer frame
+//
+// Every frame is a uvarint byte length followed by that many payload bytes.
+// The header payload holds the processor count, the workload name, and the
+// initial-memory table (address/value pairs, ascending address). A record
+// frame's payload is
+//
+//	proc, kind byte, dt, addr, aux, value zz, arg zz
+//
+// where dt is the arrival-time delta against the previous record of the SAME
+// processor — per-processor arrival times are monotone by construction, so
+// deltas are non-negative and the encoding makes time regressions
+// unrepresentable. The footer payload is a kind byte 0xFF, the record count,
+// and an FNV-1a checksum (8 bytes, big-endian) over the header payload and
+// every record payload, so a flipped bit anywhere in the data is caught even
+// when the damaged frame still parses. Varints must be minimal-length; the
+// reader rejects non-canonical encodings, which gives each trace exactly one
+// byte representation (what replay byte-identity checks lean on).
+//
+// The decode discipline mirrors internal/trace: the input is untrusted, so
+// every length and count is bounds-checked before allocation, structural
+// damage is ErrFormat, a clean cut mid-structure is ErrTruncated (both
+// matchable with errors.Is), and a native fuzz target drives the reader.
+// Reading is streaming: the Reader holds one frame at a time, never the
+// whole trace.
+//
+// Versioning rule: the version byte names the complete frame vocabulary. Any
+// change to frame layout, record fields, or kind semantics bumps it, and
+// readers reject versions they do not know — there are no in-band feature
+// flags to misinterpret.
+package tracefmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+)
+
+// Version is the current format version.
+const Version = 1
+
+// magic identifies a workload trace file.
+var magic = [4]byte{'W', 'O', 'T', 'F'}
+
+// Format bounds. Untrusted input may declare any shape; everything that
+// sizes an allocation or a loop is capped.
+const (
+	// MaxProcs bounds the header's processor count (same cap as
+	// internal/trace documents).
+	MaxProcs = 4096
+	// MaxNameLen bounds the workload name.
+	MaxNameLen = 4096
+	// MaxInit bounds the initial-memory table.
+	MaxInit = 1 << 20
+	// maxRecordLen bounds one record frame's payload: 7 fields of at most
+	// 10 varint bytes each is 70; anything longer is structural damage.
+	maxRecordLen = 70
+	// maxHeaderLen bounds the header frame's payload (name plus a full
+	// init table of 10-byte varint pairs).
+	maxHeaderLen = 16 + MaxNameLen + MaxInit*20
+	// footerLen is the exact footer payload length: kind byte, record
+	// count (up to 10), checksum (8).
+	maxFooterLen = 1 + 10 + 8
+	// footerKind marks the footer frame's payload; record payloads start
+	// with a proc varint, whose first byte for any legal proc (< MaxProcs)
+	// never collides with it in a well-formed stream because the kind is
+	// checked after the frame is length-delimited anyway.
+	footerKind = 0xFF
+)
+
+// Typed errors, matched with errors.Is.
+var (
+	// ErrFormat reports structural damage: bad magic, unknown version or
+	// kind, out-of-range counts, checksum mismatch, trailing garbage.
+	ErrFormat = errors.New("tracefmt: malformed trace")
+	// ErrTruncated reports a clean cut: the stream ended inside a frame or
+	// before the footer.
+	ErrTruncated = errors.New("tracefmt: truncated trace")
+)
+
+// Kind is the operation vocabulary of an arrival record. Composite kinds
+// (LockAcquire, AwaitGE, Barrier) expand to spin loops at compile time; they
+// are first-class in the format so a recorded trace stays compact and the
+// replayer reproduces the exact same fragment codes the generator injected.
+type Kind uint8
+
+const (
+	// KindRead is an ordinary data read of Addr.
+	KindRead Kind = iota
+	// KindWrite is an ordinary data write of Value to Addr.
+	KindWrite
+	// KindSyncRead is a read-only synchronization operation (Test).
+	KindSyncRead
+	// KindSyncWrite is a write-only synchronization operation of Value.
+	KindSyncWrite
+	// KindTAS atomically swaps Value into Addr.
+	KindTAS
+	// KindFetchAdd atomically adds Value to Addr.
+	KindFetchAdd
+	// KindWork is Value cycles of pure local computation (no memory op).
+	KindWork
+	// KindLockAcquire spins TestAndSet(Addr, 1) until it reads 0.
+	KindLockAcquire
+	// KindLockRelease releases Addr with a synchronization write of 0.
+	KindLockRelease
+	// KindAwaitGE spins on sync reads of Addr until the value is >= Value.
+	KindAwaitGE
+	// KindBarrier is one sense-reversing barrier episode: FetchAdd on the
+	// counter Addr; the last arriver (previous count == Arg) resets the
+	// counter and sync-writes the new sense Value to Aux; everyone else
+	// awaits sense >= Value.
+	KindBarrier
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	names := [...]string{"read", "write", "sync-read", "sync-write", "tas",
+		"fetch-add", "work", "lock-acquire", "lock-release", "await-ge", "barrier"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one open-loop arrival: at simulated time At, processor Proc
+// begins the operation Kind describes. Addr/Aux/Value/Arg are interpreted
+// per kind (see the Kind constants); unused fields are zero.
+type Record struct {
+	Proc  int
+	At    sim.Time
+	Kind  Kind
+	Addr  mem.Addr
+	Aux   mem.Addr
+	Value mem.Value
+	Arg   mem.Value
+}
+
+// Header describes the run a trace belongs to: enough to rebuild the
+// machine's skeleton program (thread count, name, initial memory) from the
+// trace alone.
+type Header struct {
+	Procs int
+	Name  string
+	Init  map[mem.Addr]mem.Value
+}
+
+// Writer streams records to an output in wire format. Writes are buffered;
+// Close writes the footer and flushes. The Writer enforces the same
+// invariants the Reader checks, so an ill-formed trace cannot be produced by
+// accident: per-processor times must be monotone and procs in range.
+type Writer struct {
+	w      *bufio.Writer
+	hdr    Header
+	last   []sim.Time
+	count  uint64
+	sum    uint64
+	buf    []byte
+	closed bool
+}
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// NewWriter writes the magic, version, and header and returns a Writer
+// ready for records.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	if hdr.Procs < 1 || hdr.Procs > MaxProcs {
+		return nil, fmt.Errorf("%w: processor count %d out of range [1,%d]", ErrFormat, hdr.Procs, MaxProcs)
+	}
+	if len(hdr.Name) > MaxNameLen {
+		return nil, fmt.Errorf("%w: name length %d exceeds %d", ErrFormat, len(hdr.Name), MaxNameLen)
+	}
+	if len(hdr.Init) > MaxInit {
+		return nil, fmt.Errorf("%w: init table size %d exceeds %d", ErrFormat, len(hdr.Init), MaxInit)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return nil, err
+	}
+	// Header payload: procs, name, init table in ascending address order
+	// (maps are unordered; the file must be deterministic).
+	var p []byte
+	p = binary.AppendUvarint(p, uint64(hdr.Procs))
+	p = binary.AppendUvarint(p, uint64(len(hdr.Name)))
+	p = append(p, hdr.Name...)
+	p = binary.AppendUvarint(p, uint64(len(hdr.Init)))
+	addrs := make([]mem.Addr, 0, len(hdr.Init))
+	for a := range hdr.Init {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		p = binary.AppendUvarint(p, uint64(a))
+		p = appendZigzag(p, int64(hdr.Init[a]))
+	}
+	if err := writeFrame(bw, p); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		w:    bw,
+		hdr:  Header{Procs: hdr.Procs, Name: hdr.Name, Init: hdr.Init},
+		last: make([]sim.Time, hdr.Procs),
+		sum:  fnvAdd(fnvOffset, p),
+	}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if w.closed {
+		return fmt.Errorf("tracefmt: write after Close")
+	}
+	if r.Proc < 0 || r.Proc >= w.hdr.Procs {
+		return fmt.Errorf("%w: record processor P%d out of range [0,%d)", ErrFormat, r.Proc, w.hdr.Procs)
+	}
+	if r.Kind >= numKinds {
+		return fmt.Errorf("%w: unknown record kind %d", ErrFormat, r.Kind)
+	}
+	if r.At < w.last[r.Proc] {
+		return fmt.Errorf("%w: P%d arrival time %d before previous %d", ErrFormat, r.Proc, r.At, w.last[r.Proc])
+	}
+	p := w.buf[:0]
+	p = binary.AppendUvarint(p, uint64(r.Proc))
+	p = append(p, byte(r.Kind))
+	p = binary.AppendUvarint(p, uint64(r.At-w.last[r.Proc]))
+	p = binary.AppendUvarint(p, uint64(r.Addr))
+	p = binary.AppendUvarint(p, uint64(r.Aux))
+	p = appendZigzag(p, int64(r.Value))
+	p = appendZigzag(p, int64(r.Arg))
+	w.buf = p
+	w.last[r.Proc] = r.At
+	w.count++
+	w.sum = fnvAdd(w.sum, p)
+	return writeFrame(w.w, p)
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close writes the footer frame and flushes. The Writer is unusable after.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	p := w.buf[:0]
+	p = append(p, footerKind)
+	p = binary.AppendUvarint(p, w.count)
+	p = binary.BigEndian.AppendUint64(p, w.sum)
+	if err := writeFrame(w.w, p); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// appendZigzag appends a zigzag-varint encoding of v.
+func appendZigzag(p []byte, v int64) []byte {
+	return binary.AppendUvarint(p, uint64(v<<1)^uint64(v>>63))
+}
+
+// fnvAdd folds p into an FNV-1a running state.
+func fnvAdd(sum uint64, p []byte) uint64 {
+	for _, b := range p {
+		sum ^= uint64(b)
+		sum *= fnvPrime
+	}
+	return sum
+}
+
+// Reader streams records from wire format, validating as it goes. Memory use
+// is one frame buffer regardless of trace length.
+type Reader struct {
+	r     *bufio.Reader
+	hdr   Header
+	last  []sim.Time
+	count uint64
+	sum   uint64
+	buf   []byte
+	done  bool
+}
+
+// NewReader consumes the magic, version, and header; records then stream
+// from Next.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [5]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, truncOr(err, "magic")
+	}
+	if [4]byte(m[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, m[:4])
+	}
+	if m[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrFormat, m[4], Version)
+	}
+	p, err := readFrame(br, maxHeaderLen, nil)
+	if err != nil {
+		return nil, err
+	}
+	d := decoder{p: p}
+	procs := d.uvarint("procs")
+	if procs < 1 || procs > MaxProcs {
+		return nil, fmt.Errorf("%w: processor count %d out of range [1,%d]", ErrFormat, procs, MaxProcs)
+	}
+	nameLen := d.uvarint("name length")
+	if nameLen > MaxNameLen {
+		return nil, fmt.Errorf("%w: name length %d exceeds %d", ErrFormat, nameLen, MaxNameLen)
+	}
+	name := d.bytes("name", int(nameLen))
+	ninit := d.uvarint("init count")
+	if ninit > MaxInit {
+		return nil, fmt.Errorf("%w: init table size %d exceeds %d", ErrFormat, ninit, MaxInit)
+	}
+	var init map[mem.Addr]mem.Value
+	var prevAddr int64 = -1
+	if ninit > 0 {
+		init = make(map[mem.Addr]mem.Value, ninit)
+		for i := uint64(0); i < ninit; i++ {
+			a := d.uvarint("init address")
+			v := d.zigzag("init value")
+			if a > 1<<32-1 {
+				return nil, fmt.Errorf("%w: init address %d exceeds 32 bits", ErrFormat, a)
+			}
+			if int64(a) <= prevAddr {
+				return nil, fmt.Errorf("%w: init table not in ascending address order at %d", ErrFormat, a)
+			}
+			prevAddr = int64(a)
+			init[mem.Addr(a)] = mem.Value(v)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.p) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes in header", ErrFormat, len(d.p)-d.off)
+	}
+	return &Reader{
+		r:    br,
+		hdr:  Header{Procs: int(procs), Name: string(name), Init: init},
+		last: make([]sim.Time, procs),
+		sum:  fnvAdd(fnvOffset, p),
+	}, nil
+}
+
+// Header returns the trace's header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next returns the next record. After the last record it validates the
+// footer (count and checksum) and the absence of trailing bytes, then
+// returns io.EOF.
+func (r *Reader) Next() (Record, error) {
+	if r.done {
+		return Record{}, io.EOF
+	}
+	p, err := readFrame(r.r, maxRecordLen, r.buf)
+	if err != nil {
+		return Record{}, err
+	}
+	r.buf = p[:0]
+	if len(p) == 0 {
+		return Record{}, fmt.Errorf("%w: empty frame", ErrFormat)
+	}
+	if p[0] == footerKind {
+		return Record{}, r.finish(p)
+	}
+	r.sum = fnvAdd(r.sum, p)
+	r.count++
+	d := decoder{p: p}
+	proc := d.uvarint("record proc")
+	kind := d.byte("record kind")
+	dt := d.uvarint("record dt")
+	addr := d.uvarint("record addr")
+	aux := d.uvarint("record aux")
+	value := d.zigzag("record value")
+	arg := d.zigzag("record arg")
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if len(d.p) != d.off {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes in record", ErrFormat, len(d.p)-d.off)
+	}
+	if proc >= uint64(r.hdr.Procs) {
+		return Record{}, fmt.Errorf("%w: record processor P%d out of range [0,%d)", ErrFormat, proc, r.hdr.Procs)
+	}
+	if Kind(kind) >= numKinds {
+		return Record{}, fmt.Errorf("%w: unknown record kind %d", ErrFormat, kind)
+	}
+	if addr > 1<<32-1 || aux > 1<<32-1 {
+		return Record{}, fmt.Errorf("%w: address exceeds 32 bits", ErrFormat)
+	}
+	at := r.last[proc] + sim.Time(dt)
+	if at < r.last[proc] {
+		return Record{}, fmt.Errorf("%w: P%d arrival time overflows", ErrFormat, proc)
+	}
+	r.last[proc] = at
+	return Record{
+		Proc: int(proc), At: at, Kind: Kind(kind),
+		Addr: mem.Addr(addr), Aux: mem.Addr(aux),
+		Value: mem.Value(value), Arg: mem.Value(arg),
+	}, nil
+}
+
+// finish validates the footer payload and the end of the stream.
+func (r *Reader) finish(p []byte) error {
+	d := decoder{p: p}
+	d.byte("footer kind")
+	count := d.uvarint("footer count")
+	sumBytes := d.bytes("footer checksum", 8)
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.p) != d.off {
+		return fmt.Errorf("%w: %d trailing bytes in footer", ErrFormat, len(d.p)-d.off)
+	}
+	if count != r.count {
+		return fmt.Errorf("%w: footer count %d, stream had %d records", ErrFormat, count, r.count)
+	}
+	if got := binary.BigEndian.Uint64(sumBytes); got != r.sum {
+		return fmt.Errorf("%w: checksum mismatch (footer %016x, stream %016x)", ErrFormat, got, r.sum)
+	}
+	if _, err := r.r.ReadByte(); err != io.EOF {
+		return fmt.Errorf("%w: trailing bytes after footer", ErrFormat)
+	}
+	r.done = true
+	return io.EOF
+}
+
+// Count returns the number of records read so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// readFrame reads one length-prefixed frame into buf (grown as needed),
+// bounding the declared length by maxLen.
+func readFrame(br *bufio.Reader, maxLen int, buf []byte) ([]byte, error) {
+	n, err := readCanonUvarint(br)
+	if err != nil {
+		return nil, truncOr(err, "frame length")
+	}
+	if n > uint64(maxLen) {
+		return nil, fmt.Errorf("%w: frame length %d exceeds %d", ErrFormat, n, maxLen)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, truncOr(err, "frame payload")
+	}
+	return buf, nil
+}
+
+// truncOr maps io errors to the truncation sentinel; format errors pass
+// through untouched, anything else is wrapped with the package prefix.
+func truncOr(err error, what string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: stream ends inside %s", ErrTruncated, what)
+	}
+	if errors.Is(err, ErrFormat) {
+		return err
+	}
+	return fmt.Errorf("tracefmt: reading %s: %w", what, err)
+}
+
+// readCanonUvarint reads a minimal-length uvarint from br. It rejects
+// encodings with a superfluous final byte and 64-bit overflow, so every
+// value has exactly one wire form.
+func readCanonUvarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, fmt.Errorf("%w: varint overflows 64 bits", ErrFormat)
+			}
+			if i > 0 && b == 0 {
+				return 0, fmt.Errorf("%w: non-canonical varint", ErrFormat)
+			}
+			return x | uint64(b)<<s, nil
+		}
+		if i == 9 {
+			return 0, fmt.Errorf("%w: varint overflows 64 bits", ErrFormat)
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// decoder cursors over one frame payload with accumulated error handling.
+type decoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.p[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: bad varint in %s", ErrFormat, what)
+		return 0
+	}
+	if n > 1 && d.p[d.off+n-1] == 0 {
+		d.err = fmt.Errorf("%w: non-canonical varint in %s", ErrFormat, what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) zigzag(what string) int64 {
+	u := d.uvarint(what)
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (d *decoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.p) {
+		d.err = fmt.Errorf("%w: missing %s", ErrFormat, what)
+		return 0
+	}
+	b := d.p[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) bytes(what string, n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.p) {
+		d.err = fmt.Errorf("%w: missing %s", ErrFormat, what)
+		return nil
+	}
+	b := d.p[d.off : d.off+n]
+	d.off += n
+	return b
+}

@@ -1,0 +1,293 @@
+package tracefmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"weakorder/internal/mem"
+	"weakorder/internal/sim"
+)
+
+// sampleRecords returns a stream exercising every kind, multiple processors,
+// repeated arrival times (dt=0), and negative values (zigzag path).
+func sampleRecords() []Record {
+	return []Record{
+		{Proc: 0, At: 0, Kind: KindWork, Value: 12},
+		{Proc: 1, At: 0, Kind: KindRead, Addr: 100},
+		{Proc: 0, At: 5, Kind: KindWrite, Addr: 101, Value: -7},
+		{Proc: 1, At: 5, Kind: KindSyncRead, Addr: 200},
+		{Proc: 0, At: 5, Kind: KindSyncWrite, Addr: 200, Value: 1},
+		{Proc: 1, At: 9, Kind: KindTAS, Addr: 201, Value: 1},
+		{Proc: 0, At: 12, Kind: KindFetchAdd, Addr: 202, Value: 1},
+		{Proc: 1, At: 12, Kind: KindLockAcquire, Addr: 203},
+		{Proc: 1, At: 12, Kind: KindLockRelease, Addr: 203},
+		{Proc: 0, At: 20, Kind: KindAwaitGE, Addr: 204, Value: 3},
+		{Proc: 1, At: 31, Kind: KindBarrier, Addr: 205, Aux: 206, Value: 1, Arg: 1},
+	}
+}
+
+func sampleHeader() Header {
+	return Header{
+		Procs: 2,
+		Name:  "roundtrip",
+		Init:  map[mem.Addr]mem.Value{100: 1, 101: -3, 205: 0},
+	}
+}
+
+// encode writes hdr+recs to a buffer, failing the test on any error.
+func encode(t *testing.T, hdr Header, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write record %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// decode reads everything back, failing the test on any error.
+func decode(t *testing.T, data []byte) (Header, []Record) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next (record %d): %v", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+	return r.Header(), recs
+}
+
+// TestRoundTrip pins the core contract: what the Writer emits, the Reader
+// returns verbatim — header, every record field, arrival times reconstructed
+// from per-processor deltas.
+func TestRoundTrip(t *testing.T) {
+	hdr, recs := sampleHeader(), sampleRecords()
+	data := encode(t, hdr, recs)
+	gotHdr, gotRecs := decode(t, data)
+	if gotHdr.Procs != hdr.Procs || gotHdr.Name != hdr.Name {
+		t.Fatalf("header = %+v, want %+v", gotHdr, hdr)
+	}
+	if len(gotHdr.Init) != len(hdr.Init) {
+		t.Fatalf("init table has %d entries, want %d", len(gotHdr.Init), len(hdr.Init))
+	}
+	for a, v := range hdr.Init {
+		if gotHdr.Init[a] != v {
+			t.Fatalf("init[%d] = %d, want %d", a, gotHdr.Init[a], v)
+		}
+	}
+	if len(gotRecs) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(gotRecs), len(recs))
+	}
+	for i := range recs {
+		if gotRecs[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, gotRecs[i], recs[i])
+		}
+	}
+}
+
+// TestDeterministicEncoding pins byte-level determinism: encoding the same
+// header and records twice yields identical bytes, even though Header.Init
+// is an unordered map. Replay byte-identity depends on this.
+func TestDeterministicEncoding(t *testing.T) {
+	a := encode(t, sampleHeader(), sampleRecords())
+	b := encode(t, sampleHeader(), sampleRecords())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same trace differ")
+	}
+}
+
+// TestWriterRejectsIllFormed pins the Writer-side invariants: the Writer
+// refuses to produce a trace its own Reader would reject.
+func TestWriterRejectsIllFormed(t *testing.T) {
+	t.Run("procs-out-of-range", func(t *testing.T) {
+		for _, procs := range []int{0, -1, MaxProcs + 1} {
+			if _, err := NewWriter(&bytes.Buffer{}, Header{Procs: procs}); !errors.Is(err, ErrFormat) {
+				t.Fatalf("NewWriter(procs=%d) = %v, want ErrFormat", procs, err)
+			}
+		}
+	})
+	t.Run("record-proc-out-of-range", func(t *testing.T) {
+		w, err := NewWriter(&bytes.Buffer{}, Header{Procs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(Record{Proc: 2, Kind: KindRead}); !errors.Is(err, ErrFormat) {
+			t.Fatalf("Write(proc=2 of 2) = %v, want ErrFormat", err)
+		}
+	})
+	t.Run("time-regression", func(t *testing.T) {
+		w, err := NewWriter(&bytes.Buffer{}, Header{Procs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(Record{Proc: 0, At: 10, Kind: KindRead}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(Record{Proc: 0, At: 9, Kind: KindRead}); !errors.Is(err, ErrFormat) {
+			t.Fatalf("Write(time regression) = %v, want ErrFormat", err)
+		}
+	})
+	t.Run("unknown-kind", func(t *testing.T) {
+		w, err := NewWriter(&bytes.Buffer{}, Header{Procs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(Record{Proc: 0, Kind: numKinds}); !errors.Is(err, ErrFormat) {
+			t.Fatalf("Write(unknown kind) = %v, want ErrFormat", err)
+		}
+	})
+}
+
+// TestReaderTruncation cuts a valid trace at every byte offset: each prefix
+// must fail with a typed error (ErrTruncated for clean cuts, ErrFormat where
+// the cut leaves structural damage) and never be accepted as complete.
+func TestReaderTruncation(t *testing.T) {
+	data := encode(t, sampleHeader(), sampleRecords())
+	for cut := 0; cut < len(data); cut++ {
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		for err == nil {
+			_, err = r.Next()
+		}
+		if err == io.EOF {
+			t.Fatalf("prefix of %d/%d bytes was accepted as a complete trace", cut, len(data))
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFormat) {
+			t.Fatalf("prefix of %d bytes: error %v is neither ErrTruncated nor ErrFormat", cut, err)
+		}
+	}
+}
+
+// TestReaderRejectsDamage pins the structural checks on hand-corrupted
+// inputs: bad magic, wrong version, trailing garbage, checksum and count
+// mismatches, and a record time-delta that would overflow sim.Time.
+func TestReaderRejectsDamage(t *testing.T) {
+	valid := encode(t, sampleHeader(), sampleRecords())
+
+	t.Run("bad-magic", func(t *testing.T) {
+		bad := append([]byte{}, valid...)
+		bad[0] = 'X'
+		if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("NewReader(bad magic) = %v, want ErrFormat", err)
+		}
+	})
+	t.Run("unknown-version", func(t *testing.T) {
+		bad := append([]byte{}, valid...)
+		bad[4] = 99
+		if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("NewReader(version 99) = %v, want ErrFormat", err)
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		bad := append(append([]byte{}, valid...), 0xAB)
+		if err := drain(bad); !errors.Is(err, ErrFormat) {
+			t.Fatalf("trailing garbage = %v, want ErrFormat", err)
+		}
+	})
+	t.Run("flipped-payload-byte", func(t *testing.T) {
+		// Flip a byte inside a record payload; the footer checksum must
+		// catch it even when the damaged record still parses.
+		for off := len(valid) - 20; off > 5; off-- {
+			bad := append([]byte{}, valid...)
+			bad[off] ^= 0x01
+			if err := drain(bad); err == nil || err == io.EOF {
+				t.Fatalf("flipping byte %d went undetected", off)
+			}
+		}
+	})
+	t.Run("empty-input", func(t *testing.T) {
+		if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("NewReader(empty) = %v, want ErrTruncated", err)
+		}
+	})
+}
+
+// drain reads a byte trace to completion and returns the terminal error
+// (nil only if the stream somehow yields records forever, which the frame
+// bound makes impossible).
+func drain(data []byte) error {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return err
+		}
+	}
+}
+
+// TestEmptyTrace pins the degenerate case: a header and footer with zero
+// records is a valid trace.
+func TestEmptyTrace(t *testing.T) {
+	data := encode(t, Header{Procs: 1, Name: "empty"}, nil)
+	hdr, recs := decode(t, data)
+	if hdr.Procs != 1 || hdr.Name != "empty" || len(recs) != 0 {
+		t.Fatalf("empty trace decoded as %+v with %d records", hdr, len(recs))
+	}
+}
+
+// TestReaderStreamsBounded pins the streaming property: reading a long trace
+// holds one frame at a time, so allocations do not scale with record count.
+func TestReaderStreamsBounded(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Procs: 1, Name: "long"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if err := w.Write(Record{Proc: 0, At: sim.Time(i), Kind: KindWork, Value: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	allocs := testing.AllocsPerRun(3, func() {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					t.Fatal(err)
+				}
+				break
+			}
+			count++
+		}
+		if count != n {
+			t.Fatalf("decoded %d records, want %d", count, n)
+		}
+	})
+	// Reader setup allocates a handful of objects (bufio, last slice,
+	// header); the per-record path must not allocate at all.
+	if allocs > 32 {
+		t.Fatalf("reading %d records cost %.0f allocations — per-record path allocates", n, allocs)
+	}
+}

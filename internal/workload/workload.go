@@ -193,10 +193,27 @@ func ProducerConsumerChecksum(items int) mem.Value {
 // DRF1-conforming; with SpinData the sense spin is the racy idiom from the
 // end of Section 6.
 func Barrier(nproc, phases, work int, spin SpinKind) *program.Program {
-	if spin == SpinTAS {
-		panic("workload: SpinTAS is for locks, not barriers")
+	p, err := BuildBarrier(nproc, phases, work, spin)
+	if err != nil {
+		panic(err)
 	}
+	return p
+}
+
+// BuildBarrier is Barrier under the Builder error convention: invalid
+// parameter combinations (SpinTAS, which polls by retrying a TestAndSet and
+// has no meaning against a sense flag) are reported as an error instead of a
+// panic, so CLIs and spec compilers can validate untrusted inputs.
+func BuildBarrier(nproc, phases, work int, spin SpinKind) (*program.Program, error) {
 	b := program.NewBuilder(fmt.Sprintf("barrier-p%d-n%d-w%d-%s", nproc, phases, work, spin))
+	if spin == SpinTAS {
+		b.Errorf("workload: SpinTAS is for locks, not barriers (use SpinSync or SpinData)")
+		return b.Build()
+	}
+	if nproc < 1 {
+		b.Errorf("workload: barrier needs at least 1 processor, got %d", nproc)
+		return b.Build()
+	}
 	for t := 0; t < nproc; t++ {
 		b.Thread().
 			Mov(0, program.Imm(0)) // r0 = phase
@@ -227,7 +244,7 @@ func Barrier(nproc, phases, work int, spin SpinKind) *program.Program {
 		b.Label("end")
 		b.Halt()
 	}
-	return b.MustBuild()
+	return b.Build()
 }
 
 // Lock builds a TestAndSet lock-contention workload: nproc threads each
