@@ -10,17 +10,35 @@
 //
 //	wofuzz [-seeds N] [-seed S] [-budget DUR] [-machines CSV] [-minimize]
 //	       [-max-states N] [-explore-workers N] [-por on|off]
-//	       [-json PATH] [-out DIR] [-v]
+//	       [-json PATH] [-out DIR] [-checkpoint DIR] [-cache PATH] [-v]
+//	wofuzz -resume DIR [-json PATH] [-out DIR] [-cache PATH] [-v]
 //	wofuzz -chaos [-seeds N] [-seed S] [-budget DUR] [-fault-seed S]
-//	       [-fault-rates drop=P,dup=P,...] [-max-states N] [-explore-workers N] [-v]
+//	       [-fault-rates drop=P,dup=P,...] [-max-states N] [-explore-workers N]
+//	       [-json PATH] [-checkpoint DIR] [-cache PATH] [-v]
+//
+// The campaign engine is internal/campaign: seeds fan out over the shared
+// worker pool in checkpoint-sized blocks, and every verdict is a pure
+// function of the campaign spec, so the same flags always produce the same
+// report bytes.
+//
+// -checkpoint DIR snapshots campaign state atomically after every block; a
+// killed campaign (SIGINT/SIGTERM, or -budget running out) leaves a resumable
+// checkpoint plus a valid partial JSON report, and exits with status 3 when
+// the stop was a signal. `wofuzz -resume DIR` continues exactly where the
+// campaign stopped — the spec is restored from the checkpoint, and the final
+// report is byte-identical to an uninterrupted run's.
+//
+// -cache PATH attaches the digest-keyed result cache: verdicts already
+// computed for a (program, machines, budgets, fault schedule) combination —
+// by any previous campaign or by the wocampd service — are answered without
+// re-exploration. The cache is an append-only checksummed log; corrupt tails
+// from a crash are truncated on open, never trusted.
 //
 // -chaos switches the campaign to the differential chaos harness
 // (internal/chaos): random DRF0 programs run on the *timed* Definition-2
 // machine over the deterministic fault-injecting fabric, asserting every run
 // completes under bounded retry and lands inside the program's SC outcome
-// set. A completion failure or containment escape exits with status 1 and
-// prints the (program seed, fault seed) pair plus the injection log — a
-// byte-identical reproducer.
+// set. A completion failure or containment escape exits with status 1.
 //
 // -por=off disables the exploration kernel's partial-order reduction (a
 // debugging escape hatch: the differential tests pin that outcome sets are
@@ -30,89 +48,32 @@
 // default 1 keeps explorations serial (the campaign already fans programs
 // across cores), an explicit N runs N workers per exploration, and 0
 // auto-sizes each exploration to whatever cores the campaign fan-out has left
-// spare — useful when a handful of state-space blowups dominate the
-// campaign's wall clock. Outcome sets are identical at every width.
+// spare. Outcome sets are identical at every width.
 //
 // -machines accepts a comma-separated list of machine names plus the aliases
 // "weak" (every machine claiming the contract; the default), "all", and
-// "broken" (the known-bad fixtures — the non-atomic cached network and the
-// reserve-bit ablation — useful for demonstrating the catch-and-shrink
-// pipeline end to end: `wofuzz -machines broken` finds violations and emits
-// minimized reproducers). The exit status is 1 if any Definition-2 violation
-// was found, 0 otherwise — racy programs with non-SC outcomes are recorded
-// but are not failures. Programs whose exploration exhausts the state budget
-// are skipped and counted; if *every* program is skipped the campaign decided
-// nothing and exits with status 2 and a distinct message (raise -max-states).
+// "broken" (the known-bad fixtures — useful for demonstrating the
+// catch-and-shrink pipeline end to end).
+//
+// Exit status: 0 clean campaign, 1 violation found (or usage/internal error),
+// 2 state budget exhausted on every program (nothing was decided), 3
+// interrupted by signal with a checkpoint saved.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"weakorder/internal/chaos"
+	"weakorder/internal/campaign"
 	"weakorder/internal/faults"
-	"weakorder/internal/fuzz"
-	"weakorder/internal/litmus"
 	"weakorder/internal/model"
-	"weakorder/internal/program"
-	"weakorder/internal/workload"
 )
-
-// progReport is one program's verdict in the JSON report.
-type progReport struct {
-	Index      int      `json:"index"`
-	Seed       int64    `json:"seed"`
-	Name       string   `json:"name"`
-	Config     string   `json:"config"`
-	DRF0       bool     `json:"drf0"`
-	Skipped    bool     `json:"skipped,omitempty"` // state budget exhausted
-	SCOutcomes int      `json:"sc_outcomes,omitempty"`
-	RacyNonSC  bool     `json:"racy_non_sc,omitempty"`
-	Violating  []string `json:"violating,omitempty"`
-	// Reproducers maps violating machine name to the minimized program in
-	// litmus text form (only when -minimize is on).
-	Reproducers map[string]string `json:"reproducers,omitempty"`
-}
-
-// campaignReport is the top-level JSON report.
-type campaignReport struct {
-	Seeds      int          `json:"seeds"`
-	BaseSeed   int64        `json:"base_seed"`
-	Machines   []string     `json:"machines"`
-	Checked    int          `json:"checked"`
-	Skipped    int          `json:"skipped"`
-	DRF0       int          `json:"drf0"`
-	Racy       int          `json:"racy"`
-	RacyNonSC  int          `json:"racy_non_sc"`
-	Violations int          `json:"violations"`
-	Elapsed    string       `json:"elapsed"`
-	Programs   []progReport `json:"programs"`
-}
-
-// configFor varies the generator deterministically across campaign indices so
-// a single run sweeps light/dense sync, RMW-heavy mixes, guarded conditionals,
-// and three-processor programs without any randomness beyond the seed.
-func configFor(i int) (string, workload.RandomConfig) {
-	switch i % 6 {
-	case 0:
-		return "2p-default", workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 4}
-	case 1:
-		return "2p-sparse", workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 4, SyncDensity: 10}
-	case 2:
-		return "2p-rmw", workload.RandomConfig{Procs: 2, DataVars: 1, SyncVars: 2, Ops: 4, SyncDensity: 60, RMWPct: 70, FetchAddPct: 40}
-	case 3:
-		return "3p-dense", workload.RandomConfig{Procs: 3, DataVars: 1, SyncVars: 1, Ops: 3, SyncDensity: 70}
-	case 4:
-		return "2p-guarded", workload.RandomConfig{Procs: 2, DataVars: 2, SyncVars: 1, Ops: 3, SyncDensity: 50, CondPct: 50}
-	default:
-		return "2p-syncread", workload.RandomConfig{Procs: 2, DataVars: 1, SyncVars: 1, Ops: 4, SyncDensity: 50, SyncReadPct: 80}
-	}
-}
 
 func main() {
 	seeds := flag.Int("seeds", 64, "number of random programs to generate")
@@ -125,6 +86,9 @@ func main() {
 	por := flag.String("por", "on", "partial-order reduction in the exploration kernel: on or off")
 	jsonPath := flag.String("json", "", `write a JSON campaign report to PATH ("-" = stdout)`)
 	outDir := flag.String("out", "", "write minimized reproducers (.litmus and .go) into DIR")
+	checkpointDir := flag.String("checkpoint", "", "snapshot campaign state into DIR so a killed campaign can be resumed")
+	resumeDir := flag.String("resume", "", "resume the checkpointed campaign in DIR (spec is restored from the checkpoint)")
+	cachePath := flag.String("cache", "", "digest-keyed result cache segment; hits skip re-exploration")
 	verbose := flag.Bool("v", false, "log every program checked")
 	chaosMode := flag.Bool("chaos", false, "run the differential chaos campaign on the timed machine under fault injection")
 	faultSeed := flag.Int64("fault-seed", 1, "chaos: base fault seed; program i uses fault-seed+i")
@@ -142,110 +106,121 @@ func main() {
 	if kernelWorkers == 0 {
 		kernelWorkers = -1
 	}
-
-	if *chaosMode {
-		rates, err := faults.ParseRates(*faultRates)
-		if err != nil {
-			fatal(err)
-		}
-		x := fuzz.DefaultExplorer()
-		if *maxStates > 0 {
-			x.MaxStates = *maxStates
-		}
-		x.Workers = kernelWorkers
-		runChaos(*seeds, *baseSeed, *budget, *faultSeed, rates, x, *verbose)
-		return
-	}
-
-	factories, err := litmus.FactoriesByNames(*machinesCSV)
-	if err != nil {
-		fatal(err)
-	}
-	if len(factories) == 0 {
-		fatal(errors.New("no machines selected"))
-	}
-	x := fuzz.DefaultExplorer()
-	if *maxStates > 0 {
-		x.MaxStates = *maxStates
-	}
-	x.Workers = kernelWorkers
 	switch *por {
-	case "on":
-	case "off":
-		x.FullExploration = true
+	case "on", "off":
 	default:
 		fatal(fmt.Errorf("invalid -por %q (want on or off)", *por))
 	}
-	chk := &fuzz.Checker{Explorer: x, Machines: factories}
 
-	rep := campaignReport{Seeds: *seeds, BaseSeed: *baseSeed}
-	for _, f := range factories {
-		rep.Machines = append(rep.Machines, f.Name)
+	spec := campaign.Spec{
+		Seeds:          *seeds,
+		BaseSeed:       *baseSeed,
+		Machines:       *machinesCSV,
+		MaxStates:      *maxStates,
+		POROff:         *por == "off",
+		Minimize:       *minimize,
+		ExploreWorkers: kernelWorkers,
+	}
+	if *chaosMode {
+		spec.Mode = campaign.ModeChaos
+		spec.Machines = ""
+		spec.Minimize = false
+		spec.FaultSeed = *faultSeed
+		spec.FaultRates = *faultRates
 	}
 
-	start := time.Now()
-	for i := 0; i < *seeds; i++ {
-		if *budget > 0 && time.Since(start) > *budget {
-			fmt.Fprintf(os.Stderr, "wofuzz: budget %s exhausted after %d/%d seeds\n", *budget, i, *seeds)
-			break
+	r := &campaign.Runner{
+		Spec:          spec,
+		CheckpointDir: *checkpointDir,
+		Out:           *outDir,
+		Budget:        *budget,
+		Log:           os.Stderr,
+	}
+	if *resumeDir != "" {
+		if *checkpointDir != "" {
+			fatal(errors.New("-resume and -checkpoint are exclusive (resume continues the checkpoint in DIR)"))
 		}
-		seed := *baseSeed + int64(i)
-		var p *program.Program
-		var cfgName string
-		// Every 7th program comes from the guarded producer/consumer shape —
-		// the pattern the reserve-bit stall exists to protect — so the
-		// campaign always exercises that bug class directly.
-		if i%7 == 6 {
-			cfgName = "guarded-mp"
-			p = workload.RandomGuarded(seed, 1+i%2, i%3)
-		} else {
-			var cfg workload.RandomConfig
-			cfgName, cfg = configFor(i)
-			p = workload.Random(seed, cfg)
+		cp, err := campaign.LoadCheckpoint(*resumeDir)
+		if err != nil {
+			fatal(fmt.Errorf("resuming %s: %w", *resumeDir, err))
 		}
-
-		pr := progReport{Index: i, Seed: seed, Name: p.Name, Config: cfgName}
-		r, err := chk.Check(p)
-		switch {
-		case err != nil && errors.Is(err, model.ErrStateBudget):
-			pr.Skipped = true
-			rep.Skipped++
-		case err != nil:
+		// The spec lives in the checkpoint: a resumed campaign always
+		// continues under the parameters it started with.
+		r.Spec = cp.Spec
+		r.CheckpointDir = *resumeDir
+		r.Resume = true
+	}
+	if *verbose {
+		r.Verbose = os.Stdout
+	}
+	if *cachePath != "" {
+		store, err := campaign.OpenStore(*cachePath)
+		if err != nil {
 			fatal(err)
-		default:
-			rep.Checked++
-			pr.DRF0 = r.DRF0
-			pr.SCOutcomes = r.SCOutcomes
-			if r.DRF0 {
-				rep.DRF0++
-			} else {
-				rep.Racy++
-			}
-			if r.RacyNonSC() {
-				pr.RacyNonSC = true
-				rep.RacyNonSC++
-			}
-			if v := r.Violating(); len(v) > 0 {
-				pr.Violating = v
-				rep.Violations++
-				handleViolation(&pr, p, v, *minimize, x, *outDir)
-			}
 		}
-		if *verbose {
-			fmt.Printf("[%3d] seed=%-6d %-12s %-22s drf0=%-5v skipped=%v violating=%v\n",
-				i, seed, cfgName, p.Name, pr.DRF0, pr.Skipped, pr.Violating)
+		defer store.Close()
+		if store.Discarded > 0 {
+			fmt.Fprintf(os.Stderr, "wofuzz: cache %s: %d stale/damaged byte(s) discarded, %d entrie(s) recovered\n",
+				*cachePath, store.Discarded, store.Recovered)
 		}
-		rep.Programs = append(rep.Programs, pr)
+		r.Store = store
 	}
-	rep.Elapsed = time.Since(start).Round(time.Millisecond).String()
+
+	// A signal interrupts the campaign between blocks: the engine writes a
+	// final checkpoint, and the partial JSON report below is still valid.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, sum, err := r.Run(ctx)
+	interrupted := err != nil && errors.Is(err, campaign.ErrInterrupted)
+	if err != nil && !interrupted {
+		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "wofuzz: %v\n", err)
+	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, &rep); err != nil {
+		if err := writeReport(*jsonPath, rep); err != nil {
 			fatal(err)
 		}
 	}
-	fmt.Printf("wofuzz: %d checked (%d drf0, %d racy, %d racy-non-SC), %d skipped, %d violation(s) in %s\n",
-		rep.Checked, rep.DRF0, rep.Racy, rep.RacyNonSC, rep.Skipped, rep.Violations, rep.Elapsed)
+
+	elapsed := sum.Elapsed.Round(time.Millisecond)
+	if rep.Mode == campaign.ModeChaos {
+		// Spec validation already parsed the rates; render the canonical form
+		// (the historical summary prints the parsed rates, not the raw flag).
+		rates, _ := faults.ParseRates(r.Spec.FaultRates)
+		fmt.Printf("wofuzz chaos: %d checked, %d faults injected, %d retries, %d tolerated, %d failure(s) in %s (rates %s)\n",
+			rep.Checked, rep.Faults, rep.Retries, rep.Tolerated, rep.Failures, elapsed, rates)
+	} else {
+		fmt.Printf("wofuzz: %d checked (%d drf0, %d racy, %d racy-non-SC), %d skipped, %d violation(s) in %s\n",
+			rep.Checked, rep.DRF0, rep.Racy, rep.RacyNonSC, rep.Skipped, rep.Violations, elapsed)
+	}
+	if r.Store != nil {
+		st := r.Store.Stats()
+		fmt.Printf("wofuzz: cache %d hit(s), %d put(s), %d entrie(s); %d state(s) explored this run\n",
+			sum.CacheHits, st.Puts, st.Entries, sum.Explored)
+	}
+
+	// A signal stop gets its own status (3) so wrappers can tell "killed with
+	// a resumable checkpoint" from "violations" (1) or "undecided" (2); a
+	// -budget stop keeps the historical exit behavior.
+	if interrupted && ctx.Err() != nil {
+		if r.CheckpointDir != "" {
+			fmt.Fprintf(os.Stderr, "wofuzz: interrupted; resume with: wofuzz -resume %s\n", r.CheckpointDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "wofuzz: interrupted (no -checkpoint; progress was not saved)")
+		}
+		os.Exit(3)
+	}
+	if rep.Mode == campaign.ModeChaos {
+		if rep.Failures > 0 {
+			fmt.Fprintln(os.Stderr, "wofuzz: CHAOS PROPERTY VIOLATION(S) FOUND")
+			os.Exit(1)
+		}
+		return
+	}
 	if rep.Violations > 0 {
 		fmt.Fprintln(os.Stderr, "wofuzz: DEFINITION-2 VIOLATION(S) FOUND")
 		os.Exit(1)
@@ -256,117 +231,18 @@ func main() {
 	}
 }
 
-// runChaos is the -chaos campaign: DRF0-by-construction programs on the timed
-// Definition-2 machine under deterministic fault injection, asserting the
-// completion and SC-containment properties for every (program, fault seed)
-// pair. Any failure prints a byte-identical reproducer and exits 1.
-func runChaos(seeds int, baseSeed int64, budget time.Duration, faultSeed int64, rates faults.Rates, x *model.Explorer, verbose bool) {
-	start := time.Now()
-	var checked, injected int
-	var retries, tolerated int64
-	failures := 0
-	for i := 0; i < seeds; i++ {
-		if budget > 0 && time.Since(start) > budget {
-			fmt.Fprintf(os.Stderr, "wofuzz: budget %s exhausted after %d/%d seeds\n", budget, i, seeds)
-			break
-		}
-		seed := baseSeed + int64(i)
-		var p *program.Program
-		if i%2 == 0 {
-			p = workload.RandomGuarded(seed, 2, 3)
-		} else {
-			p = workload.RandomDRF(seed, 2, 2, 2)
-		}
-		scOut, err := chaos.SCOutcomes(p, x)
-		if err != nil {
-			fatal(err)
-		}
-		c, err := chaos.RunCase(p, faultSeed+int64(i), rates, chaos.CanonicalSet(scOut))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wofuzz: CHAOS COMPLETION FAILURE: %v\n", err)
-			failures++
-			continue
-		}
-		checked++
-		injected += c.Faults
-		retries += c.Retries
-		tolerated += c.Tolerated
-		if !c.Contained {
-			fmt.Fprintf(os.Stderr,
-				"wofuzz: CHAOS CONTAINMENT ESCAPE: %s (seed %d, fault seed %d) outcome outside the SC set:\n%s\ninjections:\n%s",
-				p.Name, seed, c.Seed, c.Canonical, c.InjectionLog)
-			failures++
-		}
-		if verbose {
-			fmt.Printf("[%3d] seed=%-6d fault-seed=%-6d %-22s faults=%-3d retries=%-3d tolerated=%-3d contained=%v\n",
-				i, seed, c.Seed, p.Name, c.Faults, c.Retries, c.Tolerated, c.Contained)
-		}
-	}
-	fmt.Printf("wofuzz chaos: %d checked, %d faults injected, %d retries, %d tolerated, %d failure(s) in %s (rates %s)\n",
-		checked, injected, retries, tolerated, failures, time.Since(start).Round(time.Millisecond), rates)
-	if failures > 0 {
-		fmt.Fprintln(os.Stderr, "wofuzz: CHAOS PROPERTY VIOLATION(S) FOUND")
-		os.Exit(1)
-	}
-}
-
-// handleViolation minimizes the program against each violating machine and
-// records/writes the reproducers.
-func handleViolation(pr *progReport, p *program.Program, violating []string, minimize bool, x *model.Explorer, outDir string) {
-	fmt.Fprintf(os.Stderr, "wofuzz: VIOLATION: %s breaks Definition 2 on %v\n", p.Name, violating)
-	if !minimize {
-		return
-	}
-	pr.Reproducers = make(map[string]string, len(violating))
-	for _, name := range violating {
-		f, ok := litmus.FactoryByName(name)
-		if !ok {
-			// Violating names come from the factory list, so this cannot
-			// happen unless the list mutates mid-run.
-			fatal(fmt.Errorf("violating machine %q has no factory", name))
-		}
-		min := fuzz.Minimize(p, f, x)
-		sz := fuzz.SizeOf(min)
-		header := []string{
-			fmt.Sprintf("minimized reproducer: %s violates Definition 2 on %s", p.Name, name),
-			fmt.Sprintf("size: %d thread(s), longest %d op(s), %d address(es)", sz.Threads, sz.MaxOps, sz.Addrs),
-			fmt.Sprintf("non-SC outcomes: %v", fuzz.ExtraOutcomes(min, f, x)),
-		}
-		lit := fuzz.EmitLitmus(min, header...)
-		pr.Reproducers[name] = lit
-		fmt.Fprintf(os.Stderr, "wofuzz: minimized to %d thread(s) x %d op(s):\n%s\nBuilder code:\n%s",
-			sz.Threads, sz.MaxOps, lit, fuzz.EmitGo(min))
-		if outDir != "" {
-			if err := writeReproducer(outDir, min, name, lit); err != nil {
-				fatal(err)
-			}
-		}
-	}
-}
-
-func writeReproducer(dir string, min *program.Program, machine, lit string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	base := filepath.Join(dir, fmt.Sprintf("%s-%s", min.Name, machine))
-	if err := os.WriteFile(base+".litmus", []byte(lit), 0o644); err != nil {
-		return err
-	}
-	code := fmt.Sprintf("// %s: minimized Definition-2 violation on %s\n%s", min.Name, machine, fuzz.EmitGo(min))
-	return os.WriteFile(base+".go.txt", []byte(code), 0o644)
-}
-
-func writeJSON(path string, rep *campaignReport) error {
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
+// writeReport writes the campaign report: to stdout for "-", else atomically
+// (temp + rename) so a kill mid-write can never leave a torn report file.
+func writeReport(path string, rep *campaign.Report) error {
 	if path == "-" {
+		data, err := campaign.MarshalReport(rep)
+		if err != nil {
+			return err
+		}
 		_, err = os.Stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return campaign.WriteJSONAtomic(path, rep)
 }
 
 // fatal aborts the campaign. A state-budget error gets its own exit status

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func buildWofuzz(t *testing.T) string {
@@ -93,6 +97,117 @@ func TestMachinesFlag(t *testing.T) {
 	}
 	if strings.Contains(out, "checked") {
 		t.Fatalf("campaign ran despite the bad -machines value:\n%s", out)
+	}
+}
+
+// TestSignalCheckpointResume kills a checkpointed campaign mid-run with
+// SIGINT and pins the whole crash-safety contract: the process exits with the
+// distinct interrupted status (3), the partial JSON report it flushed parses
+// with internally consistent counts, and `wofuzz -resume` completes the
+// campaign with a final report byte-identical to an uninterrupted run's.
+func TestSignalCheckpointResume(t *testing.T) {
+	bin := buildWofuzz(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	partialPath := filepath.Join(dir, "partial.json")
+	finalPath := filepath.Join(dir, "final.json")
+	baselinePath := filepath.Join(dir, "baseline.json")
+	args := []string{"-seeds", "512", "-machines", "tso", "-minimize=false"}
+
+	// Baseline: the same campaign, uninterrupted.
+	if out, code := run(t, bin, append(args, "-json", baselinePath)...); code != 0 {
+		t.Fatalf("baseline: exit code = %d\noutput:\n%s", code, out)
+	}
+
+	// Start the campaign, wait until the first checkpoint lands, then SIGINT.
+	cmd := exec.Command(bin, append(args, "-checkpoint", ckpt, "-json", partialPath)...)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ckptFile := filepath.Join(ckpt, "checkpoint.json")
+	for i := 0; ; i++ {
+		if _, err := os.Stat(ckptFile); err == nil {
+			break
+		}
+		if i > 1000 {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint appeared\noutput:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("interrupted campaign: err = %v, want exit code 3\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "-resume") {
+		t.Fatalf("interrupt message does not mention -resume:\n%s", out.String())
+	}
+
+	// The flushed partial report parses and is internally consistent.
+	var partial struct {
+		Seeds    int               `json:"seeds"`
+		Checked  int               `json:"checked"`
+		Skipped  int               `json:"skipped"`
+		Programs []json.RawMessage `json:"programs"`
+	}
+	data, err := os.ReadFile(partialPath)
+	if err != nil {
+		t.Fatalf("no partial report: %v", err)
+	}
+	if err := json.Unmarshal(data, &partial); err != nil {
+		t.Fatalf("partial report does not parse: %v", err)
+	}
+	if n := len(partial.Programs); n == 0 || n >= partial.Seeds {
+		t.Fatalf("partial report has %d/%d programs; the kill did not land mid-run", n, partial.Seeds)
+	}
+	if partial.Checked+partial.Skipped != len(partial.Programs) {
+		t.Fatalf("partial counts inconsistent: checked %d + skipped %d != %d programs",
+			partial.Checked, partial.Skipped, len(partial.Programs))
+	}
+
+	// Resume completes the campaign; the final report is byte-identical.
+	if out, code := run(t, bin, "-resume", ckpt, "-json", finalPath); code != 0 {
+		t.Fatalf("resume: exit code = %d\noutput:\n%s", code, out)
+	}
+	baseline, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := os.ReadFile(finalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final, baseline) {
+		t.Fatalf("resumed report differs from uninterrupted report (%d vs %d bytes)", len(final), len(baseline))
+	}
+}
+
+// TestCacheFlag pins the CLI cache round trip: a second identical campaign
+// run against the same -cache file is answered without exploration, visible
+// in the cache summary line.
+func TestCacheFlag(t *testing.T) {
+	bin := buildWofuzz(t)
+	cache := filepath.Join(t.TempDir(), "cache.wocs")
+	args := []string{"-seeds", "6", "-machines", "tso", "-minimize=false", "-cache", cache}
+	out, code := run(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("first run: exit code = %d\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "cache 0 hit(s)") {
+		t.Fatalf("first run should start cold:\n%s", out)
+	}
+	out, code = run(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("second run: exit code = %d\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "cache 6 hit(s)") || !strings.Contains(out, "0 state(s) explored") {
+		t.Fatalf("second run was not answered from the cache:\n%s", out)
 	}
 }
 

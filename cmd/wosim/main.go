@@ -64,12 +64,17 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 
 	"weakorder/internal/conditions"
 	"weakorder/internal/core"
@@ -288,11 +293,18 @@ func main() {
 			prog = workload.Fig3(*procs-1, *work)
 		}
 	}
+	// All file outputs below stream into same-directory temp files and are
+	// renamed into place only when complete; the guard's signal handler
+	// removes in-flight temps and exits with the distinct interrupted status,
+	// so a kill at any instant can never leave a partial -record, -timeline
+	// or -dump-trace file that looks valid.
+	guard := newTempGuard()
+
 	var traceW *tracefmt.Writer
 	var traceOut *os.File
 	if *recordFile != "" {
 		var err error
-		if traceOut, err = os.Create(*recordFile); err != nil {
+		if traceOut, err = guard.create(*recordFile); err != nil {
 			fatal(err)
 		}
 		if traceW, err = tracefmt.NewWriter(traceOut, traceHdr); err != nil {
@@ -336,7 +348,7 @@ func main() {
 		if err := traceW.Close(); err != nil {
 			fatal(fmt.Errorf("closing -record trace: %w", err))
 		}
-		if err := traceOut.Close(); err != nil {
+		if err := guard.commit(traceOut, *recordFile); err != nil {
 			fatal(fmt.Errorf("closing -record trace: %w", err))
 		}
 		fmt.Printf("arrival trace recorded to %s (%d records)\n", *recordFile, traceW.Count())
@@ -379,22 +391,18 @@ func main() {
 		}
 	}
 	if *timeline != "" {
-		f, err := os.Create(*timeline)
-		if err != nil {
+		// Render and validate in memory, then publish atomically: the file
+		// either exists complete and schema-valid, or not at all.
+		var buf bytes.Buffer
+		if err := res.Metrics.WriteTimeline(&buf, prog.Name); err != nil {
 			fatal(err)
 		}
-		if err := res.Metrics.WriteTimeline(f, prog.Name); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		data, err := os.ReadFile(*timeline)
-		if err != nil {
-			fatal(err)
-		}
+		data := buf.Bytes()
 		if err := metrics.ValidateTimeline(data); err != nil {
 			fatal(fmt.Errorf("timeline failed self-validation: %w", err))
+		}
+		if err := guard.write(*timeline, data); err != nil {
+			fatal(err)
 		}
 		fmt.Printf("timeline written to %s (%d events validated)\n", *timeline, metrics.EventCount(data))
 	}
@@ -444,18 +452,92 @@ func main() {
 		}
 	}
 	if *dump != "" {
-		f, err := os.Create(*dump)
+		f, err := guard.create(*dump)
 		if err != nil {
 			fatal(err)
 		}
 		if err := trace.Write(f, res.Trace, init, res.Timings); err != nil {
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
+		if err := guard.commit(f, *dump); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", *dump)
 	}
+}
+
+// tempGuard gives every output file crash/kill atomicity: writes stream into
+// a same-directory temp file that is renamed over the destination only when
+// complete. Its signal handler (SIGINT/SIGTERM) removes every in-flight temp
+// and exits with status 3 — distinct from a failed run (1) and a usage error
+// (2) — so an interrupted wosim never leaves a partial output behind.
+type tempGuard struct {
+	mu    sync.Mutex
+	temps map[string]bool
+}
+
+func newTempGuard() *tempGuard {
+	g := &tempGuard{temps: make(map[string]bool)}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-ch
+		g.mu.Lock() // serializes with an in-progress commit
+		for t := range g.temps {
+			os.Remove(t)
+		}
+		fmt.Fprintf(os.Stderr, "wosim: interrupted (%v); partial output(s) removed\n", sig)
+		os.Exit(3)
+	}()
+	return g
+}
+
+// create opens a tracked temp file next to path.
+func (g *tempGuard) create(path string) (*os.File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.temps[f.Name()] = true
+	g.mu.Unlock()
+	return f, nil
+}
+
+// commit syncs, closes and renames a temp file over its destination.
+func (g *tempGuard) commit(f *os.File, path string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	name := f.Name()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		return err
+	}
+	delete(g.temps, name)
+	return nil
+}
+
+// write publishes a complete in-memory payload atomically.
+func (g *tempGuard) write(path string, data []byte) error {
+	f, err := g.create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return g.commit(f, path)
 }
 
 func fatal(err error) {

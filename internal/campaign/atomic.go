@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that no reader — and no crash at
+// any instant — can ever observe a partial file: the data goes to a
+// same-directory temp file first (rename is only atomic within one
+// filesystem), is synced to stable storage, and then renamed over path.
+// Either the old content or the complete new content is visible, never a
+// truncated in-between. The temp file is removed on any failure.
+//
+// Every report, reproducer and checkpoint write in the campaign CLIs goes
+// through here: the pre-service wofuzz wrote files in place, so a kill
+// mid-write left truncated .go/.litmus reproducers that looked valid.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	return nil
+}
+
+// WriteJSONAtomic marshals v with indentation and a trailing newline (the
+// repository's report convention) and writes it atomically.
+func WriteJSONAtomic(path string, v any) error {
+	data, err := MarshalReport(v)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, data, 0o644)
+}
+
+// MarshalReport is the one JSON rendering used for reports and checkpoints,
+// so byte-identity comparisons compare a single canonical form.
+func MarshalReport(v any) ([]byte, error) {
+	data, err := jsonMarshalIndent(v)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding report: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWriteFileAtomicNoPartialObservable hammers a path with rewrites while
+// a reader polls it continuously: every read must see one of the complete
+// payloads, never a prefix, a mix, or a truncation. This is the property the
+// report/checkpoint/reproducer writers rely on — a kill mid-write leaves the
+// old file, not a torn one.
+func TestWriteFileAtomicNoPartialObservable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+
+	// Two distinguishable full payloads, big enough that a non-atomic write
+	// would be observably partial.
+	a := bytes.Repeat([]byte("A"), 1<<16)
+	b := bytes.Repeat([]byte("B"), 1<<16)
+	if err := WriteFileAtomic(path, a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stopFlag atomic.Bool
+	var torn atomic.Int64
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopFlag.Load() {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					continue // rename window on some filesystems; never torn
+				}
+				reads.Add(1)
+				if !bytes.Equal(data, a) && !bytes.Equal(data, b) {
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		payload := a
+		if i%2 == 1 {
+			payload = b
+		}
+		if err := WriteFileAtomic(path, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stopFlag.Store(true)
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("observed %d torn read(s) out of %d", torn.Load(), reads.Load())
+	}
+	if reads.Load() == 0 {
+		t.Fatalf("reader never observed the file; test proves nothing")
+	}
+
+	// No temp litter once the writes are done.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileAtomicFailureLeavesTarget pins the failure path: when the
+// write cannot complete (destination directory vanished), the original file
+// is untouched and no temp file survives.
+func TestWriteFileAtomicFailureLeavesTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.bin")
+	if err := WriteFileAtomic(path, []byte("x"), 0o644); err == nil {
+		t.Fatalf("write into a missing directory succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sub")); !os.IsNotExist(err) {
+		t.Fatalf("missing directory materialized: %v", err)
+	}
+}

@@ -1,0 +1,326 @@
+package campaign
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"weakorder/internal/digest"
+)
+
+// StoreVersion is the on-disk cache format version. It bumps whenever the
+// segment layout OR the key derivation (KeyVersion) OR the Verdict encoding
+// changes: a version byte the reader does not expect means the whole segment
+// is discarded and rewritten fresh, never misread. (A stale verdict served
+// under a new key scheme would silently corrupt campaign reports; an
+// invalidated cache merely re-explores.)
+const StoreVersion = 1
+
+// storeMagic identifies a campaign result-cache segment.
+var storeMagic = [4]byte{'W', 'O', 'C', 'S'}
+
+// maxValueLen bounds one cached verdict's encoded size. Minimized
+// reproducers are small by construction; anything past this is structural
+// damage.
+const maxValueLen = 1 << 24
+
+// errCorrupt marks a damaged frame during recovery scan. It is internal:
+// corruption on open is repaired (tail truncation), not surfaced.
+var errCorrupt = errors.New("campaign: corrupt cache frame")
+
+// Store is the digest-keyed result cache: an in-memory map recovered from —
+// and persisted to — an append-only log segment.
+//
+// Segment layout (conventions shared with internal/workload/tracefmt):
+//
+//	magic "WOCS" | version byte | frame*
+//
+// Every frame is a uvarint payload length, the payload, and an 8-byte
+// big-endian FNV-1a checksum of the payload. A frame's payload is the
+// 16-byte cache key followed by the JSON-encoded Verdict. Appends are
+// single-write, so a crash can only damage the tail; Open scans forward,
+// keeps every intact frame, and truncates the file at the first damaged or
+// truncated one — a corrupt tail is cut off, never trusted. Duplicate keys
+// keep the last frame (append-only updates).
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	entries map[digest.Sum][]byte
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+	// Recovered/Discarded describe what Open found: intact frames kept, and
+	// trailing bytes truncated (0 for a clean segment). A version mismatch
+	// discards the whole segment and reports its size here.
+	Recovered int
+	Discarded int64
+}
+
+// OpenStore opens (or creates) the cache segment at path and recovers every
+// intact entry. A segment with an unknown version byte is invalidated: its
+// contents are discarded and a fresh header is written.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, path: path, entries: make(map[digest.Sum][]byte)}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the segment, loading intact frames and truncating damage.
+func (s *Store) recover() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if size == 0 {
+		return s.writeHeader()
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(s.f, hdr[:]); err != nil {
+		// Shorter than a header: not a usable segment; start fresh.
+		s.Discarded = size
+		return s.reset()
+	}
+	if [4]byte(hdr[:4]) != storeMagic {
+		// Refuse to clobber a file that was never ours.
+		return fmt.Errorf("campaign: %s is not a result cache (bad magic %q)", s.path, hdr[:4])
+	}
+	if hdr[4] != StoreVersion {
+		// A version bump invalidates old segments instead of misreading
+		// them: the key derivation or verdict encoding changed underneath.
+		s.Discarded = size
+		return s.reset()
+	}
+	good := int64(len(hdr))
+	r := &offsetReader{f: s.f, off: good}
+	for {
+		key, val, next, err := readStoreFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Damaged or truncated tail: cut it off at the last good frame.
+			s.Discarded = size - good
+			if err := s.f.Truncate(good); err != nil {
+				return err
+			}
+			break
+		}
+		s.entries[key] = val
+		s.Recovered++
+		good = next
+	}
+	_, err = s.f.Seek(good, io.SeekStart)
+	return err
+}
+
+// reset truncates the segment and writes a fresh header.
+func (s *Store) reset() error {
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return s.writeHeader()
+}
+
+func (s *Store) writeHeader() error {
+	var hdr [5]byte
+	copy(hdr[:], storeMagic[:])
+	hdr[4] = StoreVersion
+	_, err := s.f.Write(hdr[:])
+	return err
+}
+
+// offsetReader reads from an *os.File tracking the absolute offset, so the
+// recovery scan knows where the last intact frame ended.
+type offsetReader struct {
+	f   *os.File
+	off int64
+	// partial counts bytes consumed by the varint currently being read, so
+	// EOF exactly at a frame boundary is distinguishable from EOF mid-frame.
+	partial int
+}
+
+func (r *offsetReader) ReadByte() (byte, error) {
+	var b [1]byte
+	n, err := r.f.Read(b[:])
+	if n == 1 {
+		r.off++
+		return b[0], nil
+	}
+	if err == nil {
+		err = io.EOF
+	}
+	return 0, err
+}
+
+func (r *offsetReader) ReadFull(p []byte) error {
+	n, err := io.ReadFull(r.f, p)
+	r.off += int64(n)
+	return err
+}
+
+// readStoreFrame reads one frame, returning the key, the value, and the
+// offset just past the frame. io.EOF at a frame boundary is a clean end;
+// any other failure is damage.
+func readStoreFrame(r *offsetReader) (digest.Sum, []byte, int64, error) {
+	var key digest.Sum
+	n, err := readUvarint(r)
+	if err != nil {
+		if err == io.EOF && r.lenZero() {
+			return key, nil, 0, io.EOF
+		}
+		return key, nil, 0, errCorrupt
+	}
+	if n < digest.Size || n > digest.Size+maxValueLen {
+		return key, nil, 0, errCorrupt
+	}
+	payload := make([]byte, n)
+	if err := r.ReadFull(payload); err != nil {
+		return key, nil, 0, errCorrupt
+	}
+	var sum [8]byte
+	if err := r.ReadFull(sum[:]); err != nil {
+		return key, nil, 0, errCorrupt
+	}
+	if binary.BigEndian.Uint64(sum[:]) != fnv1a(payload) {
+		return key, nil, 0, errCorrupt
+	}
+	copy(key[:], payload[:digest.Size])
+	return key, payload[digest.Size:], r.off, nil
+}
+
+// lenZero reports whether the last varint read consumed no bytes (clean EOF
+// at a frame boundary rather than mid-varint).
+func (r *offsetReader) lenZero() bool { return r.partial == 0 }
+
+// readUvarint reads a uvarint, tracking partial consumption for clean-EOF
+// detection.
+func readUvarint(r *offsetReader) (uint64, error) {
+	var x uint64
+	var shift uint
+	r.partial = 0
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		r.partial++
+		if b < 0x80 {
+			return x | uint64(b)<<shift, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, errCorrupt
+}
+
+// Get returns the cached value for key.
+func (s *Store) Get(key digest.Sum) ([]byte, bool) {
+	s.mu.Lock()
+	v, ok := s.entries[key]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores value under key, appending one frame to the segment. The frame
+// is assembled in memory and appended with a single write, so a crash
+// mid-append damages at most the tail frame — which the next Open truncates.
+func (s *Store) Put(key digest.Sum, value []byte) error {
+	if len(value) > maxValueLen {
+		return fmt.Errorf("campaign: cache value %d bytes exceeds %d", len(value), maxValueLen)
+	}
+	frame := make([]byte, 0, binary.MaxVarintLen64+digest.Size+len(value)+8)
+	frame = binary.AppendUvarint(frame, uint64(digest.Size+len(value)))
+	frame = append(frame, key[:]...)
+	frame = append(frame, value...)
+	payload := frame[len(frame)-digest.Size-len(value):]
+	frame = binary.BigEndian.AppendUint64(frame, fnv1a(payload))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("campaign: store is closed")
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		return err
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.entries[key] = cp
+	s.puts.Add(1)
+	return nil
+}
+
+// Len returns the number of distinct cached keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Path returns the segment path.
+func (s *Store) Path() string { return s.path }
+
+// StoreStats is the cache's runtime account.
+type StoreStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Puts    int64 `json:"puts"`
+}
+
+// Stats returns hit/miss/put counters since open.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Entries: s.Len(),
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Puts:    s.puts.Load(),
+	}
+}
+
+// Close syncs and closes the segment. The Store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// fnv1a is the FNV-1a 64-bit hash (tracefmt's checksum parameters).
+func fnv1a(p []byte) uint64 {
+	sum := uint64(0xcbf29ce484222325)
+	for _, b := range p {
+		sum ^= uint64(b)
+		sum *= 0x100000001b3
+	}
+	return sum
+}

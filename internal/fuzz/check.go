@@ -99,7 +99,12 @@ type Report struct {
 	DRF0       bool // whether the program obeys DRF0 (Definition 3)
 	Executions int  // idealized executions enumerated for the DRF0 verdict
 	SCOutcomes int
-	Machines   []MachineReport
+	// States totals the distinct states visited across the SC reference and
+	// every machine exploration — the effort this verdict cost to compute.
+	// The campaign cache stores it so a cache hit can answer with the
+	// original figure while demonstrably doing zero new exploration.
+	States   int64
+	Machines []MachineReport
 }
 
 // Violating returns the machines that broke the Definition-2 contract on this
@@ -158,17 +163,19 @@ func (c *Checker) Check(p *program.Program) (*Report, error) {
 	}
 	rep.DRF0 = drf.Obeys()
 	rep.Executions = drf.Executions
-	scOut, _, err := x.Outcomes(model.NewSC(p))
+	scOut, scStats, err := x.Outcomes(model.NewSC(p))
 	if err != nil {
 		return nil, fmt.Errorf("fuzz: SC outcomes of %s: %w", p.Name, err)
 	}
 	rep.SCOutcomes = len(scOut)
+	rep.States = int64(scStats.States)
 	axCache := make(map[axiomatic.System]map[string]mem.Result)
 	for _, f := range c.machines() {
-		hwOut, _, err := x.Outcomes(f.New(p))
+		hwOut, hwStats, err := x.Outcomes(f.New(p))
 		if err != nil {
 			return nil, fmt.Errorf("fuzz: %s outcomes of %s: %w", f.Name, p.Name, err)
 		}
+		rep.States += int64(hwStats.States)
 		crep := core.CheckContract(p.Name, f.Name, rep.DRF0, scOut, hwOut)
 		mrep := MachineReport{
 			Machine:  f.Name,
